@@ -1,0 +1,52 @@
+// Command benchsuite regenerates every table and figure of the paper's
+// evaluation section on the simulated IPU.
+//
+// Usage:
+//
+//	benchsuite [-experiment all|table1..table4|fig5..fig10] [-scale N] [-tiles N] [-full]
+//
+// The default scale shrinks all workloads by 64x so the suite completes in
+// minutes; -scale 1 -full reproduces paper-scale sizes (needs tens of GB of
+// RAM and hours of CPU time).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"ipusparse/internal/bench"
+)
+
+func main() {
+	experiment := flag.String("experiment", "all", "experiment to run: all, table1..table4, fig5..fig10")
+	scale := flag.Int("scale", 64, "divide paper-scale workloads by this factor")
+	tiles := flag.Int("tiles", 64, "simulated tiles per chip for single-chip experiments")
+	full := flag.Bool("full", false, "use the full Mk2 M2000 tile counts")
+	seed := flag.Int64("seed", 42, "seed for synthetic right-hand sides")
+	csvOut := flag.Bool("csv", false, "emit machine-readable CSV (table4, fig5..fig10)")
+	flag.Parse()
+
+	o := bench.Options{
+		Scale:       *scale,
+		Tiles:       *tiles,
+		FullMachine: *full,
+		Seed:        *seed,
+		Out:         os.Stdout,
+	}
+	t0 := time.Now()
+	var err error
+	if *csvOut {
+		err = bench.RunCSV(o, *experiment, os.Stdout)
+	} else {
+		err = bench.Run(o, *experiment)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchsuite:", err)
+		os.Exit(1)
+	}
+	if !*csvOut {
+		fmt.Printf("done in %v\n", time.Since(t0).Round(time.Millisecond))
+	}
+}

@@ -1,0 +1,19 @@
+// Package ipusparse is an open-source reproduction, in pure Go, of
+// "Accelerating Sparse Linear Solvers on Intelligence Processing Units"
+// (IPPS 2025): a framework for solving large sparse linear systems on
+// GraphCore IPUs, rebuilt on top of a from-scratch functional + cycle-cost
+// IPU machine model because neither the hardware nor the Poplar SDK is
+// available.
+//
+// The implementation lives under internal/: the machine model (ipu), the
+// Poplar-analog graph programming model (graph), the two DSLs (codedsl,
+// tensordsl), double-word arithmetic (twofloat), the sparse-matrix substrate
+// and workload generators (sparse), partitioning (partition), the paper's
+// halo-reordering strategy (halo), level-set scheduling (levelset), the
+// solver and preconditioner suite with MPIR (solver), JSON configuration
+// (config), the CPU/GPU baselines (ref, platform), the experiment harness
+// reproducing every table and figure (bench), and the public facade (core).
+//
+// See README.md for a tour, DESIGN.md for the system inventory and
+// substitutions, and EXPERIMENTS.md for paper-versus-measured results.
+package ipusparse

@@ -1,0 +1,139 @@
+// Suitesparse: solve a SuiteSparse-class problem with solver hierarchies
+// configured from JSON (paper §V) and compare their convergence — the
+// workload behind Figures 9/10 as an application.
+//
+// A Matrix Market file can be passed with -matrix; without one the synthetic
+// Geo_1438 stand-in is generated (the real collection is not bundled).
+//
+//	go run ./examples/suitesparse
+//	go run ./examples/suitesparse -matrix my.mtx -config solver.json
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"math"
+	"os"
+	"strings"
+
+	"ipusparse/internal/config"
+	"ipusparse/internal/core"
+	"ipusparse/internal/ipu"
+	"ipusparse/internal/sparse"
+)
+
+// Three hierarchies expressed exactly as a user would write them in JSON.
+var configs = map[string]string{
+	"PBiCGStab+ILU(0), no refinement": `{
+	  "solver": {
+	    "type": "pbicgstab", "maxIterations": 400, "tolerance": 1e-9,
+	    "preconditioner": { "type": "ilu0" }
+	  }
+	}`,
+	"MPIR(double-word) PBiCGStab+ILU(0)": `{
+	  "solver": {
+	    "type": "pbicgstab",
+	    "preconditioner": { "type": "ilu0" }
+	  },
+	  "mpir": { "extended": "dw", "innerIterations": 80, "maxOuter": 10, "tolerance": 1e-11 }
+	}`,
+	"MPIR(double-word) PBiCGStab+GaussSeidel": `{
+	  "solver": {
+	    "type": "pbicgstab",
+	    "preconditioner": { "type": "gaussseidel", "sweeps": 1, "symmetric": true }
+	  },
+	  "mpir": { "extended": "dw", "innerIterations": 80, "maxOuter": 10, "tolerance": 1e-11 }
+	}`,
+}
+
+func main() {
+	matrixPath := flag.String("matrix", "", "Matrix Market file (default: Geo_1438 stand-in)")
+	cfgPath := flag.String("config", "", "run a single JSON solver config instead of the built-in comparison")
+	scale := flag.Int("scale", 512, "reduction factor for the generated stand-in")
+	tiles := flag.Int("tiles", 16, "simulated tiles")
+	flag.Parse()
+
+	var m *sparse.Matrix
+	if *matrixPath != "" {
+		f, err := os.Open(*matrixPath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		var rerr error
+		m, rerr = sparse.ReadMatrixMarket(f)
+		f.Close()
+		if rerr != nil {
+			log.Fatal(rerr)
+		}
+		fmt.Printf("loaded %s: %d rows, %d entries\n", *matrixPath, m.N, m.NNZ())
+	} else {
+		prof, err := sparse.SuiteLikeByName("Geo_1438")
+		if err != nil {
+			log.Fatal(err)
+		}
+		m = prof.Generate(*scale)
+		fmt.Printf("generated Geo_1438 stand-in (1/%d scale): %d rows, %d entries\n",
+			*scale, m.N, m.NNZ())
+	}
+
+	// b = A * ones so every configuration chases the same known solution.
+	ones := make([]float64, m.N)
+	for i := range ones {
+		ones[i] = 1
+	}
+	b := make([]float64, m.N)
+	m.MulVec(ones, b)
+
+	machine := ipu.DefaultConfig()
+	machine.TilesPerChip = *tiles
+
+	runOne := func(name string, cfg config.Config) {
+		res, err := core.Solve(machine, m, b, cfg, core.PartitionContiguous)
+		if err != nil {
+			log.Fatalf("%s: %v", name, err)
+		}
+		// True residual in float64 against the float32-rounded matrix (the
+		// solver's internal float32 recursion residual can underestimate).
+		var rn, bn float64
+		for i := 0; i < m.N; i++ {
+			s := float64(float32(m.Diag[i])) * res.X[i]
+			for k := m.RowPtr[i]; k < m.RowPtr[i+1]; k++ {
+				s += float64(float32(m.Vals[k])) * res.X[m.Cols[k]]
+			}
+			rn += (b[i] - s) * (b[i] - s)
+			bn += b[i] * b[i]
+		}
+		trueRes := math.Sqrt(rn / bn)
+		fmt.Printf("%-42s iters=%4d device-relres=%.2e TRUE relres=%.2e time=%.2fms\n",
+			name, res.Stats.Iterations, res.Stats.RelRes, trueRes,
+			res.Machine.Seconds*1e3)
+	}
+
+	if *cfgPath != "" {
+		f, err := os.Open(*cfgPath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		cfg, err := config.Parse(f)
+		f.Close()
+		if err != nil {
+			log.Fatal(err)
+		}
+		runOne(*cfgPath, cfg)
+		return
+	}
+	for _, name := range []string{
+		"PBiCGStab+ILU(0), no refinement",
+		"MPIR(double-word) PBiCGStab+ILU(0)",
+		"MPIR(double-word) PBiCGStab+GaussSeidel",
+	} {
+		cfg, err := config.Parse(strings.NewReader(configs[name]))
+		if err != nil {
+			log.Fatalf("%s: %v", name, err)
+		}
+		runOne(name, cfg)
+	}
+	fmt.Println("\nWithout refinement the float32 solver stalls near 1e-6; the MPIR")
+	fmt.Println("configurations reach ~1e-11 with no native double-precision support.")
+}

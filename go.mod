@@ -1,0 +1,3 @@
+module ipusparse
+
+go 1.22

@@ -1,0 +1,85 @@
+package bench
+
+import (
+	"ipusparse/internal/halo"
+	"ipusparse/internal/ipu"
+	"ipusparse/internal/partition"
+	"ipusparse/internal/sparse"
+)
+
+// HaloRow is one tile count of the halo-reordering study supporting §IV's
+// claims: the blockwise program stays small (one instruction per region)
+// while a per-cell program grows with the separator cell count, and the
+// blockwise exchange is cheaper on the simulated fabric.
+type HaloRow struct {
+	Tiles          int
+	Regions        int
+	SeparatorCells int
+	BlockInstr     int
+	PerCellInstr   int
+	BlockCycles    uint64
+	PerCellCycles  uint64
+	MaxInvolved    int
+}
+
+// HaloStudy runs the halo-reordering analysis on the fig5 Poisson workload
+// across tile counts.
+func HaloStudy(o Options) ([]HaloRow, error) {
+	o = o.withDefaults()
+	side := scaleSide(200, o.Scale)
+	m := sparse.Poisson3D(side, side, side)
+	var rows []HaloRow
+	for _, tiles := range []int{16, 32, 64, 128} {
+		p := partition.Grid3DAuto(m, side, side, side, tiles)
+		l, err := halo.Build(m, p)
+		if err != nil {
+			return nil, err
+		}
+		st := l.ComputeStats()
+		cfg := ipu.Mk2M2000()
+		cfg.Chips = 1
+		cfg.TilesPerChip = tiles
+		mach, err := ipu.New(cfg)
+		if err != nil {
+			return nil, err
+		}
+		toTransfers := func(prog []halo.Transfer) []ipu.Transfer {
+			out := make([]ipu.Transfer, 0, len(prog))
+			for _, tr := range prog {
+				dst := make([]int, len(tr.Dst))
+				for i, d := range tr.Dst {
+					dst[i] = d.Tile
+				}
+				out = append(out, ipu.Transfer{SrcTile: tr.SrcTile, Bytes: 4 * tr.Len, DstTiles: dst})
+			}
+			return out
+		}
+		block := mach.Exchange(toTransfers(l.Program))
+		mach2, _ := ipu.New(cfg)
+		perCell := mach2.Exchange(toTransfers(l.PerCellProgram()))
+		rows = append(rows, HaloRow{
+			Tiles:          tiles,
+			Regions:        st.Regions,
+			SeparatorCells: st.SeparatorCells,
+			BlockInstr:     block.Instructions,
+			PerCellInstr:   perCell.Instructions,
+			BlockCycles:    block.Cycles,
+			PerCellCycles:  perCell.Cycles,
+			MaxInvolved:    st.MaxInvolved,
+		})
+	}
+	return rows, nil
+}
+
+// PrintHaloStudy renders the halo study.
+func PrintHaloStudy(o Options, rows []HaloRow) {
+	o.printf("Halo reordering study (paper §IV): blockwise vs per-cell exchange programs\n")
+	o.printf("%6s %8s %9s | %10s %10s | %11s %12s | %8s\n",
+		"tiles", "regions", "sepCells", "blockInstr", "cellInstr", "blockCycles", "cellCycles", "maxBcast")
+	for _, r := range rows {
+		o.printf("%6d %8d %9d | %10d %10d | %11d %12d | %8d\n",
+			r.Tiles, r.Regions, r.SeparatorCells, r.BlockInstr, r.PerCellInstr,
+			r.BlockCycles, r.PerCellCycles, r.MaxInvolved)
+	}
+	o.printf("\n")
+}

@@ -1,0 +1,89 @@
+package bench
+
+import "fmt"
+
+// Run executes one named experiment and prints its result to o.Out. Known
+// names: table1..table4, fig5..fig10, all.
+func Run(o Options, name string) error {
+	o = o.withDefaults()
+	switch name {
+	case "table1":
+		rows, err := Table1(o)
+		if err != nil {
+			return err
+		}
+		PrintTable1(o, rows)
+	case "table2":
+		rows, err := Table2(o)
+		if err != nil {
+			return err
+		}
+		PrintTable2(o, rows)
+	case "table3":
+		PrintTable3(o, Table3(o))
+	case "table4":
+		rows, err := Table4(o)
+		if err != nil {
+			return err
+		}
+		PrintTable4(o, rows)
+	case "halo":
+		rows, err := HaloStudy(o)
+		if err != nil {
+			return err
+		}
+		PrintHaloStudy(o, rows)
+	case "fig5":
+		pts, err := Fig5(o)
+		if err != nil {
+			return err
+		}
+		PrintFig5(o, pts)
+	case "fig6":
+		pts, err := Fig6(o)
+		if err != nil {
+			return err
+		}
+		PrintFig6(o, pts)
+	case "fig7":
+		rows, err := Fig7(o)
+		if err != nil {
+			return err
+		}
+		PrintFig7(o, rows)
+	case "fig8":
+		rows, err := Fig8(o)
+		if err != nil {
+			return err
+		}
+		PrintFig8(o, rows)
+	case "fig9":
+		series, err := Fig9(o)
+		if err != nil {
+			return err
+		}
+		PrintConvergence(o, "Fig 9 (Geo_1438-like)", series)
+	case "fig10":
+		series, err := Fig10(o)
+		if err != nil {
+			return err
+		}
+		PrintConvergence(o, "Fig 10 (af_shell7-like)", series)
+	case "all":
+		for _, n := range AllExperiments {
+			if err := Run(o, n); err != nil {
+				return fmt.Errorf("%s: %w", n, err)
+			}
+		}
+	default:
+		return fmt.Errorf("bench: unknown experiment %q", name)
+	}
+	return nil
+}
+
+// AllExperiments lists every table and figure of the evaluation section.
+var AllExperiments = []string{
+	"table1", "table2", "table3", "table4",
+	"fig5", "fig6", "fig7", "fig8", "fig9", "fig10",
+	"halo",
+}

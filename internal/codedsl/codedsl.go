@@ -1,0 +1,580 @@
+// Package codedsl implements CodeDSL, the framework's description language
+// for codelets (paper §III). Algorithms are written from a tile-centric
+// perspective: they may access only the parts of tensors mapped to the
+// executing tile, exposed here as Views over tile-local buffers.
+//
+// CodeDSL is embedded in Go and dynamically typed. Go code using a Builder is
+// executed once, symbolically: arithmetic on Values emits three-address IR
+// instructions instead of computing numbers, and control functions (For, If,
+// While) capture their lambda bodies as nested IR blocks — the analog of the
+// C++-embedded original emitting C++ codelet source. A small optimizer folds
+// constants and drops dead code (the benefit the paper attributes to late
+// materialization: the host compiler can optimize whole fused codelets).
+//
+// The finished Program is "compiled" into a graph.Codelet whose execution
+// interprets the IR with real float32/double-word/soft-double semantics while
+// charging the Table I cycle costs on the tile's two pipelines (FP and
+// load-store/integer, which dual-issue).
+package codedsl
+
+import (
+	"fmt"
+	"io"
+
+	"ipusparse/internal/graph"
+	"ipusparse/internal/ipu"
+)
+
+// Value is a dynamically typed symbolic value: during symbolic execution it
+// refers either to an IR register or to a compile-time constant.
+type Value struct {
+	b     *Builder
+	reg   int // register id, or -1 for constants
+	k     ipu.Scalar
+	cval  float64 // constant payload (also used for I32/Bool constants)
+	isCon bool
+}
+
+// View is a tile-local window into a buffer — the part of a tensor mapped to
+// the executing tile.
+type View struct {
+	Buf *graph.Buffer
+	Off int
+	N   int
+}
+
+// NewView wraps a whole buffer as a view.
+func NewView(b *graph.Buffer) View { return View{Buf: b, N: b.Len()} }
+
+// Builder constructs one codelet program by symbolic execution.
+type Builder struct {
+	UseFastDW bool      // use the Lange-Rump family for double-word ops
+	Out       io.Writer // destination of Print statements (nil silences them)
+
+	nreg  int
+	root  *block
+	stack []*block
+}
+
+// NewBuilder creates an empty codelet builder.
+func NewBuilder() *Builder {
+	b := &Builder{root: &block{}}
+	b.stack = []*block{b.root}
+	return b
+}
+
+type block struct {
+	stmts []stmt
+}
+
+type stmt interface{ isStmt() }
+
+type opStmt struct {
+	dst  int
+	op   ipu.Op
+	k    ipu.Scalar
+	a, b operand
+}
+
+type convStmt struct {
+	dst  int
+	k    ipu.Scalar // target type
+	from operand
+}
+
+type loadStmt struct {
+	dst  int
+	k    ipu.Scalar
+	view View
+	idx  operand
+}
+
+type storeStmt struct {
+	view View
+	idx  operand
+	val  operand
+}
+
+type forStmt struct {
+	ivar              int // induction register (I32)
+	start, end, stepV operand
+	body              *block
+}
+
+type whileStmt struct {
+	cond    *block  // recomputed each iteration
+	condVal operand // boolean produced by cond block
+	body    *block
+}
+
+type ifStmt struct {
+	cond     operand
+	then     *block
+	elseBlk  *block
+	hasElse_ bool
+}
+
+type printStmt struct {
+	msg  string
+	args []operand
+}
+
+func (opStmt) isStmt()    {}
+func (convStmt) isStmt()  {}
+func (loadStmt) isStmt()  {}
+func (storeStmt) isStmt() {}
+func (forStmt) isStmt()   {}
+func (whileStmt) isStmt() {}
+func (ifStmt) isStmt()    {}
+func (printStmt) isStmt() {}
+
+// operand is either a register reference or an immediate constant.
+type operand struct {
+	reg   int
+	k     ipu.Scalar
+	cval  float64
+	isCon bool
+}
+
+func (v Value) operand() operand {
+	return operand{reg: v.reg, k: v.k, cval: v.cval, isCon: v.isCon}
+}
+
+func (b *Builder) cur() *block { return b.stack[len(b.stack)-1] }
+
+func (b *Builder) emit(s stmt) { b.cur().stmts = append(b.cur().stmts, s) }
+
+func (b *Builder) newReg() int {
+	r := b.nreg
+	b.nreg++
+	return r
+}
+
+// Const creates a float32 constant value.
+func (b *Builder) Const(v float64) Value {
+	return Value{b: b, reg: -1, k: ipu.F32, cval: v, isCon: true}
+}
+
+// ConstInt creates an int32 constant value.
+func (b *Builder) ConstInt(v int) Value {
+	return Value{b: b, reg: -1, k: ipu.I32, cval: float64(v), isCon: true}
+}
+
+// ConstBool creates a boolean constant value.
+func (b *Builder) ConstBool(v bool) Value {
+	c := 0.0
+	if v {
+		c = 1
+	}
+	return Value{b: b, reg: -1, k: ipu.BoolT, cval: c, isCon: true}
+}
+
+// ConstOf creates a constant of an explicit scalar type (e.g. a double-word
+// or soft-double literal).
+func (b *Builder) ConstOf(k ipu.Scalar, v float64) Value {
+	return Value{b: b, reg: -1, k: k, cval: v, isCon: true}
+}
+
+// typeRank orders scalars for implicit promotion.
+func typeRank(k ipu.Scalar) int {
+	switch k {
+	case ipu.BoolT:
+		return 0
+	case ipu.I32:
+		return 1
+	case ipu.F32:
+		return 2
+	case ipu.DW:
+		return 3
+	case ipu.F64:
+		return 4
+	}
+	return -1
+}
+
+func promote(a, b ipu.Scalar) ipu.Scalar {
+	if typeRank(a) >= typeRank(b) {
+		return a
+	}
+	return b
+}
+
+// Convert coerces v to scalar type k, emitting a conversion when needed.
+func (b *Builder) Convert(v Value, k ipu.Scalar) Value {
+	if v.k == k {
+		return v
+	}
+	if v.isCon {
+		return Value{b: b, reg: -1, k: k, cval: v.cval, isCon: true}
+	}
+	dst := b.newReg()
+	b.emit(convStmt{dst: dst, k: k, from: v.operand()})
+	return Value{b: b, reg: dst, k: k}
+}
+
+func (b *Builder) binary(op ipu.Op, x, y Value, resultKind ipu.Scalar, fold func(a, c float64) float64) Value {
+	k := promote(x.k, y.k)
+	if x.isCon && y.isCon && fold != nil {
+		return Value{b: b, reg: -1, k: resultOr(resultKind, k), cval: fold(x.cval, y.cval), isCon: true}
+	}
+	x = b.Convert(x, k)
+	y = b.Convert(y, k)
+	dst := b.newReg()
+	b.emit(opStmt{dst: dst, op: op, k: k, a: x.operand(), b: y.operand()})
+	return Value{b: b, reg: dst, k: resultOr(resultKind, k)}
+}
+
+func resultOr(explicit, computed ipu.Scalar) ipu.Scalar {
+	if explicit == scalarNone {
+		return computed
+	}
+	return explicit
+}
+
+const scalarNone = ipu.Scalar(-1)
+
+// Add returns x + y.
+func (x Value) Add(y Value) Value {
+	return x.b.binary(ipu.OpAdd, x, y, scalarNone, func(a, c float64) float64 { return a + c })
+}
+
+// Sub returns x - y.
+func (x Value) Sub(y Value) Value {
+	return x.b.binary(opSUB, x, y, scalarNone, func(a, c float64) float64 { return a - c })
+}
+
+// Mul returns x * y.
+func (x Value) Mul(y Value) Value {
+	return x.b.binary(ipu.OpMul, x, y, scalarNone, func(a, c float64) float64 { return a * c })
+}
+
+// Div returns x / y.
+func (x Value) Div(y Value) Value { return x.b.binary(ipu.OpDiv, x, y, scalarNone, nil) }
+
+// Mod returns x % y for integer values.
+func (x Value) Mod(y Value) Value {
+	if x.k != ipu.I32 || y.k != ipu.I32 {
+		panic("codedsl: Mod requires integer operands")
+	}
+	dst := x.b.newReg()
+	x.b.emit(opStmt{dst: dst, op: opMODI, k: ipu.I32, a: x.operand(), b: y.operand()})
+	return Value{b: x.b, reg: dst, k: ipu.I32}
+}
+
+// Neg returns -x.
+func (x Value) Neg() Value { return x.b.Const(0).Sub(x) }
+
+// Abs returns |x|.
+func (x Value) Abs() Value {
+	dst := x.b.newReg()
+	x.b.emit(opStmt{dst: dst, op: opABS, k: x.k, a: x.operand(), b: x.operand()})
+	return Value{b: x.b, reg: dst, k: x.k}
+}
+
+// Sqrt returns the square root of x.
+func (x Value) Sqrt() Value {
+	dst := x.b.newReg()
+	x.b.emit(opStmt{dst: dst, op: ipu.OpSqrt, k: x.k, a: x.operand(), b: x.operand()})
+	return Value{b: x.b, reg: dst, k: x.k}
+}
+
+// Lt returns the boolean x < y.
+func (x Value) Lt(y Value) Value { return x.cmp(y, "lt") }
+
+// Le returns the boolean x <= y.
+func (x Value) Le(y Value) Value { return x.cmp(y, "le") }
+
+// Gt returns the boolean x > y.
+func (x Value) Gt(y Value) Value { return y.cmp(x, "lt") }
+
+// Ge returns the boolean x >= y.
+func (x Value) Ge(y Value) Value { return y.cmp(x, "le") }
+
+// Eq returns the boolean x == y.
+func (x Value) Eq(y Value) Value { return x.cmp(y, "eq") }
+
+// Ne returns the boolean x != y.
+func (x Value) Ne(y Value) Value { return x.cmp(y, "ne") }
+
+// cmpKind is packed into the opStmt via the dst-side scalar; comparisons are
+// modeled as OpCmp with a mode operand.
+func (x Value) cmp(y Value, mode string) Value {
+	k := promote(x.k, y.k)
+	xx := x.b.Convert(x, k)
+	yy := x.b.Convert(y, k)
+	dst := x.b.newReg()
+	x.b.emit(opStmt{dst: dst, op: cmpOp(mode), k: k, a: xx.operand(), b: yy.operand()})
+	return Value{b: x.b, reg: dst, k: ipu.BoolT}
+}
+
+// Comparison pseudo-ops share OpCmp's cost but need distinct identities for
+// the interpreter; they are encoded above ipu's op range.
+const (
+	opLT ipu.Op = 100 + iota
+	opLE
+	opEQ
+	opNE
+	opAND
+	opOR
+	opNOT
+	opMODI
+	opABS
+	opSUB // subtraction; same cost class as ipu.OpAdd
+)
+
+func cmpOp(mode string) ipu.Op {
+	switch mode {
+	case "lt":
+		return opLT
+	case "le":
+		return opLE
+	case "eq":
+		return opEQ
+	default:
+		return opNE
+	}
+}
+
+// And returns the boolean x && y.
+func (x Value) And(y Value) Value {
+	dst := x.b.newReg()
+	x.b.emit(opStmt{dst: dst, op: opAND, k: ipu.BoolT, a: x.operand(), b: y.operand()})
+	return Value{b: x.b, reg: dst, k: ipu.BoolT}
+}
+
+// Or returns the boolean x || y.
+func (x Value) Or(y Value) Value {
+	dst := x.b.newReg()
+	x.b.emit(opStmt{dst: dst, op: opOR, k: ipu.BoolT, a: x.operand(), b: y.operand()})
+	return Value{b: x.b, reg: dst, k: ipu.BoolT}
+}
+
+// Not returns the boolean !x.
+func (x Value) Not() Value {
+	dst := x.b.newReg()
+	x.b.emit(opStmt{dst: dst, op: opNOT, k: ipu.BoolT, a: x.operand(), b: x.operand()})
+	return Value{b: x.b, reg: dst, k: ipu.BoolT}
+}
+
+// Select returns cond ? a : b, computed branch-free (the IPU executes
+// conditional selects in the FP pipeline).
+func (b *Builder) Select(cond, a, y Value) Value {
+	k := promote(a.k, y.k)
+	aa, yy := b.Convert(a, k), b.Convert(y, k)
+	// Encode as two ops: mask multiply-add modeled by a single OpCmp-cost op.
+	dst := b.newReg()
+	b.emit(opStmt{dst: dst, op: opSelectOp, k: k, a: cond.operand(), b: aa.operand()})
+	dst2 := b.newReg()
+	b.emit(opStmt{dst: dst2, op: opSelectOp2, k: k, a: operand{reg: dst, k: k}, b: yy.operand()})
+	return Value{b: b, reg: dst2, k: k}
+}
+
+const (
+	opSelectOp ipu.Op = 120 + iota
+	opSelectOp2
+)
+
+// Load reads view[idx] into a new value of the view's scalar type.
+func (b *Builder) Load(v View, idx Value) Value {
+	dst := b.newReg()
+	b.emit(loadStmt{dst: dst, k: v.Buf.Scalar, view: v, idx: b.Convert(idx, ipu.I32).operand()})
+	return Value{b: b, reg: dst, k: v.Buf.Scalar}
+}
+
+// Store writes val (converted to the view's scalar type) to view[idx].
+func (b *Builder) Store(v View, idx, val Value) {
+	val = b.Convert(val, v.Buf.Scalar)
+	b.emit(storeStmt{view: v, idx: b.Convert(idx, ipu.I32).operand(), val: val.operand()})
+}
+
+// Size returns the view's length as a constant integer value.
+func (b *Builder) Size(v View) Value { return b.ConstInt(v.N) }
+
+// For emits the counted loop for (i = start; i < end; i += step) { body(i) }.
+func (b *Builder) For(start, end, step Value, body func(i Value)) {
+	iv := b.newReg()
+	blk := &block{}
+	b.stack = append(b.stack, blk)
+	body(Value{b: b, reg: iv, k: ipu.I32})
+	b.stack = b.stack[:len(b.stack)-1]
+	b.emit(forStmt{
+		ivar:  iv,
+		start: b.Convert(start, ipu.I32).operand(),
+		end:   b.Convert(end, ipu.I32).operand(),
+		stepV: b.Convert(step, ipu.I32).operand(),
+		body:  blk,
+	})
+}
+
+// While emits a loop that re-evaluates cond each iteration and runs body
+// while it holds.
+func (b *Builder) While(cond func() Value, body func()) {
+	condBlk := &block{}
+	b.stack = append(b.stack, condBlk)
+	cv := cond()
+	b.stack = b.stack[:len(b.stack)-1]
+	if cv.k != ipu.BoolT {
+		panic("codedsl: While condition must be boolean")
+	}
+	bodyBlk := &block{}
+	b.stack = append(b.stack, bodyBlk)
+	body()
+	b.stack = b.stack[:len(b.stack)-1]
+	b.emit(whileStmt{cond: condBlk, condVal: cv.operand(), body: bodyBlk})
+}
+
+// If emits a conditional; elseBody may be nil.
+func (b *Builder) If(cond Value, then func(), elseBody func()) {
+	if cond.k != ipu.BoolT {
+		panic("codedsl: If condition must be boolean")
+	}
+	thenBlk := &block{}
+	b.stack = append(b.stack, thenBlk)
+	then()
+	b.stack = b.stack[:len(b.stack)-1]
+	var elseBlk *block
+	if elseBody != nil {
+		elseBlk = &block{}
+		b.stack = append(b.stack, elseBlk)
+		elseBody()
+		b.stack = b.stack[:len(b.stack)-1]
+	}
+	b.emit(ifStmt{cond: cond.operand(), then: thenBlk, elseBlk: elseBlk, hasElse_: elseBlk != nil})
+}
+
+// Print emits a host-visible debug print (formatted with %v per argument).
+func (b *Builder) Print(msg string, args ...Value) {
+	ops := make([]operand, len(args))
+	for i, a := range args {
+		ops[i] = a.operand()
+	}
+	b.emit(printStmt{msg: msg, args: ops})
+}
+
+// Program is a finished, optimized codelet.
+type Program struct {
+	root      *block
+	nreg      int
+	useFastDW bool
+	out       io.Writer
+}
+
+// Build finalizes the builder into an executable Program, running the
+// optimizer (constant folding happened during construction; dead stores of
+// unused pure registers are removed here).
+func (b *Builder) Build() *Program {
+	eliminateDead(b.root)
+	return &Program{root: b.root, nreg: b.nreg, useFastDW: b.UseFastDW, out: b.Out}
+}
+
+// Stmts returns the number of IR statements in the program's top-level block,
+// for tests and the fusion ablation.
+func (p *Program) Stmts() int { return countStmts(p.root) }
+
+func countStmts(blk *block) int {
+	n := 0
+	for _, s := range blk.stmts {
+		n++
+		switch st := s.(type) {
+		case forStmt:
+			n += countStmts(st.body)
+		case whileStmt:
+			n += countStmts(st.cond) + countStmts(st.body)
+		case ifStmt:
+			n += countStmts(st.then)
+			if st.elseBlk != nil {
+				n += countStmts(st.elseBlk)
+			}
+		}
+	}
+	return n
+}
+
+// Codelet wraps the program as a graph.Codelet executing on the worker that
+// runs it.
+func (p *Program) Codelet() graph.Codelet {
+	in := newInterp(p)
+	return graph.CodeletFunc(func() uint64 { return in.run() })
+}
+
+// eliminateDead removes pure register-producing statements whose results are
+// never consumed. A conservative single pass: registers read anywhere
+// (including nested blocks) are live; stores, prints and control flow are
+// always live.
+func eliminateDead(root *block) {
+	live := map[int]bool{}
+	var scan func(blk *block)
+	markOp := func(o operand) {
+		if !o.isCon {
+			live[o.reg] = true
+		}
+	}
+	scan = func(blk *block) {
+		for _, s := range blk.stmts {
+			switch st := s.(type) {
+			case opStmt:
+				markOp(st.a)
+				markOp(st.b)
+			case convStmt:
+				markOp(st.from)
+			case loadStmt:
+				markOp(st.idx)
+			case storeStmt:
+				markOp(st.idx)
+				markOp(st.val)
+			case forStmt:
+				markOp(st.start)
+				markOp(st.end)
+				markOp(st.stepV)
+				scan(st.body)
+			case whileStmt:
+				markOp(st.condVal)
+				scan(st.cond)
+				scan(st.body)
+			case ifStmt:
+				markOp(st.cond)
+				scan(st.then)
+				if st.elseBlk != nil {
+					scan(st.elseBlk)
+				}
+			case printStmt:
+				for _, a := range st.args {
+					markOp(a)
+				}
+			}
+		}
+	}
+	scan(root)
+	var sweep func(blk *block)
+	sweep = func(blk *block) {
+		kept := blk.stmts[:0]
+		for _, s := range blk.stmts {
+			dead := false
+			switch st := s.(type) {
+			case opStmt:
+				dead = !live[st.dst]
+			case convStmt:
+				dead = !live[st.dst]
+			case loadStmt:
+				dead = !live[st.dst]
+			case forStmt:
+				sweep(st.body)
+			case whileStmt:
+				sweep(st.cond)
+				sweep(st.body)
+			case ifStmt:
+				sweep(st.then)
+				if st.elseBlk != nil {
+					sweep(st.elseBlk)
+				}
+			}
+			if !dead {
+				kept = append(kept, s)
+			}
+		}
+		blk.stmts = kept
+	}
+	sweep(root)
+}
+
+var _ = fmt.Sprintf // keep fmt for interp.go's shared import surface

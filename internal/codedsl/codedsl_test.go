@@ -1,0 +1,426 @@
+package codedsl
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+
+	"ipusparse/internal/graph"
+	"ipusparse/internal/ipu"
+)
+
+// runProg builds and runs a program, returning its cycle cost.
+func runProg(b *Builder) uint64 {
+	return b.Build().Codelet().Run()
+}
+
+func TestLeibnizExample(t *testing.T) {
+	// The paper's Fig. 1 CodeDSL part: fill x with the Leibniz sequence.
+	x := graph.NewBuffer(ipu.F32, 10000)
+	b := NewBuilder()
+	xv := NewView(x)
+	b.For(b.ConstInt(0), b.Size(xv), b.ConstInt(1), func(i Value) {
+		sign := b.Select(i.Mod(b.ConstInt(2)).Eq(b.ConstInt(0)), b.Const(1), b.Const(-1))
+		term := sign.Div(i.Mul(b.ConstInt(2)).Add(b.ConstInt(1)).Convert(ipu.F32))
+		b.Store(xv, i, term)
+	})
+	cycles := runProg(b)
+	if cycles == 0 {
+		t.Fatal("no cycles charged")
+	}
+	// Sum on host: 4*sum ~ pi.
+	sum := 0.0
+	for i := 0; i < x.Len(); i++ {
+		sum += x.Get(i)
+	}
+	if math.Abs(4*sum-math.Pi) > 1e-3 {
+		t.Errorf("Leibniz pi = %v", 4*sum)
+	}
+}
+
+// Convert is used via method for readability in tests.
+func (v Value) Convert(k ipu.Scalar) Value { return v.b.Convert(v, k) }
+
+func TestArithmeticAllTypes(t *testing.T) {
+	for _, k := range []ipu.Scalar{ipu.F32, ipu.DW, ipu.F64} {
+		out := graph.NewBuffer(k, 4)
+		b := NewBuilder()
+		ov := NewView(out)
+		a := b.ConstOf(k, 7)
+		c := b.ConstOf(k, 2)
+		// Force registers so ops are not constant-folded away.
+		b.Store(ov, b.ConstInt(0), a)
+		b.Store(ov, b.ConstInt(1), c)
+		av := b.Load(ov, b.ConstInt(0))
+		cv := b.Load(ov, b.ConstInt(1))
+		b.Store(ov, b.ConstInt(0), av.Add(cv))
+		b.Store(ov, b.ConstInt(1), av.Sub(cv))
+		b.Store(ov, b.ConstInt(2), av.Mul(cv))
+		b.Store(ov, b.ConstInt(3), av.Div(cv))
+		runProg(b)
+		want := []float64{9, 5, 14, 3.5}
+		for i, w := range want {
+			if got := out.Get(i); math.Abs(got-w) > 1e-6 {
+				t.Errorf("%v op[%d] = %v, want %v", k, i, got, w)
+			}
+		}
+	}
+}
+
+func TestIntegerOps(t *testing.T) {
+	out := graph.NewBuffer(ipu.I32, 3)
+	b := NewBuilder()
+	ov := NewView(out)
+	b.Store(ov, b.ConstInt(0), b.ConstInt(17).Mod(b.ConstInt(5)))
+	b.Store(ov, b.ConstInt(1), b.ConstInt(17).Div(b.ConstInt(5)))
+	b.Store(ov, b.ConstInt(2), b.ConstInt(-3).Abs())
+	runProg(b)
+	if out.I32[0] != 2 || out.I32[1] != 3 || out.I32[2] != 3 {
+		t.Errorf("got %v", out.I32[:3])
+	}
+}
+
+func TestComparisonsAndLogic(t *testing.T) {
+	out := graph.NewBuffer(ipu.I32, 8)
+	b := NewBuilder()
+	ov := NewView(out)
+	two, three := b.Const(2), b.Const(3)
+	store := func(i int, c Value) {
+		b.Store(ov, b.ConstInt(i), b.Select(c, b.ConstInt(1), b.ConstInt(0)))
+	}
+	store(0, two.Lt(three))
+	store(1, two.Gt(three))
+	store(2, two.Le(two))
+	store(3, two.Ge(three))
+	store(4, two.Eq(two))
+	store(5, two.Ne(two))
+	store(6, two.Lt(three).And(two.Eq(two)))
+	store(7, two.Gt(three).Or(two.Eq(two)).Not())
+	runProg(b)
+	want := []int32{1, 0, 1, 0, 1, 0, 1, 0}
+	for i, w := range want {
+		if out.I32[i] != w {
+			t.Errorf("slot %d = %d, want %d", i, out.I32[i], w)
+		}
+	}
+}
+
+func TestIfElse(t *testing.T) {
+	out := graph.NewBuffer(ipu.F32, 2)
+	b := NewBuilder()
+	ov := NewView(out)
+	b.If(b.Const(1).Lt(b.Const(2)), func() {
+		b.Store(ov, b.ConstInt(0), b.Const(10))
+	}, func() {
+		b.Store(ov, b.ConstInt(0), b.Const(20))
+	})
+	b.If(b.Const(5).Lt(b.Const(2)), func() {
+		b.Store(ov, b.ConstInt(1), b.Const(10))
+	}, func() {
+		b.Store(ov, b.ConstInt(1), b.Const(20))
+	})
+	runProg(b)
+	if out.F32[0] != 10 || out.F32[1] != 20 {
+		t.Errorf("got %v", out.F32)
+	}
+}
+
+func TestWhileLoop(t *testing.T) {
+	// Compute 2^10 by repeated doubling.
+	out := graph.NewBuffer(ipu.F32, 2)
+	b := NewBuilder()
+	ov := NewView(out)
+	b.Store(ov, b.ConstInt(0), b.Const(1))    // value
+	b.Store(ov, b.ConstInt(1), b.ConstInt(0)) // counter
+	b.While(func() Value {
+		return b.Load(ov, b.ConstInt(1)).Lt(b.Const(10))
+	}, func() {
+		v := b.Load(ov, b.ConstInt(0))
+		b.Store(ov, b.ConstInt(0), v.Mul(b.Const(2)))
+		c := b.Load(ov, b.ConstInt(1))
+		b.Store(ov, b.ConstInt(1), c.Add(b.Const(1)))
+	})
+	runProg(b)
+	if out.F32[0] != 1024 {
+		t.Errorf("2^10 = %v", out.F32[0])
+	}
+}
+
+func TestNestedFor(t *testing.T) {
+	// Matrix-ish double loop: out[i] = sum_j (i*3+j)
+	out := graph.NewBuffer(ipu.F32, 4)
+	b := NewBuilder()
+	ov := NewView(out)
+	b.For(b.ConstInt(0), b.ConstInt(4), b.ConstInt(1), func(i Value) {
+		b.Store(ov, i, b.Const(0))
+		b.For(b.ConstInt(0), b.ConstInt(3), b.ConstInt(1), func(j Value) {
+			acc := b.Load(ov, i)
+			term := i.Mul(b.ConstInt(3)).Add(j).Convert(ipu.F32)
+			b.Store(ov, i, acc.Add(term))
+		})
+	})
+	runProg(b)
+	for i := 0; i < 4; i++ {
+		want := float32(3*(3*i) + 3)
+		if out.F32[i] != want {
+			t.Errorf("out[%d] = %v, want %v", i, out.F32[i], want)
+		}
+	}
+}
+
+func TestViewOffset(t *testing.T) {
+	buf := graph.NewBuffer(ipu.F32, 10)
+	v := View{Buf: buf, Off: 4, N: 3}
+	b := NewBuilder()
+	b.For(b.ConstInt(0), b.Size(v), b.ConstInt(1), func(i Value) {
+		b.Store(v, i, i.Convert(ipu.F32).Add(b.Const(100)))
+	})
+	runProg(b)
+	want := []float32{0, 0, 0, 0, 100, 101, 102, 0, 0, 0}
+	for i, w := range want {
+		if buf.F32[i] != w {
+			t.Errorf("buf[%d] = %v, want %v", i, buf.F32[i], w)
+		}
+	}
+}
+
+func TestDoubleWordPrecisionInCodelet(t *testing.T) {
+	// Accumulate 1e-8 a thousand times onto 1: f32 loses it, DW keeps it.
+	for _, k := range []ipu.Scalar{ipu.F32, ipu.DW} {
+		out := graph.NewBuffer(k, 1)
+		b := NewBuilder()
+		ov := NewView(out)
+		b.Store(ov, b.ConstInt(0), b.ConstOf(k, 1))
+		b.For(b.ConstInt(0), b.ConstInt(1000), b.ConstInt(1), func(i Value) {
+			acc := b.Load(ov, b.ConstInt(0))
+			b.Store(ov, b.ConstInt(0), acc.Add(b.ConstOf(k, 1e-8)))
+		})
+		runProg(b)
+		got := out.Get(0)
+		if k == ipu.F32 && got != 1 {
+			t.Errorf("f32 accumulation should be absorbed, got %v", got)
+		}
+		if k == ipu.DW && math.Abs(got-(1+1e-5)) > 1e-9 {
+			t.Errorf("DW accumulation = %v, want 1.00001", got)
+		}
+	}
+}
+
+func TestCycleCostsFollowTableI(t *testing.T) {
+	// A loop of n DW adds must cost about n*132 fp cycles; the same loop in
+	// f32 about n*6.
+	cost := func(k ipu.Scalar) uint64 {
+		out := graph.NewBuffer(k, 1)
+		b := NewBuilder()
+		ov := NewView(out)
+		b.For(b.ConstInt(0), b.ConstInt(1000), b.ConstInt(1), func(i Value) {
+			acc := b.Load(ov, b.ConstInt(0))
+			b.Store(ov, b.ConstInt(0), acc.Add(b.ConstOf(k, 1)))
+		})
+		return runProg(b)
+	}
+	f32, dw, dp := cost(ipu.F32), cost(ipu.DW), cost(ipu.F64)
+	if dw < 1000*ipu.Cost(ipu.OpAdd, ipu.DW) {
+		t.Errorf("DW cost %d below pure op cost", dw)
+	}
+	ratio := float64(dw) / float64(f32)
+	if ratio < 10 || ratio > 30 { // 132/6 = 22, minus shared loop overhead
+		t.Errorf("DW/f32 cycle ratio = %.1f, want ~22", ratio)
+	}
+	if dp <= dw {
+		t.Error("soft double must cost more than double-word")
+	}
+}
+
+func TestDualIssueCost(t *testing.T) {
+	// A store-only loop is aux-bound; its cost must be far below an
+	// equivalent fp-heavy loop, reflecting the two-pipeline model.
+	storeOnly := func() uint64 {
+		out := graph.NewBuffer(ipu.F32, 1000)
+		b := NewBuilder()
+		ov := NewView(out)
+		b.For(b.ConstInt(0), b.ConstInt(1000), b.ConstInt(1), func(i Value) {
+			b.Store(ov, i, b.Const(1))
+		})
+		return runProg(b)
+	}()
+	fpHeavy := func() uint64 {
+		out := graph.NewBuffer(ipu.F32, 1000)
+		b := NewBuilder()
+		ov := NewView(out)
+		b.For(b.ConstInt(0), b.ConstInt(1000), b.ConstInt(1), func(i Value) {
+			x := b.Load(ov, i)
+			for r := 0; r < 4; r++ {
+				x = x.Mul(x).Add(b.Const(1))
+			}
+			b.Store(ov, i, x)
+		})
+		return runProg(b)
+	}()
+	if storeOnly*3 > fpHeavy {
+		t.Errorf("store-only %d should be much cheaper than fp-heavy %d", storeOnly, fpHeavy)
+	}
+}
+
+func TestConstantFolding(t *testing.T) {
+	b := NewBuilder()
+	v := b.Const(2).Add(b.Const(3)).Mul(b.Const(4))
+	if !v.isCon || v.cval != 20 {
+		t.Errorf("constant folding failed: %+v", v)
+	}
+	// No instructions should have been emitted.
+	if got := b.Build().Stmts(); got != 0 {
+		t.Errorf("folded program has %d stmts", got)
+	}
+}
+
+func TestDeadCodeElimination(t *testing.T) {
+	out := graph.NewBuffer(ipu.F32, 1)
+	b := NewBuilder()
+	ov := NewView(out)
+	x := b.Load(ov, b.ConstInt(0))
+	_ = x.Mul(x) // dead: result never used
+	b.Store(ov, b.ConstInt(0), x.Add(b.Const(1)))
+	p := b.Build()
+	// Stmts: load, add, store = 3 (dead mul removed).
+	if p.Stmts() != 3 {
+		t.Errorf("stmts = %d, want 3 (dead code not eliminated)", p.Stmts())
+	}
+}
+
+func TestPrint(t *testing.T) {
+	var buf bytes.Buffer
+	b := NewBuilder()
+	b.Out = &buf
+	b.Print("value is %v", b.Const(3.5))
+	runProg(b)
+	if !strings.Contains(buf.String(), "3.5") {
+		t.Errorf("print output %q", buf.String())
+	}
+}
+
+func TestSelect(t *testing.T) {
+	out := graph.NewBuffer(ipu.F32, 2)
+	b := NewBuilder()
+	ov := NewView(out)
+	b.Store(ov, b.ConstInt(0), b.Select(b.Const(1).Lt(b.Const(2)), b.Const(5), b.Const(7)))
+	b.Store(ov, b.ConstInt(1), b.Select(b.Const(3).Lt(b.Const(2)), b.Const(5), b.Const(7)))
+	runProg(b)
+	if out.F32[0] != 5 || out.F32[1] != 7 {
+		t.Errorf("select = %v", out.F32)
+	}
+}
+
+func TestTypePromotion(t *testing.T) {
+	out := graph.NewBuffer(ipu.DW, 1)
+	b := NewBuilder()
+	ov := NewView(out)
+	// int + f32 + dw promotes to dw.
+	one := b.ConstInt(1)
+	half := b.Const(0.5)
+	dw := b.ConstOf(ipu.DW, 1e-9)
+	b.Store(ov, b.ConstInt(0), one.Convert(ipu.F32).Add(half).Convert(ipu.DW).Add(dw))
+	runProg(b)
+	if got := out.Get(0); math.Abs(got-1.500000001) > 1e-12 {
+		t.Errorf("promotion result = %.12f", got)
+	}
+}
+
+func TestFastDWFamilySelectable(t *testing.T) {
+	run := func(fast bool) float64 {
+		out := graph.NewBuffer(ipu.DW, 1)
+		b := NewBuilder()
+		b.UseFastDW = fast
+		ov := NewView(out)
+		b.Store(ov, b.ConstInt(0), b.ConstOf(ipu.DW, 1))
+		b.For(b.ConstInt(0), b.ConstInt(100), b.ConstInt(1), func(i Value) {
+			acc := b.Load(ov, b.ConstInt(0))
+			b.Store(ov, b.ConstInt(0), acc.Mul(b.ConstOf(ipu.DW, 1.0000001)))
+		})
+		runProg(b)
+		return out.Get(0)
+	}
+	a, f := run(false), run(true)
+	want := math.Pow(1.0000001, 100)
+	if math.Abs(a-want) > 1e-10 {
+		t.Errorf("accurate family err %g", math.Abs(a-want))
+	}
+	if math.Abs(f-want) > 1e-8 {
+		t.Errorf("fast family err %g unexpectedly large", math.Abs(f-want))
+	}
+}
+
+func TestWhileConditionPanicsOnNonBool(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	b := NewBuilder()
+	b.While(func() Value { return b.Const(1) }, func() {})
+}
+
+func TestIfPanicsOnNonBool(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	b := NewBuilder()
+	b.If(b.Const(1), func() {}, nil)
+}
+
+func TestModPanicsOnFloats(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	b := NewBuilder()
+	b.Const(1.5).Mod(b.Const(2))
+}
+
+func TestForZeroStepPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	b := NewBuilder()
+	out := graph.NewBuffer(ipu.F32, 1)
+	ov := NewView(out)
+	b.For(b.ConstInt(0), b.ConstInt(1), b.ConstInt(0), func(i Value) {
+		b.Store(ov, i, b.Const(1))
+	})
+	runProg(b)
+}
+
+func TestNegAndAbs(t *testing.T) {
+	out := graph.NewBuffer(ipu.F32, 2)
+	b := NewBuilder()
+	ov := NewView(out)
+	b.Store(ov, b.ConstInt(0), b.Const(3))
+	x := b.Load(ov, b.ConstInt(0))
+	b.Store(ov, b.ConstInt(0), x.Neg())
+	b.Store(ov, b.ConstInt(1), x.Neg().Abs())
+	runProg(b)
+	if out.F32[0] != -3 || out.F32[1] != 3 {
+		t.Errorf("neg/abs = %v", out.F32)
+	}
+}
+
+func TestSqrtAllTypes(t *testing.T) {
+	for _, k := range []ipu.Scalar{ipu.F32, ipu.DW, ipu.F64} {
+		out := graph.NewBuffer(k, 1)
+		b := NewBuilder()
+		ov := NewView(out)
+		b.Store(ov, b.ConstInt(0), b.ConstOf(k, 2))
+		x := b.Load(ov, b.ConstInt(0))
+		b.Store(ov, b.ConstInt(0), x.Sqrt())
+		runProg(b)
+		if got := out.Get(0); math.Abs(got-math.Sqrt2) > 1e-6 {
+			t.Errorf("%v sqrt(2) = %v", k, got)
+		}
+	}
+}

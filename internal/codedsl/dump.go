@@ -1,0 +1,127 @@
+package codedsl
+
+import (
+	"fmt"
+	"strings"
+
+	"ipusparse/internal/ipu"
+)
+
+// Dump renders the program's IR as indented pseudo-assembly, the analog of
+// inspecting the codelet source Poplar generates. It is used by tests to pin
+// down what the optimizer produced and by humans to debug DSL programs.
+func (p *Program) Dump() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "codelet (%d registers%s):\n", p.nreg, dwFamily(p.useFastDW))
+	dumpBlock(&sb, p.root, 1)
+	return sb.String()
+}
+
+func dwFamily(fast bool) string {
+	if fast {
+		return ", fast double-word"
+	}
+	return ""
+}
+
+func dumpBlock(sb *strings.Builder, blk *block, depth int) {
+	ind := strings.Repeat("  ", depth)
+	for _, s := range blk.stmts {
+		switch st := s.(type) {
+		case opStmt:
+			fmt.Fprintf(sb, "%sr%d = %s.%s %s, %s\n", ind, st.dst, opName(st.op), typeName(st.k),
+				operandString(st.a), operandString(st.b))
+		case convStmt:
+			fmt.Fprintf(sb, "%sr%d = conv.%s %s\n", ind, st.dst, typeName(st.k), operandString(st.from))
+		case loadStmt:
+			fmt.Fprintf(sb, "%sr%d = load.%s view[%s]\n", ind, st.dst, typeName(st.k), operandString(st.idx))
+		case storeStmt:
+			fmt.Fprintf(sb, "%sstore.%s view[%s] = %s\n", ind, typeName(st.view.Buf.Scalar),
+				operandString(st.idx), operandString(st.val))
+		case forStmt:
+			fmt.Fprintf(sb, "%sfor r%d = %s; r%d < %s; r%d += %s {\n", ind, st.ivar,
+				operandString(st.start), st.ivar, operandString(st.end), st.ivar, operandString(st.stepV))
+			dumpBlock(sb, st.body, depth+1)
+			fmt.Fprintf(sb, "%s}\n", ind)
+		case whileStmt:
+			fmt.Fprintf(sb, "%swhile {\n", ind)
+			dumpBlock(sb, st.cond, depth+1)
+			fmt.Fprintf(sb, "%s} -> %s {\n", ind, operandString(st.condVal))
+			dumpBlock(sb, st.body, depth+1)
+			fmt.Fprintf(sb, "%s}\n", ind)
+		case ifStmt:
+			fmt.Fprintf(sb, "%sif %s {\n", ind, operandString(st.cond))
+			dumpBlock(sb, st.then, depth+1)
+			if st.elseBlk != nil {
+				fmt.Fprintf(sb, "%s} else {\n", ind)
+				dumpBlock(sb, st.elseBlk, depth+1)
+			}
+			fmt.Fprintf(sb, "%s}\n", ind)
+		case printStmt:
+			fmt.Fprintf(sb, "%sprint %q\n", ind, st.msg)
+		}
+	}
+}
+
+func operandString(o operand) string {
+	if o.isCon {
+		return fmt.Sprintf("%v:%s", o.cval, typeName(o.k))
+	}
+	return fmt.Sprintf("r%d", o.reg)
+}
+
+func typeName(k ipu.Scalar) string {
+	switch k {
+	case ipu.F32:
+		return "f32"
+	case ipu.DW:
+		return "dw"
+	case ipu.F64:
+		return "f64"
+	case ipu.I32:
+		return "i32"
+	case ipu.BoolT:
+		return "b1"
+	default:
+		return "?"
+	}
+}
+
+func opName(op ipu.Op) string {
+	switch op {
+	case ipu.OpAdd:
+		return "add"
+	case ipu.OpMul:
+		return "mul"
+	case ipu.OpDiv:
+		return "div"
+	case ipu.OpSqrt:
+		return "sqrt"
+	case opSUB:
+		return "sub"
+	case opABS:
+		return "abs"
+	case opLT:
+		return "cmplt"
+	case opLE:
+		return "cmple"
+	case opEQ:
+		return "cmpeq"
+	case opNE:
+		return "cmpne"
+	case opAND:
+		return "and"
+	case opOR:
+		return "or"
+	case opNOT:
+		return "not"
+	case opMODI:
+		return "mod"
+	case opSelectOp:
+		return "selp"
+	case opSelectOp2:
+		return "selq"
+	default:
+		return fmt.Sprintf("op%d", int(op))
+	}
+}

@@ -1,0 +1,62 @@
+package codedsl
+
+import (
+	"strings"
+	"testing"
+
+	"ipusparse/internal/graph"
+	"ipusparse/internal/ipu"
+)
+
+func TestDumpStraightLine(t *testing.T) {
+	buf := graph.NewBuffer(ipu.F32, 4)
+	b := NewBuilder()
+	v := NewView(buf)
+	x := b.Load(v, b.ConstInt(0))
+	y := b.Load(v, b.ConstInt(1))
+	b.Store(v, b.ConstInt(2), x.Mul(y).Add(b.Const(1)))
+	out := b.Build().Dump()
+	for _, want := range []string{"load.f32", "mul.f32", "add.f32", "store.f32", "1:f32"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("dump missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestDumpControlFlow(t *testing.T) {
+	buf := graph.NewBuffer(ipu.DW, 4)
+	b := NewBuilder()
+	b.UseFastDW = true
+	v := NewView(buf)
+	b.For(b.ConstInt(0), b.Size(v), b.ConstInt(1), func(i Value) {
+		x := b.Load(v, i)
+		b.If(x.Gt(b.ConstOf(ipu.DW, 0)), func() {
+			b.Store(v, i, x.Sqrt())
+		}, func() {
+			b.Store(v, i, x.Neg())
+		})
+	})
+	b.While(func() Value { return b.Load(v, b.ConstInt(0)).Lt(b.ConstOf(ipu.DW, 10)) }, func() {
+		x := b.Load(v, b.ConstInt(0))
+		b.Store(v, b.ConstInt(0), x.Mul(b.ConstOf(ipu.DW, 2)))
+	})
+	out := b.Build().Dump()
+	for _, want := range []string{"for r", "if r", "} else {", "while {", "sqrt.dw", "load.dw", "fast double-word"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("dump missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestDumpReflectsDCE(t *testing.T) {
+	buf := graph.NewBuffer(ipu.F32, 2)
+	b := NewBuilder()
+	v := NewView(buf)
+	x := b.Load(v, b.ConstInt(0))
+	_ = x.Div(b.Const(3)) // dead
+	b.Store(v, b.ConstInt(1), x)
+	out := b.Build().Dump()
+	if strings.Contains(out, "div") {
+		t.Errorf("dead division survived into dump:\n%s", out)
+	}
+}

@@ -1,0 +1,123 @@
+package codedsl
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"ipusparse/internal/graph"
+	"ipusparse/internal/ipu"
+)
+
+// TestInterpreterMatchesGoSemantics: random straight-line arithmetic on f32
+// must agree with native Go float32 evaluation exactly.
+func TestInterpreterMatchesGoSemantics(t *testing.T) {
+	f := func(a, b, c float32) bool {
+		if math.IsNaN(float64(a)) || math.IsInf(float64(a), 0) ||
+			math.IsNaN(float64(b)) || math.IsInf(float64(b), 0) ||
+			math.IsNaN(float64(c)) || math.IsInf(float64(c), 0) || c == 0 {
+			return true
+		}
+		buf := graph.NewBuffer(ipu.F32, 4)
+		buf.F32[0], buf.F32[1], buf.F32[2] = a, b, c
+		bd := NewBuilder()
+		v := NewView(buf)
+		x := bd.Load(v, bd.ConstInt(0))
+		y := bd.Load(v, bd.ConstInt(1))
+		z := bd.Load(v, bd.ConstInt(2))
+		bd.Store(v, bd.ConstInt(3), x.Mul(y).Add(x).Sub(y).Div(z))
+		bd.Build().Codelet().Run()
+		want := (a*b + a - b) / c
+		got := buf.F32[3]
+		return got == want || (math.IsNaN(float64(got)) && math.IsNaN(float64(want)))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestCodeletRerunnable: codelets may run many times (loop bodies); each run
+// recomputes from current buffer state and recharges cycles.
+func TestCodeletRerunnable(t *testing.T) {
+	buf := graph.NewBuffer(ipu.F32, 1)
+	b := NewBuilder()
+	v := NewView(buf)
+	x := b.Load(v, b.ConstInt(0))
+	b.Store(v, b.ConstInt(0), x.Add(b.Const(1)))
+	c := b.Build().Codelet()
+	c1 := c.Run()
+	c2 := c.Run()
+	if buf.F32[0] != 2 {
+		t.Errorf("after two runs buf = %v, want 2", buf.F32[0])
+	}
+	if c1 != c2 || c1 == 0 {
+		t.Errorf("cycle costs per run: %d, %d", c1, c2)
+	}
+}
+
+// TestEmptyForLoop: a loop with start >= end executes zero iterations.
+func TestEmptyForLoop(t *testing.T) {
+	buf := graph.NewBuffer(ipu.F32, 1)
+	b := NewBuilder()
+	v := NewView(buf)
+	b.For(b.ConstInt(5), b.ConstInt(5), b.ConstInt(1), func(i Value) {
+		b.Store(v, b.ConstInt(0), b.Const(99))
+	})
+	b.Build().Codelet().Run()
+	if buf.F32[0] != 0 {
+		t.Error("empty loop must not execute its body")
+	}
+}
+
+// TestForWithStep: non-unit strides.
+func TestForWithStep(t *testing.T) {
+	buf := graph.NewBuffer(ipu.F32, 10)
+	b := NewBuilder()
+	v := NewView(buf)
+	b.For(b.ConstInt(0), b.ConstInt(10), b.ConstInt(3), func(i Value) {
+		b.Store(v, i, b.Const(1))
+	})
+	b.Build().Codelet().Run()
+	for i := 0; i < 10; i++ {
+		want := float32(0)
+		if i%3 == 0 {
+			want = 1
+		}
+		if buf.F32[i] != want {
+			t.Fatalf("buf[%d] = %v, want %v", i, buf.F32[i], want)
+		}
+	}
+}
+
+// TestI32Buffer: integer tensor views through the DSL.
+func TestI32Buffer(t *testing.T) {
+	buf := graph.NewBuffer(ipu.I32, 5)
+	b := NewBuilder()
+	v := NewView(buf)
+	b.For(b.ConstInt(0), b.Size(v), b.ConstInt(1), func(i Value) {
+		b.Store(v, i, i.Mul(i))
+	})
+	b.Build().Codelet().Run()
+	for i := 0; i < 5; i++ {
+		if buf.I32[i] != int32(i*i) {
+			t.Fatalf("buf[%d] = %d", i, buf.I32[i])
+		}
+	}
+}
+
+// TestConstBool: boolean constants drive If directly.
+func TestConstBool(t *testing.T) {
+	buf := graph.NewBuffer(ipu.F32, 1)
+	b := NewBuilder()
+	v := NewView(buf)
+	b.If(b.ConstBool(true), func() {
+		b.Store(v, b.ConstInt(0), b.Const(1))
+	}, nil)
+	b.If(b.ConstBool(false), func() {
+		b.Store(v, b.ConstInt(0), b.Const(2))
+	}, nil)
+	b.Build().Codelet().Run()
+	if buf.F32[0] != 1 {
+		t.Errorf("got %v", buf.F32[0])
+	}
+}

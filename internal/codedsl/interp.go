@@ -1,0 +1,390 @@
+package codedsl
+
+import (
+	"fmt"
+	"math"
+
+	"ipusparse/internal/ipu"
+	"ipusparse/internal/twofloat"
+)
+
+// val is one dynamically typed runtime value of the interpreter.
+type val struct {
+	k ipu.Scalar
+	f float32
+	d twofloat.DW
+	p float64
+	i int32
+	t bool
+}
+
+func (v val) float64() float64 {
+	switch v.k {
+	case ipu.F32:
+		return float64(v.f)
+	case ipu.DW:
+		return v.d.Float64()
+	case ipu.F64:
+		return v.p
+	case ipu.I32:
+		return float64(v.i)
+	case ipu.BoolT:
+		if v.t {
+			return 1
+		}
+		return 0
+	}
+	return 0
+}
+
+func constVal(k ipu.Scalar, c float64) val {
+	v := val{k: k}
+	switch k {
+	case ipu.F32:
+		v.f = float32(c)
+	case ipu.DW:
+		v.d = twofloat.FromFloat64(c)
+	case ipu.F64:
+		v.p = c
+	case ipu.I32:
+		v.i = int32(c)
+	case ipu.BoolT:
+		v.t = c != 0
+	}
+	return v
+}
+
+// interp executes a Program with per-pipeline cycle accounting: fp counts the
+// floating-point pipeline, aux the load-store/integer pipeline. The two
+// pipelines dual-issue, so a run costs max(fp, aux) plus the fixed worker
+// startup (the IPUTHREADING run/sync overhead).
+type interp struct {
+	p       *Program
+	regs    []val
+	fp, aux uint64
+}
+
+// workerStartCycles is the fixed cost of launching a worker thread.
+const workerStartCycles = 20
+
+func newInterp(p *Program) *interp {
+	return &interp{p: p, regs: make([]val, p.nreg)}
+}
+
+func (in *interp) run() uint64 {
+	in.fp, in.aux = 0, 0
+	in.execBlock(in.p.root)
+	c := in.fp
+	if in.aux > c {
+		c = in.aux
+	}
+	return c + workerStartCycles
+}
+
+func (in *interp) operand(o operand) val {
+	if o.isCon {
+		return constVal(o.k, o.cval)
+	}
+	v := in.regs[o.reg]
+	if v.k != o.k && o.k != scalarNone {
+		// Registers are written before they are read in well-formed
+		// programs; a mismatch means the register is an induction variable
+		// or conversion target whose static type is authoritative.
+		v = convertVal(v, o.k)
+	}
+	return v
+}
+
+func (in *interp) execBlock(blk *block) {
+	for _, s := range blk.stmts {
+		switch st := s.(type) {
+		case opStmt:
+			in.regs[st.dst] = in.execOp(st)
+		case convStmt:
+			in.regs[st.dst] = convertVal(in.operand(st.from), st.k)
+			in.chargeFP(ipu.Cost(ipu.OpConv, st.k))
+		case loadStmt:
+			idx := int(in.operand(st.idx).i)
+			in.regs[st.dst] = loadElem(st.view, idx)
+			in.aux += ipu.Cost(ipu.OpLoad, st.k)
+		case storeStmt:
+			idx := int(in.operand(st.idx).i)
+			storeElem(st.view, idx, in.operand(st.val))
+			in.aux += ipu.Cost(ipu.OpStore, st.view.Buf.Scalar)
+		case forStmt:
+			start := in.operand(st.start).i
+			end := in.operand(st.end).i
+			step := in.operand(st.stepV).i
+			if step == 0 {
+				panic("codedsl: For with zero step")
+			}
+			for i := start; i < end; i += step {
+				in.regs[st.ivar] = val{k: ipu.I32, i: i}
+				in.aux += 3 // increment, compare, branch
+				in.execBlock(st.body)
+			}
+		case whileStmt:
+			for {
+				in.execBlock(st.cond)
+				in.aux += 1 // branch
+				if !in.operand(st.condVal).t {
+					break
+				}
+				in.execBlock(st.body)
+			}
+		case ifStmt:
+			in.aux += 1 // single-cycle branch on the IPU
+			if in.operand(st.cond).t {
+				in.execBlock(st.then)
+			} else if st.elseBlk != nil {
+				in.execBlock(st.elseBlk)
+			}
+		case printStmt:
+			if in.p.out != nil {
+				args := make([]interface{}, len(st.args))
+				for i, a := range st.args {
+					args[i] = in.operand(a).float64()
+				}
+				fmt.Fprintf(in.p.out, st.msg+"\n", args...)
+			}
+		}
+	}
+}
+
+func (in *interp) chargeFP(c uint64) { in.fp += c }
+
+func (in *interp) execOp(st opStmt) val {
+	a := in.operand(st.a)
+	b := in.operand(st.b)
+	switch st.op {
+	case ipu.OpAdd, ipu.OpMul, ipu.OpDiv, ipu.OpSqrt:
+		in.chargeCost(st.op, st.k)
+		return in.arith(st.op, st.k, a, b)
+	case opSUB:
+		in.chargeCost(ipu.OpAdd, st.k)
+		return in.sub(st.k, a, b)
+	case opABS:
+		in.chargeCost(ipu.OpCmp, st.k)
+		return absVal(a)
+	case opLT, opLE, opEQ, opNE:
+		in.chargeCost(ipu.OpCmp, st.k)
+		return val{k: ipu.BoolT, t: compare(st.op, a, b)}
+	case opAND:
+		in.aux++
+		return val{k: ipu.BoolT, t: a.t && b.t}
+	case opOR:
+		in.aux++
+		return val{k: ipu.BoolT, t: a.t || b.t}
+	case opNOT:
+		in.aux++
+		return val{k: ipu.BoolT, t: !a.t}
+	case opMODI:
+		in.aux++
+		return val{k: ipu.I32, i: a.i % b.i}
+	case opSelectOp:
+		// First half of Select: pass through b tagged with the predicate.
+		in.chargeCost(ipu.OpCmp, st.k)
+		out := b
+		out.t = a.t
+		return out
+	case opSelectOp2:
+		in.chargeCost(ipu.OpCmp, st.k)
+		if a.t {
+			a.t = false
+			return a
+		}
+		return b
+	default:
+		panic(fmt.Sprintf("codedsl: unknown op %d", st.op))
+	}
+}
+
+func (in *interp) chargeCost(op ipu.Op, k ipu.Scalar) {
+	if k == ipu.I32 || k == ipu.BoolT {
+		in.aux += ipu.Cost(ipu.OpInt, k)
+		return
+	}
+	in.chargeFP(ipu.Cost(op, k))
+}
+
+func (in *interp) sub(k ipu.Scalar, a, b val) val {
+	switch k {
+	case ipu.F32:
+		return val{k: k, f: a.f - b.f}
+	case ipu.DW:
+		if in.p.useFastDW {
+			return val{k: k, d: twofloat.SubFast(a.d, b.d)}
+		}
+		return val{k: k, d: twofloat.Sub(a.d, b.d)}
+	case ipu.F64:
+		return val{k: k, p: a.p - b.p}
+	case ipu.I32:
+		return val{k: k, i: a.i - b.i}
+	}
+	panic(fmt.Sprintf("codedsl: sub on %v", k))
+}
+
+// arith executes add, mul, div and sqrt on the operand type.
+func (in *interp) arith(op ipu.Op, k ipu.Scalar, a, b val) val {
+	switch op {
+	case ipu.OpSqrt:
+		return sqrtVal(a)
+	}
+	switch k {
+	case ipu.F32:
+		switch op {
+		case ipu.OpAdd:
+			return val{k: k, f: a.f + b.f}
+		case ipu.OpMul:
+			return val{k: k, f: a.f * b.f}
+		case ipu.OpDiv:
+			return val{k: k, f: a.f / b.f}
+		}
+	case ipu.DW:
+		if in.p.useFastDW {
+			switch op {
+			case ipu.OpAdd:
+				return val{k: k, d: twofloat.AddFast(a.d, b.d)}
+			case ipu.OpMul:
+				return val{k: k, d: twofloat.MulFast(a.d, b.d)}
+			case ipu.OpDiv:
+				return val{k: k, d: twofloat.DivFast(a.d, b.d)}
+			}
+		}
+		switch op {
+		case ipu.OpAdd:
+			return val{k: k, d: twofloat.Add(a.d, b.d)}
+		case ipu.OpMul:
+			return val{k: k, d: twofloat.Mul(a.d, b.d)}
+		case ipu.OpDiv:
+			return val{k: k, d: twofloat.Div(a.d, b.d)}
+		}
+	case ipu.F64:
+		switch op {
+		case ipu.OpAdd:
+			return val{k: k, p: a.p + b.p}
+		case ipu.OpMul:
+			return val{k: k, p: a.p * b.p}
+		case ipu.OpDiv:
+			return val{k: k, p: a.p / b.p}
+		}
+	case ipu.I32:
+		switch op {
+		case ipu.OpAdd:
+			return val{k: k, i: a.i + b.i}
+		case ipu.OpMul:
+			return val{k: k, i: a.i * b.i}
+		case ipu.OpDiv:
+			return val{k: k, i: a.i / b.i}
+		}
+	}
+	panic(fmt.Sprintf("codedsl: arith op %d on %v", op, k))
+}
+
+func absVal(a val) val {
+	switch a.k {
+	case ipu.F32:
+		if a.f < 0 {
+			a.f = -a.f
+		}
+	case ipu.DW:
+		a.d = a.d.Abs()
+	case ipu.F64:
+		a.p = math.Abs(a.p)
+	case ipu.I32:
+		if a.i < 0 {
+			a.i = -a.i
+		}
+	}
+	return a
+}
+
+func sqrtVal(a val) val {
+	switch a.k {
+	case ipu.F32:
+		a.f = float32(math.Sqrt(float64(a.f)))
+	case ipu.DW:
+		a.d = twofloat.Sqrt(a.d)
+	case ipu.F64:
+		a.p = math.Sqrt(a.p)
+	case ipu.I32:
+		a.i = int32(math.Sqrt(float64(a.i)))
+	}
+	return a
+}
+
+func compare(op ipu.Op, a, b val) bool {
+	x, y := a.float64(), b.float64()
+	switch op {
+	case opLT:
+		return x < y
+	case opLE:
+		return x <= y
+	case opEQ:
+		return x == y
+	default:
+		return x != y
+	}
+}
+
+func convertVal(v val, k ipu.Scalar) val {
+	if v.k == k {
+		return v
+	}
+	out := val{k: k}
+	switch k {
+	case ipu.F32:
+		switch v.k {
+		case ipu.DW:
+			out.f = v.d.Float32()
+		default:
+			out.f = float32(v.float64())
+		}
+	case ipu.DW:
+		switch v.k {
+		case ipu.F32:
+			out.d = twofloat.FromFloat32(v.f) // exact widen
+		default:
+			out.d = twofloat.FromFloat64(v.float64())
+		}
+	case ipu.F64:
+		out.p = v.float64()
+	case ipu.I32:
+		out.i = int32(v.float64())
+	case ipu.BoolT:
+		out.t = v.float64() != 0
+	}
+	return out
+}
+
+func loadElem(v View, idx int) val {
+	i := v.Off + idx
+	b := v.Buf
+	switch b.Scalar {
+	case ipu.F32:
+		return val{k: ipu.F32, f: b.F32[i]}
+	case ipu.DW:
+		return val{k: ipu.DW, d: twofloat.DW{Hi: b.Hi[i], Lo: b.Lo[i]}}
+	case ipu.F64:
+		return val{k: ipu.F64, p: b.F64[i]}
+	case ipu.I32:
+		return val{k: ipu.I32, i: b.I32[i]}
+	}
+	panic("codedsl: load from unsupported buffer")
+}
+
+func storeElem(v View, idx int, x val) {
+	i := v.Off + idx
+	b := v.Buf
+	switch b.Scalar {
+	case ipu.F32:
+		b.F32[i] = convertVal(x, ipu.F32).f
+	case ipu.DW:
+		d := convertVal(x, ipu.DW).d
+		b.Hi[i], b.Lo[i] = d.Hi, d.Lo
+	case ipu.F64:
+		b.F64[i] = convertVal(x, ipu.F64).p
+	case ipu.I32:
+		b.I32[i] = convertVal(x, ipu.I32).i
+	}
+}

@@ -1,0 +1,251 @@
+// Package config implements the JSON solver configuration of the paper (§V):
+// "The solver hierarchy and associated parameters are easily configured
+// through a JSON file", including nested configurations where any solver
+// serves as another's preconditioner.
+//
+// Example:
+//
+//	{
+//	  "solver": {
+//	    "type": "pbicgstab",
+//	    "maxIterations": 1000,
+//	    "tolerance": 1e-9,
+//	    "preconditioner": { "type": "ilu0" }
+//	  },
+//	  "mpir": { "extended": "dw", "innerIterations": 100,
+//	            "maxOuter": 50, "tolerance": 1e-13 }
+//	}
+package config
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"ipusparse/internal/ipu"
+	"ipusparse/internal/solver"
+)
+
+// SolverConfig describes one solver or preconditioner node of the hierarchy.
+type SolverConfig struct {
+	Type string `json:"type"` // pbicgstab, cg, gaussseidel, richardson, jacobi, ilu0, dilu, none
+
+	MaxIterations int     `json:"maxIterations,omitempty"`
+	Tolerance     float64 `json:"tolerance,omitempty"`
+
+	// Gauss-Seidel options.
+	Sweeps    int  `json:"sweeps,omitempty"`
+	Symmetric bool `json:"symmetric,omitempty"`
+
+	// Degree of the Chebyshev polynomial preconditioner.
+	Degree int `json:"degree,omitempty"`
+
+	// Iterations applies when this node is a nested solver used as a
+	// preconditioner (fixed iteration count, zero initial guess).
+	Iterations int `json:"iterations,omitempty"`
+
+	// Coarse wraps this preconditioner node with the two-level coarse-grid
+	// correction (one aggregate per tile), compensating the halo couplings
+	// that tile-local preconditioners drop.
+	Coarse bool `json:"coarse,omitempty"`
+
+	Preconditioner *SolverConfig `json:"preconditioner,omitempty"`
+}
+
+// MPIRConfig enables the Mixed-Precision Iterative Refinement outer loop.
+type MPIRConfig struct {
+	// Extended selects the extended-precision type: "dw" (double-word),
+	// "dp" (soft double), or "none" (plain working-precision IR).
+	Extended        string  `json:"extended"`
+	InnerIterations int     `json:"innerIterations"`
+	MaxOuter        int     `json:"maxOuter"`
+	Tolerance       float64 `json:"tolerance"`
+}
+
+// Config is the root of a solver configuration file.
+type Config struct {
+	Solver SolverConfig `json:"solver"`
+	MPIR   *MPIRConfig  `json:"mpir,omitempty"`
+}
+
+// Default returns the paper's reference configuration:
+// MPIR(double-word) around PBiCGStab+ILU(0).
+func Default() Config {
+	return Config{
+		Solver: SolverConfig{
+			Type:           "pbicgstab",
+			MaxIterations:  10000,
+			Tolerance:      1e-9,
+			Preconditioner: &SolverConfig{Type: "ilu0"},
+		},
+		MPIR: &MPIRConfig{Extended: "dw", InnerIterations: 100, MaxOuter: 100, Tolerance: 1e-9},
+	}
+}
+
+// Parse reads a configuration from JSON.
+func Parse(r io.Reader) (Config, error) {
+	var c Config
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&c); err != nil {
+		return Config{}, fmt.Errorf("config: %w", err)
+	}
+	if err := c.Validate(); err != nil {
+		return Config{}, err
+	}
+	return c, nil
+}
+
+var solverTypes = map[string]bool{
+	"pbicgstab": true, "bicgstab": true, "cg": true, "gaussseidel": true,
+	"richardson": true, "jacobi": true, "ilu0": true, "dilu": true, "none": true,
+	"chebyshev": true,
+}
+
+// Validate checks the configuration tree.
+func (c Config) Validate() error {
+	if err := c.Solver.validate(true); err != nil {
+		return err
+	}
+	if c.MPIR != nil {
+		switch c.MPIR.Extended {
+		case "dw", "dp", "none":
+		default:
+			return fmt.Errorf("config: mpir.extended must be dw, dp or none, got %q", c.MPIR.Extended)
+		}
+		if c.MPIR.InnerIterations <= 0 {
+			return fmt.Errorf("config: mpir.innerIterations must be positive")
+		}
+		if c.MPIR.MaxOuter <= 0 {
+			return fmt.Errorf("config: mpir.maxOuter must be positive")
+		}
+	}
+	return nil
+}
+
+func (sc *SolverConfig) validate(top bool) error {
+	if !solverTypes[sc.Type] {
+		return fmt.Errorf("config: unknown solver type %q", sc.Type)
+	}
+	if sc.Tolerance < 0 {
+		return fmt.Errorf("config: negative tolerance")
+	}
+	if sc.Preconditioner != nil {
+		switch sc.Type {
+		case "pbicgstab", "bicgstab", "cg", "richardson":
+		default:
+			return fmt.Errorf("config: solver type %q takes no preconditioner", sc.Type)
+		}
+		return sc.Preconditioner.validate(false)
+	}
+	return nil
+}
+
+// ExtScalar returns the extended-precision scalar type of the MPIR section.
+func (mc *MPIRConfig) ExtScalar() ipu.Scalar {
+	switch mc.Extended {
+	case "dw":
+		return ipu.DW
+	case "dp":
+		return ipu.F64
+	default:
+		return ipu.F32
+	}
+}
+
+// BuildPreconditioner constructs the preconditioner tree for a system.
+func BuildPreconditioner(sys *solver.System, sc *SolverConfig) (solver.Preconditioner, error) {
+	if sc == nil {
+		return solver.Identity{Sys: sys}, nil
+	}
+	if sc.Coarse {
+		inner := *sc
+		inner.Coarse = false
+		fine, err := BuildPreconditioner(sys, &inner)
+		if err != nil {
+			return nil, err
+		}
+		return &solver.CoarseCorrection{Sys: sys, Fine: fine}, nil
+	}
+	switch sc.Type {
+	case "none":
+		return solver.Identity{Sys: sys}, nil
+	case "jacobi":
+		return &solver.Jacobi{Sys: sys}, nil
+	case "ilu0":
+		return &solver.ILU{Sys: sys}, nil
+	case "dilu":
+		return &solver.DILU{Sys: sys}, nil
+	case "gaussseidel":
+		return &solver.GaussSeidel{Sys: sys, Sweeps: max1(sc.Sweeps), Symmetric: sc.Symmetric}, nil
+	case "chebyshev":
+		return &solver.Chebyshev{Sys: sys, Degree: sc.Degree}, nil
+	case "pbicgstab", "bicgstab", "cg", "richardson":
+		iters := sc.Iterations
+		if iters <= 0 {
+			iters = 5
+		}
+		scCopy := *sc
+		return &solver.SolverPrecond{
+			Iter: iters,
+			Make: func(maxIter int) solver.Solver {
+				s, err := buildSolver(sys, &scCopy, maxIter, 0)
+				if err != nil {
+					panic(err)
+				}
+				return s
+			},
+		}, nil
+	default:
+		return nil, fmt.Errorf("config: cannot use %q as preconditioner", sc.Type)
+	}
+}
+
+func max1(v int) int {
+	if v < 1 {
+		return 1
+	}
+	return v
+}
+
+// BuildSolver constructs the configured solver tree over the system. The
+// returned solver schedules the preconditioner setup itself.
+func BuildSolver(sys *solver.System, c Config) (solver.Solver, error) {
+	return buildSolver(sys, &c.Solver, c.Solver.MaxIterations, c.Solver.Tolerance)
+}
+
+func buildSolver(sys *solver.System, sc *SolverConfig, maxIter int, tol float64) (solver.Solver, error) {
+	if maxIter <= 0 {
+		maxIter = 1000
+	}
+	switch sc.Type {
+	case "pbicgstab", "bicgstab":
+		pre, err := BuildPreconditioner(sys, sc.Preconditioner)
+		if err != nil {
+			return nil, err
+		}
+		return &solver.PBiCGStab{Sys: sys, Pre: pre, MaxIter: maxIter, Tol: tol, SetupPre: true}, nil
+	case "cg":
+		pre, err := BuildPreconditioner(sys, sc.Preconditioner)
+		if err != nil {
+			return nil, err
+		}
+		return &solver.CG{Sys: sys, Pre: pre, MaxIter: maxIter, Tol: tol, SetupPre: true}, nil
+	case "richardson":
+		pre, err := BuildPreconditioner(sys, sc.Preconditioner)
+		if err != nil {
+			return nil, err
+		}
+		return &solver.Richardson{Sys: sys, Pre: pre, MaxIter: maxIter, Tol: tol, SetupPre: true}, nil
+	case "gaussseidel":
+		return solver.NewGaussSeidelSolver(sys, max1(sc.Sweeps), maxIter, tol), nil
+	case "jacobi":
+		return &solver.Richardson{Sys: sys, Pre: &solver.Jacobi{Sys: sys}, MaxIter: maxIter, Tol: tol, SetupPre: true}, nil
+	case "ilu0":
+		return &solver.Richardson{Sys: sys, Pre: &solver.ILU{Sys: sys}, MaxIter: maxIter, Tol: tol, SetupPre: true}, nil
+	case "dilu":
+		return &solver.Richardson{Sys: sys, Pre: &solver.DILU{Sys: sys}, MaxIter: maxIter, Tol: tol, SetupPre: true}, nil
+	default:
+		return nil, fmt.Errorf("config: cannot build solver of type %q", sc.Type)
+	}
+}

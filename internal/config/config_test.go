@@ -1,0 +1,120 @@
+package config
+
+import (
+	"strings"
+	"testing"
+
+	"ipusparse/internal/ipu"
+)
+
+func TestParseRoundTrip(t *testing.T) {
+	src := `{
+	  "solver": {
+	    "type": "pbicgstab",
+	    "maxIterations": 500,
+	    "tolerance": 1e-9,
+	    "preconditioner": { "type": "ilu0" }
+	  },
+	  "mpir": { "extended": "dw", "innerIterations": 100, "maxOuter": 50, "tolerance": 1e-13 }
+	}`
+	c, err := Parse(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Solver.Type != "pbicgstab" || c.Solver.MaxIterations != 500 {
+		t.Errorf("solver parsed wrong: %+v", c.Solver)
+	}
+	if c.Solver.Preconditioner == nil || c.Solver.Preconditioner.Type != "ilu0" {
+		t.Error("preconditioner missing")
+	}
+	if c.MPIR == nil || c.MPIR.Extended != "dw" || c.MPIR.InnerIterations != 100 {
+		t.Errorf("mpir parsed wrong: %+v", c.MPIR)
+	}
+}
+
+func TestParseNested(t *testing.T) {
+	src := `{
+	  "solver": {
+	    "type": "pbicgstab", "maxIterations": 100,
+	    "preconditioner": {
+	      "type": "richardson", "iterations": 3,
+	      "preconditioner": { "type": "jacobi" }
+	    }
+	  }
+	}`
+	c, err := Parse(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Solver.Preconditioner.Preconditioner.Type != "jacobi" {
+		t.Error("nested preconditioner lost")
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := map[string]string{
+		"bad type":       `{"solver": {"type": "magic"}}`,
+		"unknown field":  `{"solver": {"type": "pbicgstab", "wat": 1}}`,
+		"bad mpir ext":   `{"solver": {"type": "pbicgstab"}, "mpir": {"extended": "fp8", "innerIterations": 1, "maxOuter": 1}}`,
+		"bad mpir inner": `{"solver": {"type": "pbicgstab"}, "mpir": {"extended": "dw", "innerIterations": 0, "maxOuter": 1}}`,
+		"neg tol":        `{"solver": {"type": "pbicgstab", "tolerance": -1}}`,
+		"pre on jacobi":  `{"solver": {"type": "jacobi", "preconditioner": {"type": "ilu0"}}}`,
+		"not json":       `hello`,
+	}
+	for name, src := range cases {
+		if _, err := Parse(strings.NewReader(src)); err == nil {
+			t.Errorf("%s: expected error", name)
+		}
+	}
+}
+
+func TestDefaultValid(t *testing.T) {
+	if err := Default().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if Default().MPIR.ExtScalar() != ipu.DW {
+		t.Error("default extended type should be double-word")
+	}
+}
+
+func TestExtScalar(t *testing.T) {
+	cases := map[string]ipu.Scalar{"dw": ipu.DW, "dp": ipu.F64, "none": ipu.F32}
+	for ext, want := range cases {
+		mc := &MPIRConfig{Extended: ext}
+		if got := mc.ExtScalar(); got != want {
+			t.Errorf("%s -> %v, want %v", ext, got, want)
+		}
+	}
+}
+
+func TestParseChebyshev(t *testing.T) {
+	src := `{
+	  "solver": {
+	    "type": "cg", "maxIterations": 200, "tolerance": 1e-6,
+	    "preconditioner": { "type": "chebyshev", "degree": 4 }
+	  }
+	}`
+	c, err := Parse(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Solver.Preconditioner.Degree != 4 {
+		t.Error("degree lost")
+	}
+}
+
+func TestParseCoarseFlag(t *testing.T) {
+	src := `{
+	  "solver": {
+	    "type": "pbicgstab", "maxIterations": 200,
+	    "preconditioner": { "type": "ilu0", "coarse": true }
+	  }
+	}`
+	c, err := Parse(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !c.Solver.Preconditioner.Coarse {
+		t.Error("coarse flag lost")
+	}
+}

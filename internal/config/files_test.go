@@ -1,0 +1,37 @@
+package config
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestShippedConfigFiles parses every sample configuration under configs/.
+func TestShippedConfigFiles(t *testing.T) {
+	dir := filepath.Join("..", "..", "configs")
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatalf("configs directory missing: %v", err)
+	}
+	if len(entries) < 4 {
+		t.Fatalf("expected several sample configs, found %d", len(entries))
+	}
+	for _, e := range entries {
+		if filepath.Ext(e.Name()) != ".json" {
+			continue
+		}
+		f, err := os.Open(filepath.Join(dir, e.Name()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		c, err := Parse(f)
+		f.Close()
+		if err != nil {
+			t.Errorf("%s: %v", e.Name(), err)
+			continue
+		}
+		if c.Solver.Type == "" {
+			t.Errorf("%s: empty solver type", e.Name())
+		}
+	}
+}

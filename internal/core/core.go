@@ -1,0 +1,168 @@
+// Package core is the framework facade — the public entry point the examples
+// and CLI use. It wires the full pipeline of the paper's Figure 2: build a
+// machine, partition and halo-reorder the matrix, upload it, construct the
+// configured solver hierarchy (optionally wrapped in MPIR), symbolically
+// execute the TensorDSL program, run it on the simulated IPU, and return the
+// solution with convergence statistics and the cycle profile.
+package core
+
+import (
+	"fmt"
+	"io"
+
+	"ipusparse/internal/config"
+	"ipusparse/internal/graph"
+	"ipusparse/internal/ipu"
+	"ipusparse/internal/partition"
+	"ipusparse/internal/solver"
+	"ipusparse/internal/sparse"
+	"ipusparse/internal/tensordsl"
+)
+
+// PartitionStrategy selects how matrix rows map to tiles.
+type PartitionStrategy string
+
+// Partitioning strategies.
+const (
+	PartitionContiguous PartitionStrategy = "contiguous"
+	PartitionGreedy     PartitionStrategy = "greedy"
+)
+
+// Context owns a simulated machine and the TensorDSL session bound to it.
+type Context struct {
+	Machine *ipu.Machine
+	Session *tensordsl.Session
+}
+
+// NewContext creates a context over a fresh machine.
+func NewContext(cfg ipu.Config) (*Context, error) {
+	m, err := ipu.New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &Context{Machine: m, Session: tensordsl.NewSession(m)}, nil
+}
+
+// LoadSystem partitions, reorders and uploads the matrix.
+func (c *Context) LoadSystem(m *sparse.Matrix, strategy PartitionStrategy) (*solver.System, error) {
+	var p *partition.Partition
+	switch strategy {
+	case PartitionGreedy:
+		p = partition.GreedyGraph(m, c.Machine.NumTiles())
+	case PartitionContiguous, "":
+		p = partition.Contiguous(m, c.Machine.NumTiles())
+	default:
+		return nil, fmt.Errorf("core: unknown partition strategy %q", strategy)
+	}
+	return solver.NewSystem(c.Session, m, p)
+}
+
+// Result is the outcome of a solve.
+type Result struct {
+	X       []float64 // solution in original row numbering
+	Stats   solver.RunStats
+	Profile []graph.ProfileEntry
+	Machine ipu.Stats
+	Report  graph.Report // program analysis ("graph compilation report")
+}
+
+// Solve runs the full pipeline on a fresh context: partition m across the
+// machine, build the solver described by cfg (with the MPIR outer loop when
+// configured), execute, and return the solution.
+func Solve(machineCfg ipu.Config, m *sparse.Matrix, b []float64, cfg config.Config, strategy PartitionStrategy) (*Result, error) {
+	return SolveTraced(machineCfg, m, b, cfg, strategy, nil)
+}
+
+// SolveTraced is Solve with an execution-trace export: when traceOut is
+// non-nil the BSP phase timeline is written there in Chrome trace-event JSON
+// (loadable in chrome://tracing / Perfetto — the PopVision role).
+func SolveTraced(machineCfg ipu.Config, m *sparse.Matrix, b []float64, cfg config.Config, strategy PartitionStrategy, traceOut io.Writer) (*Result, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	ctx, err := NewContext(machineCfg)
+	if err != nil {
+		return nil, err
+	}
+	sys, err := ctx.LoadSystem(m, strategy)
+	if err != nil {
+		return nil, err
+	}
+	var st solver.RunStats
+	var xT solver.Tensor
+
+	if cfg.MPIR != nil {
+		ext := cfg.MPIR.ExtScalar()
+		xT = sys.VectorTyped("x", ext)
+		bT := sys.VectorTyped("b", ext)
+		if err := sys.SetGlobal(bT, b); err != nil {
+			return nil, err
+		}
+		// The preconditioner is factored once, outside the refinement loop
+		// (paper §V-E: the factorization is reused as long as the matrix
+		// coefficients remain unchanged).
+		pre, err := config.BuildPreconditioner(sys, cfg.Solver.Preconditioner)
+		if err != nil {
+			return nil, err
+		}
+		pre.SetupStep()
+		inner := cfg.Solver
+		mp := &solver.MPIR{
+			Sys:     sys,
+			ExtType: ext,
+			MakeInner: func(maxIter int) solver.Solver {
+				switch inner.Type {
+				case "richardson":
+					return &solver.Richardson{Sys: sys, Pre: pre, MaxIter: maxIter, Tol: 1e-30}
+				case "cg":
+					return &solver.CG{Sys: sys, Pre: pre, MaxIter: maxIter, Tol: 1e-30}
+				default:
+					return &solver.PBiCGStab{Sys: sys, Pre: pre, MaxIter: maxIter, Tol: 1e-30}
+				}
+			},
+			InnerIters: cfg.MPIR.InnerIterations,
+			MaxOuter:   cfg.MPIR.MaxOuter,
+			Tol:        cfg.MPIR.Tolerance,
+		}
+		mp.ScheduleSolve(xT, bT, &st)
+	} else {
+		s, err := config.BuildSolver(sys, cfg)
+		if err != nil {
+			return nil, err
+		}
+		xT = sys.Vector("x")
+		bT := sys.Vector("b")
+		if err := sys.SetGlobal(bT, b); err != nil {
+			return nil, err
+		}
+		s.ScheduleSolve(xT, bT, &st)
+	}
+
+	// "Graph compilation": validate the constructed program against the
+	// machine before execution, and gather the report.
+	if err := graph.Validate(ctx.Session.Program(), machineCfg); err != nil {
+		return nil, err
+	}
+	report := graph.Analyze(ctx.Session.Program())
+
+	eng := graph.NewEngine(ctx.Machine)
+	var tracer *graph.Tracer
+	if traceOut != nil {
+		tracer = eng.Trace()
+	}
+	if err := eng.Run(ctx.Session.Program()); err != nil {
+		return nil, err
+	}
+	if tracer != nil {
+		if err := tracer.WriteChromeTrace(traceOut, machineCfg.ClockHz); err != nil {
+			return nil, err
+		}
+	}
+	return &Result{
+		X:       sys.GetGlobal(xT),
+		Stats:   st,
+		Profile: eng.ProfileShares(),
+		Machine: ctx.Machine.Stats(),
+		Report:  report,
+	}, nil
+}

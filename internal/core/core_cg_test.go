@@ -1,0 +1,99 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"ipusparse/internal/config"
+)
+
+func TestSolveCGConfig(t *testing.T) {
+	m, b, want := poissonProblem(14, 14)
+	cfg := config.Config{
+		Solver: config.SolverConfig{
+			Type: "cg", MaxIterations: 400, Tolerance: 1e-6,
+			Preconditioner: &config.SolverConfig{Type: "ilu0"},
+		},
+	}
+	res, err := Solve(smallMachine(4), m, b, cfg, PartitionContiguous)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Stats.Converged {
+		t.Fatalf("CG config not converged: %g", res.Stats.RelRes)
+	}
+	for i := range want {
+		if math.Abs(res.X[i]-want[i]) > 1e-2 {
+			t.Fatalf("x[%d] = %v, want %v", i, res.X[i], want[i])
+		}
+	}
+}
+
+func TestSolveCoarseConfig(t *testing.T) {
+	m, b, _ := poissonProblem(20, 20)
+	plainCfg := config.Config{
+		Solver: config.SolverConfig{
+			Type: "pbicgstab", MaxIterations: 600, Tolerance: 1e-6,
+			Preconditioner: &config.SolverConfig{Type: "ilu0"},
+		},
+	}
+	coarseCfg := config.Config{
+		Solver: config.SolverConfig{
+			Type: "pbicgstab", MaxIterations: 600, Tolerance: 1e-6,
+			Preconditioner: &config.SolverConfig{Type: "ilu0", Coarse: true},
+		},
+	}
+	plain, err := Solve(smallMachine(16), m, b, plainCfg, PartitionContiguous)
+	if err != nil {
+		t.Fatal(err)
+	}
+	coarse, err := Solve(smallMachine(16), m, b, coarseCfg, PartitionContiguous)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !plain.Stats.Converged || !coarse.Stats.Converged {
+		t.Fatal("both configurations must converge")
+	}
+	if coarse.Stats.Iterations >= plain.Stats.Iterations {
+		t.Errorf("coarse correction (%d iters) should beat plain (%d iters)",
+			coarse.Stats.Iterations, plain.Stats.Iterations)
+	}
+}
+
+func TestSolveMPIRWithCGInner(t *testing.T) {
+	m, b, _ := poissonProblem(14, 14)
+	cfg := config.Config{
+		Solver: config.SolverConfig{
+			Type:           "cg",
+			Preconditioner: &config.SolverConfig{Type: "jacobi"},
+		},
+		MPIR: &config.MPIRConfig{Extended: "dw", InnerIterations: 50, MaxOuter: 10, Tolerance: 1e-11},
+	}
+	res, err := Solve(smallMachine(4), m, b, cfg, PartitionContiguous)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Stats.Converged {
+		t.Fatalf("MPIR over CG did not reach 1e-11: %g", res.Stats.RelRes)
+	}
+}
+
+func TestSolveReportPopulated(t *testing.T) {
+	m, b, _ := poissonProblem(8, 8)
+	cfg := config.Config{
+		Solver: config.SolverConfig{
+			Type: "pbicgstab", MaxIterations: 50, Tolerance: 1e-4,
+			Preconditioner: &config.SolverConfig{Type: "jacobi"},
+		},
+	}
+	res, err := Solve(smallMachine(4), m, b, cfg, PartitionContiguous)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Report.ComputeSets == 0 || res.Report.Vertices == 0 {
+		t.Errorf("empty report: %+v", res.Report)
+	}
+	if res.Report.Labels["SpMV"] == 0 {
+		t.Error("report missing SpMV label")
+	}
+}

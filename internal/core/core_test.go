@@ -1,0 +1,151 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"ipusparse/internal/config"
+	"ipusparse/internal/ipu"
+	"ipusparse/internal/sparse"
+)
+
+func smallMachine(tiles int) ipu.Config {
+	cfg := ipu.DefaultConfig()
+	cfg.TilesPerChip = tiles
+	return cfg
+}
+
+func poissonProblem(nx, ny int) (*sparse.Matrix, []float64, []float64) {
+	m := sparse.Poisson2D(nx, ny)
+	want := make([]float64, m.N)
+	for i := range want {
+		want[i] = 1 + 0.5*math.Cos(float64(i)/7)
+	}
+	b := make([]float64, m.N)
+	m.MulVec(want, b)
+	return m, b, want
+}
+
+func TestSolveDefaultConfig(t *testing.T) {
+	m, b, want := poissonProblem(16, 16)
+	cfg := config.Default()
+	cfg.MPIR.InnerIterations = 50
+	cfg.MPIR.Tolerance = 1e-10
+	res, err := Solve(smallMachine(8), m, b, cfg, PartitionContiguous)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Stats.Converged {
+		t.Fatalf("not converged: %+v", res.Stats)
+	}
+	for i := range want {
+		if math.Abs(res.X[i]-want[i]) > 1e-5 {
+			t.Fatalf("x[%d] = %v, want %v", i, res.X[i], want[i])
+		}
+	}
+	if len(res.Profile) == 0 || res.Machine.TotalCycles == 0 {
+		t.Error("missing profile or machine stats")
+	}
+}
+
+func TestSolveWithoutMPIR(t *testing.T) {
+	m, b, want := poissonProblem(12, 12)
+	cfg := config.Config{
+		Solver: config.SolverConfig{
+			Type: "pbicgstab", MaxIterations: 400, Tolerance: 1e-5,
+			Preconditioner: &config.SolverConfig{Type: "jacobi"},
+		},
+	}
+	res, err := Solve(smallMachine(4), m, b, cfg, PartitionGreedy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Stats.Converged {
+		t.Fatalf("not converged: relres %g", res.Stats.RelRes)
+	}
+	for i := range want {
+		if math.Abs(res.X[i]-want[i]) > 1e-2 {
+			t.Fatalf("x[%d] = %v, want %v", i, res.X[i], want[i])
+		}
+	}
+}
+
+func TestSolveAllPreconditioners(t *testing.T) {
+	m, b, _ := poissonProblem(12, 12)
+	for _, pre := range []string{"none", "jacobi", "ilu0", "dilu", "gaussseidel"} {
+		cfg := config.Config{
+			Solver: config.SolverConfig{
+				Type: "pbicgstab", MaxIterations: 500, Tolerance: 1e-5,
+				Preconditioner: &config.SolverConfig{Type: pre},
+			},
+		}
+		res, err := Solve(smallMachine(4), m, b, cfg, PartitionContiguous)
+		if err != nil {
+			t.Fatalf("%s: %v", pre, err)
+		}
+		if !res.Stats.Converged {
+			t.Errorf("%s: not converged (relres %g, %d iters)", pre, res.Stats.RelRes, res.Stats.Iterations)
+		}
+	}
+}
+
+func TestSolveGaussSeidelSolver(t *testing.T) {
+	m, b, _ := poissonProblem(8, 8)
+	cfg := config.Config{
+		Solver: config.SolverConfig{Type: "gaussseidel", Sweeps: 2, MaxIterations: 400, Tolerance: 1e-5},
+	}
+	res, err := Solve(smallMachine(2), m, b, cfg, PartitionContiguous)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Stats.Converged {
+		t.Errorf("GS not converged: %g", res.Stats.RelRes)
+	}
+}
+
+func TestSolveMPIRDWPrecision(t *testing.T) {
+	m, b, _ := poissonProblem(16, 16)
+	cfg := config.Config{
+		Solver: config.SolverConfig{
+			Type:           "pbicgstab",
+			Preconditioner: &config.SolverConfig{Type: "ilu0"},
+		},
+		MPIR: &config.MPIRConfig{Extended: "dw", InnerIterations: 40, MaxOuter: 15, Tolerance: 1e-12},
+	}
+	res, err := Solve(smallMachine(4), m, b, cfg, PartitionContiguous)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Stats.Converged {
+		t.Fatalf("MPIR did not reach 1e-12: %g", res.Stats.RelRes)
+	}
+}
+
+func TestSolveRejectsBadConfig(t *testing.T) {
+	m, b, _ := poissonProblem(4, 4)
+	bad := config.Config{Solver: config.SolverConfig{Type: "magic"}}
+	if _, err := Solve(smallMachine(2), m, b, bad, PartitionContiguous); err == nil {
+		t.Error("expected config error")
+	}
+	if _, err := Solve(smallMachine(2), m, b, config.Default(), "weird"); err == nil {
+		t.Error("expected strategy error")
+	}
+	if _, err := Solve(ipu.Config{}, m, b, config.Default(), PartitionContiguous); err == nil {
+		t.Error("expected machine config error")
+	}
+}
+
+func TestContextLoadSystem(t *testing.T) {
+	ctx, err := NewContext(smallMachine(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := sparse.Poisson2D(8, 8)
+	sys, err := ctx.LoadSystem(m, PartitionContiguous)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sys.N() != m.N {
+		t.Error("system dimension wrong")
+	}
+}

@@ -1,0 +1,140 @@
+// Package graph implements the framework's analog of the Poplar programming
+// model: tile-local buffers, a dataflow program built from steps (compute
+// sets, exchanges, control flow, host callbacks), and an engine that executes
+// the program on the simulated IPU machine while accounting cycles per
+// profiling label.
+//
+// Programs are constructed by symbolic execution of the DSLs (packages
+// codedsl and tensordsl) and by hand-written solver codelets, then run by the
+// Engine — mirroring the compile-then-execute flow of Figure 2 in the paper.
+package graph
+
+import (
+	"fmt"
+
+	"ipusparse/internal/ipu"
+	"ipusparse/internal/twofloat"
+)
+
+// Buffer is a tile-local, typed data block in a tile's SRAM. Double-word
+// buffers store the high and low words as separate arrays (structure of
+// arrays), the layout the generated codelets use.
+type Buffer struct {
+	Scalar ipu.Scalar
+	F32    []float32
+	Hi, Lo []float32 // double-word components
+	F64    []float64
+	I32    []int32
+}
+
+// NewBuffer allocates a zeroed buffer of n elements of the given scalar type.
+func NewBuffer(s ipu.Scalar, n int) *Buffer {
+	b := &Buffer{Scalar: s}
+	switch s {
+	case ipu.F32:
+		b.F32 = make([]float32, n)
+	case ipu.DW:
+		b.Hi = make([]float32, n)
+		b.Lo = make([]float32, n)
+	case ipu.F64:
+		b.F64 = make([]float64, n)
+	case ipu.I32:
+		b.I32 = make([]int32, n)
+	default:
+		panic(fmt.Sprintf("graph: unsupported buffer scalar %v", s))
+	}
+	return b
+}
+
+// Len returns the element count.
+func (b *Buffer) Len() int {
+	switch b.Scalar {
+	case ipu.F32:
+		return len(b.F32)
+	case ipu.DW:
+		return len(b.Hi)
+	case ipu.F64:
+		return len(b.F64)
+	case ipu.I32:
+		return len(b.I32)
+	}
+	return 0
+}
+
+// Bytes returns the memory footprint in bytes.
+func (b *Buffer) Bytes() int { return b.Len() * b.Scalar.Size() }
+
+// Get returns element i widened to float64 (reads of I32 return the integer
+// value). It is the host-side debug/transfer accessor.
+func (b *Buffer) Get(i int) float64 {
+	switch b.Scalar {
+	case ipu.F32:
+		return float64(b.F32[i])
+	case ipu.DW:
+		return twofloat.DW{Hi: b.Hi[i], Lo: b.Lo[i]}.Float64()
+	case ipu.F64:
+		return b.F64[i]
+	case ipu.I32:
+		return float64(b.I32[i])
+	}
+	return 0
+}
+
+// Set stores v into element i, rounding to the buffer's precision.
+func (b *Buffer) Set(i int, v float64) {
+	switch b.Scalar {
+	case ipu.F32:
+		b.F32[i] = float32(v)
+	case ipu.DW:
+		d := twofloat.FromFloat64(v)
+		b.Hi[i], b.Lo[i] = d.Hi, d.Lo
+	case ipu.F64:
+		b.F64[i] = v
+	case ipu.I32:
+		b.I32[i] = int32(v)
+	}
+}
+
+// GetDW returns element i as a double-word value without precision loss for
+// DW buffers (other scalars are converted).
+func (b *Buffer) GetDW(i int) twofloat.DW {
+	if b.Scalar == ipu.DW {
+		return twofloat.DW{Hi: b.Hi[i], Lo: b.Lo[i]}
+	}
+	return twofloat.FromFloat64(b.Get(i))
+}
+
+// SetDW stores a double-word value into element i.
+func (b *Buffer) SetDW(i int, d twofloat.DW) {
+	if b.Scalar == ipu.DW {
+		b.Hi[i], b.Lo[i] = d.Hi, d.Lo
+		return
+	}
+	b.Set(i, d.Float64())
+}
+
+// CopyRange copies n elements from src[srcOff:] into b[dstOff:]. The scalar
+// types must match (exchanges move raw blocks; conversions are compute).
+func (b *Buffer) CopyRange(src *Buffer, dstOff, srcOff, n int) {
+	if b.Scalar != src.Scalar {
+		panic(fmt.Sprintf("graph: copy between %v and %v buffers", src.Scalar, b.Scalar))
+	}
+	switch b.Scalar {
+	case ipu.F32:
+		copy(b.F32[dstOff:dstOff+n], src.F32[srcOff:srcOff+n])
+	case ipu.DW:
+		copy(b.Hi[dstOff:dstOff+n], src.Hi[srcOff:srcOff+n])
+		copy(b.Lo[dstOff:dstOff+n], src.Lo[srcOff:srcOff+n])
+	case ipu.F64:
+		copy(b.F64[dstOff:dstOff+n], src.F64[srcOff:srcOff+n])
+	case ipu.I32:
+		copy(b.I32[dstOff:dstOff+n], src.I32[srcOff:srcOff+n])
+	}
+}
+
+// Fill sets all elements to v.
+func (b *Buffer) Fill(v float64) {
+	for i, n := 0, b.Len(); i < n; i++ {
+		b.Set(i, v)
+	}
+}

@@ -1,0 +1,88 @@
+package graph
+
+import (
+	"sort"
+
+	"ipusparse/internal/ipu"
+)
+
+// Engine executes a program (a tree of Steps) on a simulated IPU machine,
+// accumulating per-label cycle profiles. It plays the role of the Poplar
+// engine plus its profiler.
+type Engine struct {
+	M *ipu.Machine
+
+	// Profile maps a profiling label to accumulated cycles (compute
+	// supersteps under their compute-set label, exchange phases under their
+	// exchange label).
+	Profile map[string]uint64
+
+	// Supersteps counts executed compute supersteps.
+	Supersteps uint64
+
+	tileCost        []uint64
+	workerCost      []uint64
+	transferScratch []ipu.Transfer
+	tracer          *Tracer
+}
+
+// NewEngine creates an engine for the machine.
+func NewEngine(m *ipu.Machine) *Engine {
+	return &Engine{
+		M:        m,
+		Profile:  map[string]uint64{},
+		tileCost: make([]uint64, m.NumTiles()),
+	}
+}
+
+// Run executes the program step.
+func (e *Engine) Run(program Step) error { return program.exec(e) }
+
+// ResetProfile clears the per-label profile (machine stats are reset
+// separately via the machine).
+func (e *Engine) ResetProfile() {
+	e.Profile = map[string]uint64{}
+	e.Supersteps = 0
+}
+
+func (e *Engine) addProfile(label string, cycles uint64) {
+	if label == "" {
+		label = "Unlabeled"
+	}
+	e.Profile[label] += cycles
+}
+
+// ProfileShares returns the profile as (label, fraction-of-total) pairs
+// sorted by decreasing share — the Table IV presentation.
+func (e *Engine) ProfileShares() []ProfileEntry {
+	var total uint64
+	for _, c := range e.Profile {
+		total += c
+	}
+	out := make([]ProfileEntry, 0, len(e.Profile))
+	for l, c := range e.Profile {
+		pe := ProfileEntry{Label: l, Cycles: c}
+		if total > 0 {
+			pe.Share = float64(c) / float64(total)
+		}
+		out = append(out, pe)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Cycles != out[j].Cycles {
+			return out[i].Cycles > out[j].Cycles
+		}
+		return out[i].Label < out[j].Label
+	})
+	return out
+}
+
+// ProfileEntry is one row of the cycle profile.
+type ProfileEntry struct {
+	Label  string
+	Cycles uint64
+	Share  float64
+}
+
+func transferFromMove(mv Move) ipu.Transfer {
+	return ipu.Transfer{SrcTile: mv.SrcTile, Bytes: mv.Bytes, DstTiles: mv.DstTiles}
+}

@@ -1,0 +1,85 @@
+package graph
+
+import (
+	"testing"
+
+	"ipusparse/internal/ipu"
+)
+
+func TestExchangeDefaultLabel(t *testing.T) {
+	e := newEngine(t)
+	prog := &Sequence{}
+	prog.Append(Exchange{Name: "x", Moves: []Move{{SrcTile: 0, DstTiles: []int{1}, Bytes: 8, Do: func() {}}}})
+	if err := e.Run(prog); err != nil {
+		t.Fatal(err)
+	}
+	if e.Profile["Exchange"] == 0 {
+		t.Error("unlabeled exchange should profile under Exchange")
+	}
+}
+
+func TestRepeatZeroAndNegative(t *testing.T) {
+	e := newEngine(t)
+	n := 0
+	body := &Sequence{}
+	body.Append(HostCall{Fn: func() error { n++; return nil }})
+	if err := e.Run(Repeat{N: 0, Body: body}); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Run(Repeat{N: -3, Body: body}); err != nil {
+		t.Fatal(err)
+	}
+	if n != 0 {
+		t.Errorf("body ran %d times", n)
+	}
+}
+
+func TestHostCallNilFn(t *testing.T) {
+	e := newEngine(t)
+	if err := e.Run(HostCall{Name: "noop"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWhileDefaultCap(t *testing.T) {
+	// A condition that turns false normally terminates well under the
+	// default cap.
+	e := newEngine(t)
+	n := 0
+	body := &Sequence{}
+	body.Append(HostCall{Fn: func() error { n++; return nil }})
+	if err := e.Run(While{Cond: func() bool { return n < 100 }, Body: body}); err != nil {
+		t.Fatal(err)
+	}
+	if n != 100 {
+		t.Errorf("n = %d", n)
+	}
+}
+
+func TestComputeSetWorkersQuery(t *testing.T) {
+	cs := NewComputeSet("w", "x")
+	if cs.Workers(0) != 0 || !cs.Empty() {
+		t.Error("fresh set should be empty")
+	}
+	cs.Add(3, CodeletFunc(func() uint64 { return 1 }))
+	cs.Add(3, CodeletFunc(func() uint64 { return 1 }))
+	if cs.Workers(3) != 2 || cs.Empty() {
+		t.Error("workers not counted")
+	}
+}
+
+func TestBufferUnsupportedScalarPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	NewBuffer(ipu.BoolT, 4)
+}
+
+func TestEngineProfileSharesEmpty(t *testing.T) {
+	e := newEngine(t)
+	if len(e.ProfileShares()) != 0 {
+		t.Error("fresh engine has no shares")
+	}
+}

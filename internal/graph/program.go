@@ -1,0 +1,223 @@
+package graph
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Codelet is one computational vertex executing on one worker thread of one
+// tile. Run performs the computation functionally and returns the cycle cost
+// it consumed (data-dependent control flow makes the cost a result of
+// execution, exactly as Poplar's cycle estimators work per invocation).
+type Codelet interface {
+	Run() uint64
+}
+
+// CodeletFunc adapts a closure to the Codelet interface.
+type CodeletFunc func() uint64
+
+// Run implements Codelet.
+func (f CodeletFunc) Run() uint64 { return f() }
+
+// ComputeSet groups vertices that execute in parallel within one BSP compute
+// superstep. Vertices on the same tile occupy distinct worker-thread slots.
+type ComputeSet struct {
+	Name  string
+	Label string // profiling class, e.g. "SpMV", "Reduce", "Elementwise Ops"
+
+	vertices map[int][]Codelet // tile -> worker codelets
+}
+
+// NewComputeSet creates a named compute set with a profiling label.
+func NewComputeSet(name, label string) *ComputeSet {
+	return &ComputeSet{Name: name, Label: label, vertices: map[int][]Codelet{}}
+}
+
+// Add appends codelet c as the next worker-thread vertex on the given tile.
+func (cs *ComputeSet) Add(tile int, c Codelet) {
+	cs.vertices[tile] = append(cs.vertices[tile], c)
+}
+
+// Workers returns the number of worker vertices currently placed on a tile.
+func (cs *ComputeSet) Workers(tile int) int { return len(cs.vertices[tile]) }
+
+// Empty reports whether the compute set has no vertices.
+func (cs *ComputeSet) Empty() bool { return len(cs.vertices) == 0 }
+
+// Step is one node of the execution schedule.
+type Step interface {
+	exec(e *Engine) error
+}
+
+// Sequence executes its steps in order. It is the body type of all control
+// flow and the root of every program.
+type Sequence struct {
+	Name  string
+	Steps []Step
+}
+
+// Append adds a step to the sequence.
+func (s *Sequence) Append(st Step) { s.Steps = append(s.Steps, st) }
+
+// Len returns the number of steps.
+func (s *Sequence) Len() int { return len(s.Steps) }
+
+func (s *Sequence) exec(e *Engine) error {
+	for _, st := range s.Steps {
+		if err := st.exec(e); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Compute executes one compute set as a BSP superstep.
+type Compute struct {
+	Set *ComputeSet
+}
+
+func (c Compute) exec(e *Engine) error {
+	if c.Set.Empty() {
+		return nil
+	}
+	for i := range e.tileCost {
+		e.tileCost[i] = 0
+	}
+	for tile, workers := range c.Set.vertices {
+		if tile < 0 || tile >= len(e.tileCost) {
+			return fmt.Errorf("graph: compute set %q places vertex on invalid tile %d", c.Set.Name, tile)
+		}
+		e.workerCost = e.workerCost[:0]
+		for _, w := range workers {
+			e.workerCost = append(e.workerCost, w.Run())
+		}
+		e.tileCost[tile] = e.M.WorkerMax(e.workerCost)
+	}
+	step := e.M.Compute(e.tileCost)
+	e.addProfile(c.Set.Label, step)
+	e.Supersteps++
+	if e.tracer != nil {
+		e.tracer.add(c.Set.Name, c.Set.Label, "compute", step)
+	}
+	return nil
+}
+
+// Move is one blockwise transfer of an Exchange step: Bytes sent from
+// SrcTile and broadcast to DstTiles; Do performs the data movement.
+type Move struct {
+	SrcTile  int
+	DstTiles []int
+	Bytes    int
+	Do       func()
+}
+
+// Exchange executes one BSP exchange phase consisting of blockwise moves
+// (the compiler-generated communication program).
+type Exchange struct {
+	Name  string
+	Label string
+	Moves []Move
+}
+
+func (x Exchange) exec(e *Engine) error {
+	if len(x.Moves) == 0 {
+		return nil
+	}
+	transfers := e.transferScratch[:0]
+	for _, mv := range x.Moves {
+		mv.Do()
+		transfers = append(transfers, transferFromMove(mv))
+	}
+	st := e.M.Exchange(transfers)
+	e.transferScratch = transfers[:0]
+	label := x.Label
+	if label == "" {
+		label = "Exchange"
+	}
+	e.addProfile(label, st.Cycles)
+	if e.tracer != nil {
+		e.tracer.add(x.Name, label, "exchange", st.Cycles)
+	}
+	return nil
+}
+
+// Repeat executes Body N times.
+type Repeat struct {
+	N    int
+	Body *Sequence
+}
+
+func (r Repeat) exec(e *Engine) error {
+	for i := 0; i < r.N; i++ {
+		if err := r.Body.exec(e); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// While executes Body while Cond() is true. Cond typically reads a scalar
+// tensor that the body updates on the device. MaxIter (0 = default cap)
+// guards against non-terminating programs.
+type While struct {
+	Name    string
+	Cond    func() bool
+	Body    *Sequence
+	MaxIter int
+}
+
+// ErrMaxIter is returned when a While exceeds its iteration cap.
+var ErrMaxIter = errors.New("graph: while loop exceeded MaxIter")
+
+func (w While) exec(e *Engine) error {
+	max := w.MaxIter
+	if max <= 0 {
+		max = 1 << 30
+	}
+	for i := 0; i < max; i++ {
+		if !w.Cond() {
+			return nil
+		}
+		if err := w.Body.exec(e); err != nil {
+			return err
+		}
+	}
+	return fmt.Errorf("%w (%q, %d iterations)", ErrMaxIter, w.Name, max)
+}
+
+// If executes Then or Else depending on Cond.
+type If struct {
+	Cond func() bool
+	Then *Sequence
+	Else *Sequence
+}
+
+func (f If) exec(e *Engine) error {
+	if f.Cond() {
+		if f.Then != nil {
+			return f.Then.exec(e)
+		}
+		return nil
+	}
+	if f.Else != nil {
+		return f.Else.exec(e)
+	}
+	return nil
+}
+
+// HostCall invokes a CPU callback, used for data transfer and user progress
+// reporting (paper §III-A step 4). Host time is not billed to the device.
+type HostCall struct {
+	Name string
+	Fn   func() error
+}
+
+func (h HostCall) exec(e *Engine) error {
+	if h.Fn == nil {
+		return nil
+	}
+	if err := h.Fn(); err != nil {
+		return fmt.Errorf("graph: host call %q: %w", h.Name, err)
+	}
+	return nil
+}

@@ -1,0 +1,89 @@
+package graph
+
+import (
+	"strings"
+	"testing"
+
+	"ipusparse/internal/ipu"
+)
+
+func buildSampleProgram() *Sequence {
+	cs := NewComputeSet("work", "SpMV")
+	cs.Add(0, CodeletFunc(func() uint64 { return 1 }))
+	cs.Add(0, CodeletFunc(func() uint64 { return 1 }))
+	cs.Add(1, CodeletFunc(func() uint64 { return 1 }))
+	body := &Sequence{}
+	body.Append(Compute{Set: cs})
+	body.Append(Exchange{Name: "halo", Moves: []Move{
+		{SrcTile: 0, DstTiles: []int{1, 2}, Bytes: 8, Do: func() {}},
+		{SrcTile: 1, DstTiles: []int{0}, Bytes: 8, Do: func() {}},
+	}})
+	prog := &Sequence{}
+	prog.Append(Repeat{N: 3, Body: body})
+	prog.Append(HostCall{Name: "report", Fn: func() error { return nil }})
+	thenSeq := &Sequence{}
+	thenSeq.Append(Compute{Set: cs})
+	prog.Append(If{Cond: func() bool { return true }, Then: thenSeq})
+	return prog
+}
+
+func TestAnalyze(t *testing.T) {
+	r := Analyze(buildSampleProgram())
+	if r.ComputeSets != 2 || r.Exchanges != 1 || r.HostCalls != 1 {
+		t.Errorf("report = %+v", r)
+	}
+	if r.Vertices != 6 { // the same set appears twice
+		t.Errorf("vertices = %d, want 6", r.Vertices)
+	}
+	if r.MaxWorkers != 2 {
+		t.Errorf("max workers = %d, want 2", r.MaxWorkers)
+	}
+	if r.Moves != 2 || r.Loops != 1 || r.Conditionals != 1 {
+		t.Errorf("report = %+v", r)
+	}
+	if r.MaxDepth < 2 {
+		t.Errorf("depth = %d", r.MaxDepth)
+	}
+	if r.Labels["SpMV"] != 2 {
+		t.Errorf("labels = %v", r.Labels)
+	}
+	out := r.String()
+	if !strings.Contains(out, "SpMV") || !strings.Contains(out, "vertices: 6") {
+		t.Errorf("String() = %q", out)
+	}
+}
+
+func TestValidateOK(t *testing.T) {
+	if err := Validate(buildSampleProgram(), ipu.DefaultConfig()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestValidateOversubscription(t *testing.T) {
+	cfg := ipu.DefaultConfig()
+	cs := NewComputeSet("greedy", "x")
+	for i := 0; i < cfg.WorkersPerTile+1; i++ {
+		cs.Add(0, CodeletFunc(func() uint64 { return 1 }))
+	}
+	prog := &Sequence{}
+	prog.Append(Compute{Set: cs})
+	if err := Validate(prog, cfg); err == nil {
+		t.Error("expected oversubscription error")
+	}
+}
+
+func TestValidateBadTiles(t *testing.T) {
+	cfg := ipu.DefaultConfig()
+	cs := NewComputeSet("oob", "x")
+	cs.Add(cfg.NumTiles()+5, CodeletFunc(func() uint64 { return 1 }))
+	prog := &Sequence{}
+	prog.Append(Compute{Set: cs})
+	if err := Validate(prog, cfg); err == nil {
+		t.Error("expected invalid tile error")
+	}
+	prog2 := &Sequence{}
+	prog2.Append(Exchange{Name: "oob", Moves: []Move{{SrcTile: 0, DstTiles: []int{99999}, Do: func() {}}}})
+	if err := Validate(prog2, cfg); err == nil {
+		t.Error("expected invalid destination error")
+	}
+}

@@ -1,0 +1,92 @@
+package graph
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// TraceEvent is one executed program step on the simulated device timeline.
+type TraceEvent struct {
+	Name   string // step name (compute set / exchange name)
+	Label  string // profiling class
+	Kind   string // "compute" or "exchange"
+	Start  uint64 // device cycle at phase start
+	Cycles uint64
+}
+
+// Tracer collects the BSP phase timeline of an engine run — the analog of
+// Poplar's PopVision execution trace. Attach with Engine.Trace, then export
+// with WriteChromeTrace (loadable in chrome://tracing or Perfetto) or iterate
+// Events directly.
+type Tracer struct {
+	Events []TraceEvent
+	clock  uint64
+}
+
+// Trace attaches a tracer to the engine; subsequent runs append events.
+func (e *Engine) Trace() *Tracer {
+	t := &Tracer{}
+	e.tracer = t
+	return t
+}
+
+func (t *Tracer) add(name, label, kind string, cycles uint64) {
+	t.Events = append(t.Events, TraceEvent{
+		Name: name, Label: label, Kind: kind, Start: t.clock, Cycles: cycles,
+	})
+	t.clock += cycles
+}
+
+// TotalCycles returns the traced timeline length.
+func (t *Tracer) TotalCycles() uint64 { return t.clock }
+
+// chromeEvent is the Chrome trace "complete event" record.
+type chromeEvent struct {
+	Name string                 `json:"name"`
+	Cat  string                 `json:"cat"`
+	Ph   string                 `json:"ph"`
+	TS   float64                `json:"ts"`  // microseconds
+	Dur  float64                `json:"dur"` // microseconds
+	PID  int                    `json:"pid"`
+	TID  int                    `json:"tid"`
+	Args map[string]interface{} `json:"args,omitempty"`
+}
+
+// WriteChromeTrace exports the timeline in Chrome trace-event JSON. clockHz
+// converts cycles to wall time; compute and exchange phases are placed on
+// separate tracks (tids) so the BSP alternation is visible.
+func (t *Tracer) WriteChromeTrace(w io.Writer, clockHz float64) error {
+	if clockHz <= 0 {
+		return fmt.Errorf("graph: clockHz must be positive")
+	}
+	events := make([]chromeEvent, 0, len(t.Events))
+	usPerCycle := 1e6 / clockHz
+	for _, ev := range t.Events {
+		tid := 1
+		if ev.Kind == "exchange" {
+			tid = 2
+		}
+		events = append(events, chromeEvent{
+			Name: ev.Name,
+			Cat:  ev.Label,
+			Ph:   "X",
+			TS:   float64(ev.Start) * usPerCycle,
+			Dur:  float64(ev.Cycles) * usPerCycle,
+			PID:  0,
+			TID:  tid,
+			Args: map[string]interface{}{"cycles": ev.Cycles, "label": ev.Label},
+		})
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(map[string]interface{}{"traceEvents": events})
+}
+
+// Summary aggregates traced cycles by label.
+func (t *Tracer) Summary() map[string]uint64 {
+	out := map[string]uint64{}
+	for _, ev := range t.Events {
+		out[ev.Label] += ev.Cycles
+	}
+	return out
+}

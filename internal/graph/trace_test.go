@@ -1,0 +1,101 @@
+package graph
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+
+	"ipusparse/internal/ipu"
+)
+
+func tracedRun(t *testing.T) (*Engine, *Tracer) {
+	t.Helper()
+	e := newEngine(t)
+	tr := e.Trace()
+	cs := NewComputeSet("spmv", "SpMV")
+	cs.Add(0, CodeletFunc(func() uint64 { return 500 }))
+	src := NewBuffer(ipu.F32, 4)
+	dst := NewBuffer(ipu.F32, 4)
+	prog := &Sequence{}
+	prog.Append(Compute{Set: cs})
+	prog.Append(Exchange{Name: "halo", Label: "Exchange", Moves: []Move{{
+		SrcTile: 0, DstTiles: []int{1}, Bytes: 16,
+		Do: func() { dst.CopyRange(src, 0, 0, 4) },
+	}}})
+	prog.Append(Compute{Set: cs})
+	if err := e.Run(prog); err != nil {
+		t.Fatal(err)
+	}
+	return e, tr
+}
+
+func TestTracerTimeline(t *testing.T) {
+	e, tr := tracedRun(t)
+	if len(tr.Events) != 3 {
+		t.Fatalf("events = %d, want 3", len(tr.Events))
+	}
+	if tr.Events[0].Kind != "compute" || tr.Events[1].Kind != "exchange" || tr.Events[2].Kind != "compute" {
+		t.Errorf("kinds = %v", tr.Events)
+	}
+	// Events tile contiguously.
+	var clock uint64
+	for _, ev := range tr.Events {
+		if ev.Start != clock {
+			t.Errorf("event %q starts at %d, want %d", ev.Name, ev.Start, clock)
+		}
+		if ev.Cycles == 0 {
+			t.Errorf("event %q has zero cycles", ev.Name)
+		}
+		clock += ev.Cycles
+	}
+	if tr.TotalCycles() != clock {
+		t.Error("TotalCycles mismatch")
+	}
+	if tr.TotalCycles() != e.M.Stats().TotalCycles {
+		t.Errorf("trace timeline %d != machine total %d", tr.TotalCycles(), e.M.Stats().TotalCycles)
+	}
+}
+
+func TestTracerSummaryMatchesProfile(t *testing.T) {
+	e, tr := tracedRun(t)
+	sum := tr.Summary()
+	for label, cycles := range e.Profile {
+		if sum[label] != cycles {
+			t.Errorf("label %q: trace %d, profile %d", label, sum[label], cycles)
+		}
+	}
+}
+
+func TestWriteChromeTrace(t *testing.T) {
+	_, tr := tracedRun(t)
+	var buf bytes.Buffer
+	if err := tr.WriteChromeTrace(&buf, 1.33e9); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Name string  `json:"name"`
+			Ph   string  `json:"ph"`
+			TS   float64 `json:"ts"`
+			Dur  float64 `json:"dur"`
+			TID  int     `json:"tid"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatal(err)
+	}
+	if len(doc.TraceEvents) != 3 {
+		t.Fatalf("chrome events = %d", len(doc.TraceEvents))
+	}
+	if doc.TraceEvents[1].TID != 2 {
+		t.Error("exchange should be on its own track")
+	}
+	for _, ev := range doc.TraceEvents {
+		if ev.Ph != "X" || ev.Dur <= 0 {
+			t.Errorf("bad event %+v", ev)
+		}
+	}
+	if err := tr.WriteChromeTrace(&buf, 0); err == nil {
+		t.Error("expected clockHz error")
+	}
+}

@@ -1,0 +1,137 @@
+package halo
+
+import (
+	"testing"
+
+	"ipusparse/internal/partition"
+	"ipusparse/internal/sparse"
+)
+
+func TestSingleTileHasNoRegions(t *testing.T) {
+	m := sparse.Poisson2D(6, 6)
+	p := partition.Contiguous(m, 1)
+	l, err := Build(m, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(l.Regions) != 0 || len(l.Program) != 0 {
+		t.Errorf("single tile should have no separator regions (%d) or transfers (%d)",
+			len(l.Regions), len(l.Program))
+	}
+	tl := &l.Tiles[0]
+	if tl.NumInterior != m.N || tl.NumHalo != 0 {
+		t.Errorf("all cells interior expected: %+v", tl)
+	}
+}
+
+func TestTwoTileChainRegions(t *testing.T) {
+	// A 1-D chain split in two: exactly one separator cell per tile (the
+	// cut endpoints), each required by exactly one neighbor.
+	m := sparse.Laplacian1D(10)
+	p := partition.Contiguous(m, 2)
+	l, err := Build(m, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(l.Regions) != 2 {
+		t.Fatalf("regions = %d, want 2", len(l.Regions))
+	}
+	for _, r := range l.Regions {
+		if len(r.Rows) != 1 || len(r.Involved) != 1 {
+			t.Errorf("region %+v: want 1 cell, 1 involved tile", r)
+		}
+	}
+	if len(l.Program) != 2 {
+		t.Errorf("transfers = %d, want 2", len(l.Program))
+	}
+}
+
+func TestDisconnectedGraphLayout(t *testing.T) {
+	// Two disconnected blocks split across tiles so one tile holds parts of
+	// both: no separator cells at the disconnection.
+	b := sparse.NewBuilder(8)
+	for i := 0; i < 8; i++ {
+		b.Set(i, i, 2)
+	}
+	// Component 1: 0-1-2-3 chain; component 2: 4-5-6-7 chain.
+	for i := 0; i < 3; i++ {
+		b.Set(i, i+1, -1)
+		b.Set(i+1, i, -1)
+	}
+	for i := 4; i < 7; i++ {
+		b.Set(i, i+1, -1)
+		b.Set(i+1, i, -1)
+	}
+	m, _ := b.Build()
+	p := &partition.Partition{NumParts: 2, Assign: []int{0, 0, 0, 0, 1, 1, 1, 1}}
+	l, err := Build(m, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The partition cuts exactly at the disconnection: no communication.
+	if len(l.Program) != 0 {
+		t.Errorf("disconnected cut should need no transfers, got %d", len(l.Program))
+	}
+}
+
+func TestPermutationGroupsTiles(t *testing.T) {
+	// The induced permutation must place each tile's cells contiguously in
+	// tile order — the device memory layout of Fig. 3(b).
+	m := sparse.Poisson2D(8, 8)
+	p := partition.GreedyGraph(m, 4)
+	l, err := Build(m, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	perm := l.Permutation()
+	// New index ranges per tile must match the tiles' owned counts.
+	offset := 0
+	for t2 := range l.Tiles {
+		tl := &l.Tiles[t2]
+		for _, g := range tl.Owned {
+			if perm[g] < offset || perm[g] >= offset+tl.NumOwned {
+				t.Fatalf("cell %d of tile %d mapped to %d, want [%d,%d)",
+					g, t2, perm[g], offset, offset+tl.NumOwned)
+			}
+		}
+		offset += tl.NumOwned
+	}
+}
+
+func TestLayoutWithEmptyTile(t *testing.T) {
+	// More tiles than the partitioner can fill meaningfully: tolerate empty
+	// tiles in layout and localization.
+	m := sparse.Laplacian1D(4)
+	p := &partition.Partition{NumParts: 4, Assign: []int{0, 0, 2, 2}} // tiles 1,3 empty
+	l, err := Build(m, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l.Tiles[1].NumOwned != 0 || l.Tiles[3].NumOwned != 0 {
+		t.Error("tiles 1,3 should be empty")
+	}
+	locals, err := Localize(m, l)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if locals[1].NumOwned != 0 {
+		t.Error("empty local matrix expected")
+	}
+	// Exchange across the 1<->2 boundary still works.
+	x := []float64{1, 2, 3, 4}
+	lx := l.DistributeVector(x)
+	l.ApplyExchange(lx)
+	ly := make([][]float64, 4)
+	for t2 := range locals {
+		ly[t2] = make([]float64, locals[t2].Total())
+		locals[t2].MulVec(lx[t2], ly[t2])
+	}
+	got := l.GatherVector(ly)
+	want := make([]float64, 4)
+	m.MulVec(x, want)
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("row %d: %v vs %v", i, got[i], want[i])
+		}
+	}
+}

@@ -1,0 +1,141 @@
+package ipu
+
+import "fmt"
+
+// Scalar enumerates the scalar types supported by the framework's DSLs
+// (paper Table I, plus integers for index arithmetic).
+type Scalar int
+
+const (
+	F32   Scalar = iota // native single precision
+	DW                  // double-word (two float32, Joldes et al. arithmetic)
+	F64                 // software-emulated double precision (compiler-rt class)
+	I32                 // 32-bit integer
+	BoolT               // predicate
+)
+
+// String implements fmt.Stringer.
+func (s Scalar) String() string {
+	switch s {
+	case F32:
+		return "float32"
+	case DW:
+		return "doubleword"
+	case F64:
+		return "float64(soft)"
+	case I32:
+		return "int32"
+	case BoolT:
+		return "bool"
+	default:
+		return fmt.Sprintf("Scalar(%d)", int(s))
+	}
+}
+
+// Size returns the in-memory size of the scalar in bytes.
+func (s Scalar) Size() int {
+	switch s {
+	case F32, I32:
+		return 4
+	case DW, F64:
+		return 8
+	case BoolT:
+		return 1
+	default:
+		return 4
+	}
+}
+
+// Op enumerates operation classes with distinct cycle costs.
+type Op int
+
+const (
+	OpAdd Op = iota // also subtraction and negation
+	OpMul
+	OpDiv
+	OpFMA
+	OpCmp    // comparison / min / max / abs
+	OpConv   // type conversion
+	OpSqrt   // square root
+	OpLoad   // memory read (load/store pipeline)
+	OpStore  // memory write (load/store pipeline)
+	OpInt    // integer ALU op (load/store pipeline)
+	OpBranch // conditional branch: single-cycle on the IPU
+)
+
+// Cost returns the latency in tile cycles of one operation of class op on
+// scalar type s. Floating-point costs for F32, DW and F64 follow Table I of
+// the paper; the remaining entries follow the Mk2 tile ISA (single-cycle
+// integer/branch, dual-issue load/store).
+func Cost(op Op, s Scalar) uint64 {
+	switch op {
+	case OpLoad, OpStore:
+		if s == DW || s == F64 {
+			return 2 // two words
+		}
+		return 1
+	case OpInt:
+		return 1
+	case OpBranch:
+		return 1
+	case OpConv:
+		switch s {
+		case DW:
+			return 12
+		case F64:
+			return 60
+		default:
+			return 6
+		}
+	}
+	switch s {
+	case F32, I32, BoolT:
+		switch op {
+		case OpAdd, OpMul, OpFMA, OpCmp, OpDiv:
+			if s == I32 || s == BoolT {
+				return 1
+			}
+			return 6
+		case OpSqrt:
+			return 12
+		}
+	case DW:
+		switch op {
+		case OpAdd, OpCmp:
+			return 132
+		case OpMul, OpFMA:
+			return 162
+		case OpDiv:
+			return 240
+		case OpSqrt:
+			return 300
+		}
+	case F64:
+		switch op {
+		case OpAdd, OpCmp:
+			return 1080
+		case OpMul, OpFMA:
+			return 1260
+		case OpDiv:
+			return 2520
+		case OpSqrt:
+			return 2800
+		}
+	}
+	return 6
+}
+
+// DecimalDigits returns the approximate decimal-digit accuracy of the scalar
+// type, as listed in Table I.
+func DecimalDigits(s Scalar) float64 {
+	switch s {
+	case F32:
+		return 7.2
+	case DW:
+		return 13.6 // 13.3 to 14.0 depending on the operation
+	case F64:
+		return 16.0
+	default:
+		return 0
+	}
+}

@@ -1,0 +1,299 @@
+package ipu
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestConfigValidate(t *testing.T) {
+	if err := Mk2M2000().Validate(); err != nil {
+		t.Fatalf("Mk2M2000 invalid: %v", err)
+	}
+	if err := DefaultConfig().Validate(); err != nil {
+		t.Fatalf("DefaultConfig invalid: %v", err)
+	}
+	bad := Mk2M2000()
+	bad.Chips = 0
+	if err := bad.Validate(); err == nil {
+		t.Error("expected error for Chips=0")
+	}
+	bad = Mk2M2000()
+	bad.TileMemory = -1
+	if err := bad.Validate(); err == nil {
+		t.Error("expected error for negative TileMemory")
+	}
+	bad = Mk2M2000()
+	bad.ExchangeBytesPerCycle = 0
+	if err := bad.Validate(); err == nil {
+		t.Error("expected error for zero exchange bandwidth")
+	}
+}
+
+func TestMk2Shape(t *testing.T) {
+	c := Mk2M2000()
+	if c.NumTiles() != 5888 {
+		t.Errorf("M2000 tiles = %d, want 5888", c.NumTiles())
+	}
+	if c.WorkersPerTile != 6 {
+		t.Errorf("workers = %d, want 6", c.WorkersPerTile)
+	}
+	if c.Chip(0) != 0 || c.Chip(1471) != 0 || c.Chip(1472) != 1 || c.Chip(5887) != 3 {
+		t.Error("chip mapping wrong")
+	}
+}
+
+func TestNewRejectsBadConfig(t *testing.T) {
+	if _, err := New(Config{}); err == nil {
+		t.Error("New should reject zero config")
+	}
+}
+
+func TestAllocFree(t *testing.T) {
+	m, err := New(DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cap := m.Config().TileMemory
+	if err := m.Alloc(0, cap); err != nil {
+		t.Fatalf("alloc full tile: %v", err)
+	}
+	if err := m.Alloc(0, 1); err == nil {
+		t.Error("expected out-of-memory")
+	} else if !strings.Contains(err.Error(), "out of memory") {
+		t.Errorf("unexpected error: %v", err)
+	}
+	m.Free(0, cap)
+	if err := m.Alloc(0, 16); err != nil {
+		t.Errorf("alloc after free: %v", err)
+	}
+	if m.Tile(0).MemPeak != cap {
+		t.Errorf("MemPeak = %d, want %d", m.Tile(0).MemPeak, cap)
+	}
+	// Other tiles unaffected.
+	if err := m.Alloc(1, cap); err != nil {
+		t.Errorf("tile 1 should be empty: %v", err)
+	}
+}
+
+func TestComputeSuperstep(t *testing.T) {
+	m, _ := New(DefaultConfig())
+	costs := make([]uint64, m.NumTiles())
+	costs[3] = 1000
+	costs[7] = 500
+	step := m.Compute(costs)
+	want := 1000 + m.Config().SyncCycles
+	if step != want {
+		t.Errorf("superstep = %d, want %d", step, want)
+	}
+	s := m.Stats()
+	if s.ComputeCycles != 1000 || s.SyncCycles != m.Config().SyncCycles || s.Supersteps != 1 {
+		t.Errorf("stats = %+v", s)
+	}
+	if m.Tile(3).Cycles != 1000 || m.Tile(7).Cycles != 500 {
+		t.Error("per-tile cycles not accumulated")
+	}
+}
+
+func TestWorkerMax(t *testing.T) {
+	m, _ := New(DefaultConfig())
+	if got := m.WorkerMax([]uint64{10, 50, 20}); got != 50 {
+		t.Errorf("WorkerMax = %d, want 50", got)
+	}
+	if got := m.WorkerMax(nil); got != 0 {
+		t.Errorf("WorkerMax(nil) = %d", got)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic for too many workers")
+		}
+	}()
+	m.WorkerMax(make([]uint64, 7))
+}
+
+func TestExchangeMaxPerTile(t *testing.T) {
+	m, _ := New(DefaultConfig())
+	bw := m.Config().ExchangeBytesPerCycle
+	st := m.Exchange([]Transfer{
+		{SrcTile: 0, Bytes: 800, DstTiles: []int{1}},
+		{SrcTile: 2, Bytes: 400, DstTiles: []int{3}},
+	})
+	want := uint64(float64(800)/bw) + m.Config().ExchangeSetupCycles + m.Config().ExchangeInstrCycles
+	if st.Cycles != want {
+		t.Errorf("exchange cycles = %d, want %d (max per tile, not sum)", st.Cycles, want)
+	}
+	if st.Instructions != 2 || st.Bytes != 1200 {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+func TestExchangeBroadcastBilledOnce(t *testing.T) {
+	m, _ := New(DefaultConfig())
+	// One block broadcast to 8 destinations: sender billed once.
+	one := m.Exchange([]Transfer{{SrcTile: 0, Bytes: 1024, DstTiles: []int{1, 2, 3, 4, 5, 6, 7, 8}}})
+	m2, _ := New(DefaultConfig())
+	single := m2.Exchange([]Transfer{{SrcTile: 0, Bytes: 1024, DstTiles: []int{1}}})
+	if one.Cycles != single.Cycles {
+		t.Errorf("broadcast to 8 (%d cycles) should cost the same as to 1 (%d cycles)",
+			one.Cycles, single.Cycles)
+	}
+}
+
+func TestExchangeCrossChipSlower(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Chips = 2
+	m, _ := New(cfg)
+	onChip := m.Exchange([]Transfer{{SrcTile: 0, Bytes: 4096, DstTiles: []int{1}}})
+	crossChip := m.Exchange([]Transfer{{SrcTile: 0, Bytes: 4096, DstTiles: []int{cfg.TilesPerChip}}})
+	if crossChip.Cycles <= onChip.Cycles {
+		t.Errorf("cross-chip (%d) should be slower than on-chip (%d)",
+			crossChip.Cycles, onChip.Cycles)
+	}
+}
+
+func TestExchangeEmpty(t *testing.T) {
+	m, _ := New(DefaultConfig())
+	if st := m.Exchange(nil); st.Cycles != 0 || st.Instructions != 0 {
+		t.Errorf("empty exchange should be free, got %+v", st)
+	}
+	if m.Stats().Exchanges != 0 {
+		t.Error("empty exchange should not count")
+	}
+}
+
+func TestStatsAndReset(t *testing.T) {
+	m, _ := New(DefaultConfig())
+	costs := make([]uint64, m.NumTiles())
+	costs[0] = 1330 // 1 microsecond at 1.33 GHz
+	m.Compute(costs)
+	m.Exchange([]Transfer{{SrcTile: 0, Bytes: 64, DstTiles: []int{1}}})
+	s := m.Stats()
+	if s.TotalCycles != s.ComputeCycles+s.ExchangeCycles+s.SyncCycles {
+		t.Error("TotalCycles inconsistent")
+	}
+	if s.Seconds <= 0 || s.EnergyJoules <= 0 {
+		t.Error("derived quantities must be positive")
+	}
+	m.ResetStats()
+	s = m.Stats()
+	if s.TotalCycles != 0 || s.Supersteps != 0 || m.Tile(0).Cycles != 0 {
+		t.Error("ResetStats incomplete")
+	}
+}
+
+func TestSecondsConversion(t *testing.T) {
+	m, _ := New(DefaultConfig())
+	hz := m.Config().ClockHz
+	if got := m.Seconds(uint64(hz)); got < 0.999 || got > 1.001 {
+		t.Errorf("Seconds(clock) = %v, want 1", got)
+	}
+}
+
+func TestCostTableMatchesTableI(t *testing.T) {
+	cases := []struct {
+		op   Op
+		s    Scalar
+		want uint64
+	}{
+		{OpAdd, F32, 6}, {OpMul, F32, 6}, {OpDiv, F32, 6},
+		{OpAdd, DW, 132}, {OpMul, DW, 162}, {OpDiv, DW, 240},
+		{OpAdd, F64, 1080}, {OpMul, F64, 1260}, {OpDiv, F64, 2520},
+	}
+	for _, c := range cases {
+		if got := Cost(c.op, c.s); got != c.want {
+			t.Errorf("Cost(%v,%v) = %d, want %d", c.op, c.s, got, c.want)
+		}
+	}
+}
+
+func TestCostMonotonicity(t *testing.T) {
+	// Table I's central claim: DW ops are ~5-8x slower than f32 but ~6-10x
+	// faster than soft double.
+	for _, op := range []Op{OpAdd, OpMul, OpDiv} {
+		f, d, p := Cost(op, F32), Cost(op, DW), Cost(op, F64)
+		if !(f < d && d < p) {
+			t.Errorf("op %v: want f32 < dw < f64soft, got %d %d %d", op, f, d, p)
+		}
+		if p/d < 5 {
+			t.Errorf("op %v: dw should be >=5x faster than soft double (got %dx)", op, p/d)
+		}
+	}
+}
+
+func TestScalarProperties(t *testing.T) {
+	if F32.Size() != 4 || DW.Size() != 8 || F64.Size() != 8 || I32.Size() != 4 {
+		t.Error("scalar sizes wrong")
+	}
+	for _, s := range []Scalar{F32, DW, F64, I32, BoolT} {
+		if s.String() == "" || strings.HasPrefix(s.String(), "Scalar(") {
+			t.Errorf("missing String for %d", int(s))
+		}
+	}
+	if !(DecimalDigits(F32) < DecimalDigits(DW) && DecimalDigits(DW) < DecimalDigits(F64)) {
+		t.Error("decimal digits ordering wrong")
+	}
+}
+
+func TestExchangePropertyMaxDominates(t *testing.T) {
+	// Property: adding a transfer on an idle tile pair never increases the
+	// cost beyond that transfer's own cost, and cost is monotone in bytes.
+	cfg := DefaultConfig()
+	f := func(a, b uint16) bool {
+		m1, _ := New(cfg)
+		m2, _ := New(cfg)
+		ta := Transfer{SrcTile: 0, Bytes: int(a) + 1, DstTiles: []int{1}}
+		tb := Transfer{SrcTile: 2, Bytes: int(b) + 1, DstTiles: []int{3}}
+		both := m1.Exchange([]Transfer{ta, tb}).Cycles
+		onlyA := m2.Exchange([]Transfer{ta}).Cycles
+		m3, _ := New(cfg)
+		onlyB := m3.Exchange([]Transfer{tb}).Cycles
+		max := onlyA
+		if onlyB > max {
+			max = onlyB
+		}
+		return both == max
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestUtilization(t *testing.T) {
+	m, _ := New(DefaultConfig())
+	costs := make([]uint64, m.NumTiles())
+	for i := range costs {
+		costs[i] = 100
+	}
+	costs[0] = 200 // one straggler
+	m.Compute(costs)
+	u := m.Utilization()
+	if u.ActiveTiles != m.NumTiles() {
+		t.Errorf("active = %d", u.ActiveTiles)
+	}
+	if u.MaxTileCycles != 200 {
+		t.Errorf("max = %d", u.MaxTileCycles)
+	}
+	wantMean := float64(100*(m.NumTiles()-1)+200) / float64(m.NumTiles())
+	if u.MeanTileCycles != wantMean {
+		t.Errorf("mean = %v, want %v", u.MeanTileCycles, wantMean)
+	}
+	if u.Balance <= 0.5 || u.Balance >= 1 {
+		t.Errorf("balance = %v", u.Balance)
+	}
+	// Perfectly balanced run.
+	m2, _ := New(DefaultConfig())
+	m2.Compute(costs[:0:0])
+	even := make([]uint64, m2.NumTiles())
+	for i := range even {
+		even[i] = 50
+	}
+	m2.Compute(even)
+	if b := m2.Utilization().Balance; b != 1 {
+		t.Errorf("even balance = %v, want 1", b)
+	}
+	// Idle machine.
+	m3, _ := New(DefaultConfig())
+	if u := m3.Utilization(); u.Balance != 0 || u.ActiveTiles != 0 {
+		t.Errorf("idle utilization = %+v", u)
+	}
+}

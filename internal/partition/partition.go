@@ -1,0 +1,263 @@
+// Package partition assigns matrix rows to IPU tiles.
+//
+// The framework distributes the matrix row-wise across all tiles (paper
+// §II-B). Three partitioners are provided:
+//
+//   - Contiguous: consecutive row blocks balanced by non-zero count, the
+//     classic distributed-memory row partition.
+//   - Grid3D: block decomposition of a structured 3-D grid, which minimizes
+//     the surface-to-volume ratio for the Poisson scaling workloads.
+//   - GreedyGraph: BFS region growing over the matrix adjacency graph for
+//     unstructured matrices, keeping parts connected and balanced.
+//
+// On cache-based architectures the choice also affects locality; on the
+// cacheless IPU it only affects load balance and halo (separator) size.
+package partition
+
+import (
+	"fmt"
+
+	"ipusparse/internal/sparse"
+)
+
+// Partition maps each matrix row to a part (tile).
+type Partition struct {
+	NumParts int
+	Assign   []int // Assign[row] = part
+}
+
+// Validate checks that the partition covers n rows with parts in range.
+func (p *Partition) Validate(n int) error {
+	if len(p.Assign) != n {
+		return fmt.Errorf("partition: %d assignments for %d rows", len(p.Assign), n)
+	}
+	for i, a := range p.Assign {
+		if a < 0 || a >= p.NumParts {
+			return fmt.Errorf("partition: row %d assigned to invalid part %d", i, a)
+		}
+	}
+	return nil
+}
+
+// Counts returns the number of rows in each part.
+func (p *Partition) Counts() []int {
+	c := make([]int, p.NumParts)
+	for _, a := range p.Assign {
+		c[a]++
+	}
+	return c
+}
+
+// Rows returns the rows of each part, in ascending row order.
+func (p *Partition) Rows() [][]int {
+	out := make([][]int, p.NumParts)
+	counts := p.Counts()
+	for part, c := range counts {
+		out[part] = make([]int, 0, c)
+	}
+	for row, part := range p.Assign {
+		out[part] = append(out[part], row)
+	}
+	return out
+}
+
+// EdgeCut returns the number of stored off-diagonal entries whose row and
+// column live in different parts — the communication volume proxy.
+func (p *Partition) EdgeCut(m *sparse.Matrix) int {
+	cut := 0
+	for i := 0; i < m.N; i++ {
+		lo, hi := m.RowRange(i)
+		for k := lo; k < hi; k++ {
+			if p.Assign[i] != p.Assign[m.Cols[k]] {
+				cut++
+			}
+		}
+	}
+	return cut
+}
+
+// Imbalance returns max(part nnz) / mean(part nnz) where part nnz counts all
+// stored entries of the part's rows; 1.0 is perfect balance.
+func (p *Partition) Imbalance(m *sparse.Matrix) float64 {
+	nnz := make([]int, p.NumParts)
+	for i := 0; i < m.N; i++ {
+		lo, hi := m.RowRange(i)
+		nnz[p.Assign[i]] += hi - lo + 1
+	}
+	max, sum := 0, 0
+	for _, v := range nnz {
+		sum += v
+		if v > max {
+			max = v
+		}
+	}
+	if sum == 0 {
+		return 1
+	}
+	mean := float64(sum) / float64(p.NumParts)
+	return float64(max) / mean
+}
+
+// Contiguous partitions rows into consecutive blocks with approximately equal
+// stored-entry counts per part.
+func Contiguous(m *sparse.Matrix, parts int) *Partition {
+	if parts < 1 {
+		parts = 1
+	}
+	p := &Partition{NumParts: parts, Assign: make([]int, m.N)}
+	total := m.NNZ()
+	target := float64(total) / float64(parts)
+	part, acc := 0, 0.0
+	for i := 0; i < m.N; i++ {
+		rowNNZ := float64(m.RowPtr[i+1] - m.RowPtr[i] + 1)
+		// empty = parts after the current one that still need at least one
+		// row; rows = rows left including this one. Advance when the current
+		// part is full (and enough rows remain for the others), or when the
+		// remaining rows are only just enough to give each later part one.
+		empty := parts - part - 1
+		rows := m.N - i
+		full := acc+rowNNZ/2 >= target && rows > empty
+		forced := rows == empty && acc > 0
+		if part < parts-1 && acc > 0 && (full || forced) {
+			part++
+			acc = 0
+		}
+		p.Assign[i] = part
+		acc += rowNNZ
+	}
+	return p
+}
+
+// Grid3D partitions an nx×ny×nz grid (row index = (z*ny+y)*nx + x) into a
+// px×py×pz block decomposition. px*py*pz is the part count.
+func Grid3D(nx, ny, nz, px, py, pz int) (*Partition, error) {
+	if px < 1 || py < 1 || pz < 1 {
+		return nil, fmt.Errorf("partition: invalid grid decomposition %dx%dx%d", px, py, pz)
+	}
+	if px > nx || py > ny || pz > nz {
+		return nil, fmt.Errorf("partition: decomposition %dx%dx%d exceeds grid %dx%dx%d",
+			px, py, pz, nx, ny, nz)
+	}
+	p := &Partition{NumParts: px * py * pz, Assign: make([]int, nx*ny*nz)}
+	for z := 0; z < nz; z++ {
+		bz := z * pz / nz
+		for y := 0; y < ny; y++ {
+			by := y * py / ny
+			for x := 0; x < nx; x++ {
+				bx := x * px / nx
+				p.Assign[(z*ny+y)*nx+x] = (bz*py+by)*px + bx
+			}
+		}
+	}
+	return p, nil
+}
+
+// FactorGrid factors parts into (px, py, pz) as close to cubic as possible
+// while respecting the grid dimensions.
+func FactorGrid(nx, ny, nz, parts int) (px, py, pz int) {
+	best := -1.0
+	px, py, pz = 1, 1, parts
+	for a := 1; a <= parts; a++ {
+		if parts%a != 0 || a > nx {
+			continue
+		}
+		rest := parts / a
+		for b := 1; b <= rest; b++ {
+			if rest%b != 0 || b > ny {
+				continue
+			}
+			c := rest / b
+			if c > nz {
+				continue
+			}
+			// Score: minimize surface area of the subdomain blocks.
+			sx := float64(nx) / float64(a)
+			sy := float64(ny) / float64(b)
+			sz := float64(nz) / float64(c)
+			surface := sx*sy + sy*sz + sx*sz
+			score := -surface
+			if best == -1 || score > best {
+				best = score
+				px, py, pz = a, b, c
+			}
+		}
+	}
+	return px, py, pz
+}
+
+// Grid3DAuto partitions an nx×ny×nz grid into parts blocks using FactorGrid.
+// If parts cannot be factored onto the grid it falls back to Contiguous-style
+// slab decomposition along z.
+func Grid3DAuto(m *sparse.Matrix, nx, ny, nz, parts int) *Partition {
+	px, py, pz := FactorGrid(nx, ny, nz, parts)
+	if px*py*pz == parts {
+		if p, err := Grid3D(nx, ny, nz, px, py, pz); err == nil {
+			return p
+		}
+	}
+	return Contiguous(m, parts)
+}
+
+// GreedyGraph grows parts one at a time by breadth-first search over the
+// matrix adjacency graph, targeting equal stored-entry counts. Rows
+// unreachable from the current seed start a new component. The result keeps
+// parts connected when the graph is connected, which keeps separator regions
+// compact.
+func GreedyGraph(m *sparse.Matrix, parts int) *Partition {
+	if parts < 1 {
+		parts = 1
+	}
+	p := &Partition{NumParts: parts, Assign: make([]int, m.N)}
+	for i := range p.Assign {
+		p.Assign[i] = -1
+	}
+	total := float64(m.NNZ())
+	assigned := 0
+	weightDone := 0.0
+	queue := make([]int, 0, 1024)
+	next := 0 // next unassigned row scan position
+	for part := 0; part < parts; part++ {
+		// Remaining parts get an equal share of the remaining weight.
+		target := (total - weightDone) / float64(parts-part)
+		acc := 0.0
+		queue = queue[:0]
+		for acc < target && assigned < m.N {
+			if len(queue) == 0 {
+				// Seed from the next unassigned row.
+				for next < m.N && p.Assign[next] != -1 {
+					next++
+				}
+				if next == m.N {
+					break
+				}
+				queue = append(queue, next)
+			}
+			row := queue[0]
+			queue = queue[1:]
+			if p.Assign[row] != -1 {
+				continue
+			}
+			p.Assign[row] = part
+			assigned++
+			rw := float64(m.RowPtr[row+1] - m.RowPtr[row] + 1)
+			acc += rw
+			weightDone += rw
+			lo, hi := m.RowRange(row)
+			for k := lo; k < hi; k++ {
+				if p.Assign[m.Cols[k]] == -1 {
+					queue = append(queue, m.Cols[k])
+				}
+			}
+			if part == parts-1 {
+				target = total // last part takes everything left
+			}
+		}
+	}
+	// Any stragglers (possible when targets round down) go to the last part.
+	for i := range p.Assign {
+		if p.Assign[i] == -1 {
+			p.Assign[i] = parts - 1
+		}
+	}
+	return p
+}

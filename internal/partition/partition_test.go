@@ -1,0 +1,252 @@
+package partition
+
+import (
+	"testing"
+	"testing/quick"
+
+	"ipusparse/internal/sparse"
+)
+
+func TestContiguousCoversAll(t *testing.T) {
+	m := sparse.Poisson3D(6, 6, 6)
+	for _, parts := range []int{1, 2, 3, 7, 16, 216} {
+		p := Contiguous(m, parts)
+		if err := p.Validate(m.N); err != nil {
+			t.Fatalf("parts=%d: %v", parts, err)
+		}
+		counts := p.Counts()
+		for part, c := range counts {
+			if c == 0 {
+				t.Errorf("parts=%d: part %d empty", parts, part)
+			}
+		}
+		// Contiguity: assignments must be non-decreasing.
+		for i := 1; i < m.N; i++ {
+			if p.Assign[i] < p.Assign[i-1] {
+				t.Fatalf("parts=%d: not contiguous at %d", parts, i)
+			}
+		}
+	}
+}
+
+func TestContiguousBalance(t *testing.T) {
+	m := sparse.Poisson3D(8, 8, 8)
+	p := Contiguous(m, 8)
+	if imb := p.Imbalance(m); imb > 1.25 {
+		t.Errorf("imbalance %.3f too high", imb)
+	}
+}
+
+func TestContiguousClampsParts(t *testing.T) {
+	m := sparse.Laplacian1D(4)
+	p := Contiguous(m, 0)
+	if p.NumParts != 1 {
+		t.Error("parts<1 should clamp to 1")
+	}
+}
+
+func TestGrid3D(t *testing.T) {
+	m := sparse.Poisson3D(8, 8, 8)
+	p, err := Grid3D(8, 8, 8, 2, 2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Validate(m.N); err != nil {
+		t.Fatal(err)
+	}
+	counts := p.Counts()
+	for part, c := range counts {
+		if c != 64 {
+			t.Errorf("part %d has %d rows, want 64", part, c)
+		}
+	}
+	// Block decomposition should beat slab decomposition on edge cut.
+	slab := Contiguous(m, 8)
+	if p.EdgeCut(m) >= slab.EdgeCut(m) {
+		t.Errorf("grid cut %d should beat slab cut %d", p.EdgeCut(m), slab.EdgeCut(m))
+	}
+}
+
+func TestGrid3DErrors(t *testing.T) {
+	if _, err := Grid3D(4, 4, 4, 0, 1, 1); err == nil {
+		t.Error("expected error for zero decomposition")
+	}
+	if _, err := Grid3D(4, 4, 4, 5, 1, 1); err == nil {
+		t.Error("expected error for decomposition exceeding grid")
+	}
+}
+
+func TestFactorGrid(t *testing.T) {
+	px, py, pz := FactorGrid(8, 8, 8, 8)
+	if px*py*pz != 8 {
+		t.Fatalf("product %d != 8", px*py*pz)
+	}
+	if px != 2 || py != 2 || pz != 2 {
+		t.Errorf("FactorGrid(8,8,8,8) = %d,%d,%d, want 2,2,2", px, py, pz)
+	}
+	px, py, pz = FactorGrid(100, 100, 1, 4)
+	if pz != 1 || px*py != 4 {
+		t.Errorf("flat grid should factor in-plane, got %d,%d,%d", px, py, pz)
+	}
+}
+
+func TestGrid3DAutoFallback(t *testing.T) {
+	m := sparse.Poisson3D(5, 5, 5)
+	// 7 parts does not factor onto a 5^3 grid nicely; must still be valid.
+	p := Grid3DAuto(m, 5, 5, 5, 7)
+	if err := p.Validate(m.N); err != nil {
+		t.Fatal(err)
+	}
+	if p.NumParts != 7 {
+		t.Errorf("NumParts = %d", p.NumParts)
+	}
+}
+
+func TestGreedyGraph(t *testing.T) {
+	m := sparse.Poisson2D(16, 16)
+	p := GreedyGraph(m, 8)
+	if err := p.Validate(m.N); err != nil {
+		t.Fatal(err)
+	}
+	for part, c := range p.Counts() {
+		if c == 0 {
+			t.Errorf("part %d empty", part)
+		}
+	}
+	if imb := p.Imbalance(m); imb > 1.5 {
+		t.Errorf("imbalance %.3f too high", imb)
+	}
+}
+
+func TestGreedyGraphIrregular(t *testing.T) {
+	m := sparse.RandomSPD(200, 5, 9)
+	p := GreedyGraph(m, 12)
+	if err := p.Validate(m.N); err != nil {
+		t.Fatal(err)
+	}
+	assignedRows := 0
+	for _, c := range p.Counts() {
+		assignedRows += c
+	}
+	if assignedRows != m.N {
+		t.Errorf("assigned %d rows, want %d", assignedRows, m.N)
+	}
+}
+
+func TestPartitionProperty(t *testing.T) {
+	// Property: all partitioners produce valid partitions covering all rows.
+	f := func(seed int64, partsRaw uint8) bool {
+		parts := int(partsRaw)%7 + 1
+		m := sparse.RandomSPD(60, 4, seed)
+		for _, p := range []*Partition{
+			Contiguous(m, parts),
+			GreedyGraph(m, parts),
+		} {
+			if p.Validate(m.N) != nil {
+				return false
+			}
+			sum := 0
+			for _, c := range p.Counts() {
+				sum += c
+			}
+			if sum != m.N {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEdgeCutAndRows(t *testing.T) {
+	m := sparse.Laplacian1D(10)
+	p := Contiguous(m, 2)
+	// The 1-D chain cut anywhere severs exactly 2 stored entries (i,j)+(j,i).
+	if cut := p.EdgeCut(m); cut != 2 {
+		t.Errorf("edge cut = %d, want 2", cut)
+	}
+	rows := p.Rows()
+	if len(rows) != 2 {
+		t.Fatal("Rows parts")
+	}
+	total := len(rows[0]) + len(rows[1])
+	if total != 10 {
+		t.Errorf("Rows covers %d rows", total)
+	}
+	// Ascending order within part.
+	for _, rs := range rows {
+		for i := 1; i < len(rs); i++ {
+			if rs[i] <= rs[i-1] {
+				t.Fatal("Rows not ascending")
+			}
+		}
+	}
+}
+
+func TestImbalanceSinglePart(t *testing.T) {
+	m := sparse.Laplacian1D(5)
+	p := Contiguous(m, 1)
+	if imb := p.Imbalance(m); imb != 1 {
+		t.Errorf("single part imbalance = %v", imb)
+	}
+}
+
+func TestGrid3DProperty(t *testing.T) {
+	// Property: Grid3D partitions are valid and perfectly balanced when the
+	// decomposition divides the grid evenly.
+	f := func(seedRaw uint8) bool {
+		dims := []int{4, 6, 8}
+		nx := dims[int(seedRaw)%3]
+		ny := dims[int(seedRaw/3)%3]
+		nz := 4
+		m := sparse.Poisson3D(nx, ny, nz)
+		p, err := Grid3D(nx, ny, nz, 2, 2, 2)
+		if err != nil {
+			return false
+		}
+		if p.Validate(m.N) != nil {
+			return false
+		}
+		counts := p.Counts()
+		want := m.N / 8
+		for _, c := range counts {
+			if c != want {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestGreedyGraphSinglePart(t *testing.T) {
+	m := sparse.Poisson2D(5, 5)
+	p := GreedyGraph(m, 1)
+	if err := p.Validate(m.N); err != nil {
+		t.Fatal(err)
+	}
+	if p.EdgeCut(m) != 0 {
+		t.Error("single part has no cut")
+	}
+	p0 := GreedyGraph(m, 0)
+	if p0.NumParts != 1 {
+		t.Error("parts<1 should clamp")
+	}
+}
+
+func TestContiguousMorePartsThanRows(t *testing.T) {
+	m := sparse.Laplacian1D(3)
+	p := Contiguous(m, 3)
+	if err := p.Validate(m.N); err != nil {
+		t.Fatal(err)
+	}
+	for part, c := range p.Counts() {
+		if c != 1 {
+			t.Errorf("part %d has %d rows", part, c)
+		}
+	}
+}

@@ -1,0 +1,240 @@
+package solver
+
+import (
+	"math"
+	"testing"
+
+	"ipusparse/internal/sparse"
+)
+
+func TestCGSolvesPoisson(t *testing.T) {
+	m := sparse.Poisson2D(16, 16)
+	sess, sys := testSystem(t, m, 8)
+	x := sys.Vector("x")
+	b := sys.Vector("b")
+	ones := make([]float64, m.N)
+	for i := range ones {
+		ones[i] = 1
+	}
+	bh := make([]float64, m.N)
+	m.MulVec(ones, bh)
+	sys.SetGlobal(b, bh)
+	s := &CG{Sys: sys, Pre: &Jacobi{Sys: sys}, MaxIter: 400, Tol: 1e-5, SetupPre: true}
+	var st RunStats
+	s.ScheduleSolve(x, b, &st)
+	if _, err := sess.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !st.Converged {
+		t.Fatalf("CG did not converge: relres %g after %d", st.RelRes, st.Iterations)
+	}
+	for i, v := range sys.GetGlobal(x) {
+		if math.Abs(v-1) > 1e-2 {
+			t.Fatalf("x[%d] = %v", i, v)
+		}
+	}
+}
+
+func TestCGWithILUBeatsUnpreconditioned(t *testing.T) {
+	m := sparse.Poisson2D(20, 20)
+	run := func(pre func(sys *System) Preconditioner) int {
+		sess, sys := testSystem(t, m, 4)
+		x := sys.Vector("x")
+		b := sys.Vector("b")
+		bh := randVec(m.N, 21)
+		sys.SetGlobal(b, bh)
+		var p Preconditioner
+		if pre != nil {
+			p = pre(sys)
+		}
+		s := &CG{Sys: sys, Pre: p, MaxIter: 800, Tol: 1e-5, SetupPre: p != nil}
+		var st RunStats
+		s.ScheduleSolve(x, b, &st)
+		if _, err := sess.Run(); err != nil {
+			t.Fatal(err)
+		}
+		if !st.Converged {
+			t.Fatalf("no convergence: %g", st.RelRes)
+		}
+		return st.Iterations
+	}
+	plain := run(nil)
+	ilu := run(func(sys *System) Preconditioner { return &ILU{Sys: sys} })
+	if ilu >= plain {
+		t.Errorf("ILU CG (%d) should beat plain CG (%d)", ilu, plain)
+	}
+}
+
+func TestCGMatchesBiCGStabSolution(t *testing.T) {
+	m := sparse.RandomSPD(120, 5, 31)
+	bh := randVec(m.N, 32)
+	solve := func(mk func(sys *System) Solver) []float64 {
+		sess, sys := testSystem(t, m, 4)
+		x := sys.Vector("x")
+		b := sys.Vector("b")
+		sys.SetGlobal(b, bh)
+		var st RunStats
+		mk(sys).ScheduleSolve(x, b, &st)
+		if _, err := sess.Run(); err != nil {
+			t.Fatal(err)
+		}
+		if !st.Converged {
+			t.Fatalf("no convergence: %g", st.RelRes)
+		}
+		return sys.GetGlobal(x)
+	}
+	xc := solve(func(sys *System) Solver {
+		return &CG{Sys: sys, Pre: &Jacobi{Sys: sys}, MaxIter: 500, Tol: 1e-6, SetupPre: true}
+	})
+	xb := solve(func(sys *System) Solver {
+		return &PBiCGStab{Sys: sys, Pre: &Jacobi{Sys: sys}, MaxIter: 500, Tol: 1e-6, SetupPre: true}
+	})
+	for i := range xc {
+		if math.Abs(xc[i]-xb[i]) > 1e-3*(1+math.Abs(xb[i])) {
+			t.Fatalf("solutions diverge at %d: %v vs %v", i, xc[i], xb[i])
+		}
+	}
+}
+
+func TestCoarseCorrectionReducesIterations(t *testing.T) {
+	// With many tiles, local ILU degrades (paper §VI-D); the coarse level
+	// must claw iterations back on an elliptic problem.
+	m := sparse.Poisson2D(32, 32)
+	run := func(coarse bool) int {
+		sess, sys := testSystem(t, m, 32)
+		x := sys.Vector("x")
+		b := sys.Vector("b")
+		bh := randVec(m.N, 33)
+		sys.SetGlobal(b, bh)
+		var pre Preconditioner = &ILU{Sys: sys}
+		if coarse {
+			pre = &CoarseCorrection{Sys: sys, Fine: &ILU{Sys: sys}}
+		}
+		s := &PBiCGStab{Sys: sys, Pre: pre, MaxIter: 600, Tol: 1e-6, SetupPre: true}
+		var st RunStats
+		s.ScheduleSolve(x, b, &st)
+		if _, err := sess.Run(); err != nil {
+			t.Fatal(err)
+		}
+		if !st.Converged {
+			t.Fatalf("coarse=%v did not converge: %g after %d", coarse, st.RelRes, st.Iterations)
+		}
+		return st.Iterations
+	}
+	plain := run(false)
+	withCoarse := run(true)
+	if withCoarse >= plain {
+		t.Errorf("coarse correction (%d iters) should beat plain local ILU (%d iters)",
+			withCoarse, plain)
+	}
+}
+
+func TestCoarseCorrectionCorrectSolution(t *testing.T) {
+	m := sparse.Poisson2D(16, 16)
+	sess, sys := testSystem(t, m, 16)
+	x := sys.Vector("x")
+	b := sys.Vector("b")
+	ones := make([]float64, m.N)
+	for i := range ones {
+		ones[i] = 1
+	}
+	bh := make([]float64, m.N)
+	m.MulVec(ones, bh)
+	sys.SetGlobal(b, bh)
+	pre := &CoarseCorrection{Sys: sys, Fine: &Jacobi{Sys: sys}}
+	s := &PBiCGStab{Sys: sys, Pre: pre, MaxIter: 400, Tol: 1e-6, SetupPre: true}
+	var st RunStats
+	s.ScheduleSolve(x, b, &st)
+	if _, err := sess.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !st.Converged {
+		t.Fatalf("not converged: %g", st.RelRes)
+	}
+	for i, v := range sys.GetGlobal(x) {
+		if math.Abs(v-1) > 1e-3 {
+			t.Fatalf("x[%d] = %v", i, v)
+		}
+	}
+	if rr := trueRelRes(m, sys.GetGlobal(x), bh); rr > 1e-5 {
+		t.Errorf("true residual %g", rr)
+	}
+}
+
+func TestDenseLU(t *testing.T) {
+	a := [][]float64{
+		{0, 2, 1},
+		{4, 1, -1},
+		{2, 1, 3},
+	}
+	lu, piv := denseLU(a)
+	want := []float64{1, -2, 3}
+	b := make([]float64, 3)
+	for i := range b {
+		for j := range want {
+			b[i] += a[i][j] * want[j]
+		}
+	}
+	got := luSolve(lu, piv, b)
+	for i := range want {
+		if math.Abs(got[i]-want[i]) > 1e-12 {
+			t.Fatalf("x[%d] = %v, want %v", i, got[i], want[i])
+		}
+	}
+	// Original matrix untouched (factorization copies).
+	if a[0][0] != 0 || a[1][0] != 4 {
+		t.Error("denseLU must not mutate its input")
+	}
+}
+
+func TestCoarseProfileLabel(t *testing.T) {
+	m := sparse.Poisson2D(12, 12)
+	sess, sys := testSystem(t, m, 8)
+	x := sys.Vector("x")
+	b := sys.Vector("b")
+	sys.SetGlobal(b, randVec(m.N, 35))
+	pre := &CoarseCorrection{Sys: sys, Fine: &ILU{Sys: sys}}
+	s := &PBiCGStab{Sys: sys, Pre: pre, MaxIter: 30, Tol: 1e-5, SetupPre: true}
+	s.ScheduleSolve(x, b, nil)
+	eng, err := sess.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if eng.Profile["Coarse Solve"] == 0 || eng.Profile["Coarse Factor"] == 0 {
+		t.Errorf("missing coarse profile labels: %v", eng.Profile)
+	}
+}
+
+// TestBiCGStabHandlesNonsymmetric: the convection-diffusion operator is
+// nonsymmetric — BiCGStab's home turf (paper §V-C) — while CG's theory does
+// not apply.
+func TestBiCGStabHandlesNonsymmetric(t *testing.T) {
+	m := sparse.ConvectionDiffusion2D(16, 16, 4.0)
+	if m.IsSymmetric(1e-12) {
+		t.Fatal("test premise: matrix must be nonsymmetric")
+	}
+	sess, sys := testSystem(t, m, 4)
+	x := sys.Vector("x")
+	b := sys.Vector("b")
+	want := make([]float64, m.N)
+	for i := range want {
+		want[i] = 1 + 0.1*float64(i%9)
+	}
+	bh := make([]float64, m.N)
+	m.MulVec(want, bh)
+	sys.SetGlobal(b, bh)
+	s := &PBiCGStab{Sys: sys, Pre: &ILU{Sys: sys}, MaxIter: 400, Tol: 1e-6, SetupPre: true}
+	var st RunStats
+	s.ScheduleSolve(x, b, &st)
+	if _, err := sess.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !st.Converged {
+		t.Fatalf("BiCGStab failed on nonsymmetric system: %g after %d", st.RelRes, st.Iterations)
+	}
+	for i, v := range sys.GetGlobal(x) {
+		if math.Abs(v-want[i]) > 1e-2 {
+			t.Fatalf("x[%d] = %v, want %v", i, v, want[i])
+		}
+	}
+}

@@ -1,0 +1,137 @@
+package solver
+
+import (
+	"math"
+
+	"ipusparse/internal/tensordsl"
+)
+
+// Chebyshev is a polynomial preconditioner/smoother: z ≈ A⁻¹r is approximated
+// by a degree-k Chebyshev polynomial in the Jacobi-scaled operator D⁻¹A.
+//
+// Polynomial smoothing is the classic alternative to Gauss-Seidel on highly
+// parallel hardware (Adams, Brezina, Hu, Tuminaro — cited by the paper in its
+// Gauss-Seidel discussion): it needs only SpMVs and elementwise operations,
+// both of which run at full six-worker parallelism on every tile and, unlike
+// the tile-local ILU/GS sweeps, it uses *fresh halo values in every SpMV*, so
+// its quality does not degrade as the tile count grows.
+//
+// The eigenvalue bound λmax of D⁻¹A is estimated at setup with a few power
+// iterations on the device; λmin defaults to λmax/30, the standard smoothing
+// window.
+type Chebyshev struct {
+	Sys    *System
+	Degree int // polynomial degree, default 4
+	// PowerIters controls the λmax estimation (default 10).
+	PowerIters int
+	// EigBoost inflates the λmax estimate for safety (default 1.1).
+	EigBoost float64
+
+	invd   Tensor
+	theta  float64
+	delta  float64
+	lamMax float64
+}
+
+// Name implements Preconditioner.
+func (p *Chebyshev) Name() string { return "chebyshev" }
+
+// LambdaMax returns the estimated largest eigenvalue of D⁻¹A (valid after
+// the program has executed SetupStep's steps).
+func (p *Chebyshev) LambdaMax() float64 { return p.lamMax }
+
+// SetupStep implements Preconditioner: schedules the power iteration for
+// λmax(D⁻¹A) and derives the Chebyshev window [λmax/30, λmax].
+func (p *Chebyshev) SetupStep() {
+	sys := p.Sys
+	ts := sys.Sess
+	if p.Degree < 1 {
+		p.Degree = 4
+	}
+	if p.PowerIters < 1 {
+		p.PowerIters = 10
+	}
+	if p.EigBoost == 0 {
+		p.EigBoost = 1.1
+	}
+	d := sys.DiagTensor("cheb:diag")
+	p.invd = sys.Vector("cheb:invd")
+	p.invd.Assign(tensordsl.Div(1.0, d))
+
+	// Power iteration: v_{k+1} = D⁻¹ A v_k / ||.||, λ ≈ ||D⁻¹ A v||/||v||.
+	v := sys.Vector("cheb:v")
+	av := sys.Vector("cheb:av")
+	vh := make([]float64, sys.N())
+	for i := range vh {
+		vh[i] = math.Sin(float64(3*i + 1)) // fixed pseudo-random start
+	}
+	ts.HostCallback("cheb:init", func() error { return sys.SetGlobal(v, vh) })
+	var lam float64
+	ts.Repeat(p.PowerIters, func() {
+		sys.SpMV(av, v)
+		av.Assign(tensordsl.Mul(p.invd, av))
+		n2 := ts.Dot(av, av)
+		ts.HostCallback("cheb:norm", func() error {
+			lam = math.Sqrt(n2.Value())
+			return nil
+		})
+		// v = av / ||av||: divide by the replicated norm scalar.
+		nrm := ts.Temp(tensordsl.Sqrt(n2))
+		v.Assign(tensordsl.Div(av, nrm))
+	})
+	ts.HostCallback("cheb:window", func() error {
+		p.lamMax = lam * p.EigBoost
+		if p.lamMax <= 0 {
+			p.lamMax = 1
+		}
+		lamMin := p.lamMax / 30
+		p.theta = (p.lamMax + lamMin) / 2
+		p.delta = (p.lamMax - lamMin) / 2
+		return nil
+	})
+}
+
+// ApplyStep implements Preconditioner: the standard three-term Chebyshev
+// recurrence on the Jacobi-scaled operator. Each degree costs one SpMV plus
+// elementwise work.
+func (p *Chebyshev) ApplyStep(z, r Tensor) {
+	sys := p.Sys
+	ts := sys.Sess
+	dvec := sys.Vector("cheb:d")
+	rk := sys.Vector("cheb:rk")
+	az := sys.Vector("cheb:az")
+
+	// Scalars depending on the host-computed window are loaded via host
+	// callbacks into replicated tensors each application (the window is
+	// fixed after setup, but symbolic execution happens before run time).
+	invTheta := ts.MustScalar("cheb:invTheta", r.Type())
+	sigmaC := ts.MustScalar("cheb:2rho/delta", r.Type())
+	rhoProd := ts.MustScalar("cheb:rhoProd", r.Type())
+	var rhoOld, sigma1 float64
+	ts.HostCallback("cheb:coeff0", func() error {
+		sigma1 = p.theta / p.delta
+		rhoOld = 1 / sigma1
+		invTheta.SetValue(1 / p.theta)
+		return nil
+	})
+	// d0 = (1/θ) D⁻¹ r ; z = d0.
+	dvec.Assign(tensordsl.Mul(invTheta, tensordsl.Mul(p.invd, r)))
+	z.Assign(tensordsl.E(dvec))
+	for k := 1; k < p.Degree; k++ {
+		ts.HostCallback("cheb:coeff", func() error {
+			rho := 1 / (2*sigma1 - rhoOld)
+			rhoProd.SetValue(rho * rhoOld)
+			sigmaC.SetValue(2 * rho / p.delta)
+			rhoOld = rho
+			return nil
+		})
+		// r_k = r - A z.
+		sys.SpMV(az, z)
+		rk.Assign(tensordsl.Sub(r, az))
+		// d = ρ·ρold·d + (2ρ/δ) D⁻¹ r_k ; z += d.
+		dvec.Assign(tensordsl.Add(
+			tensordsl.Mul(rhoProd, dvec),
+			tensordsl.Mul(sigmaC, tensordsl.Mul(p.invd, rk))))
+		z.Assign(tensordsl.Add(z, dvec))
+	}
+}

@@ -1,0 +1,105 @@
+package solver
+
+import (
+	"math"
+	"testing"
+
+	"ipusparse/internal/sparse"
+)
+
+func TestChebyshevEigEstimate(t *testing.T) {
+	// For the 2-D 5-point Poisson matrix, λmax(D⁻¹A) < 2 (it approaches 2
+	// for large grids). The power iteration must land close.
+	m := sparse.Poisson2D(20, 20)
+	sess, sys := testSystem(t, m, 4)
+	p := &Chebyshev{Sys: sys, PowerIters: 20, EigBoost: 1}
+	p.SetupStep()
+	if _, err := sess.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if lam := p.LambdaMax(); lam < 1.5 || lam > 2.05 {
+		t.Errorf("λmax estimate %v, want ~1.9", lam)
+	}
+}
+
+func TestChebyshevPreconditionedCG(t *testing.T) {
+	m := sparse.Poisson2D(24, 24)
+	run := func(pre func(sys *System) Preconditioner) int {
+		sess, sys := testSystem(t, m, 8)
+		x := sys.Vector("x")
+		b := sys.Vector("b")
+		bh := randVec(m.N, 61)
+		sys.SetGlobal(b, bh)
+		s := &CG{Sys: sys, Pre: pre(sys), MaxIter: 800, Tol: 1e-6, SetupPre: true}
+		var st RunStats
+		s.ScheduleSolve(x, b, &st)
+		if _, err := sess.Run(); err != nil {
+			t.Fatal(err)
+		}
+		if !st.Converged {
+			t.Fatalf("no convergence: %g after %d", st.RelRes, st.Iterations)
+		}
+		return st.Iterations
+	}
+	jac := run(func(sys *System) Preconditioner { return &Jacobi{Sys: sys} })
+	cheb := run(func(sys *System) Preconditioner { return &Chebyshev{Sys: sys, Degree: 4} })
+	if cheb >= jac {
+		t.Errorf("Chebyshev(4) CG (%d iters) should beat Jacobi CG (%d iters)", cheb, jac)
+	}
+}
+
+func TestChebyshevWithBiCGStab(t *testing.T) {
+	m := sparse.Stencil27(8, 8, 4)
+	sess, sys := testSystem(t, m, 8)
+	x := sys.Vector("x")
+	b := sys.Vector("b")
+	ones := make([]float64, m.N)
+	for i := range ones {
+		ones[i] = 1
+	}
+	bh := make([]float64, m.N)
+	m.MulVec(ones, bh)
+	sys.SetGlobal(b, bh)
+	s := &PBiCGStab{Sys: sys, Pre: &Chebyshev{Sys: sys, Degree: 3}, MaxIter: 400, Tol: 1e-5, SetupPre: true}
+	var st RunStats
+	s.ScheduleSolve(x, b, &st)
+	if _, err := sess.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !st.Converged {
+		t.Fatalf("no convergence: %g", st.RelRes)
+	}
+	for i, v := range sys.GetGlobal(x) {
+		if math.Abs(v-1) > 1e-2 {
+			t.Fatalf("x[%d] = %v", i, v)
+		}
+	}
+}
+
+func TestChebyshevQualityStableAcrossTiles(t *testing.T) {
+	// Unlike local ILU, Chebyshev's iteration count should barely change
+	// with the tile count (fresh halos every SpMV).
+	m := sparse.Poisson2D(24, 24)
+	run := func(tiles int) int {
+		sess, sys := testSystem(t, m, tiles)
+		x := sys.Vector("x")
+		b := sys.Vector("b")
+		bh := randVec(m.N, 62)
+		sys.SetGlobal(b, bh)
+		s := &CG{Sys: sys, Pre: &Chebyshev{Sys: sys, Degree: 4}, MaxIter: 800, Tol: 1e-6, SetupPre: true}
+		var st RunStats
+		s.ScheduleSolve(x, b, &st)
+		if _, err := sess.Run(); err != nil {
+			t.Fatal(err)
+		}
+		if !st.Converged {
+			t.Fatalf("tiles=%d no convergence", tiles)
+		}
+		return st.Iterations
+	}
+	one := run(1)
+	many := run(32)
+	if diff := many - one; diff > 3 || diff < -3 {
+		t.Errorf("Chebyshev iterations should be tile-count independent: 1 tile %d, 32 tiles %d", one, many)
+	}
+}

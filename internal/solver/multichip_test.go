@@ -1,0 +1,130 @@
+package solver
+
+import (
+	"math"
+	"testing"
+
+	"ipusparse/internal/ipu"
+	"ipusparse/internal/partition"
+	"ipusparse/internal/sparse"
+	"ipusparse/internal/tensordsl"
+)
+
+// multiChipSystem builds a system spanning several chips.
+func multiChipSystem(t *testing.T, m *sparse.Matrix, chips, tilesPerChip int) (*tensordsl.Session, *System) {
+	t.Helper()
+	cfg := ipu.Mk2M2000()
+	cfg.Chips = chips
+	cfg.TilesPerChip = tilesPerChip
+	mach, err := ipu.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sess := tensordsl.NewSession(mach)
+	p := partition.Contiguous(m, mach.NumTiles())
+	sys, err := NewSystem(sess, m, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sess, sys
+}
+
+// TestMultiChipSolveMatchesSingleChip: IPU-Link crossings change timing, not
+// numerics — the solution must be identical across machine shapes given the
+// same total tile count.
+func TestMultiChipSolveMatchesSingleChip(t *testing.T) {
+	m := sparse.Poisson2D(16, 16)
+	bh := randVec(m.N, 71)
+	run := func(chips, tilesPerChip int) ([]float64, int) {
+		sess, sys := multiChipSystem(t, m, chips, tilesPerChip)
+		x := sys.Vector("x")
+		b := sys.Vector("b")
+		sys.SetGlobal(b, bh)
+		s := &PBiCGStab{Sys: sys, Pre: &Jacobi{Sys: sys}, MaxIter: 300, Tol: 1e-5, SetupPre: true}
+		var st RunStats
+		s.ScheduleSolve(x, b, &st)
+		if _, err := sess.Run(); err != nil {
+			t.Fatal(err)
+		}
+		if !st.Converged {
+			t.Fatalf("chips=%d no convergence", chips)
+		}
+		return sys.GetGlobal(x), st.Iterations
+	}
+	x1, it1 := run(1, 16)
+	x4, it4 := run(4, 4)
+	if it1 != it4 {
+		t.Errorf("iteration counts differ across machine shapes: %d vs %d", it1, it4)
+	}
+	for i := range x1 {
+		if x1[i] != x4[i] {
+			t.Fatalf("solutions differ at %d: %v vs %v (numerics must be shape-independent)",
+				i, x1[i], x4[i])
+		}
+	}
+}
+
+// TestMultiChipSlowerThanSingleChip: the same work on 4 chips with the same
+// total tile count must cost at least as many cycles (IPU-Link crossings).
+func TestMultiChipExchangeCost(t *testing.T) {
+	m := sparse.Poisson2D(32, 32)
+	run := func(chips, tilesPerChip int) uint64 {
+		sess, sys := multiChipSystem(t, m, chips, tilesPerChip)
+		x := sys.Vector("x")
+		y := sys.Vector("y")
+		sys.SetGlobal(x, randVec(m.N, 72))
+		sys.SpMV(y, x)
+		eng, err := sess.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return eng.M.Stats().ExchangeCycles
+	}
+	oneChip := run(1, 32)
+	fourChips := run(4, 8)
+	if fourChips <= oneChip {
+		t.Errorf("4-chip exchange (%d cycles) should cost more than 1-chip (%d cycles)",
+			fourChips, oneChip)
+	}
+}
+
+// TestSolverSurvivesZeroPivotBlock: a matrix whose local block factorization
+// hits a zero pivot must degrade (breakdown or slow convergence), never NaN
+// into a false "converged".
+func TestSolverSurvivesZeroPivotBlock(t *testing.T) {
+	// Construct an SPD-ish matrix with a zero diagonal entry patched to a
+	// tiny value — ILU's pivot guard must keep values finite.
+	b := sparse.NewBuilder(16)
+	for i := 0; i < 16; i++ {
+		b.Set(i, i, 2)
+		if i > 0 {
+			b.Set(i, i-1, -1)
+			b.Set(i-1, i, -1)
+		}
+	}
+	m, _ := b.Build()
+	m.Diag[7] = 0 // singular row
+	sess, sys := testSystem(t, m, 2)
+	x := sys.Vector("x")
+	bt := sys.Vector("b")
+	sys.SetGlobal(bt, randVec(m.N, 73))
+	s := &PBiCGStab{Sys: sys, Pre: &ILU{Sys: sys}, MaxIter: 50, Tol: 1e-6, SetupPre: true}
+	var st RunStats
+	s.ScheduleSolve(x, bt, &st)
+	if _, err := sess.Run(); err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range sys.GetGlobal(x) {
+		if math.IsNaN(v) {
+			// NaNs may appear in x if the run broke down — but then the
+			// breakdown flag must be set and convergence not claimed.
+			if st.Converged || !st.Breakdown {
+				t.Fatalf("NaN solution without breakdown flag: %+v", st)
+			}
+			return
+		}
+	}
+	if st.Converged && st.RelRes > 1e-6 {
+		t.Errorf("claimed convergence at relres %g", st.RelRes)
+	}
+}

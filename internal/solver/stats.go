@@ -1,0 +1,50 @@
+package solver
+
+import "ipusparse/internal/tensordsl"
+
+// Tensor aliases the TensorDSL tensor handle used throughout the solvers.
+type Tensor = *tensordsl.Tensor
+
+// HistPoint is one sample of a solver's convergence history.
+type HistPoint struct {
+	Iter    int     // cumulative (inner) iteration count
+	RelRes  float64 // relative residual at the sample
+	Seconds float64 // simulated device time when the sample was taken
+}
+
+// RunStats collects the outcome of one scheduled solve. It is filled in by
+// host callbacks while the program executes.
+type RunStats struct {
+	Solver     string
+	Iterations int
+	Converged  bool
+	RelRes     float64
+	Breakdown  bool
+	History    []HistPoint
+}
+
+// record appends a history sample.
+func (st *RunStats) record(iter int, relres, seconds float64) {
+	if st == nil {
+		return
+	}
+	st.History = append(st.History, HistPoint{Iter: iter, RelRes: relres, Seconds: seconds})
+}
+
+// Solver schedules program steps that solve A x = b on the system it was
+// built for. Implementations fill st during execution via host callbacks.
+// Any solver can serve as another solver's preconditioner through
+// SolverPrecond (paper §V: nested solver configurations).
+type Solver interface {
+	Name() string
+	ScheduleSolve(x, b Tensor, st *RunStats)
+}
+
+// Preconditioner schedules an approximate solve z = M⁻¹ r. SetupStep
+// schedules one-time work (e.g. the ILU factorization), which iterative
+// solvers place before their loop.
+type Preconditioner interface {
+	Name() string
+	SetupStep()
+	ApplyStep(z, r Tensor)
+}

@@ -1,0 +1,397 @@
+// Package solver implements the framework's suite of distributed linear
+// solvers and preconditioners on the simulated IPU (paper §V):
+//
+//   - the Preconditioned BiCGStab Krylov solver (Fig. 4 of the paper),
+//   - Gauss-Seidel (level-set scheduled across the six worker threads),
+//   - ILU(0) and DILU preconditioners (level-set scheduled factorization and
+//     substitution, tile-local blocks),
+//   - Jacobi and Richardson building blocks,
+//   - Mixed-Precision Iterative Refinement (MPIR) with double-word or
+//     soft-double extended precision (paper §V-B),
+//
+// and the distributed System substrate they all share: the reordered matrix
+// localized per tile (package halo), device-resident in the modified CRS
+// format, with blockwise halo-exchange steps and SpMV compute sets scheduled
+// through TensorDSL sessions. The modular design allows any solver to act as
+// the preconditioner of another (nested configurations via package config).
+package solver
+
+import (
+	"fmt"
+
+	"ipusparse/internal/graph"
+	"ipusparse/internal/halo"
+	"ipusparse/internal/ipu"
+	"ipusparse/internal/partition"
+	"ipusparse/internal/sparse"
+	"ipusparse/internal/tensordsl"
+	"ipusparse/internal/twofloat"
+)
+
+// workerStart is the fixed worker-thread launch cost, matching the DSLs.
+const workerStart = 20
+
+// levelSyncCycles is the IPUTHREADING-style worker sync cost per level of a
+// level-set schedule (run/runall startup plus the sync instruction barrier).
+const levelSyncCycles = 32
+
+// sweepRowCost is the issue-bundle cost of one row of a triangular or
+// Gauss-Seidel sweep with n off-diagonal terms: per term one FMA pairs with
+// ~4 aux instructions (value, index, address, gather), and the row itself
+// needs level-list indirection, the rhs load and the result store.
+func sweepRowCost(n uint64) uint64 {
+	const issue = 6
+	fp := n + 1
+	aux := 4*n + 4
+	if fp > aux {
+		return fp * issue
+	}
+	return aux * issue
+}
+
+// Extended-precision per-nonzero op costs for the residual SpMV: a float32
+// matrix coefficient times an extended x value, accumulated in extended
+// precision. The DW mixed product (Joldes DWTimesFP) is cheaper than a full
+// DW*DW multiply.
+const (
+	dwMulFPCycles  = 60
+	f64MulFPCycles = 1260
+)
+
+// System is a sparse linear system distributed across the machine's tiles:
+// the halo-reordered matrix in tile-local modified CRS plus the exchange
+// program and scratch halo buffers.
+type System struct {
+	Sess   *tensordsl.Session
+	Layout *halo.Layout
+	Locals []*halo.LocalMatrix
+
+	n     int
+	sizes []int // owned cells per tile = distributed tensor mapping
+
+	// Device-resident matrix blocks (float32 values, separate dense diag).
+	diag [][]float32
+	vals [][]float32
+
+	// Scratch halo buffers per tile, one set per scalar type in use.
+	haloF32 []*graph.Buffer
+	haloDW  []*graph.Buffer
+	haloF64 []*graph.Buffer
+}
+
+// NewSystem reorders matrix m under the partition, localizes it per tile,
+// and uploads it to the simulated device (accounting SRAM for values,
+// indices and halo buffers).
+func NewSystem(sess *tensordsl.Session, m *sparse.Matrix, p *partition.Partition) (*System, error) {
+	if p.NumParts != sess.M.NumTiles() {
+		return nil, fmt.Errorf("solver: partition has %d parts for %d tiles", p.NumParts, sess.M.NumTiles())
+	}
+	l, err := halo.Build(m, p)
+	if err != nil {
+		return nil, err
+	}
+	locals, err := halo.Localize(m, l)
+	if err != nil {
+		return nil, err
+	}
+	sys := &System{
+		Sess:   sess,
+		Layout: l,
+		Locals: locals,
+		n:      m.N,
+		sizes:  make([]int, len(locals)),
+		diag:   make([][]float32, len(locals)),
+		vals:   make([][]float32, len(locals)),
+	}
+	mach := sess.M
+	for t, lm := range locals {
+		sys.sizes[t] = lm.NumOwned
+		// SRAM accounting: diag + vals + cols + rowptr.
+		bytes := 4 * (len(lm.Diag) + 2*len(lm.Vals) + len(lm.RowPtr))
+		if err := mach.Alloc(t, bytes); err != nil {
+			return nil, fmt.Errorf("solver: matrix block on tile %d: %w", t, err)
+		}
+		sys.diag[t] = make([]float32, len(lm.Diag))
+		for i, v := range lm.Diag {
+			sys.diag[t][i] = float32(v)
+		}
+		sys.vals[t] = make([]float32, len(lm.Vals))
+		for i, v := range lm.Vals {
+			sys.vals[t][i] = float32(v)
+		}
+	}
+	return sys, nil
+}
+
+// N returns the global number of rows.
+func (sys *System) N() int { return sys.n }
+
+// Sizes returns the owned-cells-per-tile mapping of distributed vectors.
+func (sys *System) Sizes() []int { return sys.sizes }
+
+// Vector creates a distributed float32 vector matching the system layout.
+func (sys *System) Vector(name string) *tensordsl.Tensor {
+	return sys.Sess.MustTensor(name, ipu.F32, sys.sizes)
+}
+
+// VectorTyped creates a distributed vector of an explicit scalar type.
+func (sys *System) VectorTyped(name string, dt ipu.Scalar) *tensordsl.Tensor {
+	return sys.Sess.MustTensor(name, dt, sys.sizes)
+}
+
+// SetGlobal writes a host vector (in original, pre-reordering row numbering)
+// into a distributed tensor.
+func (sys *System) SetGlobal(t *tensordsl.Tensor, x []float64) error {
+	if len(x) != sys.n {
+		return fmt.Errorf("solver: SetGlobal: %d values for %d rows", len(x), sys.n)
+	}
+	local := make([]float64, sys.n)
+	off := 0
+	for tile := range sys.Locals {
+		for li, g := range sys.Layout.Tiles[tile].Owned {
+			local[off+li] = x[g]
+		}
+		off += sys.sizes[tile]
+	}
+	return t.SetHost(local)
+}
+
+// GetGlobal reads a distributed tensor back into original row numbering.
+func (sys *System) GetGlobal(t *tensordsl.Tensor) []float64 {
+	local := t.Host()
+	out := make([]float64, sys.n)
+	off := 0
+	for tile := range sys.Locals {
+		for li, g := range sys.Layout.Tiles[tile].Owned {
+			out[g] = local[off+li]
+		}
+		off += sys.sizes[tile]
+	}
+	return out
+}
+
+// haloBuffers returns (allocating on first use) the scratch halo buffer set
+// for the scalar type.
+func (sys *System) haloBuffers(dt ipu.Scalar) []*graph.Buffer {
+	var set *[]*graph.Buffer
+	switch dt {
+	case ipu.F32:
+		set = &sys.haloF32
+	case ipu.DW:
+		set = &sys.haloDW
+	case ipu.F64:
+		set = &sys.haloF64
+	default:
+		panic(fmt.Sprintf("solver: no halo buffers for %v", dt))
+	}
+	if *set == nil {
+		bufs := make([]*graph.Buffer, len(sys.Locals))
+		for t, lm := range sys.Locals {
+			if err := sys.Sess.M.Alloc(t, lm.NumHalo*dt.Size()); err != nil {
+				panic(fmt.Errorf("solver: halo buffers on tile %d: %w", t, err))
+			}
+			bufs[t] = graph.NewBuffer(dt, lm.NumHalo)
+		}
+		*set = bufs
+	}
+	return *set
+}
+
+// ExchangeStep schedules the blockwise halo exchange of vector v into the
+// system's scratch halo buffers for v's scalar type: each separator region of
+// v's owned data is broadcast to the mirroring halo regions (paper §IV).
+func (sys *System) ExchangeStep(v *tensordsl.Tensor) {
+	dt := v.Type()
+	halos := sys.haloBuffers(dt)
+	moves := make([]graph.Move, 0, len(sys.Layout.Program))
+	for _, tr := range sys.Layout.Program {
+
+		dsts := make([]int, len(tr.Dst))
+		for i, d := range tr.Dst {
+			dsts[i] = d.Tile
+		}
+		src := v.Buf(tr.SrcTile)
+		moves = append(moves, graph.Move{
+			SrcTile:  tr.SrcTile,
+			DstTiles: dsts,
+			Bytes:    tr.Len * dt.Size(),
+			Do: func() {
+				for _, d := range tr.Dst {
+					numOwned := sys.Locals[d.Tile].NumOwned
+					halos[d.Tile].CopyRange(src, d.Off-numOwned, tr.SrcOff, tr.Len)
+				}
+			},
+		})
+	}
+	sys.Sess.Append(graph.Exchange{Name: "halo:" + v.Name, Label: "Exchange", Moves: moves})
+}
+
+// spmvCost models one worker's SpMV chunk. A worker owns one issue slot of
+// the six-slot round robin (one instruction bundle every six cycles); a
+// bundle dual-issues at most one FP and one load/store/integer instruction.
+// Per stored entry the FP pipeline executes one FMA while the aux pipeline
+// needs about four instructions (value load, column-index load, address
+// computation, gather of x[j]), so the sparse gather — not the FMA — bounds
+// the issue count, exactly the effect that keeps real SpMVs below peak.
+func spmvCost(nnz, rows int, dt ipu.Scalar) uint64 {
+	const issue = 6 // cycles between a worker's issue slots
+	fpInstr := uint64(nnz + rows)
+	auxInstr := uint64(nnz)*4 + uint64(rows)*2
+	bundles := fpInstr
+	if auxInstr > bundles {
+		bundles = auxInstr
+	}
+	switch dt {
+	case ipu.F32:
+		return bundles * issue
+	case ipu.DW:
+		// Extended arithmetic replaces the single FMA with a multi-op
+		// sequence whose cycle count already reflects issue slots.
+		fp := uint64(nnz+rows) * (dwMulFPCycles + ipu.Cost(ipu.OpAdd, ipu.DW))
+		if a := auxInstr * issue; a > fp {
+			return a
+		}
+		return fp
+	default:
+		fp := uint64(nnz+rows) * (f64MulFPCycles + ipu.Cost(ipu.OpAdd, ipu.F64))
+		if a := auxInstr * issue; a > fp {
+			return a
+		}
+		return fp
+	}
+}
+
+// SpMV schedules dst = A*src in working precision (float32): a halo exchange
+// of src followed by one compute set whose per-tile vertex is split across
+// the six worker threads.
+func (sys *System) SpMV(dst, src *tensordsl.Tensor) {
+	sys.ExchangeStep(src)
+	halos := sys.haloF32
+	cs := graph.NewComputeSet("spmv", "SpMV")
+	workers := sys.Sess.M.Config().WorkersPerTile
+	for t, lm := range sys.Locals {
+		if lm.NumOwned == 0 {
+			continue
+		}
+
+		sb, db, hb := src.Buf(t), dst.Buf(t), halos[t]
+		diag, vals := sys.diag[t], sys.vals[t]
+		for w := 0; w < workers; w++ {
+			lo := lm.NumOwned * w / workers
+			hi := lm.NumOwned * (w + 1) / workers
+			if lo == hi {
+				continue
+			}
+
+			nnz := lm.RowPtr[hi] - lm.RowPtr[lo]
+			cost := spmvCost(nnz, hi-lo, ipu.F32) + workerStart
+			cs.Add(t, graph.CodeletFunc(func() uint64 {
+				x, y, h := sb.F32, db.F32, hb.F32
+				for i := lo; i < hi; i++ {
+					s := diag[i] * x[i]
+					for k := lm.RowPtr[i]; k < lm.RowPtr[i+1]; k++ {
+						j := lm.Cols[k]
+						var xj float32
+						if j < lm.NumOwned {
+							xj = x[j]
+						} else {
+							xj = h[j-lm.NumOwned]
+						}
+						s += vals[k] * xj
+					}
+					y[i] = s
+				}
+				return cost
+			}))
+		}
+	}
+	sys.Sess.Append(graph.Compute{Set: cs})
+}
+
+// ResidualExt schedules r = b - A*x computed entirely in extended precision
+// (x, b, r share an extended scalar type: DW or F64). This is step 1 of the
+// MPIR method: float32 matrix coefficients multiply extended x values and
+// accumulate in extended precision, so the residual retains ~2x the working
+// precision. The halo exchange moves extended (8-byte) values.
+func (sys *System) ResidualExt(r, b, x *tensordsl.Tensor) {
+	dt := x.Type()
+	if dt != ipu.DW && dt != ipu.F64 {
+		panic("solver: ResidualExt requires an extended-precision x")
+	}
+	sys.ExchangeStep(x)
+	halos := sys.haloBuffers(dt)
+	cs := graph.NewComputeSet("residual-ext", "Extended-Precision Ops")
+	workers := sys.Sess.M.Config().WorkersPerTile
+	for t, lm := range sys.Locals {
+		if lm.NumOwned == 0 {
+			continue
+		}
+
+		xb, bb, rb, hb := x.Buf(t), b.Buf(t), r.Buf(t), halos[t]
+		diag, vals := sys.diag[t], sys.vals[t]
+		for w := 0; w < workers; w++ {
+			lo := lm.NumOwned * w / workers
+			hi := lm.NumOwned * (w + 1) / workers
+			if lo == hi {
+				continue
+			}
+
+			nnz := lm.RowPtr[hi] - lm.RowPtr[lo]
+			cost := spmvCost(nnz, hi-lo, dt) + workerStart
+			if dt == ipu.DW {
+				cs.Add(t, graph.CodeletFunc(func() uint64 {
+					for i := lo; i < hi; i++ {
+						acc := twofloat.MulFloat(xb.GetDW(i), diag[i])
+						for k := lm.RowPtr[i]; k < lm.RowPtr[i+1]; k++ {
+							j := lm.Cols[k]
+							var xj twofloat.DW
+							if j < lm.NumOwned {
+								xj = xb.GetDW(j)
+							} else {
+								xj = hb.GetDW(j - lm.NumOwned)
+							}
+							acc = twofloat.Add(acc, twofloat.MulFloat(xj, vals[k]))
+						}
+						rb.SetDW(i, twofloat.Sub(bb.GetDW(i), acc))
+					}
+					return cost
+				}))
+			} else {
+				cs.Add(t, graph.CodeletFunc(func() uint64 {
+					for i := lo; i < hi; i++ {
+						acc := float64(diag[i]) * xb.F64[i]
+						for k := lm.RowPtr[i]; k < lm.RowPtr[i+1]; k++ {
+							j := lm.Cols[k]
+							var xj float64
+							if j < lm.NumOwned {
+								xj = xb.F64[j]
+							} else {
+								xj = hb.F64[j-lm.NumOwned]
+							}
+							acc += float64(vals[k]) * xj
+						}
+						rb.F64[i] = bb.F64[i] - acc
+					}
+					return cost
+				}))
+			}
+		}
+	}
+	sys.Sess.Append(graph.Compute{Set: cs})
+}
+
+// DiagTensor returns a distributed tensor holding the matrix diagonal
+// (used by the Jacobi preconditioner).
+func (sys *System) DiagTensor(name string) *tensordsl.Tensor {
+	t := sys.Vector(name)
+	vals := make([]float64, 0, sys.n)
+	for tile := range sys.Locals {
+		for _, d := range sys.diag[tile] {
+			vals = append(vals, float64(d))
+		}
+	}
+	if err := t.SetHost(vals); err != nil {
+		panic(err)
+	}
+	return t
+}

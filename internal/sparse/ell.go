@@ -1,0 +1,183 @@
+package sparse
+
+import "fmt"
+
+// This file implements the ELLPACK and Sliced ELLPACK (SELL) formats the
+// paper discusses in §II-C and defers to future work on the IPU. They exist
+// here to make that comparison runnable: both formats pad rows to a fixed
+// length so that SpMV vectorizes on wide-SIMD machines, at the price of
+// storing (and streaming) padding. On the cacheless IPU with its two-wide
+// float vectors the paper anticipates little benefit — the format ablation
+// (`go test -bench=AblationFormat`) quantifies the padding overhead.
+
+// ELL is the ELLPACK format: a dense rows × Width array of values and column
+// indices, rows shorter than Width padded with zeros (column index -1).
+type ELL struct {
+	N     int
+	Width int
+	Cols  []int32 // len N*Width, row-major; -1 marks padding
+	Vals  []float64
+}
+
+// ToELL converts to ELLPACK. Matrices with a single long row explode the
+// footprint — exactly the format's known weakness.
+func (m *Matrix) ToELL() *ELL {
+	width := 0
+	for i := 0; i < m.N; i++ {
+		if w := m.RowPtr[i+1] - m.RowPtr[i] + 1; w > width {
+			width = w
+		}
+	}
+	e := &ELL{
+		N:     m.N,
+		Width: width,
+		Cols:  make([]int32, m.N*width),
+		Vals:  make([]float64, m.N*width),
+	}
+	for i := range e.Cols {
+		e.Cols[i] = -1
+	}
+	for i := 0; i < m.N; i++ {
+		base := i * width
+		e.Cols[base] = int32(i)
+		e.Vals[base] = m.Diag[i]
+		k := 1
+		for p := m.RowPtr[i]; p < m.RowPtr[i+1]; p++ {
+			e.Cols[base+k] = int32(m.Cols[p])
+			e.Vals[base+k] = m.Vals[p]
+			k++
+		}
+	}
+	return e
+}
+
+// MulVec computes y = A*x.
+func (e *ELL) MulVec(x, y []float64) {
+	for i := 0; i < e.N; i++ {
+		s := 0.0
+		base := i * e.Width
+		for k := 0; k < e.Width; k++ {
+			j := e.Cols[base+k]
+			if j < 0 {
+				continue
+			}
+			s += e.Vals[base+k] * x[j]
+		}
+		y[i] = s
+	}
+}
+
+// Bytes returns the device footprint (4-byte values and indices).
+func (e *ELL) Bytes() int { return 8 * len(e.Vals) }
+
+// Padding returns the fraction of stored slots that are padding.
+func (e *ELL) Padding() float64 {
+	pad := 0
+	for _, c := range e.Cols {
+		if c < 0 {
+			pad++
+		}
+	}
+	return float64(pad) / float64(len(e.Cols))
+}
+
+// SELL is the Sliced ELLPACK format: rows are grouped into slices of
+// SliceHeight; each slice is padded only to its own maximal row width, which
+// bounds the padding ELLPACK suffers from occasional long rows.
+type SELL struct {
+	N           int
+	SliceHeight int
+	SlicePtr    []int   // element offset of each slice, len ceil(N/H)+1
+	Widths      []int   // width of each slice
+	Cols        []int32 // slice-major, column-major inside a slice
+	Vals        []float64
+}
+
+// ToSELL converts to Sliced ELLPACK with the given slice height.
+func (m *Matrix) ToSELL(sliceHeight int) (*SELL, error) {
+	if sliceHeight < 1 {
+		return nil, fmt.Errorf("sparse: slice height %d", sliceHeight)
+	}
+	numSlices := (m.N + sliceHeight - 1) / sliceHeight
+	s := &SELL{
+		N:           m.N,
+		SliceHeight: sliceHeight,
+		SlicePtr:    make([]int, numSlices+1),
+		Widths:      make([]int, numSlices),
+	}
+	total := 0
+	for sl := 0; sl < numSlices; sl++ {
+		w := 0
+		for i := sl * sliceHeight; i < (sl+1)*sliceHeight && i < m.N; i++ {
+			if rw := m.RowPtr[i+1] - m.RowPtr[i] + 1; rw > w {
+				w = rw
+			}
+		}
+		s.Widths[sl] = w
+		s.SlicePtr[sl] = total
+		total += w * sliceHeight
+	}
+	s.SlicePtr[numSlices] = total
+	s.Cols = make([]int32, total)
+	s.Vals = make([]float64, total)
+	for i := range s.Cols {
+		s.Cols[i] = -1
+	}
+	for sl := 0; sl < numSlices; sl++ {
+		base := s.SlicePtr[sl]
+		for r := 0; r < sliceHeight; r++ {
+			i := sl*sliceHeight + r
+			if i >= m.N {
+				break
+			}
+			// Column-major within the slice: slot(k, r) = base + k*H + r.
+			s.Cols[base+r] = int32(i)
+			s.Vals[base+r] = m.Diag[i]
+			k := 1
+			for p := m.RowPtr[i]; p < m.RowPtr[i+1]; p++ {
+				s.Cols[base+k*sliceHeight+r] = int32(m.Cols[p])
+				s.Vals[base+k*sliceHeight+r] = m.Vals[p]
+				k++
+			}
+		}
+	}
+	return s, nil
+}
+
+// MulVec computes y = A*x.
+func (s *SELL) MulVec(x, y []float64) {
+	numSlices := len(s.Widths)
+	for sl := 0; sl < numSlices; sl++ {
+		base := s.SlicePtr[sl]
+		w := s.Widths[sl]
+		for r := 0; r < s.SliceHeight; r++ {
+			i := sl*s.SliceHeight + r
+			if i >= s.N {
+				break
+			}
+			acc := 0.0
+			for k := 0; k < w; k++ {
+				j := s.Cols[base+k*s.SliceHeight+r]
+				if j < 0 {
+					continue
+				}
+				acc += s.Vals[base+k*s.SliceHeight+r] * x[j]
+			}
+			y[i] = acc
+		}
+	}
+}
+
+// Bytes returns the device footprint (4-byte values and indices).
+func (s *SELL) Bytes() int { return 8*len(s.Vals) + 4*len(s.SlicePtr) }
+
+// Padding returns the fraction of stored slots that are padding.
+func (s *SELL) Padding() float64 {
+	pad := 0
+	for _, c := range s.Cols {
+		if c < 0 {
+			pad++
+		}
+	}
+	return float64(pad) / float64(len(s.Cols))
+}

@@ -1,0 +1,131 @@
+package sparse
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func spmvAgree(t *testing.T, m *Matrix, mul func(x, y []float64)) {
+	t.Helper()
+	x := make([]float64, m.N)
+	for i := range x {
+		x[i] = math.Sin(float64(i))
+	}
+	want := make([]float64, m.N)
+	got := make([]float64, m.N)
+	m.MulVec(x, want)
+	mul(x, got)
+	for i := range want {
+		if math.Abs(got[i]-want[i]) > 1e-12*(1+math.Abs(want[i])) {
+			t.Fatalf("row %d: got %v want %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestELLMatchesCRS(t *testing.T) {
+	for _, m := range []*Matrix{
+		Poisson2D(9, 7),
+		Poisson3D(4, 5, 3),
+		RandomSPD(80, 6, 5),
+		Laplacian1D(17),
+	} {
+		e := m.ToELL()
+		spmvAgree(t, m, e.MulVec)
+	}
+}
+
+func TestSELLMatchesCRS(t *testing.T) {
+	for _, h := range []int{1, 2, 4, 7, 64} {
+		m := RandomSPD(70, 5, 9)
+		s, err := m.ToSELL(h)
+		if err != nil {
+			t.Fatal(err)
+		}
+		spmvAgree(t, m, s.MulVec)
+	}
+	if _, err := Poisson2D(3, 3).ToSELL(0); err == nil {
+		t.Error("expected slice height error")
+	}
+}
+
+func TestELLWidthAndPadding(t *testing.T) {
+	// One dense-ish row forces ELLPACK-wide padding; SELL contains it.
+	b := NewBuilder(64)
+	for i := 0; i < 64; i++ {
+		b.Set(i, i, 4.0)
+		if i > 0 {
+			b.Set(i, i-1, -1.0)
+		}
+	}
+	for j := 1; j < 32; j++ {
+		b.Set(0, j, -0.01) // long row 0
+		b.Set(j, 0, -0.01)
+	}
+	m, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := m.ToELL()
+	if e.Width < 32 {
+		t.Errorf("ELL width %d, want >= 32 (long row)", e.Width)
+	}
+	s, err := m.ToSELL(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Padding() >= e.Padding() {
+		t.Errorf("SELL padding %.2f should beat ELL %.2f", s.Padding(), e.Padding())
+	}
+	if s.Bytes() >= e.Bytes() {
+		t.Errorf("SELL bytes %d should beat ELL %d here", s.Bytes(), e.Bytes())
+	}
+	spmvAgree(t, m, e.MulVec)
+	spmvAgree(t, m, s.MulVec)
+}
+
+func TestFormatFootprintOnStencil(t *testing.T) {
+	// On a regular stencil (uniform rows) all formats are close; modified
+	// CRS stays the smallest because diagonals carry no column index.
+	m := Poisson3D(8, 8, 8)
+	e := m.ToELL()
+	s, _ := m.ToSELL(8)
+	if m.Bytes() > e.Bytes() || m.Bytes() > s.Bytes() {
+		t.Errorf("modified CRS (%d B) should not exceed ELL (%d B) or SELL (%d B)",
+			m.Bytes(), e.Bytes(), s.Bytes())
+	}
+}
+
+func TestELLSELLProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		m := RandomSPD(40, 4, seed)
+		x := make([]float64, m.N)
+		for i := range x {
+			x[i] = float64((seed+int64(i))%11) - 5
+		}
+		want := make([]float64, m.N)
+		m.MulVec(x, want)
+		e := m.ToELL()
+		got := make([]float64, m.N)
+		e.MulVec(x, got)
+		for i := range want {
+			if math.Abs(got[i]-want[i]) > 1e-9 {
+				return false
+			}
+		}
+		s, err := m.ToSELL(3)
+		if err != nil {
+			return false
+		}
+		s.MulVec(x, got)
+		for i := range want {
+			if math.Abs(got[i]-want[i]) > 1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}

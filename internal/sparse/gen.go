@@ -1,0 +1,293 @@
+package sparse
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Poisson3D discretizes the Poisson equation -∇²u = f on a regular nx×ny×nz
+// grid with the standard 7-point stencil and Dirichlet boundaries. The
+// resulting matrix is symmetric positive definite with 6 on the diagonal and
+// -1 couplings (scaled h²). This is the paper's scaling workload.
+func Poisson3D(nx, ny, nz int) *Matrix {
+	n := nx * ny * nz
+	idx := func(x, y, z int) int { return (z*ny+y)*nx + x }
+	m := &Matrix{N: n, Diag: make([]float64, n), RowPtr: make([]int, n+1)}
+	// Count off-diagonals per row first for exact allocation.
+	nnz := 0
+	for z := 0; z < nz; z++ {
+		for y := 0; y < ny; y++ {
+			for x := 0; x < nx; x++ {
+				c := 0
+				if x > 0 {
+					c++
+				}
+				if x < nx-1 {
+					c++
+				}
+				if y > 0 {
+					c++
+				}
+				if y < ny-1 {
+					c++
+				}
+				if z > 0 {
+					c++
+				}
+				if z < nz-1 {
+					c++
+				}
+				nnz += c
+			}
+		}
+	}
+	m.Cols = make([]int, 0, nnz)
+	m.Vals = make([]float64, 0, nnz)
+	for z := 0; z < nz; z++ {
+		for y := 0; y < ny; y++ {
+			for x := 0; x < nx; x++ {
+				i := idx(x, y, z)
+				m.Diag[i] = 6
+				add := func(j int) {
+					m.Cols = append(m.Cols, j)
+					m.Vals = append(m.Vals, -1)
+				}
+				// Neighbors in increasing index order: -z, -y, -x, +x, +y, +z.
+				if z > 0 {
+					add(idx(x, y, z-1))
+				}
+				if y > 0 {
+					add(idx(x, y-1, z))
+				}
+				if x > 0 {
+					add(idx(x-1, y, z))
+				}
+				if x < nx-1 {
+					add(idx(x+1, y, z))
+				}
+				if y < ny-1 {
+					add(idx(x, y+1, z))
+				}
+				if z < nz-1 {
+					add(idx(x, y, z+1))
+				}
+				m.RowPtr[i+1] = len(m.Cols)
+			}
+		}
+	}
+	return m
+}
+
+// Poisson2D discretizes the Poisson equation on an nx×ny grid with the
+// 5-point stencil (diagonal 4, couplings -1).
+func Poisson2D(nx, ny int) *Matrix {
+	n := nx * ny
+	idx := func(x, y int) int { return y*nx + x }
+	b := NewBuilder(n)
+	for y := 0; y < ny; y++ {
+		for x := 0; x < nx; x++ {
+			i := idx(x, y)
+			b.Set(i, i, 4)
+			if y > 0 {
+				b.Set(i, idx(x, y-1), -1)
+			}
+			if x > 0 {
+				b.Set(i, idx(x-1, y), -1)
+			}
+			if x < nx-1 {
+				b.Set(i, idx(x+1, y), -1)
+			}
+			if y < ny-1 {
+				b.Set(i, idx(x, y+1), -1)
+			}
+		}
+	}
+	m, err := b.Build()
+	if err != nil {
+		panic(err) // indices are constructed in range
+	}
+	return m
+}
+
+// Stencil27 builds a 27-point stencil operator on an nx×ny×nz grid, as arises
+// from trilinear finite elements; it is SPD with diagonal dominance. The
+// coupling weight decays with the Chebyshev distance of the neighbor.
+func Stencil27(nx, ny, nz int) *Matrix {
+	n := nx * ny * nz
+	idx := func(x, y, z int) int { return (z*ny+y)*nx + x }
+	b := NewBuilder(n)
+	for z := 0; z < nz; z++ {
+		for y := 0; y < ny; y++ {
+			for x := 0; x < nx; x++ {
+				i := idx(x, y, z)
+				sum := 0.0
+				for dz := -1; dz <= 1; dz++ {
+					for dy := -1; dy <= 1; dy++ {
+						for dx := -1; dx <= 1; dx++ {
+							if dx == 0 && dy == 0 && dz == 0 {
+								continue
+							}
+							xx, yy, zz := x+dx, y+dy, z+dz
+							if xx < 0 || xx >= nx || yy < 0 || yy >= ny || zz < 0 || zz >= nz {
+								continue
+							}
+							dist := abs(dx) + abs(dy) + abs(dz)
+							w := -1.0 / float64(dist)
+							b.Set(i, idx(xx, yy, zz), w)
+							sum += -w
+						}
+					}
+				}
+				b.Set(i, i, sum+1) // strictly diagonally dominant => SPD
+			}
+		}
+	}
+	m, err := b.Build()
+	if err != nil {
+		panic(err)
+	}
+	return m
+}
+
+// RandomSPD generates a random symmetric, strictly diagonally dominant (hence
+// SPD) matrix with about nnzPerRow off-diagonal entries per row. Useful for
+// property tests over irregular sparsity patterns.
+func RandomSPD(n, nnzPerRow int, seed int64) *Matrix {
+	rng := rand.New(rand.NewSource(seed))
+	b := NewBuilder(n)
+	for i := 0; i < n; i++ {
+		for k := 0; k < nnzPerRow/2+1; k++ {
+			j := rng.Intn(n)
+			if j == i {
+				continue
+			}
+			v := -(rng.Float64() + 0.1)
+			b.Set(i, j, v)
+			b.Set(j, i, v)
+		}
+	}
+	m, err := b.Build()
+	if err != nil {
+		panic(err)
+	}
+	// Make strictly diagonally dominant.
+	for i := 0; i < n; i++ {
+		lo, hi := m.RowRange(i)
+		s := 0.0
+		for k := lo; k < hi; k++ {
+			if m.Vals[k] < 0 {
+				s -= m.Vals[k]
+			} else {
+				s += m.Vals[k]
+			}
+		}
+		m.Diag[i] = s + 1 + rng.Float64()
+	}
+	return m
+}
+
+// Laplacian1D returns the classic tridiagonal 1-D Poisson matrix, handy for
+// small exact tests.
+func Laplacian1D(n int) *Matrix {
+	b := NewBuilder(n)
+	for i := 0; i < n; i++ {
+		b.Set(i, i, 2)
+		if i > 0 {
+			b.Set(i, i-1, -1)
+		}
+		if i < n-1 {
+			b.Set(i, i+1, -1)
+		}
+	}
+	m, err := b.Build()
+	if err != nil {
+		panic(err)
+	}
+	return m
+}
+
+// GridDims3D returns grid dimensions whose product is close to n rows for a
+// roughly cubic 3-D grid (used by the weak-scaling driver to hold rows/tile
+// constant).
+func GridDims3D(n int) (nx, ny, nz int) {
+	c := 1
+	for (c+1)*(c+1)*(c+1) <= n {
+		c++
+	}
+	nx, ny, nz = c, c, c
+	// Grow dimensions one at a time while staying <= n.
+	for (nx+1)*ny*nz <= n {
+		nx++
+	}
+	for nx*(ny+1)*nz <= n {
+		ny++
+	}
+	return nx, ny, nz
+}
+
+// GenByName builds a named generator workload; it recognizes
+// "poisson3d:NX[:NY[:NZ]]", "poisson2d:NX[:NY]", "stencil27:NX", and
+// "laplace1d:N".
+func GenByName(spec string) (*Matrix, error) {
+	var a, b2, c int
+	if n, _ := fmt.Sscanf(spec, "poisson3d:%d:%d:%d", &a, &b2, &c); n == 3 {
+		return Poisson3D(a, b2, c), nil
+	}
+	if n, _ := fmt.Sscanf(spec, "poisson3d:%d", &a); n == 1 {
+		return Poisson3D(a, a, a), nil
+	}
+	if n, _ := fmt.Sscanf(spec, "poisson2d:%d:%d", &a, &b2); n == 2 {
+		return Poisson2D(a, b2), nil
+	}
+	if n, _ := fmt.Sscanf(spec, "poisson2d:%d", &a); n == 1 {
+		return Poisson2D(a, a), nil
+	}
+	if n, _ := fmt.Sscanf(spec, "stencil27:%d", &a); n == 1 {
+		return Stencil27(a, a, a), nil
+	}
+	if n, _ := fmt.Sscanf(spec, "laplace1d:%d", &a); n == 1 {
+		return Laplacian1D(a), nil
+	}
+	var pe float64
+	if n, _ := fmt.Sscanf(spec, "convdiff2d:%d:%g", &a, &pe); n == 2 {
+		return ConvectionDiffusion2D(a, a, pe), nil
+	}
+	return nil, fmt.Errorf("sparse: unknown generator spec %q", spec)
+}
+
+// ConvectionDiffusion2D discretizes -∇²u + v·∇u on an nx×ny grid with
+// first-order upwinding of the convection term, producing a *nonsymmetric*
+// matrix (the problem class BiCGStab exists for — CG requires symmetry).
+// peclet controls the convection strength; 0 recovers the symmetric Poisson
+// operator.
+func ConvectionDiffusion2D(nx, ny int, peclet float64) *Matrix {
+	n := nx * ny
+	idx := func(x, y int) int { return y*nx + x }
+	b := NewBuilder(n)
+	// Velocity field v = (peclet, peclet/2), upwinded.
+	vx, vy := peclet, peclet/2
+	for y := 0; y < ny; y++ {
+		for x := 0; x < nx; x++ {
+			i := idx(x, y)
+			diag := 4.0 + vx + vy
+			if x > 0 {
+				b.Set(i, idx(x-1, y), -1-vx) // upwind west
+			}
+			if x < nx-1 {
+				b.Set(i, idx(x+1, y), -1)
+			}
+			if y > 0 {
+				b.Set(i, idx(x, y-1), -1-vy) // upwind south
+			}
+			if y < ny-1 {
+				b.Set(i, idx(x, y+1), -1)
+			}
+			b.Set(i, i, diag)
+		}
+	}
+	m, err := b.Build()
+	if err != nil {
+		panic(err)
+	}
+	return m
+}

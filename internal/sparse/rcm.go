@@ -1,0 +1,76 @@
+package sparse
+
+import "sort"
+
+// RCM computes the reverse Cuthill-McKee ordering of the matrix's adjacency
+// graph and returns a permutation (perm[old] = new).
+//
+// On cache-based machines RCM reduces bandwidth for locality; the paper notes
+// that locality is irrelevant on the cacheless IPU (§IV). Orderings still
+// matter there for a *different* reason: the level-set schedules of
+// Gauss-Seidel and ILU substitution depend on the triangular dependency
+// structure, so the ordering controls how much six-way worker parallelism a
+// tile can extract. RCM is provided to make that effect measurable
+// (TestOrderingChangesLevelStructure) and to pre-order imported Matrix Market
+// files whose natural ordering is poor.
+func RCM(m *Matrix) []int {
+	n := m.N
+	degree := func(i int) int { return m.RowPtr[i+1] - m.RowPtr[i] }
+	visited := make([]bool, n)
+	order := make([]int, 0, n)
+	queue := make([]int, 0, n)
+	neighbors := make([]int, 0, 64)
+
+	for start := 0; start < n; {
+		// Next component: seed from an unvisited vertex of minimal degree
+		// (a cheap stand-in for a pseudo-peripheral vertex).
+		seed := -1
+		for i := 0; i < n; i++ {
+			if !visited[i] && (seed == -1 || degree(i) < degree(seed)) {
+				seed = i
+			}
+		}
+		if seed == -1 {
+			break
+		}
+		visited[seed] = true
+		queue = append(queue[:0], seed)
+		for len(queue) > 0 {
+			v := queue[0]
+			queue = queue[1:]
+			order = append(order, v)
+			neighbors = neighbors[:0]
+			for k := m.RowPtr[v]; k < m.RowPtr[v+1]; k++ {
+				j := m.Cols[k]
+				if !visited[j] {
+					visited[j] = true
+					neighbors = append(neighbors, j)
+				}
+			}
+			sort.Slice(neighbors, func(a, b int) bool {
+				return degree(neighbors[a]) < degree(neighbors[b])
+			})
+			queue = append(queue, neighbors...)
+		}
+		start = len(order)
+	}
+	// Reverse (the "R" in RCM) and invert into perm[old] = new.
+	perm := make([]int, n)
+	for pos, v := range order {
+		perm[v] = n - 1 - pos
+	}
+	return perm
+}
+
+// Bandwidth returns max |i-j| over stored off-diagonal entries.
+func Bandwidth(m *Matrix) int {
+	bw := 0
+	for i := 0; i < m.N; i++ {
+		for k := m.RowPtr[i]; k < m.RowPtr[i+1]; k++ {
+			if d := abs(i - m.Cols[k]); d > bw {
+				bw = d
+			}
+		}
+	}
+	return bw
+}

@@ -1,0 +1,73 @@
+package sparse
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestRCMIsPermutation(t *testing.T) {
+	for _, m := range []*Matrix{
+		Poisson2D(8, 8),
+		RandomSPD(60, 5, 3),
+		Laplacian1D(10),
+	} {
+		perm := RCM(m)
+		if _, err := m.Permute(perm); err != nil {
+			t.Fatalf("RCM produced an invalid permutation: %v", err)
+		}
+	}
+}
+
+func TestRCMReducesBandwidthOnShuffled(t *testing.T) {
+	// Take a banded matrix, shuffle it, and verify RCM restores a small
+	// bandwidth.
+	m := Laplacian1D(200)
+	rng := rand.New(rand.NewSource(5))
+	shuffle := rng.Perm(200)
+	shuffled, err := m.Permute(shuffle)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := Bandwidth(shuffled)
+	back, err := shuffled.Permute(RCM(shuffled))
+	if err != nil {
+		t.Fatal(err)
+	}
+	after := Bandwidth(back)
+	if after >= before/10 {
+		t.Errorf("RCM bandwidth %d, shuffled %d — expected a large reduction", after, before)
+	}
+	if after > 2 {
+		t.Errorf("chain graph should recover bandwidth <= 2, got %d", after)
+	}
+}
+
+func TestRCMHandlesDisconnected(t *testing.T) {
+	// Two disconnected chains.
+	b := NewBuilder(10)
+	for i := 0; i < 10; i++ {
+		b.Set(i, i, 2)
+	}
+	for i := 0; i < 4; i++ {
+		b.Set(i, i+1, -1)
+		b.Set(i+1, i, -1)
+	}
+	for i := 5; i < 9; i++ {
+		b.Set(i, i+1, -1)
+		b.Set(i+1, i, -1)
+	}
+	m, _ := b.Build()
+	perm := RCM(m)
+	if _, err := m.Permute(perm); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBandwidth(t *testing.T) {
+	if bw := Bandwidth(Laplacian1D(10)); bw != 1 {
+		t.Errorf("tridiagonal bandwidth = %d", bw)
+	}
+	if bw := Bandwidth(Poisson2D(5, 5)); bw != 5 {
+		t.Errorf("5-point 5x5 bandwidth = %d, want 5", bw)
+	}
+}

@@ -1,0 +1,335 @@
+package tensordsl
+
+import (
+	"fmt"
+	"math"
+
+	"ipusparse/internal/graph"
+	"ipusparse/internal/ipu"
+	"ipusparse/internal/twofloat"
+)
+
+// vec is a typed vector used while evaluating a materialized expression —
+// the runtime state of the generated fused codelet. All operations are
+// performed elementwise over whole local ranges, mirroring how a compiled
+// codelet loops over its tile-local view.
+type vec struct {
+	k      ipu.Scalar
+	f      []float32
+	hi, lo []float32
+	p      []float64
+}
+
+func newVec(k ipu.Scalar, n int) vec {
+	v := vec{k: k}
+	switch k {
+	case ipu.F32:
+		v.f = make([]float32, n)
+	case ipu.DW:
+		v.hi = make([]float32, n)
+		v.lo = make([]float32, n)
+	case ipu.F64:
+		v.p = make([]float64, n)
+	default:
+		panic(fmt.Sprintf("tensordsl: eval type %v unsupported", k))
+	}
+	return v
+}
+
+func (v vec) len() int {
+	switch v.k {
+	case ipu.F32:
+		return len(v.f)
+	case ipu.DW:
+		return len(v.hi)
+	default:
+		return len(v.p)
+	}
+}
+
+// evalInto evaluates e at evalType and stores the result into dst
+// (converting to dst's scalar type). tile selects the local interval of
+// distributed leaves; -1 evaluates in replicated context.
+func evalInto(e *Expr, tile int, evalType ipu.Scalar, dst *graph.Buffer) {
+	n := dst.Len()
+	res := evalVec(e, tile, evalType, n)
+	storeVec(dst, res)
+}
+
+func evalVec(e *Expr, tile int, k ipu.Scalar, n int) vec {
+	switch e.kind {
+	case leafConst:
+		out := newVec(k, n)
+		out.fill(e.c)
+		return out
+	case leafTensor:
+		return loadLeaf(e.t, tile, k, n)
+	case unaryExpr:
+		a := evalVec(e.a, tile, k, n)
+		out := newVec(k, n)
+		applyUnary(e.op, out, a)
+		return out
+	case binaryExpr:
+		a := evalVec(e.a, tile, k, n)
+		b := evalVec(e.b, tile, k, n)
+		out := newVec(k, n)
+		applyBinary(e.op, out, a, b)
+		return out
+	}
+	panic("tensordsl: bad expression node")
+}
+
+// loadLeaf reads a tensor leaf's local data (broadcasting replicated scalars)
+// converted to eval type k.
+func loadLeaf(t *Tensor, tile int, k ipu.Scalar, n int) vec {
+	out := newVec(k, n)
+	var src *graph.Buffer
+	broadcast := false
+	if t.repl {
+		src = t.rbuf
+		broadcast = t.n == 1 && n != 1
+	} else {
+		if tile < 0 {
+			panic(fmt.Sprintf("tensordsl: distributed leaf %q in replicated context", t.Name))
+		}
+		src = t.bufs[tile]
+	}
+	if broadcast {
+		out.fill(src.Get(0))
+		// Exact broadcast for DW scalars (fill() rounds through float64,
+		// which is lossless for DW anyway; keep hi/lo verbatim).
+		if k == ipu.DW && src.Scalar == ipu.DW {
+			for i := range out.hi {
+				out.hi[i], out.lo[i] = src.Hi[0], src.Lo[0]
+			}
+		}
+		return out
+	}
+	if src.Len() != n {
+		panic(fmt.Sprintf("tensordsl: leaf %q local length %d, want %d", t.Name, src.Len(), n))
+	}
+	convertBufInto(out, src)
+	return out
+}
+
+func (v vec) fill(c float64) {
+	switch v.k {
+	case ipu.F32:
+		f := float32(c)
+		for i := range v.f {
+			v.f[i] = f
+		}
+	case ipu.DW:
+		d := twofloat.FromFloat64(c)
+		for i := range v.hi {
+			v.hi[i], v.lo[i] = d.Hi, d.Lo
+		}
+	case ipu.F64:
+		for i := range v.p {
+			v.p[i] = c
+		}
+	}
+}
+
+// convertBufInto converts a source buffer into the eval vector.
+func convertBufInto(out vec, src *graph.Buffer) {
+	switch out.k {
+	case ipu.F32:
+		switch src.Scalar {
+		case ipu.F32:
+			copy(out.f, src.F32)
+		case ipu.DW:
+			for i := range out.f {
+				out.f[i] = twofloat.DW{Hi: src.Hi[i], Lo: src.Lo[i]}.Float32()
+			}
+		case ipu.F64:
+			for i := range out.f {
+				out.f[i] = float32(src.F64[i])
+			}
+		default:
+			for i := range out.f {
+				out.f[i] = float32(src.Get(i))
+			}
+		}
+	case ipu.DW:
+		switch src.Scalar {
+		case ipu.F32:
+			for i := range out.hi {
+				out.hi[i], out.lo[i] = src.F32[i], 0 // exact widen
+			}
+		case ipu.DW:
+			copy(out.hi, src.Hi)
+			copy(out.lo, src.Lo)
+		default:
+			for i := range out.hi {
+				d := twofloat.FromFloat64(src.Get(i))
+				out.hi[i], out.lo[i] = d.Hi, d.Lo
+			}
+		}
+	case ipu.F64:
+		switch src.Scalar {
+		case ipu.F64:
+			copy(out.p, src.F64)
+		default:
+			for i := range out.p {
+				out.p[i] = src.Get(i)
+			}
+		}
+	}
+}
+
+// storeVec writes the eval result into the destination buffer, rounding to
+// its scalar type.
+func storeVec(dst *graph.Buffer, v vec) {
+	switch dst.Scalar {
+	case ipu.F32:
+		switch v.k {
+		case ipu.F32:
+			copy(dst.F32, v.f)
+		case ipu.DW:
+			for i := range dst.F32 {
+				dst.F32[i] = twofloat.DW{Hi: v.hi[i], Lo: v.lo[i]}.Float32()
+			}
+		case ipu.F64:
+			for i := range dst.F32 {
+				dst.F32[i] = float32(v.p[i])
+			}
+		}
+	case ipu.DW:
+		switch v.k {
+		case ipu.DW:
+			copy(dst.Hi, v.hi)
+			copy(dst.Lo, v.lo)
+		case ipu.F32:
+			for i := range dst.Hi {
+				dst.Hi[i], dst.Lo[i] = v.f[i], 0
+			}
+		case ipu.F64:
+			for i := range dst.Hi {
+				d := twofloat.FromFloat64(v.p[i])
+				dst.Hi[i], dst.Lo[i] = d.Hi, d.Lo
+			}
+		}
+	case ipu.F64:
+		switch v.k {
+		case ipu.F64:
+			copy(dst.F64, v.p)
+		case ipu.F32:
+			for i := range dst.F64 {
+				dst.F64[i] = float64(v.f[i])
+			}
+		case ipu.DW:
+			for i := range dst.F64 {
+				dst.F64[i] = twofloat.DW{Hi: v.hi[i], Lo: v.lo[i]}.Float64()
+			}
+		}
+	default:
+		panic(fmt.Sprintf("tensordsl: cannot store into %v buffer", dst.Scalar))
+	}
+}
+
+func applyUnary(op byte, out, a vec) {
+	switch out.k {
+	case ipu.F32:
+		for i := range out.f {
+			x := a.f[i]
+			switch op {
+			case 'n':
+				out.f[i] = -x
+			case 'a':
+				if x < 0 {
+					x = -x
+				}
+				out.f[i] = x
+			case 'q':
+				out.f[i] = float32(math.Sqrt(float64(x)))
+			}
+		}
+	case ipu.DW:
+		for i := range out.hi {
+			x := twofloat.DW{Hi: a.hi[i], Lo: a.lo[i]}
+			var r twofloat.DW
+			switch op {
+			case 'n':
+				r = x.Neg()
+			case 'a':
+				r = x.Abs()
+			case 'q':
+				r = twofloat.Sqrt(x)
+			}
+			out.hi[i], out.lo[i] = r.Hi, r.Lo
+		}
+	case ipu.F64:
+		for i := range out.p {
+			x := a.p[i]
+			switch op {
+			case 'n':
+				out.p[i] = -x
+			case 'a':
+				out.p[i] = math.Abs(x)
+			case 'q':
+				out.p[i] = math.Sqrt(x)
+			}
+		}
+	}
+}
+
+func applyBinary(op byte, out, a, b vec) {
+	switch out.k {
+	case ipu.F32:
+		switch op {
+		case '+':
+			for i := range out.f {
+				out.f[i] = a.f[i] + b.f[i]
+			}
+		case '-':
+			for i := range out.f {
+				out.f[i] = a.f[i] - b.f[i]
+			}
+		case '*':
+			for i := range out.f {
+				out.f[i] = a.f[i] * b.f[i]
+			}
+		case '/':
+			for i := range out.f {
+				out.f[i] = a.f[i] / b.f[i]
+			}
+		}
+	case ipu.DW:
+		for i := range out.hi {
+			x := twofloat.DW{Hi: a.hi[i], Lo: a.lo[i]}
+			y := twofloat.DW{Hi: b.hi[i], Lo: b.lo[i]}
+			var r twofloat.DW
+			switch op {
+			case '+':
+				r = twofloat.Add(x, y)
+			case '-':
+				r = twofloat.Sub(x, y)
+			case '*':
+				r = twofloat.Mul(x, y)
+			case '/':
+				r = twofloat.Div(x, y)
+			}
+			out.hi[i], out.lo[i] = r.Hi, r.Lo
+		}
+	case ipu.F64:
+		switch op {
+		case '+':
+			for i := range out.p {
+				out.p[i] = a.p[i] + b.p[i]
+			}
+		case '-':
+			for i := range out.p {
+				out.p[i] = a.p[i] - b.p[i]
+			}
+		case '*':
+			for i := range out.p {
+				out.p[i] = a.p[i] * b.p[i]
+			}
+		case '/':
+			for i := range out.p {
+				out.p[i] = a.p[i] / b.p[i]
+			}
+		}
+	}
+}

@@ -1,0 +1,44 @@
+package tensordsl_test
+
+import (
+	"fmt"
+	"log"
+
+	"ipusparse/internal/ipu"
+	"ipusparse/internal/tensordsl"
+)
+
+// Distribute a tensor over the tiles, update it with a fused lazy expression,
+// and reduce it — the TensorDSL core loop of every solver in the framework.
+func Example() {
+	mach, err := ipu.New(ipu.DefaultConfig())
+	if err != nil {
+		log.Fatal(err)
+	}
+	s := tensordsl.NewSession(mach)
+
+	n := 1024
+	sizes := make([]int, mach.NumTiles())
+	for i := range sizes {
+		sizes[i] = n / mach.NumTiles()
+	}
+	x := s.MustTensor("x", ipu.F32, sizes)
+	vals := make([]float64, n)
+	for i := range vals {
+		vals[i] = 1
+	}
+	if err := x.SetHost(vals); err != nil {
+		log.Fatal(err)
+	}
+
+	// x = 2*x + 1, materialized as one fused codelet per tile.
+	x.Assign(tensordsl.Add(tensordsl.Mul(x, 2.0), 1.0))
+	sum := s.Reduce(x)
+
+	if _, err := s.Run(); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("sum = %.0f\n", sum.Value())
+	// Output:
+	// sum = 3072
+}

@@ -1,0 +1,64 @@
+package tensordsl
+
+import (
+	"fmt"
+
+	"ipusparse/internal/codedsl"
+	"ipusparse/internal/graph"
+)
+
+// Execute bridges the two DSLs, mirroring the paper's Fig. 1
+// `Execute({x}, [](Value x){...})`: the body is executed symbolically once
+// per tile holding data, with tile-local CodeDSL views of the given tensors,
+// and the generated codelets are scheduled as one compute set in the current
+// program step. The body sees only the executing tile's slice of each tensor
+// — the tile-centric perspective of CodeDSL.
+//
+// The optional last view argument conventions of the C++ original are
+// replaced by Go slices: views[i] corresponds to tensors[i].
+func (s *Session) Execute(tensors []*Tensor, body func(b *codedsl.Builder, views []codedsl.View)) {
+	s.ExecuteLabeled("Elementwise Ops", tensors, body)
+}
+
+// ExecuteLabeled is Execute with an explicit profiling label.
+func (s *Session) ExecuteLabeled(label string, tensors []*Tensor, body func(b *codedsl.Builder, views []codedsl.View)) {
+	if len(tensors) == 0 {
+		panic("tensordsl: Execute needs at least one tensor")
+	}
+	// All distributed tensors must share a mapping; replicated tensors are
+	// visible on every tile in full.
+	var ref *Tensor
+	for _, t := range tensors {
+		if t.repl {
+			continue
+		}
+		if ref == nil {
+			ref = t
+		} else if !ref.sameMapping(t) {
+			panic(fmt.Sprintf("tensordsl: Execute tensors %q and %q have different mappings", ref.Name, t.Name))
+		}
+	}
+	cs := graph.NewComputeSet(s.tempName()+":execute", label)
+	addTile := func(tile int) {
+		views := make([]codedsl.View, len(tensors))
+		for i, t := range tensors {
+			views[i] = codedsl.NewView(t.Buf(tile))
+		}
+		b := codedsl.NewBuilder()
+		body(b, views)
+		cs.Add(tile, b.Build().Codelet())
+	}
+	if ref == nil {
+		// Purely replicated: run on tile 0 (the shared buffer is written
+		// once; scheduling on all tiles would multiply side effects).
+		addTile(0)
+	} else {
+		for tile := range ref.bufs {
+			if ref.sizes[tile] == 0 {
+				continue
+			}
+			addTile(tile)
+		}
+	}
+	s.Append(graph.Compute{Set: cs})
+}

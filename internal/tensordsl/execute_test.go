@@ -1,0 +1,127 @@
+package tensordsl
+
+import (
+	"math"
+	"testing"
+
+	"ipusparse/internal/codedsl"
+	"ipusparse/internal/ipu"
+)
+
+func TestExecuteFillsTensor(t *testing.T) {
+	// The paper's Fig. 1 pattern: fill x elementwise with CodeDSL, reduce
+	// with TensorDSL.
+	s := newSession(t)
+	x := s.MustTensor("x", ipu.F32, split(s, 200))
+	s.Execute([]*Tensor{x}, func(b *codedsl.Builder, v []codedsl.View) {
+		b.For(b.ConstInt(0), b.Size(v[0]), b.ConstInt(1), func(i codedsl.Value) {
+			b.Store(v[0], i, b.Const(2.5))
+		})
+	})
+	sum := s.Reduce(x)
+	if _, err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(sum.Value()-500) > 1e-3 {
+		t.Errorf("sum = %v, want 500", sum.Value())
+	}
+}
+
+func TestExecuteMultipleTensors(t *testing.T) {
+	s := newSession(t)
+	x := s.MustTensor("x", ipu.F32, split(s, 60))
+	y := s.MustTensor("y", ipu.F32, split(s, 60))
+	x.SetHost(ramp(60))
+	// y[i] = x[i]^2 via CodeDSL over both views.
+	s.Execute([]*Tensor{x, y}, func(b *codedsl.Builder, v []codedsl.View) {
+		b.For(b.ConstInt(0), b.Size(v[0]), b.ConstInt(1), func(i codedsl.Value) {
+			xv := b.Load(v[0], i)
+			b.Store(v[1], i, xv.Mul(xv))
+		})
+	})
+	if _, err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range y.Host() {
+		want := float64((i + 1) * (i + 1))
+		if math.Abs(v-want) > 1e-3*want {
+			t.Fatalf("y[%d] = %v, want %v", i, v, want)
+		}
+	}
+}
+
+func TestExecuteReplicatedScalar(t *testing.T) {
+	s := newSession(t)
+	a := s.MustScalar("a", ipu.F32)
+	s.Execute([]*Tensor{a}, func(b *codedsl.Builder, v []codedsl.View) {
+		b.Store(v[0], b.ConstInt(0), b.Const(7))
+	})
+	if _, err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if a.Value() != 7 {
+		t.Errorf("a = %v", a.Value())
+	}
+}
+
+func TestExecuteMixedWithReplicated(t *testing.T) {
+	s := newSession(t)
+	x := s.MustTensor("x", ipu.F32, split(s, 40))
+	alpha := s.MustScalar("alpha", ipu.F32)
+	alpha.SetValue(3)
+	s.Execute([]*Tensor{x, alpha}, func(b *codedsl.Builder, v []codedsl.View) {
+		a := b.Load(v[1], b.ConstInt(0))
+		b.For(b.ConstInt(0), b.Size(v[0]), b.ConstInt(1), func(i codedsl.Value) {
+			b.Store(v[0], i, a)
+		})
+	})
+	if _, err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range x.Host() {
+		if v != 3 {
+			t.Fatalf("x[%d] = %v", i, v)
+		}
+	}
+}
+
+func TestExecuteMappingMismatchPanics(t *testing.T) {
+	s := newSession(t)
+	x := s.MustTensor("x", ipu.F32, split(s, 20))
+	bad := split(s, 20)
+	bad[0], bad[1] = bad[1]+1, bad[0]-1
+	y := s.MustTensor("y", ipu.F32, bad)
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	s.Execute([]*Tensor{x, y}, func(b *codedsl.Builder, v []codedsl.View) {})
+}
+
+func TestExecuteNoTensorsPanics(t *testing.T) {
+	s := newSession(t)
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	s.Execute(nil, func(b *codedsl.Builder, v []codedsl.View) {})
+}
+
+func TestExecuteChargesCycles(t *testing.T) {
+	s := newSession(t)
+	x := s.MustTensor("x", ipu.F32, split(s, 600))
+	s.Execute([]*Tensor{x}, func(b *codedsl.Builder, v []codedsl.View) {
+		b.For(b.ConstInt(0), b.Size(v[0]), b.ConstInt(1), func(i codedsl.Value) {
+			b.Store(v[0], i, b.Const(1))
+		})
+	})
+	e, err := s.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.M.Stats().ComputeCycles == 0 {
+		t.Error("Execute codelets should charge cycles")
+	}
+}

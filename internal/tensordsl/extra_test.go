@@ -1,0 +1,150 @@
+package tensordsl
+
+import (
+	"math"
+	"testing"
+
+	"ipusparse/internal/ipu"
+)
+
+func TestChainedExprMethods(t *testing.T) {
+	s := newSession(t)
+	x := s.MustTensor("x", ipu.F32, split(s, 20))
+	x.SetHost(ramp(20))
+	y := s.MustTensor("y", ipu.F32, split(s, 20))
+	// Method chaining: ((x+1)*2 - 4) / 2
+	y.Assign(E(x).Add(1.0).Mul(2.0).Sub(4.0).Div(2.0))
+	if _, err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range y.Host() {
+		want := (float64(i+1)+1)*2/2 - 2
+		if math.Abs(v-want) > 1e-5 {
+			t.Fatalf("y[%d] = %v, want %v", i, v, want)
+		}
+	}
+}
+
+func TestEPanicsOnUnsupported(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	E("not a tensor")
+}
+
+func TestDWScalarBroadcast(t *testing.T) {
+	// A double-word replicated scalar must broadcast its full precision.
+	s := newSession(t)
+	x := s.MustTensor("x", ipu.DW, split(s, 10))
+	alpha := s.MustScalar("alpha", ipu.DW)
+	alpha.SetValue(1.000000001) // not representable in f32
+	x.Assign(E(alpha))
+	if _, err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range x.Host() {
+		if math.Abs(v-1.000000001) > 1e-14 {
+			t.Fatalf("x[%d] = %.12f lost DW precision in broadcast", i, v)
+		}
+	}
+}
+
+func TestReduceOfExpression(t *testing.T) {
+	// Reduce over a compound expression (fused reduce: no temp tensor).
+	s := newSession(t)
+	x := s.MustTensor("x", ipu.F32, split(s, 50))
+	x.SetHost(ramp(50))
+	r := s.Reduce(Mul(Sub(x, 1.0), 2.0)) // sum(2*(x-1)) = 2*(sum(x) - 50)
+	if _, err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	want := 2.0 * (50.0*51.0/2.0 - 50.0)
+	if math.Abs(r.Value()-want) > 1e-2 {
+		t.Errorf("reduce = %v, want %v", r.Value(), want)
+	}
+}
+
+func TestNorm2DW(t *testing.T) {
+	s := newSession(t)
+	x := s.MustTensor("x", ipu.DW, split(s, 4))
+	x.SetHost([]float64{3, 4, 0, 0})
+	n := s.Norm2(x)
+	if _, err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(n.Value()-5) > 1e-12 {
+		t.Errorf("norm = %v, want 5 (DW precision)", n.Value())
+	}
+}
+
+func TestDotLabeled(t *testing.T) {
+	s := newSession(t)
+	x := s.MustTensor("x", ipu.F32, split(s, 16))
+	x.SetHost(ramp(16))
+	s.DotLabeled(x, x, "MyLabel")
+	e, err := s.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.Profile["MyLabel"] == 0 {
+		t.Error("custom reduce label not recorded")
+	}
+}
+
+func TestEngineRunTwiceAccumulates(t *testing.T) {
+	// Programs are re-runnable (the Fig. 2 model compiles once, executes
+	// many times); machine stats accumulate across runs.
+	s := newSession(t)
+	x := s.MustTensor("x", ipu.F32, split(s, 16))
+	x.SetHost(make([]float64, 16))
+	x.Assign(Add(x, 1.0))
+	e, err := s.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	first := e.M.Stats().TotalCycles
+	if err := e.Run(s.Program()); err != nil {
+		t.Fatal(err)
+	}
+	if x.Host()[0] != 2 {
+		t.Errorf("second run should increment again, got %v", x.Host()[0])
+	}
+	if e.M.Stats().TotalCycles != 2*first {
+		t.Errorf("stats should accumulate: %d vs 2*%d", e.M.Stats().TotalCycles, first)
+	}
+}
+
+func TestTempOfConstIsScalar(t *testing.T) {
+	s := newSession(t)
+	c := s.Temp(Add(1.0, 2.0))
+	if !c.Replicated() || c.Len() != 1 {
+		t.Error("Temp of constants should be a replicated scalar")
+	}
+	if _, err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if c.Value() != 3 {
+		t.Errorf("const temp = %v", c.Value())
+	}
+}
+
+func TestMixedDWF64Promotion(t *testing.T) {
+	s := newSession(t)
+	d := s.MustTensor("d", ipu.DW, split(s, 4))
+	p := s.MustTensor("p", ipu.F64, split(s, 4))
+	d.SetHost([]float64{1e-9, 2e-9, 3e-9, 4e-9})
+	p.SetHost([]float64{1, 1, 1, 1})
+	out := s.MustTensor("o", ipu.F64, split(s, 4))
+	out.Assign(Add(p, d)) // promotes to F64
+	if _, err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range out.Host() {
+		want := 1 + float64(i+1)*1e-9
+		if math.Abs(v-want) > 1e-15 {
+			t.Fatalf("o[%d] = %.15f, want %.15f", i, v, want)
+		}
+	}
+}

@@ -1,0 +1,112 @@
+// Package tensordsl implements TensorDSL, the framework's language for
+// operations on tensors distributed across tiles (paper §III).
+//
+// TensorDSL gives a global perspective: elementwise operations, reductions,
+// broadcasting and copies on whole tensors, regardless of their distribution.
+// Go code using a Session executes symbolically: arithmetic returns lazy
+// expression objects, and only when a value is needed is the expression
+// materialized — a single fused codelet per tile is generated and scheduled
+// into the current program step (paper §III-C; fusion shrinks both the
+// dataflow graph and the schedule). Control functions (If, While, Repeat)
+// manage a control-flow stack of program steps: each branch pushes a fresh
+// step, symbolically executes its lambda, and pops, so the top of the stack
+// is always the step under construction (paper §III-B).
+//
+// The Session produces a graph.Sequence program executed by a graph.Engine on
+// the simulated machine.
+package tensordsl
+
+import (
+	"fmt"
+
+	"ipusparse/internal/graph"
+	"ipusparse/internal/ipu"
+)
+
+// Session is one TensorDSL program under construction, bound to a machine.
+type Session struct {
+	M *ipu.Machine
+
+	root  *graph.Sequence
+	stack []*graph.Sequence
+	ntemp int
+}
+
+// NewSession creates a session for the machine.
+func NewSession(m *ipu.Machine) *Session {
+	root := &graph.Sequence{Name: "program"}
+	return &Session{M: m, root: root, stack: []*graph.Sequence{root}}
+}
+
+// Program returns the root program for execution with a graph.Engine.
+func (s *Session) Program() *graph.Sequence { return s.root }
+
+// cur returns the step at the top of the control-flow stack.
+func (s *Session) cur() *graph.Sequence { return s.stack[len(s.stack)-1] }
+
+// Append schedules a raw step into the current program position. It is the
+// extension point used by solver codelets (SpMV, ILU, halo exchanges).
+func (s *Session) Append(st graph.Step) { s.cur().Append(st) }
+
+// push/pop manage the control-flow stack.
+func (s *Session) push() *graph.Sequence {
+	seq := &graph.Sequence{}
+	s.stack = append(s.stack, seq)
+	return seq
+}
+
+func (s *Session) pop() { s.stack = s.stack[:len(s.stack)-1] }
+
+// If symbolically executes then (and optionally elseBody) into branch steps
+// and schedules a conditional. cond is evaluated on the host at run time,
+// typically reading a scalar tensor via Tensor.Value.
+func (s *Session) If(cond func() bool, then func(), elseBody func()) {
+	thenSeq := s.push()
+	then()
+	s.pop()
+	var elseSeq *graph.Sequence
+	if elseBody != nil {
+		elseSeq = s.push()
+		elseBody()
+		s.pop()
+	}
+	s.Append(graph.If{Cond: cond, Then: thenSeq, Else: elseSeq})
+}
+
+// While symbolically executes body once into a step and schedules a loop
+// that re-runs it while cond holds. maxIter guards non-termination (0 uses
+// the engine default).
+func (s *Session) While(cond func() bool, maxIter int, body func()) {
+	seq := s.push()
+	body()
+	s.pop()
+	s.Append(graph.While{Name: "while", Cond: cond, Body: seq, MaxIter: maxIter})
+}
+
+// Repeat schedules body n times.
+func (s *Session) Repeat(n int, body func()) {
+	seq := s.push()
+	body()
+	s.pop()
+	s.Append(graph.Repeat{N: n, Body: seq})
+}
+
+// HostCallback schedules a CPU callback (progress reporting, residual
+// recording, data transfer — paper §III-A step 4).
+func (s *Session) HostCallback(name string, fn func() error) {
+	s.Append(graph.HostCall{Name: name, Fn: fn})
+}
+
+// Run compiles nothing further (the program was built during symbolic
+// execution) and executes it on a fresh engine, returning the engine for
+// profile inspection.
+func (s *Session) Run() (*graph.Engine, error) {
+	e := graph.NewEngine(s.M)
+	err := e.Run(s.root)
+	return e, err
+}
+
+func (s *Session) tempName() string {
+	s.ntemp++
+	return fmt.Sprintf("tmp%d", s.ntemp)
+}

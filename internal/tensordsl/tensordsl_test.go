@@ -1,0 +1,459 @@
+package tensordsl
+
+import (
+	"math"
+	"testing"
+
+	"ipusparse/internal/graph"
+	"ipusparse/internal/ipu"
+)
+
+func newSession(t *testing.T) *Session {
+	t.Helper()
+	m, err := ipu.New(ipu.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return NewSession(m)
+}
+
+// split distributes n elements evenly over the machine's tiles.
+func split(s *Session, n int) []int {
+	nt := s.M.NumTiles()
+	sizes := make([]int, nt)
+	for i := 0; i < nt; i++ {
+		sizes[i] = n / nt
+		if i < n%nt {
+			sizes[i]++
+		}
+	}
+	return sizes
+}
+
+func ramp(n int) []float64 {
+	v := make([]float64, n)
+	for i := range v {
+		v[i] = float64(i + 1)
+	}
+	return v
+}
+
+func TestTensorCreationAndHostIO(t *testing.T) {
+	s := newSession(t)
+	x := s.MustTensor("x", ipu.F32, split(s, 100))
+	if x.Len() != 100 {
+		t.Fatalf("len = %d", x.Len())
+	}
+	if err := x.SetHost(ramp(100)); err != nil {
+		t.Fatal(err)
+	}
+	h := x.Host()
+	for i := range h {
+		if h[i] != float64(i+1) {
+			t.Fatalf("h[%d] = %v", i, h[i])
+		}
+	}
+	if err := x.SetHost(ramp(5)); err == nil {
+		t.Error("expected length error")
+	}
+}
+
+func TestTensorWrongSizes(t *testing.T) {
+	s := newSession(t)
+	if _, err := s.NewTensor("bad", ipu.F32, []int{1, 2}); err == nil {
+		t.Error("expected sizes/tiles mismatch error")
+	}
+}
+
+func TestTensorOutOfMemory(t *testing.T) {
+	s := newSession(t)
+	huge := make([]int, s.M.NumTiles())
+	huge[0] = s.M.Config().TileMemory // floats: 4x too many bytes
+	if _, err := s.NewTensor("huge", ipu.F32, huge); err == nil {
+		t.Error("expected out-of-memory error")
+	}
+}
+
+func TestMemoryAccounting(t *testing.T) {
+	s := newSession(t)
+	before := s.M.Tile(0).MemUsed
+	sizes := make([]int, s.M.NumTiles())
+	sizes[0] = 100
+	s.MustTensor("x", ipu.DW, sizes)
+	if got := s.M.Tile(0).MemUsed - before; got != 800 {
+		t.Errorf("DW tensor of 100 elems should use 800 bytes, used %d", got)
+	}
+}
+
+func TestElementwiseAssign(t *testing.T) {
+	s := newSession(t)
+	x := s.MustTensor("x", ipu.F32, split(s, 50))
+	y := s.MustTensor("y", ipu.F32, split(s, 50))
+	z := s.MustTensor("z", ipu.F32, split(s, 50))
+	x.SetHost(ramp(50))
+	y.SetHost(ramp(50))
+	// z = (x + y) * 2 - x / 4 fused into one codelet per tile.
+	z.Assign(Sub(Mul(Add(x, y), 2.0), Div(x, 4.0)))
+	if _, err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	h := z.Host()
+	for i := range h {
+		v := float64(i + 1)
+		want := (v+v)*2 - v/4
+		if math.Abs(h[i]-want) > 1e-5 {
+			t.Fatalf("z[%d] = %v, want %v", i, h[i], want)
+		}
+	}
+}
+
+func TestUnaryOps(t *testing.T) {
+	s := newSession(t)
+	x := s.MustTensor("x", ipu.F32, split(s, 10))
+	neg := s.MustTensor("n", ipu.F32, split(s, 10))
+	abs := s.MustTensor("a", ipu.F32, split(s, 10))
+	sq := s.MustTensor("q", ipu.F32, split(s, 10))
+	vals := []float64{-4, 9, -16, 25, -1, 4, -9, 16, -25, 36}
+	x.SetHost(vals)
+	neg.Assign(Neg(x))
+	abs.Assign(Abs(x))
+	sq.Assign(Sqrt(Abs(x)))
+	if _, err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range vals {
+		if neg.Host()[i] != -v {
+			t.Fatalf("neg[%d]", i)
+		}
+		if abs.Host()[i] != math.Abs(v) {
+			t.Fatalf("abs[%d]", i)
+		}
+		if math.Abs(sq.Host()[i]-math.Sqrt(math.Abs(v))) > 1e-6 {
+			t.Fatalf("sqrt[%d]", i)
+		}
+	}
+}
+
+func TestScalarBroadcast(t *testing.T) {
+	s := newSession(t)
+	x := s.MustTensor("x", ipu.F32, split(s, 20))
+	alpha := s.MustScalar("alpha", ipu.F32)
+	y := s.MustTensor("y", ipu.F32, split(s, 20))
+	x.SetHost(ramp(20))
+	alpha.SetValue(2.5)
+	y.Assign(Mul(alpha, x)) // replicated scalar broadcasts into the codelet
+	if _, err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range y.Host() {
+		if math.Abs(v-2.5*float64(i+1)) > 1e-5 {
+			t.Fatalf("y[%d] = %v", i, v)
+		}
+	}
+}
+
+func TestMappingMismatchPanics(t *testing.T) {
+	s := newSession(t)
+	x := s.MustTensor("x", ipu.F32, split(s, 20))
+	badSizes := split(s, 20)
+	badSizes[0], badSizes[1] = badSizes[1]+1, badSizes[0]-1
+	y := s.MustTensor("y", ipu.F32, badSizes)
+	defer func() {
+		if recover() == nil {
+			t.Error("expected mapping mismatch panic")
+		}
+	}()
+	y.Assign(Add(x, 1.0))
+}
+
+func TestAliasedAssignSafe(t *testing.T) {
+	// x = y - x must read the old x (children evaluate into temps).
+	s := newSession(t)
+	x := s.MustTensor("x", ipu.F32, split(s, 12))
+	y := s.MustTensor("y", ipu.F32, split(s, 12))
+	x.SetHost(ramp(12))
+	y.SetHost(make([]float64, 12)) // zeros
+	x.Assign(Sub(y, x))
+	if _, err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range x.Host() {
+		if v != -float64(i+1) {
+			t.Fatalf("x[%d] = %v, want %v", i, v, -float64(i+1))
+		}
+	}
+}
+
+func TestTempInference(t *testing.T) {
+	s := newSession(t)
+	x := s.MustTensor("x", ipu.F32, split(s, 30))
+	x.SetHost(ramp(30))
+	tmp := s.Temp(Mul(x, x))
+	if tmp.Len() != 30 || tmp.Replicated() {
+		t.Fatal("Temp should inherit distributed mapping")
+	}
+	a := s.MustScalar("a", ipu.F32)
+	a.SetValue(3)
+	st := s.Temp(Mul(a, a))
+	if !st.Replicated() || st.Len() != 1 {
+		t.Fatal("Temp of replicated expression should be replicated")
+	}
+	if _, err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if tmp.Host()[4] != 25 {
+		t.Errorf("tmp[4] = %v", tmp.Host()[4])
+	}
+	if st.Value() != 9 {
+		t.Errorf("scalar temp = %v", st.Value())
+	}
+}
+
+func TestReduceAndDot(t *testing.T) {
+	s := newSession(t)
+	n := 100
+	x := s.MustTensor("x", ipu.F32, split(s, n))
+	y := s.MustTensor("y", ipu.F32, split(s, n))
+	x.SetHost(ramp(n))
+	y.SetHost(ramp(n))
+	sum := s.Reduce(x)
+	dot := s.Dot(x, y)
+	norm := s.Norm2(x)
+	if _, err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	wantSum := float64(n * (n + 1) / 2)
+	if math.Abs(sum.Value()-wantSum) > 1e-2 {
+		t.Errorf("sum = %v, want %v", sum.Value(), wantSum)
+	}
+	wantDot := 0.0
+	for i := 1; i <= n; i++ {
+		wantDot += float64(i * i)
+	}
+	if math.Abs(dot.Value()-wantDot)/wantDot > 1e-6 {
+		t.Errorf("dot = %v, want %v", dot.Value(), wantDot)
+	}
+	if math.Abs(norm.Value()-math.Sqrt(wantDot))/math.Sqrt(wantDot) > 1e-6 {
+		t.Errorf("norm = %v, want %v", norm.Value(), math.Sqrt(wantDot))
+	}
+}
+
+func TestReduceMaxAbs(t *testing.T) {
+	s := newSession(t)
+	x := s.MustTensor("x", ipu.F32, split(s, 9))
+	x.SetHost([]float64{1, -7, 3, 0, 5, -2, 6, -4, 2})
+	m := s.ReduceMaxAbs(x)
+	if _, err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if m.Value() != 7 {
+		t.Errorf("maxabs = %v", m.Value())
+	}
+}
+
+func TestReducePrecisionSemantics(t *testing.T) {
+	// Summing 1e-8 many times onto 1: a float32 reduce absorbs the terms,
+	// a double-word reduce keeps them — the foundation of the MPIR residual.
+	s := newSession(t)
+	n := 1000
+	xf := s.MustTensor("xf", ipu.F32, split(s, n))
+	xd := s.MustTensor("xd", ipu.DW, split(s, n))
+	vals := make([]float64, n)
+	for i := range vals {
+		vals[i] = 1e-8
+	}
+	vals[0] = 1
+	xf.SetHost(vals)
+	xd.SetHost(vals)
+	sf := s.Reduce(xf)
+	sd := s.Reduce(xd)
+	if _, err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	want := 1 + float64(n-1)*1e-8
+	errF := math.Abs(sf.Value() - want)
+	errD := math.Abs(sd.Value() - want)
+	if errF < 1e-7 {
+		t.Errorf("f32 reduce err %g suspiciously small (should round at ~2^-24)", errF)
+	}
+	if errD > 1e-12 {
+		t.Errorf("DW reduce = %v, want %v (err %g)", sd.Value(), want, errD)
+	}
+}
+
+func TestMixedPrecisionAssign(t *testing.T) {
+	// DW = DW + F32 stays extended; F32 = DW rounds.
+	s := newSession(t)
+	xd := s.MustTensor("xd", ipu.DW, split(s, 4))
+	cf := s.MustTensor("cf", ipu.F32, split(s, 4))
+	xf := s.MustTensor("xf", ipu.F32, split(s, 4))
+	xd.SetHost([]float64{1, 1, 1, 1})
+	cf.SetHost([]float64{1e-9, 2e-9, 3e-9, 4e-9})
+	xd.Assign(Add(xd, cf))
+	xf.Assign(E(xd))
+	if _, err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range xd.Host() {
+		want := 1 + float64(i+1)*1e-9
+		if math.Abs(v-want) > 1e-13 {
+			t.Errorf("xd[%d] = %.15f, want %.15f", i, v, want)
+		}
+	}
+	for i, v := range xf.Host() {
+		if v != 1 {
+			t.Errorf("xf[%d] = %v, want rounded 1", i, v)
+		}
+	}
+}
+
+func TestControlFlowStack(t *testing.T) {
+	// While with a device-updated counter, plus If branches.
+	s := newSession(t)
+	c := s.MustScalar("c", ipu.F32)
+	c.SetValue(0)
+	hits := 0
+	s.While(func() bool { return c.Value() < 5 }, 100, func() {
+		c.Assign(Add(c, 1.0))
+		s.HostCallback("count", func() error { hits++; return nil })
+	})
+	took := false
+	s.If(func() bool { return c.Value() == 5 }, func() {
+		s.HostCallback("then", func() error { took = true; return nil })
+	}, nil)
+	if _, err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if c.Value() != 5 || hits != 5 || !took {
+		t.Errorf("c=%v hits=%d took=%v", c.Value(), hits, took)
+	}
+}
+
+func TestRepeat(t *testing.T) {
+	s := newSession(t)
+	x := s.MustTensor("x", ipu.F32, split(s, 8))
+	x.SetHost(ramp(8))
+	s.Repeat(3, func() {
+		x.Assign(Mul(x, 2.0))
+	})
+	if _, err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if got := x.Host()[0]; got != 8 {
+		t.Errorf("x[0] after 3 doublings = %v", got)
+	}
+}
+
+func TestProfilingLabels(t *testing.T) {
+	s := newSession(t)
+	x := s.MustTensor("x", ipu.F32, split(s, 40))
+	x.SetHost(ramp(40))
+	x.Assign(Add(x, 1.0))
+	s.Reduce(x)
+	e, err := s.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.Profile["Elementwise Ops"] == 0 {
+		t.Error("missing Elementwise Ops profile")
+	}
+	if e.Profile["Reduce"] == 0 {
+		t.Error("missing Reduce profile")
+	}
+	shares := e.ProfileShares()
+	var total float64
+	for _, sh := range shares {
+		total += sh.Share
+	}
+	if math.Abs(total-1) > 1e-9 {
+		t.Errorf("shares sum to %v", total)
+	}
+}
+
+func TestAssignLabeled(t *testing.T) {
+	s := newSession(t)
+	x := s.MustTensor("x", ipu.DW, split(s, 16))
+	x.SetHost(ramp(16))
+	x.AssignLabeled(Add(x, 1.0), "Extended-Precision Ops")
+	e, err := s.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.Profile["Extended-Precision Ops"] == 0 {
+		t.Error("missing Extended-Precision Ops label")
+	}
+}
+
+func TestDWOpsCostMoreThanF32(t *testing.T) {
+	cost := func(dt ipu.Scalar) uint64 {
+		s := newSession(t)
+		x := s.MustTensor("x", dt, split(s, 1000))
+		x.SetHost(ramp(1000))
+		x.Assign(Mul(x, x))
+		e, err := s.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return e.M.Stats().ComputeCycles
+	}
+	f, d, p := cost(ipu.F32), cost(ipu.DW), cost(ipu.F64)
+	if !(f < d && d < p) {
+		t.Errorf("cost ordering violated: f32=%d dw=%d f64=%d", f, d, p)
+	}
+}
+
+func TestLikeAndLikeTyped(t *testing.T) {
+	s := newSession(t)
+	x := s.MustTensor("x", ipu.F32, split(s, 10))
+	y := x.Like("y")
+	if !y.sameMapping(x) || y.Type() != ipu.F32 {
+		t.Error("Like broken")
+	}
+	z := x.LikeTyped("z", ipu.DW)
+	if z.Type() != ipu.DW || z.Len() != 10 {
+		t.Error("LikeTyped broken")
+	}
+	a := s.MustScalar("a", ipu.F32)
+	if !a.Like("b").Replicated() {
+		t.Error("Like of replicated should be replicated")
+	}
+}
+
+func TestDistributedIntoReplicatedPanics(t *testing.T) {
+	s := newSession(t)
+	x := s.MustTensor("x", ipu.F32, split(s, 10))
+	a := s.MustScalar("a", ipu.F32)
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	a.Assign(E(x))
+}
+
+func TestReduceExchangeCosts(t *testing.T) {
+	// Reductions must produce exchange phases (gather + broadcast).
+	s := newSession(t)
+	x := s.MustTensor("x", ipu.F32, split(s, 64))
+	x.SetHost(ramp(64))
+	s.Reduce(x)
+	e, err := s.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.M.Stats().Exchanges < 2 {
+		t.Errorf("expected gather+broadcast exchanges, got %d", e.M.Stats().Exchanges)
+	}
+}
+
+func TestSessionAppendRawStep(t *testing.T) {
+	s := newSession(t)
+	ran := false
+	s.Append(graph.HostCall{Name: "raw", Fn: func() error { ran = true; return nil }})
+	if _, err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !ran {
+		t.Error("raw step did not run")
+	}
+}

@@ -1,0 +1,142 @@
+package twofloat
+
+import (
+	"math"
+	"math/big"
+	"testing"
+	"testing/quick"
+)
+
+// bigOf converts a DW value to an exact big.Float.
+func bigOf(d DW) *big.Float {
+	hi := new(big.Float).SetPrec(200).SetFloat64(float64(d.Hi))
+	lo := new(big.Float).SetPrec(200).SetFloat64(float64(d.Lo))
+	return hi.Add(hi, lo)
+}
+
+// relErrBig computes |got - want| / |want| with a 200-bit reference.
+func relErrBig(got DW, want *big.Float) float64 {
+	g := bigOf(got)
+	diff := new(big.Float).SetPrec(200).Sub(g, want)
+	if want.Sign() == 0 {
+		f, _ := diff.Float64()
+		return math.Abs(f)
+	}
+	diff.Quo(diff, new(big.Float).SetPrec(200).Abs(want))
+	f, _ := diff.Float64()
+	return math.Abs(f)
+}
+
+// The Joldes et al. proven bounds for binary32 double-word operations
+// (u = 2^-24): add 3u², mul 5u², div 9.8u². We assert within a small factor.
+const (
+	u2       = (1.0 / (1 << 24)) / (1 << 24)
+	boundAdd = 4 * u2
+	boundMul = 6 * u2
+	boundDiv = 12 * u2
+)
+
+func TestAddAgainstBigFloat(t *testing.T) {
+	f := func(a, b, c, d float32) bool {
+		x, y := mkDW(a, b), mkDW(c, d)
+		want := new(big.Float).SetPrec(200).Add(bigOf(x), bigOf(y))
+		if w, _ := want.Float64(); math.Abs(w) < 1e-30 {
+			return true // below double-word resolution after cancellation
+		}
+		return relErrBig(Add(x, y), want) < boundAdd
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 3000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMulAgainstBigFloat(t *testing.T) {
+	f := func(a, b, c, d float32) bool {
+		x, y := mkDW(a, b), mkDW(c, d)
+		want := new(big.Float).SetPrec(200).Mul(bigOf(x), bigOf(y))
+		if w, _ := want.Float64(); math.Abs(w) < 1e-30 || math.Abs(w) > 1e30 {
+			return true
+		}
+		return relErrBig(Mul(x, y), want) < boundMul
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 3000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDivAgainstBigFloat(t *testing.T) {
+	f := func(a, b, c, d float32) bool {
+		x, y := mkDW(a, b), mkDW(c, d)
+		if y.Hi == 0 {
+			return true
+		}
+		want := new(big.Float).SetPrec(200).Quo(bigOf(x), bigOf(y))
+		if w, _ := want.Float64(); math.Abs(w) < 1e-30 || math.Abs(w) > 1e30 {
+			return true
+		}
+		return relErrBig(Div(x, y), want) < boundDiv
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 3000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSqrtAgainstBigFloat(t *testing.T) {
+	f := func(a, b float32) bool {
+		x := mkDW(a, b).Abs()
+		if x.Hi == 0 {
+			return true
+		}
+		want := new(big.Float).SetPrec(200).Sqrt(bigOf(x))
+		return relErrBig(Sqrt(x), want) < 16*u2
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestChainAgainstBigFloat runs a dependent chain of mixed operations and
+// checks the accumulated error stays within a linear-growth budget — the
+// stability property the paper needs for the MPIR residual.
+func TestChainAgainstBigFloat(t *testing.T) {
+	acc := FromFloat64(1)
+	ref := new(big.Float).SetPrec(200).SetFloat64(1)
+	ops := 0
+	for i := 1; i <= 500; i++ {
+		v := FromFloat64(1 + 1.0/float64(i*7%97+3))
+		switch i % 3 {
+		case 0:
+			acc = Add(acc, v)
+			ref.Add(ref, bigOf(v))
+		case 1:
+			acc = Mul(acc, v)
+			ref.Mul(ref, bigOf(v))
+		default:
+			acc = Div(acc, v)
+			ref.Quo(ref, bigOf(v))
+		}
+		ops++
+	}
+	if e := relErrBig(acc, ref); e > float64(ops)*boundMul {
+		t.Errorf("chain error %g exceeds linear budget %g", e, float64(ops)*boundMul)
+	}
+}
+
+// TestDWBeatsF32OnChain quantifies the headline advantage on the same chain.
+func TestDWBeatsF32OnChain(t *testing.T) {
+	accDW := FromFloat64(1)
+	accF := float32(1)
+	ref := new(big.Float).SetPrec(200).SetFloat64(1)
+	for i := 1; i <= 300; i++ {
+		v := 1 + 1.0/float64(i%89+2)
+		accDW = Mul(accDW, FromFloat64(v))
+		accF *= float32(v)
+		ref.Mul(ref, new(big.Float).SetPrec(200).SetFloat64(v))
+	}
+	refF, _ := ref.Float64()
+	errDW := relErrBig(accDW, ref)
+	errF := math.Abs(float64(accF)-refF) / math.Abs(refF)
+	if errDW*1e4 > errF {
+		t.Errorf("DW chain (err %g) should beat f32 chain (err %g) by >= 1e4", errDW, errF)
+	}
+}

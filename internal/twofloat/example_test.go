@@ -1,0 +1,32 @@
+package twofloat_test
+
+import (
+	"fmt"
+
+	"ipusparse/internal/twofloat"
+)
+
+// The paper's motivating example: 1.00000001 is not representable as a
+// float32, but it is as the unevaluated sum of two float32 values.
+func Example() {
+	x := twofloat.FromFloat64(1.00000001)
+	fmt.Printf("float32 alone: %.9f\n", float64(float32(1.00000001)))
+	fmt.Printf("double-word:   %.9f\n", x.Float64())
+
+	// Arithmetic keeps ~14 decimal digits.
+	y := twofloat.Mul(x, x)
+	fmt.Printf("squared:       %.9f\n", y.Float64())
+	// Output:
+	// float32 alone: 1.000000000
+	// double-word:   1.000000010
+	// squared:       1.000000020
+}
+
+func ExampleTwoSum() {
+	// TwoSum splits a float32 addition into the rounded result and the
+	// exact rounding error: a + b == s + e.
+	s, e := twofloat.TwoSum(1, 1e-8)
+	fmt.Printf("s=%v e=%v\n", s, e)
+	// Output:
+	// s=1 e=1e-08
+}

@@ -1,0 +1,379 @@
+package twofloat
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// relErr returns the relative error of got versus the float64 reference.
+func relErr(got DW, want float64) float64 {
+	if want == 0 {
+		return math.Abs(got.Float64())
+	}
+	return math.Abs(got.Float64()-want) / math.Abs(want)
+}
+
+// finiteF32 maps an arbitrary float32 into a well-scaled finite value so that
+// quick-generated extremes do not overflow the double-word range (the format
+// shares float32's exponent range by design).
+func finiteF32(x float32) float32 {
+	if math.IsNaN(float64(x)) || math.IsInf(float64(x), 0) {
+		return 1.5
+	}
+	for x != 0 && (x > 1e15 || x < -1e15) {
+		x /= 1e10
+	}
+	for x != 0 && x < 1e-15 && x > -1e-15 {
+		x *= 1e10
+	}
+	return x
+}
+
+func mkDW(a, b float32) DW {
+	a = finiteF32(a)
+	return normalize(a, a*finiteF32(b)*1e-7)
+}
+
+func TestTwoSumExact(t *testing.T) {
+	f := func(a, b float32) bool {
+		a, b = finiteF32(a), finiteF32(b)
+		s, e := TwoSum(a, b)
+		return float64(s)+float64(e) == float64(a)+float64(b)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 5000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFast2SumExact(t *testing.T) {
+	f := func(a, b float32) bool {
+		a, b = finiteF32(a), finiteF32(b)
+		if abs32(a) < abs32(b) {
+			a, b = b, a
+		}
+		s, e := Fast2Sum(a, b)
+		return float64(s)+float64(e) == float64(a)+float64(b)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 5000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func abs32(x float32) float32 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+func TestTwoProdExact(t *testing.T) {
+	f := func(a, b float32) bool {
+		a, b = finiteF32(a), finiteF32(b)
+		p, e := TwoProd(a, b)
+		return float64(p)+float64(e) == float64(a)*float64(b)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 5000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTwoProdDekkerMatchesFMA(t *testing.T) {
+	f := func(a, b float32) bool {
+		a, b = finiteF32(a), finiteF32(b)
+		// Dekker splitting overflows for very large magnitudes; keep inside.
+		if abs32(a) > 1e10 || abs32(b) > 1e10 {
+			return true
+		}
+		p1, e1 := TwoProd(a, b)
+		p2, e2 := TwoProdDekker(a, b)
+		return p1 == p2 && e1 == e2
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 5000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSplitExact(t *testing.T) {
+	f := func(a float32) bool {
+		a = finiteF32(a)
+		if abs32(a) > 1e10 {
+			return true
+		}
+		hi, lo := Split(a)
+		return hi+lo == a
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFromFloat64RoundTrip(t *testing.T) {
+	vals := []float64{0, 1, -1, math.Pi, 1.00000001, 1e-30, -123456.789, 0.1}
+	for _, v := range vals {
+		d := FromFloat64(v)
+		if e := relErr(d, v); v != 0 && e > 2*EpsDW {
+			t.Errorf("FromFloat64(%v): rel err %g", v, e)
+		}
+	}
+}
+
+func TestPaperExample(t *testing.T) {
+	// The paper's motivating example: 1.00000001 is not representable in
+	// float32 but is as a double word.
+	d := FromFloat64(1.00000001)
+	if got := d.Float64(); math.Abs(got-1.00000001) > 1e-14 {
+		t.Errorf("1.00000001 as DW = %.17g", got)
+	}
+	if FromFloat32(1.00000001).Float64() == 1.00000001 {
+		t.Error("float32 alone should not represent 1.00000001")
+	}
+}
+
+// bound for accumulated DW ops in these property tests. The proven bounds are
+// ~3u^2..10u^2; we allow some slack for the reference being float64.
+const testBound = 64 * EpsDW
+
+func TestAddAccuracy(t *testing.T) {
+	f := func(a, b, c, d float32) bool {
+		x, y := mkDW(a, b), mkDW(c, d)
+		want := x.Float64() + y.Float64()
+		if math.Abs(want) < 1e-30 {
+			return true // cancellation below DW resolution
+		}
+		return relErr(Add(x, y), want) < testBound
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 5000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSubIsAddNeg(t *testing.T) {
+	x, y := FromFloat64(math.Pi), FromFloat64(math.E)
+	if Sub(x, y) != Add(x, y.Neg()) {
+		t.Error("Sub != Add(neg)")
+	}
+}
+
+func TestMulAccuracy(t *testing.T) {
+	f := func(a, b, c, d float32) bool {
+		x, y := mkDW(a, b), mkDW(c, d)
+		want := x.Float64() * y.Float64()
+		if math.Abs(want) < 1e-30 || math.Abs(want) > 1e30 {
+			return true
+		}
+		return relErr(Mul(x, y), want) < testBound
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 5000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDivAccuracy(t *testing.T) {
+	f := func(a, b, c, d float32) bool {
+		x, y := mkDW(a, b), mkDW(c, d)
+		if y.Hi == 0 {
+			return true
+		}
+		want := x.Float64() / y.Float64()
+		if math.Abs(want) < 1e-30 || math.Abs(want) > 1e30 {
+			return true
+		}
+		return relErr(Div(x, y), want) < testBound
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 5000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestScalarMixedOps(t *testing.T) {
+	f := func(a, b, c float32) bool {
+		x := mkDW(a, b)
+		s := finiteF32(c)
+		okAdd := relErr(AddFloat(x, s), x.Float64()+float64(s)) < testBound ||
+			math.Abs(x.Float64()+float64(s)) < 1e-30
+		want := x.Float64() * float64(s)
+		okMul := math.Abs(want) < 1e-30 || math.Abs(want) > 1e30 ||
+			relErr(MulFloat(x, s), want) < testBound
+		okDiv := true
+		if s != 0 {
+			want := x.Float64() / float64(s)
+			okDiv = math.Abs(want) < 1e-30 || math.Abs(want) > 1e30 ||
+				relErr(DivFloat(x, s), want) < testBound
+		}
+		return okAdd && okMul && okDiv
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 5000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSqrt(t *testing.T) {
+	for _, v := range []float64{1, 2, 3, 0.5, 1e-6, 12345.678, 9} {
+		got := Sqrt(FromFloat64(v))
+		if e := relErr(got, math.Sqrt(v)); e > testBound {
+			t.Errorf("Sqrt(%v): rel err %g", v, e)
+		}
+	}
+	if !Sqrt(DW{}).IsZero() {
+		t.Error("Sqrt(0) != 0")
+	}
+}
+
+func TestFastFamilySameSign(t *testing.T) {
+	// For same-sign operands the fast family must also be accurate.
+	f := func(a, b, c, d float32) bool {
+		x, y := mkDW(a, b).Abs(), mkDW(c, d).Abs()
+		want := x.Float64() + y.Float64()
+		if want == 0 {
+			return true
+		}
+		if relErr(AddFast(x, y), want) > testBound {
+			return false
+		}
+		want = x.Float64() * y.Float64()
+		if math.Abs(want) < 1e-30 || math.Abs(want) > 1e30 {
+			return true
+		}
+		if relErr(MulFast(x, y), want) > testBound {
+			return false
+		}
+		if y.Hi != 0 {
+			want := x.Float64() / y.Float64()
+			if math.Abs(want) > 1e-30 && math.Abs(want) < 1e30 &&
+				relErr(DivFast(x, y), want) > 4*testBound {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 5000}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPrecisionDigits reproduces the Table I "decimal digits" claim: the
+// Joldes family should deliver at least ~13 decimal digits on a dot-product
+// style workload, clearly more than float32's ~7.2.
+func TestPrecisionDigits(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	n := 2000
+	acc := DW{}
+	accF32 := float32(0)
+	accRef := 0.0
+	for i := 0; i < n; i++ {
+		a := float32(rng.Float64()*2 - 1)
+		b := float32(rng.Float64()*2 - 1)
+		p, e := TwoProd(a, b)
+		acc = Add(acc, DW{p, e})
+		accF32 += a * b
+		accRef += float64(a) * float64(b)
+	}
+	dwDigits := -math.Log10(relErr(acc, accRef))
+	f32Digits := -math.Log10(math.Abs(float64(accF32)-accRef) / math.Abs(accRef))
+	if dwDigits < 11 {
+		t.Errorf("double-word dot product only %.1f digits", dwDigits)
+	}
+	if dwDigits < f32Digits+3 {
+		t.Errorf("DW (%.1f digits) should beat f32 (%.1f digits) clearly", dwDigits, f32Digits)
+	}
+}
+
+// TestErrorAccumulationFastVsAccurate verifies the paper's rationale for
+// preferring Joldes: over long dependent chains the fast family loses
+// precision faster.
+func TestErrorAccumulationFastVsAccurate(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	accA, accF := FromFloat64(1), FromFloat64(1)
+	ref := 1.0
+	for i := 0; i < 3000; i++ {
+		x := float32(0.9999 + rng.Float64()*0.0002)
+		accA = MulFloat(accA, x)
+		accF = MulFast(accF, FromFloat32(x))
+		ref *= float64(x)
+	}
+	errA, errF := relErr(accA, ref), relErr(accF, ref)
+	if errA > 1e-10 {
+		t.Errorf("accurate chain err %g too large", errA)
+	}
+	if errF > 1e-8 {
+		t.Errorf("fast chain err %g unexpectedly large", errF)
+	}
+}
+
+func TestCmpAbsNeg(t *testing.T) {
+	a, b := FromFloat64(1.5), FromFloat64(-2.5)
+	if a.Cmp(b) != 1 || b.Cmp(a) != -1 || a.Cmp(a) != 0 {
+		t.Error("Cmp ordering wrong")
+	}
+	if b.Abs().Float64() != 2.5 {
+		t.Error("Abs wrong")
+	}
+	if a.Neg().Float64() != -1.5 {
+		t.Error("Neg wrong")
+	}
+	if !(DW{}).IsZero() || FromFloat64(1).IsZero() {
+		t.Error("IsZero wrong")
+	}
+}
+
+func TestConstants(t *testing.T) {
+	if e := relErr(Pi, math.Pi); e > 2*EpsDW {
+		t.Errorf("Pi err %g", e)
+	}
+	if e := relErr(E, math.E); e > 2*EpsDW {
+		t.Errorf("E err %g", e)
+	}
+	if e := relErr(Ln2, math.Ln2); e > 2*EpsDW {
+		t.Errorf("Ln2 err %g", e)
+	}
+	if e := relErr(Sqrt2, math.Sqrt2); e > 2*EpsDW {
+		t.Errorf("Sqrt2 err %g", e)
+	}
+}
+
+func TestNormalizedOutputs(t *testing.T) {
+	// Results must satisfy the DW invariant Hi == RN(Hi+Lo).
+	check := func(d DW) bool { return d.Hi == float32(d.Float64()) }
+	f := func(a, b, c, d float32) bool {
+		x, y := mkDW(a, b), mkDW(c, d)
+		if !check(Add(x, y)) || !check(Mul(x, y)) {
+			return false
+		}
+		if y.Hi != 0 && !check(Div(x, y)) {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 3000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkDWAdd(b *testing.B) {
+	x, y := FromFloat64(math.Pi), FromFloat64(math.E)
+	var s DW
+	for i := 0; i < b.N; i++ {
+		s = Add(x, y)
+	}
+	_ = s
+}
+
+func BenchmarkDWMul(b *testing.B) {
+	x, y := FromFloat64(math.Pi), FromFloat64(math.E)
+	var s DW
+	for i := 0; i < b.N; i++ {
+		s = Mul(x, y)
+	}
+	_ = s
+}
+
+func BenchmarkDWDiv(b *testing.B) {
+	x, y := FromFloat64(math.Pi), FromFloat64(math.E)
+	var s DW
+	for i := 0; i < b.N; i++ {
+		s = Div(x, y)
+	}
+	_ = s
+}
