@@ -1,0 +1,25 @@
+GO ?= go
+
+.PHONY: check build test vet race bench clean
+
+## check: vet + build + race-enabled tests (the pre-merge gate)
+check: vet build race
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+## bench: regenerate every table and figure of the evaluation section
+bench:
+	$(GO) run ./cmd/benchsuite -experiment all
+
+clean:
+	$(GO) clean ./...

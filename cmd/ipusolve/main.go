@@ -35,15 +35,17 @@ func main() {
 	strategy := flag.String("partition", "contiguous", "partition strategy: contiguous or greedy")
 	verbose := flag.Bool("v", false, "print the cycle profile")
 	tracePath := flag.String("trace", "", "write a Chrome trace-event JSON of the device timeline")
+	faultRate := flag.Float64("fault-rate", 0, "per-consultation fault-injection probability (0 disables the campaign)")
+	faultSeed := flag.Int64("fault-seed", 42, "seed of the fault-injection campaign")
 	flag.Parse()
 
-	if err := run(*matrixPath, *gen, *cfgPath, *rhs, *tiles, *chips, *tol, *strategy, *verbose, *tracePath); err != nil {
+	if err := run(*matrixPath, *gen, *cfgPath, *rhs, *tiles, *chips, *tol, *strategy, *verbose, *tracePath, *faultRate, *faultSeed); err != nil {
 		fmt.Fprintln(os.Stderr, "ipusolve:", err)
 		os.Exit(1)
 	}
 }
 
-func run(matrixPath, gen, cfgPath, rhs string, tiles, chips int, tol float64, strategy string, verbose bool, tracePath string) error {
+func run(matrixPath, gen, cfgPath, rhs string, tiles, chips int, tol float64, strategy string, verbose bool, tracePath string, faultRate float64, faultSeed int64) error {
 	var m *sparse.Matrix
 	var err error
 	if matrixPath != "" {
@@ -82,6 +84,14 @@ func run(matrixPath, gen, cfgPath, rhs string, tiles, chips int, tol float64, st
 		cfg.Solver.Tolerance = tol
 		if cfg.MPIR != nil {
 			cfg.MPIR.Tolerance = tol
+		}
+	}
+	if faultRate > 0 {
+		// The flags override the config's campaign; a fault campaign without a
+		// configured resilience policy gets the default checkpoint/restart one.
+		cfg.Fault = &config.FaultConfig{Seed: faultSeed, Rate: faultRate}
+		if cfg.Recovery == nil {
+			cfg.Recovery = &config.RecoveryConfig{}
 		}
 	}
 
@@ -126,6 +136,14 @@ func run(matrixPath, gen, cfgPath, rhs string, tiles, chips int, tol float64, st
 	fmt.Printf("solver: %s\n", res.Stats.Solver)
 	fmt.Printf("converged=%v iterations=%d relative-residual=%.3e\n",
 		res.Stats.Converged, res.Stats.Iterations, res.Stats.RelRes)
+	if cfg.Fault != nil && cfg.Fault.Rate > 0 {
+		fmt.Printf("faults: %d injected (%d payload redeliveries)\n",
+			len(res.Faults), res.FaultRetries)
+	}
+	if res.Stats.Breakdown || res.Stats.Restarts > 0 {
+		fmt.Printf("resilience: breakdown=%q restarts=%d recovered=%v\n",
+			res.Stats.BreakdownReason, res.Stats.Restarts, res.Stats.Recovered)
+	}
 	fmt.Printf("simulated time: %.3e s (%d cycles, %d supersteps, %.1f µJ/row)\n",
 		res.Machine.Seconds, res.Machine.TotalCycles, res.Machine.Supersteps,
 		1e6*res.Machine.EnergyJoules/float64(m.N))
@@ -142,6 +160,9 @@ func run(matrixPath, gen, cfgPath, rhs string, tiles, chips int, tol float64, st
 		fmt.Printf("max |x_i - 1| = %.3e\n", maxErr)
 	}
 	if verbose {
+		for _, ev := range res.Faults {
+			fmt.Println("  fault:", ev)
+		}
 		fmt.Println("cycle profile:")
 		for _, pe := range res.Profile {
 			fmt.Printf("  %-24s %12d cycles %6.1f%%\n", pe.Label, pe.Cycles, pe.Share*100)

@@ -90,6 +90,37 @@ func TestTable4Shape(t *testing.T) {
 	}
 }
 
+func TestTable5Shape(t *testing.T) {
+	rows, err := Table5(fastOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 {
+		t.Fatalf("Table V has 4 configurations, got %d", len(rows))
+	}
+	base := rows[0]
+	if !base.Converged || base.Faults != 0 || base.Restarts != 0 {
+		t.Fatalf("baseline row wrong: %+v", base)
+	}
+	ckpt := rows[1]
+	if !ckpt.Converged || ckpt.Faults != 0 || ckpt.Breakdown != "" {
+		t.Fatalf("fault-free checkpointing row wrong: %+v", ckpt)
+	}
+	if ckpt.IterOverheadPct < 0 || ckpt.CycleOverheadPct < 0 {
+		t.Errorf("checkpointing overhead cannot be negative: %+v", ckpt)
+	}
+	for _, r := range rows[2:] {
+		if r.Faults == 0 {
+			t.Errorf("%s: campaign injected no faults", r.Config)
+		}
+		// A faulty run either converges (possibly after restarts) or reports a
+		// typed breakdown; it never silently returns garbage.
+		if !r.Converged && r.Breakdown == "" {
+			t.Errorf("%s: neither converged nor broke down: %+v", r.Config, r)
+		}
+	}
+}
+
 func TestFig5StrongScaling(t *testing.T) {
 	pts, err := Fig5(fastOpts())
 	if err != nil {
@@ -233,7 +264,7 @@ func TestRunAllExperimentsPrint(t *testing.T) {
 	}
 	out := buf.String()
 	for _, want := range []string{"Table I", "Table II", "Table III", "Table IV",
-		"Fig 5", "Fig 6", "Fig 7", "Fig 8", "Fig 9", "Fig 10"} {
+		"Table V", "Fig 5", "Fig 6", "Fig 7", "Fig 8", "Fig 9", "Fig 10"} {
 		if !strings.Contains(out, want) {
 			t.Errorf("output missing %q", want)
 		}

@@ -3,7 +3,7 @@ package bench
 import "fmt"
 
 // Run executes one named experiment and prints its result to o.Out. Known
-// names: table1..table4, fig5..fig10, all.
+// names: table1..table5, fig5..fig10, halo, all.
 func Run(o Options, name string) error {
 	o = o.withDefaults()
 	switch name {
@@ -27,6 +27,12 @@ func Run(o Options, name string) error {
 			return err
 		}
 		PrintTable4(o, rows)
+	case "table5":
+		rows, err := Table5(o)
+		if err != nil {
+			return err
+		}
+		PrintTable5(o, rows)
 	case "halo":
 		rows, err := HaloStudy(o)
 		if err != nil {
@@ -83,7 +89,7 @@ func Run(o Options, name string) error {
 
 // AllExperiments lists every table and figure of the evaluation section.
 var AllExperiments = []string{
-	"table1", "table2", "table3", "table4",
+	"table1", "table2", "table3", "table4", "table5",
 	"fig5", "fig6", "fig7", "fig8", "fig9", "fig10",
 	"halo",
 }

@@ -6,6 +6,7 @@ import (
 
 	"ipusparse/internal/codedsl"
 	"ipusparse/internal/config"
+	"ipusparse/internal/core"
 	"ipusparse/internal/graph"
 	"ipusparse/internal/ipu"
 	"ipusparse/internal/platform"
@@ -259,6 +260,120 @@ func PrintTable4(o Options, rows []Table4Row) {
 	o.printf("%-24s %12s %16s\n", "Operation", "Double-Word", "Double-Precision")
 	for _, r := range rows {
 		o.printf("%-24s %11.0f%% %15.0f%%\n", r.Operation, r.ShareDW*100, r.ShareDP*100)
+	}
+	o.printf("\n")
+}
+
+// Table5Row is one configuration of the resilience study: PBiCGStab+ILU(0)
+// under a seeded silent-fault campaign, with the checkpoint/restart layer's
+// cost and effectiveness measured against the unhardened fault-free baseline.
+type Table5Row struct {
+	Config     string  // row label
+	Rate       float64 // per-consultation fault probability
+	Faults     int     // injected faults
+	Restarts   int
+	Breakdown  string // watchdog that fired ("" = none)
+	Recovered  bool
+	Converged  bool
+	Iterations int
+	Cycles     uint64
+	// Overheads are relative to the fault-free unhardened baseline (0 for
+	// the baseline row itself).
+	IterOverheadPct  float64
+	CycleOverheadPct float64
+}
+
+// Table5 runs the resilience/overhead study on the G3_circuit-like matrix:
+// the unhardened baseline, then the checkpoint/restart layer at fault rates
+// 0%, 0.1% and 1% (silent faults only: bit flips in tile memory and corrupted
+// exchange payloads — detectable faults are retried by the fabric model and
+// do not need solver-level recovery). A run whose restart budget is exhausted
+// is reported as a breakdown row instead of an error.
+func Table5(o Options) ([]Table5Row, error) {
+	o = o.withDefaults()
+	g3, err := sparse.SuiteLikeByName("G3_circuit")
+	if err != nil {
+		return nil, err
+	}
+	m := g3.Generate(o.Scale)
+	b := rhsForSolution(m)
+
+	run := func(rate float64, recovery bool) (*core.Result, error) {
+		cfg := config.Config{Solver: config.SolverConfig{
+			Type: "pbicgstab", MaxIterations: 2000, Tolerance: 1e-8,
+			Preconditioner: &config.SolverConfig{Type: "ilu0"},
+		}}
+		if recovery {
+			cfg.Recovery = &config.RecoveryConfig{Interval: 10, MaxRestarts: 10}
+		}
+		if rate > 0 {
+			cfg.Fault = &config.FaultConfig{Seed: o.Seed, Rate: rate,
+				Kinds: []string{"bit-flip", "exchange-corrupt"}}
+		}
+		return core.Solve(o.machineConfig(1), m, b, cfg, core.PartitionContiguous)
+	}
+
+	baseline, err := run(0, false)
+	if err != nil {
+		return nil, err
+	}
+	rows := []Table5Row{{
+		Config:     "baseline (no recovery)",
+		Converged:  baseline.Stats.Converged,
+		Iterations: baseline.Stats.Iterations,
+		Cycles:     baseline.Machine.TotalCycles,
+	}}
+	for _, c := range []struct {
+		label string
+		rate  float64
+	}{
+		{"checkpointing, 0% faults", 0},
+		{"checkpointing, 0.1% faults", 0.001},
+		{"checkpointing, 1% faults", 0.01},
+	} {
+		res, err := run(c.rate, true)
+		row := Table5Row{Config: c.label, Rate: c.rate}
+		if err != nil {
+			if be, ok := solver.IsBreakdown(err); ok {
+				row.Breakdown = be.Reason
+				row.Restarts = be.Restarts
+				row.Iterations = be.Iter
+				rows = append(rows, row)
+				continue
+			}
+			return nil, err
+		}
+		row.Faults = len(res.Faults)
+		row.Restarts = res.Stats.Restarts
+		row.Breakdown = res.Stats.BreakdownReason
+		row.Recovered = res.Stats.Recovered
+		row.Converged = res.Stats.Converged
+		row.Iterations = res.Stats.Iterations
+		row.Cycles = res.Machine.TotalCycles
+		if baseline.Stats.Iterations > 0 {
+			row.IterOverheadPct = 100 * (float64(row.Iterations)/float64(baseline.Stats.Iterations) - 1)
+		}
+		if baseline.Machine.TotalCycles > 0 {
+			row.CycleOverheadPct = 100 * (float64(row.Cycles)/float64(baseline.Machine.TotalCycles) - 1)
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// PrintTable5 renders Table V.
+func PrintTable5(o Options, rows []Table5Row) {
+	o.printf("Table V: resilience study, PBiCGStab+ILU(0) on G3_circuit-like (seed %d)\n", o.withDefaults().Seed)
+	o.printf("%-28s %7s %7s %9s %-15s %10s %6s %6s %10s %10s\n",
+		"Configuration", "faults", "iters", "restarts", "breakdown", "recovered", "conv", "", "iterOvhd", "cycleOvhd")
+	for _, r := range rows {
+		bd := r.Breakdown
+		if bd == "" {
+			bd = "-"
+		}
+		o.printf("%-28s %7d %7d %9d %-15s %10v %6v %6s %9.1f%% %9.1f%%\n",
+			r.Config, r.Faults, r.Iterations, r.Restarts, bd, r.Recovered, r.Converged, "",
+			r.IterOverheadPct, r.CycleOverheadPct)
 	}
 	o.printf("\n")
 }

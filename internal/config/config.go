@@ -22,6 +22,7 @@ import (
 	"fmt"
 	"io"
 
+	"ipusparse/internal/fault"
 	"ipusparse/internal/ipu"
 	"ipusparse/internal/solver"
 )
@@ -62,10 +63,46 @@ type MPIRConfig struct {
 	Tolerance       float64 `json:"tolerance"`
 }
 
+// FaultConfig enables a deterministic fault-injection campaign against the
+// solve. A zero Rate (or a nil FaultConfig) injects nothing.
+type FaultConfig struct {
+	// Seed seeds the campaign's decision stream; the same seed reproduces the
+	// same fault sequence against the same program.
+	Seed int64 `json:"seed"`
+	// Rate is the per-consultation fault probability.
+	Rate float64 `json:"rate"`
+	// Kinds restricts injection to the named fault classes (bit-flip,
+	// exchange-corrupt, exchange-drop, tile-stall, host-transient); empty
+	// enables all of them.
+	Kinds []string `json:"kinds,omitempty"`
+	// MaxFaults caps the campaign (0 = unlimited).
+	MaxFaults int `json:"maxFaults,omitempty"`
+	// StallCycles, RetryBudget and HostRetries override the fault package
+	// defaults when positive.
+	StallCycles int `json:"stallCycles,omitempty"`
+	RetryBudget int `json:"retryBudget,omitempty"`
+	HostRetries int `json:"hostRetries,omitempty"`
+}
+
+// RecoveryConfig enables the checkpoint/restart resilience layer on solvers
+// that support it (pbicgstab, cg, richardson — including MPIR inner solvers).
+type RecoveryConfig struct {
+	// Interval is the checkpoint/shadow-verification period in iterations
+	// (0 uses the solver default of 10).
+	Interval int `json:"interval,omitempty"`
+	// MaxRestarts is the restart budget (0 uses the solver default of 3).
+	MaxRestarts int `json:"maxRestarts,omitempty"`
+	// Fallback, when set, is the solver escalated to once the restart budget
+	// is spent.
+	Fallback *SolverConfig `json:"fallback,omitempty"`
+}
+
 // Config is the root of a solver configuration file.
 type Config struct {
-	Solver SolverConfig `json:"solver"`
-	MPIR   *MPIRConfig  `json:"mpir,omitempty"`
+	Solver   SolverConfig    `json:"solver"`
+	MPIR     *MPIRConfig     `json:"mpir,omitempty"`
+	Fault    *FaultConfig    `json:"fault,omitempty"`
+	Recovery *RecoveryConfig `json:"recovery,omitempty"`
 }
 
 // Default returns the paper's reference configuration:
@@ -102,6 +139,23 @@ var solverTypes = map[string]bool{
 	"chebyshev": true,
 }
 
+// faultKinds maps the configuration names to the fault package's kinds.
+var faultKinds = map[string]fault.Kind{
+	"bit-flip":         fault.BitFlip,
+	"exchange-corrupt": fault.ExchangeCorrupt,
+	"exchange-drop":    fault.ExchangeDrop,
+	"tile-stall":       fault.TileStall,
+	"host-transient":   fault.HostTransient,
+}
+
+// buildableSolvers are the solver types buildSolver can construct — the valid
+// targets for the top-level solver and the recovery fallback (preconditioner
+//-only types like chebyshev are excluded).
+var buildableSolvers = map[string]bool{
+	"pbicgstab": true, "bicgstab": true, "cg": true, "richardson": true,
+	"gaussseidel": true, "jacobi": true, "ilu0": true, "dilu": true,
+}
+
 // Validate checks the configuration tree.
 func (c Config) Validate() error {
 	if err := c.Solver.validate(true); err != nil {
@@ -120,7 +174,80 @@ func (c Config) Validate() error {
 			return fmt.Errorf("config: mpir.maxOuter must be positive")
 		}
 	}
+	if c.Fault != nil {
+		if c.Fault.Rate < 0 || c.Fault.Rate > 1 {
+			return fmt.Errorf("config: fault.rate must be in [0,1], got %v", c.Fault.Rate)
+		}
+		for _, k := range c.Fault.Kinds {
+			if _, ok := faultKinds[k]; !ok {
+				return fmt.Errorf("config: unknown fault kind %q", k)
+			}
+		}
+		if c.Fault.MaxFaults < 0 || c.Fault.StallCycles < 0 ||
+			c.Fault.RetryBudget < 0 || c.Fault.HostRetries < 0 {
+			return fmt.Errorf("config: negative fault budget")
+		}
+	}
+	if c.Recovery != nil {
+		if c.Recovery.Interval < 0 {
+			return fmt.Errorf("config: recovery.interval must not be negative")
+		}
+		if c.Recovery.MaxRestarts < 0 {
+			return fmt.Errorf("config: recovery.maxRestarts must not be negative")
+		}
+		if fb := c.Recovery.Fallback; fb != nil {
+			if !buildableSolvers[fb.Type] {
+				return fmt.Errorf("config: recovery.fallback cannot be of type %q", fb.Type)
+			}
+			if err := fb.validate(true); err != nil {
+				return err
+			}
+		}
+	}
 	return nil
+}
+
+// Plan converts the fault section into a campaign plan for fault.New.
+func (fc *FaultConfig) Plan() fault.Plan {
+	p := fault.Plan{
+		Seed:        fc.Seed,
+		Rate:        fc.Rate,
+		MaxFaults:   fc.MaxFaults,
+		StallCycles: uint64(fc.StallCycles),
+		RetryBudget: fc.RetryBudget,
+		HostRetries: fc.HostRetries,
+	}
+	for _, name := range fc.Kinds {
+		if k, ok := faultKinds[name]; ok {
+			p.Kinds = append(p.Kinds, k)
+		}
+	}
+	return p
+}
+
+// BuildRecovery constructs the resilience policy for a system (nil for a nil
+// section). The fallback solver tree is built lazily at schedule time.
+func BuildRecovery(sys *solver.System, rc *RecoveryConfig) (*solver.Recovery, error) {
+	if rc == nil {
+		return nil, nil
+	}
+	rec := &solver.Recovery{Interval: rc.Interval, MaxRestarts: rc.MaxRestarts}
+	if rc.Fallback != nil {
+		fb := *rc.Fallback
+		// Build once now so a bad fallback fails at configuration time, not in
+		// the middle of a scheduled escalation.
+		if _, err := buildSolver(sys, &fb, fb.MaxIterations, fb.Tolerance); err != nil {
+			return nil, err
+		}
+		rec.Fallback = func() solver.Solver {
+			s, err := buildSolver(sys, &fb, fb.MaxIterations, fb.Tolerance)
+			if err != nil {
+				panic(err) // unreachable: validated above
+			}
+			return s
+		}
+	}
+	return rec, nil
 }
 
 func (sc *SolverConfig) validate(top bool) error {

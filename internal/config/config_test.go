@@ -118,3 +118,50 @@ func TestParseCoarseFlag(t *testing.T) {
 		t.Error("coarse flag lost")
 	}
 }
+
+func TestParseFaultAndRecovery(t *testing.T) {
+	src := `{
+	  "solver": {
+	    "type": "pbicgstab", "maxIterations": 500, "tolerance": 1e-9,
+	    "preconditioner": { "type": "ilu0" }
+	  },
+	  "fault": { "seed": 42, "rate": 0.001, "kinds": ["bit-flip", "exchange-corrupt"], "maxFaults": 10 },
+	  "recovery": { "interval": 5, "maxRestarts": 4,
+	    "fallback": { "type": "richardson", "maxIterations": 2000, "tolerance": 1e-9,
+	      "preconditioner": { "type": "ilu0" } } }
+	}`
+	c, err := Parse(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Fault == nil || c.Fault.Seed != 42 || c.Fault.Rate != 0.001 {
+		t.Fatalf("fault parsed wrong: %+v", c.Fault)
+	}
+	p := c.Fault.Plan()
+	if p.Seed != 42 || p.Rate != 0.001 || len(p.Kinds) != 2 || p.MaxFaults != 10 {
+		t.Errorf("plan conversion wrong: %+v", p)
+	}
+	if c.Recovery == nil || c.Recovery.Interval != 5 || c.Recovery.MaxRestarts != 4 {
+		t.Fatalf("recovery parsed wrong: %+v", c.Recovery)
+	}
+	if c.Recovery.Fallback == nil || c.Recovery.Fallback.Type != "richardson" {
+		t.Error("fallback lost")
+	}
+}
+
+func TestFaultRecoveryValidation(t *testing.T) {
+	cases := map[string]string{
+		"bad rate":     `{"solver": {"type": "cg"}, "fault": {"seed": 1, "rate": 2}}`,
+		"neg rate":     `{"solver": {"type": "cg"}, "fault": {"seed": 1, "rate": -0.5}}`,
+		"bad kind":     `{"solver": {"type": "cg"}, "fault": {"seed": 1, "rate": 0.1, "kinds": ["meteor-strike"]}}`,
+		"neg budget":   `{"solver": {"type": "cg"}, "fault": {"seed": 1, "rate": 0.1, "retryBudget": -1}}`,
+		"neg interval": `{"solver": {"type": "cg"}, "recovery": {"interval": -1}}`,
+		"neg restarts": `{"solver": {"type": "cg"}, "recovery": {"maxRestarts": -2}}`,
+		"bad fallback": `{"solver": {"type": "cg"}, "recovery": {"fallback": {"type": "chebyshev"}}}`,
+	}
+	for name, src := range cases {
+		if _, err := Parse(strings.NewReader(src)); err == nil {
+			t.Errorf("%s: expected error", name)
+		}
+	}
+}

@@ -11,6 +11,7 @@ import (
 	"io"
 
 	"ipusparse/internal/config"
+	"ipusparse/internal/fault"
 	"ipusparse/internal/graph"
 	"ipusparse/internal/ipu"
 	"ipusparse/internal/partition"
@@ -64,6 +65,12 @@ type Result struct {
 	Profile []graph.ProfileEntry
 	Machine ipu.Stats
 	Report  graph.Report // program analysis ("graph compilation report")
+
+	// Faults is the chronological log of injected faults (nil without a
+	// fault campaign); FaultRetries counts exchange payloads the fabric had
+	// to redeliver.
+	Faults       []fault.Event
+	FaultRetries uint64
 }
 
 // Solve runs the full pipeline on a fresh context: partition m across the
@@ -84,7 +91,18 @@ func SolveTraced(machineCfg ipu.Config, m *sparse.Matrix, b []float64, cfg confi
 	if err != nil {
 		return nil, err
 	}
+	// The injector must be registered before any tensors exist so bit flips
+	// can target every device buffer the program allocates.
+	var inj *fault.Injector
+	if cfg.Fault != nil && cfg.Fault.Rate > 0 {
+		inj = fault.New(cfg.Fault.Plan())
+		ctx.Session.Registry = inj
+	}
 	sys, err := ctx.LoadSystem(m, strategy)
+	if err != nil {
+		return nil, err
+	}
+	rec, err := config.BuildRecovery(sys, cfg.Recovery)
 	if err != nil {
 		return nil, err
 	}
@@ -111,14 +129,19 @@ func SolveTraced(machineCfg ipu.Config, m *sparse.Matrix, b []float64, cfg confi
 			Sys:     sys,
 			ExtType: ext,
 			MakeInner: func(maxIter int) solver.Solver {
+				var is solver.Solver
 				switch inner.Type {
 				case "richardson":
-					return &solver.Richardson{Sys: sys, Pre: pre, MaxIter: maxIter, Tol: 1e-30}
+					is = &solver.Richardson{Sys: sys, Pre: pre, MaxIter: maxIter, Tol: 1e-30}
 				case "cg":
-					return &solver.CG{Sys: sys, Pre: pre, MaxIter: maxIter, Tol: 1e-30}
+					is = &solver.CG{Sys: sys, Pre: pre, MaxIter: maxIter, Tol: 1e-30}
 				default:
-					return &solver.PBiCGStab{Sys: sys, Pre: pre, MaxIter: maxIter, Tol: 1e-30}
+					is = &solver.PBiCGStab{Sys: sys, Pre: pre, MaxIter: maxIter, Tol: 1e-30}
 				}
+				// Harden the correction solves: a breakdown inside one is a
+				// breakdown of the refinement (MPIR propagates it).
+				solver.WithRecovery(is, rec)
+				return is
 			},
 			InnerIters: cfg.MPIR.InnerIterations,
 			MaxOuter:   cfg.MPIR.MaxOuter,
@@ -130,6 +153,7 @@ func SolveTraced(machineCfg ipu.Config, m *sparse.Matrix, b []float64, cfg confi
 		if err != nil {
 			return nil, err
 		}
+		solver.WithRecovery(s, rec)
 		xT = sys.Vector("x")
 		bT := sys.Vector("b")
 		if err := sys.SetGlobal(bT, b); err != nil {
@@ -146,6 +170,9 @@ func SolveTraced(machineCfg ipu.Config, m *sparse.Matrix, b []float64, cfg confi
 	report := graph.Analyze(ctx.Session.Program())
 
 	eng := graph.NewEngine(ctx.Machine)
+	if inj != nil {
+		eng.Injector = inj
+	}
 	var tracer *graph.Tracer
 	if traceOut != nil {
 		tracer = eng.Trace()
@@ -158,11 +185,16 @@ func SolveTraced(machineCfg ipu.Config, m *sparse.Matrix, b []float64, cfg confi
 			return nil, err
 		}
 	}
-	return &Result{
+	res := &Result{
 		X:       sys.GetGlobal(xT),
 		Stats:   st,
 		Profile: eng.ProfileShares(),
 		Machine: ctx.Machine.Stats(),
 		Report:  report,
-	}, nil
+	}
+	if inj != nil {
+		res.Faults = inj.Events
+		res.FaultRetries = eng.FaultRetries
+	}
+	return res, nil
 }

@@ -149,3 +149,67 @@ func TestContextLoadSystem(t *testing.T) {
 		t.Error("system dimension wrong")
 	}
 }
+
+func TestSolveWithFaultCampaignAndRecovery(t *testing.T) {
+	m, b, want := poissonProblem(24, 24)
+	cfg := config.Config{
+		Solver: config.SolverConfig{
+			Type: "pbicgstab", MaxIterations: 500, Tolerance: 1e-8,
+			Preconditioner: &config.SolverConfig{Type: "ilu0"},
+		},
+		// No bit-flip kind here: a flip may land in the b tensor itself and
+		// legitimately change the problem, invalidating the solution check.
+		// Payload corruption and stalls leave the problem data intact. This
+		// seed's campaign trips the shadow-residual guard twice and recovers.
+		Fault: &config.FaultConfig{Seed: 16, Rate: 0.01,
+			Kinds: []string{"exchange-corrupt", "tile-stall"}},
+		Recovery: &config.RecoveryConfig{Interval: 5, MaxRestarts: 10},
+	}
+	res, err := Solve(smallMachine(8), m, b, cfg, PartitionContiguous)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Faults) == 0 {
+		t.Fatal("campaign injected no faults; the injector is not wired")
+	}
+	if !res.Stats.Converged {
+		t.Fatalf("not converged under faults: %+v", res.Stats)
+	}
+	if res.Stats.Restarts == 0 || !res.Stats.Recovered {
+		t.Errorf("campaign should have tripped recovery: %+v", res.Stats)
+	}
+	for i := range want {
+		if math.Abs(res.X[i]-want[i]) > 1e-3 {
+			t.Fatalf("x[%d] = %v, want %v", i, res.X[i], want[i])
+		}
+	}
+}
+
+func TestSolveFaultDisabledMatchesPlain(t *testing.T) {
+	m, b, _ := poissonProblem(16, 16)
+	cfg := config.Config{
+		Solver: config.SolverConfig{
+			Type: "pbicgstab", MaxIterations: 200, Tolerance: 1e-8,
+			Preconditioner: &config.SolverConfig{Type: "ilu0"},
+		},
+	}
+	plain, err := Solve(smallMachine(8), m, b, cfg, PartitionContiguous)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Fault = &config.FaultConfig{Seed: 42, Rate: 0} // disabled campaign
+	off, err := Solve(smallMachine(8), m, b, cfg, PartitionContiguous)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A disabled campaign must leave the run bit-identical.
+	if off.Stats.Iterations != plain.Stats.Iterations ||
+		off.Machine.TotalCycles != plain.Machine.TotalCycles {
+		t.Errorf("disabled faults changed the run: %d iters/%d cycles vs %d/%d",
+			off.Stats.Iterations, off.Machine.TotalCycles,
+			plain.Stats.Iterations, plain.Machine.TotalCycles)
+	}
+	if off.Faults != nil {
+		t.Error("disabled campaign should report no fault log")
+	}
+}

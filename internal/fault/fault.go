@@ -1,0 +1,360 @@
+// Package fault implements a deterministic, seeded fault-injection layer for
+// the simulated IPU. It models the failure modes microbenchmarking work
+// identifies on real hardware — bit flips in tile SRAM, corrupted or dropped
+// exchange payloads, transient tile stalls, flaky host callbacks — and injects
+// them at BSP superstep boundaries through the graph.Injector seams.
+//
+// The injector draws every decision from a single seeded stream consulted in
+// deterministic program order, so the same Plan reproduces the same fault
+// sequence on every run; tests and the resilience benchmarks rely on this.
+// A nil injector (no Plan) is the fault-free fast path and leaves engine
+// behaviour bit-identical to an unfaulted build.
+package fault
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+
+	"ipusparse/internal/graph"
+	"ipusparse/internal/ipu"
+)
+
+// Typed fault taxonomy: the detectable faults the exchange fabric and host
+// runtime surface once their internal retry budgets are spent. Silent faults
+// (bit flips, payload corruption) never produce these — the solver layer must
+// catch those through its own watchdogs.
+var (
+	// ErrExchangeCorrupt reports an exchange payload whose corruption was
+	// detected (e.g. by an end-to-end checksum) and could not be repaired.
+	ErrExchangeCorrupt = errors.New("fault: exchange payload corrupt")
+	// ErrExchangeDropped reports an exchange payload lost more times than the
+	// fabric's redelivery budget allows.
+	ErrExchangeDropped = errors.New("fault: exchange payload dropped beyond retry budget")
+	// ErrHostTransient reports a host callback that kept failing past its
+	// retry budget.
+	ErrHostTransient = errors.New("fault: transient host callback failure")
+)
+
+// Kind enumerates the injectable fault classes.
+type Kind int
+
+// Fault kinds.
+const (
+	// BitFlip silently flips one bit of a registered tile buffer before a
+	// compute superstep.
+	BitFlip Kind = iota
+	// ExchangeCorrupt delivers an exchange payload and then silently flips
+	// one bit of it in destination tile memory.
+	ExchangeCorrupt
+	// ExchangeDrop loses an exchange payload; the fabric redelivers it
+	// (billing its traffic twice) until the superstep's retry budget is
+	// spent, after which the exchange step fails with ErrExchangeDropped.
+	ExchangeDrop
+	// TileStall lengthens one tile's compute phase by StallCycles cycles;
+	// under BSP the whole superstep waits for the straggler.
+	TileStall
+	// HostTransient makes a host callback fail transiently. The runtime
+	// absorbs up to HostRetries of them per run, then surfaces
+	// ErrHostTransient through the engine.
+	HostTransient
+	numKinds int = iota
+)
+
+// String implements fmt.Stringer.
+func (k Kind) String() string {
+	switch k {
+	case BitFlip:
+		return "bit-flip"
+	case ExchangeCorrupt:
+		return "exchange-corrupt"
+	case ExchangeDrop:
+		return "exchange-drop"
+	case TileStall:
+		return "tile-stall"
+	case HostTransient:
+		return "host-transient"
+	}
+	return fmt.Sprintf("Kind(%d)", int(k))
+}
+
+// Plan configures an injection campaign. The zero value injects nothing.
+type Plan struct {
+	// Seed seeds the decision stream; the same seed reproduces the same
+	// fault sequence against the same program.
+	Seed int64
+	// Rate is the per-consultation fault probability (one consultation per
+	// compute superstep, per exchange payload and per host callback).
+	Rate float64
+	// Kinds restricts injection to the listed fault classes; empty enables
+	// all of them.
+	Kinds []Kind
+	// MaxFaults caps the total number of injected faults (0 = unlimited).
+	MaxFaults int
+	// StallCycles is the length of an injected tile stall (default 10_000).
+	StallCycles uint64
+	// RetryBudget is how many dropped payloads the fabric redelivers within
+	// one superstep before the exchange step fails with ErrExchangeDropped
+	// (default 8). The capacity renews at each superstep boundary: an
+	// exchange that cannot complete before the BSP barrier is what fails,
+	// not a long run that accumulates occasional recoverable drops.
+	RetryBudget int
+	// HostRetries is how many transient host-callback failures the runtime
+	// absorbs within one superstep before surfacing ErrHostTransient
+	// (default 4).
+	HostRetries int
+}
+
+// Enabled reports whether the plan injects kind k.
+func (p Plan) Enabled(k Kind) bool {
+	if len(p.Kinds) == 0 {
+		return true
+	}
+	for _, e := range p.Kinds {
+		if e == k {
+			return true
+		}
+	}
+	return false
+}
+
+// Event records one injected fault for reporting and tests.
+type Event struct {
+	Kind      Kind
+	Step      string // program step at whose boundary the fault was injected
+	Superstep uint64
+	Tile      int    // affected tile (-1 when not tile-specific)
+	Buffer    string // corrupted buffer name (bit flips and corruptions)
+	Elem      int    // corrupted element index
+	Bit       int    // flipped bit position
+}
+
+// String implements fmt.Stringer.
+func (ev Event) String() string {
+	switch ev.Kind {
+	case BitFlip, ExchangeCorrupt:
+		return fmt.Sprintf("%v at %q (superstep %d): tile %d buffer %q elem %d bit %d",
+			ev.Kind, ev.Step, ev.Superstep, ev.Tile, ev.Buffer, ev.Elem, ev.Bit)
+	case TileStall:
+		return fmt.Sprintf("%v at %q (superstep %d): tile %d", ev.Kind, ev.Step, ev.Superstep, ev.Tile)
+	}
+	return fmt.Sprintf("%v at %q (superstep %d)", ev.Kind, ev.Step, ev.Superstep)
+}
+
+type regBuf struct {
+	tile int
+	name string
+	buf  *graph.Buffer
+}
+
+// Injector implements graph.Injector and graph.MemoryRegistry for one
+// campaign. Create it with New, attach it as the session's Registry before
+// building tensors and as the engine's Injector before running.
+type Injector struct {
+	plan Plan
+	rng  *rand.Rand
+	bufs []regBuf
+
+	// Events is the chronological log of injected faults.
+	Events []Event
+
+	injected  int
+	dropsUsed int
+	dropSS    uint64 // superstep the drop budget was last reset at
+	hostUsed  int
+	hostSS    uint64 // superstep the host retry budget was last reset at
+}
+
+// New creates an injector for the plan, applying defaults for zero-valued
+// budgets.
+func New(plan Plan) *Injector {
+	if plan.StallCycles == 0 {
+		plan.StallCycles = 10_000
+	}
+	if plan.RetryBudget == 0 {
+		plan.RetryBudget = 8
+	}
+	if plan.HostRetries == 0 {
+		plan.HostRetries = 4
+	}
+	return &Injector{plan: plan, rng: rand.New(rand.NewSource(plan.Seed))}
+}
+
+// Plan returns the (defaulted) campaign configuration.
+func (in *Injector) Plan() Plan { return in.plan }
+
+// RegisterBuffer implements graph.MemoryRegistry.
+func (in *Injector) RegisterBuffer(tile int, name string, buf *graph.Buffer) {
+	if buf == nil || buf.Len() == 0 {
+		return
+	}
+	in.bufs = append(in.bufs, regBuf{tile: tile, name: name, buf: buf})
+}
+
+// Count returns the number of injected faults of kind k.
+func (in *Injector) Count(k Kind) int {
+	n := 0
+	for _, ev := range in.Events {
+		if ev.Kind == k {
+			n++
+		}
+	}
+	return n
+}
+
+// exhausted reports whether the campaign's fault cap is spent.
+func (in *Injector) exhausted() bool {
+	return in.plan.MaxFaults > 0 && in.injected >= in.plan.MaxFaults
+}
+
+// fire decides whether a fault triggers at this consultation point. It always
+// consumes exactly one draw so the decision stream stays aligned across
+// configurations with the same seed and program.
+func (in *Injector) fire() bool {
+	hit := in.rng.Float64() < in.plan.Rate
+	return hit && !in.exhausted()
+}
+
+// pick chooses uniformly among the enabled members of kinds; ok is false when
+// none is enabled.
+func (in *Injector) pick(kinds ...Kind) (Kind, bool) {
+	avail := kinds[:0]
+	for _, k := range kinds {
+		if in.plan.Enabled(k) {
+			avail = append(avail, k)
+		}
+	}
+	if len(avail) == 0 {
+		return 0, false
+	}
+	return avail[in.rng.Intn(len(avail))], true
+}
+
+// ComputeFault implements graph.Injector: before a compute superstep it may
+// flip a bit in registered tile memory or stall one tile.
+func (in *Injector) ComputeFault(name string, superstep uint64, numTiles int) (int, uint64) {
+	if !in.fire() {
+		return -1, 0
+	}
+	k, ok := in.pick(BitFlip, TileStall)
+	if !ok {
+		return -1, 0
+	}
+	switch k {
+	case BitFlip:
+		if len(in.bufs) == 0 {
+			return -1, 0
+		}
+		rb := in.bufs[in.rng.Intn(len(in.bufs))]
+		elem, bit := in.flip(rb.buf, 0, rb.buf.Len())
+		in.record(Event{Kind: BitFlip, Step: name, Superstep: superstep,
+			Tile: rb.tile, Buffer: rb.name, Elem: elem, Bit: bit})
+		return -1, 0
+	default: // TileStall
+		tile := 0
+		if numTiles > 0 {
+			tile = in.rng.Intn(numTiles)
+		}
+		in.record(Event{Kind: TileStall, Step: name, Superstep: superstep, Tile: tile})
+		return tile, in.plan.StallCycles
+	}
+}
+
+// MoveFault implements graph.Injector: it decides the fabric's treatment of
+// one exchange payload.
+func (in *Injector) MoveFault(exchange string, superstep uint64, move int, targets []graph.MoveTarget) (graph.MoveAction, error) {
+	if !in.fire() {
+		return graph.MoveDeliver, nil
+	}
+	k, ok := in.pick(ExchangeCorrupt, ExchangeDrop)
+	if !ok {
+		return graph.MoveDeliver, nil
+	}
+	if k == ExchangeDrop {
+		if superstep != in.dropSS {
+			in.dropSS, in.dropsUsed = superstep, 0
+		}
+		if in.dropsUsed >= in.plan.RetryBudget {
+			in.record(Event{Kind: ExchangeDrop, Step: exchange, Superstep: superstep, Tile: -1})
+			return graph.MoveFail, fmt.Errorf("%w: move %d of %q (%d redeliveries used)",
+				ErrExchangeDropped, move, exchange, in.dropsUsed)
+		}
+		in.dropsUsed++
+		in.record(Event{Kind: ExchangeDrop, Step: exchange, Superstep: superstep, Tile: -1})
+		return graph.MoveDrop, nil
+	}
+	if len(targets) == 0 {
+		// No addressable payload (cost-only move): nothing to corrupt.
+		return graph.MoveDeliver, nil
+	}
+	return graph.MoveCorrupt, nil
+}
+
+// CorruptPayload implements graph.Injector: it flips one bit of the delivered
+// payload in destination tile memory.
+func (in *Injector) CorruptPayload(exchange string, superstep uint64, targets []graph.MoveTarget) {
+	if len(targets) == 0 {
+		return
+	}
+	tg := targets[in.rng.Intn(len(targets))]
+	if tg.Buf == nil || tg.Len <= 0 {
+		return
+	}
+	elem, bit := in.flip(tg.Buf, tg.Off, tg.Len)
+	in.record(Event{Kind: ExchangeCorrupt, Step: exchange, Superstep: superstep,
+		Tile: tg.Tile, Buffer: fmt.Sprintf("payload@%d", tg.Tile), Elem: elem, Bit: bit})
+}
+
+// HostFault implements graph.Injector: transient host-callback failures are
+// absorbed until the superstep's retry budget is spent, then surfaced.
+func (in *Injector) HostFault(name string, superstep uint64) error {
+	if !in.fire() || !in.plan.Enabled(HostTransient) {
+		return nil
+	}
+	in.record(Event{Kind: HostTransient, Step: name, Superstep: superstep, Tile: -1})
+	if superstep != in.hostSS {
+		in.hostSS, in.hostUsed = superstep, 0
+	}
+	if in.hostUsed < in.plan.HostRetries {
+		in.hostUsed++
+		return nil // absorbed by a retry
+	}
+	return fmt.Errorf("%w: callback %q (%d retries used)", ErrHostTransient, name, in.hostUsed)
+}
+
+func (in *Injector) record(ev Event) {
+	in.injected++
+	in.Events = append(in.Events, ev)
+}
+
+// flip flips one uniformly chosen bit of one uniformly chosen element in
+// buf[off:off+n] and returns the element index and bit position.
+func (in *Injector) flip(buf *graph.Buffer, off, n int) (elem, bit int) {
+	elem = off + in.rng.Intn(n)
+	switch buf.Scalar {
+	case ipu.F32:
+		bit = in.rng.Intn(32)
+		buf.F32[elem] = math.Float32frombits(math.Float32bits(buf.F32[elem]) ^ 1<<bit)
+	case ipu.DW:
+		bit = in.rng.Intn(64)
+		if bit < 32 {
+			buf.Lo[elem] = math.Float32frombits(math.Float32bits(buf.Lo[elem]) ^ 1<<bit)
+		} else {
+			buf.Hi[elem] = math.Float32frombits(math.Float32bits(buf.Hi[elem]) ^ 1<<(bit-32))
+		}
+	case ipu.F64:
+		bit = in.rng.Intn(64)
+		buf.F64[elem] = math.Float64frombits(math.Float64bits(buf.F64[elem]) ^ 1<<bit)
+	case ipu.I32:
+		bit = in.rng.Intn(32)
+		buf.I32[elem] ^= 1 << bit
+	}
+	return elem, bit
+}
+
+// Interface conformance.
+var (
+	_ graph.Injector       = (*Injector)(nil)
+	_ graph.MemoryRegistry = (*Injector)(nil)
+)

@@ -1,0 +1,188 @@
+package fault
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"ipusparse/internal/graph"
+	"ipusparse/internal/ipu"
+)
+
+// drive runs one deterministic consultation schedule against an injector and
+// returns a textual trace of every decision it made.
+func drive(in *Injector) []string {
+	var trace []string
+	bufs := make([]*graph.Buffer, 4)
+	for t := range bufs {
+		bufs[t] = graph.NewBuffer(ipu.F32, 16)
+		bufs[t].Fill(1.5)
+		in.RegisterBuffer(t, fmt.Sprintf("x@%d", t), bufs[t])
+	}
+	targets := []graph.MoveTarget{{Tile: 1, Buf: bufs[1], Off: 0, Len: 8}}
+	var ss uint64
+	for i := 0; i < 400; i++ {
+		tile, stall := in.ComputeFault("spmv", ss, 4)
+		trace = append(trace, fmt.Sprintf("c:%d:%d", tile, stall))
+		act, err := in.MoveFault("halo", ss, 0, targets)
+		trace = append(trace, fmt.Sprintf("m:%d:%v", act, err))
+		if act == graph.MoveCorrupt {
+			in.CorruptPayload("halo", ss, targets)
+		}
+		herr := in.HostFault("monitor", ss)
+		trace = append(trace, fmt.Sprintf("h:%v", herr))
+		ss++
+	}
+	for _, ev := range in.Events {
+		trace = append(trace, ev.String())
+	}
+	return trace
+}
+
+func TestSameSeedSameFaultSequence(t *testing.T) {
+	plan := Plan{Seed: 42, Rate: 0.05}
+	a := drive(New(plan))
+	b := drive(New(plan))
+	if len(a) != len(b) {
+		t.Fatalf("trace lengths differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("traces diverge at %d: %q vs %q", i, a[i], b[i])
+		}
+	}
+	if New(plan).Count(BitFlip) != 0 {
+		t.Error("fresh injector should have no events")
+	}
+}
+
+func TestDifferentSeedDifferentSequence(t *testing.T) {
+	a := drive(New(Plan{Seed: 1, Rate: 0.05}))
+	b := drive(New(Plan{Seed: 2, Rate: 0.05}))
+	same := len(a) == len(b)
+	if same {
+		for i := range a {
+			if a[i] != b[i] {
+				same = false
+				break
+			}
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical fault sequences")
+	}
+}
+
+func TestZeroRateInjectsNothing(t *testing.T) {
+	in := New(Plan{Seed: 7, Rate: 0})
+	drive(in)
+	if len(in.Events) != 0 {
+		t.Errorf("rate 0 injected %d faults", len(in.Events))
+	}
+}
+
+func TestBitFlipCorruptsRegisteredMemory(t *testing.T) {
+	in := New(Plan{Seed: 3, Rate: 1, Kinds: []Kind{BitFlip}, MaxFaults: 1})
+	buf := graph.NewBuffer(ipu.F32, 8)
+	buf.Fill(2.0)
+	in.RegisterBuffer(0, "x", buf)
+	in.ComputeFault("spmv", 0, 1)
+	if in.Count(BitFlip) != 1 {
+		t.Fatalf("expected 1 bit flip, got %d events", len(in.Events))
+	}
+	changed := 0
+	for i := 0; i < 8; i++ {
+		if buf.F32[i] != 2.0 {
+			changed++
+		}
+	}
+	if changed != 1 {
+		t.Errorf("bit flip changed %d elements, want exactly 1", changed)
+	}
+}
+
+func TestDropBudgetExhaustionFails(t *testing.T) {
+	// The redelivery budget is per superstep: more drops than the fabric can
+	// redeliver before the barrier fail the exchange step.
+	in := New(Plan{Seed: 5, Rate: 1, Kinds: []Kind{ExchangeDrop}, RetryBudget: 2})
+	targets := []graph.MoveTarget{{Tile: 0, Buf: graph.NewBuffer(ipu.F32, 4), Off: 0, Len: 4}}
+	var failErr error
+	for i := 0; i < 10; i++ {
+		act, err := in.MoveFault("halo", 3, i, targets)
+		if act == graph.MoveFail {
+			failErr = err
+			break
+		}
+		if act != graph.MoveDrop {
+			t.Fatalf("consult %d: action %v, want drop", i, act)
+		}
+	}
+	if !errors.Is(failErr, ErrExchangeDropped) {
+		t.Errorf("after budget: err = %v, want ErrExchangeDropped", failErr)
+	}
+}
+
+func TestDropBudgetRenewsAcrossSupersteps(t *testing.T) {
+	in := New(Plan{Seed: 5, Rate: 1, Kinds: []Kind{ExchangeDrop}, RetryBudget: 2})
+	targets := []graph.MoveTarget{{Tile: 0, Buf: graph.NewBuffer(ipu.F32, 4), Off: 0, Len: 4}}
+	for ss := uint64(0); ss < 20; ss++ {
+		for mv := 0; mv < 2; mv++ { // within budget each superstep
+			act, err := in.MoveFault("halo", ss, mv, targets)
+			if act != graph.MoveDrop || err != nil {
+				t.Fatalf("superstep %d move %d: act=%v err=%v, want recoverable drop", ss, mv, act, err)
+			}
+		}
+	}
+}
+
+func TestHostRetriesThenTransientError(t *testing.T) {
+	in := New(Plan{Seed: 11, Rate: 1, Kinds: []Kind{HostTransient}, HostRetries: 3})
+	var got error
+	for i := 0; i < 10 && got == nil; i++ {
+		got = in.HostFault("monitor", 5) // same superstep: budget does not renew
+	}
+	if !errors.Is(got, ErrHostTransient) {
+		t.Errorf("err = %v, want ErrHostTransient", got)
+	}
+	if in.Count(HostTransient) != 4 { // 3 absorbed + 1 surfaced
+		t.Errorf("host events = %d, want 4", in.Count(HostTransient))
+	}
+}
+
+func TestMaxFaultsCapsCampaign(t *testing.T) {
+	in := New(Plan{Seed: 13, Rate: 1, MaxFaults: 5})
+	drive(in)
+	if len(in.Events) != 5 {
+		t.Errorf("injected %d faults, want cap of 5", len(in.Events))
+	}
+}
+
+// TestEngineIntegration checks that an injector wired into a real engine
+// stalls tiles, corrupts payloads, and bills dropped payloads twice.
+func TestEngineIntegration(t *testing.T) {
+	cfg := ipu.DefaultConfig()
+	m, err := ipu.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := New(Plan{Seed: 1, Rate: 1, Kinds: []Kind{TileStall}, MaxFaults: 1, StallCycles: 12345})
+	e := graph.NewEngine(m)
+	e.Injector = in
+
+	cs := graph.NewComputeSet("work", "x")
+	cs.Add(0, graph.CodeletFunc(func() uint64 { return 100 }))
+	prog := &graph.Sequence{}
+	prog.Append(graph.Compute{Set: cs})
+	if err := e.Run(prog); err != nil {
+		t.Fatal(err)
+	}
+	if in.Count(TileStall) != 1 {
+		t.Fatalf("expected one stall event, got %v", in.Events)
+	}
+	// The stalled tile straggles the whole superstep: cost is
+	// max(stall, work) + sync (the stall may land on any tile).
+	want := uint64(12345 + cfg.SyncCycles)
+	if got := e.Profile["x"]; got < want {
+		t.Errorf("stalled superstep cost %d, want >= %d", got, want)
+	}
+}

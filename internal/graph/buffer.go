@@ -10,11 +10,16 @@
 package graph
 
 import (
+	"errors"
 	"fmt"
 
 	"ipusparse/internal/ipu"
 	"ipusparse/internal/twofloat"
 )
+
+// ErrScalarMismatch reports a raw block transfer between buffers of different
+// scalar types — exchanges move bytes; conversions are compute.
+var ErrScalarMismatch = errors.New("graph: scalar type mismatch in block copy")
 
 // Buffer is a tile-local, typed data block in a tile's SRAM. Double-word
 // buffers store the high and low words as separate arrays (structure of
@@ -114,10 +119,12 @@ func (b *Buffer) SetDW(i int, d twofloat.DW) {
 }
 
 // CopyRange copies n elements from src[srcOff:] into b[dstOff:]. The scalar
-// types must match (exchanges move raw blocks; conversions are compute).
-func (b *Buffer) CopyRange(src *Buffer, dstOff, srcOff, n int) {
+// types must match (exchanges move raw blocks; conversions are compute); a
+// mismatch returns ErrScalarMismatch instead of killing the process, so a
+// bad exchange surfaces as a failed program step.
+func (b *Buffer) CopyRange(src *Buffer, dstOff, srcOff, n int) error {
 	if b.Scalar != src.Scalar {
-		panic(fmt.Sprintf("graph: copy between %v and %v buffers", src.Scalar, b.Scalar))
+		return fmt.Errorf("%w: %v into %v", ErrScalarMismatch, src.Scalar, b.Scalar)
 	}
 	switch b.Scalar {
 	case ipu.F32:
@@ -130,6 +137,7 @@ func (b *Buffer) CopyRange(src *Buffer, dstOff, srcOff, n int) {
 	case ipu.I32:
 		copy(b.I32[dstOff:dstOff+n], src.I32[srcOff:srcOff+n])
 	}
+	return nil
 }
 
 // Fill sets all elements to v.

@@ -20,6 +20,14 @@ type Engine struct {
 	// Supersteps counts executed compute supersteps.
 	Supersteps uint64
 
+	// Injector, when non-nil, is consulted at superstep boundaries to inject
+	// faults (see Injector). Nil is the fault-free fast path.
+	Injector Injector
+
+	// FaultRetries counts exchange payloads the fabric redelivered after a
+	// parity-detected drop (each one bills its traffic twice).
+	FaultRetries uint64
+
 	tileCost        []uint64
 	workerCost      []uint64
 	transferScratch []ipu.Transfer

@@ -9,7 +9,7 @@ import (
 func TestExchangeDefaultLabel(t *testing.T) {
 	e := newEngine(t)
 	prog := &Sequence{}
-	prog.Append(Exchange{Name: "x", Moves: []Move{{SrcTile: 0, DstTiles: []int{1}, Bytes: 8, Do: func() {}}}})
+	prog.Append(Exchange{Name: "x", Moves: []Move{{SrcTile: 0, DstTiles: []int{1}, Bytes: 8}}})
 	if err := e.Run(prog); err != nil {
 		t.Fatal(err)
 	}

@@ -91,13 +91,11 @@ func TestBufferCopyRange(t *testing.T) {
 	}
 }
 
-func TestBufferCopyTypeMismatchPanics(t *testing.T) {
-	defer func() {
-		if recover() == nil {
-			t.Error("expected panic")
-		}
-	}()
-	NewBuffer(ipu.F32, 1).CopyRange(NewBuffer(ipu.F64, 1), 0, 0, 1)
+func TestBufferCopyTypeMismatch(t *testing.T) {
+	err := NewBuffer(ipu.F32, 1).CopyRange(NewBuffer(ipu.F64, 1), 0, 0, 1)
+	if !errors.Is(err, ErrScalarMismatch) {
+		t.Errorf("CopyRange err = %v, want ErrScalarMismatch", err)
+	}
 }
 
 func TestBufferFill(t *testing.T) {
@@ -170,7 +168,7 @@ func TestExchangeMovesDataAndCharges(t *testing.T) {
 		Label: "Exchange",
 		Moves: []Move{{
 			SrcTile: 0, DstTiles: []int{1}, Bytes: 16,
-			Do: func() { dst.CopyRange(src, 0, 0, 4) },
+			Do: func() error { return dst.CopyRange(src, 0, 0, 4) },
 		}},
 	})
 	if err := e.Run(&prog); err != nil {

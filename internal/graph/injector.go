@@ -1,0 +1,84 @@
+package graph
+
+import "fmt"
+
+// This file defines the fault-injection seams of the engine. The concrete
+// injector lives in internal/fault; the interfaces here keep graph free of
+// that dependency while letting the engine consult a fault model at every
+// BSP superstep boundary, exactly where real IPU deployments observe
+// corrupted exchanges and tile hiccups.
+
+// MoveAction is the exchange fabric's treatment of one payload block.
+type MoveAction int
+
+// Move actions, in order of increasing severity.
+const (
+	// MoveDeliver delivers the payload intact (the fault-free path).
+	MoveDeliver MoveAction = iota
+	// MoveCorrupt delivers the payload and then flips one bit of it in the
+	// destination tile's memory — a silent data corruption the solver layer
+	// must detect through its own watchdogs.
+	MoveCorrupt
+	// MoveDrop models a parity-detected loss: the block is redelivered by the
+	// fabric, billing its traffic a second time but keeping the data intact.
+	MoveDrop
+	// MoveFail is an unrecoverable exchange fault (redelivery budget spent);
+	// the engine surfaces the injector's error as a failed program step.
+	MoveFail
+)
+
+// MoveTarget locates one delivered payload block in destination tile memory,
+// so the fault layer can corrupt exactly the words an exchange wrote.
+type MoveTarget struct {
+	Tile     int
+	Buf      *Buffer
+	Off, Len int // element range written on the destination
+}
+
+// Injector is consulted by the engine at BSP superstep boundaries. All
+// methods are invoked in deterministic program order, so a seeded injector
+// reproduces the same fault sequence on every run. A nil Injector on the
+// engine is the fault-free fast path and costs nothing.
+type Injector interface {
+	// ComputeFault is consulted once before each compute superstep. The
+	// injector may silently corrupt registered tile memory (bit flips) and
+	// may return stall > 0 to lengthen tile's compute phase by stall cycles
+	// (a transient tile hiccup; under BSP the whole step waits for it).
+	ComputeFault(name string, superstep uint64, numTiles int) (tile int, stall uint64)
+	// MoveFault is consulted once per exchange payload and returns the
+	// fabric's action for it. For MoveFail the returned error describes the
+	// fault; it is surfaced wrapped in a StepError.
+	MoveFault(exchange string, superstep uint64, move int, targets []MoveTarget) (MoveAction, error)
+	// CorruptPayload flips one bit of a just-delivered payload (invoked by
+	// the engine after the move's data movement when MoveFault returned
+	// MoveCorrupt).
+	CorruptPayload(exchange string, superstep uint64, targets []MoveTarget)
+	// HostFault is consulted before each host callback. A non-nil error is a
+	// transient host failure that exhausted its retry budget; the engine
+	// surfaces it as a failed program step.
+	HostFault(name string, superstep uint64) error
+}
+
+// MemoryRegistry receives tile-resident buffers as they are allocated so a
+// fault layer can target bit flips at real tile memory. The TensorDSL session
+// and the solver substrate register every device buffer they create.
+type MemoryRegistry interface {
+	RegisterBuffer(tile int, name string, buf *Buffer)
+}
+
+// StepError contextualizes the failure of one program step with its position
+// in the schedule. Data-dependent failures on the engine hot path surface as
+// StepErrors instead of panics, so a poisoned solve reports where it died.
+type StepError struct {
+	Step      string // step name (compute set, exchange or host call)
+	Superstep uint64 // compute supersteps executed when the step failed
+	Err       error
+}
+
+// Error implements error.
+func (e *StepError) Error() string {
+	return fmt.Sprintf("graph: step %q (superstep %d): %v", e.Step, e.Superstep, e.Err)
+}
+
+// Unwrap exposes the underlying cause for errors.Is/As.
+func (e *StepError) Unwrap() error { return e.Err }

@@ -83,15 +83,31 @@ func (c Compute) exec(e *Engine) error {
 	for i := range e.tileCost {
 		e.tileCost[i] = 0
 	}
+	// The fault model is consulted before the codelets run, so injected bit
+	// flips corrupt the memory this superstep computes on.
+	var stallTile int
+	var stall uint64
+	if e.Injector != nil {
+		stallTile, stall = e.Injector.ComputeFault(c.Set.Name, e.Supersteps, len(e.tileCost))
+	}
 	for tile, workers := range c.Set.vertices {
 		if tile < 0 || tile >= len(e.tileCost) {
-			return fmt.Errorf("graph: compute set %q places vertex on invalid tile %d", c.Set.Name, tile)
+			return &StepError{Step: c.Set.Name, Superstep: e.Supersteps,
+				Err: fmt.Errorf("graph: compute set places vertex on invalid tile %d", tile)}
 		}
 		e.workerCost = e.workerCost[:0]
 		for _, w := range workers {
 			e.workerCost = append(e.workerCost, w.Run())
 		}
-		e.tileCost[tile] = e.M.WorkerMax(e.workerCost)
+		cost, err := e.M.WorkerMax(e.workerCost)
+		if err != nil {
+			return &StepError{Step: c.Set.Name, Superstep: e.Supersteps,
+				Err: fmt.Errorf("tile %d: %w", tile, err)}
+		}
+		e.tileCost[tile] = cost
+	}
+	if stall > 0 && stallTile >= 0 && stallTile < len(e.tileCost) {
+		e.tileCost[stallTile] += stall
 	}
 	step := e.M.Compute(e.tileCost)
 	e.addProfile(c.Set.Label, step)
@@ -103,12 +119,15 @@ func (c Compute) exec(e *Engine) error {
 }
 
 // Move is one blockwise transfer of an Exchange step: Bytes sent from
-// SrcTile and broadcast to DstTiles; Do performs the data movement.
+// SrcTile and broadcast to DstTiles; Do (optional) performs the data
+// movement and reports delivery failures. Targets (optional) locate the
+// delivered payload in destination tile memory for the fault model.
 type Move struct {
 	SrcTile  int
 	DstTiles []int
 	Bytes    int
-	Do       func()
+	Do       func() error
+	Targets  []MoveTarget
 }
 
 // Exchange executes one BSP exchange phase consisting of blockwise moves
@@ -124,9 +143,33 @@ func (x Exchange) exec(e *Engine) error {
 		return nil
 	}
 	transfers := e.transferScratch[:0]
-	for _, mv := range x.Moves {
-		mv.Do()
-		transfers = append(transfers, transferFromMove(mv))
+	for i := range x.Moves {
+		mv := &x.Moves[i]
+		act := MoveDeliver
+		var ferr error
+		if e.Injector != nil {
+			act, ferr = e.Injector.MoveFault(x.Name, e.Supersteps, i, mv.Targets)
+		}
+		if act == MoveFail {
+			e.transferScratch = transfers[:0]
+			return &StepError{Step: x.Name, Superstep: e.Supersteps, Err: ferr}
+		}
+		if mv.Do != nil {
+			if err := mv.Do(); err != nil {
+				e.transferScratch = transfers[:0]
+				return &StepError{Step: x.Name, Superstep: e.Supersteps, Err: err}
+			}
+		}
+		switch act {
+		case MoveCorrupt:
+			e.Injector.CorruptPayload(x.Name, e.Supersteps, mv.Targets)
+		case MoveDrop:
+			// Parity-detected loss: the fabric redelivers the block, so its
+			// traffic is billed a second time on the same phase.
+			transfers = append(transfers, transferFromMove(*mv))
+			e.FaultRetries++
+		}
+		transfers = append(transfers, transferFromMove(*mv))
 	}
 	st := e.M.Exchange(transfers)
 	e.transferScratch = transfers[:0]
@@ -213,11 +256,16 @@ type HostCall struct {
 }
 
 func (h HostCall) exec(e *Engine) error {
+	if e.Injector != nil {
+		if err := e.Injector.HostFault(h.Name, e.Supersteps); err != nil {
+			return &StepError{Step: h.Name, Superstep: e.Supersteps, Err: err}
+		}
+	}
 	if h.Fn == nil {
 		return nil
 	}
 	if err := h.Fn(); err != nil {
-		return fmt.Errorf("graph: host call %q: %w", h.Name, err)
+		return &StepError{Step: h.Name, Superstep: e.Supersteps, Err: err}
 	}
 	return nil
 }

@@ -15,8 +15,8 @@ func buildSampleProgram() *Sequence {
 	body := &Sequence{}
 	body.Append(Compute{Set: cs})
 	body.Append(Exchange{Name: "halo", Moves: []Move{
-		{SrcTile: 0, DstTiles: []int{1, 2}, Bytes: 8, Do: func() {}},
-		{SrcTile: 1, DstTiles: []int{0}, Bytes: 8, Do: func() {}},
+		{SrcTile: 0, DstTiles: []int{1, 2}, Bytes: 8},
+		{SrcTile: 1, DstTiles: []int{0}, Bytes: 8},
 	}})
 	prog := &Sequence{}
 	prog.Append(Repeat{N: 3, Body: body})
@@ -82,7 +82,7 @@ func TestValidateBadTiles(t *testing.T) {
 		t.Error("expected invalid tile error")
 	}
 	prog2 := &Sequence{}
-	prog2.Append(Exchange{Name: "oob", Moves: []Move{{SrcTile: 0, DstTiles: []int{99999}, Do: func() {}}}})
+	prog2.Append(Exchange{Name: "oob", Moves: []Move{{SrcTile: 0, DstTiles: []int{99999}}}})
 	if err := Validate(prog2, cfg); err == nil {
 		t.Error("expected invalid destination error")
 	}

@@ -20,7 +20,7 @@ func tracedRun(t *testing.T) (*Engine, *Tracer) {
 	prog.Append(Compute{Set: cs})
 	prog.Append(Exchange{Name: "halo", Label: "Exchange", Moves: []Move{{
 		SrcTile: 0, DstTiles: []int{1}, Bytes: 16,
-		Do: func() { dst.CopyRange(src, 0, 0, 4) },
+		Do: func() error { return dst.CopyRange(src, 0, 0, 4) },
 	}}})
 	prog.Append(Compute{Set: cs})
 	if err := e.Run(prog); err != nil {

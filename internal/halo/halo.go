@@ -23,12 +23,19 @@
 package halo
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 
 	"ipusparse/internal/partition"
 	"ipusparse/internal/sparse"
 )
+
+// ErrInconsistentLayout reports a layout whose region bookkeeping is
+// internally inconsistent (a region referenced by a tile that has no block for
+// it). It indicates corrupted partition input rather than a programmer error,
+// so Build returns it instead of panicking.
+var ErrInconsistentLayout = errors.New("halo: inconsistent region layout")
 
 // Region is a maximal group of separator cells on one tile that is required
 // by the same set of neighboring tiles.
@@ -222,7 +229,10 @@ func Build(m *sparse.Matrix, p *partition.Partition) (*Layout, error) {
 	// Blockwise exchange program: one broadcast instruction per region.
 	for _, id := range order {
 		r := &l.Regions[id]
-		src := regionRefOf(&l.Tiles[r.Owner], id, false)
+		src, err := regionRefOf(&l.Tiles[r.Owner], id, false)
+		if err != nil {
+			return nil, err
+		}
 		tr := Transfer{
 			Region:  id,
 			SrcTile: r.Owner,
@@ -230,7 +240,10 @@ func Build(m *sparse.Matrix, p *partition.Partition) (*Layout, error) {
 			Len:     src.Len,
 		}
 		for _, t := range r.Involved {
-			dst := regionRefOf(&l.Tiles[t], id, true)
+			dst, err := regionRefOf(&l.Tiles[t], id, true)
+			if err != nil {
+				return nil, err
+			}
 			tr.Dst = append(tr.Dst, TransferDst{Tile: t, Off: dst.Offset})
 		}
 		l.Program = append(l.Program, tr)
@@ -238,17 +251,18 @@ func Build(m *sparse.Matrix, p *partition.Partition) (*Layout, error) {
 	return l, nil
 }
 
-func regionRefOf(tl *TileLayout, region int, halo bool) RegionRef {
+func regionRefOf(tl *TileLayout, region int, halo bool) (RegionRef, error) {
 	refs := tl.SepRegions
 	if halo {
 		refs = tl.HaloRegions
 	}
 	for _, r := range refs {
 		if r.Region == region {
-			return r
+			return r, nil
 		}
 	}
-	panic(fmt.Sprintf("halo: region %d not found on tile %d", region, tl.Tile))
+	return RegionRef{}, fmt.Errorf("%w: region %d not found on tile %d",
+		ErrInconsistentLayout, region, tl.Tile)
 }
 
 func appendDistinct(s []int, v int) []int {

@@ -215,13 +215,17 @@ func (m *Machine) Compute(tileCycles []uint64) uint64 {
 	return step
 }
 
+// ErrOversubscribed reports a compute set that places more worker vertices on
+// a tile than the tile has hardware thread slots.
+var ErrOversubscribed = errors.New("ipu: worker slots oversubscribed")
+
 // WorkerMax reduces per-worker costs on one tile to the tile's compute time:
 // workers run concurrently in the six-slot round robin, so the tile finishes
-// with its slowest worker. Passing more workers than the tile has slots is a
-// programming error.
-func (m *Machine) WorkerMax(workerCycles []uint64) uint64 {
+// with its slowest worker. Passing more workers than the tile has slots
+// returns ErrOversubscribed so the engine can surface the offending step.
+func (m *Machine) WorkerMax(workerCycles []uint64) (uint64, error) {
 	if len(workerCycles) > m.cfg.WorkersPerTile {
-		panic(fmt.Sprintf("ipu: %d workers exceed %d slots", len(workerCycles), m.cfg.WorkersPerTile))
+		return 0, fmt.Errorf("%w: %d workers for %d slots", ErrOversubscribed, len(workerCycles), m.cfg.WorkersPerTile)
 	}
 	var max uint64
 	for _, c := range workerCycles {
@@ -229,7 +233,7 @@ func (m *Machine) WorkerMax(workerCycles []uint64) uint64 {
 			max = c
 		}
 	}
-	return max
+	return max, nil
 }
 
 // Transfer is one communication-program instruction: a contiguous block of

@@ -1,6 +1,7 @@
 package ipu
 
 import (
+	"errors"
 	"strings"
 	"testing"
 	"testing/quick"
@@ -97,18 +98,15 @@ func TestComputeSuperstep(t *testing.T) {
 
 func TestWorkerMax(t *testing.T) {
 	m, _ := New(DefaultConfig())
-	if got := m.WorkerMax([]uint64{10, 50, 20}); got != 50 {
-		t.Errorf("WorkerMax = %d, want 50", got)
+	if got, err := m.WorkerMax([]uint64{10, 50, 20}); err != nil || got != 50 {
+		t.Errorf("WorkerMax = %d, %v, want 50", got, err)
 	}
-	if got := m.WorkerMax(nil); got != 0 {
-		t.Errorf("WorkerMax(nil) = %d", got)
+	if got, err := m.WorkerMax(nil); err != nil || got != 0 {
+		t.Errorf("WorkerMax(nil) = %d, %v", got, err)
 	}
-	defer func() {
-		if recover() == nil {
-			t.Error("expected panic for too many workers")
-		}
-	}()
-	m.WorkerMax(make([]uint64, 7))
+	if _, err := m.WorkerMax(make([]uint64, 7)); !errors.Is(err, ErrOversubscribed) {
+		t.Errorf("WorkerMax(7 workers) err = %v, want ErrOversubscribed", err)
+	}
 }
 
 func TestExchangeMaxPerTile(t *testing.T) {

@@ -21,6 +21,10 @@ type CG struct {
 	Tol      float64
 	SetupPre bool
 	Monitor  func(iter int)
+
+	// Recover, when set, hardens the solve with checkpoint/restart breakdown
+	// recovery (see Recovery).
+	Recover *Recovery
 }
 
 // Name implements Solver.
@@ -68,30 +72,80 @@ func (s *CG) ScheduleSolve(x, b Tensor, st *RunStats) {
 		relres    = math.Inf(1)
 		bnormHost float64
 		stop      bool
+		g         *guard
 	)
+	if s.Recover != nil {
+		g = newGuard(s.Recover, x, s.Tol, st)
+	}
+	fail := func(reason string) {
+		if st != nil {
+			st.Breakdown = true
+			st.BreakdownReason = reason
+		}
+		if g == nil || !g.trip(reason, iter) {
+			stop = true
+		}
+	}
 	ts.HostCallback("cg:init", func() error {
 		iter, stop = 0, false
 		bnormHost = sqrtPos(bnorm2.Value())
 		relres = math.Inf(1)
 		rzOld.SetValue(rz.Value())
+		if st != nil {
+			st.Breakdown, st.Converged = false, false
+			st.BreakdownReason, st.Restarts, st.Recovered = "", 0, false
+		}
+		if g != nil {
+			g.reset()
+		}
 		return nil
 	})
 	cond := func() bool {
+		if g != nil && g.pending {
+			return true
+		}
 		if stop || iter >= s.MaxIter {
 			return false
 		}
 		return s.Tol <= 0 || relres > s.Tol
 	}
-	ts.While(cond, s.MaxIter+1, func() {
+	maxBody := s.MaxIter + 1
+	if g != nil {
+		maxBody = s.Recover.maxBody(s.MaxIter)
+	}
+	ts.While(cond, maxBody, func() {
+		if g != nil {
+			// Restart branch: restore x, recompute r/z/p, reseed the rz
+			// recursion scalar.
+			ts.If(func() bool { return g.pending }, func() {
+				ts.HostCallback("cg:restore", func() error {
+					ci, err := g.restore()
+					iter = ci
+					return err
+				})
+				sys.SpMV(ap, x)
+				r.Assign(tensordsl.Sub(b, ap))
+				pre.ApplyStep(z, r)
+				p.Assign(tensordsl.E(z))
+				rzR := ts.Dot(r, z)
+				res2r := ts.Dot(r, r)
+				ts.HostCallback("cg:restart-scalars", func() error {
+					rzOld.SetValue(rzR.Value())
+					relres = math.Sqrt(math.Abs(res2r.Value())) / bnormHost
+					return nil
+				})
+			}, nil)
+		}
 		sys.SpMV(ap, p)
 		pap := ts.Dot(p, ap)
 		ts.HostCallback("cg:pap-check", func() error {
-			if pap.Value() <= 0 {
+			// A NaN pᵀAp must not slip past the ≤0 test (NaN compares false
+			// with everything), or CG iterates on NaNs forever.
+			if v := pap.Value(); math.IsNaN(v) {
+				fail("nan-pap")
+			} else if v <= 0 {
 				// Loss of positive definiteness (or breakdown): stop.
-				stop = true
-				if st != nil {
-					st.Breakdown = true
-				}
+				fail("indefinite")
 			}
 			return nil
 		})
@@ -106,8 +160,12 @@ func (s *CG) ScheduleSolve(x, b Tensor, st *RunStats) {
 		res2 := ts.Dot(r, r)
 		ts.HostCallback("cg:monitor", func() error {
 			iter++
-			if v := res2.Value(); v >= 0 {
-				relres = math.Sqrt(v) / bnormHost
+			// NaN/Inf divergence watchdog (the seed silently ignored NaN
+			// here, looping to MaxIter on a poisoned residual).
+			if reason := residualCheck(res2.Value()); reason != "" {
+				fail(reason)
+			} else {
+				relres = math.Sqrt(res2.Value()) / bnormHost
 			}
 			if st != nil {
 				st.Iterations = iter
@@ -119,10 +177,61 @@ func (s *CG) ScheduleSolve(x, b Tensor, st *RunStats) {
 			}
 			return nil
 		})
+		if g != nil {
+			sax := sys.Vector("cg:sax")
+			shadow := sys.Vector("cg:shadow")
+			ts.If(func() bool { return !g.pending && !stop && g.due(iter) }, func() {
+				sys.SpMV(sax, x)
+				shadow.Assign(tensordsl.Sub(b, sax))
+				sd := ts.Dot(shadow, shadow)
+				ts.HostCallback("cg:verify", func() error {
+					g.verify(iter, math.Sqrt(sd.Value())/bnormHost, relres)
+					if g.failed || g.pending {
+						if st != nil {
+							st.Breakdown = true
+							st.BreakdownReason = g.reason
+						}
+						if g.failed {
+							stop = true
+						}
+					}
+					return nil
+				})
+			}, nil)
+		}
 	})
+	var fbSt RunStats
+	fellback := false
+	if g != nil && s.Recover.Fallback != nil {
+		ts.If(func() bool { return g.failed && !(s.Tol > 0 && relres <= s.Tol) }, func() {
+			ts.HostCallback("cg:fallback", func() error {
+				fellback = true
+				_, err := g.restore()
+				return err
+			})
+			fb := s.Recover.Fallback()
+			fb.ScheduleSolve(x, b, &fbSt)
+		}, nil)
+	}
 	ts.HostCallback("cg:done", func() error {
+		converged := s.Tol > 0 && relres <= s.Tol
+		if fellback {
+			converged = fbSt.Converged
+			if st != nil {
+				st.Iterations = iter + fbSt.Iterations
+				st.RelRes = fbSt.RelRes
+				st.History = append(st.History, fbSt.History...)
+			}
+		}
 		if st != nil {
-			st.Converged = s.Tol > 0 && relres <= s.Tol
+			st.Converged = converged
+			if g != nil {
+				st.Restarts = g.restarts
+				st.Recovered = converged && st.Breakdown
+			}
+		}
+		if g != nil && g.failed && !converged {
+			return g.breakdownError(s.Name())
 		}
 		return nil
 	})

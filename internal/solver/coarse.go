@@ -67,9 +67,13 @@ func (p *CoarseCorrection) SetupStep() {
 			}
 		}
 	}
-	// SRAM for the dense factors on tile 0.
+	// SRAM for the dense factors on tile 0. An overflow is data-dependent
+	// (too many tiles for the dense coarse operator), so it surfaces as a
+	// failed program step instead of a panic.
 	if err := sys.Sess.M.Alloc(0, 8*nt*nt); err != nil {
-		panic(fmt.Errorf("solver: coarse operator on tile 0: %w", err))
+		err = fmt.Errorf("solver: coarse operator on tile 0: %w", err)
+		sys.Sess.Append(graph.HostCall{Name: "coarse:alloc", Fn: func() error { return err }})
+		return
 	}
 
 	cs := graph.NewComputeSet("coarse:factor", "Coarse Factor")
@@ -186,20 +190,27 @@ func (p *CoarseCorrection) ApplyStep(z, r Tensor) {
 	// Gather the partials to tile 0.
 	var gather []graph.Move
 	for t := 1; t < nt; t++ {
-		gather = append(gather, graph.Move{SrcTile: t, DstTiles: []int{0}, Bytes: 4, Do: func() {}})
+		gather = append(gather, graph.Move{SrcTile: t, DstTiles: []int{0}, Bytes: 4})
 	}
 	if len(gather) > 0 {
 		ts.Append(graph.Exchange{Name: "coarse:gather", Label: "Coarse Solve", Moves: gather})
 	}
 
-	// Solve A_c c = R rc on tile 0.
+	// Solve A_c c = R rc on tile 0. Applying before SetupStep's factor
+	// codelet has run is reported through a host callback as a typed error
+	// (the engine aborts before the solve compute set executes).
+	ts.Append(graph.HostCall{Name: "coarse:check", Fn: func() error {
+		if !p.setup {
+			return fmt.Errorf("%w: CoarseCorrection", ErrNotSetup)
+		}
+		return nil
+	}})
 	coarseZ := make([]float64, nt)
 	solve := graph.NewComputeSet("coarse:solve", "Coarse Solve")
 	solve.Add(0, graph.CodeletFunc(func() uint64 {
-		if !p.setup {
-			panic("solver: CoarseCorrection applied before SetupStep")
+		if p.setup {
+			copy(coarseZ, luSolve(p.lu, p.piv, coarseR))
 		}
-		copy(coarseZ, luSolve(p.lu, p.piv, coarseR))
 		return uint64(nt*nt)*ipu.Cost(ipu.OpFMA, ipu.F32) + workerStart
 	}))
 	ts.Append(graph.Compute{Set: solve})
@@ -207,7 +218,7 @@ func (p *CoarseCorrection) ApplyStep(z, r Tensor) {
 	// Scatter each tile its coarse value.
 	var scatter []graph.Move
 	for t := 1; t < nt; t++ {
-		scatter = append(scatter, graph.Move{SrcTile: 0, DstTiles: []int{t}, Bytes: 4, Do: func() {}})
+		scatter = append(scatter, graph.Move{SrcTile: 0, DstTiles: []int{t}, Bytes: 4})
 	}
 	if len(scatter) > 0 {
 		ts.Append(graph.Exchange{Name: "coarse:scatter", Label: "Coarse Solve", Moves: scatter})

@@ -1,0 +1,50 @@
+package solver
+
+import (
+	"errors"
+	"fmt"
+)
+
+// This file is the solver layer's typed error taxonomy. Data-dependent
+// failures on the solve path — Krylov breakdowns, preconditioners applied out
+// of order, shape mismatches discovered at schedule time — surface as these
+// errors through ScheduleSolve host callbacks and the graph engine, never as
+// panics, so a poisoned solve reports what died and why.
+
+// ErrNotSetup reports a preconditioner whose ApplyStep ran before its
+// SetupStep (a scheduling-order fault in the built program).
+var ErrNotSetup = errors.New("solver: preconditioner applied before SetupStep")
+
+// ErrShape reports operands whose distributed shapes do not match the
+// system's tile layout.
+var ErrShape = errors.New("solver: operand shape mismatch")
+
+// ErrBreakdown is the typed Krylov-breakdown error: the iteration produced a
+// degenerate quantity (ρ→0, ω→0, pᵀAp≤0, NaN/Inf residual) and — when a
+// Recovery policy is attached — exhausted its restart budget without
+// converging. Reason carries the detecting watchdog's tag, Restarts the
+// number of checkpoint restarts consumed before giving up.
+type ErrBreakdown struct {
+	Solver   string // solver name, e.g. "PBiCGStab"
+	Reason   string // watchdog tag, e.g. "rho", "omega", "nan-residual"
+	Iter     int    // iteration at which the final breakdown was detected
+	Restarts int    // checkpoint restarts consumed before giving up
+}
+
+// Error implements error.
+func (e *ErrBreakdown) Error() string {
+	if e.Restarts > 0 {
+		return fmt.Sprintf("solver: %s breakdown (%s) at iteration %d after %d restarts",
+			e.Solver, e.Reason, e.Iter, e.Restarts)
+	}
+	return fmt.Sprintf("solver: %s breakdown (%s) at iteration %d", e.Solver, e.Reason, e.Iter)
+}
+
+// IsBreakdown reports whether err wraps an ErrBreakdown and returns it.
+func IsBreakdown(err error) (*ErrBreakdown, bool) {
+	var be *ErrBreakdown
+	if errors.As(err, &be) {
+		return be, true
+	}
+	return nil, false
+}

@@ -56,7 +56,11 @@ func (p *GaussSeidel) sweepStep(x, b Tensor, forward, useHalo bool) {
 		name = "gs:bwd"
 	}
 	cs := graph.NewComputeSet(name, label)
-	halos := sys.haloBuffers(ipu.F32)
+	halos, herr := sys.haloBuffers(ipu.F32)
+	if herr != nil {
+		sys.Sess.Append(graph.HostCall{Name: name + ":alloc", Fn: func() error { return herr }})
+		return
+	}
 	for t, lm := range sys.Locals {
 		if lm.NumOwned == 0 {
 			continue

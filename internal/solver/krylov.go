@@ -23,6 +23,11 @@ type PBiCGStab struct {
 	// Monitor, when set, is called on the host after every iteration.
 	Monitor func(iter int)
 
+	// Recover, when set, hardens the solve with checkpoint/restart breakdown
+	// recovery (see Recovery). Nil keeps the scheduled program identical to
+	// the unhardened solver.
+	Recover *Recovery
+
 	breakEps float64
 }
 
@@ -79,7 +84,23 @@ func (s *PBiCGStab) ScheduleSolve(x, b Tensor, st *RunStats) {
 		relres    = math.Inf(1)
 		bnormHost float64
 		stop      bool
+		g         *guard
 	)
+	if s.Recover != nil {
+		g = newGuard(s.Recover, x, s.Tol, st)
+	}
+	// fail reports a breakdown detected at the current iteration: without a
+	// Recovery policy it stops the loop (seed behaviour); with one it arms a
+	// checkpoint restart until the budget is spent.
+	fail := func(reason string) {
+		if st != nil {
+			st.Breakdown = true
+			st.BreakdownReason = reason
+		}
+		if g == nil || !g.trip(reason, iter) {
+			stop = true
+		}
+	}
 	ts.HostCallback("bicg:init", func() error {
 		iter, stop = 0, false
 		bnormHost = math.Sqrt(bnorm2.Value())
@@ -89,6 +110,10 @@ func (s *PBiCGStab) ScheduleSolve(x, b Tensor, st *RunStats) {
 		relres = math.Sqrt(res2.Value()) / bnormHost
 		if st != nil {
 			st.Breakdown, st.Converged = false, false
+			st.BreakdownReason, st.Restarts, st.Recovered = "", 0, false
+		}
+		if g != nil {
+			g.reset()
 		}
 		return nil
 	})
@@ -107,21 +132,51 @@ func (s *PBiCGStab) ScheduleSolve(x, b Tensor, st *RunStats) {
 	})
 
 	cond := func() bool {
+		if g != nil && g.pending {
+			return true // a checkpoint restore is due; keep the loop alive
+		}
 		if stop || iter >= s.MaxIter {
 			return false
 		}
 		return s.Tol <= 0 || relres > s.Tol
 	}
 
-	ts.While(cond, s.MaxIter+1, func() {
+	maxBody := s.MaxIter + 1
+	if g != nil {
+		maxBody = s.Recover.maxBody(s.MaxIter)
+	}
+	ts.While(cond, maxBody, func() {
+		if g != nil {
+			// Restart branch: restore x from the last verified checkpoint,
+			// recompute the true residual and reset the Krylov recursion with
+			// a fresh shadow residual r0. It costs nothing unless a watchdog
+			// tripped.
+			ts.If(func() bool { return g.pending }, func() {
+				ts.HostCallback("bicg:restore", func() error {
+					ci, err := g.restore()
+					iter = ci
+					return err
+				})
+				sys.SpMV(ax, x)
+				r.Assign(tensordsl.Sub(b, ax))
+				r0.Assign(tensordsl.E(r))
+				p.Assign(0.0)
+				v.Assign(0.0)
+				res2r := ts.Dot(r, r)
+				ts.HostCallback("bicg:restart-scalars", func() error {
+					rhoOld.SetValue(1)
+					alpha.SetValue(1)
+					omega.SetValue(1)
+					relres = math.Sqrt(res2r.Value()) / bnormHost
+					return nil
+				})
+			}, nil)
+		}
 		rhoT := ts.Dot(r0, r)
 		rho.Assign(tensordsl.E(rhoT))
 		ts.HostCallback("bicg:rho-check", func() error {
 			if math.Abs(rho.Value()) < s.breakEps {
-				stop = true
-				if st != nil {
-					st.Breakdown = true
-				}
+				fail("rho")
 			}
 			return nil
 		})
@@ -136,10 +191,7 @@ func (s *PBiCGStab) ScheduleSolve(x, b Tensor, st *RunStats) {
 		gamma := ts.Dot(r0, v)
 		ts.HostCallback("bicg:gamma-check", func() error {
 			if math.Abs(gamma.Value()) < s.breakEps {
-				stop = true
-				if st != nil {
-					st.Breakdown = true
-				}
+				fail("gamma")
 			}
 			return nil
 		})
@@ -152,11 +204,8 @@ func (s *PBiCGStab) ScheduleSolve(x, b Tensor, st *RunStats) {
 		tsDot := ts.Dot(t, sv)
 		ttDot := ts.Dot(t, t)
 		ts.HostCallback("bicg:omega-check", func() error {
-			if ttDot.Value() < s.breakEps {
-				stop = true
-				if st != nil {
-					st.Breakdown = true
-				}
+			if v := ttDot.Value(); v < s.breakEps || math.IsNaN(v) {
+				fail("omega")
 			}
 			return nil
 		})
@@ -168,15 +217,13 @@ func (s *PBiCGStab) ScheduleSolve(x, b Tensor, st *RunStats) {
 		res2b := ts.Dot(r, r)
 		ts.HostCallback("bicg:monitor", func() error {
 			iter++
-			if v := res2b.Value(); v >= 0 {
-				relres = math.Sqrt(v) / bnormHost
-			} else if math.IsNaN(res2b.Value()) {
-				// Numerical blow-up (e.g. singular preconditioner pivots):
-				// report a breakdown instead of iterating on NaNs.
-				stop = true
-				if st != nil {
-					st.Breakdown = true
-				}
+			// NaN/Inf divergence watchdog: a residual that blew up (singular
+			// preconditioner pivots, corrupted exchange words) is a
+			// breakdown, not something to iterate on.
+			if reason := residualCheck(res2b.Value()); reason != "" {
+				fail(reason)
+			} else {
+				relres = math.Sqrt(res2b.Value()) / bnormHost
 			}
 			if st != nil {
 				st.Iterations = iter
@@ -188,10 +235,66 @@ func (s *PBiCGStab) ScheduleSolve(x, b Tensor, st *RunStats) {
 			}
 			return nil
 		})
+		if g != nil {
+			// Shadow-residual verification: every Interval iterations compute
+			// the true residual with a scheduled SpMV, checkpoint healthy
+			// states, trip on silent drift.
+			sax := sys.Vector("bicg:sax")
+			shadow := sys.Vector("bicg:shadow")
+			ts.If(func() bool { return !g.pending && !stop && g.due(iter) }, func() {
+				sys.SpMV(sax, x)
+				shadow.Assign(tensordsl.Sub(b, sax))
+				sd := ts.Dot(shadow, shadow)
+				ts.HostCallback("bicg:verify", func() error {
+					g.verify(iter, math.Sqrt(sd.Value())/bnormHost, relres)
+					if g.failed || g.pending {
+						if st != nil {
+							st.Breakdown = true
+							st.BreakdownReason = g.reason
+						}
+						if g.failed {
+							stop = true
+						}
+					}
+					return nil
+				})
+			}, nil)
+		}
 	})
+	// Escalation: once the restart budget is spent without convergence, rerun
+	// from the last checkpoint with the configured fallback solver.
+	var fbSt RunStats
+	fellback := false
+	if g != nil && s.Recover.Fallback != nil {
+		ts.If(func() bool { return g.failed && !(s.Tol > 0 && relres <= s.Tol) }, func() {
+			ts.HostCallback("bicg:fallback", func() error {
+				fellback = true
+				_, err := g.restore()
+				return err
+			})
+			fb := s.Recover.Fallback()
+			fb.ScheduleSolve(x, b, &fbSt)
+		}, nil)
+	}
 	ts.HostCallback("bicg:done", func() error {
+		converged := s.Tol > 0 && relres <= s.Tol
+		if fellback {
+			converged = fbSt.Converged
+			if st != nil {
+				st.Iterations = iter + fbSt.Iterations
+				st.RelRes = fbSt.RelRes
+				st.History = append(st.History, fbSt.History...)
+			}
+		}
 		if st != nil {
-			st.Converged = s.Tol > 0 && relres <= s.Tol
+			st.Converged = converged
+			if g != nil {
+				st.Restarts = g.restarts
+				st.Recovered = converged && st.Breakdown
+			}
+		}
+		if g != nil && g.failed && !converged {
+			return g.breakdownError(s.Name())
 		}
 		return nil
 	})
@@ -208,6 +311,13 @@ type Richardson struct {
 	Tol      float64
 	SetupPre bool
 	Monitor  func(iter int)
+
+	// Recover, when set, adds checkpoint/restart recovery. Richardson
+	// recomputes its true residual every iteration, so no shadow
+	// verification is needed: healthy states are checkpointed directly and
+	// a NaN/Inf residual restores the last one. The Fallback escalation is
+	// not scheduled here — Richardson is itself the typical fallback.
+	Recover *Recovery
 }
 
 // Name implements Solver.
@@ -232,23 +342,60 @@ func (s *Richardson) ScheduleSolve(x, b Tensor, st *RunStats) {
 		iter      int
 		relres    = math.Inf(1)
 		bnormHost float64
+		stop      bool
+		g         *guard
 	)
+	if s.Recover != nil {
+		g = newGuard(s.Recover, x, s.Tol, st)
+	}
+	fail := func(reason string) {
+		if st != nil {
+			st.Breakdown = true
+			st.BreakdownReason = reason
+		}
+		if g == nil || !g.trip(reason, iter) {
+			stop = true
+		}
+	}
 	ts.HostCallback("rich:init", func() error {
-		iter = 0
+		iter, stop = 0, false
 		bnormHost = math.Sqrt(bnorm2.Value())
 		if bnormHost == 0 {
 			bnormHost = 1
 		}
 		relres = math.Inf(1)
+		if st != nil {
+			st.Breakdown, st.Converged = false, false
+			st.BreakdownReason, st.Restarts, st.Recovered = "", 0, false
+		}
+		if g != nil {
+			g.reset()
+		}
 		return nil
 	})
 	cond := func() bool {
-		if iter >= s.MaxIter {
+		if g != nil && g.pending {
+			return true
+		}
+		if stop || iter >= s.MaxIter {
 			return false
 		}
 		return s.Tol <= 0 || relres > s.Tol
 	}
-	ts.While(cond, s.MaxIter+1, func() {
+	maxBody := s.MaxIter + 1
+	if g != nil {
+		maxBody = s.Recover.maxBody(s.MaxIter)
+	}
+	ts.While(cond, maxBody, func() {
+		if g != nil {
+			ts.If(func() bool { return g.pending }, func() {
+				ts.HostCallback("rich:restore", func() error {
+					ci, err := g.restore()
+					iter = ci
+					return err
+				})
+			}, nil)
+		}
 		sys.SpMV(ax, x)
 		r.Assign(tensordsl.Sub(b, ax))
 		s.Pre.ApplyStep(c, r)
@@ -256,7 +403,17 @@ func (s *Richardson) ScheduleSolve(x, b Tensor, st *RunStats) {
 		res2 := ts.Dot(r, r)
 		ts.HostCallback("rich:monitor", func() error {
 			iter++
-			relres = math.Sqrt(res2.Value()) / bnormHost
+			if reason := residualCheck(res2.Value()); reason != "" {
+				fail(reason)
+			} else {
+				relres = math.Sqrt(res2.Value()) / bnormHost
+				// Richardson's residual is the true residual, freshly
+				// computed: checkpoint on the configured cadence without a
+				// shadow verification pass.
+				if g != nil && g.due(iter) {
+					g.save(iter)
+				}
+			}
 			if st != nil {
 				st.Iterations = iter
 				st.RelRes = relres
@@ -269,8 +426,16 @@ func (s *Richardson) ScheduleSolve(x, b Tensor, st *RunStats) {
 		})
 	})
 	ts.HostCallback("rich:done", func() error {
+		converged := s.Tol > 0 && relres <= s.Tol
 		if st != nil {
-			st.Converged = s.Tol > 0 && relres <= s.Tol
+			st.Converged = converged
+			if g != nil {
+				st.Restarts = g.restarts
+				st.Recovered = converged && st.Breakdown
+			}
+		}
+		if g != nil && g.failed && !converged {
+			return g.breakdownError(s.Name())
 		}
 		return nil
 	})

@@ -75,15 +75,17 @@ func (s *MPIR) ScheduleSolve(x, b Tensor, st *RunStats) {
 		inner     int
 		relres    float64
 		bnormHost float64
+		stop      bool
 	)
 	ts.HostCallback("mpir:init", func() error {
 		outer, inner = 0, 0
 		relres = math.Inf(1)
 		bnormHost = sqrtPos(bnorm2.Value())
+		stop = false
 		return nil
 	})
 	cond := func() bool {
-		if outer >= s.MaxOuter {
+		if stop || outer >= s.MaxOuter {
 			return false
 		}
 		return s.Tol <= 0 || relres > s.Tol
@@ -99,7 +101,17 @@ func (s *MPIR) ScheduleSolve(x, b Tensor, st *RunStats) {
 		}
 		res2 := ts.ReduceLabeled(tensordsl.Mul(rExt, rExt), "Reduce")
 		ts.HostCallback("mpir:res", func() error {
-			relres = sqrtPos(res2.Value()) / bnormHost
+			// NaN/Inf divergence watchdog: sqrtPos(NaN) is NaN, which would
+			// otherwise end the loop silently without flagging a breakdown.
+			if reason := residualCheck(res2.Value()); reason != "" {
+				stop = true
+				if st != nil {
+					st.Breakdown = true
+					st.BreakdownReason = reason
+				}
+			} else {
+				relres = sqrtPos(res2.Value()) / bnormHost
+			}
 			if st != nil {
 				st.RelRes = relres
 				st.record(inner, relres, sys.Sess.M.Stats().Seconds)
@@ -121,6 +133,16 @@ func (s *MPIR) ScheduleSolve(x, b Tensor, st *RunStats) {
 				inner += innerStats.Iterations
 				if st != nil {
 					st.Iterations = inner
+					// Propagate the inner solver's resilience record only
+					// when it actually restarted: scalar stagnation at the
+					// bottom of a low-tolerance correction solve is the
+					// expected end of an approximate inner solve (the outer
+					// refinement compensates), not a resilience event.
+					if innerStats.Breakdown && innerStats.Restarts > 0 {
+						st.Breakdown = true
+						st.BreakdownReason = innerStats.BreakdownReason
+					}
+					st.Restarts += innerStats.Restarts
 				}
 				if s.Monitor != nil {
 					s.Monitor(outer, inner)
@@ -133,6 +155,7 @@ func (s *MPIR) ScheduleSolve(x, b Tensor, st *RunStats) {
 		if st != nil {
 			st.Converged = s.Tol > 0 && relres <= s.Tol
 			st.RelRes = relres
+			st.Recovered = st.Converged && st.Breakdown
 		}
 		return nil
 	})

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 
+	"ipusparse/internal/graph"
 	"ipusparse/internal/tensordsl"
 )
 
@@ -89,14 +90,21 @@ func (s *TwoGrid) Prolong(coarse []float64) []float64 {
 	return out
 }
 
-// ScheduleSolve implements Solver.
+// ScheduleSolve implements Solver. Shape mismatches between the grid
+// dimensions and the attached systems are data-dependent (they come from the
+// problem configuration), so they surface as typed errors through a host
+// callback instead of panicking.
 func (s *TwoGrid) ScheduleSolve(x, b Tensor, st *RunStats) {
 	if s.NX*s.NY != s.Fine.N() {
-		panic(fmt.Sprintf("solver: TwoGrid dims %dx%d != %d rows", s.NX, s.NY, s.Fine.N()))
+		err := fmt.Errorf("%w: TwoGrid dims %dx%d != %d rows", ErrShape, s.NX, s.NY, s.Fine.N())
+		s.Fine.Sess.Append(graph.HostCall{Name: "mg:shape", Fn: func() error { return err }})
+		return
 	}
 	nxc, nyc := s.coarseDims()
 	if nxc*nyc != s.Coarse.N() {
-		panic(fmt.Sprintf("solver: coarse system has %d rows, want %d", s.Coarse.N(), nxc*nyc))
+		err := fmt.Errorf("%w: coarse system has %d rows, want %d", ErrShape, s.Coarse.N(), nxc*nyc)
+		s.Fine.Sess.Append(graph.HostCall{Name: "mg:shape", Fn: func() error { return err }})
+		return
 	}
 	if s.PreSmooth < 1 {
 		s.PreSmooth = 2
@@ -129,15 +137,16 @@ func (s *TwoGrid) ScheduleSolve(x, b Tensor, st *RunStats) {
 		iter      int
 		relres    = math.Inf(1)
 		bnormHost float64
+		stop      bool
 	)
 	ts.HostCallback("mg:init", func() error {
-		iter = 0
+		iter, stop = 0, false
 		relres = math.Inf(1)
 		bnormHost = sqrtPos(bnorm2.Value())
 		return nil
 	})
 	cond := func() bool {
-		if iter >= s.MaxIter {
+		if stop || iter >= s.MaxIter {
 			return false
 		}
 		return s.Tol <= 0 || relres > s.Tol
@@ -177,7 +186,16 @@ func (s *TwoGrid) ScheduleSolve(x, b Tensor, st *RunStats) {
 		_ = res2
 		ts.HostCallback("mg:monitor", func() error {
 			iter++
-			relres = sqrtPos(res2b.Value()) / bnormHost
+			// NaN/Inf divergence watchdog.
+			if reason := residualCheck(res2b.Value()); reason != "" {
+				stop = true
+				if st != nil {
+					st.Breakdown = true
+					st.BreakdownReason = reason
+				}
+			} else {
+				relres = sqrtPos(res2b.Value()) / bnormHost
+			}
 			if st != nil {
 				st.Iterations = iter
 				st.RelRes = relres

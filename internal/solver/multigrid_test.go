@@ -1,6 +1,7 @@
 package solver
 
 import (
+	"errors"
 	"math"
 	"testing"
 
@@ -139,16 +140,14 @@ func TestRestrictProlongShapes(t *testing.T) {
 	}
 }
 
-func TestTwoGridDimensionMismatchPanics(t *testing.T) {
+func TestTwoGridDimensionMismatchErrors(t *testing.T) {
 	sess, mg := buildTwoGrid(t, 16, 16, 2)
-	_ = sess
 	mg.NX = 15 // wrong
-	defer func() {
-		if recover() == nil {
-			t.Error("expected panic")
-		}
-	}()
 	x := mg.Fine.Vector("x")
 	b := mg.Fine.Vector("b")
 	mg.ScheduleSolve(x, b, nil)
+	// The mismatch surfaces as a typed error when the program runs.
+	if _, err := sess.Run(); !errors.Is(err, ErrShape) {
+		t.Errorf("Run err = %v, want ErrShape", err)
+	}
 }

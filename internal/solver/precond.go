@@ -125,10 +125,13 @@ func (p *ILU) SetupStep() {
 	p.tri = buildTriSchedule(sys)
 	p.fvals = make([][]float32, len(sys.Locals))
 	p.fdiag = make([][]float32, len(sys.Locals))
-	// SRAM for the factor copies.
+	// SRAM for the factor copies; an overflow surfaces as a failed program
+	// step, not a panic.
 	for t, lm := range sys.Locals {
 		if err := sys.Sess.M.Alloc(t, 4*(len(lm.Vals)+lm.NumOwned)); err != nil {
-			panic(fmt.Errorf("solver: ILU factors on tile %d: %w", t, err))
+			err = fmt.Errorf("solver: ILU factors on tile %d: %w", t, err)
+			sys.Sess.Append(graph.HostCall{Name: "ilu0:alloc", Fn: func() error { return err }})
+			return
 		}
 	}
 	cs := graph.NewComputeSet("ilu0:factor", "ILU(0) Factor")
@@ -285,7 +288,9 @@ func (p *DILU) SetupStep() {
 	p.fdiag = make([][]float32, len(sys.Locals))
 	for t, lm := range sys.Locals {
 		if err := sys.Sess.M.Alloc(t, 4*lm.NumOwned); err != nil {
-			panic(fmt.Errorf("solver: DILU diagonal on tile %d: %w", t, err))
+			err = fmt.Errorf("solver: DILU diagonal on tile %d: %w", t, err)
+			sys.Sess.Append(graph.HostCall{Name: "dilu:alloc", Fn: func() error { return err }})
+			return
 		}
 	}
 	cs := graph.NewComputeSet("dilu:factor", "DILU Factor")

@@ -1,0 +1,271 @@
+package solver
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"ipusparse/internal/fault"
+	"ipusparse/internal/graph"
+	"ipusparse/internal/ipu"
+	"ipusparse/internal/partition"
+	"ipusparse/internal/sparse"
+	"ipusparse/internal/tensordsl"
+)
+
+// faultySystem builds a session+system whose tensors are registered with the
+// injector (when non-nil) so faults can target real tile memory.
+func faultySystem(t *testing.T, m *sparse.Matrix, tiles int, reg graph.MemoryRegistry) (*tensordsl.Session, *System) {
+	t.Helper()
+	cfg := ipu.DefaultConfig()
+	cfg.TilesPerChip = tiles
+	mach, err := ipu.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sess := tensordsl.NewSession(mach)
+	if reg != nil {
+		sess.Registry = reg
+	}
+	sys, err := NewSystem(sess, m, partition.Contiguous(m, tiles))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sess, sys
+}
+
+// runWithInjector executes the session program with the injector attached.
+func runWithInjector(sess *tensordsl.Session, inj graph.Injector) error {
+	e := graph.NewEngine(sess.M)
+	e.Injector = inj
+	return e.Run(sess.Program())
+}
+
+// namedPoison is a deterministic test injector: from superstep `from` on, it
+// overwrites element 0 of every registered buffer named `name` with NaN before
+// each compute superstep — modeling worst-case silent memory corruption of one
+// solver vector. maxHits caps how many supersteps it poisons (0 = unlimited),
+// so a single-shot corruption and a persistent one share the implementation.
+type namedPoison struct {
+	name    string
+	from    uint64
+	maxHits int
+
+	bufs []*graph.Buffer
+	hits int
+}
+
+func (p *namedPoison) RegisterBuffer(tile int, name string, buf *graph.Buffer) {
+	if name == p.name {
+		p.bufs = append(p.bufs, buf)
+	}
+}
+
+func (p *namedPoison) ComputeFault(name string, superstep uint64, numTiles int) (int, uint64) {
+	if superstep >= p.from && (p.maxHits == 0 || p.hits < p.maxHits) && len(p.bufs) > 0 {
+		for _, b := range p.bufs {
+			if b.Len() > 0 {
+				b.Set(0, math.NaN())
+			}
+		}
+		p.hits++
+	}
+	return -1, 0
+}
+
+func (p *namedPoison) MoveFault(string, uint64, int, []graph.MoveTarget) (graph.MoveAction, error) {
+	return graph.MoveDeliver, nil
+}
+func (p *namedPoison) CorruptPayload(string, uint64, []graph.MoveTarget) {}
+func (p *namedPoison) HostFault(string, uint64) error                    { return nil }
+
+// TestPBiCGStabRecoversFromMidSolveCorruption checks the core resilience
+// property: a NaN injected into the Krylov direction vector mid-solve trips a
+// watchdog, the solver restarts from its checkpoint, and the solve still
+// converges to Tol with the recovery recorded in RunStats.
+func TestPBiCGStabRecoversFromMidSolveCorruption(t *testing.T) {
+	m := sparse.Poisson2D(20, 20)
+	pz := &namedPoison{name: "bicg:p", from: 60, maxHits: 1}
+	sess, sys := faultySystem(t, m, 4, pz)
+
+	x := sys.Vector("x")
+	b := sys.Vector("b")
+	if err := sys.SetGlobal(b, randVec(m.N, 1)); err != nil {
+		t.Fatal(err)
+	}
+	s := &PBiCGStab{Sys: sys, MaxIter: 400, Tol: 1e-6,
+		Recover: &Recovery{Interval: 5, MaxRestarts: 5}}
+	var st RunStats
+	s.ScheduleSolve(x, b, &st)
+	if err := runWithInjector(sess, pz); err != nil {
+		t.Fatalf("solve failed: %v", err)
+	}
+	if pz.hits == 0 {
+		t.Fatal("poisoner never fired; adjust the target superstep")
+	}
+	if !st.Breakdown {
+		t.Fatal("corruption did not trip a watchdog")
+	}
+	if st.Restarts == 0 {
+		t.Error("no checkpoint restart recorded")
+	}
+	if !st.Converged {
+		t.Fatalf("solve did not re-converge: relres=%g after %d iters", st.RelRes, st.Iterations)
+	}
+	if !st.Recovered {
+		t.Error("RunStats.Recovered should be true for a converged post-breakdown solve")
+	}
+	if got := trueRelRes(m, sys.GetGlobal(x), sys.GetGlobal(b)); got > 1e-5 {
+		t.Errorf("true residual %g too large after recovery", got)
+	}
+}
+
+// TestRestartBudgetExhaustionReportsErrBreakdown checks that a persistently
+// corrupted solve stops with a typed ErrBreakdown instead of looping: the
+// direction vector is re-poisoned at every superstep, so every restart breaks
+// again until the budget runs out.
+func TestRestartBudgetExhaustionReportsErrBreakdown(t *testing.T) {
+	m := sparse.Poisson2D(16, 16)
+	pz := &namedPoison{name: "bicg:p", from: 20}
+	sess, sys := faultySystem(t, m, 4, pz)
+
+	x := sys.Vector("x")
+	b := sys.Vector("b")
+	if err := sys.SetGlobal(b, randVec(m.N, 2)); err != nil {
+		t.Fatal(err)
+	}
+	s := &PBiCGStab{Sys: sys, MaxIter: 200, Tol: 1e-6,
+		Recover: &Recovery{Interval: 5, MaxRestarts: 2}}
+	var st RunStats
+	s.ScheduleSolve(x, b, &st)
+	err := runWithInjector(sess, pz)
+	var be *ErrBreakdown
+	if !errors.As(err, &be) {
+		t.Fatalf("err = %v, want ErrBreakdown", err)
+	}
+	if be.Restarts != 2 {
+		t.Errorf("ErrBreakdown.Restarts = %d, want 2", be.Restarts)
+	}
+	if st.Converged || st.Recovered {
+		t.Error("exhausted solve must not report convergence or recovery")
+	}
+}
+
+// TestRestartBudgetThenFallback checks that after the restart budget is spent
+// the solve escalates to the configured fallback solver. The poison targets
+// only PBiCGStab's direction vector, so the primary keeps breaking while the
+// fallback CG (which owns different vectors) solves cleanly.
+func TestRestartBudgetThenFallback(t *testing.T) {
+	m := sparse.Poisson2D(16, 16)
+	pz := &namedPoison{name: "bicg:p", from: 20}
+	sess, sys := faultySystem(t, m, 4, pz)
+
+	x := sys.Vector("x")
+	b := sys.Vector("b")
+	if err := sys.SetGlobal(b, randVec(m.N, 3)); err != nil {
+		t.Fatal(err)
+	}
+	s := &PBiCGStab{Sys: sys, MaxIter: 50, Tol: 1e-6,
+		Recover: &Recovery{Interval: 5, MaxRestarts: 1, Fallback: func() Solver {
+			return &CG{Sys: sys, Pre: &Jacobi{Sys: sys}, MaxIter: 300, Tol: 1e-6, SetupPre: true}
+		}}}
+	var st RunStats
+	s.ScheduleSolve(x, b, &st)
+	if err := runWithInjector(sess, pz); err != nil {
+		t.Fatalf("fallback solve failed: %v", err)
+	}
+	if !st.Converged {
+		t.Fatalf("fallback did not converge: relres=%g iters=%d", st.RelRes, st.Iterations)
+	}
+	if !st.Recovered {
+		t.Error("converged fallback after breakdown should report Recovered")
+	}
+	if got := trueRelRes(m, sys.GetGlobal(x), sys.GetGlobal(b)); got > 1e-5 {
+		t.Errorf("true residual %g too large after fallback", got)
+	}
+}
+
+// TestRecoveryFaultFreeOverheadOnly checks that attaching Recovery to a
+// fault-free solve changes nothing about convergence: no restarts, no
+// breakdown, same tolerance reached.
+func TestRecoveryFaultFreeOverheadOnly(t *testing.T) {
+	m := sparse.Poisson2D(16, 16)
+	sess, sys := faultySystem(t, m, 4, nil)
+
+	x := sys.Vector("x")
+	b := sys.Vector("b")
+	if err := sys.SetGlobal(b, randVec(m.N, 4)); err != nil {
+		t.Fatal(err)
+	}
+	s := &PBiCGStab{Sys: sys, MaxIter: 200, Tol: 1e-6,
+		Recover: &Recovery{Interval: 5, MaxRestarts: 3}}
+	var st RunStats
+	s.ScheduleSolve(x, b, &st)
+	if _, err := sess.Run(); err != nil {
+		t.Fatalf("solve failed: %v", err)
+	}
+	if !st.Converged {
+		t.Fatalf("did not converge: relres=%g", st.RelRes)
+	}
+	if st.Breakdown || st.Restarts != 0 || st.Recovered {
+		t.Errorf("fault-free hardened solve reported faults: %+v", st)
+	}
+}
+
+// TestSeededFaultCampaignRecovers mirrors the acceptance criterion: a random
+// seeded campaign at a realistic rate against PBiCGStab+ILU still converges
+// to the fault-free tolerance, with the recovery machinery reporting what
+// happened.
+func TestSeededFaultCampaignRecovers(t *testing.T) {
+	m := sparse.Poisson2D(96, 96)
+
+	solveOnce := func(inj *fault.Injector) (RunStats, error) {
+		var reg graph.MemoryRegistry
+		if inj != nil {
+			reg = inj
+		}
+		sess, sys := faultySystem(t, m, 16, reg) // 96x96 @ 16 tiles: seed-42 campaign lands a harmful fault
+		x := sys.Vector("x")
+		b := sys.Vector("b")
+		if err := sys.SetGlobal(b, randVec(m.N, 7)); err != nil {
+			t.Fatal(err)
+		}
+		s := &PBiCGStab{Sys: sys, Pre: &ILU{Sys: sys}, SetupPre: true,
+			MaxIter: 500, Tol: 1e-6,
+			Recover: &Recovery{Interval: 5, MaxRestarts: 10}}
+		var st RunStats
+		s.ScheduleSolve(x, b, &st)
+		var gi graph.Injector
+		if inj != nil {
+			gi = inj
+		}
+		return st, runWithInjector(sess, gi)
+	}
+
+	clean, err := solveOnce(nil)
+	if err != nil || !clean.Converged {
+		t.Fatalf("fault-free run: err=%v st=%+v", err, clean)
+	}
+
+	inj := fault.New(fault.Plan{Seed: 42, Rate: 0.001,
+		Kinds: []fault.Kind{fault.BitFlip, fault.ExchangeCorrupt}})
+	faulty, err := solveOnce(inj)
+	if err != nil {
+		t.Fatalf("faulty run errored: %v (%d events)", err, len(inj.Events))
+	}
+	if len(inj.Events) == 0 {
+		t.Fatal("campaign injected nothing; raise the rate or program length")
+	}
+	if !faulty.Converged {
+		t.Fatalf("faulty run did not converge: %+v (%d events)", faulty, len(inj.Events))
+	}
+	if faulty.RelRes > 1e-6 {
+		t.Errorf("faulty run relres %g above Tol", faulty.RelRes)
+	}
+	if faulty.Restarts == 0 || !faulty.Recovered {
+		t.Errorf("campaign should trip recovery: restarts=%d recovered=%v",
+			faulty.Restarts, faulty.Recovered)
+	}
+	t.Logf("campaign: %d faults, %d restarts, recovered=%v, iters %d vs clean %d",
+		len(inj.Events), faulty.Restarts, faulty.Recovered, faulty.Iterations, clean.Iterations)
+}

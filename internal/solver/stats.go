@@ -20,7 +20,16 @@ type RunStats struct {
 	Converged  bool
 	RelRes     float64
 	Breakdown  bool
-	History    []HistPoint
+	// BreakdownReason is the tag of the watchdog that detected the (last)
+	// breakdown: "rho", "gamma", "omega", "indefinite", "nan-residual",
+	// "divergence", "residual-drift", "shadow-residual".
+	BreakdownReason string
+	// Restarts counts checkpoint restarts performed by the Recovery policy.
+	Restarts int
+	// Recovered reports a solve that hit a breakdown, restarted from a
+	// checkpoint (or escalated to the fallback solver) and still converged.
+	Recovered bool
+	History   []HistPoint
 }
 
 // record appends a history sample.

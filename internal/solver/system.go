@@ -171,8 +171,10 @@ func (sys *System) GetGlobal(t *tensordsl.Tensor) []float64 {
 }
 
 // haloBuffers returns (allocating on first use) the scratch halo buffer set
-// for the scalar type.
-func (sys *System) haloBuffers(dt ipu.Scalar) []*graph.Buffer {
+// for the scalar type. An SRAM overflow is a data-dependent condition, so it
+// is reported as an error rather than a panic; the buffers are registered with
+// the session's fault-memory registry like any other device-resident data.
+func (sys *System) haloBuffers(dt ipu.Scalar) ([]*graph.Buffer, error) {
 	var set *[]*graph.Buffer
 	switch dt {
 	case ipu.F32:
@@ -188,38 +190,60 @@ func (sys *System) haloBuffers(dt ipu.Scalar) []*graph.Buffer {
 		bufs := make([]*graph.Buffer, len(sys.Locals))
 		for t, lm := range sys.Locals {
 			if err := sys.Sess.M.Alloc(t, lm.NumHalo*dt.Size()); err != nil {
-				panic(fmt.Errorf("solver: halo buffers on tile %d: %w", t, err))
+				return nil, fmt.Errorf("solver: halo buffers on tile %d: %w", t, err)
 			}
 			bufs[t] = graph.NewBuffer(dt, lm.NumHalo)
+			if sys.Sess.Registry != nil {
+				sys.Sess.Registry.RegisterBuffer(t, fmt.Sprintf("halo[%v]", dt), bufs[t])
+			}
 		}
 		*set = bufs
 	}
-	return *set
+	return *set, nil
 }
 
 // ExchangeStep schedules the blockwise halo exchange of vector v into the
 // system's scratch halo buffers for v's scalar type: each separator region of
 // v's owned data is broadcast to the mirroring halo regions (paper §IV).
+// Each move carries the destination ranges it writes as fault targets, so the
+// exchange fault model can corrupt exactly the delivered words.
 func (sys *System) ExchangeStep(v *tensordsl.Tensor) {
 	dt := v.Type()
-	halos := sys.haloBuffers(dt)
+	halos, err := sys.haloBuffers(dt)
+	if err != nil {
+		// Surface the allocation failure when the program runs, with step
+		// context, instead of killing the process at schedule time.
+		sys.Sess.Append(graph.HostCall{Name: "halo:" + v.Name + ":alloc", Fn: func() error { return err }})
+		return
+	}
 	moves := make([]graph.Move, 0, len(sys.Layout.Program))
 	for _, tr := range sys.Layout.Program {
-
+		tr := tr
 		dsts := make([]int, len(tr.Dst))
+		targets := make([]graph.MoveTarget, len(tr.Dst))
 		for i, d := range tr.Dst {
 			dsts[i] = d.Tile
+			targets[i] = graph.MoveTarget{
+				Tile: d.Tile,
+				Buf:  halos[d.Tile],
+				Off:  d.Off - sys.Locals[d.Tile].NumOwned,
+				Len:  tr.Len,
+			}
 		}
 		src := v.Buf(tr.SrcTile)
 		moves = append(moves, graph.Move{
 			SrcTile:  tr.SrcTile,
 			DstTiles: dsts,
 			Bytes:    tr.Len * dt.Size(),
-			Do: func() {
+			Targets:  targets,
+			Do: func() error {
 				for _, d := range tr.Dst {
 					numOwned := sys.Locals[d.Tile].NumOwned
-					halos[d.Tile].CopyRange(src, d.Off-numOwned, tr.SrcOff, tr.Len)
+					if err := halos[d.Tile].CopyRange(src, d.Off-numOwned, tr.SrcOff, tr.Len); err != nil {
+						return err
+					}
 				}
+				return nil
 			},
 		})
 	}
@@ -267,6 +291,9 @@ func spmvCost(nnz, rows int, dt ipu.Scalar) uint64 {
 func (sys *System) SpMV(dst, src *tensordsl.Tensor) {
 	sys.ExchangeStep(src)
 	halos := sys.haloF32
+	if halos == nil {
+		return // halo allocation failed; ExchangeStep scheduled the error
+	}
 	cs := graph.NewComputeSet("spmv", "SpMV")
 	workers := sys.Sess.M.Config().WorkersPerTile
 	for t, lm := range sys.Locals {
@@ -319,7 +346,10 @@ func (sys *System) ResidualExt(r, b, x *tensordsl.Tensor) {
 		panic("solver: ResidualExt requires an extended-precision x")
 	}
 	sys.ExchangeStep(x)
-	halos := sys.haloBuffers(dt)
+	halos, err := sys.haloBuffers(dt)
+	if err != nil {
+		return // halo allocation failed; ExchangeStep scheduled the error
+	}
 	cs := graph.NewComputeSet("residual-ext", "Extended-Precision Ops")
 	workers := sys.Sess.M.Config().WorkersPerTile
 	for t, lm := range sys.Locals {

@@ -100,7 +100,6 @@ func (s *Session) reduce(v interface{}, maxAbs bool, label string) *Tensor {
 		if active[tile] {
 			gather = append(gather, graph.Move{
 				SrcTile: tile, DstTiles: []int{0}, Bytes: evalType.Size(),
-				Do: func() {},
 			})
 		}
 	}
@@ -127,7 +126,7 @@ func (s *Session) reduce(v interface{}, maxAbs bool, label string) *Tensor {
 		s.Append(graph.Exchange{
 			Name:  out.Name + ":bcast",
 			Label: label,
-			Moves: []graph.Move{{SrcTile: 0, DstTiles: dst, Bytes: evalType.Size(), Do: func() {}}},
+			Moves: []graph.Move{{SrcTile: 0, DstTiles: dst, Bytes: evalType.Size()}},
 		})
 	}
 	return out

@@ -27,6 +27,12 @@ import (
 type Session struct {
 	M *ipu.Machine
 
+	// Registry, when non-nil, receives every device buffer the session
+	// creates, in deterministic symbolic-execution order, so a fault layer
+	// can target bit flips at real tile memory. Set it before creating any
+	// tensors.
+	Registry graph.MemoryRegistry
+
 	root  *graph.Sequence
 	stack []*graph.Sequence
 	ntemp int

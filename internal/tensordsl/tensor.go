@@ -44,6 +44,9 @@ func (s *Session) NewTensor(name string, dt ipu.Scalar, sizes []int) (*Tensor, e
 				return nil, fmt.Errorf("tensordsl: tensor %q: %w", name, err)
 			}
 			t.bufs[tile] = graph.NewBuffer(dt, sz)
+			if s.Registry != nil {
+				s.Registry.RegisterBuffer(tile, name, t.bufs[tile])
+			}
 		}
 	}
 	return t, nil
