@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check build test vet race bench clean
+.PHONY: check build test vet race bench serve-smoke clean
 
 ## check: vet + build + race-enabled tests (the pre-merge gate)
 check: vet build race
@@ -20,6 +20,12 @@ race:
 ## bench: regenerate every table and figure of the evaluation section
 bench:
 	$(GO) run ./cmd/benchsuite -experiment all
+
+## serve-smoke: boot a race-enabled ipuserved on a random port, register a
+## Poisson system, fire concurrent batched solves, verify solutions and
+## cache stats, then drain it gracefully
+serve-smoke:
+	$(GO) run ./cmd/servesmoke
 
 clean:
 	$(GO) clean ./...

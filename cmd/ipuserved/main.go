@@ -1,0 +1,105 @@
+// Command ipuserved runs the solver service: an HTTP JSON API over the
+// prepared-pipeline cache of internal/serve. Systems are registered once
+// (paying partitioning, upload and symbolic scheduling), then every solve
+// against a registered system reuses the compiled program.
+//
+//	ipuserved -config configs/serve-default.json
+//	curl -s localhost:8723/v1/systems -d '{"gen":"poisson3d:16"}'
+//	curl -s localhost:8723/v1/systems/<id>/solve -d '{"rhs":"ones"}'
+//	curl -s localhost:8723/v1/stats
+//
+// Shutdown on SIGINT/SIGTERM is graceful: admission stops, queued jobs
+// drain, then the listener closes.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"ipusparse/internal/config"
+	"ipusparse/internal/serve"
+)
+
+func main() {
+	addr := flag.String("addr", "", "listen address (overrides the config; default :8723)")
+	cfgPath := flag.String("config", "", "JSON configuration with solver and serve blocks")
+	portFile := flag.String("port-file", "", "write the bound address to this file once listening (for :0 discovery)")
+	flag.Parse()
+
+	if err := run(*addr, *cfgPath, *portFile); err != nil {
+		fmt.Fprintln(os.Stderr, "ipuserved:", err)
+		os.Exit(1)
+	}
+}
+
+func run(addr, cfgPath, portFile string) error {
+	cfg := config.Default()
+	if cfgPath != "" {
+		f, err := os.Open(cfgPath)
+		if err != nil {
+			return err
+		}
+		var perr error
+		cfg, perr = config.Parse(f)
+		f.Close()
+		if perr != nil {
+			return perr
+		}
+	}
+	if addr == "" {
+		if cfg.Serve != nil && cfg.Serve.Addr != "" {
+			addr = cfg.Serve.Addr
+		} else {
+			addr = ":8723"
+		}
+	}
+
+	svc := serve.New(serve.OptionsFromConfig(cfg))
+	srv := &http.Server{Handler: svc.Handler()}
+
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	log.Printf("ipuserved listening on %s", ln.Addr())
+	if portFile != "" {
+		if err := os.WriteFile(portFile, []byte(ln.Addr().String()), 0o644); err != nil {
+			ln.Close()
+			return err
+		}
+	}
+
+	errc := make(chan error, 1)
+	go func() { errc <- srv.Serve(ln) }()
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
+	select {
+	case err := <-errc:
+		return err
+	case s := <-sig:
+		log.Printf("ipuserved: %s, draining", s)
+	}
+
+	// Graceful drain: stop admission and finish queued jobs, then close the
+	// HTTP side so in-flight responses are written before the listener dies.
+	if err := svc.Close(); err != nil {
+		return err
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		return err
+	}
+	log.Printf("ipuserved: drained, bye")
+	return nil
+}

@@ -37,32 +37,50 @@ func main() {
 	tracePath := flag.String("trace", "", "write a Chrome trace-event JSON of the device timeline")
 	faultRate := flag.Float64("fault-rate", 0, "per-consultation fault-injection probability (0 disables the campaign)")
 	faultSeed := flag.Int64("fault-seed", 42, "seed of the fault-injection campaign")
+	fingerprint := flag.Bool("fingerprint", false, "print the matrix fingerprint (the service cache key) and exit")
 	flag.Parse()
 
+	if *fingerprint {
+		if err := printFingerprint(*matrixPath, *gen); err != nil {
+			fmt.Fprintln(os.Stderr, "ipusolve:", err)
+			os.Exit(1)
+		}
+		return
+	}
 	if err := run(*matrixPath, *gen, *cfgPath, *rhs, *tiles, *chips, *tol, *strategy, *verbose, *tracePath, *faultRate, *faultSeed); err != nil {
 		fmt.Fprintln(os.Stderr, "ipusolve:", err)
 		os.Exit(1)
 	}
 }
 
-func run(matrixPath, gen, cfgPath, rhs string, tiles, chips int, tol float64, strategy string, verbose bool, tracePath string, faultRate float64, faultSeed int64) error {
-	var m *sparse.Matrix
-	var err error
+// printFingerprint loads the matrix and prints its deterministic fingerprint
+// — the identifier under which ipuserved caches the prepared pipeline.
+func printFingerprint(matrixPath, gen string) error {
+	m, err := loadMatrix(matrixPath, gen)
+	if err != nil {
+		return err
+	}
+	fmt.Println(m.FingerprintString())
+	return nil
+}
+
+// loadMatrix reads the Matrix Market file or runs the generator spec.
+func loadMatrix(matrixPath, gen string) (*sparse.Matrix, error) {
 	if matrixPath != "" {
 		f, err := os.Open(matrixPath)
 		if err != nil {
-			return err
+			return nil, err
 		}
 		defer f.Close()
-		m, err = sparse.ReadMatrixMarket(f)
-		if err != nil {
-			return err
-		}
-	} else {
-		m, err = sparse.GenByName(gen)
-		if err != nil {
-			return err
-		}
+		return sparse.ReadMatrixMarket(f)
+	}
+	return sparse.GenByName(gen)
+}
+
+func run(matrixPath, gen, cfgPath, rhs string, tiles, chips int, tol float64, strategy string, verbose bool, tracePath string, faultRate float64, faultSeed int64) error {
+	m, err := loadMatrix(matrixPath, gen)
+	if err != nil {
+		return err
 	}
 	st := m.ComputeStats()
 	fmt.Printf("matrix: %d rows, %d entries (%.1f per row), symmetric=%v\n",

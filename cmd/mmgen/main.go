@@ -21,15 +21,16 @@ func main() {
 	gen := flag.String("gen", "", "generator spec (e.g. poisson3d:32, stencil27:16)")
 	scale := flag.Int("scale", 64, "reduction factor for -name")
 	out := flag.String("out", "", "output file (default stdout)")
+	fingerprint := flag.Bool("fingerprint", false, "print only the matrix fingerprint (the ipuserved cache key)")
 	flag.Parse()
 
-	if err := run(*list, *name, *gen, *scale, *out); err != nil {
+	if err := run(*list, *name, *gen, *scale, *out, *fingerprint); err != nil {
 		fmt.Fprintln(os.Stderr, "mmgen:", err)
 		os.Exit(1)
 	}
 }
 
-func run(list bool, name, gen string, scale int, out string) error {
+func run(list bool, name, gen string, scale int, out string, fingerprint bool) error {
 	if list {
 		fmt.Printf("%-12s %10s %10s  %s\n", "name", "rows", "nnz", "stand-in")
 		for _, s := range sparse.SuiteLikeMatrices {
@@ -55,6 +56,10 @@ func run(list bool, name, gen string, scale int, out string) error {
 	default:
 		return fmt.Errorf("need -list, -name or -gen")
 	}
+	if fingerprint {
+		fmt.Println(m.FingerprintString())
+		return nil
+	}
 	w := os.Stdout
 	if out != "" {
 		f, err := os.Create(out)
@@ -68,7 +73,7 @@ func run(list bool, name, gen string, scale int, out string) error {
 		return err
 	}
 	st := m.ComputeStats()
-	fmt.Fprintf(os.Stderr, "wrote %d rows, %d entries (%.1f per row)\n",
-		st.Rows, st.NNZ, st.AvgPerRow)
+	fmt.Fprintf(os.Stderr, "wrote %d rows, %d entries (%.1f per row), fingerprint %s\n",
+		st.Rows, st.NNZ, st.AvgPerRow, m.FingerprintString())
 	return nil
 }

@@ -1,0 +1,241 @@
+// Command servesmoke is the end-to-end smoke test of the solver service: it
+// boots a real ipuserved process on a random port, registers a small Poisson
+// system, fires concurrent batched solves at it, verifies every solution
+// against the known exact answer, checks the service stats report cache
+// hits, and shuts the server down gracefully.
+//
+//	servesmoke -server bin/ipuserved      # use a prebuilt (race-enabled) binary
+//	servesmoke                            # builds ipuserved -race itself
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sync"
+	"syscall"
+	"time"
+
+	"ipusparse/internal/sparse"
+)
+
+const gen = "poisson3d:8" // 512 rows: small enough to boot fast, real enough to converge
+
+func main() {
+	server := ""
+	for i := 1; i < len(os.Args)-1; i++ {
+		if os.Args[i] == "-server" {
+			server = os.Args[i+1]
+		}
+	}
+	if err := run(server); err != nil {
+		fmt.Fprintln(os.Stderr, "servesmoke: FAIL:", err)
+		os.Exit(1)
+	}
+	fmt.Println("servesmoke: PASS")
+}
+
+func run(server string) error {
+	dir, err := os.MkdirTemp("", "servesmoke")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(dir)
+
+	if server == "" {
+		server = filepath.Join(dir, "ipuserved")
+		build := exec.Command("go", "build", "-race", "-o", server, "./cmd/ipuserved")
+		build.Stderr = os.Stderr
+		if err := build.Run(); err != nil {
+			return fmt.Errorf("building ipuserved: %w", err)
+		}
+	}
+
+	portFile := filepath.Join(dir, "port")
+	srv := exec.Command(server, "-addr", "127.0.0.1:0", "-port-file", portFile)
+	srv.Stderr = os.Stderr
+	if err := srv.Start(); err != nil {
+		return err
+	}
+	defer srv.Process.Kill()
+
+	addr, err := waitForPort(portFile, 15*time.Second)
+	if err != nil {
+		return err
+	}
+	base := "http://" + addr
+
+	// Liveness.
+	if err := getOK(base + "/healthz"); err != nil {
+		return err
+	}
+
+	// Register the system; the response carries its fingerprint ID.
+	var info struct {
+		ID     string `json:"id"`
+		N      int    `json:"n"`
+		Solver string `json:"solver"`
+	}
+	if err := postJSON(base+"/v1/systems", map[string]any{"gen": gen}, &info); err != nil {
+		return fmt.Errorf("register: %w", err)
+	}
+	if info.N != 512 {
+		return fmt.Errorf("registered %d rows, want 512", info.N)
+	}
+	fmt.Printf("servesmoke: registered %s (%d rows, solver %s)\n", info.ID, info.N, info.Solver)
+
+	// Concurrent batched solves against b = A*1: every solution must converge
+	// to the all-ones vector.
+	const clients = 3
+	const batchPerClient = 2
+	var wg sync.WaitGroup
+	errs := make(chan error, clients)
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			var resp struct {
+				Results []struct {
+					Converged bool      `json:"converged"`
+					RelRes    float64   `json:"relRes"`
+					X         []float64 `json:"x"`
+					Error     string    `json:"error"`
+				} `json:"results"`
+			}
+			// The batch endpoint wants explicit right-hand sides; use the
+			// single-solve "ones" generator once to fetch b implicitly via x.
+			req := map[string]any{"batch": onesBatch(info.N, batchPerClient)}
+			if err := postJSON(base+"/v1/systems/"+info.ID+"/solve", req, &resp); err != nil {
+				errs <- fmt.Errorf("client %d: %w", c, err)
+				return
+			}
+			if len(resp.Results) != batchPerClient {
+				errs <- fmt.Errorf("client %d: %d results", c, len(resp.Results))
+				return
+			}
+			for i, r := range resp.Results {
+				if r.Error != "" || !r.Converged {
+					errs <- fmt.Errorf("client %d result %d: converged=%v err=%q", c, i, r.Converged, r.Error)
+					return
+				}
+				for j, v := range r.X {
+					if d := v - 1; d > 1e-6 || d < -1e-6 {
+						errs <- fmt.Errorf("client %d result %d: x[%d]=%g, want 1", c, i, j, v)
+						return
+					}
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		return err
+	}
+
+	// Stats must show the cache amortizing: every solve after the warm-up
+	// registration is a hit.
+	var st struct {
+		CacheHits uint64 `json:"cacheHits"`
+		Solved    uint64 `json:"solved"`
+	}
+	if err := getJSON(base+"/v1/stats", &st); err != nil {
+		return err
+	}
+	if st.CacheHits == 0 {
+		return fmt.Errorf("stats report no cache hits (solved=%d)", st.Solved)
+	}
+	if st.Solved != clients*batchPerClient {
+		return fmt.Errorf("stats report %d solves, want %d", st.Solved, clients*batchPerClient)
+	}
+	fmt.Printf("servesmoke: %d solves, %d cache hits\n", st.Solved, st.CacheHits)
+
+	// Graceful shutdown.
+	if err := srv.Process.Signal(syscall.SIGTERM); err != nil {
+		return err
+	}
+	done := make(chan error, 1)
+	go func() { done <- srv.Wait() }()
+	select {
+	case err := <-done:
+		if err != nil {
+			return fmt.Errorf("server exit: %w", err)
+		}
+	case <-time.After(30 * time.Second):
+		return fmt.Errorf("server did not drain within 30s")
+	}
+	return nil
+}
+
+// onesBatch builds k copies of the right-hand side whose exact solution is
+// the all-ones vector: b = A*1, with A regenerated locally from the same
+// generator spec the server was registered with.
+func onesBatch(n, k int) [][]float64 {
+	m, err := sparse.GenByName(gen)
+	if err != nil || m.N != n {
+		panic(fmt.Sprintf("generator mismatch: %v", err))
+	}
+	ones := make([]float64, n)
+	for i := range ones {
+		ones[i] = 1
+	}
+	b := make([]float64, n)
+	m.MulVec(ones, b)
+	out := make([][]float64, k)
+	for i := range out {
+		out[i] = b
+	}
+	return out
+}
+
+func waitForPort(portFile string, timeout time.Duration) (string, error) {
+	deadline := time.Now().Add(timeout)
+	for time.Now().Before(deadline) {
+		if b, err := os.ReadFile(portFile); err == nil && len(b) > 0 {
+			return string(bytes.TrimSpace(b)), nil
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	return "", fmt.Errorf("server did not report a port within %s", timeout)
+}
+
+func postJSON(url string, body any, out any) error {
+	buf, err := json.Marshal(body)
+	if err != nil {
+		return err
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(buf))
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode/100 != 2 {
+		var msg bytes.Buffer
+		_, _ = msg.ReadFrom(resp.Body)
+		return fmt.Errorf("%s: %d %s", url, resp.StatusCode, msg.String())
+	}
+	if out == nil {
+		return nil
+	}
+	return json.NewDecoder(resp.Body).Decode(out)
+}
+
+func getJSON(url string, out any) error {
+	resp, err := http.Get(url)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("%s: %d", url, resp.StatusCode)
+	}
+	return json.NewDecoder(resp.Body).Decode(out)
+}
+
+func getOK(url string) error {
+	return getJSON(url, &struct{}{})
+}

@@ -250,6 +250,31 @@ func TestFig9Convergence(t *testing.T) {
 	}
 }
 
+// TestTable6Amortization checks the prepared-pipeline study: warm re-solves
+// must reproduce the cold run bit for bit, and the host pipeline overhead
+// (wall time minus the identical engine-execution share) must drop by at
+// least the acceptance factor of 5.
+func TestTable6Amortization(t *testing.T) {
+	rows, err := Table6(fastOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) == 0 {
+		t.Fatal("Table VI is empty")
+	}
+	for _, r := range rows {
+		if !r.Identical {
+			t.Errorf("%s: warm run diverged from the cold run", r.Matrix)
+		}
+		if r.PipelineSpeedup < 5 {
+			t.Errorf("%s: pipeline speedup %.1fx, want >= 5x", r.Matrix, r.PipelineSpeedup)
+		}
+		if r.PrepareMs <= 0 || r.WarmMs <= 0 || r.Cycles == 0 {
+			t.Errorf("%s: missing measurements %+v", r.Matrix, r)
+		}
+	}
+}
+
 func TestRunAllExperimentsPrint(t *testing.T) {
 	if testing.Short() {
 		t.Skip("full experiment sweep in -short mode")
@@ -264,7 +289,7 @@ func TestRunAllExperimentsPrint(t *testing.T) {
 	}
 	out := buf.String()
 	for _, want := range []string{"Table I", "Table II", "Table III", "Table IV",
-		"Table V", "Fig 5", "Fig 6", "Fig 7", "Fig 8", "Fig 9", "Fig 10"} {
+		"Table V", "Table VI", "Fig 5", "Fig 6", "Fig 7", "Fig 8", "Fig 9", "Fig 10"} {
 		if !strings.Contains(out, want) {
 			t.Errorf("output missing %q", want)
 		}

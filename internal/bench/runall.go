@@ -3,7 +3,7 @@ package bench
 import "fmt"
 
 // Run executes one named experiment and prints its result to o.Out. Known
-// names: table1..table5, fig5..fig10, halo, all.
+// names: table1..table6, fig5..fig10, halo, all.
 func Run(o Options, name string) error {
 	o = o.withDefaults()
 	switch name {
@@ -33,6 +33,12 @@ func Run(o Options, name string) error {
 			return err
 		}
 		PrintTable5(o, rows)
+	case "table6":
+		rows, err := Table6(o)
+		if err != nil {
+			return err
+		}
+		PrintTable6(o, rows)
 	case "halo":
 		rows, err := HaloStudy(o)
 		if err != nil {
@@ -89,7 +95,7 @@ func Run(o Options, name string) error {
 
 // AllExperiments lists every table and figure of the evaluation section.
 var AllExperiments = []string{
-	"table1", "table2", "table3", "table4", "table5",
+	"table1", "table2", "table3", "table4", "table5", "table6",
 	"fig5", "fig6", "fig7", "fig8", "fig9", "fig10",
 	"halo",
 }

@@ -97,12 +97,40 @@ type RecoveryConfig struct {
 	Fallback *SolverConfig `json:"fallback,omitempty"`
 }
 
+// ServeConfig is the solver-service block: the prepared-pipeline cache, the
+// admission-controlled job queue and the worker pool of ipuserved. Zero
+// values select the serve package defaults.
+type ServeConfig struct {
+	// Addr is the HTTP listen address of ipuserved (default ":8723").
+	Addr string `json:"addr,omitempty"`
+	// CacheCapacity bounds the prepared-pipeline LRU cache (entries).
+	CacheCapacity int `json:"cacheCapacity,omitempty"`
+	// ReplicasPerKey is the number of Prepared replicas kept per hot key so
+	// independent solves of one system run concurrently.
+	ReplicasPerKey int `json:"replicasPerKey,omitempty"`
+	// QueueDepth bounds the job queue; a full queue rejects with
+	// ErrOverloaded (admission control).
+	QueueDepth int `json:"queueDepth,omitempty"`
+	// Workers is the solve worker-pool size.
+	Workers int `json:"workers,omitempty"`
+	// DefaultTimeoutMs is the per-job deadline applied when a request does
+	// not carry its own.
+	DefaultTimeoutMs int `json:"defaultTimeoutMs,omitempty"`
+	// Tiles/Chips describe the default simulated machine for registered
+	// systems that do not request their own.
+	Tiles int `json:"tiles,omitempty"`
+	Chips int `json:"chips,omitempty"`
+	// Partition is the default partition strategy ("contiguous" or "greedy").
+	Partition string `json:"partition,omitempty"`
+}
+
 // Config is the root of a solver configuration file.
 type Config struct {
 	Solver   SolverConfig    `json:"solver"`
 	MPIR     *MPIRConfig     `json:"mpir,omitempty"`
 	Fault    *FaultConfig    `json:"fault,omitempty"`
 	Recovery *RecoveryConfig `json:"recovery,omitempty"`
+	Serve    *ServeConfig    `json:"serve,omitempty"`
 }
 
 // Default returns the paper's reference configuration:
@@ -202,6 +230,17 @@ func (c Config) Validate() error {
 			if err := fb.validate(true); err != nil {
 				return err
 			}
+		}
+	}
+	if s := c.Serve; s != nil {
+		if s.CacheCapacity < 0 || s.ReplicasPerKey < 0 || s.QueueDepth < 0 ||
+			s.Workers < 0 || s.DefaultTimeoutMs < 0 || s.Tiles < 0 || s.Chips < 0 {
+			return fmt.Errorf("config: negative serve parameter")
+		}
+		switch s.Partition {
+		case "", "contiguous", "greedy":
+		default:
+			return fmt.Errorf("config: serve.partition must be contiguous or greedy, got %q", s.Partition)
 		}
 	}
 	return nil

@@ -1,0 +1,220 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"sync"
+	"time"
+
+	"ipusparse/internal/config"
+	"ipusparse/internal/fault"
+	"ipusparse/internal/graph"
+	"ipusparse/internal/ipu"
+	"ipusparse/internal/solver"
+	"ipusparse/internal/sparse"
+)
+
+// ErrPreparedFault rejects fault-injection campaigns on prepared pipelines:
+// a campaign's decision stream is consumed across supersteps, so re-running
+// the program would continue mid-stream instead of reproducing the campaign.
+// Fault studies go through Solve/SolveTraced, which build a fresh pipeline.
+var ErrPreparedFault = errors.New("core: fault campaigns are not supported on prepared pipelines")
+
+// Prepared is a compiled solver pipeline bound to one matrix: the simulated
+// machine, the partitioned and uploaded system, the constructed solver
+// hierarchy and the scheduled TensorDSL program. It is the amortization seam
+// of the service layer — Prepare once per sparsity pattern, then Solve per
+// right-hand side, skipping partitioning, upload and symbolic scheduling
+// entirely (the PopSparse split between pattern-dependent planning and
+// per-call execution).
+//
+// A Prepared serializes its own Solve calls with an internal mutex; for
+// concurrent solves on one matrix, create replicas (internal/serve pools
+// them per cache key).
+type Prepared struct {
+	mu sync.Mutex
+
+	machineCfg ipu.Config
+	ctx        *Context
+	sys        *solver.System
+	xT, bT     solver.Tensor
+	st         solver.RunStats
+	report     graph.Report
+	inj        *fault.Injector
+	n          int
+}
+
+// Prepare runs the pattern-dependent phase of the pipeline: build the
+// machine, partition and halo-reorder the matrix, upload it, construct the
+// configured solver hierarchy and symbolically execute it into a scheduled
+// program. The returned Prepared re-runs that program against new right-hand
+// sides without repeating any of this work.
+func Prepare(machineCfg ipu.Config, m *sparse.Matrix, cfg config.Config, strategy PartitionStrategy) (*Prepared, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.Fault != nil && cfg.Fault.Rate > 0 {
+		return nil, ErrPreparedFault
+	}
+	return prepare(machineCfg, m, cfg, strategy, nil)
+}
+
+// prepare builds the full pipeline up to (but not including) execution. The
+// caller has validated cfg; inj, when non-nil, is registered before any
+// tensors exist so bit flips can target every device buffer.
+func prepare(machineCfg ipu.Config, m *sparse.Matrix, cfg config.Config, strategy PartitionStrategy, inj *fault.Injector) (*Prepared, error) {
+	ctx, err := NewContext(machineCfg)
+	if err != nil {
+		return nil, err
+	}
+	if inj != nil {
+		ctx.Session.Registry = inj
+	}
+	sys, err := ctx.LoadSystem(m, strategy)
+	if err != nil {
+		return nil, err
+	}
+	rec, err := config.BuildRecovery(sys, cfg.Recovery)
+	if err != nil {
+		return nil, err
+	}
+	p := &Prepared{
+		machineCfg: machineCfg,
+		ctx:        ctx,
+		sys:        sys,
+		inj:        inj,
+		n:          m.N,
+	}
+
+	if cfg.MPIR != nil {
+		ext := cfg.MPIR.ExtScalar()
+		p.xT = sys.VectorTyped("x", ext)
+		p.bT = sys.VectorTyped("b", ext)
+		// The preconditioner is factored once, outside the refinement loop
+		// (paper §V-E: the factorization is reused as long as the matrix
+		// coefficients remain unchanged).
+		pre, err := config.BuildPreconditioner(sys, cfg.Solver.Preconditioner)
+		if err != nil {
+			return nil, err
+		}
+		pre.SetupStep()
+		inner := cfg.Solver
+		mp := &solver.MPIR{
+			Sys:     sys,
+			ExtType: ext,
+			MakeInner: func(maxIter int) solver.Solver {
+				var is solver.Solver
+				switch inner.Type {
+				case "richardson":
+					is = &solver.Richardson{Sys: sys, Pre: pre, MaxIter: maxIter, Tol: 1e-30}
+				case "cg":
+					is = &solver.CG{Sys: sys, Pre: pre, MaxIter: maxIter, Tol: 1e-30}
+				default:
+					is = &solver.PBiCGStab{Sys: sys, Pre: pre, MaxIter: maxIter, Tol: 1e-30}
+				}
+				// Harden the correction solves: a breakdown inside one is a
+				// breakdown of the refinement (MPIR propagates it).
+				solver.WithRecovery(is, rec)
+				return is
+			},
+			InnerIters: cfg.MPIR.InnerIterations,
+			MaxOuter:   cfg.MPIR.MaxOuter,
+			Tol:        cfg.MPIR.Tolerance,
+		}
+		mp.ScheduleSolve(p.xT, p.bT, &p.st)
+	} else {
+		s, err := config.BuildSolver(sys, cfg)
+		if err != nil {
+			return nil, err
+		}
+		solver.WithRecovery(s, rec)
+		p.xT = sys.Vector("x")
+		p.bT = sys.Vector("b")
+		s.ScheduleSolve(p.xT, p.bT, &p.st)
+	}
+
+	// "Graph compilation": validate the constructed program against the
+	// machine before execution, and gather the report.
+	if err := graph.Validate(ctx.Session.Program(), machineCfg); err != nil {
+		return nil, err
+	}
+	p.report = graph.Analyze(ctx.Session.Program())
+	return p, nil
+}
+
+// N returns the number of rows of the prepared system.
+func (p *Prepared) N() int { return p.n }
+
+// SolverName returns the name of the scheduled solver hierarchy.
+func (p *Prepared) SolverName() string { return p.st.Solver }
+
+// Report returns the program analysis gathered at prepare time.
+func (p *Prepared) Report() graph.Report { return p.report }
+
+// Solve re-runs the compiled program against a new right-hand side. The
+// solution starts from a zero initial guess, all solver state (checkpoints,
+// restart budgets, RunStats counters, machine cycle accounting) is reset
+// before execution, so consecutive Solve calls are bit-identical to cold
+// Solve calls on a fresh pipeline.
+func (p *Prepared) Solve(b []float64) (*Result, error) {
+	return p.run(b, nil)
+}
+
+// run executes the prepared program once. traceOut, when non-nil, receives
+// the BSP phase timeline in Chrome trace-event JSON.
+func (p *Prepared) run(b []float64, traceOut io.Writer) (*Result, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if len(b) != p.n {
+		return nil, fmt.Errorf("core: %d right-hand-side values for %d rows", len(b), p.n)
+	}
+	// Reset everything a previous run left behind: the solution (the next
+	// run's initial guess must be zero), the per-run stats the scheduled
+	// callbacks write into, and the machine's cycle accounting (so warm
+	// history timestamps match a cold run's). Host-side solver state
+	// (iteration counters, breakdown guards, checkpoint buffers) is reset by
+	// the solvers' own init callbacks when the program starts.
+	p.st.ResetForRun()
+	if err := p.xT.SetHost(make([]float64, p.n)); err != nil {
+		return nil, err
+	}
+	if err := p.sys.SetGlobal(p.bT, b); err != nil {
+		return nil, err
+	}
+	p.ctx.Machine.ResetStats()
+
+	eng := graph.NewEngine(p.ctx.Machine)
+	if p.inj != nil {
+		eng.Injector = p.inj
+	}
+	var tracer *graph.Tracer
+	if traceOut != nil {
+		tracer = eng.Trace()
+	}
+	execStart := time.Now()
+	if err := eng.Run(p.ctx.Session.Program()); err != nil {
+		return nil, err
+	}
+	execWall := time.Since(execStart)
+	if tracer != nil {
+		if err := tracer.WriteChromeTrace(traceOut, p.machineCfg.ClockHz); err != nil {
+			return nil, err
+		}
+	}
+	stats := p.st
+	stats.History = append([]solver.HistPoint(nil), p.st.History...)
+	res := &Result{
+		X:               p.sys.GetGlobal(p.xT),
+		Stats:           stats,
+		Profile:         eng.ProfileShares(),
+		Machine:         p.ctx.Machine.Stats(),
+		Report:          p.report,
+		ExecWallSeconds: execWall.Seconds(),
+	}
+	if p.inj != nil {
+		res.Faults = p.inj.Events
+		res.FaultRetries = eng.FaultRetries
+	}
+	return res, nil
+}

@@ -1,0 +1,196 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"ipusparse/internal/config"
+	"ipusparse/internal/sparse"
+)
+
+// twoRHS builds two distinct right-hand sides with known solutions.
+func twoRHS(m *sparse.Matrix) (b1, b2, want1, want2 []float64) {
+	want1 = make([]float64, m.N)
+	want2 = make([]float64, m.N)
+	for i := range want1 {
+		want1[i] = 1 + 0.5*math.Cos(float64(i)/7)
+		want2[i] = 2 - 0.25*math.Sin(float64(i)/5)
+	}
+	b1 = make([]float64, m.N)
+	b2 = make([]float64, m.N)
+	m.MulVec(want1, b1)
+	m.MulVec(want2, b2)
+	return
+}
+
+// assertIdentical checks a warm result against a cold one bit for bit:
+// solution values, iteration counts, convergence flags, the full residual
+// history (including simulated timestamps) and the machine cycle accounting.
+func assertIdentical(t *testing.T, label string, warm, cold *Result) {
+	t.Helper()
+	if len(warm.X) != len(cold.X) {
+		t.Fatalf("%s: length %d vs %d", label, len(warm.X), len(cold.X))
+	}
+	for i := range warm.X {
+		if warm.X[i] != cold.X[i] {
+			t.Fatalf("%s: x[%d] = %v warm, %v cold", label, i, warm.X[i], cold.X[i])
+		}
+	}
+	if warm.Stats.Iterations != cold.Stats.Iterations ||
+		warm.Stats.Converged != cold.Stats.Converged ||
+		warm.Stats.RelRes != cold.Stats.RelRes ||
+		warm.Stats.Restarts != cold.Stats.Restarts ||
+		warm.Stats.Breakdown != cold.Stats.Breakdown {
+		t.Fatalf("%s: stats diverge: warm %+v cold %+v", label, warm.Stats, cold.Stats)
+	}
+	if len(warm.Stats.History) != len(cold.Stats.History) {
+		t.Fatalf("%s: history length %d vs %d", label,
+			len(warm.Stats.History), len(cold.Stats.History))
+	}
+	for i, h := range warm.Stats.History {
+		if h != cold.Stats.History[i] {
+			t.Fatalf("%s: history[%d] = %+v warm, %+v cold", label, i, h, cold.Stats.History[i])
+		}
+	}
+	if warm.Machine.TotalCycles != cold.Machine.TotalCycles ||
+		warm.Machine.Supersteps != cold.Machine.Supersteps ||
+		warm.Machine.ExchangeBytes != cold.Machine.ExchangeBytes {
+		t.Fatalf("%s: machine accounting diverges: warm %+v cold %+v",
+			label, warm.Machine, cold.Machine)
+	}
+}
+
+// warmVsCold runs the regression of the prepared-pipeline contract: two
+// consecutive (*Prepared).Solve calls on one pipeline must be bit-identical
+// to two cold Solve calls on fresh pipelines.
+func warmVsCold(t *testing.T, cfg config.Config) {
+	t.Helper()
+	m, _, _ := poissonProblem(14, 14)
+	b1, b2, want1, _ := twoRHS(m)
+	mc := smallMachine(8)
+
+	cold1, err := Solve(mc, m, b1, cfg, PartitionContiguous)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cold2, err := Solve(mc, m, b2, cfg, PartitionContiguous)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	p, err := Prepare(mc, m, cfg, PartitionContiguous)
+	if err != nil {
+		t.Fatal(err)
+	}
+	warm1, err := p.Solve(b1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	warm2, err := p.Solve(b2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertIdentical(t, "first solve", warm1, cold1)
+	assertIdentical(t, "second solve", warm2, cold2)
+
+	if !warm1.Stats.Converged {
+		t.Fatalf("not converged: %+v", warm1.Stats)
+	}
+	for i := range want1 {
+		if math.Abs(warm1.X[i]-want1[i]) > 1e-4 {
+			t.Fatalf("x[%d] = %v, want %v", i, warm1.X[i], want1[i])
+		}
+	}
+}
+
+func TestPreparedMatchesColdSolve(t *testing.T) {
+	warmVsCold(t, config.Config{
+		Solver: config.SolverConfig{
+			Type: "pbicgstab", MaxIterations: 400, Tolerance: 1e-8,
+			Preconditioner: &config.SolverConfig{Type: "ilu0"},
+		},
+	})
+}
+
+func TestPreparedMatchesColdSolveCG(t *testing.T) {
+	warmVsCold(t, config.Config{
+		Solver: config.SolverConfig{
+			Type: "cg", MaxIterations: 400, Tolerance: 1e-8,
+			Preconditioner: &config.SolverConfig{Type: "jacobi"},
+		},
+	})
+}
+
+func TestPreparedMatchesColdSolveMPIR(t *testing.T) {
+	warmVsCold(t, config.Config{
+		Solver: config.SolverConfig{
+			Type:           "pbicgstab",
+			Preconditioner: &config.SolverConfig{Type: "ilu0"},
+		},
+		MPIR: &config.MPIRConfig{Extended: "dw", InnerIterations: 40, MaxOuter: 15, Tolerance: 1e-11},
+	})
+}
+
+// TestPreparedResetsResilienceState is the regression of satellite 1: the
+// checkpoint/restart layer (guard state, restart budgets, RunStats counters)
+// must be fully re-armed between runs on one Prepared.
+func TestPreparedMatchesColdSolveWithRecovery(t *testing.T) {
+	warmVsCold(t, config.Config{
+		Solver: config.SolverConfig{
+			Type: "pbicgstab", MaxIterations: 400, Tolerance: 1e-8,
+			Preconditioner: &config.SolverConfig{Type: "ilu0"},
+		},
+		Recovery: &config.RecoveryConfig{Interval: 5, MaxRestarts: 4,
+			Fallback: &config.SolverConfig{Type: "richardson", MaxIterations: 200,
+				Preconditioner: &config.SolverConfig{Type: "ilu0"}}},
+	})
+}
+
+func TestPreparedSameRHSTwiceIsDeterministic(t *testing.T) {
+	m, b, _ := poissonProblem(12, 12)
+	cfg := config.Config{
+		Solver: config.SolverConfig{
+			Type: "pbicgstab", MaxIterations: 300, Tolerance: 1e-7,
+			Preconditioner: &config.SolverConfig{Type: "dilu"},
+		},
+	}
+	p, err := Prepare(smallMachine(4), m, cfg, PartitionContiguous)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r1, err := p.Solve(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := p.Solve(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertIdentical(t, "repeat", r2, r1)
+}
+
+func TestPreparedRejectsFaultCampaign(t *testing.T) {
+	m, _, _ := poissonProblem(8, 8)
+	cfg := config.Default()
+	cfg.Fault = &config.FaultConfig{Seed: 1, Rate: 0.01}
+	if _, err := Prepare(smallMachine(4), m, cfg, PartitionContiguous); err != ErrPreparedFault {
+		t.Fatalf("expected ErrPreparedFault, got %v", err)
+	}
+}
+
+func TestPreparedRejectsWrongRHSLength(t *testing.T) {
+	m, _, _ := poissonProblem(8, 8)
+	p, err := Prepare(smallMachine(4), m, config.Default(), PartitionContiguous)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Solve(make([]float64, m.N+1)); err == nil {
+		t.Error("expected length error")
+	}
+	if p.N() != m.N {
+		t.Errorf("N() = %d, want %d", p.N(), m.N)
+	}
+	if p.SolverName() == "" {
+		t.Error("SolverName empty")
+	}
+}

@@ -1,0 +1,244 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"time"
+
+	"ipusparse/internal/config"
+	"ipusparse/internal/core"
+	"ipusparse/internal/sparse"
+)
+
+// RegisterRequest is the body of POST /v1/systems. The matrix comes from a
+// generator spec (gen) or an explicit entry list; config, when present,
+// overrides the service's default solver configuration for this system.
+type RegisterRequest struct {
+	// Gen is a generator spec, e.g. "poisson3d:16" or "stencil27:8".
+	Gen string `json:"gen,omitempty"`
+	// N and Entries give the matrix explicitly: each entry is [i, j, value]
+	// with 0-based row/column indices.
+	N       int          `json:"n,omitempty"`
+	Entries [][3]float64 `json:"entries,omitempty"`
+	// Config overrides the solver hierarchy for this system.
+	Config *config.Config `json:"config,omitempty"`
+}
+
+// SolveRequest is the body of POST /v1/systems/{id}/solve. Exactly one of B,
+// Batch or RHS selects the right-hand side(s).
+type SolveRequest struct {
+	B     []float64   `json:"b,omitempty"`
+	Batch [][]float64 `json:"batch,omitempty"`
+	// RHS is a convenience generator: "ones" solves against b = A*1, so the
+	// exact solution is the all-ones vector.
+	RHS string `json:"rhs,omitempty"`
+	// TimeoutMs overrides the service's default per-job deadline.
+	TimeoutMs int `json:"timeoutMs,omitempty"`
+	// OmitX drops the solution vector from the response (stats only).
+	OmitX bool `json:"omitX,omitempty"`
+}
+
+// SolveResponse reports one solve.
+type SolveResponse struct {
+	Converged  bool      `json:"converged"`
+	Iterations int       `json:"iterations"`
+	RelRes     float64   `json:"relRes"`
+	Solver     string    `json:"solver"`
+	Restarts   int       `json:"restarts,omitempty"`
+	Cycles     uint64    `json:"cycles"`
+	Seconds    float64   `json:"seconds"` // simulated device time
+	X          []float64 `json:"x,omitempty"`
+	Error      string    `json:"error,omitempty"` // per-item batch failure
+}
+
+// BatchResponse reports a batched solve.
+type BatchResponse struct {
+	Results []SolveResponse `json:"results"`
+}
+
+// Handler serves the JSON API:
+//
+//	POST /v1/systems            register a system (generator spec or entries)
+//	POST /v1/systems/{id}/solve solve one RHS or a batch
+//	GET  /v1/systems            list registered systems
+//	GET  /v1/stats              service counters
+//	GET  /healthz               liveness
+func (s *Service) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/systems", s.handleRegister)
+	mux.HandleFunc("GET /v1/systems", s.handleSystems)
+	mux.HandleFunc("POST /v1/systems/{id}/solve", s.handleSolve)
+	mux.HandleFunc("GET /v1/stats", s.handleStats)
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	})
+	return mux
+}
+
+// httpStatus maps service errors to status codes.
+func httpStatus(err error) int {
+	switch {
+	case errors.Is(err, ErrNotFound):
+		return http.StatusNotFound
+	case errors.Is(err, ErrOverloaded):
+		return http.StatusTooManyRequests
+	case errors.Is(err, ErrClosed):
+		return http.StatusServiceUnavailable
+	case errors.Is(err, context.DeadlineExceeded):
+		return http.StatusGatewayTimeout
+	case errors.Is(err, context.Canceled):
+		return http.StatusBadRequest
+	default:
+		return http.StatusBadRequest
+	}
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func writeError(w http.ResponseWriter, err error) {
+	writeJSON(w, httpStatus(err), map[string]string{"error": err.Error()})
+}
+
+func (s *Service) handleRegister(w http.ResponseWriter, r *http.Request) {
+	var req RegisterRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, fmt.Errorf("bad request body: %w", err))
+		return
+	}
+	m, err := buildMatrix(req)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	info, err := s.Register(m, req.Config)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusCreated, info)
+}
+
+func buildMatrix(req RegisterRequest) (*sparse.Matrix, error) {
+	switch {
+	case req.Gen != "" && req.Entries != nil:
+		return nil, errors.New("give either gen or entries, not both")
+	case req.Gen != "":
+		return sparse.GenByName(req.Gen)
+	case req.Entries != nil:
+		if req.N <= 0 {
+			return nil, errors.New("entries require a positive n")
+		}
+		b := sparse.NewBuilder(req.N)
+		for _, e := range req.Entries {
+			i, j := int(e[0]), int(e[1])
+			if i < 0 || i >= req.N || j < 0 || j >= req.N {
+				return nil, fmt.Errorf("entry (%d,%d) outside a %d-row matrix", i, j, req.N)
+			}
+			b.Set(i, j, e[2])
+		}
+		return b.Build()
+	default:
+		return nil, errors.New("need a gen spec or an entry list")
+	}
+}
+
+func (s *Service) handleSystems(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{"systems": s.Systems()})
+}
+
+func (s *Service) handleStats(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.Stats())
+}
+
+func (s *Service) handleSolve(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	var req SolveRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, fmt.Errorf("bad request body: %w", err))
+		return
+	}
+	ctx := r.Context()
+	if req.TimeoutMs > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, time.Duration(req.TimeoutMs)*time.Millisecond)
+		defer cancel()
+	}
+
+	switch {
+	case req.Batch != nil:
+		items, err := s.SolveBatch(ctx, id, req.Batch)
+		if err != nil {
+			writeError(w, err)
+			return
+		}
+		resp := BatchResponse{Results: make([]SolveResponse, len(items))}
+		for i, it := range items {
+			resp.Results[i] = toResponse(it.Result, it.Err, req.OmitX)
+		}
+		writeJSON(w, http.StatusOK, resp)
+	case req.B != nil || req.RHS != "":
+		b := req.B
+		if req.RHS != "" {
+			if req.RHS != "ones" {
+				writeError(w, fmt.Errorf("unknown rhs generator %q", req.RHS))
+				return
+			}
+			var err error
+			b, err = s.OnesRHS(id)
+			if err != nil {
+				writeError(w, err)
+				return
+			}
+		}
+		res, err := s.Solve(ctx, id, b)
+		if err != nil {
+			writeError(w, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, toResponse(res, nil, req.OmitX))
+	default:
+		writeError(w, errors.New("need b, batch or rhs"))
+	}
+}
+
+func toResponse(res *core.Result, err error, omitX bool) SolveResponse {
+	if err != nil {
+		return SolveResponse{Error: err.Error()}
+	}
+	sr := SolveResponse{
+		Converged:  res.Stats.Converged,
+		Iterations: res.Stats.Iterations,
+		RelRes:     res.Stats.RelRes,
+		Solver:     res.Stats.Solver,
+		Restarts:   res.Stats.Restarts,
+		Cycles:     res.Machine.TotalCycles,
+		Seconds:    res.Machine.Seconds,
+	}
+	if !omitX {
+		sr.X = res.X
+	}
+	return sr
+}
+
+// OnesRHS returns b = A*1 for a registered system, the right-hand side whose
+// exact solution is the all-ones vector.
+func (s *Service) OnesRHS(id string) ([]float64, error) {
+	sys, err := s.lookup(id)
+	if err != nil {
+		return nil, err
+	}
+	ones := make([]float64, sys.m.N)
+	for i := range ones {
+		ones[i] = 1
+	}
+	b := make([]float64, sys.m.N)
+	sys.m.MulVec(ones, b)
+	return b, nil
+}

@@ -1,0 +1,479 @@
+// Package serve turns the two-phase core API into a long-running solver
+// service: registered systems are prepared once (partition, upload, symbolic
+// scheduling) and the compiled pipelines are pooled in an LRU cache, so every
+// subsequent right-hand side pays only the execution cost. A bounded job
+// queue with admission control and a worker pool bound the service's
+// concurrency; per-job deadlines propagate through context.Context.
+package serve
+
+import (
+	"context"
+	"container/list"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"sync"
+	"time"
+
+	"ipusparse/internal/config"
+	"ipusparse/internal/core"
+	"ipusparse/internal/ipu"
+	"ipusparse/internal/sparse"
+)
+
+// Typed service errors; the HTTP layer maps them to status codes.
+var (
+	// ErrOverloaded rejects a job because the queue is full (admission
+	// control: better an immediate 429 than unbounded latency).
+	ErrOverloaded = errors.New("serve: job queue full")
+	// ErrNotFound rejects a solve against an unregistered system.
+	ErrNotFound = errors.New("serve: unknown system")
+	// ErrClosed rejects work submitted after Close started draining.
+	ErrClosed = errors.New("serve: service closed")
+)
+
+// Options configures a Service. The zero value of each field selects the
+// default noted on it.
+type Options struct {
+	CacheCapacity  int                    // prepared-pipeline LRU entries (default 8)
+	ReplicasPerKey int                    // concurrent Prepared replicas per key (default 2)
+	QueueDepth     int                    // job queue bound (default 64)
+	Workers        int                    // solve worker pool size (default 4)
+	DefaultTimeout time.Duration          // per-job deadline when the caller sets none (default 30s)
+	Machine        ipu.Config             // simulated machine (default 64-tile single-chip Mk2)
+	Strategy       core.PartitionStrategy // partition strategy (default contiguous)
+	Solver         config.Config          // solver configuration for registered systems
+}
+
+// OptionsFromConfig derives service options from a configuration file: the
+// solver/mpir/recovery blocks become the per-system solver configuration and
+// the serve block sizes the service itself.
+func OptionsFromConfig(c config.Config) Options {
+	o := Options{Solver: config.Config{
+		Solver:   c.Solver,
+		MPIR:     c.MPIR,
+		Recovery: c.Recovery,
+	}}
+	if s := c.Serve; s != nil {
+		o.CacheCapacity = s.CacheCapacity
+		o.ReplicasPerKey = s.ReplicasPerKey
+		o.QueueDepth = s.QueueDepth
+		o.Workers = s.Workers
+		o.DefaultTimeout = time.Duration(s.DefaultTimeoutMs) * time.Millisecond
+		o.Strategy = core.PartitionStrategy(s.Partition)
+		if s.Tiles > 0 || s.Chips > 0 {
+			mc := ipu.Mk2M2000()
+			if s.Tiles > 0 {
+				mc.TilesPerChip = s.Tiles
+			}
+			if s.Chips > 0 {
+				mc.Chips = s.Chips
+			}
+			o.Machine = mc
+		}
+	}
+	return o
+}
+
+func (o *Options) fill() {
+	if o.CacheCapacity <= 0 {
+		o.CacheCapacity = 8
+	}
+	if o.ReplicasPerKey <= 0 {
+		o.ReplicasPerKey = 2
+	}
+	if o.QueueDepth <= 0 {
+		o.QueueDepth = 64
+	}
+	if o.Workers <= 0 {
+		o.Workers = 4
+	}
+	if o.DefaultTimeout <= 0 {
+		o.DefaultTimeout = 30 * time.Second
+	}
+	if o.Machine == (ipu.Config{}) {
+		mc := ipu.Mk2M2000()
+		mc.TilesPerChip = 64
+		mc.Chips = 1
+		o.Machine = mc
+	}
+	if o.Strategy == "" {
+		o.Strategy = core.PartitionContiguous
+	}
+	if o.Solver.Solver.Type == "" {
+		o.Solver = config.Default()
+	}
+}
+
+// Key identifies one prepared pipeline: the exact matrix (fingerprint over
+// structure and values), the solver hierarchy (hash of its canonical JSON),
+// the simulated machine and the partition strategy. Two solves sharing a Key
+// can share a compiled program.
+type Key struct {
+	Matrix   uint64
+	Config   uint64
+	Machine  ipu.Config
+	Strategy core.PartitionStrategy
+}
+
+// configHash digests the solver-relevant blocks of a configuration via their
+// canonical JSON (field order is fixed by the struct definitions).
+func configHash(c config.Config) uint64 {
+	h := fnv.New64a()
+	enc := json.NewEncoder(h)
+	_ = enc.Encode(struct {
+		S config.SolverConfig    `json:"s"`
+		M *config.MPIRConfig     `json:"m"`
+		R *config.RecoveryConfig `json:"r"`
+	}{c.Solver, c.MPIR, c.Recovery})
+	return h.Sum64()
+}
+
+// system is one registered linear system: the matrix is retained so evicted
+// pipelines can be re-prepared on demand.
+type system struct {
+	id     string
+	m      *sparse.Matrix
+	cfg    config.Config
+	key    Key
+	solver string // solver name, filled at registration
+}
+
+// entry is one cache slot: a pool of idle Prepared replicas for a key. idle
+// is buffered to ReplicasPerKey and created never exceeds that, so returning
+// a replica never blocks — even after the entry was evicted, which lets
+// in-flight jobs drain against evicted entries without coordination.
+type entry struct {
+	key     Key
+	idle    chan *core.Prepared
+	created int // replicas built (guarded by Service.mu)
+	elem    *list.Element
+}
+
+// job is one queued solve.
+type job struct {
+	ctx  context.Context
+	sys  *system
+	b    []float64
+	done chan jobResult // buffered: the worker never blocks on a gone caller
+}
+
+type jobResult struct {
+	res *core.Result
+	err error
+}
+
+// Service is the solver service: registry, prepared-pipeline cache, job
+// queue and worker pool.
+type Service struct {
+	opts Options
+
+	mu      sync.Mutex
+	closed  bool
+	systems map[string]*system
+	cache   map[Key]*entry
+	lru     *list.List // front = most recently used
+
+	jobs chan *job
+	wg   sync.WaitGroup
+
+	stats statsCollector
+}
+
+// New starts a service with its worker pool running.
+func New(opts Options) *Service {
+	opts.fill()
+	s := &Service{
+		opts:    opts,
+		systems: make(map[string]*system),
+		cache:   make(map[Key]*entry),
+		lru:     list.New(),
+		jobs:    make(chan *job, opts.QueueDepth),
+	}
+	s.wg.Add(opts.Workers)
+	for i := 0; i < opts.Workers; i++ {
+		go s.worker()
+	}
+	return s
+}
+
+// SystemInfo describes a registered system.
+type SystemInfo struct {
+	ID     string `json:"id"`
+	N      int    `json:"n"`
+	NNZ    int    `json:"nnz"`
+	Solver string `json:"solver"`
+}
+
+// Register adds a system to the service and warms the cache with one
+// prepared replica, so registration validates the configuration and the
+// first solve is already amortized. A nil cfg uses the service's default
+// solver configuration. Registering the same matrix again is idempotent.
+func (s *Service) Register(m *sparse.Matrix, cfg *config.Config) (SystemInfo, error) {
+	c := s.opts.Solver
+	if cfg != nil {
+		c = *cfg
+	}
+	if err := c.Validate(); err != nil {
+		return SystemInfo{}, err
+	}
+	sys := &system{
+		id:  m.FingerprintString(),
+		m:   m,
+		cfg: c,
+		key: Key{
+			Matrix:   m.Fingerprint(),
+			Config:   configHash(c),
+			Machine:  s.opts.Machine,
+			Strategy: s.opts.Strategy,
+		},
+	}
+
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return SystemInfo{}, ErrClosed
+	}
+	if old, ok := s.systems[sys.id]; ok && old.key == sys.key {
+		info := SystemInfo{ID: old.id, N: old.m.N, NNZ: old.m.NNZ(), Solver: old.solver}
+		s.mu.Unlock()
+		return info, nil
+	}
+	s.mu.Unlock()
+
+	// Warm the cache outside the lock: preparing is the expensive phase.
+	p, ent, err := s.acquire(context.Background(), sys)
+	if err != nil {
+		return SystemInfo{}, err
+	}
+	sys.solver = p.SolverName()
+	s.release(ent, p)
+
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return SystemInfo{}, ErrClosed
+	}
+	s.systems[sys.id] = sys
+	s.mu.Unlock()
+	return SystemInfo{ID: sys.id, N: sys.m.N, NNZ: sys.m.NNZ(), Solver: sys.solver}, nil
+}
+
+// Systems lists the registered systems.
+func (s *Service) Systems() []SystemInfo {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]SystemInfo, 0, len(s.systems))
+	for _, sys := range s.systems {
+		out = append(out, SystemInfo{ID: sys.id, N: sys.m.N, NNZ: sys.m.NNZ(), Solver: sys.solver})
+	}
+	return out
+}
+
+// lookup returns the registered system (nil if unknown) and whether the
+// service accepts work.
+func (s *Service) lookup(id string) (*system, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil, ErrClosed
+	}
+	sys, ok := s.systems[id]
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrNotFound, id)
+	}
+	return sys, nil
+}
+
+// Solve queues one right-hand side against a registered system and waits for
+// the result or the context. A full queue rejects immediately with
+// ErrOverloaded; without a caller deadline the service default applies.
+func (s *Service) Solve(ctx context.Context, id string, b []float64) (*core.Result, error) {
+	sys, err := s.lookup(id)
+	if err != nil {
+		return nil, err
+	}
+	ctx, cancel := s.withDeadline(ctx)
+	defer cancel()
+	j, err := s.enqueue(ctx, sys, b)
+	if err != nil {
+		return nil, err
+	}
+	return s.await(ctx, j)
+}
+
+// BatchItem is the per-RHS outcome of SolveBatch.
+type BatchItem struct {
+	Result *core.Result
+	Err    error
+}
+
+// SolveBatch queues every right-hand side of the batch at once (they run
+// concurrently across workers and replicas) and gathers per-item outcomes.
+// Admission control applies per item: with a full queue, later items fail
+// with ErrOverloaded while admitted ones still run.
+func (s *Service) SolveBatch(ctx context.Context, id string, rhs [][]float64) ([]BatchItem, error) {
+	sys, err := s.lookup(id)
+	if err != nil {
+		return nil, err
+	}
+	ctx, cancel := s.withDeadline(ctx)
+	defer cancel()
+	items := make([]BatchItem, len(rhs))
+	queued := make([]*job, len(rhs))
+	for i, b := range rhs {
+		j, err := s.enqueue(ctx, sys, b)
+		if err != nil {
+			items[i].Err = err
+			continue
+		}
+		queued[i] = j
+	}
+	for i, j := range queued {
+		if j == nil {
+			continue
+		}
+		items[i].Result, items[i].Err = s.await(ctx, j)
+	}
+	return items, nil
+}
+
+func (s *Service) withDeadline(ctx context.Context) (context.Context, context.CancelFunc) {
+	if _, ok := ctx.Deadline(); ok {
+		return context.WithCancel(ctx)
+	}
+	return context.WithTimeout(ctx, s.opts.DefaultTimeout)
+}
+
+func (s *Service) enqueue(ctx context.Context, sys *system, b []float64) (*job, error) {
+	j := &job{ctx: ctx, sys: sys, b: b, done: make(chan jobResult, 1)}
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil, ErrClosed
+	}
+	select {
+	case s.jobs <- j:
+		s.mu.Unlock()
+		return j, nil
+	default:
+		s.mu.Unlock()
+		s.stats.rejected.Add(1)
+		return nil, ErrOverloaded
+	}
+}
+
+func (s *Service) await(ctx context.Context, j *job) (*core.Result, error) {
+	select {
+	case r := <-j.done:
+		return r.res, r.err
+	case <-ctx.Done():
+		// The worker sees the same context and abandons or finishes the job;
+		// done is buffered so it never blocks on us.
+		return nil, ctx.Err()
+	}
+}
+
+func (s *Service) worker() {
+	defer s.wg.Done()
+	for j := range s.jobs {
+		j.done <- s.execute(j)
+	}
+}
+
+func (s *Service) execute(j *job) jobResult {
+	if err := j.ctx.Err(); err != nil {
+		return jobResult{err: err}
+	}
+	p, ent, err := s.acquire(j.ctx, j.sys)
+	if err != nil {
+		return jobResult{err: err}
+	}
+	start := time.Now()
+	res, err := p.Solve(j.b)
+	s.release(ent, p)
+	if err != nil {
+		return jobResult{err: err}
+	}
+	s.stats.recordSolve(time.Since(start), res.Machine.TotalCycles)
+	return jobResult{res: res}
+}
+
+// acquire hands out a Prepared replica for the system's key: an idle cached
+// replica (hit), a newly built one when the pool is below ReplicasPerKey
+// (miss — the expensive prepare runs outside the lock), or it blocks until a
+// replica frees up or the context expires.
+func (s *Service) acquire(ctx context.Context, sys *system) (*core.Prepared, *entry, error) {
+	s.mu.Lock()
+	ent, ok := s.cache[sys.key]
+	if ok {
+		s.lru.MoveToFront(ent.elem)
+	} else {
+		ent = &entry{key: sys.key, idle: make(chan *core.Prepared, s.opts.ReplicasPerKey)}
+		ent.elem = s.lru.PushFront(ent)
+		s.cache[sys.key] = ent
+		for s.lru.Len() > s.opts.CacheCapacity {
+			tail := s.lru.Back()
+			old := tail.Value.(*entry)
+			s.lru.Remove(tail)
+			delete(s.cache, old.key)
+			s.stats.evictions.Add(1)
+		}
+	}
+	select {
+	case p := <-ent.idle:
+		s.mu.Unlock()
+		s.stats.hits.Add(1)
+		return p, ent, nil
+	default:
+	}
+	if ent.created < s.opts.ReplicasPerKey {
+		ent.created++
+		s.mu.Unlock()
+		s.stats.misses.Add(1)
+		p, err := core.Prepare(s.opts.Machine, sys.m, sys.cfg, s.opts.Strategy)
+		if err != nil {
+			s.mu.Lock()
+			ent.created--
+			s.mu.Unlock()
+			return nil, nil, err
+		}
+		return p, ent, nil
+	}
+	s.mu.Unlock()
+	// Every replica of this key is busy: wait for one.
+	select {
+	case p := <-ent.idle:
+		s.stats.hits.Add(1)
+		return p, ent, nil
+	case <-ctx.Done():
+		return nil, nil, ctx.Err()
+	}
+}
+
+// release returns a replica to its entry's pool. The buffered channel (cap =
+// ReplicasPerKey ≥ created) guarantees the send never blocks, and evicted
+// entries still accept their replicas so blocked acquirers drain; once no
+// job references an evicted entry it is garbage collected wholesale.
+func (s *Service) release(ent *entry, p *core.Prepared) {
+	ent.idle <- p
+}
+
+// QueueDepth reports the number of queued jobs not yet picked up.
+func (s *Service) QueueDepth() int { return len(s.jobs) }
+
+// Close stops admission and drains the queue: queued jobs still execute,
+// then the workers exit. Close blocks until the drain completes.
+func (s *Service) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	s.mu.Unlock()
+	close(s.jobs)
+	s.wg.Wait()
+	return nil
+}

@@ -1,0 +1,103 @@
+package serve
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Stats is a point-in-time snapshot of the service counters.
+type Stats struct {
+	// Prepared-pipeline cache.
+	CacheHits   uint64 `json:"cacheHits"`   // solves served by a cached replica
+	CacheMisses uint64 `json:"cacheMisses"` // solves that had to prepare a pipeline
+	Evictions   uint64 `json:"evictions"`   // cache entries dropped under pressure
+	CacheSize   int    `json:"cacheSize"`   // resident entries
+
+	// Queue and worker pool.
+	QueueDepth int    `json:"queueDepth"` // jobs queued, not yet picked up
+	Rejected   uint64 `json:"rejected"`   // jobs refused by admission control
+	Solved     uint64 `json:"solved"`     // completed solves
+
+	// Latency over the recent window (milliseconds of wall time per solve).
+	P50Ms float64 `json:"p50Ms"`
+	P99Ms float64 `json:"p99Ms"`
+
+	// Simulated-device cost: average IPU cycles per completed solve.
+	CyclesPerSolve uint64 `json:"cyclesPerSolve"`
+}
+
+// latencyWindow bounds the percentile sample buffer; old samples are
+// overwritten ring-style so the percentiles track recent behavior.
+const latencyWindow = 1024
+
+// statsCollector accumulates the service counters. Counter fields are
+// atomics so the hot path never contends; the latency ring has its own lock.
+type statsCollector struct {
+	hits      atomic.Uint64
+	misses    atomic.Uint64
+	evictions atomic.Uint64
+	rejected  atomic.Uint64
+	solved    atomic.Uint64
+	cycles    atomic.Uint64 // total simulated cycles over all solves
+
+	mu   sync.Mutex
+	ring [latencyWindow]time.Duration
+	n    int // samples written (ring wraps at latencyWindow)
+}
+
+func (c *statsCollector) recordSolve(wall time.Duration, cycles uint64) {
+	c.solved.Add(1)
+	c.cycles.Add(cycles)
+	c.mu.Lock()
+	c.ring[c.n%latencyWindow] = wall
+	c.n++
+	c.mu.Unlock()
+}
+
+// percentiles returns the p50/p99 wall latency of the recent window.
+func (c *statsCollector) percentiles() (p50, p99 time.Duration) {
+	c.mu.Lock()
+	n := c.n
+	if n > latencyWindow {
+		n = latencyWindow
+	}
+	samples := make([]time.Duration, n)
+	copy(samples, c.ring[:n])
+	c.mu.Unlock()
+	if n == 0 {
+		return 0, 0
+	}
+	sort.Slice(samples, func(i, j int) bool { return samples[i] < samples[j] })
+	idx := func(p float64) int {
+		i := int(p * float64(n-1))
+		if i >= n {
+			i = n - 1
+		}
+		return i
+	}
+	return samples[idx(0.50)], samples[idx(0.99)]
+}
+
+// Stats snapshots the service counters.
+func (s *Service) Stats() Stats {
+	p50, p99 := s.stats.percentiles()
+	st := Stats{
+		CacheHits:   s.stats.hits.Load(),
+		CacheMisses: s.stats.misses.Load(),
+		Evictions:   s.stats.evictions.Load(),
+		QueueDepth:  len(s.jobs),
+		Rejected:    s.stats.rejected.Load(),
+		Solved:      s.stats.solved.Load(),
+		P50Ms:       float64(p50) / float64(time.Millisecond),
+		P99Ms:       float64(p99) / float64(time.Millisecond),
+	}
+	if st.Solved > 0 {
+		st.CyclesPerSolve = s.stats.cycles.Load() / st.Solved
+	}
+	s.mu.Lock()
+	st.CacheSize = s.lru.Len()
+	s.mu.Unlock()
+	return st
+}

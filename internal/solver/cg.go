@@ -73,6 +73,8 @@ func (s *CG) ScheduleSolve(x, b Tensor, st *RunStats) {
 		bnormHost float64
 		stop      bool
 		g         *guard
+		fbSt      RunStats
+		fellback  bool
 	)
 	if s.Recover != nil {
 		g = newGuard(s.Recover, x, s.Tol, st)
@@ -88,13 +90,12 @@ func (s *CG) ScheduleSolve(x, b Tensor, st *RunStats) {
 	}
 	ts.HostCallback("cg:init", func() error {
 		iter, stop = 0, false
+		fellback = false
+		fbSt.ResetForRun()
 		bnormHost = sqrtPos(bnorm2.Value())
 		relres = math.Inf(1)
 		rzOld.SetValue(rz.Value())
-		if st != nil {
-			st.Breakdown, st.Converged = false, false
-			st.BreakdownReason, st.Restarts, st.Recovered = "", 0, false
-		}
+		st.ResetForRun()
 		if g != nil {
 			g.reset()
 		}
@@ -200,8 +201,6 @@ func (s *CG) ScheduleSolve(x, b Tensor, st *RunStats) {
 			}, nil)
 		}
 	})
-	var fbSt RunStats
-	fellback := false
 	if g != nil && s.Recover.Fallback != nil {
 		ts.If(func() bool { return g.failed && !(s.Tol > 0 && relres <= s.Tol) }, func() {
 			ts.HostCallback("cg:fallback", func() error {

@@ -174,6 +174,7 @@ func (s *gsSolver) ScheduleSolve(x, b Tensor, st *RunStats) {
 		iter = 0
 		relres = 1e308
 		bnormHost = sqrtPos(bnorm2.Value())
+		st.ResetForRun()
 		return nil
 	})
 	cond := func() bool {

@@ -85,6 +85,8 @@ func (s *PBiCGStab) ScheduleSolve(x, b Tensor, st *RunStats) {
 		bnormHost float64
 		stop      bool
 		g         *guard
+		fbSt      RunStats
+		fellback  bool
 	)
 	if s.Recover != nil {
 		g = newGuard(s.Recover, x, s.Tol, st)
@@ -103,15 +105,14 @@ func (s *PBiCGStab) ScheduleSolve(x, b Tensor, st *RunStats) {
 	}
 	ts.HostCallback("bicg:init", func() error {
 		iter, stop = 0, false
+		fellback = false
+		fbSt.ResetForRun()
 		bnormHost = math.Sqrt(bnorm2.Value())
 		if bnormHost == 0 {
 			bnormHost = 1 // solving Ax=0: use absolute residual
 		}
 		relres = math.Sqrt(res2.Value()) / bnormHost
-		if st != nil {
-			st.Breakdown, st.Converged = false, false
-			st.BreakdownReason, st.Restarts, st.Recovered = "", 0, false
-		}
+		st.ResetForRun()
 		if g != nil {
 			g.reset()
 		}
@@ -263,8 +264,6 @@ func (s *PBiCGStab) ScheduleSolve(x, b Tensor, st *RunStats) {
 	})
 	// Escalation: once the restart budget is spent without convergence, rerun
 	// from the last checkpoint with the configured fallback solver.
-	var fbSt RunStats
-	fellback := false
 	if g != nil && s.Recover.Fallback != nil {
 		ts.If(func() bool { return g.failed && !(s.Tol > 0 && relres <= s.Tol) }, func() {
 			ts.HostCallback("bicg:fallback", func() error {
@@ -364,10 +363,7 @@ func (s *Richardson) ScheduleSolve(x, b Tensor, st *RunStats) {
 			bnormHost = 1
 		}
 		relres = math.Inf(1)
-		if st != nil {
-			st.Breakdown, st.Converged = false, false
-			st.BreakdownReason, st.Restarts, st.Recovered = "", 0, false
-		}
+		st.ResetForRun()
 		if g != nil {
 			g.reset()
 		}

@@ -82,6 +82,7 @@ func (s *MPIR) ScheduleSolve(x, b Tensor, st *RunStats) {
 		relres = math.Inf(1)
 		bnormHost = sqrtPos(bnorm2.Value())
 		stop = false
+		st.ResetForRun()
 		return nil
 	})
 	cond := func() bool {

@@ -40,6 +40,21 @@ func (st *RunStats) record(iter int, relres, seconds float64) {
 	st.History = append(st.History, HistPoint{Iter: iter, RelRes: relres, Seconds: seconds})
 }
 
+// ResetForRun clears every per-run field so one scheduled program can execute
+// repeatedly against the same RunStats (the prepared-pipeline re-solve path).
+// Solver, which is set once at schedule time, survives; History is truncated
+// in place so repeated runs do not accumulate samples. On a first (cold) run
+// every cleared field is already zero, so calling this from a solver's init
+// callback leaves cold behaviour bit-identical.
+func (st *RunStats) ResetForRun() {
+	if st == nil {
+		return
+	}
+	name := st.Solver
+	hist := st.History[:0]
+	*st = RunStats{Solver: name, History: hist}
+}
+
 // Solver schedules program steps that solve A x = b on the system it was
 // built for. Implementations fill st during execution via host callbacks.
 // Any solver can serve as another solver's preconditioner through

@@ -1,0 +1,48 @@
+package sparse
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/fnv"
+	"math"
+)
+
+// Fingerprint returns a deterministic 64-bit digest of the matrix: its
+// dimension, sparsity structure (RowPtr, Cols) and exact values (Diag, Vals
+// as IEEE-754 bit patterns). Two matrices fingerprint equal iff they are the
+// same stored matrix entry for entry, and the digest is stable across runs
+// and platforms — it is the cache key of the prepared-pipeline service, where
+// one symbolic/compile phase is amortized over every solve that shares the
+// sparsity pattern and coefficients.
+func (m *Matrix) Fingerprint() uint64 {
+	h := fnv.New64a()
+	var buf [8]byte
+	wu := func(v uint64) {
+		binary.LittleEndian.PutUint64(buf[:], v)
+		h.Write(buf[:])
+	}
+	wu(uint64(m.N))
+	// Section tags keep e.g. (RowPtr ‖ Cols) unambiguous under concatenation.
+	wu(0xd1a6) // diagonal
+	for _, v := range m.Diag {
+		wu(math.Float64bits(v))
+	}
+	wu(0x509c) // structure
+	for _, v := range m.RowPtr {
+		wu(uint64(v))
+	}
+	for _, v := range m.Cols {
+		wu(uint64(v))
+	}
+	wu(0x5a15) // off-diagonal values
+	for _, v := range m.Vals {
+		wu(math.Float64bits(v))
+	}
+	return h.Sum64()
+}
+
+// FingerprintString formats the fingerprint as the service's external system
+// identifier.
+func (m *Matrix) FingerprintString() string {
+	return fmt.Sprintf("m%016x", m.Fingerprint())
+}
