@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check build test vet race bench serve-smoke clean
+.PHONY: check build test vet race bench serve-smoke chaos-smoke clean
 
 ## check: vet + build + race-enabled tests (the pre-merge gate)
 check: vet build race
@@ -26,6 +26,12 @@ bench:
 ## cache stats, then drain it gracefully
 serve-smoke:
 	$(GO) run ./cmd/servesmoke
+
+## chaos-smoke: the serve smoke plus a seeded chaos campaign (replica
+## crashes, stalls, breakdown storms, host errors) and a kill -9/restart
+## phase -- zero wrong answers, >=99% availability, WAL-recovered state
+chaos-smoke:
+	$(GO) run ./cmd/servesmoke -chaos
 
 clean:
 	$(GO) clean ./...

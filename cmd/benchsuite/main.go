@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	benchsuite [-experiment all|table1..table6|fig5..fig10] [-scale N] [-tiles N] [-full]
+//	benchsuite [-experiment all|table1..table7|fig5..fig10] [-scale N] [-tiles N] [-full]
 //
 // The default scale shrinks all workloads by 64x so the suite completes in
 // minutes; -scale 1 -full reproduces paper-scale sizes (needs tens of GB of
@@ -20,7 +20,7 @@ import (
 )
 
 func main() {
-	experiment := flag.String("experiment", "all", "experiment to run: all, table1..table6, fig5..fig10")
+	experiment := flag.String("experiment", "all", "experiment to run: all, table1..table7, fig5..fig10")
 	scale := flag.Int("scale", 64, "divide paper-scale workloads by this factor")
 	tiles := flag.Int("tiles", 64, "simulated tiles per chip for single-chip experiments")
 	full := flag.Bool("full", false, "use the full Mk2 M2000 tile counts")

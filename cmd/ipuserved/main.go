@@ -8,6 +8,13 @@
 //	curl -s localhost:8723/v1/systems/<id>/solve -d '{"rhs":"ones"}'
 //	curl -s localhost:8723/v1/stats
 //
+// With -state-dir the registry is crash-safe: every acknowledged
+// registration is fsynced to a write-ahead log under the directory and
+// replayed on startup, so a killed server comes back serving the same
+// systems. The -chaos-* flags arm a deterministic service-level fault
+// campaign (also configurable via the serve.chaos config block) for
+// resilience testing.
+//
 // Shutdown on SIGINT/SIGTERM is graceful: admission stops, queued jobs
 // drain, then the listener closes.
 package main
@@ -22,26 +29,68 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
 	"ipusparse/internal/config"
+	"ipusparse/internal/fault"
 	"ipusparse/internal/serve"
 )
+
+// chaosFlags collects the command-line chaos campaign; it overrides the
+// config file's serve.chaos block when armed.
+type chaosFlags struct {
+	rate    float64
+	seed    int64
+	kinds   string
+	maxEv   int
+	stallMs int
+}
 
 func main() {
 	addr := flag.String("addr", "", "listen address (overrides the config; default :8723)")
 	cfgPath := flag.String("config", "", "JSON configuration with solver and serve blocks")
 	portFile := flag.String("port-file", "", "write the bound address to this file once listening (for :0 discovery)")
+	stateDir := flag.String("state-dir", "", "crash-safe registry directory (overrides the config; empty disables persistence)")
+	var cf chaosFlags
+	flag.Float64Var(&cf.rate, "chaos-rate", 0, "per-solve-attempt fault probability (0 disables chaos)")
+	flag.Int64Var(&cf.seed, "chaos-seed", 1, "chaos campaign seed")
+	flag.StringVar(&cf.kinds, "chaos-kinds", "", "comma-separated fault kinds (replica-crash,replica-stall,breakdown,host-error); empty = all")
+	flag.IntVar(&cf.maxEv, "chaos-max-events", 0, "cap on injected faults (0 = unlimited)")
+	flag.IntVar(&cf.stallMs, "chaos-stall-ms", 0, "injected slow-replica delay in ms (0 = 50ms default)")
 	flag.Parse()
 
-	if err := run(*addr, *cfgPath, *portFile); err != nil {
+	if err := run(*addr, *cfgPath, *portFile, *stateDir, cf); err != nil {
 		fmt.Fprintln(os.Stderr, "ipuserved:", err)
 		os.Exit(1)
 	}
 }
 
-func run(addr, cfgPath, portFile string) error {
+// chaos builds the campaign from the flags, or nil when disarmed.
+func (cf chaosFlags) chaos() (*fault.Chaos, error) {
+	if cf.rate <= 0 {
+		return nil, nil
+	}
+	plan := fault.ChaosPlan{
+		Seed:          cf.seed,
+		Rate:          cf.rate,
+		MaxEvents:     cf.maxEv,
+		StallDuration: time.Duration(cf.stallMs) * time.Millisecond,
+	}
+	if cf.kinds != "" {
+		for _, name := range strings.Split(cf.kinds, ",") {
+			k, err := fault.ParseChaosKind(strings.TrimSpace(name))
+			if err != nil {
+				return nil, err
+			}
+			plan.Kinds = append(plan.Kinds, k)
+		}
+	}
+	return fault.NewChaos(plan), nil
+}
+
+func run(addr, cfgPath, portFile, stateDir string, cf chaosFlags) error {
 	cfg := config.Default()
 	if cfgPath != "" {
 		f, err := os.Open(cfgPath)
@@ -63,7 +112,27 @@ func run(addr, cfgPath, portFile string) error {
 		}
 	}
 
-	svc := serve.New(serve.OptionsFromConfig(cfg))
+	opts := serve.OptionsFromConfig(cfg)
+	if stateDir != "" {
+		opts.StateDir = stateDir
+	}
+	chaos, err := cf.chaos()
+	if err != nil {
+		return err
+	}
+	if chaos != nil {
+		opts.Chaos = chaos
+		log.Printf("ipuserved: chaos campaign armed: %+v", chaos.Plan())
+	}
+
+	svc, err := serve.Open(opts)
+	if err != nil {
+		return err
+	}
+	if opts.StateDir != "" {
+		log.Printf("ipuserved: crash-safe registry at %s (%d systems recovered)",
+			opts.StateDir, len(svc.Systems()))
+	}
 	srv := &http.Server{Handler: svc.Handler()}
 
 	ln, err := net.Listen("tcp", addr)
@@ -94,6 +163,9 @@ func run(addr, cfgPath, portFile string) error {
 	// HTTP side so in-flight responses are written before the listener dies.
 	if err := svc.Close(); err != nil {
 		return err
+	}
+	if ch := opts.Chaos; ch != nil {
+		log.Printf("ipuserved: chaos campaign injected %d faults", len(ch.Events()))
 	}
 	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
 	defer cancel()

@@ -1,16 +1,26 @@
-// Command servesmoke is the end-to-end smoke test of the solver service: it
-// boots a real ipuserved process on a random port, registers a small Poisson
-// system, fires concurrent batched solves at it, verifies every solution
-// against the known exact answer, checks the service stats report cache
-// hits, and shuts the server down gracefully.
+// Command servesmoke is the end-to-end smoke test of the solver service. It
+// boots a real ipuserved process on a random port and drives three phases:
+//
+//  1. Serve: register a small Poisson system, fire concurrent batched
+//     solves, verify every solution against the known exact answer, check
+//     the cache stats, drain gracefully.
+//  2. Kill-and-restart: register against a crash-safe (-state-dir) server,
+//     solve, kill the process with SIGKILL, restart it on the same state
+//     directory, and require the system recovered from the WAL with a
+//     bit-identical warm solve.
+//  3. Chaos (with -chaos): rerun serving under a seeded fault campaign
+//     (replica crashes, stalls, breakdown storms, host errors) and require
+//     zero wrong answers and >=99% availability, then kill -9 and recover.
 //
 //	servesmoke -server bin/ipuserved      # use a prebuilt (race-enabled) binary
 //	servesmoke                            # builds ipuserved -race itself
+//	servesmoke -chaos                     # adds the chaos campaign phase
 package main
 
 import (
 	"bytes"
 	"encoding/json"
+	"flag"
 	"fmt"
 	"net/http"
 	"os"
@@ -26,20 +36,17 @@ import (
 const gen = "poisson3d:8" // 512 rows: small enough to boot fast, real enough to converge
 
 func main() {
-	server := ""
-	for i := 1; i < len(os.Args)-1; i++ {
-		if os.Args[i] == "-server" {
-			server = os.Args[i+1]
-		}
-	}
-	if err := run(server); err != nil {
+	server := flag.String("server", "", "prebuilt ipuserved binary (default: build -race)")
+	chaos := flag.Bool("chaos", false, "run the chaos campaign phase")
+	flag.Parse()
+	if err := run(*server, *chaos); err != nil {
 		fmt.Fprintln(os.Stderr, "servesmoke: FAIL:", err)
 		os.Exit(1)
 	}
 	fmt.Println("servesmoke: PASS")
 }
 
-func run(server string) error {
+func run(server string, chaos bool) error {
 	dir, err := os.MkdirTemp("", "servesmoke")
 	if err != nil {
 		return err
@@ -55,32 +62,107 @@ func run(server string) error {
 		}
 	}
 
-	portFile := filepath.Join(dir, "port")
-	srv := exec.Command(server, "-addr", "127.0.0.1:0", "-port-file", portFile)
-	srv.Stderr = os.Stderr
-	if err := srv.Start(); err != nil {
+	if err := servePhase(dir, server); err != nil {
+		return fmt.Errorf("serve phase: %w", err)
+	}
+	if err := killRestartPhase(dir, server); err != nil {
+		return fmt.Errorf("kill-and-restart phase: %w", err)
+	}
+	if chaos {
+		if err := chaosPhase(dir, server); err != nil {
+			return fmt.Errorf("chaos phase: %w", err)
+		}
+	}
+	return nil
+}
+
+// proc is one running ipuserved with its discovered base URL.
+type proc struct {
+	cmd  *exec.Cmd
+	base string
+}
+
+// startServer boots the binary with the given extra flags and waits for its
+// port file.
+func startServer(dir, server, tag string, extra ...string) (*proc, error) {
+	portFile := filepath.Join(dir, "port-"+tag)
+	_ = os.Remove(portFile)
+	args := append([]string{"-addr", "127.0.0.1:0", "-port-file", portFile}, extra...)
+	cmd := exec.Command(server, args...)
+	cmd.Stderr = os.Stderr
+	if err := cmd.Start(); err != nil {
+		return nil, err
+	}
+	addr, err := waitForPort(portFile, 15*time.Second)
+	if err != nil {
+		cmd.Process.Kill()
+		return nil, err
+	}
+	return &proc{cmd: cmd, base: "http://" + addr}, nil
+}
+
+// drain sends SIGTERM and waits for a clean exit.
+func (p *proc) drain() error {
+	if err := p.cmd.Process.Signal(syscall.SIGTERM); err != nil {
 		return err
 	}
-	defer srv.Process.Kill()
+	done := make(chan error, 1)
+	go func() { done <- p.cmd.Wait() }()
+	select {
+	case err := <-done:
+		if err != nil {
+			return fmt.Errorf("server exit: %w", err)
+		}
+		return nil
+	case <-time.After(30 * time.Second):
+		return fmt.Errorf("server did not drain within 30s")
+	}
+}
 
-	addr, err := waitForPort(portFile, 15*time.Second)
+// kill sends SIGKILL — the crash the state directory must survive.
+func (p *proc) kill() {
+	_ = p.cmd.Process.Kill()
+	_, _ = p.cmd.Process.Wait()
+}
+
+// register registers the test system and returns its info.
+func (p *proc) register() (systemInfo, error) {
+	var info systemInfo
+	err := postJSON(p.base+"/v1/systems", map[string]any{"gen": gen}, &info)
+	return info, err
+}
+
+type systemInfo struct {
+	ID     string `json:"id"`
+	N      int    `json:"n"`
+	Solver string `json:"solver"`
+}
+
+type solveResult struct {
+	Converged bool      `json:"converged"`
+	RelRes    float64   `json:"relRes"`
+	X         []float64 `json:"x"`
+	Error     string    `json:"error"`
+}
+
+// servePhase is the original smoke: concurrent batched solves against a
+// plain server, all verified against the exact all-ones solution.
+func servePhase(dir, server string) error {
+	srv, err := startServer(dir, server, "serve")
 	if err != nil {
 		return err
 	}
-	base := "http://" + addr
+	defer srv.kill()
 
-	// Liveness.
-	if err := getOK(base + "/healthz"); err != nil {
+	if err := getOK(srv.base + "/healthz"); err != nil {
+		return err
+	}
+	if err := getOK(srv.base + "/readyz"); err != nil {
 		return err
 	}
 
-	// Register the system; the response carries its fingerprint ID.
-	var info struct {
-		ID     string `json:"id"`
-		N      int    `json:"n"`
-		Solver string `json:"solver"`
-	}
-	if err := postJSON(base+"/v1/systems", map[string]any{"gen": gen}, &info); err != nil {
+	info, err := srv.register()
+	if err != nil {
 		return fmt.Errorf("register: %w", err)
 	}
 	if info.N != 512 {
@@ -88,8 +170,6 @@ func run(server string) error {
 	}
 	fmt.Printf("servesmoke: registered %s (%d rows, solver %s)\n", info.ID, info.N, info.Solver)
 
-	// Concurrent batched solves against b = A*1: every solution must converge
-	// to the all-ones vector.
 	const clients = 3
 	const batchPerClient = 2
 	var wg sync.WaitGroup
@@ -99,17 +179,10 @@ func run(server string) error {
 		go func(c int) {
 			defer wg.Done()
 			var resp struct {
-				Results []struct {
-					Converged bool      `json:"converged"`
-					RelRes    float64   `json:"relRes"`
-					X         []float64 `json:"x"`
-					Error     string    `json:"error"`
-				} `json:"results"`
+				Results []solveResult `json:"results"`
 			}
-			// The batch endpoint wants explicit right-hand sides; use the
-			// single-solve "ones" generator once to fetch b implicitly via x.
 			req := map[string]any{"batch": onesBatch(info.N, batchPerClient)}
-			if err := postJSON(base+"/v1/systems/"+info.ID+"/solve", req, &resp); err != nil {
+			if err := postJSON(srv.base+"/v1/systems/"+info.ID+"/solve", req, &resp); err != nil {
 				errs <- fmt.Errorf("client %d: %w", c, err)
 				return
 			}
@@ -118,15 +191,9 @@ func run(server string) error {
 				return
 			}
 			for i, r := range resp.Results {
-				if r.Error != "" || !r.Converged {
-					errs <- fmt.Errorf("client %d result %d: converged=%v err=%q", c, i, r.Converged, r.Error)
+				if err := checkOnes(r); err != nil {
+					errs <- fmt.Errorf("client %d result %d: %w", c, i, err)
 					return
-				}
-				for j, v := range r.X {
-					if d := v - 1; d > 1e-6 || d < -1e-6 {
-						errs <- fmt.Errorf("client %d result %d: x[%d]=%g, want 1", c, i, j, v)
-						return
-					}
 				}
 			}
 		}(c)
@@ -137,13 +204,12 @@ func run(server string) error {
 		return err
 	}
 
-	// Stats must show the cache amortizing: every solve after the warm-up
-	// registration is a hit.
 	var st struct {
 		CacheHits uint64 `json:"cacheHits"`
 		Solved    uint64 `json:"solved"`
+		Verified  uint64 `json:"verified"`
 	}
-	if err := getJSON(base+"/v1/stats", &st); err != nil {
+	if err := getJSON(srv.base+"/v1/stats", &st); err != nil {
 		return err
 	}
 	if st.CacheHits == 0 {
@@ -152,21 +218,200 @@ func run(server string) error {
 	if st.Solved != clients*batchPerClient {
 		return fmt.Errorf("stats report %d solves, want %d", st.Solved, clients*batchPerClient)
 	}
-	fmt.Printf("servesmoke: %d solves, %d cache hits\n", st.Solved, st.CacheHits)
+	if st.Verified != st.Solved {
+		return fmt.Errorf("stats report %d verified of %d solved", st.Verified, st.Solved)
+	}
+	fmt.Printf("servesmoke: %d solves, %d cache hits, all residual-verified\n", st.Solved, st.CacheHits)
+	return srv.drain()
+}
 
-	// Graceful shutdown.
-	if err := srv.Process.Signal(syscall.SIGTERM); err != nil {
+// killRestartPhase registers against a crash-safe server, records a warm
+// solve, kills the process with SIGKILL, restarts it on the same state
+// directory and requires the recovered system to serve a bit-identical
+// answer.
+func killRestartPhase(dir, server string) error {
+	stateDir := filepath.Join(dir, "state")
+
+	srv, err := startServer(dir, server, "kill1", "-state-dir", stateDir)
+	if err != nil {
 		return err
 	}
-	done := make(chan error, 1)
-	go func() { done <- srv.Wait() }()
-	select {
-	case err := <-done:
-		if err != nil {
-			return fmt.Errorf("server exit: %w", err)
+	defer srv.kill()
+	info, err := srv.register()
+	if err != nil {
+		return fmt.Errorf("register: %w", err)
+	}
+	var before solveResult
+	if err := postJSON(srv.base+"/v1/systems/"+info.ID+"/solve", map[string]any{"rhs": "ones"}, &before); err != nil {
+		return fmt.Errorf("solve before kill: %w", err)
+	}
+	if err := checkOnes(before); err != nil {
+		return fmt.Errorf("solve before kill: %w", err)
+	}
+	srv.kill()
+	fmt.Printf("servesmoke: killed -9 with %s registered\n", info.ID)
+
+	srv2, err := startServer(dir, server, "kill2", "-state-dir", stateDir)
+	if err != nil {
+		return fmt.Errorf("restart: %w", err)
+	}
+	defer srv2.kill()
+	var systems struct {
+		Systems []systemInfo `json:"systems"`
+	}
+	if err := getJSON(srv2.base+"/v1/systems", &systems); err != nil {
+		return err
+	}
+	if len(systems.Systems) != 1 || systems.Systems[0].ID != info.ID {
+		return fmt.Errorf("recovered systems %+v, want exactly %s", systems.Systems, info.ID)
+	}
+	var after solveResult
+	if err := postJSON(srv2.base+"/v1/systems/"+info.ID+"/solve", map[string]any{"rhs": "ones"}, &after); err != nil {
+		return fmt.Errorf("solve after restart: %w", err)
+	}
+	if len(after.X) != len(before.X) {
+		return fmt.Errorf("solution length changed across restart: %d vs %d", len(after.X), len(before.X))
+	}
+	for i := range after.X {
+		if after.X[i] != before.X[i] {
+			return fmt.Errorf("x[%d] differs across restart: %g vs %g", i, after.X[i], before.X[i])
 		}
-	case <-time.After(30 * time.Second):
-		return fmt.Errorf("server did not drain within 30s")
+	}
+	fmt.Printf("servesmoke: restart recovered %s from WAL, solve bit-identical\n", info.ID)
+	return srv2.drain()
+}
+
+// chaosPhase reruns serving under a seeded fault campaign: wrong answers are
+// forbidden, availability must stay >=99%, and the crash-safe registry must
+// still recover after a mid-campaign kill -9.
+func chaosPhase(dir, server string) error {
+	stateDir := filepath.Join(dir, "chaos-state")
+	// Write the campaign through the config file so the smoke also exercises
+	// the serve.chaos block; retries are sized so exhausting them under a
+	// 20% rate is a ~1e-5 event per request.
+	cfgPath := filepath.Join(dir, "chaos.json")
+	cfg := map[string]any{
+		"solver": map[string]any{
+			"type": "pbicgstab", "maxIterations": 400, "tolerance": 1e-10,
+			"preconditioner": map[string]any{"type": "ilu0"},
+		},
+		"serve": map[string]any{
+			"retryMax":    6,
+			"retryBaseMs": 1,
+			"chaos": map[string]any{
+				"seed": 42, "rate": 0.2, "stallMs": 2,
+				"kinds": []string{"replica-crash", "replica-stall", "breakdown", "host-error"},
+			},
+		},
+	}
+	buf, err := json.Marshal(cfg)
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(cfgPath, buf, 0o644); err != nil {
+		return err
+	}
+
+	srv, err := startServer(dir, server, "chaos1", "-config", cfgPath, "-state-dir", stateDir)
+	if err != nil {
+		return err
+	}
+	defer srv.kill()
+	info, err := srv.register()
+	if err != nil {
+		return fmt.Errorf("register: %w", err)
+	}
+
+	const clients = 4
+	const perClient = 5
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	var failed, wrong int
+	var witness []float64 // one verified answer to compare across restart
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			for k := 0; k < perClient; k++ {
+				var r solveResult
+				err := postJSON(srv.base+"/v1/systems/"+info.ID+"/solve", map[string]any{"rhs": "ones"}, &r)
+				mu.Lock()
+				if err != nil {
+					failed++
+				} else if cerr := checkOnes(r); cerr != nil {
+					wrong++
+					fmt.Fprintf(os.Stderr, "servesmoke: WRONG ANSWER: %v\n", cerr)
+				} else if witness == nil {
+					witness = r.X
+				}
+				mu.Unlock()
+			}
+		}(c)
+	}
+	wg.Wait()
+	total := clients * perClient
+	if wrong != 0 {
+		return fmt.Errorf("%d wrong answers served under chaos", wrong)
+	}
+	if avail := float64(total-failed) / float64(total); avail < 0.99 {
+		return fmt.Errorf("availability %.1f%% under chaos (%d/%d failed), want >=99%%",
+			100*avail, failed, total)
+	}
+
+	var st struct {
+		Solved       uint64 `json:"solved"`
+		Retries      uint64 `json:"retries"`
+		Panics       uint64 `json:"panics"`
+		Quarantined  uint64 `json:"quarantined"`
+		Verified     uint64 `json:"verified"`
+		VerifyFailed uint64 `json:"verifyFailed"`
+	}
+	if err := getJSON(srv.base+"/v1/stats", &st); err != nil {
+		return err
+	}
+	if st.Retries == 0 {
+		return fmt.Errorf("campaign at rate 0.2 over %d solves recorded no retries", total)
+	}
+	if st.VerifyFailed != 0 {
+		return fmt.Errorf("%d answers failed residual verification", st.VerifyFailed)
+	}
+	fmt.Printf("servesmoke: chaos: %d/%d served, %d retries, %d panics, %d quarantined\n",
+		total-failed, total, st.Retries, st.Panics, st.Quarantined)
+
+	// Kill mid-campaign and recover.
+	srv.kill()
+	srv2, err := startServer(dir, server, "chaos2", "-config", cfgPath, "-state-dir", stateDir)
+	if err != nil {
+		return fmt.Errorf("restart under chaos: %w", err)
+	}
+	defer srv2.kill()
+	var r solveResult
+	if err := postJSON(srv2.base+"/v1/systems/"+info.ID+"/solve", map[string]any{"rhs": "ones"}, &r); err != nil {
+		return fmt.Errorf("solve after chaos restart: %w", err)
+	}
+	if err := checkOnes(r); err != nil {
+		return fmt.Errorf("solve after chaos restart: %w", err)
+	}
+	if witness != nil {
+		for i := range r.X {
+			if r.X[i] != witness[i] {
+				return fmt.Errorf("x[%d] differs across chaos restart: %g vs %g", i, r.X[i], witness[i])
+			}
+		}
+	}
+	fmt.Printf("servesmoke: chaos restart recovered %s, solve bit-identical\n", info.ID)
+	return srv2.drain()
+}
+
+// checkOnes verifies a solve result converged to the all-ones solution.
+func checkOnes(r solveResult) error {
+	if r.Error != "" || !r.Converged {
+		return fmt.Errorf("converged=%v err=%q", r.Converged, r.Error)
+	}
+	for j, v := range r.X {
+		if d := v - 1; d > 1e-6 || d < -1e-6 {
+			return fmt.Errorf("x[%d]=%g, want 1", j, v)
+		}
 	}
 	return nil
 }

@@ -275,6 +275,41 @@ func TestTable6Amortization(t *testing.T) {
 	}
 }
 
+// TestTable7ChaosStudy checks the availability study's acceptance bar: every
+// scenario serves >=99% of requests with zero wrong answers, the baseline is
+// fault-free, and the fault scenarios actually injected and recovered.
+func TestTable7ChaosStudy(t *testing.T) {
+	rows, err := Table7(fastOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) < 5 {
+		t.Fatalf("Table VII has %d scenarios", len(rows))
+	}
+	injectedSomewhere := false
+	for _, r := range rows {
+		if r.WrongAnswers != 0 {
+			t.Errorf("%s: %d wrong answers served", r.Scenario, r.WrongAnswers)
+		}
+		if r.Availability < 0.99 {
+			t.Errorf("%s: availability %.1f%%, want >=99%%", r.Scenario, 100*r.Availability)
+		}
+		if r.Verified == 0 {
+			t.Errorf("%s: no answer was residual-verified", r.Scenario)
+		}
+		if r.Rate == 0 {
+			if r.Injected != 0 || r.Retries != 0 {
+				t.Errorf("baseline injected %d faults, retried %d times", r.Injected, r.Retries)
+			}
+		} else if r.Injected > 0 {
+			injectedSomewhere = true
+		}
+	}
+	if !injectedSomewhere {
+		t.Error("no chaos scenario injected a fault")
+	}
+}
+
 func TestRunAllExperimentsPrint(t *testing.T) {
 	if testing.Short() {
 		t.Skip("full experiment sweep in -short mode")
@@ -289,7 +324,8 @@ func TestRunAllExperimentsPrint(t *testing.T) {
 	}
 	out := buf.String()
 	for _, want := range []string{"Table I", "Table II", "Table III", "Table IV",
-		"Table V", "Table VI", "Fig 5", "Fig 6", "Fig 7", "Fig 8", "Fig 9", "Fig 10"} {
+		"Table V", "Table VI", "Table VII", "Fig 5", "Fig 6", "Fig 7", "Fig 8",
+		"Fig 9", "Fig 10"} {
 		if !strings.Contains(out, want) {
 			t.Errorf("output missing %q", want)
 		}

@@ -1,0 +1,185 @@
+package bench
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"ipusparse/internal/config"
+	"ipusparse/internal/fault"
+	"ipusparse/internal/serve"
+	"ipusparse/internal/sparse"
+)
+
+// Table7Row is one scenario of the availability-under-chaos study (Table
+// VII): a seeded fault campaign is run against the supervised solve service
+// and the row reports what the client observed (availability, wrong answers)
+// against what the supervision layer did to deliver it (retries, caught
+// panics, quarantines, rebuilds).
+type Table7Row struct {
+	Scenario string  // campaign label
+	Rate     float64 // per-attempt fault probability
+	Requests int
+	Served   int // requests answered (after retries/hedges)
+
+	// Availability is Served/Requests; the acceptance bar is 0.99 for every
+	// scenario the paper-style study reports.
+	Availability float64
+	// WrongAnswers counts served solutions that failed the client-side check
+	// against the known exact solution. The residual-verification layer
+	// exists to pin this at zero under every campaign.
+	WrongAnswers int
+
+	Injected    int // faults the campaign injected
+	Retries     uint64
+	Panics      uint64
+	Quarantined uint64
+	Rebuilt     uint64
+	Verified    uint64
+
+	P50Ms float64
+	P99Ms float64
+}
+
+// table7Scenario is one campaign specification.
+type table7Scenario struct {
+	name  string
+	rate  float64
+	kinds []fault.ChaosKind
+}
+
+func table7Scenarios() []table7Scenario {
+	all := []fault.ChaosKind{
+		fault.ChaosCrash, fault.ChaosStall, fault.ChaosBreakdown, fault.ChaosHostError,
+	}
+	return []table7Scenario{
+		{name: "baseline", rate: 0},
+		{name: "crash", rate: 0.2, kinds: []fault.ChaosKind{fault.ChaosCrash}},
+		{name: "stall", rate: 0.2, kinds: []fault.ChaosKind{fault.ChaosStall}},
+		{name: "breakdown-storm", rate: 0.2, kinds: []fault.ChaosKind{fault.ChaosBreakdown}},
+		{name: "host-error", rate: 0.2, kinds: []fault.ChaosKind{fault.ChaosHostError}},
+		{name: "mixed-0.1", rate: 0.1, kinds: all},
+		{name: "mixed-0.3", rate: 0.3, kinds: all},
+	}
+}
+
+// table7Config mirrors the service test hierarchy: PBiCGStab+ILU(0) without
+// MPIR, tight tolerance so every clean solve converges.
+func table7Config() config.Config {
+	return config.Config{Solver: config.SolverConfig{
+		Type:           "pbicgstab",
+		MaxIterations:  2000,
+		Tolerance:      1e-10,
+		Preconditioner: &config.SolverConfig{Type: "ilu0"},
+	}}
+}
+
+// Table7 runs the availability-under-chaos study: one supervised service per
+// scenario, a fixed request load, client-side answer checking against the
+// known exact solution.
+func Table7(o Options) ([]Table7Row, error) {
+	spec, requests := "poisson2d:24", 60
+	if o.Scale > 64 {
+		spec, requests = "poisson2d:12", 30
+	}
+	m, err := sparse.GenByName(spec)
+	if err != nil {
+		return nil, err
+	}
+	rows := make([]Table7Row, 0, len(table7Scenarios()))
+	for _, sc := range table7Scenarios() {
+		row, err := table7Row(o, m, sc, requests)
+		if err != nil {
+			return nil, fmt.Errorf("table7 %s: %w", sc.name, err)
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+func table7Row(o Options, m *sparse.Matrix, sc table7Scenario, requests int) (Table7Row, error) {
+	opts := serve.Options{
+		Machine:          o.machineConfig(1),
+		Solver:           table7Config(),
+		Workers:          4,
+		ReplicasPerKey:   2,
+		QueueDepth:       requests + 8,
+		RetryMax:         6,
+		RetryBase:        time.Millisecond,
+		BreakerThreshold: -1, // measure the retry path, not breaker shedding
+	}
+	var chaos *fault.Chaos
+	if sc.rate > 0 {
+		chaos = fault.NewChaos(fault.ChaosPlan{
+			Seed:          o.Seed,
+			Rate:          sc.rate,
+			Kinds:         sc.kinds,
+			StallDuration: time.Millisecond,
+		})
+		opts.Chaos = chaos
+	}
+	s := serve.New(opts)
+	defer s.Close()
+
+	info, err := s.Register(m, nil)
+	if err != nil {
+		return Table7Row{}, err
+	}
+	ones := make([]float64, m.N)
+	for i := range ones {
+		ones[i] = 1
+	}
+	b := make([]float64, m.N)
+	m.MulVec(ones, b)
+
+	row := Table7Row{Scenario: sc.name, Rate: sc.rate, Requests: requests}
+	batch := make([][]float64, requests)
+	for i := range batch {
+		batch[i] = b
+	}
+	items, err := s.SolveBatch(context.Background(), info.ID, batch)
+	if err != nil {
+		return Table7Row{}, err
+	}
+	for _, it := range items {
+		if it.Err != nil {
+			continue
+		}
+		row.Served++
+		for _, v := range it.Result.X {
+			if d := v - 1; d > 1e-5 || d < -1e-5 {
+				row.WrongAnswers++
+				break
+			}
+		}
+	}
+	row.Availability = float64(row.Served) / float64(row.Requests)
+
+	st := s.Stats()
+	row.Retries = st.Retries
+	row.Panics = st.Panics
+	row.Quarantined = st.Quarantined
+	row.Rebuilt = st.Rebuilt
+	row.Verified = st.Verified
+	row.P50Ms = st.P50Ms
+	row.P99Ms = st.P99Ms
+	if chaos != nil {
+		row.Injected = len(chaos.Events())
+	}
+	return row, nil
+}
+
+// PrintTable7 renders the chaos study.
+func PrintTable7(o Options, rows []Table7Row) {
+	o.printf("\nTable VII: availability under service-level chaos (supervised solve service)\n")
+	o.printf("seeded campaigns inject replica crashes, stalls, breakdown storms and host\n")
+	o.printf("errors per solve attempt; the supervisor retries, quarantines and rebuilds\n")
+	o.printf("%-16s %5s %5s %6s %6s %6s | %7s %6s %6s %7s | %8s %8s\n",
+		"scenario", "rate", "req", "served", "avail", "wrong",
+		"faults", "retry", "panic", "rebuild", "p50 ms", "p99 ms")
+	for _, r := range rows {
+		o.printf("%-16s %5.2f %5d %6d %5.1f%% %6d | %7d %6d %6d %7d | %8.2f %8.2f\n",
+			r.Scenario, r.Rate, r.Requests, r.Served, 100*r.Availability, r.WrongAnswers,
+			r.Injected, r.Retries, r.Panics, r.Rebuilt, r.P50Ms, r.P99Ms)
+	}
+}

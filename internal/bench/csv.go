@@ -112,6 +112,30 @@ func WriteTable6CSV(w io.Writer, rows []Table6Row) error {
 	return cw.Error()
 }
 
+// WriteTable7CSV writes the chaos-study rows.
+func WriteTable7CSV(w io.Writer, rows []Table7Row) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"scenario", "rate", "requests", "served",
+		"availability", "wrong_answers", "injected", "retries", "panics",
+		"quarantined", "rebuilt", "verified", "p50_ms", "p99_ms"}); err != nil {
+		return err
+	}
+	for _, r := range rows {
+		rec := []string{
+			r.Scenario, fmtF(r.Rate), strconv.Itoa(r.Requests), strconv.Itoa(r.Served),
+			fmtF(r.Availability), strconv.Itoa(r.WrongAnswers), strconv.Itoa(r.Injected),
+			strconv.FormatUint(r.Retries, 10), strconv.FormatUint(r.Panics, 10),
+			strconv.FormatUint(r.Quarantined, 10), strconv.FormatUint(r.Rebuilt, 10),
+			strconv.FormatUint(r.Verified, 10), fmtF(r.P50Ms), fmtF(r.P99Ms),
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
 // RunCSV runs one experiment and writes machine-readable CSV instead of the
 // human-readable table (supported for table4 and the figures).
 func RunCSV(o Options, name string, w io.Writer) error {
@@ -129,6 +153,12 @@ func RunCSV(o Options, name string, w io.Writer) error {
 			return err
 		}
 		return WriteTable6CSV(w, rows)
+	case "table7":
+		rows, err := Table7(o)
+		if err != nil {
+			return err
+		}
+		return WriteTable7CSV(w, rows)
 	case "fig5":
 		pts, err := Fig5(o)
 		if err != nil {

@@ -3,7 +3,7 @@ package bench
 import "fmt"
 
 // Run executes one named experiment and prints its result to o.Out. Known
-// names: table1..table6, fig5..fig10, halo, all.
+// names: table1..table7, fig5..fig10, halo, all.
 func Run(o Options, name string) error {
 	o = o.withDefaults()
 	switch name {
@@ -39,6 +39,12 @@ func Run(o Options, name string) error {
 			return err
 		}
 		PrintTable6(o, rows)
+	case "table7":
+		rows, err := Table7(o)
+		if err != nil {
+			return err
+		}
+		PrintTable7(o, rows)
 	case "halo":
 		rows, err := HaloStudy(o)
 		if err != nil {
@@ -95,7 +101,7 @@ func Run(o Options, name string) error {
 
 // AllExperiments lists every table and figure of the evaluation section.
 var AllExperiments = []string{
-	"table1", "table2", "table3", "table4", "table5", "table6",
+	"table1", "table2", "table3", "table4", "table5", "table6", "table7",
 	"fig5", "fig6", "fig7", "fig8", "fig9", "fig10",
 	"halo",
 }

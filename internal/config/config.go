@@ -21,6 +21,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"time"
 
 	"ipusparse/internal/fault"
 	"ipusparse/internal/ipu"
@@ -97,9 +98,46 @@ type RecoveryConfig struct {
 	Fallback *SolverConfig `json:"fallback,omitempty"`
 }
 
+// ChaosConfig enables a deterministic service-level chaos campaign against
+// the solve service: replica crashes, slow replicas, breakdown storms and
+// transient host errors, drawn from one seeded decision stream. A zero Rate
+// (or a nil ChaosConfig) injects nothing.
+type ChaosConfig struct {
+	// Seed seeds the campaign's decision stream.
+	Seed int64 `json:"seed"`
+	// Rate is the per-solve-attempt fault probability.
+	Rate float64 `json:"rate"`
+	// Kinds restricts injection to the named classes (replica-crash,
+	// replica-stall, breakdown, host-error); empty enables all of them.
+	Kinds []string `json:"kinds,omitempty"`
+	// MaxEvents caps the campaign (0 = unlimited).
+	MaxEvents int `json:"maxEvents,omitempty"`
+	// StallMs is the injected slow-replica delay in milliseconds (0 uses the
+	// fault package default of 50ms).
+	StallMs int `json:"stallMs,omitempty"`
+}
+
+// Plan converts the chaos section into a campaign plan for fault.NewChaos.
+// The kinds have been validated.
+func (cc *ChaosConfig) Plan() fault.ChaosPlan {
+	p := fault.ChaosPlan{
+		Seed:          cc.Seed,
+		Rate:          cc.Rate,
+		MaxEvents:     cc.MaxEvents,
+		StallDuration: time.Duration(cc.StallMs) * time.Millisecond,
+	}
+	for _, name := range cc.Kinds {
+		if k, err := fault.ParseChaosKind(name); err == nil {
+			p.Kinds = append(p.Kinds, k)
+		}
+	}
+	return p
+}
+
 // ServeConfig is the solver-service block: the prepared-pipeline cache, the
-// admission-controlled job queue and the worker pool of ipuserved. Zero
-// values select the serve package defaults.
+// admission-controlled job queue, the worker pool and the resilience layer
+// (retry, hedging, circuit breaking, residual verification, crash-safe
+// registry) of ipuserved. Zero values select the serve package defaults.
 type ServeConfig struct {
 	// Addr is the HTTP listen address of ipuserved (default ":8723").
 	Addr string `json:"addr,omitempty"`
@@ -122,6 +160,37 @@ type ServeConfig struct {
 	Chips int `json:"chips,omitempty"`
 	// Partition is the default partition strategy ("contiguous" or "greedy").
 	Partition string `json:"partition,omitempty"`
+
+	// MaxBodyBytes bounds HTTP request bodies; oversized requests are
+	// rejected with 413 (default 8 MiB).
+	MaxBodyBytes int64 `json:"maxBodyBytes,omitempty"`
+	// VerifyTolerance is the host-side residual-verification threshold: a
+	// solve reported converged whose true relative residual exceeds it is
+	// treated as corrupted and retried, never served (default 1e-4, widened
+	// per system to 100x its configured solve tolerance when that is looser).
+	VerifyTolerance float64 `json:"verifyTolerance,omitempty"`
+	// RetryMax is the number of additional solve attempts after a retryable
+	// failure (default 2; -1 disables retries).
+	RetryMax int `json:"retryMax,omitempty"`
+	// RetryBaseMs is the first retry backoff in milliseconds; each further
+	// attempt doubles it, with jitter (default 5ms).
+	RetryBaseMs int `json:"retryBaseMs,omitempty"`
+	// HedgeAfterMs enables hedged solves: if an attempt has not finished
+	// after max(this floor, the observed p99 latency), a second replica fires
+	// and the first result wins (0 disables hedging).
+	HedgeAfterMs int `json:"hedgeAfterMs,omitempty"`
+	// BreakerThreshold is the consecutive-failure count that opens a
+	// system's circuit breaker (default 5; -1 disables breaking).
+	BreakerThreshold int `json:"breakerThreshold,omitempty"`
+	// BreakerCooldownMs is how long an open breaker sheds load before
+	// admitting a half-open probe (default 1000ms).
+	BreakerCooldownMs int `json:"breakerCooldownMs,omitempty"`
+	// StateDir enables the crash-safe registry: registrations are logged to
+	// an append-only WAL (plus snapshot) under this directory and replayed
+	// on startup, so a restarted server re-prepares its systems.
+	StateDir string `json:"stateDir,omitempty"`
+	// Chaos enables a deterministic service-level chaos campaign.
+	Chaos *ChaosConfig `json:"chaos,omitempty"`
 }
 
 // Config is the root of a solver configuration file.
@@ -237,10 +306,33 @@ func (c Config) Validate() error {
 			s.Workers < 0 || s.DefaultTimeoutMs < 0 || s.Tiles < 0 || s.Chips < 0 {
 			return fmt.Errorf("config: negative serve parameter")
 		}
+		if s.MaxBodyBytes < 0 || s.VerifyTolerance < 0 || s.RetryBaseMs < 0 ||
+			s.HedgeAfterMs < 0 || s.BreakerCooldownMs < 0 {
+			return fmt.Errorf("config: negative serve resilience parameter")
+		}
+		if s.RetryMax < -1 {
+			return fmt.Errorf("config: serve.retryMax must be >= -1, got %d", s.RetryMax)
+		}
+		if s.BreakerThreshold < -1 {
+			return fmt.Errorf("config: serve.breakerThreshold must be >= -1, got %d", s.BreakerThreshold)
+		}
 		switch s.Partition {
 		case "", "contiguous", "greedy":
 		default:
 			return fmt.Errorf("config: serve.partition must be contiguous or greedy, got %q", s.Partition)
+		}
+		if ch := s.Chaos; ch != nil {
+			if ch.Rate < 0 || ch.Rate > 1 {
+				return fmt.Errorf("config: serve.chaos.rate must be in [0,1], got %v", ch.Rate)
+			}
+			for _, k := range ch.Kinds {
+				if _, err := fault.ParseChaosKind(k); err != nil {
+					return fmt.Errorf("config: %w", err)
+				}
+			}
+			if ch.MaxEvents < 0 || ch.StallMs < 0 {
+				return fmt.Errorf("config: negative serve.chaos budget")
+			}
 		}
 	}
 	return nil

@@ -93,16 +93,7 @@ func Solve(machineCfg ipu.Config, m *sparse.Matrix, b []float64, cfg config.Conf
 // non-nil the BSP phase timeline is written there in Chrome trace-event JSON
 // (loadable in chrome://tracing / Perfetto — the PopVision role).
 func SolveTraced(machineCfg ipu.Config, m *sparse.Matrix, b []float64, cfg config.Config, strategy PartitionStrategy, traceOut io.Writer) (*Result, error) {
-	if err := cfg.Validate(); err != nil {
-		return nil, err
-	}
-	// The injector must be registered before any tensors exist so bit flips
-	// can target every device buffer the program allocates.
-	var inj *fault.Injector
-	if cfg.Fault != nil && cfg.Fault.Rate > 0 {
-		inj = fault.New(cfg.Fault.Plan())
-	}
-	p, err := prepare(machineCfg, m, cfg, strategy, inj)
+	p, err := Prepare(machineCfg, m, cfg, strategy)
 	if err != nil {
 		return nil, err
 	}

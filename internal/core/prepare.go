@@ -1,7 +1,6 @@
 package core
 
 import (
-	"errors"
 	"fmt"
 	"io"
 	"sync"
@@ -15,11 +14,11 @@ import (
 	"ipusparse/internal/sparse"
 )
 
-// ErrPreparedFault rejects fault-injection campaigns on prepared pipelines:
-// a campaign's decision stream is consumed across supersteps, so re-running
-// the program would continue mid-stream instead of reproducing the campaign.
-// Fault studies go through Solve/SolveTraced, which build a fresh pipeline.
-var ErrPreparedFault = errors.New("core: fault campaigns are not supported on prepared pipelines")
+// Fault campaigns on prepared pipelines: the injector's decision stream is
+// re-armed from its seed before every execution (ResetForRun), so each warm
+// Solve reproduces the campaign exactly as a cold Solve of the same program
+// would. This is what lets the service layer run deterministic chaos studies
+// through warm pipelines instead of rebuilding one per faulted solve.
 
 // Prepared is a compiled solver pipeline bound to one matrix: the simulated
 // machine, the partitioned and uploaded system, the constructed solver
@@ -54,10 +53,13 @@ func Prepare(machineCfg ipu.Config, m *sparse.Matrix, cfg config.Config, strateg
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
+	// The injector must be registered before any tensors exist so bit flips
+	// can target every device buffer the program allocates.
+	var inj *fault.Injector
 	if cfg.Fault != nil && cfg.Fault.Rate > 0 {
-		return nil, ErrPreparedFault
+		inj = fault.New(cfg.Fault.Plan())
 	}
-	return prepare(machineCfg, m, cfg, strategy, nil)
+	return prepare(machineCfg, m, cfg, strategy, inj)
 }
 
 // prepare builds the full pipeline up to (but not including) execution. The
@@ -183,6 +185,11 @@ func (p *Prepared) run(b []float64, traceOut io.Writer) (*Result, error) {
 		return nil, err
 	}
 	p.ctx.Machine.ResetStats()
+	if p.inj != nil {
+		// Re-arm the campaign so this run draws the same decision stream a
+		// cold run of the same program would.
+		p.inj.ResetForRun()
+	}
 
 	eng := graph.NewEngine(p.ctx.Machine)
 	if p.inj != nil {

@@ -169,12 +169,52 @@ func TestPreparedSameRHSTwiceIsDeterministic(t *testing.T) {
 	assertIdentical(t, "repeat", r2, r1)
 }
 
-func TestPreparedRejectsFaultCampaign(t *testing.T) {
-	m, _, _ := poissonProblem(8, 8)
-	cfg := config.Default()
-	cfg.Fault = &config.FaultConfig{Seed: 1, Rate: 0.01}
-	if _, err := Prepare(smallMachine(4), m, cfg, PartitionContiguous); err != ErrPreparedFault {
-		t.Fatalf("expected ErrPreparedFault, got %v", err)
+// TestPreparedFaultCampaignReproduces runs a deterministic fault campaign
+// through a warm prepared pipeline: every warm Solve must re-arm the
+// injector's decision stream and reproduce the cold run bit for bit —
+// the same injected events, the same stalled cycles, the same solution.
+func TestPreparedFaultCampaignReproduces(t *testing.T) {
+	m, b, _ := poissonProblem(8, 8)
+	cfg := config.Config{Solver: config.SolverConfig{
+		Type:           "pbicgstab",
+		MaxIterations:  400,
+		Tolerance:      1e-10,
+		Preconditioner: &config.SolverConfig{Type: "ilu0"},
+	}}
+	// Tile stalls perturb only the cycle accounting, so the campaign is
+	// visible (injected events, stretched supersteps) without threatening
+	// convergence.
+	cfg.Fault = &config.FaultConfig{Seed: 7, Rate: 0.05, Kinds: []string{"tile-stall"}}
+	mc := smallMachine(4)
+
+	cold, err := Solve(mc, m, b, cfg, PartitionContiguous)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cold.Faults) == 0 {
+		t.Fatal("campaign injected no faults; raise the rate")
+	}
+
+	p, err := Prepare(mc, m, cfg, PartitionContiguous)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for run := 0; run < 2; run++ {
+		warm, err := p.Solve(b)
+		if err != nil {
+			t.Fatalf("warm run %d: %v", run, err)
+		}
+		assertIdentical(t, "faulted warm", warm, cold)
+		if len(warm.Faults) != len(cold.Faults) {
+			t.Fatalf("warm run %d: %d fault events, cold %d",
+				run, len(warm.Faults), len(cold.Faults))
+		}
+		for i := range warm.Faults {
+			if warm.Faults[i] != cold.Faults[i] {
+				t.Fatalf("warm run %d: fault[%d] = %v, cold %v",
+					run, i, warm.Faults[i], cold.Faults[i])
+			}
+		}
 	}
 }
 

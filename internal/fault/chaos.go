@@ -1,0 +1,201 @@
+package fault
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+)
+
+// This file is the service-level chaos layer: where the Injector perturbs one
+// program execution at BSP superstep boundaries, Chaos perturbs the solve
+// service around the numerics — replicas that die mid-solve, replicas that
+// stall past the deadline, storms of Krylov breakdowns and transient host
+// errors. It reuses the package's seeded-campaign machinery (one decision
+// stream consulted in deterministic order, an event log, a fault cap), so a
+// chaos study replays exactly under the same seed and consultation order.
+
+// ErrChaosHost is the transient host-side failure a chaos campaign injects
+// into a replica solve (distinct from ErrHostTransient, which the Injector
+// surfaces from inside a program execution).
+var ErrChaosHost = errors.New("fault: chaos-injected transient host error")
+
+// ChaosKind enumerates the service-level fault classes.
+type ChaosKind int
+
+// Chaos kinds.
+const (
+	// ChaosNone is the no-fault decision.
+	ChaosNone ChaosKind = iota
+	// ChaosCrash kills the replica mid-solve (the serve layer realizes it as
+	// a panic inside the worker, caught by its recover() isolation).
+	ChaosCrash
+	// ChaosStall delays the replica by the plan's StallDuration — a slow
+	// replica that hedged solves and deadlines must route around.
+	ChaosStall
+	// ChaosBreakdown makes the solve report a Krylov breakdown (a breakdown
+	// storm when the rate is high).
+	ChaosBreakdown
+	// ChaosHostError makes the solve fail with a transient host error.
+	ChaosHostError
+	numChaosKinds int = iota
+)
+
+// String implements fmt.Stringer.
+func (k ChaosKind) String() string {
+	switch k {
+	case ChaosNone:
+		return "none"
+	case ChaosCrash:
+		return "replica-crash"
+	case ChaosStall:
+		return "replica-stall"
+	case ChaosBreakdown:
+		return "breakdown"
+	case ChaosHostError:
+		return "host-error"
+	}
+	return fmt.Sprintf("ChaosKind(%d)", int(k))
+}
+
+// chaosKindNames maps configuration names to kinds (the service config block
+// uses these).
+var chaosKindNames = map[string]ChaosKind{
+	"replica-crash": ChaosCrash,
+	"replica-stall": ChaosStall,
+	"breakdown":     ChaosBreakdown,
+	"host-error":    ChaosHostError,
+}
+
+// ParseChaosKind resolves a configuration name to its kind.
+func ParseChaosKind(name string) (ChaosKind, error) {
+	k, ok := chaosKindNames[name]
+	if !ok {
+		return ChaosNone, fmt.Errorf("fault: unknown chaos kind %q", name)
+	}
+	return k, nil
+}
+
+// ChaosPlan configures a service-level campaign. The zero value injects
+// nothing.
+type ChaosPlan struct {
+	// Seed seeds the decision stream; the same seed and consultation order
+	// reproduce the same campaign.
+	Seed int64
+	// Rate is the per-solve fault probability.
+	Rate float64
+	// Kinds restricts injection to the listed classes; empty enables all.
+	Kinds []ChaosKind
+	// MaxEvents caps the campaign (0 = unlimited).
+	MaxEvents int
+	// StallDuration is the injected slow-replica delay (default 50ms).
+	StallDuration time.Duration
+}
+
+// Enabled reports whether the plan injects kind k.
+func (p ChaosPlan) Enabled(k ChaosKind) bool {
+	if len(p.Kinds) == 0 {
+		return true
+	}
+	for _, e := range p.Kinds {
+		if e == k {
+			return true
+		}
+	}
+	return false
+}
+
+// ChaosEvent records one injected service-level fault.
+type ChaosEvent struct {
+	Kind   ChaosKind
+	System string // registered-system id of the afflicted solve
+	Seq    uint64 // consultation sequence number
+}
+
+// String implements fmt.Stringer.
+func (ev ChaosEvent) String() string {
+	return fmt.Sprintf("%v on %s (solve %d)", ev.Kind, ev.System, ev.Seq)
+}
+
+// ChaosDecision is the outcome of one consultation: what the afflicted solve
+// attempt should suffer.
+type ChaosDecision struct {
+	Kind ChaosKind
+	// Stall is the injected delay for ChaosStall decisions.
+	Stall time.Duration
+}
+
+// Chaos is one service-level campaign. Decide is consulted once per solve
+// attempt; decisions come from a single seeded stream guarded by a mutex, so
+// a single-client campaign is exactly reproducible and a concurrent one stays
+// deterministic in aggregate (same decision multiset under the same rate and
+// attempt count).
+type Chaos struct {
+	mu       sync.Mutex
+	plan     ChaosPlan
+	rng      *rand.Rand
+	events   []ChaosEvent
+	injected int
+	seq      uint64
+}
+
+// NewChaos creates a campaign for the plan, applying defaults.
+func NewChaos(plan ChaosPlan) *Chaos {
+	if plan.StallDuration <= 0 {
+		plan.StallDuration = 50 * time.Millisecond
+	}
+	return &Chaos{plan: plan, rng: rand.New(rand.NewSource(plan.Seed))}
+}
+
+// Plan returns the (defaulted) campaign configuration.
+func (c *Chaos) Plan() ChaosPlan { return c.plan }
+
+// Decide draws the fate of one solve attempt against the named system. It
+// always consumes exactly one draw so the stream stays aligned across runs.
+func (c *Chaos) Decide(system string) ChaosDecision {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.seq++
+	hit := c.rng.Float64() < c.plan.Rate
+	if !hit || (c.plan.MaxEvents > 0 && c.injected >= c.plan.MaxEvents) {
+		return ChaosDecision{Kind: ChaosNone}
+	}
+	avail := make([]ChaosKind, 0, numChaosKinds)
+	for k := ChaosCrash; int(k) < numChaosKinds; k++ {
+		if c.plan.Enabled(k) {
+			avail = append(avail, k)
+		}
+	}
+	if len(avail) == 0 {
+		return ChaosDecision{Kind: ChaosNone}
+	}
+	kind := avail[c.rng.Intn(len(avail))]
+	c.injected++
+	c.events = append(c.events, ChaosEvent{Kind: kind, System: system, Seq: c.seq})
+	d := ChaosDecision{Kind: kind}
+	if kind == ChaosStall {
+		d.Stall = c.plan.StallDuration
+	}
+	return d
+}
+
+// Events returns a snapshot of the chronological event log.
+func (c *Chaos) Events() []ChaosEvent {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return append([]ChaosEvent(nil), c.events...)
+}
+
+// Count returns the number of injected events of kind k.
+func (c *Chaos) Count(k ChaosKind) int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	n := 0
+	for _, ev := range c.events {
+		if ev.Kind == k {
+			n++
+		}
+	}
+	return n
+}

@@ -1,0 +1,121 @@
+package fault
+
+import (
+	"testing"
+	"time"
+)
+
+// TestChaosDeterministic replays a campaign under the same seed and
+// consultation order and requires identical decisions and event logs.
+func TestChaosDeterministic(t *testing.T) {
+	plan := ChaosPlan{Seed: 11, Rate: 0.3, MaxEvents: 20}
+	run := func() ([]ChaosDecision, []ChaosEvent) {
+		c := NewChaos(plan)
+		decisions := make([]ChaosDecision, 0, 100)
+		for i := 0; i < 100; i++ {
+			decisions = append(decisions, c.Decide("sys-a"))
+		}
+		return decisions, c.Events()
+	}
+	d1, e1 := run()
+	d2, e2 := run()
+	if len(d1) != len(d2) {
+		t.Fatalf("decision counts differ: %d vs %d", len(d1), len(d2))
+	}
+	for i := range d1 {
+		if d1[i] != d2[i] {
+			t.Fatalf("decision %d differs: %+v vs %+v", i, d1[i], d2[i])
+		}
+	}
+	if len(e1) != len(e2) {
+		t.Fatalf("event counts differ: %d vs %d", len(e1), len(e2))
+	}
+	for i := range e1 {
+		if e1[i] != e2[i] {
+			t.Fatalf("event %d differs: %v vs %v", i, e1[i], e2[i])
+		}
+	}
+	if len(e1) == 0 {
+		t.Fatal("campaign injected nothing at rate 0.3 over 100 draws")
+	}
+	if len(e1) > plan.MaxEvents {
+		t.Fatalf("injected %d events past the cap %d", len(e1), plan.MaxEvents)
+	}
+}
+
+func TestChaosKindRestriction(t *testing.T) {
+	c := NewChaos(ChaosPlan{Seed: 3, Rate: 1, Kinds: []ChaosKind{ChaosStall},
+		StallDuration: 7 * time.Millisecond})
+	for i := 0; i < 10; i++ {
+		d := c.Decide("s")
+		if d.Kind != ChaosStall {
+			t.Fatalf("decision %d: kind %v, want replica-stall only", i, d.Kind)
+		}
+		if d.Stall != 7*time.Millisecond {
+			t.Fatalf("stall = %v, want 7ms", d.Stall)
+		}
+	}
+	if got := c.Count(ChaosStall); got != 10 {
+		t.Fatalf("Count(stall) = %d, want 10", got)
+	}
+	if got := c.Count(ChaosCrash); got != 0 {
+		t.Fatalf("Count(crash) = %d, want 0", got)
+	}
+}
+
+func TestChaosZeroRateInjectsNothing(t *testing.T) {
+	c := NewChaos(ChaosPlan{Seed: 5})
+	for i := 0; i < 50; i++ {
+		if d := c.Decide("s"); d.Kind != ChaosNone {
+			t.Fatalf("zero-rate campaign injected %v", d.Kind)
+		}
+	}
+	if n := len(c.Events()); n != 0 {
+		t.Fatalf("zero-rate campaign logged %d events", n)
+	}
+}
+
+func TestParseChaosKind(t *testing.T) {
+	for name, want := range map[string]ChaosKind{
+		"replica-crash": ChaosCrash, "replica-stall": ChaosStall,
+		"breakdown": ChaosBreakdown, "host-error": ChaosHostError,
+	} {
+		k, err := ParseChaosKind(name)
+		if err != nil || k != want {
+			t.Fatalf("ParseChaosKind(%q) = %v, %v", name, k, err)
+		}
+	}
+	if _, err := ParseChaosKind("meteor-strike"); err == nil {
+		t.Fatal("unknown kind accepted")
+	}
+}
+
+// TestInjectorResetForRun re-arms a campaign and requires the decision stream
+// to restart from the seed: same consultations, same outcomes, fresh log.
+func TestInjectorResetForRun(t *testing.T) {
+	plan := Plan{Seed: 9, Rate: 0.5, Kinds: []Kind{TileStall}}
+	in := New(plan)
+	first := make([][2]uint64, 0, 40)
+	for i := 0; i < 40; i++ {
+		tile, stall := in.ComputeFault("step", uint64(i), 8)
+		first = append(first, [2]uint64{uint64(int64(tile)) & 0xffff, stall})
+	}
+	ev1 := len(in.Events)
+	if ev1 == 0 {
+		t.Fatal("campaign injected nothing")
+	}
+	in.ResetForRun()
+	if len(in.Events) != 0 {
+		t.Fatalf("reset left %d events", len(in.Events))
+	}
+	for i := 0; i < 40; i++ {
+		tile, stall := in.ComputeFault("step", uint64(i), 8)
+		got := [2]uint64{uint64(int64(tile)) & 0xffff, stall}
+		if got != first[i] {
+			t.Fatalf("consultation %d after reset: %v, first run %v", i, got, first[i])
+		}
+	}
+	if len(in.Events) != ev1 {
+		t.Fatalf("replay logged %d events, first run %d", len(in.Events), ev1)
+	}
+}

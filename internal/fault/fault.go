@@ -184,6 +184,20 @@ func New(plan Plan) *Injector {
 // Plan returns the (defaulted) campaign configuration.
 func (in *Injector) Plan() Plan { return in.plan }
 
+// ResetForRun re-arms the campaign for a fresh program execution: the
+// decision stream restarts from the seed, the event log clears and every
+// retry budget renews, while registered buffers are kept (a prepared pipeline
+// re-runs against the same device memory). After a reset the injector
+// reproduces the campaign exactly, so a warm (*core.Prepared).Solve observes
+// the same fault sequence as a cold Solve of the same program.
+func (in *Injector) ResetForRun() {
+	in.rng = rand.New(rand.NewSource(in.plan.Seed))
+	in.Events = nil
+	in.injected = 0
+	in.dropsUsed, in.dropSS = 0, 0
+	in.hostUsed, in.hostSS = 0, 0
+}
+
 // RegisterBuffer implements graph.MemoryRegistry.
 func (in *Injector) RegisterBuffer(tile int, name string, buf *graph.Buffer) {
 	if buf == nil || buf.Len() == 0 {

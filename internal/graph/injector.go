@@ -1,6 +1,9 @@
 package graph
 
-import "fmt"
+import (
+	"errors"
+	"fmt"
+)
 
 // This file defines the fault-injection seams of the engine. The concrete
 // injector lives in internal/fault; the interfaces here keep graph free of
@@ -82,3 +85,15 @@ func (e *StepError) Error() string {
 
 // Unwrap exposes the underlying cause for errors.Is/As.
 func (e *StepError) Unwrap() error { return e.Err }
+
+// AsStepError extracts a StepError from an error chain. Supervision layers
+// use it to recognize engine-surfaced faults — failures that may have left
+// device memory poisoned mid-program — without importing errors.As plumbing
+// at every call site.
+func AsStepError(err error) (*StepError, bool) {
+	var se *StepError
+	if errors.As(err, &se) {
+		return se, true
+	}
+	return nil, false
+}

@@ -66,6 +66,10 @@ type BatchResponse struct {
 //	GET  /v1/systems            list registered systems
 //	GET  /v1/stats              service counters
 //	GET  /healthz               liveness
+//	GET  /readyz                readiness (503 while draining or degraded)
+//
+// Request bodies are bounded by Options.MaxBodyBytes; oversized requests are
+// rejected with 413.
 func (s *Service) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/systems", s.handleRegister)
@@ -75,7 +79,49 @@ func (s *Service) Handler() http.Handler {
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 	})
+	mux.HandleFunc("GET /readyz", s.handleReady)
 	return mux
+}
+
+// handleReady reports whether the service is accepting and completing work:
+// 503 once Close started draining or when every registered system's circuit
+// breaker is open (the service is up but cannot currently serve an answer).
+func (s *Service) handleReady(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	closed := s.closed
+	systems := len(s.systems)
+	s.mu.Unlock()
+	open := s.openBreakers()
+	body := map[string]any{
+		"status":       "ok",
+		"systems":      systems,
+		"breakersOpen": open,
+		"queueDepth":   len(s.jobs),
+	}
+	switch {
+	case closed:
+		body["status"] = "draining"
+		writeJSON(w, http.StatusServiceUnavailable, body)
+	case systems > 0 && open >= systems:
+		body["status"] = "degraded"
+		writeJSON(w, http.StatusServiceUnavailable, body)
+	default:
+		writeJSON(w, http.StatusOK, body)
+	}
+}
+
+// decodeBody decodes a JSON request body bounded by MaxBodyBytes, converting
+// an overrun into the typed ErrBodyTooLarge.
+func (s *Service) decodeBody(w http.ResponseWriter, r *http.Request, v any) error {
+	body := http.MaxBytesReader(w, r.Body, s.opts.MaxBodyBytes)
+	if err := json.NewDecoder(body).Decode(v); err != nil {
+		var mbe *http.MaxBytesError
+		if errors.As(err, &mbe) {
+			return fmt.Errorf("%w (limit %d bytes)", ErrBodyTooLarge, mbe.Limit)
+		}
+		return fmt.Errorf("bad request body: %w", err)
+	}
+	return nil
 }
 
 // httpStatus maps service errors to status codes.
@@ -85,8 +131,10 @@ func httpStatus(err error) int {
 		return http.StatusNotFound
 	case errors.Is(err, ErrOverloaded):
 		return http.StatusTooManyRequests
-	case errors.Is(err, ErrClosed):
+	case errors.Is(err, ErrClosed), errors.Is(err, ErrCircuitOpen):
 		return http.StatusServiceUnavailable
+	case errors.Is(err, ErrBodyTooLarge):
+		return http.StatusRequestEntityTooLarge
 	case errors.Is(err, context.DeadlineExceeded):
 		return http.StatusGatewayTimeout
 	case errors.Is(err, context.Canceled):
@@ -108,8 +156,8 @@ func writeError(w http.ResponseWriter, err error) {
 
 func (s *Service) handleRegister(w http.ResponseWriter, r *http.Request) {
 	var req RegisterRequest
-	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		writeError(w, fmt.Errorf("bad request body: %w", err))
+	if err := s.decodeBody(w, r, &req); err != nil {
+		writeError(w, err)
 		return
 	}
 	m, err := buildMatrix(req)
@@ -160,8 +208,8 @@ func (s *Service) handleStats(w http.ResponseWriter, r *http.Request) {
 func (s *Service) handleSolve(w http.ResponseWriter, r *http.Request) {
 	id := r.PathValue("id")
 	var req SolveRequest
-	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		writeError(w, fmt.Errorf("bad request body: %w", err))
+	if err := s.decodeBody(w, r, &req); err != nil {
+		writeError(w, err)
 		return
 	}
 	ctx := r.Context()

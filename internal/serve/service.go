@@ -13,11 +13,13 @@ import (
 	"errors"
 	"fmt"
 	"hash/fnv"
+	"math/rand"
 	"sync"
 	"time"
 
 	"ipusparse/internal/config"
 	"ipusparse/internal/core"
+	"ipusparse/internal/fault"
 	"ipusparse/internal/ipu"
 	"ipusparse/internal/sparse"
 )
@@ -31,6 +33,12 @@ var (
 	ErrNotFound = errors.New("serve: unknown system")
 	// ErrClosed rejects work submitted after Close started draining.
 	ErrClosed = errors.New("serve: service closed")
+	// ErrCircuitOpen sheds a solve because the system's circuit breaker is
+	// open: it has failed repeatedly and is cooling down before a probe.
+	ErrCircuitOpen = errors.New("serve: circuit open")
+	// ErrBodyTooLarge rejects an HTTP request whose body exceeds the
+	// configured limit.
+	ErrBodyTooLarge = errors.New("serve: request body too large")
 )
 
 // Options configures a Service. The zero value of each field selects the
@@ -44,6 +52,17 @@ type Options struct {
 	Machine        ipu.Config             // simulated machine (default 64-tile single-chip Mk2)
 	Strategy       core.PartitionStrategy // partition strategy (default contiguous)
 	Solver         config.Config          // solver configuration for registered systems
+
+	// Resilience layer.
+	MaxBodyBytes    int64         // HTTP request-body bound (default 8 MiB)
+	VerifyTolerance float64       // residual-verification threshold (default 1e-4)
+	RetryMax        int           // extra attempts after a retryable failure (default 2, -1 disables)
+	RetryBase       time.Duration // first retry backoff, doubled with jitter (default 5ms)
+	HedgeAfter      time.Duration // hedged-solve floor delay (0 disables hedging)
+	BreakerThreshold int          // consecutive failures that open a breaker (default 5, -1 disables)
+	BreakerCooldown time.Duration // open-breaker cooldown before a half-open probe (default 1s)
+	StateDir        string        // crash-safe registry directory ("" disables persistence)
+	Chaos           *fault.Chaos  // service-level chaos campaign (nil disables)
 }
 
 // OptionsFromConfig derives service options from a configuration file: the
@@ -62,6 +81,17 @@ func OptionsFromConfig(c config.Config) Options {
 		o.Workers = s.Workers
 		o.DefaultTimeout = time.Duration(s.DefaultTimeoutMs) * time.Millisecond
 		o.Strategy = core.PartitionStrategy(s.Partition)
+		o.MaxBodyBytes = s.MaxBodyBytes
+		o.VerifyTolerance = s.VerifyTolerance
+		o.RetryMax = s.RetryMax
+		o.RetryBase = time.Duration(s.RetryBaseMs) * time.Millisecond
+		o.HedgeAfter = time.Duration(s.HedgeAfterMs) * time.Millisecond
+		o.BreakerThreshold = s.BreakerThreshold
+		o.BreakerCooldown = time.Duration(s.BreakerCooldownMs) * time.Millisecond
+		o.StateDir = s.StateDir
+		if ch := s.Chaos; ch != nil && ch.Rate > 0 {
+			o.Chaos = fault.NewChaos(ch.Plan())
+		}
 		if s.Tiles > 0 || s.Chips > 0 {
 			mc := ipu.Mk2M2000()
 			if s.Tiles > 0 {
@@ -104,6 +134,27 @@ func (o *Options) fill() {
 	if o.Solver.Solver.Type == "" {
 		o.Solver = config.Default()
 	}
+	if o.MaxBodyBytes <= 0 {
+		o.MaxBodyBytes = 8 << 20
+	}
+	if o.VerifyTolerance <= 0 {
+		// True (host-recomputed) residuals of converged working-precision
+		// solves land around 1e-6; corrupted answers miss by orders of
+		// magnitude, so 1e-4 separates them with margin on both sides.
+		o.VerifyTolerance = 1e-4
+	}
+	if o.RetryMax == 0 {
+		o.RetryMax = 2
+	}
+	if o.RetryBase <= 0 {
+		o.RetryBase = 5 * time.Millisecond
+	}
+	if o.BreakerThreshold == 0 {
+		o.BreakerThreshold = 5
+	}
+	if o.BreakerCooldown <= 0 {
+		o.BreakerCooldown = time.Second
+	}
 }
 
 // Key identifies one prepared pipeline: the exact matrix (fingerprint over
@@ -131,13 +182,15 @@ func configHash(c config.Config) uint64 {
 }
 
 // system is one registered linear system: the matrix is retained so evicted
-// pipelines can be re-prepared on demand.
+// pipelines can be re-prepared on demand and so every returned answer can be
+// residual-verified against the true operator.
 type system struct {
-	id     string
-	m      *sparse.Matrix
-	cfg    config.Config
-	key    Key
-	solver string // solver name, filled at registration
+	id        string
+	m         *sparse.Matrix
+	cfg       config.Config
+	key       Key
+	solver    string  // solver name, filled at registration
+	verifyTol float64 // effective residual-verification threshold
 }
 
 // entry is one cache slot: a pool of idle Prepared replicas for a key. idle
@@ -165,37 +218,101 @@ type jobResult struct {
 }
 
 // Service is the solver service: registry, prepared-pipeline cache, job
-// queue and worker pool.
+// queue, worker pool and the supervision layer around them (retry, hedging,
+// circuit breaking, replica quarantine, residual verification, crash-safe
+// registry persistence).
 type Service struct {
 	opts Options
 
-	mu      sync.Mutex
-	closed  bool
-	systems map[string]*system
-	cache   map[Key]*entry
-	lru     *list.List // front = most recently used
+	// baseCtx is the service-lifetime context: warm-up prepares and replica
+	// rebuilds run under it, so Close cancels them instead of leaking work.
+	baseCtx context.Context
+	cancel  context.CancelFunc
+
+	mu       sync.Mutex
+	closed   bool
+	systems  map[string]*system
+	cache    map[Key]*entry
+	lru      *list.List // front = most recently used
+	breakers map[string]*breaker
+
+	registry *registry // crash-safe registration log (nil without a StateDir)
 
 	jobs chan *job
 	wg   sync.WaitGroup
+	aux  sync.WaitGroup // hedge attempts and replica rebuilds in flight
+
+	jitterMu sync.Mutex
+	jitter   *rand.Rand
+
+	// corruptHook, when set by tests, mutates each successful solution
+	// before residual verification — simulating silent device corruption.
+	corruptHook func(x []float64)
 
 	stats statsCollector
 }
 
-// New starts a service with its worker pool running.
+// New starts a service with its worker pool running. Registrations are not
+// persisted even when opts.StateDir is set — use Open for a crash-safe
+// service.
 func New(opts Options) *Service {
 	opts.fill()
 	s := &Service{
-		opts:    opts,
-		systems: make(map[string]*system),
-		cache:   make(map[Key]*entry),
-		lru:     list.New(),
-		jobs:    make(chan *job, opts.QueueDepth),
+		opts:     opts,
+		systems:  make(map[string]*system),
+		cache:    make(map[Key]*entry),
+		lru:      list.New(),
+		breakers: make(map[string]*breaker),
+		jobs:     make(chan *job, opts.QueueDepth),
+		jitter:   rand.New(rand.NewSource(1)),
 	}
+	s.baseCtx, s.cancel = context.WithCancel(context.Background())
 	s.wg.Add(opts.Workers)
 	for i := 0; i < opts.Workers; i++ {
 		go s.worker()
 	}
 	return s
+}
+
+// Open starts a crash-safe service: when opts.StateDir is set, the
+// registration WAL and snapshot under it are replayed (each recovered system
+// is re-prepared exactly as a fresh registration would be), the state is
+// compacted into a new snapshot, and every subsequent registration is
+// appended to the WAL before it is acknowledged.
+func Open(opts Options) (*Service, error) {
+	s := New(opts)
+	if s.opts.StateDir == "" {
+		return s, nil
+	}
+	reg, recs, err := openRegistry(s.opts.StateDir)
+	if err != nil {
+		s.Close()
+		return nil, err
+	}
+	for _, rec := range recs {
+		m, err := rec.matrix()
+		if err != nil {
+			s.Close()
+			reg.close()
+			return nil, fmt.Errorf("serve: replaying %s: %w", rec.ID, err)
+		}
+		cfg := rec.Config
+		if _, err := s.register(m, &cfg); err != nil {
+			s.Close()
+			reg.close()
+			return nil, fmt.Errorf("serve: replaying %s: %w", rec.ID, err)
+		}
+	}
+	// Registry attaches only after replay, so replayed registrations are not
+	// re-appended; compaction folds the old WAL into a fresh snapshot.
+	s.mu.Lock()
+	s.registry = reg
+	s.mu.Unlock()
+	if err := s.compact(); err != nil {
+		s.Close()
+		return nil, err
+	}
+	return s, nil
 }
 
 // SystemInfo describes a registered system.
@@ -210,7 +327,13 @@ type SystemInfo struct {
 // prepared replica, so registration validates the configuration and the
 // first solve is already amortized. A nil cfg uses the service's default
 // solver configuration. Registering the same matrix again is idempotent.
+// With a crash-safe registry attached, the registration is appended to the
+// WAL before it is acknowledged.
 func (s *Service) Register(m *sparse.Matrix, cfg *config.Config) (SystemInfo, error) {
+	return s.register(m, cfg)
+}
+
+func (s *Service) register(m *sparse.Matrix, cfg *config.Config) (SystemInfo, error) {
 	c := s.opts.Solver
 	if cfg != nil {
 		c = *cfg
@@ -228,6 +351,7 @@ func (s *Service) Register(m *sparse.Matrix, cfg *config.Config) (SystemInfo, er
 			Machine:  s.opts.Machine,
 			Strategy: s.opts.Strategy,
 		},
+		verifyTol: verifyTolFor(s.opts.VerifyTolerance, c),
 	}
 
 	s.mu.Lock()
@@ -240,15 +364,27 @@ func (s *Service) Register(m *sparse.Matrix, cfg *config.Config) (SystemInfo, er
 		s.mu.Unlock()
 		return info, nil
 	}
+	reg := s.registry
 	s.mu.Unlock()
 
-	// Warm the cache outside the lock: preparing is the expensive phase.
-	p, ent, err := s.acquire(context.Background(), sys)
+	// Warm the cache outside the lock: preparing is the expensive phase. The
+	// service-lifetime context cancels the warm-up when Close starts
+	// draining, so shutdown never waits on (or leaks) a half-built replica.
+	p, ent, err := s.acquire(s.baseCtx, sys)
 	if err != nil {
 		return SystemInfo{}, err
 	}
 	sys.solver = p.SolverName()
 	s.release(ent, p)
+
+	// Durability before acknowledgement: the record hits the WAL (fsynced)
+	// before the system becomes visible, so an acknowledged registration
+	// survives a crash.
+	if reg != nil {
+		if err := reg.append(newRegistryRecord(sys)); err != nil {
+			return SystemInfo{}, fmt.Errorf("serve: persisting registration: %w", err)
+		}
+	}
 
 	s.mu.Lock()
 	if s.closed {
@@ -258,6 +394,20 @@ func (s *Service) Register(m *sparse.Matrix, cfg *config.Config) (SystemInfo, er
 	s.systems[sys.id] = sys
 	s.mu.Unlock()
 	return SystemInfo{ID: sys.id, N: sys.m.N, NNZ: sys.m.NNZ(), Solver: sys.solver}, nil
+}
+
+// verifyTolFor widens the service's verification threshold for systems whose
+// configured solve tolerance is looser than it: an honest answer at the
+// configured tolerance must never be classified as corrupt.
+func verifyTolFor(base float64, c config.Config) float64 {
+	tol := c.Solver.Tolerance
+	if c.MPIR != nil && c.MPIR.Tolerance > 0 {
+		tol = c.MPIR.Tolerance
+	}
+	if t := 100 * tol; t > base {
+		return t
+	}
+	return base
 }
 
 // Systems lists the registered systems.
@@ -382,17 +532,27 @@ func (s *Service) worker() {
 	}
 }
 
+// execute runs one job through the supervision layer: circuit-breaker gate,
+// then the retry/hedge loop of supervised, recording the outcome on the
+// system's breaker.
 func (s *Service) execute(j *job) jobResult {
 	if err := j.ctx.Err(); err != nil {
 		return jobResult{err: err}
 	}
-	p, ent, err := s.acquire(j.ctx, j.sys)
-	if err != nil {
-		return jobResult{err: err}
+	br := s.breakerFor(j.sys.id)
+	if br != nil && !br.allow() {
+		s.stats.breakerRejected.Add(1)
+		return jobResult{err: fmt.Errorf("%w: %s", ErrCircuitOpen, j.sys.id)}
 	}
 	start := time.Now()
-	res, err := p.Solve(j.b)
-	s.release(ent, p)
+	res, err := s.supervised(j.ctx, j.sys, j.b)
+	if br != nil {
+		if err == nil {
+			br.success()
+		} else if !errors.Is(err, ErrClosed) {
+			br.failure()
+		}
+	}
 	if err != nil {
 		return jobResult{err: err}
 	}
@@ -405,6 +565,9 @@ func (s *Service) execute(j *job) jobResult {
 // (miss — the expensive prepare runs outside the lock), or it blocks until a
 // replica frees up or the context expires.
 func (s *Service) acquire(ctx context.Context, sys *system) (*core.Prepared, *entry, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, nil, err
+	}
 	s.mu.Lock()
 	ent, ok := s.cache[sys.key]
 	if ok {
@@ -464,7 +627,10 @@ func (s *Service) release(ent *entry, p *core.Prepared) {
 func (s *Service) QueueDepth() int { return len(s.jobs) }
 
 // Close stops admission and drains the queue: queued jobs still execute,
-// then the workers exit. Close blocks until the drain completes.
+// then the workers exit. In-flight registration warm-ups and replica
+// rebuilds are canceled through the service-lifetime context; with a
+// crash-safe registry attached, the final state is snapshotted before the
+// WAL closes. Close blocks until the drain completes.
 func (s *Service) Close() error {
 	s.mu.Lock()
 	if s.closed {
@@ -472,8 +638,16 @@ func (s *Service) Close() error {
 		return nil
 	}
 	s.closed = true
+	reg := s.registry
 	s.mu.Unlock()
+	s.cancel()
 	close(s.jobs)
 	s.wg.Wait()
+	s.aux.Wait()
+	if reg != nil {
+		// Best-effort compaction: the WAL alone already carries the state.
+		_ = s.compact()
+		reg.close()
+	}
 	return nil
 }

@@ -26,6 +26,19 @@ type Stats struct {
 
 	// Simulated-device cost: average IPU cycles per completed solve.
 	CyclesPerSolve uint64 `json:"cyclesPerSolve"`
+
+	// Supervision layer.
+	Retries         uint64 `json:"retries"`         // retry attempts after retryable failures
+	Hedges          uint64 `json:"hedges"`          // hedged (second-replica) attempts fired
+	HedgeWins       uint64 `json:"hedgeWins"`       // hedged attempts that returned the answer
+	Panics          uint64 `json:"panics"`          // replica panics caught by the supervisor
+	Quarantined     uint64 `json:"quarantined"`     // replicas dropped as corrupt
+	Rebuilt         uint64 `json:"rebuilt"`         // replicas rebuilt after quarantine
+	Verified        uint64 `json:"verified"`        // answers that passed residual verification
+	VerifyFailed    uint64 `json:"verifyFailed"`    // answers rejected by residual verification
+	BreakerRejected uint64 `json:"breakerRejected"` // solves shed by an open circuit breaker
+	BreakerOpens    uint64 `json:"breakerOpens"`    // circuit-breaker open transitions
+	BreakersOpen    int    `json:"breakersOpen"`    // systems currently shedding load
 }
 
 // latencyWindow bounds the percentile sample buffer; old samples are
@@ -41,6 +54,17 @@ type statsCollector struct {
 	rejected  atomic.Uint64
 	solved    atomic.Uint64
 	cycles    atomic.Uint64 // total simulated cycles over all solves
+
+	retries         atomic.Uint64
+	hedges          atomic.Uint64
+	hedgeWins       atomic.Uint64
+	panics          atomic.Uint64
+	quarantined     atomic.Uint64
+	rebuilt         atomic.Uint64
+	verified        atomic.Uint64
+	verifyFailed    atomic.Uint64
+	breakerRejected atomic.Uint64
+	breakerOpens    atomic.Uint64
 
 	mu   sync.Mutex
 	ring [latencyWindow]time.Duration
@@ -92,6 +116,18 @@ func (s *Service) Stats() Stats {
 		Solved:      s.stats.solved.Load(),
 		P50Ms:       float64(p50) / float64(time.Millisecond),
 		P99Ms:       float64(p99) / float64(time.Millisecond),
+
+		Retries:         s.stats.retries.Load(),
+		Hedges:          s.stats.hedges.Load(),
+		HedgeWins:       s.stats.hedgeWins.Load(),
+		Panics:          s.stats.panics.Load(),
+		Quarantined:     s.stats.quarantined.Load(),
+		Rebuilt:         s.stats.rebuilt.Load(),
+		Verified:        s.stats.verified.Load(),
+		VerifyFailed:    s.stats.verifyFailed.Load(),
+		BreakerRejected: s.stats.breakerRejected.Load(),
+		BreakerOpens:    s.stats.breakerOpens.Load(),
+		BreakersOpen:    s.openBreakers(),
 	}
 	if st.Solved > 0 {
 		st.CyclesPerSolve = s.stats.cycles.Load() / st.Solved

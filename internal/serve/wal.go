@@ -1,0 +1,238 @@
+// Crash-safe registration state: every acknowledged registration is recorded
+// in an append-only JSONL write-ahead log (fsynced before the acknowledgement)
+// and periodically folded into an atomic snapshot. On startup both are
+// replayed — snapshot first, then the WAL, last record per system winning —
+// so a service killed at any instant recovers exactly the registrations it
+// acknowledged, tolerating a torn final WAL record.
+
+package serve
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+
+	"ipusparse/internal/config"
+	"ipusparse/internal/sparse"
+)
+
+const (
+	walName      = "registry.wal.jsonl"
+	snapshotName = "registry.snapshot.json"
+)
+
+// registryRecord is one persisted registration: the full matrix (JSON
+// round-trips float64 exactly, so the recovered matrix fingerprints to the
+// same system ID) and its solver configuration. Machine and partition
+// strategy are service-level options supplied again at restart.
+type registryRecord struct {
+	ID     string        `json:"id"`
+	N      int           `json:"n"`
+	Diag   []float64     `json:"diag"`
+	RowPtr []int         `json:"rowPtr"`
+	Cols   []int         `json:"cols"`
+	Vals   []float64     `json:"vals"`
+	Config config.Config `json:"config"`
+}
+
+func newRegistryRecord(sys *system) registryRecord {
+	return registryRecord{
+		ID:     sys.id,
+		N:      sys.m.N,
+		Diag:   sys.m.Diag,
+		RowPtr: sys.m.RowPtr,
+		Cols:   sys.m.Cols,
+		Vals:   sys.m.Vals,
+		Config: sys.cfg,
+	}
+}
+
+// matrix reconstructs and validates the record's matrix, requiring its
+// fingerprint to reproduce the recorded system ID — a corrupted record is
+// rejected rather than silently served.
+func (r *registryRecord) matrix() (*sparse.Matrix, error) {
+	m := &sparse.Matrix{N: r.N, Diag: r.Diag, RowPtr: r.RowPtr, Cols: r.Cols, Vals: r.Vals}
+	if m.Vals == nil {
+		m.Vals = []float64{}
+	}
+	if m.Cols == nil {
+		m.Cols = []int{}
+	}
+	if err := m.Validate(); err != nil {
+		return nil, fmt.Errorf("record %s: %w", r.ID, err)
+	}
+	if got := m.FingerprintString(); got != r.ID {
+		return nil, fmt.Errorf("record %s: recovered matrix fingerprints to %s", r.ID, got)
+	}
+	return m, nil
+}
+
+// registry owns the state directory: the open WAL file and the current merged
+// record set (registration order preserved).
+type registry struct {
+	dir string
+
+	mu   sync.Mutex
+	wal  *os.File
+	recs []registryRecord
+}
+
+// openRegistry loads the state directory (creating it if needed), merges
+// snapshot + WAL, and returns the registry with the recovered records in
+// registration order. The WAL is opened for appending.
+func openRegistry(dir string) (*registry, []registryRecord, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, nil, fmt.Errorf("serve: state dir: %w", err)
+	}
+	recs, err := loadState(dir)
+	if err != nil {
+		return nil, nil, err
+	}
+	wal, err := os.OpenFile(filepath.Join(dir, walName), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, nil, fmt.Errorf("serve: opening WAL: %w", err)
+	}
+	return &registry{dir: dir, wal: wal, recs: recs}, recs, nil
+}
+
+// loadState merges the snapshot (if any) with the WAL (if any); the last
+// record per system ID wins. A torn trailing WAL record — the footprint of a
+// crash mid-append — is dropped; corruption anywhere else is an error.
+func loadState(dir string) ([]registryRecord, error) {
+	var recs []registryRecord
+	if data, err := os.ReadFile(filepath.Join(dir, snapshotName)); err == nil {
+		if err := json.Unmarshal(data, &recs); err != nil {
+			return nil, fmt.Errorf("serve: corrupt snapshot %s: %w", snapshotName, err)
+		}
+	} else if !os.IsNotExist(err) {
+		return nil, fmt.Errorf("serve: reading snapshot: %w", err)
+	}
+	f, err := os.Open(filepath.Join(dir, walName))
+	if err != nil {
+		if os.IsNotExist(err) {
+			return recs, nil
+		}
+		return nil, fmt.Errorf("serve: reading WAL: %w", err)
+	}
+	defer f.Close()
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 1<<20), 1<<28)
+	var pendingErr error
+	for sc.Scan() {
+		if pendingErr != nil {
+			// The bad line was not the last one: real corruption.
+			return nil, pendingErr
+		}
+		line := sc.Bytes()
+		if len(line) == 0 {
+			continue
+		}
+		var rec registryRecord
+		if err := json.Unmarshal(line, &rec); err != nil {
+			pendingErr = fmt.Errorf("serve: corrupt WAL record: %w", err)
+			continue
+		}
+		recs = mergeRecord(recs, rec)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("serve: scanning WAL: %w", err)
+	}
+	return recs, nil
+}
+
+// mergeRecord replaces an existing record with the same ID or appends.
+func mergeRecord(recs []registryRecord, rec registryRecord) []registryRecord {
+	for i := range recs {
+		if recs[i].ID == rec.ID {
+			recs[i] = rec
+			return recs
+		}
+	}
+	return append(recs, rec)
+}
+
+// append durably logs one registration: the record is written and fsynced
+// before append returns, so an acknowledged registration survives kill -9.
+func (r *registry) append(rec registryRecord) error {
+	data, err := json.Marshal(rec)
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, err := r.wal.Write(data); err != nil {
+		return err
+	}
+	if err := r.wal.Sync(); err != nil {
+		return err
+	}
+	r.recs = mergeRecord(r.recs, rec)
+	return nil
+}
+
+// compact folds the current record set into a fresh snapshot (written to a
+// temp file, fsynced, then atomically renamed) and truncates the WAL. A crash
+// between rename and truncate is harmless: replay merges snapshot and WAL
+// idempotently.
+func (r *registry) compactLocked() error {
+	data, err := json.MarshalIndent(r.recs, "", " ")
+	if err != nil {
+		return err
+	}
+	tmp := filepath.Join(r.dir, snapshotName+".tmp")
+	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(data); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	if err := os.Rename(tmp, filepath.Join(r.dir, snapshotName)); err != nil {
+		return err
+	}
+	if err := r.wal.Truncate(0); err != nil {
+		return err
+	}
+	if _, err := r.wal.Seek(0, 0); err != nil {
+		return err
+	}
+	return r.wal.Sync()
+}
+
+func (r *registry) close() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.wal != nil {
+		_ = r.wal.Close()
+		r.wal = nil
+	}
+}
+
+// compact snapshots the registry's state and truncates the WAL; a no-op
+// without an attached registry.
+func (s *Service) compact() error {
+	s.mu.Lock()
+	reg := s.registry
+	s.mu.Unlock()
+	if reg == nil {
+		return nil
+	}
+	reg.mu.Lock()
+	defer reg.mu.Unlock()
+	if reg.wal == nil {
+		return nil
+	}
+	return reg.compactLocked()
+}

@@ -1,0 +1,220 @@
+package serve
+
+import (
+	"context"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"ipusparse/internal/sparse"
+)
+
+// TestOpenRecoversRegistrations registers systems against a crash-safe
+// service, reopens the state directory, and requires every system back —
+// serving bit-identical warm solves.
+func TestOpenRecoversRegistrations(t *testing.T) {
+	dir := t.TempDir()
+	opts := testOptions()
+	opts.StateDir = dir
+
+	s, err := Open(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m1 := sparse.Poisson2D(8, 8)
+	m2 := sparse.Poisson3D(4, 4, 4)
+	i1, err := s.Register(m1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	i2, err := s.Register(m2, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := onesRHS(m1)
+	before, err := s.Solve(context.Background(), i1.ID, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	s2, err := Open(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	systems := s2.Systems()
+	if len(systems) != 2 {
+		t.Fatalf("recovered %d systems, want 2", len(systems))
+	}
+	ids := map[string]bool{}
+	for _, sys := range systems {
+		ids[sys.ID] = true
+	}
+	if !ids[i1.ID] || !ids[i2.ID] {
+		t.Fatalf("recovered %v, want %s and %s", systems, i1.ID, i2.ID)
+	}
+	after, err := s2.Solve(context.Background(), i1.ID, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if after.Stats.Iterations != before.Stats.Iterations || after.Stats.RelRes != before.Stats.RelRes {
+		t.Fatalf("recovered solve differs: %d/%g vs %d/%g",
+			after.Stats.Iterations, after.Stats.RelRes, before.Stats.Iterations, before.Stats.RelRes)
+	}
+	for i := range after.X {
+		if after.X[i] != before.X[i] {
+			t.Fatalf("x[%d] differs after recovery: %g vs %g", i, after.X[i], before.X[i])
+		}
+	}
+}
+
+// TestOpenToleratesTornWALRecord appends a half-written record — the
+// footprint of kill -9 mid-append — and requires recovery to drop it while
+// keeping every complete record.
+func TestOpenToleratesTornWALRecord(t *testing.T) {
+	dir := t.TempDir()
+	opts := testOptions()
+	opts.StateDir = dir
+
+	s, err := Open(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	info, err := s.Register(sparse.Poisson2D(7, 7), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	f, err := os.OpenFile(filepath.Join(dir, walName), os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteString(`{"id":"m0123","n":4,"di`); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	s2, err := Open(opts)
+	if err != nil {
+		t.Fatalf("torn trailing record must be tolerated: %v", err)
+	}
+	defer s2.Close()
+	systems := s2.Systems()
+	if len(systems) != 1 || systems[0].ID != info.ID {
+		t.Fatalf("recovered %v, want exactly %s", systems, info.ID)
+	}
+}
+
+// TestOpenRejectsCorruptRecord flips matrix coefficients inside a committed
+// record and requires recovery to fail the fingerprint check rather than
+// serve a silently different system under the old ID.
+func TestOpenRejectsCorruptRecord(t *testing.T) {
+	dir := t.TempDir()
+	opts := testOptions()
+	opts.StateDir = dir
+
+	s, err := Open(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Register(sparse.Poisson2D(6, 6), nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Close compacted the WAL into the snapshot; corrupt a diagonal value.
+	path := filepath.Join(dir, snapshotName)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mut := strings.Replace(string(data), "4,", "5,", 1)
+	if mut == string(data) {
+		t.Fatal("test setup: no coefficient to corrupt")
+	}
+	if err := os.WriteFile(path, []byte(mut), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(opts); err == nil {
+		t.Fatal("corrupted record recovered without error")
+	}
+}
+
+// TestCompactionFoldsWALIntoSnapshot checks Close leaves a snapshot holding
+// the full state and an empty WAL, and that re-registration after reopen is
+// idempotent (no duplicate records).
+func TestCompactionFoldsWALIntoSnapshot(t *testing.T) {
+	dir := t.TempDir()
+	opts := testOptions()
+	opts.StateDir = dir
+
+	s, err := Open(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := sparse.Poisson2D(6, 6)
+	if _, err := s.Register(m, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	wal, err := os.Stat(filepath.Join(dir, walName))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if wal.Size() != 0 {
+		t.Errorf("WAL holds %d bytes after compaction, want 0", wal.Size())
+	}
+	recs, err := loadState(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 1 {
+		t.Fatalf("snapshot holds %d records, want 1", len(recs))
+	}
+
+	// Re-registering the same matrix after reopen must not grow the state.
+	s2, err := Open(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s2.Register(m, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := s2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	recs, err = loadState(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 1 {
+		t.Fatalf("idempotent re-registration grew the state to %d records", len(recs))
+	}
+}
+
+// TestOpenWithoutStateDirIsEphemeral checks Open without a StateDir behaves
+// exactly like New: no files, no persistence.
+func TestOpenWithoutStateDirIsEphemeral(t *testing.T) {
+	s, err := Open(testOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if s.registry != nil {
+		t.Fatal("registry attached without a StateDir")
+	}
+	if _, err := s.Register(sparse.Poisson2D(5, 5), nil); err != nil {
+		t.Fatal(err)
+	}
+}
