@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check build test vet race bench serve-smoke chaos-smoke clean
+.PHONY: check build test vet race bench bench-engine bench-smoke serve-smoke chaos-smoke clean
 
 ## check: vet + build + race-enabled tests (the pre-merge gate)
 check: vet build race
@@ -20,6 +20,17 @@ race:
 ## bench: regenerate every table and figure of the evaluation section
 bench:
 	$(GO) run ./cmd/benchsuite -experiment all
+
+## bench-engine: measure the host-parallel engine (Table VIII) and emit the
+## BENCH_engine.json artifact (serial vs parallel wall time, speedup,
+## allocs/op, bit-identity check)
+bench-engine:
+	$(GO) run ./cmd/benchsuite -experiment engine -engine-json BENCH_engine.json
+
+## bench-smoke: one quick iteration of the engine microbenchmarks (the CI
+## guard that the superstep hot path stays allocation-free and race-clean)
+bench-smoke:
+	$(GO) test -short -run '^$$' -bench 'BenchmarkEngine' -benchtime 1x -benchmem .
 
 ## serve-smoke: boot a race-enabled ipuserved on a random port, register a
 ## Poisson system, fire concurrent batched solves, verify solutions and

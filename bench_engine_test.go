@@ -1,0 +1,122 @@
+// Host-parallel engine microbenchmarks (ISSUE 4 satellite): wall time of the
+// simulated BSP engine at M2000 scale, serial versus sharded across the host
+// pool. Results are bit-identical between the arms — only wall time differs.
+//
+//	go test -bench=BenchmarkEngine -benchmem
+//
+// In -short mode (the CI smoke step) the workloads shrink to a 64-tile
+// machine so one iteration completes in milliseconds.
+package ipusparse
+
+import (
+	"testing"
+
+	"ipusparse/internal/config"
+	"ipusparse/internal/core"
+	"ipusparse/internal/graph"
+	"ipusparse/internal/ipu"
+	"ipusparse/internal/partition"
+	"ipusparse/internal/solver"
+	"ipusparse/internal/sparse"
+	"ipusparse/internal/tensordsl"
+)
+
+// engineBenchScale returns the machine and Poisson grid edge for the current
+// test mode: full M2000 (1472 tiles, 48^3 rows) normally, 64-tile quick scale
+// under -short.
+func engineBenchScale(tb testing.TB) (ipu.Config, int) {
+	cfg := ipu.Mk2M2000()
+	n := 48
+	if testing.Short() {
+		cfg.TilesPerChip = 64
+		cfg.Chips = 1
+		n = 16
+	}
+	_ = tb
+	return cfg, n
+}
+
+func benchmarkEngineSpMV(b *testing.B, par int) {
+	cfg, n := engineBenchScale(b)
+	m := sparse.Poisson3D(n, n, n)
+	mach, err := ipu.New(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	sess := tensordsl.NewSession(mach)
+	p := partition.Grid3DAuto(m, n, n, n, mach.NumTiles())
+	sys, err := solver.NewSystem(sess, m, p)
+	if err != nil {
+		b.Fatal(err)
+	}
+	x := sys.Vector("x")
+	y := sys.Vector("y")
+	xh := make([]float64, m.N)
+	for i := range xh {
+		xh[i] = float64(i % 7)
+	}
+	if err := sys.SetGlobal(x, xh); err != nil {
+		b.Fatal(err)
+	}
+	sys.SpMV(y, x)
+	prog := sess.Program()
+	graph.Freeze(prog)
+	eng := graph.NewEngine(mach)
+	eng.SetParallelism(par)
+	eng.Reserve(graph.Analyze(prog).MaxExchangeMoves)
+	if err := eng.Run(prog); err != nil { // warm-up grows every buffer once
+		b.Fatal(err)
+	}
+	b.SetBytes(int64(m.NNZ() * 8))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := eng.Run(prog); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkEngineSpMV measures one simulated distributed SpMV per op. The
+// steady-state superstep hot path must stay at zero allocs/op.
+func BenchmarkEngineSpMV(b *testing.B) {
+	b.Run("serial", func(b *testing.B) { benchmarkEngineSpMV(b, 1) })
+	b.Run("parallel", func(b *testing.B) { benchmarkEngineSpMV(b, 0) })
+}
+
+func benchmarkEngineCG(b *testing.B, par int) {
+	cfg, n := engineBenchScale(b)
+	m := sparse.Poisson3D(n, n, n)
+	sc := config.Config{Solver: config.SolverConfig{
+		Type: "cg", MaxIterations: 40, Tolerance: 1e-10,
+		Preconditioner: &config.SolverConfig{Type: "jacobi"},
+	}}
+	prep, err := core.Prepare(cfg, m, sc, core.PartitionContiguous)
+	if err != nil {
+		b.Fatal(err)
+	}
+	prep.SetParallelism(par)
+	rhs := make([]float64, m.N)
+	xs := make([]float64, m.N)
+	for i := range xs {
+		xs[i] = 1 + 0.5*float64(i%17)/17
+	}
+	m.MulVec(xs, rhs)
+	if _, err := prep.Solve(rhs); err != nil { // warm-up
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := prep.Solve(rhs); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkEngineCG measures one full prepared CG solve per op through the
+// core pipeline (every superstep the real solver path executes).
+func BenchmarkEngineCG(b *testing.B) {
+	b.Run("serial", func(b *testing.B) { benchmarkEngineCG(b, 1) })
+	b.Run("parallel", func(b *testing.B) { benchmarkEngineCG(b, 0) })
+}

@@ -14,18 +14,24 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"time"
 
 	"ipusparse/internal/bench"
 )
 
 func main() {
-	experiment := flag.String("experiment", "all", "experiment to run: all, table1..table7, fig5..fig10")
+	experiment := flag.String("experiment", "all", "experiment to run: all, table1..table7, fig5..fig10, halo, engine")
 	scale := flag.Int("scale", 64, "divide paper-scale workloads by this factor")
 	tiles := flag.Int("tiles", 64, "simulated tiles per chip for single-chip experiments")
 	full := flag.Bool("full", false, "use the full Mk2 M2000 tile counts")
 	seed := flag.Int64("seed", 42, "seed for synthetic right-hand sides")
 	csvOut := flag.Bool("csv", false, "emit machine-readable CSV (table4, fig5..fig10)")
+	enginePar := flag.Int("engine-par", 0, "host shards of the engine study's parallel arm (0 = all cores)")
+	engineJSON := flag.String("engine-json", "", "write the engine study (Table VIII) as JSON to this file")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memProfile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	flag.Parse()
 
 	o := bench.Options{
@@ -34,19 +40,62 @@ func main() {
 		FullMachine: *full,
 		Seed:        *seed,
 		Out:         os.Stdout,
+		Parallelism: *enginePar,
+	}
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchsuite:", err)
+			os.Exit(1)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "benchsuite:", err)
+			os.Exit(1)
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}()
 	}
 	t0 := time.Now()
-	var err error
-	if *csvOut {
-		err = bench.RunCSV(o, *experiment, os.Stdout)
-	} else {
-		err = bench.Run(o, *experiment)
-	}
-	if err != nil {
+	if err := runSuite(o, *experiment, *csvOut, *engineJSON); err != nil {
 		fmt.Fprintln(os.Stderr, "benchsuite:", err)
 		os.Exit(1)
 	}
 	if !*csvOut {
 		fmt.Printf("done in %v\n", time.Since(t0).Round(time.Millisecond))
 	}
+	if *memProfile != "" {
+		f, err := os.Create(*memProfile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchsuite:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		runtime.GC()
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "benchsuite:", err)
+			os.Exit(1)
+		}
+	}
+}
+
+func runSuite(o bench.Options, experiment string, csvOut bool, engineJSON string) error {
+	if csvOut {
+		return bench.RunCSV(o, experiment, os.Stdout)
+	}
+	if experiment == "engine" && engineJSON != "" {
+		rows, err := bench.EngineStudy(o)
+		if err != nil {
+			return err
+		}
+		bench.PrintEngineStudy(o, rows)
+		f, err := os.Create(engineJSON)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		return bench.WriteEngineJSON(f, rows)
+	}
+	return bench.Run(o, experiment)
 }

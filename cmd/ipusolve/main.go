@@ -17,6 +17,8 @@ import (
 	"fmt"
 	"math/rand"
 	"os"
+	"runtime"
+	"runtime/pprof"
 
 	"ipusparse/internal/config"
 	"ipusparse/internal/core"
@@ -38,6 +40,9 @@ func main() {
 	faultRate := flag.Float64("fault-rate", 0, "per-consultation fault-injection probability (0 disables the campaign)")
 	faultSeed := flag.Int64("fault-seed", 42, "seed of the fault-injection campaign")
 	fingerprint := flag.Bool("fingerprint", false, "print the matrix fingerprint (the service cache key) and exit")
+	enginePar := flag.Int("engine-par", -1, "host shards per BSP superstep (-1: from config, 0: all cores, 1: serial; never changes results)")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memProfile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	flag.Parse()
 
 	if *fingerprint {
@@ -47,10 +52,56 @@ func main() {
 		}
 		return
 	}
-	if err := run(*matrixPath, *gen, *cfgPath, *rhs, *tiles, *chips, *tol, *strategy, *verbose, *tracePath, *faultRate, *faultSeed); err != nil {
+	stopProfiles, err := startProfiles(*cpuProfile, *memProfile)
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "ipusolve:", err)
 		os.Exit(1)
 	}
+	err = run(*matrixPath, *gen, *cfgPath, *rhs, *tiles, *chips, *tol, *strategy, *verbose, *tracePath, *faultRate, *faultSeed, *enginePar)
+	if perr := stopProfiles(); err == nil {
+		err = perr
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ipusolve:", err)
+		os.Exit(1)
+	}
+}
+
+// startProfiles starts the optional CPU profile and returns a function that
+// stops it and writes the optional heap profile.
+func startProfiles(cpuPath, memPath string) (func() error, error) {
+	var cpuF *os.File
+	if cpuPath != "" {
+		f, err := os.Create(cpuPath)
+		if err != nil {
+			return nil, err
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Close()
+			return nil, err
+		}
+		cpuF = f
+	}
+	return func() error {
+		if cpuF != nil {
+			pprof.StopCPUProfile()
+			if err := cpuF.Close(); err != nil {
+				return err
+			}
+		}
+		if memPath != "" {
+			f, err := os.Create(memPath)
+			if err != nil {
+				return err
+			}
+			defer f.Close()
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				return err
+			}
+		}
+		return nil
+	}, nil
 }
 
 // printFingerprint loads the matrix and prints its deterministic fingerprint
@@ -77,7 +128,7 @@ func loadMatrix(matrixPath, gen string) (*sparse.Matrix, error) {
 	return sparse.GenByName(gen)
 }
 
-func run(matrixPath, gen, cfgPath, rhs string, tiles, chips int, tol float64, strategy string, verbose bool, tracePath string, faultRate float64, faultSeed int64) error {
+func run(matrixPath, gen, cfgPath, rhs string, tiles, chips int, tol float64, strategy string, verbose bool, tracePath string, faultRate float64, faultSeed int64, enginePar int) error {
 	m, err := loadMatrix(matrixPath, gen)
 	if err != nil {
 		return err
@@ -111,6 +162,9 @@ func run(matrixPath, gen, cfgPath, rhs string, tiles, chips int, tol float64, st
 		if cfg.Recovery == nil {
 			cfg.Recovery = &config.RecoveryConfig{}
 		}
+	}
+	if enginePar >= 0 {
+		cfg.Engine = &config.EngineConfig{Parallelism: enginePar}
 	}
 
 	b := make([]float64, m.N)

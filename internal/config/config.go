@@ -193,6 +193,16 @@ type ServeConfig struct {
 	Chaos *ChaosConfig `json:"chaos,omitempty"`
 }
 
+// EngineConfig tunes the host-side BSP engine. Parallelism never changes
+// results — compute supersteps and exchange accounting are bit-identical and
+// cycle-identical at every setting — only host wall time.
+type EngineConfig struct {
+	// Parallelism is the number of host shards per BSP superstep: 0 (the
+	// default) uses the shared host pool's worker count (GOMAXPROCS), 1 runs
+	// serially on the coordinator goroutine.
+	Parallelism int `json:"parallelism,omitempty"`
+}
+
 // Config is the root of a solver configuration file.
 type Config struct {
 	Solver   SolverConfig    `json:"solver"`
@@ -200,6 +210,15 @@ type Config struct {
 	Fault    *FaultConfig    `json:"fault,omitempty"`
 	Recovery *RecoveryConfig `json:"recovery,omitempty"`
 	Serve    *ServeConfig    `json:"serve,omitempty"`
+	Engine   *EngineConfig   `json:"engine,omitempty"`
+}
+
+// EngineParallelism returns the configured engine parallelism (0 = automatic).
+func (c Config) EngineParallelism() int {
+	if c.Engine == nil {
+		return 0
+	}
+	return c.Engine.Parallelism
 }
 
 // Default returns the paper's reference configuration:
@@ -300,6 +319,9 @@ func (c Config) Validate() error {
 				return err
 			}
 		}
+	}
+	if c.Engine != nil && c.Engine.Parallelism < 0 {
+		return fmt.Errorf("config: engine.parallelism must be >= 0, got %d", c.Engine.Parallelism)
 	}
 	if s := c.Serve; s != nil {
 		if s.CacheCapacity < 0 || s.ReplicasPerKey < 0 || s.QueueDepth < 0 ||

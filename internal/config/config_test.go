@@ -165,3 +165,41 @@ func TestFaultRecoveryValidation(t *testing.T) {
 		}
 	}
 }
+
+func TestParseEngineBlock(t *testing.T) {
+	src := `{
+	  "solver": { "type": "cg", "maxIterations": 100 },
+	  "engine": { "parallelism": 4 }
+	}`
+	c, err := Parse(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Engine == nil || c.Engine.Parallelism != 4 {
+		t.Fatalf("engine block parsed wrong: %+v", c.Engine)
+	}
+	if c.EngineParallelism() != 4 {
+		t.Fatalf("EngineParallelism() = %d, want 4", c.EngineParallelism())
+	}
+}
+
+func TestEngineParallelismDefaults(t *testing.T) {
+	if got := Default().EngineParallelism(); got != 0 {
+		t.Fatalf("default EngineParallelism() = %d, want 0 (automatic)", got)
+	}
+}
+
+func TestEngineValidation(t *testing.T) {
+	src := `{
+	  "solver": { "type": "cg" },
+	  "engine": { "parallelism": -2 }
+	}`
+	if _, err := Parse(strings.NewReader(src)); err == nil {
+		t.Fatal("negative engine.parallelism accepted")
+	}
+	c := Default()
+	c.Engine = &EngineConfig{Parallelism: 0}
+	if err := c.Validate(); err != nil {
+		t.Fatalf("parallelism 0 (automatic) rejected: %v", err)
+	}
+}

@@ -1,0 +1,162 @@
+package core
+
+import (
+	"math"
+	"reflect"
+	"testing"
+
+	"ipusparse/internal/config"
+	"ipusparse/internal/ipu"
+	"ipusparse/internal/sparse"
+)
+
+// The host-parallel engine's contract: parallelism never changes results.
+// These tests run identical solves at parallelism 1, 2 and 8 and require the
+// solution bytes, solver stats, cycle profile, superstep counts and machine
+// accounting to match exactly — including under a seeded fault campaign,
+// which must replay the same event log at every setting.
+
+func parallelTestMachine() ipu.Config {
+	cfg := ipu.Mk2M2000()
+	cfg.TilesPerChip = 64
+	cfg.Chips = 1
+	return cfg
+}
+
+// solveAt prepares once and solves the same right-hand side at each
+// parallelism level, returning one Result per level.
+func solveAt(t *testing.T, cfg config.Config, levels []int) []*Result {
+	t.Helper()
+	m := sparse.Poisson3D(12, 12, 12)
+	b := make([]float64, m.N)
+	for i := range b {
+		b[i] = 1 + float64(i%11)/7
+	}
+	var out []*Result
+	for _, par := range levels {
+		// A fresh Prepared per level: sharing one would already guarantee
+		// identical uploads; separate pipelines prove the whole path is
+		// deterministic.
+		p, err := Prepare(parallelTestMachine(), m, cfg, PartitionContiguous)
+		if err != nil {
+			t.Fatalf("prepare: %v", err)
+		}
+		p.SetParallelism(par)
+		res, err := p.Solve(b)
+		if err != nil {
+			t.Fatalf("solve at parallelism %d: %v", par, err)
+		}
+		out = append(out, res)
+	}
+	return out
+}
+
+// requireIdentical asserts two results are bit- and cycle-identical.
+func requireIdentical(t *testing.T, base, got *Result, par int) {
+	t.Helper()
+	if len(base.X) != len(got.X) {
+		t.Fatalf("parallelism %d: %d solution entries, want %d", par, len(got.X), len(base.X))
+	}
+	for i := range base.X {
+		if math.Float64bits(base.X[i]) != math.Float64bits(got.X[i]) {
+			t.Fatalf("parallelism %d: x[%d] = %x, want %x (bit mismatch)",
+				par, i, math.Float64bits(got.X[i]), math.Float64bits(base.X[i]))
+		}
+	}
+	if !reflect.DeepEqual(base.Stats, got.Stats) {
+		t.Errorf("parallelism %d: RunStats diverged:\n got %+v\nwant %+v", par, got.Stats, base.Stats)
+	}
+	if !reflect.DeepEqual(base.Profile, got.Profile) {
+		t.Errorf("parallelism %d: cycle profile diverged:\n got %+v\nwant %+v", par, got.Profile, base.Profile)
+	}
+	if base.Machine != got.Machine {
+		t.Errorf("parallelism %d: machine stats diverged:\n got %+v\nwant %+v", par, got.Machine, base.Machine)
+	}
+	if base.Machine.Supersteps != got.Machine.Supersteps {
+		t.Errorf("parallelism %d: %d supersteps, want %d",
+			par, got.Machine.Supersteps, base.Machine.Supersteps)
+	}
+}
+
+func TestParallelismBitIdentical(t *testing.T) {
+	levels := []int{1, 2, 8}
+	results := solveAt(t, config.Default(), levels)
+	if !results[0].Stats.Converged {
+		t.Fatal("baseline solve did not converge")
+	}
+	for i := 1; i < len(results); i++ {
+		requireIdentical(t, results[0], results[i], levels[i])
+	}
+}
+
+func TestParallelismBitIdenticalPlainCG(t *testing.T) {
+	cfg := config.Config{Solver: config.SolverConfig{
+		Type: "cg", MaxIterations: 60, Tolerance: 1e-9,
+		Preconditioner: &config.SolverConfig{Type: "jacobi"},
+	}}
+	levels := []int{1, 2, 8}
+	results := solveAt(t, cfg, levels)
+	for i := 1; i < len(results); i++ {
+		requireIdentical(t, results[0], results[i], levels[i])
+	}
+}
+
+// TestParallelismFaultCampaignReplay: a seeded fault campaign must produce the
+// same event log, the same redelivery count and the same recovered solution at
+// every parallelism level (the engine falls back to coordinator-serial shards
+// when an injector is attached).
+func TestParallelismFaultCampaignReplay(t *testing.T) {
+	cfg := config.Config{Solver: config.SolverConfig{
+		Type: "pbicgstab", MaxIterations: 500, Tolerance: 1e-8,
+		Preconditioner: &config.SolverConfig{Type: "ilu0"},
+	}}
+	// Stalls and payload drops only: both leave the numerical problem intact
+	// (the point here is replay equality, not resilience, which core_test
+	// covers) while perturbing cycle accounting and the redelivery counter.
+	cfg.Fault = &config.FaultConfig{Seed: 16, Rate: 0.01,
+		Kinds: []string{"exchange-drop", "tile-stall"}}
+	cfg.Recovery = &config.RecoveryConfig{Interval: 5, MaxRestarts: 10}
+	levels := []int{1, 2, 8}
+	results := solveAt(t, cfg, levels)
+	if len(results[0].Faults) == 0 {
+		t.Fatal("campaign injected no faults; the replay assertion is vacuous")
+	}
+	for i := 1; i < len(results); i++ {
+		requireIdentical(t, results[0], results[i], levels[i])
+		if !reflect.DeepEqual(results[0].Faults, results[i].Faults) {
+			t.Errorf("parallelism %d: fault log diverged:\n got %+v\nwant %+v",
+				levels[i], results[i].Faults, results[0].Faults)
+		}
+		if results[0].FaultRetries != results[i].FaultRetries {
+			t.Errorf("parallelism %d: %d fault retries, want %d",
+				levels[i], results[i].FaultRetries, results[0].FaultRetries)
+		}
+	}
+}
+
+// TestSetParallelismSwitchMidPipeline flips one warm pipeline between
+// parallelism levels and requires each warm solve to stay identical to the
+// first — the serve layer does exactly this when replicas share a key.
+func TestSetParallelismSwitchMidPipeline(t *testing.T) {
+	m := sparse.Poisson3D(10, 10, 10)
+	b := make([]float64, m.N)
+	for i := range b {
+		b[i] = float64(i%13) - 6
+	}
+	p, err := Prepare(parallelTestMachine(), m, config.Default(), PartitionContiguous)
+	if err != nil {
+		t.Fatalf("prepare: %v", err)
+	}
+	base, err := p.Solve(b)
+	if err != nil {
+		t.Fatalf("baseline solve: %v", err)
+	}
+	for _, par := range []int{1, 8, 2, 0} {
+		p.SetParallelism(par)
+		res, err := p.Solve(b)
+		if err != nil {
+			t.Fatalf("solve at parallelism %d: %v", par, err)
+		}
+		requireIdentical(t, base, res, par)
+	}
+}

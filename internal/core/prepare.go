@@ -42,6 +42,7 @@ type Prepared struct {
 	report     graph.Report
 	inj        *fault.Injector
 	n          int
+	par        int // engine host parallelism (0 = automatic)
 }
 
 // Prepare runs the pattern-dependent phase of the pipeline: build the
@@ -87,6 +88,7 @@ func prepare(machineCfg ipu.Config, m *sparse.Matrix, cfg config.Config, strateg
 		sys:        sys,
 		inj:        inj,
 		n:          m.N,
+		par:        cfg.EngineParallelism(),
 	}
 
 	if cfg.MPIR != nil {
@@ -142,7 +144,22 @@ func prepare(machineCfg ipu.Config, m *sparse.Matrix, cfg config.Config, strateg
 		return nil, err
 	}
 	p.report = graph.Analyze(ctx.Session.Program())
+	// Freeze every compute set now so the first Solve pays no finalization
+	// cost and supersteps can shard over the dense tile-sorted form.
+	graph.Freeze(ctx.Session.Program())
 	return p, nil
+}
+
+// SetParallelism overrides the engine host parallelism for subsequent Solve
+// calls: 0 selects the shared pool's worker count, 1 runs serially. Results
+// are bit-identical at every setting.
+func (p *Prepared) SetParallelism(par int) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if par < 0 {
+		par = 0
+	}
+	p.par = par
 }
 
 // N returns the number of rows of the prepared system.
@@ -192,6 +209,8 @@ func (p *Prepared) run(b []float64, traceOut io.Writer) (*Result, error) {
 	}
 
 	eng := graph.NewEngine(p.ctx.Machine)
+	eng.SetParallelism(p.par)
+	eng.Reserve(p.report.MaxExchangeMoves)
 	if p.inj != nil {
 		eng.Injector = p.inj
 	}

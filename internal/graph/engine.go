@@ -1,14 +1,28 @@
 package graph
 
 import (
+	"fmt"
 	"sort"
+	"sync"
 
+	"ipusparse/internal/hostpool"
 	"ipusparse/internal/ipu"
 )
 
 // Engine executes a program (a tree of Steps) on a simulated IPU machine,
 // accumulating per-label cycle profiles. It plays the role of the Poplar
 // engine plus its profiler.
+//
+// Compute supersteps are sharded across the shared host worker pool
+// (package hostpool): BSP semantics guarantee tiles touch only their own SRAM
+// within a compute superstep, so the tile list of a frozen compute set splits
+// into contiguous ranges that execute concurrently. Every shard writes
+// per-tile costs into disjoint slots and the coordinator merges them with
+// order-independent reductions (uint64 max, integer sums), so results and
+// cycle profiles are bit-identical at every parallelism level — including
+// serial. Nondeterminism sources (Injector decisions, the Tracer, the Profile
+// map) stay on the coordinator goroutine, and fault-campaign runs fall back
+// to serial shards so seeded campaigns replay exactly.
 type Engine struct {
 	M *ipu.Machine
 
@@ -28,18 +42,60 @@ type Engine struct {
 	// parity-detected drop (each one bills its traffic twice).
 	FaultRetries uint64
 
-	tileCost        []uint64
+	par    int // host shards per superstep (>= 1)
+	shards []computeShard
+	wg     sync.WaitGroup
+
+	costBuf         []uint64 // per-entry superstep costs, reused every superstep
+	tileCost        []uint64 // dense per-tile costs (fault-campaign path)
 	workerCost      []uint64
 	transferScratch []ipu.Transfer
 	tracer          *Tracer
 }
 
-// NewEngine creates an engine for the machine.
+// minShardEntries is the smallest number of populated tiles one shard is
+// worth: below parallelism*minShardEntries the superstep runs on fewer
+// shards (down to one) because the handoff would cost more than it saves.
+// The shard count never affects results, only wall time.
+const minShardEntries = 16
+
+// NewEngine creates an engine for the machine. The default parallelism is
+// the shared host pool's worker count (GOMAXPROCS); use SetParallelism to
+// pin it (1 = serial execution on the coordinator goroutine).
 func NewEngine(m *ipu.Machine) *Engine {
-	return &Engine{
+	e := &Engine{
 		M:        m,
 		Profile:  map[string]uint64{},
 		tileCost: make([]uint64, m.NumTiles()),
+	}
+	e.SetParallelism(0)
+	return e
+}
+
+// SetParallelism sets the number of host shards used per compute superstep
+// and for exchange-cost accounting: 0 selects the shared pool's worker count
+// (GOMAXPROCS), 1 executes serially. Results are bit-identical and
+// cycle-identical at every setting; parallelism only changes host wall time.
+func (e *Engine) SetParallelism(p int) {
+	if p <= 0 {
+		p = hostpool.Parallelism()
+	}
+	e.par = p
+	if cap(e.shards) < p {
+		e.shards = make([]computeShard, p)
+	}
+	e.M.SetHostParallelism(p)
+}
+
+// Parallelism returns the configured host-shard count.
+func (e *Engine) Parallelism() int { return e.par }
+
+// Reserve pre-sizes the exchange scratch for the largest move list the
+// program contains (Report.MaxExchangeMoves), so steady-state supersteps
+// never grow it. A little slack absorbs fault-injected redeliveries.
+func (e *Engine) Reserve(maxMoves int) {
+	if need := maxMoves + maxMoves/8 + 4; need > cap(e.transferScratch) {
+		e.transferScratch = make([]ipu.Transfer, 0, need)
 	}
 }
 
@@ -47,9 +103,10 @@ func NewEngine(m *ipu.Machine) *Engine {
 func (e *Engine) Run(program Step) error { return program.exec(e) }
 
 // ResetProfile clears the per-label profile (machine stats are reset
-// separately via the machine).
+// separately via the machine). The map is reused, not reallocated, so
+// alternating Run/ResetProfile cycles allocate nothing.
 func (e *Engine) ResetProfile() {
-	e.Profile = map[string]uint64{}
+	clear(e.Profile)
 	e.Supersteps = 0
 }
 
@@ -58,6 +115,120 @@ func (e *Engine) addProfile(label string, cycles uint64) {
 		label = "Unlabeled"
 	}
 	e.Profile[label] += cycles
+}
+
+// computeShard executes one contiguous range of a frozen compute set's tiles.
+// It owns its slice of the cost buffer (disjoint from every other shard) and
+// records the first failing entry, so the coordinator can surface errors in
+// deterministic program order regardless of shard interleaving.
+type computeShard struct {
+	tiles    []int
+	verts    [][]Codelet
+	costs    []uint64
+	base     int // global index of the shard's first entry
+	numTiles int
+	slots    int
+	err      error
+	errIdx   int
+	wg       *sync.WaitGroup
+}
+
+// Run implements hostpool.Task.
+func (sh *computeShard) Run() {
+	sh.run()
+	sh.wg.Done()
+}
+
+func (sh *computeShard) run() {
+	for i, ws := range sh.verts {
+		tile := sh.tiles[i]
+		if tile < 0 || tile >= sh.numTiles {
+			if sh.err == nil {
+				sh.err = fmt.Errorf("graph: compute set places vertex on invalid tile %d", tile)
+				sh.errIdx = sh.base + i
+			}
+			continue
+		}
+		// Workers run concurrently in the tile's round robin, so the tile
+		// finishes with its slowest worker (ipu.WorkerMax semantics, inlined
+		// to keep the superstep allocation-free).
+		var max uint64
+		for _, w := range ws {
+			if c := w.Run(); c > max {
+				max = c
+			}
+		}
+		if len(ws) > sh.slots && sh.err == nil {
+			sh.err = fmt.Errorf("tile %d: %w: %d workers for %d slots",
+				tile, ipu.ErrOversubscribed, len(ws), sh.slots)
+			sh.errIdx = sh.base + i
+		}
+		sh.costs[i] = max
+	}
+}
+
+// computeSuperstep executes one fault-free compute superstep across the
+// engine's shards and merges costs deterministically on the coordinator.
+func (e *Engine) computeSuperstep(cs *ComputeSet, fs *frozenSet) error {
+	n := len(fs.tiles)
+	if cap(e.costBuf) < n {
+		e.costBuf = make([]uint64, n)
+	}
+	costs := e.costBuf[:n]
+
+	nsh := e.par
+	if nsh > n/minShardEntries {
+		nsh = n / minShardEntries
+	}
+	if nsh < 1 {
+		nsh = 1
+	}
+	shards := e.shards[:nsh]
+	slots := e.M.Config().WorkersPerTile
+	nt := e.M.NumTiles()
+	for s := 0; s < nsh; s++ {
+		lo, hi := n*s/nsh, n*(s+1)/nsh
+		shards[s] = computeShard{
+			tiles:    fs.tiles[lo:hi],
+			verts:    fs.verts[lo:hi],
+			costs:    costs[lo:hi],
+			base:     lo,
+			numTiles: nt,
+			slots:    slots,
+			wg:       &e.wg,
+		}
+	}
+	if nsh == 1 {
+		shards[0].run()
+	} else {
+		e.wg.Add(nsh - 1)
+		for s := 1; s < nsh; s++ {
+			hostpool.Submit(&shards[s])
+		}
+		shards[0].run()
+		e.wg.Wait()
+	}
+
+	// Deterministic error selection: the failing entry with the smallest
+	// global index wins, independent of shard scheduling.
+	var err error
+	best := -1
+	for s := range shards {
+		if shards[s].err != nil && (best < 0 || shards[s].errIdx < best) {
+			best, err = shards[s].errIdx, shards[s].err
+		}
+	}
+	if err != nil {
+		return &StepError{Step: cs.Name, Superstep: e.Supersteps, Err: err}
+	}
+
+	step := e.M.ComputeSparse(fs.tiles, costs)
+	e.addProfile(cs.Label, step)
+	e.Supersteps++
+	if e.tracer != nil {
+		e.tracer.add(cs.Name, cs.Label, "compute", step)
+	}
+	return nil
 }
 
 // ProfileShares returns the profile as (label, fraction-of-total) pairs

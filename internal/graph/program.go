@@ -3,6 +3,7 @@ package graph
 import (
 	"errors"
 	"fmt"
+	"sort"
 )
 
 // Codelet is one computational vertex executing on one worker thread of one
@@ -26,6 +27,7 @@ type ComputeSet struct {
 	Label string // profiling class, e.g. "SpMV", "Reduce", "Elementwise Ops"
 
 	vertices map[int][]Codelet // tile -> worker codelets
+	frozen   *frozenSet        // dense execution form, built by Finalize
 }
 
 // NewComputeSet creates a named compute set with a profiling label.
@@ -36,6 +38,7 @@ func NewComputeSet(name, label string) *ComputeSet {
 // Add appends codelet c as the next worker-thread vertex on the given tile.
 func (cs *ComputeSet) Add(tile int, c Codelet) {
 	cs.vertices[tile] = append(cs.vertices[tile], c)
+	cs.frozen = nil
 }
 
 // Workers returns the number of worker vertices currently placed on a tile.
@@ -43,6 +46,67 @@ func (cs *ComputeSet) Workers(tile int) int { return len(cs.vertices[tile]) }
 
 // Empty reports whether the compute set has no vertices.
 func (cs *ComputeSet) Empty() bool { return len(cs.vertices) == 0 }
+
+// frozenSet is the dense, execution-ready form of a ComputeSet: the populated
+// tiles in ascending order with their worker codelets. Freezing happens once
+// at graph-construction time (Freeze, called by the prepare phase) or lazily
+// on first execution, so the engine's hot path never iterates the builder map
+// — and, because the order is sorted rather than map order, execution is
+// deterministic and can be sharded into contiguous tile ranges.
+type frozenSet struct {
+	tiles []int
+	verts [][]Codelet
+}
+
+// Finalize returns the frozen form of the set, building it if a vertex was
+// added since the last call.
+func (cs *ComputeSet) Finalize() {
+	if cs.frozen != nil {
+		return
+	}
+	fs := &frozenSet{
+		tiles: make([]int, 0, len(cs.vertices)),
+		verts: make([][]Codelet, 0, len(cs.vertices)),
+	}
+	for tile := range cs.vertices {
+		fs.tiles = append(fs.tiles, tile)
+	}
+	sort.Ints(fs.tiles)
+	for _, tile := range fs.tiles {
+		fs.verts = append(fs.verts, cs.vertices[tile])
+	}
+	cs.frozen = fs
+}
+
+func (cs *ComputeSet) finalized() *frozenSet {
+	cs.Finalize()
+	return cs.frozen
+}
+
+// Freeze finalizes every compute set reachable from s. The prepare phase
+// calls it after validation so the first superstep of a fresh pipeline pays
+// no finalization cost.
+func Freeze(s Step) {
+	switch st := s.(type) {
+	case *Sequence:
+		for _, sub := range st.Steps {
+			Freeze(sub)
+		}
+	case Compute:
+		st.Set.Finalize()
+	case Repeat:
+		Freeze(st.Body)
+	case While:
+		Freeze(st.Body)
+	case If:
+		if st.Then != nil {
+			Freeze(st.Then)
+		}
+		if st.Else != nil {
+			Freeze(st.Else)
+		}
+	}
+}
 
 // Step is one node of the execution schedule.
 type Step interface {
@@ -80,23 +144,31 @@ func (c Compute) exec(e *Engine) error {
 	if c.Set.Empty() {
 		return nil
 	}
+	fs := c.Set.finalized()
+	if e.Injector != nil {
+		// Fault campaigns run on the coordinator with serial shards: injector
+		// decisions (stalls, bit flips) stay in deterministic program order,
+		// so a seeded campaign replays exactly at any parallelism setting.
+		return c.execInjected(e, fs)
+	}
+	return e.computeSuperstep(c.Set, fs)
+}
+
+// execInjected is the coordinator-serial compute path used under a fault
+// campaign. The fault model is consulted before the codelets run, so injected
+// bit flips corrupt the memory this superstep computes on.
+func (c Compute) execInjected(e *Engine, fs *frozenSet) error {
 	for i := range e.tileCost {
 		e.tileCost[i] = 0
 	}
-	// The fault model is consulted before the codelets run, so injected bit
-	// flips corrupt the memory this superstep computes on.
-	var stallTile int
-	var stall uint64
-	if e.Injector != nil {
-		stallTile, stall = e.Injector.ComputeFault(c.Set.Name, e.Supersteps, len(e.tileCost))
-	}
-	for tile, workers := range c.Set.vertices {
+	stallTile, stall := e.Injector.ComputeFault(c.Set.Name, e.Supersteps, len(e.tileCost))
+	for i, tile := range fs.tiles {
 		if tile < 0 || tile >= len(e.tileCost) {
 			return &StepError{Step: c.Set.Name, Superstep: e.Supersteps,
 				Err: fmt.Errorf("graph: compute set places vertex on invalid tile %d", tile)}
 		}
 		e.workerCost = e.workerCost[:0]
-		for _, w := range workers {
+		for _, w := range fs.verts[i] {
 			e.workerCost = append(e.workerCost, w.Run())
 		}
 		cost, err := e.M.WorkerMax(e.workerCost)

@@ -23,7 +23,10 @@ type Report struct {
 	Loops        int // Repeat + While nodes
 	Conditionals int
 	MaxDepth     int // control-flow nesting depth
-	Labels       map[string]int
+	// MaxExchangeMoves is the largest single exchange phase's move count —
+	// what Engine.Reserve pre-sizes its transfer scratch to.
+	MaxExchangeMoves int
+	Labels           map[string]int
 }
 
 // Analyze walks a program and gathers its report.
@@ -56,6 +59,9 @@ func walk(s Step, depth int, r *Report) {
 	case Exchange:
 		r.Exchanges++
 		r.Moves += len(st.Moves)
+		if len(st.Moves) > r.MaxExchangeMoves {
+			r.MaxExchangeMoves = len(st.Moves)
+		}
 	case HostCall:
 		r.HostCalls++
 	case Repeat:

@@ -1,0 +1,59 @@
+package hostpool
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+type countTask struct {
+	n  *atomic.Int64
+	wg *sync.WaitGroup
+}
+
+func (t *countTask) Run() {
+	t.n.Add(1)
+	t.wg.Done()
+}
+
+func TestSubmitRunsEveryTask(t *testing.T) {
+	var n atomic.Int64
+	var wg sync.WaitGroup
+	const tasks = 10_000
+	wg.Add(tasks)
+	for i := 0; i < tasks; i++ {
+		Submit(&countTask{n: &n, wg: &wg})
+	}
+	wg.Wait()
+	if got := n.Load(); got != tasks {
+		t.Fatalf("ran %d tasks, want %d", got, tasks)
+	}
+}
+
+func TestSubmitFromManyGoroutines(t *testing.T) {
+	var n atomic.Int64
+	var wg sync.WaitGroup
+	const gors, per = 32, 500
+	wg.Add(gors * per)
+	var launch sync.WaitGroup
+	launch.Add(gors)
+	for g := 0; g < gors; g++ {
+		go func() {
+			defer launch.Done()
+			for i := 0; i < per; i++ {
+				Submit(&countTask{n: &n, wg: &wg})
+			}
+		}()
+	}
+	launch.Wait()
+	wg.Wait()
+	if got := n.Load(); got != gors*per {
+		t.Fatalf("ran %d tasks, want %d", got, gors*per)
+	}
+}
+
+func TestParallelismPositive(t *testing.T) {
+	if Parallelism() < 1 {
+		t.Fatalf("Parallelism() = %d, want >= 1", Parallelism())
+	}
+}

@@ -32,6 +32,10 @@ package ipu
 import (
 	"errors"
 	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"ipusparse/internal/hostpool"
 )
 
 // Config describes an IPU system. The zero value is not valid; use
@@ -137,6 +141,18 @@ type Machine struct {
 	// Communication-program size: number of transfer instructions issued.
 	exchangeInstructions uint64
 	exchangeBytes        uint64
+
+	// Host-parallel exchange accounting (see Exchange). hostPar is the shard
+	// budget set by the engine; accBuf holds the five per-tile integer
+	// accumulators (instructions, on-chip/link send bytes, on-chip/link
+	// receive bytes) and is zero outside Exchange calls; xstamp makes the
+	// per-transfer chip-dedup stamps globally unique.
+	hostPar  int
+	accBuf   []int64
+	chipMark []int64
+	xstamp   int64
+	xshards  []exchangeShard
+	xwg      sync.WaitGroup
 }
 
 // Tile is one processor core with its private SRAM.
@@ -215,6 +231,41 @@ func (m *Machine) Compute(tileCycles []uint64) uint64 {
 	return step
 }
 
+// ComputeSparse accounts one BSP compute superstep from a sparse cost list:
+// cycles[i] is the cost of tiles[i], every other tile is idle. It is exactly
+// Compute over a dense vector whose unlisted entries are zero — the uint64
+// max and per-tile additions are order-independent, which is what lets the
+// engine fill the cost list from concurrent shards and still produce
+// bit-identical accounting at any parallelism level.
+func (m *Machine) ComputeSparse(tiles []int, cycles []uint64) uint64 {
+	var max uint64
+	for i, t := range tiles {
+		c := cycles[i]
+		if c > 0 {
+			m.tiles[t].Cycles += c
+		}
+		if c > max {
+			max = c
+		}
+	}
+	step := max + m.cfg.SyncCycles
+	m.computeCycles += max
+	m.syncCycles += m.cfg.SyncCycles
+	m.supersteps++
+	return step
+}
+
+// SetHostParallelism sets the host-shard budget for the per-transfer traffic
+// accumulation inside Exchange (values below 1 select serial accumulation).
+// The setting never changes accounting results — per-tile traffic totals are
+// integers merged with order-independent additions — only host wall time.
+func (m *Machine) SetHostParallelism(p int) {
+	if p < 1 {
+		p = 1
+	}
+	m.hostPar = p
+}
+
 // ErrOversubscribed reports a compute set that places more worker vertices on
 // a tile than the tile has hardware thread slots.
 var ErrOversubscribed = errors.New("ipu: worker slots oversubscribed")
@@ -253,50 +304,155 @@ type ExchangeStats struct {
 	Bytes        uint64 // sender-side bytes (broadcasts counted once)
 }
 
+// exchangeShard accumulates the traffic of one contiguous transfer range into
+// the machine's per-tile accumulators. Two transfers in different shards may
+// target the same tile, so sharded accumulation uses atomic adds — integer
+// additions commute, so the totals (and therefore the phase cost) are
+// bit-identical no matter how the transfer list is split or interleaved.
+type exchangeShard struct {
+	m         *Machine
+	transfers []Transfer
+	stampBase int64 // global index of the shard's first transfer
+	chipMark  []int64
+	bytes     uint64 // sender-side bytes of this shard's transfers
+	wg        *sync.WaitGroup
+}
+
+// Run implements hostpool.Task.
+func (sh *exchangeShard) Run() {
+	sh.accumulate(true)
+	sh.wg.Done()
+}
+
+func (sh *exchangeShard) accumulate(concurrent bool) {
+	m := sh.m
+	nt := len(m.tiles)
+	instr := m.accBuf[:nt]
+	sendOn := m.accBuf[nt : 2*nt]
+	sendLink := m.accBuf[2*nt : 3*nt]
+	recvOn := m.accBuf[3*nt : 4*nt]
+	recvLink := m.accBuf[4*nt:]
+	add := func(p *int64, v int64) { *p += v }
+	if concurrent {
+		add = func(p *int64, v int64) { atomic.AddInt64(p, v) }
+	}
+	sh.bytes = 0
+	for i := range sh.transfers {
+		tr := &sh.transfers[i]
+		src := tr.SrcTile
+		srcChip := m.cfg.Chip(src)
+		b := int64(tr.Bytes)
+		// A broadcast is sent once on chip; if any destination is on a
+		// remote chip the block additionally traverses the IPU-Link once
+		// per remote chip. Each instruction costs issue overhead on the
+		// sender, which is why blockwise programs beat per-cell programs.
+		add(&instr[src], 1)
+		add(&sendOn[src], b)
+		stamp := sh.stampBase + int64(i) + 1
+		var remote int64
+		for _, d := range tr.DstTiles {
+			if dc := m.cfg.Chip(d); dc != srcChip {
+				if sh.chipMark[dc] != stamp {
+					sh.chipMark[dc] = stamp
+					remote++
+				}
+				add(&recvLink[d], b)
+			} else {
+				add(&recvOn[d], b)
+			}
+		}
+		if remote > 0 {
+			add(&sendLink[src], remote*b)
+		}
+		sh.bytes += uint64(tr.Bytes)
+	}
+}
+
+// minExchangeShardTransfers is the smallest transfer range worth one shard.
+const minExchangeShardTransfers = 64
+
 // Exchange accounts one BSP exchange phase consisting of the given transfer
 // instructions. The phase cost is the maximum per-tile traffic divided by the
 // per-tile exchange bandwidth (link bandwidth for transfers that cross
 // chips), plus the fixed setup cost. This is the property that yields the
 // paper's flat weak scaling: total traffic grows with the machine, per-tile
 // traffic does not.
+//
+// Traffic is accumulated per tile as integer byte and instruction counts
+// (converted to cycles once at the end), so large transfer lists shard across
+// the host pool with bit-identical results at any parallelism setting.
 func (m *Machine) Exchange(transfers []Transfer) ExchangeStats {
 	if len(transfers) == 0 {
 		return ExchangeStats{}
 	}
-	send := make([]float64, len(m.tiles))
-	recv := make([]float64, len(m.tiles))
+	nt := len(m.tiles)
+	if m.accBuf == nil {
+		m.accBuf = make([]int64, 5*nt)
+	}
+
+	n := len(transfers)
+	nsh := m.hostPar
+	if nsh > n/minExchangeShardTransfers {
+		nsh = n / minExchangeShardTransfers
+	}
+	if nsh < 1 {
+		nsh = 1
+	}
 	var bytes uint64
-	for _, tr := range transfers {
-		srcChip := m.cfg.Chip(tr.SrcTile)
-		// A broadcast is sent once on chip; if any destination is on a
-		// remote chip the block additionally traverses the IPU-Link once
-		// per remote chip. Each instruction costs issue overhead on the
-		// sender, which is why blockwise programs beat per-cell programs.
-		send[tr.SrcTile] += float64(m.cfg.ExchangeInstrCycles)
-		send[tr.SrcTile] += float64(tr.Bytes) / m.cfg.ExchangeBytesPerCycle
-		remoteChips := map[int]bool{}
-		for _, d := range tr.DstTiles {
-			dChip := m.cfg.Chip(d)
-			if dChip != srcChip {
-				remoteChips[dChip] = true
-				recv[d] += float64(tr.Bytes) / m.cfg.LinkBytesPerCycle
-			} else {
-				recv[d] += float64(tr.Bytes) / m.cfg.ExchangeBytesPerCycle
+	if nsh == 1 {
+		if m.chipMark == nil {
+			m.chipMark = make([]int64, m.cfg.Chips)
+		}
+		sh := exchangeShard{m: m, transfers: transfers, stampBase: m.xstamp, chipMark: m.chipMark}
+		sh.accumulate(false)
+		bytes = sh.bytes
+	} else {
+		if len(m.xshards) < nsh {
+			m.xshards = make([]exchangeShard, m.hostPar)
+			for s := range m.xshards {
+				m.xshards[s].chipMark = make([]int64, m.cfg.Chips)
 			}
 		}
-		send[tr.SrcTile] += float64(len(remoteChips)*tr.Bytes) / m.cfg.LinkBytesPerCycle
-		bytes += uint64(tr.Bytes)
+		shards := m.xshards[:nsh]
+		m.xwg.Add(nsh - 1)
+		for s := 0; s < nsh; s++ {
+			lo, hi := n*s/nsh, n*(s+1)/nsh
+			shards[s].m = m
+			shards[s].transfers = transfers[lo:hi]
+			shards[s].stampBase = m.xstamp + int64(lo)
+			shards[s].wg = &m.xwg
+			if s > 0 {
+				hostpool.Submit(&shards[s])
+			}
+		}
+		shards[0].accumulate(true)
+		m.xwg.Wait()
+		for s := 0; s < nsh; s++ {
+			bytes += shards[s].bytes
+		}
 	}
+	m.xstamp += int64(n)
+
+	// Fold the integer per-tile totals to cycles and take the BSP max.
+	instr := m.accBuf[:nt]
+	sendOn := m.accBuf[nt : 2*nt]
+	sendLink := m.accBuf[2*nt : 3*nt]
+	recvOn := m.accBuf[3*nt : 4*nt]
+	recvLink := m.accBuf[4*nt:]
+	instrC := float64(m.cfg.ExchangeInstrCycles)
+	exBW, linkBW := m.cfg.ExchangeBytesPerCycle, m.cfg.LinkBytesPerCycle
 	var max float64
-	for t := range send {
-		v := send[t]
-		if recv[t] > v {
-			v = recv[t]
+	for t := 0; t < nt; t++ {
+		v := float64(instr[t])*instrC + float64(sendOn[t])/exBW + float64(sendLink[t])/linkBW
+		if r := float64(recvOn[t])/exBW + float64(recvLink[t])/linkBW; r > v {
+			v = r
 		}
 		if v > max {
 			max = v
 		}
 	}
+	clear(m.accBuf) // restore the all-zero invariant for the next phase
+
 	cycles := uint64(max) + m.cfg.ExchangeSetupCycles
 	m.exchangeCycles += cycles
 	m.exchanges++

@@ -1,0 +1,94 @@
+package serve
+
+import (
+	"context"
+	"math"
+	"sync"
+	"testing"
+
+	"ipusparse/internal/config"
+	"ipusparse/internal/sparse"
+)
+
+// TestServiceParallelEngineReplicas drives concurrent solves through replicas
+// whose engines shard supersteps across the shared host pool. Under -race
+// this exercises the pool from several coordinators at once; the assertions
+// require every solve to return the same solution bits — the engine contract
+// regardless of how pool workers interleave across replicas.
+func TestServiceParallelEngineReplicas(t *testing.T) {
+	opts := testOptions()
+	opts.ReplicasPerKey = 3
+	opts.Workers = 4
+	opts.QueueDepth = 256
+	opts.Solver.Engine = &config.EngineConfig{Parallelism: 4}
+	s := New(opts)
+	defer s.Close()
+
+	m := sparse.Poisson3D(6, 6, 6)
+	info, err := s.Register(m, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := onesRHS(m)
+	want, err := s.Solve(context.Background(), info.ID, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const gors, per = 8, 4
+	var wg sync.WaitGroup
+	errs := make(chan error, gors)
+	wg.Add(gors)
+	for g := 0; g < gors; g++ {
+		go func() {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				res, err := s.Solve(context.Background(), info.ID, b)
+				if err != nil {
+					errs <- err
+					return
+				}
+				for j := range res.X {
+					if math.Float64bits(res.X[j]) != math.Float64bits(want.X[j]) {
+						t.Errorf("x[%d] bits diverged across replicas", j)
+						return
+					}
+				}
+				if res.Machine.TotalCycles != want.Machine.TotalCycles {
+					t.Errorf("cycles %d, want %d", res.Machine.TotalCycles, want.Machine.TotalCycles)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}
+
+// TestRegisterInheritsEngineConfig: a per-system config without an engine
+// block must inherit the service-wide engine parallelism (it is a deployment
+// knob, not part of the solver hierarchy).
+func TestRegisterInheritsEngineConfig(t *testing.T) {
+	opts := testOptions()
+	opts.Solver.Engine = &config.EngineConfig{Parallelism: 2}
+	s := New(opts)
+	defer s.Close()
+
+	m := sparse.Poisson3D(4, 4, 4)
+	perSystem := testOptions().Solver // no Engine block
+	if _, err := s.Register(m, &perSystem); err != nil {
+		t.Fatal(err)
+	}
+	s.mu.Lock()
+	sys := s.systems[m.FingerprintString()]
+	s.mu.Unlock()
+	if sys == nil {
+		t.Fatal("system not registered")
+	}
+	if sys.cfg.Engine == nil || sys.cfg.Engine.Parallelism != 2 {
+		t.Fatalf("system engine config = %+v, want inherited parallelism 2", sys.cfg.Engine)
+	}
+}

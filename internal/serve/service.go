@@ -73,6 +73,7 @@ func OptionsFromConfig(c config.Config) Options {
 		Solver:   c.Solver,
 		MPIR:     c.MPIR,
 		Recovery: c.Recovery,
+		Engine:   c.Engine,
 	}}
 	if s := c.Serve; s != nil {
 		o.CacheCapacity = s.CacheCapacity
@@ -337,6 +338,11 @@ func (s *Service) register(m *sparse.Matrix, cfg *config.Config) (SystemInfo, er
 	c := s.opts.Solver
 	if cfg != nil {
 		c = *cfg
+		if c.Engine == nil {
+			// Engine parallelism is a host-side deployment knob, not part of
+			// the solver hierarchy: per-system configs inherit the service's.
+			c.Engine = s.opts.Solver.Engine
+		}
 	}
 	if err := c.Validate(); err != nil {
 		return SystemInfo{}, err
