@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check build test vet race bench bench-engine bench-smoke serve-smoke chaos-smoke clean
+.PHONY: check build test vet race bench bench-engine bench-smoke serve-smoke chaos-smoke metrics-smoke clean
 
 ## check: vet + build + race-enabled tests (the pre-merge gate)
 check: vet build race
@@ -43,6 +43,13 @@ serve-smoke:
 ## phase -- zero wrong answers, >=99% availability, WAL-recovered state
 chaos-smoke:
 	$(GO) run ./cmd/servesmoke -chaos
+
+## metrics-smoke: boot a race-enabled ipuserved, drive one solve, scrape
+## GET /metrics and assert the Prometheus exposition carries the key series
+## of every layer (serve latency histogram, cache counters, breaker gauge,
+## core/engine/machine/solver series)
+metrics-smoke:
+	$(GO) run ./cmd/servesmoke -metrics
 
 clean:
 	$(GO) clean ./...

@@ -18,6 +18,7 @@ import (
 	"ipusparse/internal/partition"
 	"ipusparse/internal/solver"
 	"ipusparse/internal/sparse"
+	"ipusparse/internal/telemetry"
 	"ipusparse/internal/tensordsl"
 )
 
@@ -36,7 +37,7 @@ func engineBenchScale(tb testing.TB) (ipu.Config, int) {
 	return cfg, n
 }
 
-func benchmarkEngineSpMV(b *testing.B, par int) {
+func benchmarkEngineSpMV(b *testing.B, par int, reg *telemetry.Registry) {
 	cfg, n := engineBenchScale(b)
 	m := sparse.Poisson3D(n, n, n)
 	mach, err := ipu.New(cfg)
@@ -64,6 +65,7 @@ func benchmarkEngineSpMV(b *testing.B, par int) {
 	eng := graph.NewEngine(mach)
 	eng.SetParallelism(par)
 	eng.Reserve(graph.Analyze(prog).MaxExchangeMoves)
+	eng.SetMetrics(graph.NewEngineMetrics(reg))
 	if err := eng.Run(prog); err != nil { // warm-up grows every buffer once
 		b.Fatal(err)
 	}
@@ -78,10 +80,12 @@ func benchmarkEngineSpMV(b *testing.B, par int) {
 }
 
 // BenchmarkEngineSpMV measures one simulated distributed SpMV per op. The
-// steady-state superstep hot path must stay at zero allocs/op.
+// steady-state superstep hot path must stay at zero allocs/op — including the
+// telemetry arm, whose instruments record with pre-resolved atomic handles.
 func BenchmarkEngineSpMV(b *testing.B) {
-	b.Run("serial", func(b *testing.B) { benchmarkEngineSpMV(b, 1) })
-	b.Run("parallel", func(b *testing.B) { benchmarkEngineSpMV(b, 0) })
+	b.Run("serial", func(b *testing.B) { benchmarkEngineSpMV(b, 1, nil) })
+	b.Run("parallel", func(b *testing.B) { benchmarkEngineSpMV(b, 0, nil) })
+	b.Run("telemetry", func(b *testing.B) { benchmarkEngineSpMV(b, 0, telemetry.NewRegistry()) })
 }
 
 func benchmarkEngineCG(b *testing.B, par int) {
@@ -91,11 +95,10 @@ func benchmarkEngineCG(b *testing.B, par int) {
 		Type: "cg", MaxIterations: 40, Tolerance: 1e-10,
 		Preconditioner: &config.SolverConfig{Type: "jacobi"},
 	}}
-	prep, err := core.Prepare(cfg, m, sc, core.PartitionContiguous)
+	prep, err := core.Prepare(cfg, m, sc, core.PartitionContiguous, core.WithParallelism(par))
 	if err != nil {
 		b.Fatal(err)
 	}
-	prep.SetParallelism(par)
 	rhs := make([]float64, m.N)
 	xs := make([]float64, m.N)
 	for i := range xs {

@@ -24,7 +24,25 @@ import (
 	"ipusparse/internal/core"
 	"ipusparse/internal/ipu"
 	"ipusparse/internal/sparse"
+	"ipusparse/internal/telemetry"
 )
+
+// writeMetrics exports the run's telemetry in Prometheus text format to the
+// given path ("-" writes to stdout).
+func writeMetrics(reg *telemetry.Registry, path string) error {
+	if path == "-" {
+		return reg.WritePrometheus(os.Stdout)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := reg.WritePrometheus(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
 
 func main() {
 	matrixPath := flag.String("matrix", "", "Matrix Market file to solve")
@@ -36,7 +54,9 @@ func main() {
 	tol := flag.Float64("tol", 0, "override the configured tolerance")
 	strategy := flag.String("partition", "contiguous", "partition strategy: contiguous or greedy")
 	verbose := flag.Bool("v", false, "print the cycle profile")
-	tracePath := flag.String("trace", "", "write a Chrome trace-event JSON of the device timeline")
+	traceOut := flag.String("trace-out", "", "write the combined execution timeline (Chrome trace-event JSON) to this file")
+	tracePath := flag.String("trace", "", "deprecated alias for -trace-out")
+	metricsOut := flag.String("metrics-out", "", "write Prometheus-text metrics of the run to this file (\"-\" for stdout)")
 	faultRate := flag.Float64("fault-rate", 0, "per-consultation fault-injection probability (0 disables the campaign)")
 	faultSeed := flag.Int64("fault-seed", 42, "seed of the fault-injection campaign")
 	fingerprint := flag.Bool("fingerprint", false, "print the matrix fingerprint (the service cache key) and exit")
@@ -57,7 +77,10 @@ func main() {
 		fmt.Fprintln(os.Stderr, "ipusolve:", err)
 		os.Exit(1)
 	}
-	err = run(*matrixPath, *gen, *cfgPath, *rhs, *tiles, *chips, *tol, *strategy, *verbose, *tracePath, *faultRate, *faultSeed, *enginePar)
+	if *traceOut == "" {
+		*traceOut = *tracePath
+	}
+	err = run(*matrixPath, *gen, *cfgPath, *rhs, *tiles, *chips, *tol, *strategy, *verbose, *traceOut, *metricsOut, *faultRate, *faultSeed, *enginePar)
 	if perr := stopProfiles(); err == nil {
 		err = perr
 	}
@@ -128,7 +151,7 @@ func loadMatrix(matrixPath, gen string) (*sparse.Matrix, error) {
 	return sparse.GenByName(gen)
 }
 
-func run(matrixPath, gen, cfgPath, rhs string, tiles, chips int, tol float64, strategy string, verbose bool, tracePath string, faultRate float64, faultSeed int64, enginePar int) error {
+func run(matrixPath, gen, cfgPath, rhs string, tiles, chips int, tol float64, strategy string, verbose bool, tracePath, metricsPath string, faultRate float64, faultSeed int64, enginePar int) error {
 	m, err := loadMatrix(matrixPath, gen)
 	if err != nil {
 		return err
@@ -187,23 +210,28 @@ func run(matrixPath, gen, cfgPath, rhs string, tiles, chips int, tol float64, st
 	mc := ipu.Mk2M2000()
 	mc.Chips = chips
 	mc.TilesPerChip = tiles
-	var traceW *os.File
+	var opts []core.Option
 	if tracePath != "" {
-		var err error
-		traceW, err = os.Create(tracePath)
+		traceW, err := os.Create(tracePath)
 		if err != nil {
 			return err
 		}
 		defer traceW.Close()
+		opts = append(opts, core.WithTrace(traceW))
 	}
-	var res *core.Result
-	if traceW != nil {
-		res, err = core.SolveTraced(mc, m, b, cfg, core.PartitionStrategy(strategy), traceW)
-	} else {
-		res, err = core.Solve(mc, m, b, cfg, core.PartitionStrategy(strategy))
+	var reg *telemetry.Registry
+	if metricsPath != "" {
+		reg = telemetry.NewRegistry()
+		opts = append(opts, core.WithTelemetry(reg))
 	}
+	res, err := core.Solve(mc, m, b, cfg, core.PartitionStrategy(strategy), opts...)
 	if err != nil {
 		return err
+	}
+	if reg != nil {
+		if err := writeMetrics(reg, metricsPath); err != nil {
+			return err
+		}
 	}
 	fmt.Printf("solver: %s\n", res.Stats.Solver)
 	fmt.Printf("converged=%v iterations=%d relative-residual=%.3e\n",

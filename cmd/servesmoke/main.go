@@ -11,10 +11,15 @@
 //  3. Chaos (with -chaos): rerun serving under a seeded fault campaign
 //     (replica crashes, stalls, breakdown storms, host errors) and require
 //     zero wrong answers and >=99% availability, then kill -9 and recover.
+//  4. Metrics (with -metrics): scrape GET /metrics after a solve and require
+//     the Prometheus exposition to carry the key series of every layer —
+//     serve latency histogram, cache counters, breaker-state gauge, and the
+//     core/engine/machine/solver series flowing through the shared registry.
 //
 //	servesmoke -server bin/ipuserved      # use a prebuilt (race-enabled) binary
 //	servesmoke                            # builds ipuserved -race itself
 //	servesmoke -chaos                     # adds the chaos campaign phase
+//	servesmoke -metrics                   # adds the /metrics scrape phase
 package main
 
 import (
@@ -26,6 +31,7 @@ import (
 	"os"
 	"os/exec"
 	"path/filepath"
+	"strings"
 	"sync"
 	"syscall"
 	"time"
@@ -38,15 +44,16 @@ const gen = "poisson3d:8" // 512 rows: small enough to boot fast, real enough to
 func main() {
 	server := flag.String("server", "", "prebuilt ipuserved binary (default: build -race)")
 	chaos := flag.Bool("chaos", false, "run the chaos campaign phase")
+	metrics := flag.Bool("metrics", false, "run the /metrics scrape phase")
 	flag.Parse()
-	if err := run(*server, *chaos); err != nil {
+	if err := run(*server, *chaos, *metrics); err != nil {
 		fmt.Fprintln(os.Stderr, "servesmoke: FAIL:", err)
 		os.Exit(1)
 	}
 	fmt.Println("servesmoke: PASS")
 }
 
-func run(server string, chaos bool) error {
+func run(server string, chaos, metrics bool) error {
 	dir, err := os.MkdirTemp("", "servesmoke")
 	if err != nil {
 		return err
@@ -71,6 +78,11 @@ func run(server string, chaos bool) error {
 	if chaos {
 		if err := chaosPhase(dir, server); err != nil {
 			return fmt.Errorf("chaos phase: %w", err)
+		}
+	}
+	if metrics {
+		if err := metricsPhase(dir, server); err != nil {
+			return fmt.Errorf("metrics phase: %w", err)
 		}
 	}
 	return nil
@@ -401,6 +413,67 @@ func chaosPhase(dir, server string) error {
 	}
 	fmt.Printf("servesmoke: chaos restart recovered %s, solve bit-identical\n", info.ID)
 	return srv2.drain()
+}
+
+// metricsPhase boots a plain server, drives one solve, scrapes GET /metrics
+// and requires the exposition to carry the key series of every instrumented
+// layer: the serve request histogram and cache counters, the breaker-state
+// gauge, and the pipeline/engine/machine/solver series that flow through the
+// service's shared telemetry registry.
+func metricsPhase(dir, server string) error {
+	srv, err := startServer(dir, server, "metrics")
+	if err != nil {
+		return err
+	}
+	defer srv.kill()
+
+	info, err := srv.register()
+	if err != nil {
+		return fmt.Errorf("register: %w", err)
+	}
+	var r solveResult
+	if err := postJSON(srv.base+"/v1/systems/"+info.ID+"/solve", map[string]any{"rhs": "ones"}, &r); err != nil {
+		return fmt.Errorf("solve: %w", err)
+	}
+	if err := checkOnes(r); err != nil {
+		return fmt.Errorf("solve: %w", err)
+	}
+
+	resp, err := http.Get(srv.base + "/metrics")
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("/metrics: %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		return fmt.Errorf("/metrics content type %q, want text/plain", ct)
+	}
+	var buf bytes.Buffer
+	if _, err := buf.ReadFrom(resp.Body); err != nil {
+		return err
+	}
+	body := buf.String()
+	for _, frag := range []string{
+		"# TYPE serve_solve_latency_seconds histogram",
+		"serve_solve_latency_seconds_bucket",
+		"serve_cache_hits_total",
+		"serve_cache_misses_total",
+		"serve_breaker_state{system=",
+		"serve_queue_depth",
+		"core_solves_total",
+		"core_phase_seconds_bucket",
+		"engine_supersteps_total",
+		"ipu_compute_cycles_total",
+		"solver_runs_total{solver=",
+	} {
+		if !strings.Contains(body, frag) {
+			return fmt.Errorf("/metrics missing %q", frag)
+		}
+	}
+	fmt.Printf("servesmoke: metrics: %d bytes of exposition, all key series present\n", buf.Len())
+	return srv.drain()
 }
 
 // checkOnes verifies a solve result converged to the all-ones solution.

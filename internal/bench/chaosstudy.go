@@ -121,7 +121,7 @@ func table7Row(o Options, m *sparse.Matrix, sc table7Scenario, requests int) (Ta
 	s := serve.New(opts)
 	defer s.Close()
 
-	info, err := s.Register(m, nil)
+	info, err := s.Register(context.Background(), m, nil)
 	if err != nil {
 		return Table7Row{}, err
 	}

@@ -159,8 +159,8 @@ func engineCGRow(name string, cfg ipu.Config, m *sparse.Matrix, par int) (Engine
 	b := rhsForSolution(m)
 
 	arm := func(pp int) (sec, allocs float64, res *core.Result, err error) {
-		p.SetParallelism(pp)
-		if _, err = p.Solve(b); err != nil { // warm-up
+		par := core.WithParallelism(pp)
+		if _, err = p.Solve(b, par); err != nil { // warm-up
 			return
 		}
 		var ms0, ms1 runtime.MemStats
@@ -168,7 +168,7 @@ func engineCGRow(name string, cfg ipu.Config, m *sparse.Matrix, par int) (Engine
 		sec = math.Inf(1)
 		const reps = 3
 		for i := 0; i < reps; i++ {
-			res, err = p.Solve(b)
+			res, err = p.Solve(b, par)
 			if err != nil {
 				return
 			}

@@ -82,20 +82,24 @@ type Result struct {
 
 // Solve runs the full pipeline on a fresh context: partition m across the
 // machine, build the solver described by cfg (with the MPIR outer loop when
-// configured), execute, and return the solution. It is a thin wrapper over
-// Prepare + (*Prepared).Solve; callers that solve many right-hand sides
-// against one matrix should Prepare once and reuse the pipeline.
-func Solve(machineCfg ipu.Config, m *sparse.Matrix, b []float64, cfg config.Config, strategy PartitionStrategy) (*Result, error) {
-	return SolveTraced(machineCfg, m, b, cfg, strategy, nil)
-}
-
-// SolveTraced is Solve with an execution-trace export: when traceOut is
-// non-nil the BSP phase timeline is written there in Chrome trace-event JSON
-// (loadable in chrome://tracing / Perfetto — the PopVision role).
-func SolveTraced(machineCfg ipu.Config, m *sparse.Matrix, b []float64, cfg config.Config, strategy PartitionStrategy, traceOut io.Writer) (*Result, error) {
-	p, err := Prepare(machineCfg, m, cfg, strategy)
+// configured), execute, and return the solution. Options configure the run:
+// WithTrace exports the execution timeline, WithParallelism pins the engine
+// host parallelism, WithTelemetry records metrics into a registry. Solve is a
+// thin wrapper over Prepare + (*Prepared).Solve; callers that solve many
+// right-hand sides against one matrix should Prepare once and reuse the
+// pipeline.
+func Solve(machineCfg ipu.Config, m *sparse.Matrix, b []float64, cfg config.Config, strategy PartitionStrategy, opts ...Option) (*Result, error) {
+	p, err := Prepare(machineCfg, m, cfg, strategy, opts...)
 	if err != nil {
 		return nil, err
 	}
-	return p.run(b, traceOut)
+	return p.Solve(b)
+}
+
+// SolveTraced is Solve with an execution-trace export.
+//
+// Deprecated: use Solve with WithTrace(traceOut) instead. This wrapper will
+// be removed after one release.
+func SolveTraced(machineCfg ipu.Config, m *sparse.Matrix, b []float64, cfg config.Config, strategy PartitionStrategy, traceOut io.Writer) (*Result, error) {
+	return Solve(machineCfg, m, b, cfg, strategy, WithTrace(traceOut))
 }

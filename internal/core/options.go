@@ -1,0 +1,85 @@
+package core
+
+import (
+	"io"
+
+	"ipusparse/internal/graph"
+	"ipusparse/internal/ipu"
+	"ipusparse/internal/solver"
+	"ipusparse/internal/telemetry"
+)
+
+// Option configures a Prepare or Solve call. Options passed to Prepare become
+// the pipeline's defaults; options passed to (*Prepared).Solve override them
+// for that call only.
+type Option func(*runOptions)
+
+type runOptions struct {
+	trace  io.Writer
+	par    int
+	parSet bool
+	reg    *telemetry.Registry
+}
+
+// WithTrace exports the combined execution timeline — host pipeline phases
+// plus the BSP device phases — to w in Chrome trace-event JSON (loadable in
+// chrome://tracing or Perfetto, the PopVision role). A nil writer disables
+// tracing.
+func WithTrace(w io.Writer) Option {
+	return func(o *runOptions) { o.trace = w }
+}
+
+// WithParallelism pins the engine host parallelism: 0 selects the shared
+// pool's worker count (GOMAXPROCS), 1 runs serially. Results are bit-identical
+// at every setting; parallelism only changes host wall time.
+func WithParallelism(par int) Option {
+	return func(o *runOptions) {
+		if par < 0 {
+			par = 0
+		}
+		o.par, o.parSet = par, true
+	}
+}
+
+// WithTelemetry records pipeline, machine, engine and solver metrics into the
+// registry: phase wall times, per-tile cycle and exchange-byte distributions,
+// superstep and exchange counters, convergence outcomes. Recording is
+// allocation-free on the superstep hot path and never changes results.
+func WithTelemetry(reg *telemetry.Registry) Option {
+	return func(o *runOptions) { o.reg = reg }
+}
+
+// coreInstruments is the pre-resolved instrument set for one registry: the
+// pipeline's own phase metrics plus the machine, engine and solver sets.
+// Resolved once (at Prepare, or on first per-call override), reused every run.
+type coreInstruments struct {
+	reg     *telemetry.Registry
+	machine *ipu.MachineMetrics
+	engine  *graph.EngineMetrics
+	solver  *solver.Metrics
+	phases  *telemetry.HistogramVec
+	solves  *telemetry.Counter
+}
+
+func newCoreInstruments(reg *telemetry.Registry) *coreInstruments {
+	if reg == nil {
+		return nil
+	}
+	return &coreInstruments{
+		reg:     reg,
+		machine: ipu.NewMachineMetrics(reg),
+		engine:  graph.NewEngineMetrics(reg),
+		solver:  solver.NewMetrics(reg),
+		phases: reg.HistogramVec("core_phase_seconds",
+			"Pipeline phase wall time by phase (partition, schedule, compile, execute).",
+			telemetry.ExponentialBuckets(1e-5, 10, 8), "phase"),
+		solves: reg.Counter("core_solves_total", "Completed solves through the core pipeline."),
+	}
+}
+
+func (ci *coreInstruments) observePhase(phase string, seconds float64) {
+	if ci == nil {
+		return
+	}
+	ci.phases.With(phase).Observe(seconds)
+}

@@ -41,8 +41,7 @@ func solveAt(t *testing.T, cfg config.Config, levels []int) []*Result {
 		if err != nil {
 			t.Fatalf("prepare: %v", err)
 		}
-		p.SetParallelism(par)
-		res, err := p.Solve(b)
+		res, err := p.Solve(b, WithParallelism(par))
 		if err != nil {
 			t.Fatalf("solve at parallelism %d: %v", par, err)
 		}
@@ -134,10 +133,11 @@ func TestParallelismFaultCampaignReplay(t *testing.T) {
 	}
 }
 
-// TestSetParallelismSwitchMidPipeline flips one warm pipeline between
-// parallelism levels and requires each warm solve to stay identical to the
-// first — the serve layer does exactly this when replicas share a key.
-func TestSetParallelismSwitchMidPipeline(t *testing.T) {
+// TestParallelismSwitchMidPipeline flips one warm pipeline between
+// parallelism levels via per-call options and requires each warm solve to
+// stay identical to the first — the serve layer does exactly this when
+// replicas share a key.
+func TestParallelismSwitchMidPipeline(t *testing.T) {
 	m := sparse.Poisson3D(10, 10, 10)
 	b := make([]float64, m.N)
 	for i := range b {
@@ -152,8 +152,7 @@ func TestSetParallelismSwitchMidPipeline(t *testing.T) {
 		t.Fatalf("baseline solve: %v", err)
 	}
 	for _, par := range []int{1, 8, 2, 0} {
-		p.SetParallelism(par)
-		res, err := p.Solve(b)
+		res, err := p.Solve(b, WithParallelism(par))
 		if err != nil {
 			t.Fatalf("solve at parallelism %d: %v", par, err)
 		}

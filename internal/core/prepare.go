@@ -12,6 +12,7 @@ import (
 	"ipusparse/internal/ipu"
 	"ipusparse/internal/solver"
 	"ipusparse/internal/sparse"
+	"ipusparse/internal/telemetry"
 )
 
 // Fault campaigns on prepared pipelines: the injector's decision stream is
@@ -43,16 +44,31 @@ type Prepared struct {
 	inj        *fault.Injector
 	n          int
 	par        int // engine host parallelism (0 = automatic)
+
+	// Prepare-time option defaults, overridable per Solve call.
+	traceOut io.Writer
+	inst     *coreInstruments
+
+	// Prepare-phase wall times, replayed on the host track of every exported
+	// trace so a run's timeline shows the amortized work it skipped.
+	prepPartition float64
+	prepSchedule  float64
+	prepCompile   float64
 }
 
 // Prepare runs the pattern-dependent phase of the pipeline: build the
 // machine, partition and halo-reorder the matrix, upload it, construct the
 // configured solver hierarchy and symbolically execute it into a scheduled
 // program. The returned Prepared re-runs that program against new right-hand
-// sides without repeating any of this work.
-func Prepare(machineCfg ipu.Config, m *sparse.Matrix, cfg config.Config, strategy PartitionStrategy) (*Prepared, error) {
+// sides without repeating any of this work. Options passed here become the
+// pipeline's defaults for every subsequent Solve call.
+func Prepare(machineCfg ipu.Config, m *sparse.Matrix, cfg config.Config, strategy PartitionStrategy, opts ...Option) (*Prepared, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
+	}
+	var ro runOptions
+	for _, o := range opts {
+		o(&ro)
 	}
 	// The injector must be registered before any tensors exist so bit flips
 	// can target every device buffer the program allocates.
@@ -60,13 +76,21 @@ func Prepare(machineCfg ipu.Config, m *sparse.Matrix, cfg config.Config, strateg
 	if cfg.Fault != nil && cfg.Fault.Rate > 0 {
 		inj = fault.New(cfg.Fault.Plan())
 	}
-	return prepare(machineCfg, m, cfg, strategy, inj)
+	p, err := prepare(machineCfg, m, cfg, strategy, inj, newCoreInstruments(ro.reg))
+	if err != nil {
+		return nil, err
+	}
+	p.traceOut = ro.trace
+	if ro.parSet {
+		p.par = ro.par
+	}
+	return p, nil
 }
 
 // prepare builds the full pipeline up to (but not including) execution. The
 // caller has validated cfg; inj, when non-nil, is registered before any
 // tensors exist so bit flips can target every device buffer.
-func prepare(machineCfg ipu.Config, m *sparse.Matrix, cfg config.Config, strategy PartitionStrategy, inj *fault.Injector) (*Prepared, error) {
+func prepare(machineCfg ipu.Config, m *sparse.Matrix, cfg config.Config, strategy PartitionStrategy, inj *fault.Injector, inst *coreInstruments) (*Prepared, error) {
 	ctx, err := NewContext(machineCfg)
 	if err != nil {
 		return nil, err
@@ -74,10 +98,12 @@ func prepare(machineCfg ipu.Config, m *sparse.Matrix, cfg config.Config, strateg
 	if inj != nil {
 		ctx.Session.Registry = inj
 	}
+	phaseStart := time.Now()
 	sys, err := ctx.LoadSystem(m, strategy)
 	if err != nil {
 		return nil, err
 	}
+	partitionSecs := time.Since(phaseStart).Seconds()
 	rec, err := config.BuildRecovery(sys, cfg.Recovery)
 	if err != nil {
 		return nil, err
@@ -89,7 +115,9 @@ func prepare(machineCfg ipu.Config, m *sparse.Matrix, cfg config.Config, strateg
 		inj:        inj,
 		n:          m.N,
 		par:        cfg.EngineParallelism(),
+		inst:       inst,
 	}
+	phaseStart = time.Now()
 
 	if cfg.MPIR != nil {
 		ext := cfg.MPIR.ExtScalar()
@@ -138,8 +166,11 @@ func prepare(machineCfg ipu.Config, m *sparse.Matrix, cfg config.Config, strateg
 		s.ScheduleSolve(p.xT, p.bT, &p.st)
 	}
 
+	scheduleSecs := time.Since(phaseStart).Seconds()
+
 	// "Graph compilation": validate the constructed program against the
 	// machine before execution, and gather the report.
+	phaseStart = time.Now()
 	if err := graph.Validate(ctx.Session.Program(), machineCfg); err != nil {
 		return nil, err
 	}
@@ -147,12 +178,33 @@ func prepare(machineCfg ipu.Config, m *sparse.Matrix, cfg config.Config, strateg
 	// Freeze every compute set now so the first Solve pays no finalization
 	// cost and supersteps can shard over the dense tile-sorted form.
 	graph.Freeze(ctx.Session.Program())
+	compileSecs := time.Since(phaseStart).Seconds()
+
+	p.prepPartition, p.prepSchedule, p.prepCompile = partitionSecs, scheduleSecs, compileSecs
+	inst.observePhase("partition", partitionSecs)
+	inst.observePhase("schedule", scheduleSecs)
+	inst.observePhase("compile", compileSecs)
 	return p, nil
 }
 
+// PipelineInfo describes a prepared pipeline: the system size, the scheduled
+// solver hierarchy and the program analysis gathered at prepare time.
+type PipelineInfo struct {
+	N      int    // rows of the prepared system
+	Solver string // name of the scheduled solver hierarchy
+	Report graph.Report
+}
+
+// Info returns the prepared pipeline's description.
+func (p *Prepared) Info() PipelineInfo {
+	return PipelineInfo{N: p.n, Solver: p.st.Solver, Report: p.report}
+}
+
 // SetParallelism overrides the engine host parallelism for subsequent Solve
-// calls: 0 selects the shared pool's worker count, 1 runs serially. Results
-// are bit-identical at every setting.
+// calls.
+//
+// Deprecated: pass WithParallelism to Prepare or Solve instead. This wrapper
+// will be removed after one release.
 func (p *Prepared) SetParallelism(par int) {
 	p.mu.Lock()
 	defer p.mu.Unlock()
@@ -163,28 +215,55 @@ func (p *Prepared) SetParallelism(par int) {
 }
 
 // N returns the number of rows of the prepared system.
+//
+// Deprecated: use Info().N. This wrapper will be removed after one release.
 func (p *Prepared) N() int { return p.n }
 
 // SolverName returns the name of the scheduled solver hierarchy.
+//
+// Deprecated: use Info().Solver. This wrapper will be removed after one
+// release.
 func (p *Prepared) SolverName() string { return p.st.Solver }
 
 // Report returns the program analysis gathered at prepare time.
+//
+// Deprecated: use Info().Report. This wrapper will be removed after one
+// release.
 func (p *Prepared) Report() graph.Report { return p.report }
 
 // Solve re-runs the compiled program against a new right-hand side. The
 // solution starts from a zero initial guess, all solver state (checkpoints,
 // restart budgets, RunStats counters, machine cycle accounting) is reset
 // before execution, so consecutive Solve calls are bit-identical to cold
-// Solve calls on a fresh pipeline.
-func (p *Prepared) Solve(b []float64) (*Result, error) {
-	return p.run(b, nil)
+// Solve calls on a fresh pipeline. Options override the Prepare-time defaults
+// for this call only.
+func (p *Prepared) Solve(b []float64, opts ...Option) (*Result, error) {
+	var ro runOptions
+	for _, o := range opts {
+		o(&ro)
+	}
+	return p.run(b, ro)
 }
 
-// run executes the prepared program once. traceOut, when non-nil, receives
-// the BSP phase timeline in Chrome trace-event JSON.
-func (p *Prepared) run(b []float64, traceOut io.Writer) (*Result, error) {
+// run executes the prepared program once with the per-call options resolved
+// against the Prepare-time defaults.
+func (p *Prepared) run(b []float64, ro runOptions) (*Result, error) {
 	p.mu.Lock()
 	defer p.mu.Unlock()
+	traceOut := ro.trace
+	if traceOut == nil {
+		traceOut = p.traceOut
+	}
+	par := p.par
+	if ro.parSet {
+		par = ro.par
+	}
+	inst := p.inst
+	if ro.reg != nil && (inst == nil || inst.reg != ro.reg) {
+		// Per-call registry override: instrument registration is idempotent,
+		// so resolving here is cheap and safe outside the hot path.
+		inst = newCoreInstruments(ro.reg)
+	}
 	if len(b) != p.n {
 		return nil, fmt.Errorf("core: %d right-hand-side values for %d rows", len(b), p.n)
 	}
@@ -209,10 +288,13 @@ func (p *Prepared) run(b []float64, traceOut io.Writer) (*Result, error) {
 	}
 
 	eng := graph.NewEngine(p.ctx.Machine)
-	eng.SetParallelism(p.par)
+	eng.SetParallelism(par)
 	eng.Reserve(p.report.MaxExchangeMoves)
 	if p.inj != nil {
 		eng.Injector = p.inj
+	}
+	if inst != nil {
+		eng.SetMetrics(inst.engine)
 	}
 	var tracer *graph.Tracer
 	if traceOut != nil {
@@ -223,8 +305,16 @@ func (p *Prepared) run(b []float64, traceOut io.Writer) (*Result, error) {
 		return nil, err
 	}
 	execWall := time.Since(execStart)
+	if inst != nil {
+		// Post-run flush: per-tile distributions, aggregate cycle counters and
+		// the solver outcome — all off the superstep hot path.
+		p.ctx.Machine.ObserveMetrics(inst.machine)
+		inst.solver.ObserveRun(&p.st)
+		inst.observePhase("execute", execWall.Seconds())
+		inst.solves.Inc()
+	}
 	if tracer != nil {
-		if err := tracer.WriteChromeTrace(traceOut, p.machineCfg.ClockHz); err != nil {
+		if err := p.writeTrace(traceOut, tracer, execWall.Seconds()); err != nil {
 			return nil, err
 		}
 	}
@@ -243,4 +333,38 @@ func (p *Prepared) run(b []float64, traceOut io.Writer) (*Result, error) {
 		res.FaultRetries = eng.FaultRetries
 	}
 	return res, nil
+}
+
+// writeTrace exports the combined run timeline: the prepare-phase wall times
+// on the host pipeline track, a solve span covering the device execution, and
+// the traced BSP phases on the device compute/exchange/host-call tracks. The
+// device timeline starts where the host pipeline spans end, so one Perfetto
+// view shows both the amortized preparation work and the run it paid for.
+func (p *Prepared) writeTrace(w io.Writer, tracer *graph.Tracer, execWallSecs float64) error {
+	tr := &telemetry.Trace{}
+	origin := 0.0
+	for _, ph := range []struct {
+		name string
+		secs float64
+	}{
+		{"prepare.partition", p.prepPartition},
+		{"prepare.schedule", p.prepSchedule},
+		{"prepare.compile", p.prepCompile},
+	} {
+		tr.Add(telemetry.Span{
+			Name: ph.name, Cat: "pipeline",
+			TS: origin, Dur: ph.secs * 1e6,
+			PID: telemetry.PIDHost, TID: telemetry.TIDPipeline,
+		})
+		origin += ph.secs * 1e6
+	}
+	tr.Add(telemetry.Span{
+		Name: "solve", Cat: "pipeline",
+		TS: origin, Dur: execWallSecs * 1e6,
+		PID: telemetry.PIDHost, TID: telemetry.TIDPipeline,
+	})
+	if err := tracer.AppendTimeline(tr, p.machineCfg.ClockHz, origin); err != nil {
+		return err
+	}
+	return tr.WriteChrome(w)
 }

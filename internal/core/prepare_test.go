@@ -227,10 +227,11 @@ func TestPreparedRejectsWrongRHSLength(t *testing.T) {
 	if _, err := p.Solve(make([]float64, m.N+1)); err == nil {
 		t.Error("expected length error")
 	}
-	if p.N() != m.N {
-		t.Errorf("N() = %d, want %d", p.N(), m.N)
+	info := p.Info()
+	if info.N != m.N {
+		t.Errorf("Info().N = %d, want %d", info.N, m.N)
 	}
-	if p.SolverName() == "" {
-		t.Error("SolverName empty")
+	if info.Solver == "" {
+		t.Error("Info().Solver empty")
 	}
 }

@@ -51,6 +51,7 @@ type Engine struct {
 	workerCost      []uint64
 	transferScratch []ipu.Transfer
 	tracer          *Tracer
+	metrics         *EngineMetrics
 }
 
 // minShardEntries is the smallest number of populated tiles one shard is
@@ -227,6 +228,11 @@ func (e *Engine) computeSuperstep(cs *ComputeSet, fs *frozenSet) error {
 	e.Supersteps++
 	if e.tracer != nil {
 		e.tracer.add(cs.Name, cs.Label, "compute", step)
+	}
+	if e.metrics != nil {
+		e.metrics.Supersteps.Inc()
+		e.metrics.SuperstepCycles.Observe(float64(step))
+		e.metrics.ShardsPerSuperstep.Observe(float64(nsh))
 	}
 	return nil
 }

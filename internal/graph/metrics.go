@@ -1,0 +1,58 @@
+package graph
+
+import "ipusparse/internal/telemetry"
+
+// EngineMetrics is the pre-resolved telemetry instrument set for the BSP
+// engine hot path. Every recording is a single atomic operation on a handle
+// resolved at construction, which keeps the superstep loop at zero
+// allocations per operation with telemetry enabled (the BenchmarkEngineSpMV
+// guard). Construct once per registry with NewEngineMetrics and attach with
+// Engine.SetMetrics.
+type EngineMetrics struct {
+	Supersteps   *telemetry.Counter
+	Exchanges    *telemetry.Counter
+	HostCalls    *telemetry.Counter
+	FaultRetries *telemetry.Counter
+
+	// SuperstepCycles and ExchangeCycles are per-phase cycle distributions;
+	// ExchangeBytes is the per-phase sender-side traffic distribution.
+	SuperstepCycles *telemetry.Histogram
+	ExchangeCycles  *telemetry.Histogram
+	ExchangeBytes   *telemetry.Histogram
+
+	// ShardsPerSuperstep is the shard-pool utilization distribution: how many
+	// host shards each compute superstep actually used (1 = serial, capped by
+	// the configured parallelism and the populated-tile count).
+	ShardsPerSuperstep *telemetry.Histogram
+}
+
+// NewEngineMetrics resolves the engine instrument set on the registry.
+// A nil registry returns nil (telemetry disabled).
+func NewEngineMetrics(reg *telemetry.Registry) *EngineMetrics {
+	if reg == nil {
+		return nil
+	}
+	return &EngineMetrics{
+		Supersteps:   reg.Counter("engine_supersteps_total", "Compute supersteps executed by the engine."),
+		Exchanges:    reg.Counter("engine_exchanges_total", "Exchange phases executed by the engine."),
+		HostCalls:    reg.Counter("engine_host_calls_total", "Host callbacks invoked at superstep boundaries."),
+		FaultRetries: reg.Counter("engine_fault_retries_total", "Exchange payloads redelivered after a parity-detected drop."),
+		SuperstepCycles: reg.Histogram("engine_superstep_cycles",
+			"Cycle cost per compute superstep (incl. sync barrier).",
+			telemetry.ExponentialBuckets(256, 4, 10)),
+		ExchangeCycles: reg.Histogram("engine_exchange_cycles",
+			"Cycle cost per exchange phase (incl. setup).",
+			telemetry.ExponentialBuckets(64, 4, 10)),
+		ExchangeBytes: reg.Histogram("engine_exchange_phase_bytes",
+			"Sender-side bytes per exchange phase.",
+			telemetry.ExponentialBuckets(256, 4, 12)),
+		ShardsPerSuperstep: reg.Histogram("engine_shards_per_superstep",
+			"Host shards used per compute superstep (shard-pool utilization).",
+			telemetry.LinearBuckets(1, 1, 16)),
+	}
+}
+
+// SetMetrics attaches the instrument set to the engine; nil detaches it.
+// Recording never changes results — cycle accounting and solutions stay
+// bit-identical with telemetry on or off.
+func (e *Engine) SetMetrics(em *EngineMetrics) { e.metrics = em }

@@ -187,6 +187,11 @@ func (c Compute) execInjected(e *Engine, fs *frozenSet) error {
 	if e.tracer != nil {
 		e.tracer.add(c.Set.Name, c.Set.Label, "compute", step)
 	}
+	if e.metrics != nil {
+		e.metrics.Supersteps.Inc()
+		e.metrics.SuperstepCycles.Observe(float64(step))
+		e.metrics.ShardsPerSuperstep.Observe(1)
+	}
 	return nil
 }
 
@@ -240,6 +245,9 @@ func (x Exchange) exec(e *Engine) error {
 			// traffic is billed a second time on the same phase.
 			transfers = append(transfers, transferFromMove(*mv))
 			e.FaultRetries++
+			if e.metrics != nil {
+				e.metrics.FaultRetries.Inc()
+			}
 		}
 		transfers = append(transfers, transferFromMove(*mv))
 	}
@@ -252,6 +260,11 @@ func (x Exchange) exec(e *Engine) error {
 	e.addProfile(label, st.Cycles)
 	if e.tracer != nil {
 		e.tracer.add(x.Name, label, "exchange", st.Cycles)
+	}
+	if e.metrics != nil {
+		e.metrics.Exchanges.Inc()
+		e.metrics.ExchangeCycles.Observe(float64(st.Cycles))
+		e.metrics.ExchangeBytes.Observe(float64(st.Bytes))
 	}
 	return nil
 }
@@ -332,6 +345,14 @@ func (h HostCall) exec(e *Engine) error {
 		if err := e.Injector.HostFault(h.Name, e.Supersteps); err != nil {
 			return &StepError{Step: h.Name, Superstep: e.Supersteps, Err: err}
 		}
+	}
+	if e.metrics != nil {
+		e.metrics.HostCalls.Inc()
+	}
+	if e.tracer != nil {
+		// Host callbacks are zero-cycle on the device timeline; they show up
+		// as instants on the host-call track of the exported trace.
+		e.tracer.add(h.Name, "Host", "host", 0)
 	}
 	if h.Fn == nil {
 		return nil

@@ -1,16 +1,17 @@
 package graph
 
 import (
-	"encoding/json"
 	"fmt"
 	"io"
+
+	"ipusparse/internal/telemetry"
 )
 
 // TraceEvent is one executed program step on the simulated device timeline.
 type TraceEvent struct {
 	Name   string // step name (compute set / exchange name)
 	Label  string // profiling class
-	Kind   string // "compute" or "exchange"
+	Kind   string // "compute", "exchange" or "host"
 	Start  uint64 // device cycle at phase start
 	Cycles uint64
 }
@@ -41,45 +42,47 @@ func (t *Tracer) add(name, label, kind string, cycles uint64) {
 // TotalCycles returns the traced timeline length.
 func (t *Tracer) TotalCycles() uint64 { return t.clock }
 
-// chromeEvent is the Chrome trace "complete event" record.
-type chromeEvent struct {
-	Name string                 `json:"name"`
-	Cat  string                 `json:"cat"`
-	Ph   string                 `json:"ph"`
-	TS   float64                `json:"ts"`  // microseconds
-	Dur  float64                `json:"dur"` // microseconds
-	PID  int                    `json:"pid"`
-	TID  int                    `json:"tid"`
-	Args map[string]interface{} `json:"args,omitempty"`
-}
-
-// WriteChromeTrace exports the timeline in Chrome trace-event JSON. clockHz
-// converts cycles to wall time; compute and exchange phases are placed on
-// separate tracks (tids) so the BSP alternation is visible.
-func (t *Tracer) WriteChromeTrace(w io.Writer, clockHz float64) error {
+// AppendTimeline converts the traced events into telemetry spans on the
+// device timeline and appends them to tr: compute supersteps on TIDCompute,
+// exchange phases on TIDExchange, host callbacks as zero-duration instants on
+// TIDHostCall. clockHz converts cycles to wall microseconds; origin shifts
+// the timeline (host pipeline spans sit around the device spans when core
+// composes the combined trace).
+func (t *Tracer) AppendTimeline(tr *telemetry.Trace, clockHz, origin float64) error {
 	if clockHz <= 0 {
 		return fmt.Errorf("graph: clockHz must be positive")
 	}
-	events := make([]chromeEvent, 0, len(t.Events))
 	usPerCycle := 1e6 / clockHz
 	for _, ev := range t.Events {
-		tid := 1
-		if ev.Kind == "exchange" {
-			tid = 2
+		tid := telemetry.TIDCompute
+		switch ev.Kind {
+		case "exchange":
+			tid = telemetry.TIDExchange
+		case "host":
+			tid = telemetry.TIDHostCall
 		}
-		events = append(events, chromeEvent{
-			Name: ev.Name,
-			Cat:  ev.Label,
-			Ph:   "X",
-			TS:   float64(ev.Start) * usPerCycle,
-			Dur:  float64(ev.Cycles) * usPerCycle,
-			PID:  0,
-			TID:  tid,
-			Args: map[string]interface{}{"cycles": ev.Cycles, "label": ev.Label},
+		tr.Add(telemetry.Span{
+			Name:   ev.Name,
+			Cat:    ev.Label,
+			TS:     origin + float64(ev.Start)*usPerCycle,
+			Dur:    float64(ev.Cycles) * usPerCycle,
+			PID:    telemetry.PIDDevice,
+			TID:    tid,
+			Cycles: ev.Cycles,
 		})
 	}
-	enc := json.NewEncoder(w)
-	return enc.Encode(map[string]interface{}{"traceEvents": events})
+	return nil
+}
+
+// WriteChromeTrace exports the timeline in Chrome trace-event JSON. clockHz
+// converts cycles to wall time; compute, exchange and host-call phases are
+// placed on separate tracks (tids) so the BSP alternation is visible.
+func (t *Tracer) WriteChromeTrace(w io.Writer, clockHz float64) error {
+	tr := &telemetry.Trace{}
+	if err := t.AppendTimeline(tr, clockHz, 0); err != nil {
+		return err
+	}
+	return tr.WriteChrome(w)
 }
 
 // Summary aggregates traced cycles by label.

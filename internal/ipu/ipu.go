@@ -162,6 +162,7 @@ type Tile struct {
 	MemUsed  int
 	MemPeak  int
 	Cycles   uint64 // accumulated compute cycles on this tile
+	XBytes   uint64 // accumulated exchange traffic (sent + received bytes)
 	MaxBytes int
 }
 
@@ -443,6 +444,9 @@ func (m *Machine) Exchange(transfers []Transfer) ExchangeStats {
 	exBW, linkBW := m.cfg.ExchangeBytesPerCycle, m.cfg.LinkBytesPerCycle
 	var max float64
 	for t := 0; t < nt; t++ {
+		if traffic := sendOn[t] + sendLink[t] + recvOn[t] + recvLink[t]; traffic > 0 {
+			m.tiles[t].XBytes += uint64(traffic)
+		}
 		v := float64(instr[t])*instrC + float64(sendOn[t])/exBW + float64(sendLink[t])/linkBW
 		if r := float64(recvOn[t])/exBW + float64(recvLink[t])/linkBW; r > v {
 			v = r
@@ -508,6 +512,7 @@ func (m *Machine) ResetStats() {
 	m.exchangeInstructions, m.exchangeBytes = 0, 0
 	for i := range m.tiles {
 		m.tiles[i].Cycles = 0
+		m.tiles[i].XBytes = 0
 	}
 }
 

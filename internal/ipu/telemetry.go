@@ -1,0 +1,85 @@
+package ipu
+
+import "ipusparse/internal/telemetry"
+
+// MachineMetrics is the pre-resolved telemetry instrument set for the
+// simulated machine. Construct it once per registry with NewMachineMetrics
+// and flush a run's accounting into it with Machine.ObserveMetrics — the
+// flush runs after program execution, never on the superstep hot path.
+type MachineMetrics struct {
+	ComputeCycles        *telemetry.Counter
+	ExchangeCycles       *telemetry.Counter
+	SyncCycles           *telemetry.Counter
+	Supersteps           *telemetry.Counter
+	Exchanges            *telemetry.Counter
+	ExchangeInstructions *telemetry.Counter
+	ExchangeBytes        *telemetry.Counter
+
+	// TileCycles and TileExchangeBytes are the per-tile distributions of the
+	// microbenchmark methodology: one observation per active tile per run, so
+	// the histogram shape exposes compute imbalance and exchange hot spots.
+	TileCycles        *telemetry.Histogram
+	TileExchangeBytes *telemetry.Histogram
+
+	ActiveTiles  *telemetry.Gauge
+	MemPeakBytes *telemetry.Gauge
+}
+
+// NewMachineMetrics resolves the machine instrument set on the registry.
+// A nil registry returns nil (telemetry disabled).
+func NewMachineMetrics(reg *telemetry.Registry) *MachineMetrics {
+	if reg == nil {
+		return nil
+	}
+	return &MachineMetrics{
+		ComputeCycles:        reg.Counter("ipu_compute_cycles_total", "Simulated compute cycles (max over tiles per superstep)."),
+		ExchangeCycles:       reg.Counter("ipu_exchange_cycles_total", "Simulated exchange-phase cycles."),
+		SyncCycles:           reg.Counter("ipu_sync_cycles_total", "Simulated BSP synchronization cycles."),
+		Supersteps:           reg.Counter("ipu_supersteps_total", "Executed compute supersteps."),
+		Exchanges:            reg.Counter("ipu_exchanges_total", "Executed exchange phases."),
+		ExchangeInstructions: reg.Counter("ipu_exchange_instructions_total", "Transfer instructions issued (communication-program size)."),
+		ExchangeBytes:        reg.Counter("ipu_exchange_bytes_total", "Sender-side exchange bytes (broadcasts counted once)."),
+		TileCycles: reg.Histogram("ipu_tile_cycles",
+			"Per-tile compute cycles per run (active tiles only): the load-balance distribution.",
+			telemetry.ExponentialBuckets(1e3, 4, 12)),
+		TileExchangeBytes: reg.Histogram("ipu_tile_exchange_bytes",
+			"Per-tile exchange traffic per run (sent + received bytes, active tiles only).",
+			telemetry.ExponentialBuckets(64, 4, 12)),
+		ActiveTiles:  reg.Gauge("ipu_active_tiles", "Tiles that executed compute cycles in the last observed run."),
+		MemPeakBytes: reg.Gauge("ipu_mem_peak_bytes", "Maximum SRAM high-water mark over tiles."),
+	}
+}
+
+// ObserveMetrics flushes the machine's accumulated accounting into the
+// instrument set: one observation per active tile into the distributions,
+// plus the aggregate cycle and traffic counters. Call it once per run, after
+// execution and before ResetStats. A nil receiver or nil metrics is a no-op.
+func (m *Machine) ObserveMetrics(mm *MachineMetrics) {
+	if m == nil || mm == nil {
+		return
+	}
+	mm.ComputeCycles.Add(m.computeCycles)
+	mm.ExchangeCycles.Add(m.exchangeCycles)
+	mm.SyncCycles.Add(m.syncCycles)
+	mm.Supersteps.Add(m.supersteps)
+	mm.Exchanges.Add(m.exchanges)
+	mm.ExchangeInstructions.Add(m.exchangeInstructions)
+	mm.ExchangeBytes.Add(m.exchangeBytes)
+	active := 0
+	peak := 0
+	for i := range m.tiles {
+		t := &m.tiles[i]
+		if t.Cycles > 0 {
+			active++
+			mm.TileCycles.Observe(float64(t.Cycles))
+		}
+		if t.XBytes > 0 {
+			mm.TileExchangeBytes.Observe(float64(t.XBytes))
+		}
+		if t.MemPeak > peak {
+			peak = t.MemPeak
+		}
+	}
+	mm.ActiveTiles.Set(float64(active))
+	mm.MemPeakBytes.Set(float64(peak))
+}

@@ -34,13 +34,23 @@ func (s breakerState) String() string {
 type breaker struct {
 	threshold int
 	cooldown  time.Duration
-	opens     func() // service-level open counter hook
+	opens     func()             // service-level open counter hook
+	onState   func(breakerState) // state-gauge hook, called on every transition
 
 	mu       sync.Mutex
 	state    breakerState
 	fails    int
 	openedAt time.Time
 	probing  bool // a half-open probe is in flight
+}
+
+// setState transitions the state and notifies the gauge hook (callers hold
+// b.mu).
+func (b *breaker) setState(st breakerState) {
+	b.state = st
+	if b.onState != nil {
+		b.onState(st)
+	}
 }
 
 // allow reports whether a solve may proceed, transitioning open → half-open
@@ -55,7 +65,7 @@ func (b *breaker) allow() bool {
 		if time.Since(b.openedAt) < b.cooldown {
 			return false
 		}
-		b.state = breakerHalfOpen
+		b.setState(breakerHalfOpen)
 		b.probing = true
 		return true
 	default: // half-open
@@ -71,7 +81,7 @@ func (b *breaker) allow() bool {
 func (b *breaker) success() {
 	b.mu.Lock()
 	defer b.mu.Unlock()
-	b.state = breakerClosed
+	b.setState(breakerClosed)
 	b.fails = 0
 	b.probing = false
 }
@@ -94,7 +104,7 @@ func (b *breaker) failure() {
 
 // open transitions to the open state (callers hold b.mu).
 func (b *breaker) open() {
-	b.state = breakerOpen
+	b.setState(breakerOpen)
 	b.openedAt = time.Now()
 	b.fails = 0
 	b.probing = false
@@ -124,14 +134,29 @@ func (s *Service) breakerFor(id string) *breaker {
 	defer s.mu.Unlock()
 	b, ok := s.breakers[id]
 	if !ok {
+		gauge := s.stats.breakerState.With(id)
 		b = &breaker{
 			threshold: s.opts.BreakerThreshold,
 			cooldown:  s.opts.BreakerCooldown,
 			opens:     func() { s.stats.breakerOpens.Add(1) },
+			onState:   func(st breakerState) { gauge.Set(breakerStateValue(st)) },
 		}
+		gauge.Set(breakerStateValue(breakerClosed)) // materialize the series
 		s.breakers[id] = b
 	}
 	return b
+}
+
+// breakerStateValue maps a breaker state onto the serve_breaker_state gauge
+// scale: 0 closed, 1 half-open, 2 open.
+func breakerStateValue(st breakerState) float64 {
+	switch st {
+	case breakerHalfOpen:
+		return 1
+	case breakerOpen:
+		return 2
+	}
+	return 0
 }
 
 // openBreakers counts systems currently shedding load.

@@ -65,6 +65,7 @@ type BatchResponse struct {
 //	POST /v1/systems/{id}/solve solve one RHS or a batch
 //	GET  /v1/systems            list registered systems
 //	GET  /v1/stats              service counters
+//	GET  /metrics               Prometheus text exposition
 //	GET  /healthz               liveness
 //	GET  /readyz                readiness (503 while draining or degraded)
 //
@@ -76,6 +77,7 @@ func (s *Service) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/systems", s.handleSystems)
 	mux.HandleFunc("POST /v1/systems/{id}/solve", s.handleSolve)
 	mux.HandleFunc("GET /v1/stats", s.handleStats)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 	})
@@ -165,7 +167,7 @@ func (s *Service) handleRegister(w http.ResponseWriter, r *http.Request) {
 		writeError(w, err)
 		return
 	}
-	info, err := s.Register(m, req.Config)
+	info, err := s.Register(r.Context(), m, req.Config)
 	if err != nil {
 		writeError(w, err)
 		return
@@ -203,6 +205,13 @@ func (s *Service) handleSystems(w http.ResponseWriter, r *http.Request) {
 
 func (s *Service) handleStats(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, s.Stats())
+}
+
+// handleMetrics serves the telemetry registry in Prometheus text exposition
+// format 0.0.4 — every service, pipeline, engine and machine series.
+func (s *Service) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	_ = s.opts.Telemetry.WritePrometheus(w)
 }
 
 func (s *Service) handleSolve(w http.ResponseWriter, r *http.Request) {

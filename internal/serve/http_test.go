@@ -41,7 +41,7 @@ func TestHTTPErrorPaths(t *testing.T) {
 	srv := httptest.NewServer(s.Handler())
 	defer srv.Close()
 
-	info, err := s.Register(sparse2dForTest(), nil)
+	info, err := s.Register(context.Background(), sparse2dForTest(), nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -96,7 +96,7 @@ func TestHTTPTimeoutMapsTo504(t *testing.T) {
 	srv := httptest.NewServer(s.Handler())
 	defer srv.Close()
 
-	info, err := s.Register(sparse2dForTest(), nil)
+	info, err := s.Register(context.Background(), sparse2dForTest(), nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -134,7 +134,7 @@ func TestReadyz(t *testing.T) {
 		t.Fatalf("fresh service readyz: %d %v", code, body)
 	}
 
-	info, err := s.Register(sparse2dForTest(), nil)
+	info, err := s.Register(context.Background(), sparse2dForTest(), nil)
 	if err != nil {
 		t.Fatal(err)
 	}

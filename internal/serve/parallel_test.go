@@ -25,7 +25,7 @@ func TestServiceParallelEngineReplicas(t *testing.T) {
 	defer s.Close()
 
 	m := sparse.Poisson3D(6, 6, 6)
-	info, err := s.Register(m, nil)
+	info, err := s.Register(context.Background(), m, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -79,7 +79,7 @@ func TestRegisterInheritsEngineConfig(t *testing.T) {
 
 	m := sparse.Poisson3D(4, 4, 4)
 	perSystem := testOptions().Solver // no Engine block
-	if _, err := s.Register(m, &perSystem); err != nil {
+	if _, err := s.Register(context.Background(), m, &perSystem); err != nil {
 		t.Fatal(err)
 	}
 	s.mu.Lock()

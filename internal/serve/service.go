@@ -22,6 +22,7 @@ import (
 	"ipusparse/internal/fault"
 	"ipusparse/internal/ipu"
 	"ipusparse/internal/sparse"
+	"ipusparse/internal/telemetry"
 )
 
 // Typed service errors; the HTTP layer maps them to status codes.
@@ -63,6 +64,13 @@ type Options struct {
 	BreakerCooldown time.Duration // open-breaker cooldown before a half-open probe (default 1s)
 	StateDir        string        // crash-safe registry directory ("" disables persistence)
 	Chaos           *fault.Chaos  // service-level chaos campaign (nil disables)
+
+	// Telemetry receives every service, pipeline, engine and machine metric
+	// (default: a private registry, exposed on /metrics and /stats). Live
+	// gauges (queue depth, cache size, breaker counts) are rebound to the
+	// most recently constructed service — don't share one registry across
+	// concurrently running services.
+	Telemetry *telemetry.Registry
 }
 
 // OptionsFromConfig derives service options from a configuration file: the
@@ -155,6 +163,9 @@ func (o *Options) fill() {
 	}
 	if o.BreakerCooldown <= 0 {
 		o.BreakerCooldown = time.Second
+	}
+	if o.Telemetry == nil {
+		o.Telemetry = telemetry.NewRegistry()
 	}
 }
 
@@ -266,7 +277,24 @@ func New(opts Options) *Service {
 		breakers: make(map[string]*breaker),
 		jobs:     make(chan *job, opts.QueueDepth),
 		jitter:   rand.New(rand.NewSource(1)),
+		stats:    newStatsCollector(opts.Telemetry),
 	}
+	// Live gauges computed at scrape time. GaugeFunc rebinding is last-wins
+	// per name, so on a shared registry these track the most recently
+	// constructed service (see Options.Telemetry).
+	opts.Telemetry.GaugeFunc("serve_queue_depth",
+		"Jobs queued, not yet picked up.",
+		func() float64 { return float64(len(s.jobs)) })
+	opts.Telemetry.GaugeFunc("serve_cache_size",
+		"Resident prepared-pipeline cache entries.",
+		func() float64 {
+			s.mu.Lock()
+			defer s.mu.Unlock()
+			return float64(s.lru.Len())
+		})
+	opts.Telemetry.GaugeFunc("serve_breakers_open",
+		"Systems currently shedding load.",
+		func() float64 { return float64(s.openBreakers()) })
 	s.baseCtx, s.cancel = context.WithCancel(context.Background())
 	s.wg.Add(opts.Workers)
 	for i := 0; i < opts.Workers; i++ {
@@ -298,7 +326,7 @@ func Open(opts Options) (*Service, error) {
 			return nil, fmt.Errorf("serve: replaying %s: %w", rec.ID, err)
 		}
 		cfg := rec.Config
-		if _, err := s.register(m, &cfg); err != nil {
+		if _, err := s.register(s.baseCtx, m, &cfg); err != nil {
 			s.Close()
 			reg.close()
 			return nil, fmt.Errorf("serve: replaying %s: %w", rec.ID, err)
@@ -326,15 +354,16 @@ type SystemInfo struct {
 
 // Register adds a system to the service and warms the cache with one
 // prepared replica, so registration validates the configuration and the
-// first solve is already amortized. A nil cfg uses the service's default
-// solver configuration. Registering the same matrix again is idempotent.
-// With a crash-safe registry attached, the registration is appended to the
-// WAL before it is acknowledged.
-func (s *Service) Register(m *sparse.Matrix, cfg *config.Config) (SystemInfo, error) {
-	return s.register(m, cfg)
+// first solve is already amortized. The context bounds the warm-up: a caller
+// that goes away cancels its half-built replica wait. A nil cfg uses the
+// service's default solver configuration. Registering the same matrix again
+// is idempotent. With a crash-safe registry attached, the registration is
+// appended to the WAL before it is acknowledged.
+func (s *Service) Register(ctx context.Context, m *sparse.Matrix, cfg *config.Config) (SystemInfo, error) {
+	return s.register(ctx, m, cfg)
 }
 
-func (s *Service) register(m *sparse.Matrix, cfg *config.Config) (SystemInfo, error) {
+func (s *Service) register(ctx context.Context, m *sparse.Matrix, cfg *config.Config) (SystemInfo, error) {
 	c := s.opts.Solver
 	if cfg != nil {
 		c = *cfg
@@ -374,13 +403,13 @@ func (s *Service) register(m *sparse.Matrix, cfg *config.Config) (SystemInfo, er
 	s.mu.Unlock()
 
 	// Warm the cache outside the lock: preparing is the expensive phase. The
-	// service-lifetime context cancels the warm-up when Close starts
-	// draining, so shutdown never waits on (or leaks) a half-built replica.
-	p, ent, err := s.acquire(s.baseCtx, sys)
+	// caller's context bounds the warm-up wait; Close additionally cancels
+	// in-flight work through the service-lifetime base context.
+	p, ent, err := s.acquire(ctx, sys)
 	if err != nil {
 		return SystemInfo{}, err
 	}
-	sys.solver = p.SolverName()
+	sys.solver = p.Info().Solver
 	s.release(ent, p)
 
 	// Durability before acknowledgement: the record hits the WAL (fsynced)
@@ -601,7 +630,8 @@ func (s *Service) acquire(ctx context.Context, sys *system) (*core.Prepared, *en
 		ent.created++
 		s.mu.Unlock()
 		s.stats.misses.Add(1)
-		p, err := core.Prepare(s.opts.Machine, sys.m, sys.cfg, s.opts.Strategy)
+		p, err := core.Prepare(s.opts.Machine, sys.m, sys.cfg, s.opts.Strategy,
+			core.WithTelemetry(s.opts.Telemetry))
 		if err != nil {
 			s.mu.Lock()
 			ent.created--

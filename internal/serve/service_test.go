@@ -49,7 +49,7 @@ func TestServiceSolveMatchesCore(t *testing.T) {
 	defer s.Close()
 
 	m := sparse.Poisson3D(5, 5, 5)
-	info, err := s.Register(m, nil)
+	info, err := s.Register(context.Background(), m, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -110,7 +110,7 @@ func TestServiceConcurrentHammer(t *testing.T) {
 	defer s.Close()
 
 	m := sparse.Poisson2D(9, 9)
-	info, err := s.Register(m, nil)
+	info, err := s.Register(context.Background(), m, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -186,7 +186,7 @@ func TestServiceEviction(t *testing.T) {
 	mats := make([]*sparse.Matrix, len(sizes))
 	for i, sz := range sizes {
 		m := sparse.Poisson2D(sz[0], sz[1])
-		info, err := s.Register(m, nil)
+		info, err := s.Register(context.Background(), m, nil)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -232,7 +232,7 @@ func TestServiceOverloaded(t *testing.T) {
 	// worker drains) must overflow the one-slot queue: at any instant one
 	// job runs, one waits, the rest bounce with ErrOverloaded.
 	m := sparse.Poisson2D(40, 40)
-	info, err := s.Register(m, nil)
+	info, err := s.Register(context.Background(), m, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -281,7 +281,7 @@ func TestServiceDeadline(t *testing.T) {
 	defer s.Close()
 
 	m := sparse.Poisson2D(8, 8)
-	info, err := s.Register(m, nil)
+	info, err := s.Register(context.Background(), m, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -295,7 +295,7 @@ func TestServiceDeadline(t *testing.T) {
 func TestServiceClosedRejects(t *testing.T) {
 	s := New(testOptions())
 	m := sparse.Poisson2D(6, 6)
-	info, err := s.Register(m, nil)
+	info, err := s.Register(context.Background(), m, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -305,7 +305,7 @@ func TestServiceClosedRejects(t *testing.T) {
 	if _, err := s.Solve(context.Background(), info.ID, onesRHS(m)); !errors.Is(err, ErrClosed) {
 		t.Fatalf("solve after close: err = %v, want ErrClosed", err)
 	}
-	if _, err := s.Register(sparse.Poisson2D(5, 5), nil); !errors.Is(err, ErrClosed) {
+	if _, err := s.Register(context.Background(), sparse.Poisson2D(5, 5), nil); !errors.Is(err, ErrClosed) {
 		t.Fatalf("register after close: err = %v, want ErrClosed", err)
 	}
 	if err := s.Close(); err != nil {
@@ -320,7 +320,7 @@ func TestServiceBatch(t *testing.T) {
 	defer s.Close()
 
 	m := sparse.Poisson2D(8, 8)
-	info, err := s.Register(m, nil)
+	info, err := s.Register(context.Background(), m, nil)
 	if err != nil {
 		t.Fatal(err)
 	}

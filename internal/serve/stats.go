@@ -1,13 +1,14 @@
 package serve
 
 import (
-	"sort"
-	"sync"
-	"sync/atomic"
 	"time"
+
+	"ipusparse/internal/telemetry"
 )
 
-// Stats is a point-in-time snapshot of the service counters.
+// Stats is a point-in-time snapshot of the service counters. The JSON field
+// names are the /stats wire contract; the values are backed by the service's
+// telemetry registry (the same instruments /metrics exposes).
 type Stats struct {
 	// Prepared-pipeline cache.
 	CacheHits   uint64 `json:"cacheHits"`   // solves served by a cached replica
@@ -20,7 +21,8 @@ type Stats struct {
 	Rejected   uint64 `json:"rejected"`   // jobs refused by admission control
 	Solved     uint64 `json:"solved"`     // completed solves
 
-	// Latency over the recent window (milliseconds of wall time per solve).
+	// Latency percentiles estimated from the solve-latency histogram
+	// (milliseconds of wall time per solve).
 	P50Ms float64 `json:"p50Ms"`
 	P99Ms float64 `json:"p99Ms"`
 
@@ -41,96 +43,92 @@ type Stats struct {
 	BreakersOpen    int    `json:"breakersOpen"`    // systems currently shedding load
 }
 
-// latencyWindow bounds the percentile sample buffer; old samples are
-// overwritten ring-style so the percentiles track recent behavior.
-const latencyWindow = 1024
-
-// statsCollector accumulates the service counters. Counter fields are
-// atomics so the hot path never contends; the latency ring has its own lock.
+// statsCollector is the service's pre-resolved instrument set on its
+// telemetry registry. The hot path records through lock-free atomic handles;
+// the /stats JSON snapshot and the /metrics exposition read the same series.
 type statsCollector struct {
-	hits      atomic.Uint64
-	misses    atomic.Uint64
-	evictions atomic.Uint64
-	rejected  atomic.Uint64
-	solved    atomic.Uint64
-	cycles    atomic.Uint64 // total simulated cycles over all solves
+	hits      *telemetry.Counter
+	misses    *telemetry.Counter
+	evictions *telemetry.Counter
+	rejected  *telemetry.Counter
+	solved    *telemetry.Counter
+	cycles    *telemetry.Counter // total simulated cycles over all solves
 
-	retries         atomic.Uint64
-	hedges          atomic.Uint64
-	hedgeWins       atomic.Uint64
-	panics          atomic.Uint64
-	quarantined     atomic.Uint64
-	rebuilt         atomic.Uint64
-	verified        atomic.Uint64
-	verifyFailed    atomic.Uint64
-	breakerRejected atomic.Uint64
-	breakerOpens    atomic.Uint64
+	retries         *telemetry.Counter
+	hedges          *telemetry.Counter
+	hedgeWins       *telemetry.Counter
+	panics          *telemetry.Counter
+	quarantined     *telemetry.Counter
+	rebuilt         *telemetry.Counter
+	verified        *telemetry.Counter
+	verifyFailed    *telemetry.Counter
+	breakerRejected *telemetry.Counter
+	breakerOpens    *telemetry.Counter
 
-	mu   sync.Mutex
-	ring [latencyWindow]time.Duration
-	n    int // samples written (ring wraps at latencyWindow)
+	latency      *telemetry.Histogram // serve_solve_latency_seconds
+	breakerState *telemetry.GaugeVec  // serve_breaker_state{system}
+}
+
+func newStatsCollector(reg *telemetry.Registry) statsCollector {
+	return statsCollector{
+		hits:      reg.Counter("serve_cache_hits_total", "Solves served by a cached prepared replica."),
+		misses:    reg.Counter("serve_cache_misses_total", "Solves that had to prepare a pipeline."),
+		evictions: reg.Counter("serve_cache_evictions_total", "Prepared-pipeline cache entries dropped under pressure."),
+		rejected:  reg.Counter("serve_rejected_total", "Jobs refused by admission control."),
+		solved:    reg.Counter("serve_solves_total", "Completed solves."),
+		cycles:    reg.Counter("serve_solve_cycles_total", "Simulated IPU cycles over all completed solves."),
+
+		retries:         reg.Counter("serve_retries_total", "Retry attempts after retryable failures."),
+		hedges:          reg.Counter("serve_hedges_total", "Hedged (second-replica) attempts fired."),
+		hedgeWins:       reg.Counter("serve_hedge_wins_total", "Hedged attempts that returned the answer."),
+		panics:          reg.Counter("serve_panics_total", "Replica panics caught by the supervisor."),
+		quarantined:     reg.Counter("serve_quarantined_total", "Replicas dropped as corrupt."),
+		rebuilt:         reg.Counter("serve_rebuilt_total", "Replicas rebuilt after quarantine."),
+		verified:        reg.Counter("serve_verified_total", "Answers that passed residual verification."),
+		verifyFailed:    reg.Counter("serve_verify_failed_total", "Answers rejected by residual verification."),
+		breakerRejected: reg.Counter("serve_breaker_rejected_total", "Solves shed by an open circuit breaker."),
+		breakerOpens:    reg.Counter("serve_breaker_opens_total", "Circuit-breaker open transitions."),
+
+		latency: reg.Histogram("serve_solve_latency_seconds",
+			"Solve wall latency (queue pickup to answer).",
+			telemetry.ExponentialBuckets(0.0005, 2, 16)),
+		breakerState: reg.GaugeVec("serve_breaker_state",
+			"Per-system circuit-breaker state (0 closed, 1 half-open, 2 open).", "system"),
+	}
 }
 
 func (c *statsCollector) recordSolve(wall time.Duration, cycles uint64) {
-	c.solved.Add(1)
+	c.solved.Inc()
 	c.cycles.Add(cycles)
-	c.mu.Lock()
-	c.ring[c.n%latencyWindow] = wall
-	c.n++
-	c.mu.Unlock()
-}
-
-// percentiles returns the p50/p99 wall latency of the recent window.
-func (c *statsCollector) percentiles() (p50, p99 time.Duration) {
-	c.mu.Lock()
-	n := c.n
-	if n > latencyWindow {
-		n = latencyWindow
-	}
-	samples := make([]time.Duration, n)
-	copy(samples, c.ring[:n])
-	c.mu.Unlock()
-	if n == 0 {
-		return 0, 0
-	}
-	sort.Slice(samples, func(i, j int) bool { return samples[i] < samples[j] })
-	idx := func(p float64) int {
-		i := int(p * float64(n-1))
-		if i >= n {
-			i = n - 1
-		}
-		return i
-	}
-	return samples[idx(0.50)], samples[idx(0.99)]
+	c.latency.Observe(wall.Seconds())
 }
 
 // Stats snapshots the service counters.
 func (s *Service) Stats() Stats {
-	p50, p99 := s.stats.percentiles()
 	st := Stats{
-		CacheHits:   s.stats.hits.Load(),
-		CacheMisses: s.stats.misses.Load(),
-		Evictions:   s.stats.evictions.Load(),
+		CacheHits:   s.stats.hits.Value(),
+		CacheMisses: s.stats.misses.Value(),
+		Evictions:   s.stats.evictions.Value(),
 		QueueDepth:  len(s.jobs),
-		Rejected:    s.stats.rejected.Load(),
-		Solved:      s.stats.solved.Load(),
-		P50Ms:       float64(p50) / float64(time.Millisecond),
-		P99Ms:       float64(p99) / float64(time.Millisecond),
+		Rejected:    s.stats.rejected.Value(),
+		Solved:      s.stats.solved.Value(),
+		P50Ms:       1e3 * s.stats.latency.Quantile(0.50),
+		P99Ms:       1e3 * s.stats.latency.Quantile(0.99),
 
-		Retries:         s.stats.retries.Load(),
-		Hedges:          s.stats.hedges.Load(),
-		HedgeWins:       s.stats.hedgeWins.Load(),
-		Panics:          s.stats.panics.Load(),
-		Quarantined:     s.stats.quarantined.Load(),
-		Rebuilt:         s.stats.rebuilt.Load(),
-		Verified:        s.stats.verified.Load(),
-		VerifyFailed:    s.stats.verifyFailed.Load(),
-		BreakerRejected: s.stats.breakerRejected.Load(),
-		BreakerOpens:    s.stats.breakerOpens.Load(),
+		Retries:         s.stats.retries.Value(),
+		Hedges:          s.stats.hedges.Value(),
+		HedgeWins:       s.stats.hedgeWins.Value(),
+		Panics:          s.stats.panics.Value(),
+		Quarantined:     s.stats.quarantined.Value(),
+		Rebuilt:         s.stats.rebuilt.Value(),
+		Verified:        s.stats.verified.Value(),
+		VerifyFailed:    s.stats.verifyFailed.Value(),
+		BreakerRejected: s.stats.breakerRejected.Value(),
+		BreakerOpens:    s.stats.breakerOpens.Value(),
 		BreakersOpen:    s.openBreakers(),
 	}
 	if st.Solved > 0 {
-		st.CyclesPerSolve = s.stats.cycles.Load() / st.Solved
+		st.CyclesPerSolve = s.stats.cycles.Value() / st.Solved
 	}
 	s.mu.Lock()
 	st.CacheSize = s.lru.Len()

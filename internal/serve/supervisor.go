@@ -194,10 +194,11 @@ func (s *Service) hedged(ctx context.Context, sys *system, b []float64) (*core.R
 	return second.res, second.err
 }
 
-// hedgeDelay is the observed p99 solve latency, floored by the configured
-// HedgeAfter (which alone applies until enough samples accumulate).
+// hedgeDelay is the observed p99 solve latency (estimated from the latency
+// histogram), floored by the configured HedgeAfter (which alone applies until
+// samples accumulate).
 func (s *Service) hedgeDelay() time.Duration {
-	_, p99 := s.stats.percentiles()
+	p99 := time.Duration(s.stats.latency.Quantile(0.99) * float64(time.Second))
 	if p99 > s.opts.HedgeAfter {
 		return p99
 	}
@@ -289,7 +290,8 @@ func (s *Service) quarantine(sys *system, ent *entry) {
 			s.surrenderSlot(ent)
 			return
 		}
-		p, err := core.Prepare(s.opts.Machine, sys.m, sys.cfg, s.opts.Strategy)
+		p, err := core.Prepare(s.opts.Machine, sys.m, sys.cfg, s.opts.Strategy,
+			core.WithTelemetry(s.opts.Telemetry))
 		if err != nil {
 			s.surrenderSlot(ent)
 			return

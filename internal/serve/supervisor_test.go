@@ -37,7 +37,7 @@ func TestChaosCampaignZeroWrongAnswers(t *testing.T) {
 	defer s.Close()
 
 	m := sparse.Poisson2D(9, 9)
-	info, err := s.Register(m, nil)
+	info, err := s.Register(context.Background(), m, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -114,7 +114,7 @@ func TestVerifyCatchesCorruption(t *testing.T) {
 	defer s.Close()
 
 	m := sparse.Poisson2D(8, 8)
-	info, err := s.Register(m, nil)
+	info, err := s.Register(context.Background(), m, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -157,7 +157,7 @@ func TestBreakerOpensAndRecovers(t *testing.T) {
 	defer s.Close()
 
 	m := sparse.Poisson2D(7, 7)
-	info, err := s.Register(m, nil)
+	info, err := s.Register(context.Background(), m, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -246,7 +246,7 @@ func TestHedgeFiresOnStall(t *testing.T) {
 	defer s.Close()
 
 	m := sparse.Poisson2D(7, 7)
-	info, err := s.Register(m, nil)
+	info, err := s.Register(context.Background(), m, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -298,7 +298,7 @@ func TestShutdownRaces(t *testing.T) {
 	s := New(opts)
 
 	m := sparse.Poisson2D(8, 8)
-	info, err := s.Register(m, nil)
+	info, err := s.Register(context.Background(), m, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -313,7 +313,7 @@ func TestShutdownRaces(t *testing.T) {
 			_, err := s.Solve(context.Background(), info.ID, b)
 			errs <- err
 			// Registrations race Close through the warm-up path.
-			_, err = s.Register(sparse.Poisson2D(5+g%3, 6), nil)
+			_, err = s.Register(context.Background(), sparse.Poisson2D(5+g%3, 6), nil)
 			errs <- err
 		}(g)
 	}

@@ -24,11 +24,11 @@ func TestOpenRecoversRegistrations(t *testing.T) {
 	}
 	m1 := sparse.Poisson2D(8, 8)
 	m2 := sparse.Poisson3D(4, 4, 4)
-	i1, err := s.Register(m1, nil)
+	i1, err := s.Register(context.Background(), m1, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
-	i2, err := s.Register(m2, nil)
+	i2, err := s.Register(context.Background(), m2, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -84,7 +84,7 @@ func TestOpenToleratesTornWALRecord(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	info, err := s.Register(sparse.Poisson2D(7, 7), nil)
+	info, err := s.Register(context.Background(), sparse.Poisson2D(7, 7), nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -124,7 +124,7 @@ func TestOpenRejectsCorruptRecord(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := s.Register(sparse.Poisson2D(6, 6), nil); err != nil {
+	if _, err := s.Register(context.Background(), sparse.Poisson2D(6, 6), nil); err != nil {
 		t.Fatal(err)
 	}
 	if err := s.Close(); err != nil {
@@ -162,7 +162,7 @@ func TestCompactionFoldsWALIntoSnapshot(t *testing.T) {
 		t.Fatal(err)
 	}
 	m := sparse.Poisson2D(6, 6)
-	if _, err := s.Register(m, nil); err != nil {
+	if _, err := s.Register(context.Background(), m, nil); err != nil {
 		t.Fatal(err)
 	}
 	if err := s.Close(); err != nil {
@@ -188,7 +188,7 @@ func TestCompactionFoldsWALIntoSnapshot(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := s2.Register(m, nil); err != nil {
+	if _, err := s2.Register(context.Background(), m, nil); err != nil {
 		t.Fatal(err)
 	}
 	if err := s2.Close(); err != nil {
@@ -214,7 +214,7 @@ func TestOpenWithoutStateDirIsEphemeral(t *testing.T) {
 	if s.registry != nil {
 		t.Fatal("registry attached without a StateDir")
 	}
-	if _, err := s.Register(sparse.Poisson2D(5, 5), nil); err != nil {
+	if _, err := s.Register(context.Background(), sparse.Poisson2D(5, 5), nil); err != nil {
 		t.Fatal(err)
 	}
 }

@@ -1,0 +1,68 @@
+package solver
+
+import "ipusparse/internal/telemetry"
+
+// Metrics is the pre-resolved telemetry instrument set for solver outcomes.
+// Construct once per registry with NewMetrics and flush a completed run with
+// ObserveRun — recording happens after execution, never inside the scheduled
+// program.
+type Metrics struct {
+	Runs       *telemetry.CounterVec // by solver name and converged
+	Iterations *telemetry.Counter
+	Restarts   *telemetry.Counter
+	Recovered  *telemetry.Counter
+	Breakdowns *telemetry.CounterVec // by watchdog reason
+
+	// RunIterations is the per-run iteration-count distribution; FinalRelRes
+	// tracks the last observed relative residual (the convergence endpoint).
+	RunIterations *telemetry.Histogram
+	FinalRelRes   *telemetry.Gauge
+}
+
+// NewMetrics resolves the solver instrument set on the registry.
+// A nil registry returns nil (telemetry disabled).
+func NewMetrics(reg *telemetry.Registry) *Metrics {
+	if reg == nil {
+		return nil
+	}
+	return &Metrics{
+		Runs:       reg.CounterVec("solver_runs_total", "Completed solver runs by solver and convergence outcome.", "solver", "converged"),
+		Iterations: reg.Counter("solver_iterations_total", "Cumulative solver iterations across runs."),
+		Restarts:   reg.Counter("solver_restarts_total", "Checkpoint restarts performed by the recovery policy."),
+		Recovered:  reg.Counter("solver_recoveries_total", "Runs that hit a breakdown, restarted and still converged."),
+		Breakdowns: reg.CounterVec("solver_breakdowns_total", "Breakdowns by detecting watchdog reason.", "reason"),
+		RunIterations: reg.Histogram("solver_run_iterations",
+			"Iterations per solver run.",
+			telemetry.ExponentialBuckets(4, 2, 12)),
+		FinalRelRes: reg.Gauge("solver_last_relres", "Relative residual at the end of the last observed run."),
+	}
+}
+
+// ObserveRun flushes one completed run's statistics into the instrument set.
+// A nil receiver or nil stats is a no-op.
+func (m *Metrics) ObserveRun(st *RunStats) {
+	if m == nil || st == nil {
+		return
+	}
+	converged := "false"
+	if st.Converged {
+		converged = "true"
+	}
+	m.Runs.With(st.Solver, converged).Inc()
+	m.Iterations.Add(uint64(st.Iterations))
+	m.RunIterations.Observe(float64(st.Iterations))
+	m.FinalRelRes.Set(st.RelRes)
+	if st.Restarts > 0 {
+		m.Restarts.Add(uint64(st.Restarts))
+	}
+	if st.Recovered {
+		m.Recovered.Inc()
+	}
+	if st.Breakdown {
+		reason := st.BreakdownReason
+		if reason == "" {
+			reason = "unknown"
+		}
+		m.Breakdowns.With(reason).Inc()
+	}
+}

@@ -1,0 +1,107 @@
+package telemetry
+
+import (
+	"bufio"
+	"io"
+	"math"
+	"strconv"
+	"strings"
+)
+
+// WritePrometheus writes every registered series in the Prometheus text
+// exposition format (version 0.0.4): families in registration order, each
+// with its # HELP and # TYPE header, series within a family sorted by label
+// values, histograms expanded into cumulative _bucket/_sum/_count series.
+// Recording may proceed concurrently; each value is read atomically, so the
+// exposition is a per-series-consistent snapshot.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	for _, f := range r.snapshotFamilies() {
+		if f.help != "" {
+			bw.WriteString("# HELP ")
+			bw.WriteString(f.name)
+			bw.WriteByte(' ')
+			bw.WriteString(escapeHelp(f.help))
+			bw.WriteByte('\n')
+		}
+		bw.WriteString("# TYPE ")
+		bw.WriteString(f.name)
+		bw.WriteByte(' ')
+		bw.WriteString(f.kind.String())
+		bw.WriteByte('\n')
+		for _, s := range f.snapshotSeries() {
+			switch f.kind {
+			case kindCounter:
+				writeSample(bw, f.name, "", f.labels, s.labelValues, "", formatUint(s.counter.Value()))
+			case kindGauge:
+				v := s.gauge.Value()
+				if s.gaugeFn != nil {
+					v = s.gaugeFn()
+				}
+				writeSample(bw, f.name, "", f.labels, s.labelValues, "", formatFloat(v))
+			case kindHistogram:
+				var cum uint64
+				for i, bound := range f.bounds {
+					cum += s.hist.buckets[i].Load()
+					writeSample(bw, f.name, "_bucket", f.labels, s.labelValues, formatFloat(bound), formatUint(cum))
+				}
+				writeSample(bw, f.name, "_bucket", f.labels, s.labelValues, "+Inf", formatUint(s.hist.Count()))
+				writeSample(bw, f.name, "_sum", f.labels, s.labelValues, "", formatFloat(s.hist.Sum()))
+				writeSample(bw, f.name, "_count", f.labels, s.labelValues, "", formatUint(s.hist.Count()))
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// writeSample emits one exposition line: name[suffix]{labels,le} value.
+func writeSample(bw *bufio.Writer, name, suffix string, labels, values []string, le, value string) {
+	bw.WriteString(name)
+	bw.WriteString(suffix)
+	if len(labels) > 0 || le != "" {
+		bw.WriteByte('{')
+		for i, l := range labels {
+			if i > 0 {
+				bw.WriteByte(',')
+			}
+			bw.WriteString(l)
+			bw.WriteString(`="`)
+			bw.WriteString(escapeLabel(values[i]))
+			bw.WriteByte('"')
+		}
+		if le != "" {
+			if len(labels) > 0 {
+				bw.WriteByte(',')
+			}
+			bw.WriteString(`le="`)
+			bw.WriteString(le)
+			bw.WriteByte('"')
+		}
+		bw.WriteByte('}')
+	}
+	bw.WriteByte(' ')
+	bw.WriteString(value)
+	bw.WriteByte('\n')
+}
+
+func formatUint(v uint64) string { return strconv.FormatUint(v, 10) }
+
+func formatFloat(v float64) string {
+	switch {
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	case math.IsNaN(v):
+		return "NaN"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+var labelEscaper = strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`)
+
+func escapeLabel(s string) string { return labelEscaper.Replace(s) }
+
+var helpEscaper = strings.NewReplacer(`\`, `\\`, "\n", `\n`)
+
+func escapeHelp(s string) string { return helpEscaper.Replace(s) }

@@ -1,0 +1,56 @@
+package telemetry
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// TestPrometheusGolden locks the exposition format: a deterministic registry
+// covering every instrument kind, label rendering, escaping and histogram
+// expansion must serialize byte-for-byte to testdata/exposition.golden.
+// Regenerate deliberately with `go test ./internal/telemetry -run Golden -update`.
+func TestPrometheusGolden(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("ipu_solves_total", "Completed solves.").Add(42)
+	g := r.Gauge("serve_queue_depth", "Jobs queued, not yet picked up.")
+	g.Set(3)
+	h := r.Histogram("solve_latency_seconds", "Solve wall latency.", []float64{0.005, 0.05, 0.5, 5})
+	for _, v := range []float64{0.004, 0.04, 0.04, 0.4, 4, 40} {
+		h.Observe(v)
+	}
+	cv := r.CounterVec("solver_breakdowns_total", "Breakdowns by watchdog reason.", "reason")
+	cv.With("rho").Add(2)
+	cv.With("nan-residual").Inc()
+	gv := r.GaugeVec("serve_breaker_state", "Breaker state (0 closed, 1 half-open, 2 open).", "system")
+	gv.With(`quote"back\slash`).Set(2)
+	hv := r.HistogramVec("core_phase_seconds", "Pipeline phase wall time.", []float64{0.001, 0.1}, "phase")
+	hv.With("partition").Observe(0.0005)
+	hv.With("compile").Observe(0.02)
+
+	var buf bytes.Buffer
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+
+	golden := filepath.Join("testdata", "exposition.golden")
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("%v (run with -update to create)", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Errorf("exposition drifted from golden file.\n--- got ---\n%s\n--- want ---\n%s", buf.Bytes(), want)
+	}
+}

@@ -1,0 +1,372 @@
+// Package telemetry is the zero-dependency observability subsystem: a
+// registry of counters, gauges and fixed-bucket histograms with atomic
+// hot-path recording, labeled series, a Prometheus text-exposition writer,
+// and a span timeline with Chrome trace-event export (trace.go).
+//
+// The design splits metric *lookup* from metric *recording*: looking a series
+// up (Registry.Counter, CounterVec.With, ...) takes a lock and may allocate,
+// so instrumented layers resolve their instruments once — at construction —
+// and the hot path touches only the returned handles, whose operations are
+// single atomic instructions. This is what keeps the BSP superstep loop at
+// zero allocations per operation with telemetry enabled.
+//
+// Instrument registration is idempotent: asking for an existing name with the
+// same kind and label set returns the existing instrument, so independent
+// components (engine, machine, solver, service) can share one Registry
+// without coordination.
+package telemetry
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing series. All methods are safe for
+// concurrent use and allocation-free.
+type Counter struct {
+	v atomic.Uint64
+}
+
+// Add increments the counter by n.
+func (c *Counter) Add(n uint64) { c.v.Add(n) }
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Value returns the current count.
+func (c *Counter) Value() uint64 { return c.v.Load() }
+
+// Gauge is a series that can go up and down, stored as a float64. All
+// methods are safe for concurrent use and allocation-free.
+type Gauge struct {
+	bits atomic.Uint64
+}
+
+// Set stores v.
+func (g *Gauge) Set(v float64) { g.bits.Store(math.Float64bits(v)) }
+
+// Add adds d (which may be negative) with a CAS loop.
+func (g *Gauge) Add(d float64) {
+	for {
+		old := g.bits.Load()
+		if g.bits.CompareAndSwap(old, math.Float64bits(math.Float64frombits(old)+d)) {
+			return
+		}
+	}
+}
+
+// Value returns the current gauge value.
+func (g *Gauge) Value() float64 { return math.Float64frombits(g.bits.Load()) }
+
+// Histogram is a fixed-bucket distribution. Observations land in the first
+// bucket whose upper bound is >= the value (cumulative buckets in the
+// Prometheus sense); values above every bound land only in the implicit +Inf
+// bucket. Observe is lock-free and allocation-free.
+type Histogram struct {
+	bounds  []float64 // ascending upper bounds, exclusive of +Inf
+	buckets []atomic.Uint64
+	count   atomic.Uint64
+	sumBits atomic.Uint64
+}
+
+// Observe records one sample.
+func (h *Histogram) Observe(v float64) {
+	// Binary search beats linear once bucket lists grow; bucket counts here
+	// are small (10-30) but the search is branch-cheap either way.
+	lo, hi := 0, len(h.bounds)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if v <= h.bounds[mid] {
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	if lo < len(h.bounds) {
+		h.buckets[lo].Add(1)
+	}
+	h.count.Add(1)
+	for {
+		old := h.sumBits.Load()
+		if h.sumBits.CompareAndSwap(old, math.Float64bits(math.Float64frombits(old)+v)) {
+			return
+		}
+	}
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() uint64 { return h.count.Load() }
+
+// Sum returns the sum of all observed values.
+func (h *Histogram) Sum() float64 { return math.Float64frombits(h.sumBits.Load()) }
+
+// Quantile estimates the q-quantile (q in [0,1]) from the bucket counts with
+// linear interpolation inside the bucket that holds the rank. Samples beyond
+// the last finite bound are attributed that bound (the estimate saturates).
+// With no observations it returns 0.
+func (h *Histogram) Quantile(q float64) float64 {
+	total := h.count.Load()
+	if total == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	} else if q > 1 {
+		q = 1
+	}
+	rank := q * float64(total)
+	var cum uint64
+	for i := range h.buckets {
+		c := h.buckets[i].Load()
+		if c == 0 {
+			continue
+		}
+		if float64(cum+c) >= rank {
+			lower := 0.0
+			if i > 0 {
+				lower = h.bounds[i-1]
+			}
+			frac := (rank - float64(cum)) / float64(c)
+			return lower + frac*(h.bounds[i]-lower)
+		}
+		cum += c
+	}
+	return h.bounds[len(h.bounds)-1]
+}
+
+// ExponentialBuckets returns n bucket bounds starting at start, each factor
+// times the previous. It panics on a non-positive start, a factor <= 1 or a
+// non-positive n — programmer errors at instrument-construction time.
+func ExponentialBuckets(start, factor float64, n int) []float64 {
+	if start <= 0 || factor <= 1 || n <= 0 {
+		panic("telemetry: ExponentialBuckets needs start > 0, factor > 1, n > 0")
+	}
+	b := make([]float64, n)
+	for i := range b {
+		b[i] = start
+		start *= factor
+	}
+	return b
+}
+
+// LinearBuckets returns n bucket bounds starting at start, stepping by width.
+func LinearBuckets(start, width float64, n int) []float64 {
+	if width <= 0 || n <= 0 {
+		panic("telemetry: LinearBuckets needs width > 0, n > 0")
+	}
+	b := make([]float64, n)
+	for i := range b {
+		b[i] = start
+		start += width
+	}
+	return b
+}
+
+// kind discriminates the metric families.
+type kind int
+
+const (
+	kindCounter kind = iota
+	kindGauge
+	kindHistogram
+)
+
+func (k kind) String() string {
+	switch k {
+	case kindCounter:
+		return "counter"
+	case kindGauge:
+		return "gauge"
+	default:
+		return "histogram"
+	}
+}
+
+// series is one labeled time series within a family.
+type series struct {
+	labelValues []string
+	counter     *Counter
+	gauge       *Gauge
+	hist        *Histogram
+	gaugeFn     func() float64
+}
+
+// family is one named metric with its labeled series.
+type family struct {
+	name   string
+	help   string
+	kind   kind
+	labels []string
+	bounds []float64 // histogram bucket bounds
+
+	mu     sync.Mutex
+	series map[string]*series
+	order  []*series
+}
+
+// get returns the series for the given label values, creating it on first
+// use. The family lock is held only during lookup, never during recording.
+func (f *family) get(values []string) *series {
+	if len(values) != len(f.labels) {
+		panic(fmt.Sprintf("telemetry: %s wants %d label values, got %d", f.name, len(f.labels), len(values)))
+	}
+	key := strings.Join(values, "\x1f")
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if s, ok := f.series[key]; ok {
+		return s
+	}
+	s := &series{labelValues: append([]string(nil), values...)}
+	switch f.kind {
+	case kindCounter:
+		s.counter = &Counter{}
+	case kindGauge:
+		s.gauge = &Gauge{}
+	case kindHistogram:
+		s.hist = &Histogram{bounds: f.bounds, buckets: make([]atomic.Uint64, len(f.bounds))}
+	}
+	f.series[key] = s
+	f.order = append(f.order, s)
+	return s
+}
+
+// Registry holds the metric families of one telemetry domain. The zero value
+// is not usable; use NewRegistry. A nil *Registry is a valid "telemetry off"
+// sink for the constructor helpers in the instrumented packages (they return
+// nil instrument sets, and the hot paths skip nil).
+type Registry struct {
+	mu       sync.Mutex
+	families map[string]*family
+	order    []*family
+}
+
+// NewRegistry creates an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{families: map[string]*family{}}
+}
+
+// lookup finds or creates a family, enforcing that re-registrations agree on
+// kind and label arity (name collisions across kinds are programmer errors).
+func (r *Registry) lookup(name, help string, k kind, labels []string, bounds []float64) *family {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if f, ok := r.families[name]; ok {
+		if f.kind != k || len(f.labels) != len(labels) {
+			panic(fmt.Sprintf("telemetry: %s re-registered as %s/%d labels (was %s/%d)",
+				name, k, len(labels), f.kind, len(f.labels)))
+		}
+		return f
+	}
+	f := &family{
+		name: name, help: help, kind: k,
+		labels: append([]string(nil), labels...),
+		bounds: bounds,
+		series: map[string]*series{},
+	}
+	r.families[name] = f
+	r.order = append(r.order, f)
+	return f
+}
+
+// Counter returns the unlabeled counter with the given name, registering it
+// on first use.
+func (r *Registry) Counter(name, help string) *Counter {
+	return r.lookup(name, help, kindCounter, nil, nil).get(nil).counter
+}
+
+// Gauge returns the unlabeled gauge with the given name.
+func (r *Registry) Gauge(name, help string) *Gauge {
+	return r.lookup(name, help, kindGauge, nil, nil).get(nil).gauge
+}
+
+// GaugeFunc registers a gauge whose value is computed by fn at exposition
+// time — for values the owner already tracks (queue depth, cache size).
+func (r *Registry) GaugeFunc(name, help string, fn func() float64) {
+	s := r.lookup(name, help, kindGauge, nil, nil).get(nil)
+	s.gaugeFn = fn
+}
+
+// Histogram returns the unlabeled histogram with the given name. The bounds
+// of the first registration win; they must be ascending.
+func (r *Registry) Histogram(name, help string, bounds []float64) *Histogram {
+	checkBounds(name, bounds)
+	return r.lookup(name, help, kindHistogram, nil, bounds).get(nil).hist
+}
+
+func checkBounds(name string, bounds []float64) {
+	if len(bounds) == 0 {
+		panic("telemetry: histogram " + name + " needs at least one bucket bound")
+	}
+	for i := 1; i < len(bounds); i++ {
+		if bounds[i] <= bounds[i-1] {
+			panic("telemetry: histogram " + name + " bounds must be ascending")
+		}
+	}
+}
+
+// CounterVec is a counter family with labels.
+type CounterVec struct{ f *family }
+
+// CounterVec returns the labeled counter family with the given name.
+func (r *Registry) CounterVec(name, help string, labels ...string) *CounterVec {
+	return &CounterVec{r.lookup(name, help, kindCounter, labels, nil)}
+}
+
+// With returns the series for the label values, creating it on first use.
+// Resolve once and keep the handle: With locks the family map.
+func (v *CounterVec) With(values ...string) *Counter { return v.f.get(values).counter }
+
+// GaugeVec is a gauge family with labels.
+type GaugeVec struct{ f *family }
+
+// GaugeVec returns the labeled gauge family with the given name.
+func (r *Registry) GaugeVec(name, help string, labels ...string) *GaugeVec {
+	return &GaugeVec{r.lookup(name, help, kindGauge, labels, nil)}
+}
+
+// With returns the series for the label values, creating it on first use.
+func (v *GaugeVec) With(values ...string) *Gauge { return v.f.get(values).gauge }
+
+// HistogramVec is a histogram family with labels.
+type HistogramVec struct{ f *family }
+
+// HistogramVec returns the labeled histogram family with the given name.
+func (r *Registry) HistogramVec(name, help string, bounds []float64, labels ...string) *HistogramVec {
+	checkBounds(name, bounds)
+	return &HistogramVec{r.lookup(name, help, kindHistogram, labels, bounds)}
+}
+
+// With returns the series for the label values, creating it on first use.
+func (v *HistogramVec) With(values ...string) *Histogram { return v.f.get(values).hist }
+
+// snapshotFamilies returns the families in registration order; series within
+// each family are sorted by label values at exposition time so the output is
+// deterministic regardless of recording order.
+func (r *Registry) snapshotFamilies() []*family {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]*family, len(r.order))
+	copy(out, r.order)
+	return out
+}
+
+func (f *family) snapshotSeries() []*series {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	out := make([]*series, len(f.order))
+	copy(out, f.order)
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i].labelValues, out[j].labelValues
+		for k := range a {
+			if a[k] != b[k] {
+				return a[k] < b[k]
+			}
+		}
+		return false
+	})
+	return out
+}

@@ -1,0 +1,210 @@
+package telemetry
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCounterGaugeBasics(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("requests_total", "requests")
+	c.Inc()
+	c.Add(4)
+	if c.Value() != 5 {
+		t.Errorf("counter = %d, want 5", c.Value())
+	}
+	// Idempotent registration returns the same instrument.
+	if r.Counter("requests_total", "requests") != c {
+		t.Error("re-registration returned a different counter")
+	}
+
+	g := r.Gauge("queue_depth", "depth")
+	g.Set(3)
+	g.Add(-1.5)
+	if g.Value() != 1.5 {
+		t.Errorf("gauge = %g, want 1.5", g.Value())
+	}
+}
+
+func TestHistogramBucketsAndQuantile(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("latency_seconds", "latency", []float64{0.1, 1, 10})
+	for _, v := range []float64{0.05, 0.5, 0.5, 5, 100} {
+		h.Observe(v)
+	}
+	if h.Count() != 5 {
+		t.Errorf("count = %d, want 5", h.Count())
+	}
+	if want := 0.05 + 0.5 + 0.5 + 5 + 100; h.Sum() != want {
+		t.Errorf("sum = %g, want %g", h.Sum(), want)
+	}
+	// Cumulative bucket counts: <=0.1: 1, <=1: 3, <=10: 4, +Inf: 5.
+	var buf bytes.Buffer
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	for _, line := range []string{
+		`latency_seconds_bucket{le="0.1"} 1`,
+		`latency_seconds_bucket{le="1"} 3`,
+		`latency_seconds_bucket{le="10"} 4`,
+		`latency_seconds_bucket{le="+Inf"} 5`,
+		`latency_seconds_count 5`,
+	} {
+		if !strings.Contains(buf.String(), line) {
+			t.Errorf("exposition missing %q:\n%s", line, buf.String())
+		}
+	}
+	// The median rank (2.5 of 5) lands in the (0.1, 1] bucket.
+	if q := h.Quantile(0.5); q <= 0.1 || q > 1 {
+		t.Errorf("p50 = %g, want in (0.1, 1]", q)
+	}
+	// The p99 rank lands beyond the last finite bound and saturates there.
+	if q := h.Quantile(0.99); q != 10 {
+		t.Errorf("p99 = %g, want saturated at 10", q)
+	}
+	if (&Histogram{bounds: []float64{1}}).Quantile(0.5) != 0 {
+		t.Error("empty histogram quantile should be 0")
+	}
+}
+
+func TestLabeledVecs(t *testing.T) {
+	r := NewRegistry()
+	v := r.CounterVec("solves_total", "solves by outcome", "converged")
+	ok := v.With("true")
+	ok.Add(2)
+	v.With("false").Inc()
+	if v.With("true") != ok {
+		t.Error("With returned a different series for the same labels")
+	}
+	gv := r.GaugeVec("breaker_state", "per-system breaker", "system")
+	gv.With("sys-a").Set(2)
+
+	var buf bytes.Buffer
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	for _, line := range []string{
+		`solves_total{converged="false"} 1`,
+		`solves_total{converged="true"} 2`,
+		`breaker_state{system="sys-a"} 2`,
+	} {
+		if !strings.Contains(buf.String(), line) {
+			t.Errorf("exposition missing %q:\n%s", line, buf.String())
+		}
+	}
+}
+
+func TestGaugeFunc(t *testing.T) {
+	r := NewRegistry()
+	depth := 7
+	r.GaugeFunc("live_depth", "computed at scrape", func() float64 { return float64(depth) })
+	var buf bytes.Buffer
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "live_depth 7") {
+		t.Errorf("exposition missing live_depth 7:\n%s", buf.String())
+	}
+}
+
+func TestBucketHelpers(t *testing.T) {
+	exp := ExponentialBuckets(1, 10, 4)
+	if len(exp) != 4 || exp[0] != 1 || exp[3] != 1000 {
+		t.Errorf("exponential buckets = %v", exp)
+	}
+	lin := LinearBuckets(0.5, 0.5, 3)
+	if len(lin) != 3 || lin[2] != 1.5 {
+		t.Errorf("linear buckets = %v", lin)
+	}
+}
+
+func TestFloatFormatting(t *testing.T) {
+	if formatFloat(math.Inf(1)) != "+Inf" || formatFloat(math.Inf(-1)) != "-Inf" {
+		t.Error("infinity formatting")
+	}
+	if formatFloat(0.25) != "0.25" {
+		t.Errorf("formatFloat(0.25) = %q", formatFloat(0.25))
+	}
+}
+
+// TestConcurrentRecordAndExport hammers every instrument kind from many
+// goroutines while the exposition writer runs concurrently; under -race (the
+// `make check` race target) this is the registry's data-race regression test.
+func TestConcurrentRecordAndExport(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("c_total", "c")
+	g := r.Gauge("g", "g")
+	h := r.Histogram("h_seconds", "h", ExponentialBuckets(0.001, 10, 5))
+	cv := r.CounterVec("cv_total", "cv", "k")
+
+	const goroutines = 8
+	const perG = 500
+	var wg sync.WaitGroup
+	for i := 0; i < goroutines; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			label := string(rune('a' + i%3))
+			lc := cv.With(label)
+			for k := 0; k < perG; k++ {
+				c.Inc()
+				g.Add(1)
+				h.Observe(float64(k%7) / 100)
+				lc.Inc()
+			}
+		}(i)
+	}
+	// Export concurrently with the writers.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for k := 0; k < 50; k++ {
+			var buf bytes.Buffer
+			if err := r.WritePrometheus(&buf); err != nil {
+				t.Error(err)
+				return
+			}
+		}
+	}()
+	wg.Wait()
+
+	if c.Value() != goroutines*perG {
+		t.Errorf("counter = %d, want %d", c.Value(), goroutines*perG)
+	}
+	if g.Value() != goroutines*perG {
+		t.Errorf("gauge = %g, want %d", g.Value(), goroutines*perG)
+	}
+	if h.Count() != goroutines*perG {
+		t.Errorf("histogram count = %d, want %d", h.Count(), goroutines*perG)
+	}
+	var sum uint64
+	for _, l := range []string{"a", "b", "c"} {
+		sum += cv.With(l).Value()
+	}
+	if sum != goroutines*perG {
+		t.Errorf("labeled sum = %d, want %d", sum, goroutines*perG)
+	}
+}
+
+func TestTraceChromeExport(t *testing.T) {
+	tr := &Trace{}
+	tr.Add(Span{Name: "prepare", Cat: "pipeline", TS: 0, Dur: 120, PID: PIDHost, TID: TIDPipeline})
+	tr.Add(Span{Name: "spmv", Cat: "SpMV", TS: 0, Dur: 10, PID: PIDDevice, TID: TIDCompute, Cycles: 13300})
+	tr.Add(Span{Name: "progress", Cat: "Host", TS: 10, Dur: 0, PID: PIDDevice, TID: TIDHostCall})
+	var buf bytes.Buffer
+	if err := tr.WriteChrome(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, frag := range []string{`"name":"prepare"`, `"ph":"X"`, `"ph":"i"`, `"cycles":13300`, `"pid":1`} {
+		if !strings.Contains(out, frag) {
+			t.Errorf("chrome export missing %s:\n%s", frag, out)
+		}
+	}
+	if got := len(tr.Spans()); got != 3 {
+		t.Errorf("spans = %d, want 3", got)
+	}
+}

@@ -1,0 +1,93 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"io"
+	"sync"
+)
+
+// Track identifiers of the combined solve timeline. Device tracks replay the
+// simulated BSP phases (cycles converted to wall time at the configured
+// clock); the host track carries the pipeline phases around them (prepare,
+// partition, compile, execution wall time).
+const (
+	PIDDevice = 0 // simulated IPU timeline
+	PIDHost   = 1 // host pipeline timeline
+
+	TIDCompute  = 1 // device: compute supersteps
+	TIDExchange = 2 // device: exchange phases
+	TIDHostCall = 3 // device: host callbacks at superstep boundaries
+	TIDPipeline = 1 // host: prepare/partition/compile/solve phases
+)
+
+// Span is one timed phase on the timeline. TS and Dur are microseconds from
+// the timeline origin; Cycles carries the device cycle count for device
+// spans (0 on host spans).
+type Span struct {
+	Name   string
+	Cat    string // category / profiling label
+	TS     float64
+	Dur    float64
+	PID    int
+	TID    int
+	Cycles uint64
+}
+
+// Trace is an append-only span timeline. Adding is cheap (amortized append
+// under a mutex); export is Chrome trace-event JSON, loadable in
+// chrome://tracing or Perfetto.
+type Trace struct {
+	mu    sync.Mutex
+	spans []Span
+}
+
+// Add appends one span.
+func (t *Trace) Add(s Span) {
+	t.mu.Lock()
+	t.spans = append(t.spans, s)
+	t.mu.Unlock()
+}
+
+// Spans returns a snapshot of the recorded spans.
+func (t *Trace) Spans() []Span {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return append([]Span(nil), t.spans...)
+}
+
+// chromeEvent is the Chrome trace "complete event" record ("X"), or an
+// instant event ("i") for zero-duration spans.
+type chromeEvent struct {
+	Name string         `json:"name"`
+	Cat  string         `json:"cat"`
+	Ph   string         `json:"ph"`
+	TS   float64        `json:"ts"`  // microseconds
+	Dur  float64        `json:"dur"` // microseconds
+	PID  int            `json:"pid"`
+	TID  int            `json:"tid"`
+	S    string         `json:"s,omitempty"` // instant-event scope
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// WriteChrome exports the timeline in Chrome trace-event JSON.
+func (t *Trace) WriteChrome(w io.Writer) error {
+	spans := t.Spans()
+	events := make([]chromeEvent, 0, len(spans))
+	for _, s := range spans {
+		ev := chromeEvent{
+			Name: s.Name, Cat: s.Cat, Ph: "X",
+			TS: s.TS, Dur: s.Dur, PID: s.PID, TID: s.TID,
+		}
+		if s.Dur == 0 {
+			ev.Ph, ev.S = "i", "t"
+		}
+		if s.Cycles > 0 || s.Cat != "" {
+			ev.Args = map[string]any{"label": s.Cat}
+			if s.Cycles > 0 {
+				ev.Args["cycles"] = s.Cycles
+			}
+		}
+		events = append(events, ev)
+	}
+	return json.NewEncoder(w).Encode(map[string]any{"traceEvents": events})
+}
