@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check build test vet race bench bench-engine bench-smoke serve-smoke chaos-smoke metrics-smoke clean
+.PHONY: check build test vet race bench bench-engine bench-smoke serve-smoke chaos-smoke metrics-smoke cluster-smoke bench-cluster clean
 
 ## check: vet + build + race-enabled tests (the pre-merge gate)
 check: vet build race
@@ -50,6 +50,19 @@ chaos-smoke:
 ## core/engine/machine/solver series)
 metrics-smoke:
 	$(GO) run ./cmd/servesmoke -metrics
+
+## cluster-smoke: boot three race-enabled ipuserved shards behind a
+## race-enabled ipurouterd (replica factor 2), register through the router,
+## kill -9 a replica-holding shard under sustained load and restart it
+## empty -- >=99% availability, every answer residual-verified, reconciler
+## repairs placement, graceful drain with zero failed in-flight requests
+cluster-smoke:
+	$(GO) run ./cmd/clustersmoke
+
+## bench-cluster: the availability-under-shard-loss study (Table IX) on an
+## in-process cluster: replica factor 1 vs 2 vs 3 around a cold shard kill
+bench-cluster:
+	$(GO) run ./cmd/benchsuite -experiment cluster
 
 clean:
 	$(GO) clean ./...

@@ -22,7 +22,7 @@ import (
 )
 
 func main() {
-	experiment := flag.String("experiment", "all", "experiment to run: all, table1..table7, fig5..fig10, halo, engine")
+	experiment := flag.String("experiment", "all", "experiment to run: all, table1..table7, fig5..fig10, halo, engine, cluster")
 	scale := flag.Int("scale", 64, "divide paper-scale workloads by this factor")
 	tiles := flag.Int("tiles", 64, "simulated tiles per chip for single-chip experiments")
 	full := flag.Bool("full", false, "use the full Mk2 M2000 tile counts")

@@ -1,0 +1,620 @@
+// Command clustersmoke is the end-to-end smoke test of the fault-tolerant
+// solve cluster. It boots three real ipuserved shards and one ipurouterd
+// router on random ports and drives four phases:
+//
+//  1. Placement: register a small Poisson system through the router and
+//     require it lands on a full replica set (replica factor 2 of 3 shards).
+//
+//  2. Shard-kill chaos: under sustained concurrent load, a seeded
+//     fault.Chaos campaign (shard-kill kind) picks a replica-holding shard
+//     to kill -9; the victim restarts empty and the router's reconciler
+//     must re-register the system onto it. Availability must stay >=99%
+//     and every answer is verified against the known exact solution.
+//
+//  3. Drain: gracefully remove a replica-holding shard while solves are in
+//     flight — the in-flight work must complete, the placement must migrate
+//     off the drained shard, and nothing may fail.
+//
+//  4. Metrics: scrape the router's /metrics and require the cluster series
+//     (routing, failover, latency, breaker state) are exposed.
+//
+//     clustersmoke                                  # builds both binaries -race
+//     clustersmoke -server bin/ipuserved -router bin/ipurouterd
+//     clustersmoke -kills 3 -seed 7                 # longer campaign
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"sync"
+	"time"
+
+	"ipusparse/internal/fault"
+)
+
+const gen = "poisson3d:8" // 512 rows: boots fast, converges for real
+
+func main() {
+	server := flag.String("server", "", "prebuilt ipuserved binary (default: build -race)")
+	router := flag.String("router", "", "prebuilt ipurouterd binary (default: build -race)")
+	kills := flag.Int("kills", 1, "kill -9 / restart cycles to run under load")
+	seed := flag.Int64("seed", 42, "shard-kill chaos campaign seed")
+	flag.Parse()
+	if err := run(*server, *router, *kills, *seed); err != nil {
+		fmt.Fprintln(os.Stderr, "clustersmoke: FAIL:", err)
+		os.Exit(1)
+	}
+	fmt.Println("clustersmoke: PASS")
+}
+
+func run(server, router string, kills int, seed int64) error {
+	dir, err := os.MkdirTemp("", "clustersmoke")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(dir)
+
+	if server == "" {
+		server = filepath.Join(dir, "ipuserved")
+		if err := buildRace(server, "./cmd/ipuserved"); err != nil {
+			return err
+		}
+	}
+	if router == "" {
+		router = filepath.Join(dir, "ipurouterd")
+		if err := buildRace(router, "./cmd/ipurouterd"); err != nil {
+			return err
+		}
+	}
+
+	// Boot the fleet: three shards, no state dirs — a killed shard restarts
+	// EMPTY, so recovery must come from the router's reconciler re-importing
+	// the registration, not from the shard's own WAL.
+	cl := &clusterProcs{dir: dir, server: server}
+	for i := 0; i < 3; i++ {
+		if err := cl.startShard(i); err != nil {
+			cl.killAll()
+			return fmt.Errorf("shard %d: %w", i, err)
+		}
+	}
+	defer cl.killAll()
+
+	// Router with tight probe/reconcile cadence so recovery is fast enough to
+	// observe inside a smoke test.
+	cfgPath := filepath.Join(dir, "cluster.json")
+	cfg := map[string]any{
+		"solver": map[string]any{
+			"type": "pbicgstab", "maxIterations": 400, "tolerance": 1e-10,
+			"preconditioner": map[string]any{"type": "ilu0"},
+		},
+		"cluster": map[string]any{
+			"probeIntervalMs": 100, "probeTimeoutMs": 1000,
+			"reconcileIntervalMs": 200,
+			"breakerThreshold":    2, "breakerCooldownMs": 500,
+		},
+	}
+	buf, _ := json.Marshal(cfg)
+	if err := os.WriteFile(cfgPath, buf, 0o644); err != nil {
+		return err
+	}
+	if err := cl.startRouter(router, cfgPath, 2); err != nil {
+		return fmt.Errorf("router: %w", err)
+	}
+
+	info, err := placementPhase(cl)
+	if err != nil {
+		return fmt.Errorf("placement phase: %w", err)
+	}
+	if err := chaosPhase(cl, info, kills, seed); err != nil {
+		return fmt.Errorf("chaos phase: %w", err)
+	}
+	if err := drainPhase(cl, info); err != nil {
+		return fmt.Errorf("drain phase: %w", err)
+	}
+	if err := metricsPhase(cl); err != nil {
+		return fmt.Errorf("metrics phase: %w", err)
+	}
+	return nil
+}
+
+func buildRace(out, pkg string) error {
+	build := exec.Command("go", "build", "-race", "-o", out, pkg)
+	build.Stderr = os.Stderr
+	if err := build.Run(); err != nil {
+		return fmt.Errorf("building %s: %w", pkg, err)
+	}
+	return nil
+}
+
+// clusterProcs owns the shard and router processes. Shard addresses are fixed
+// after first boot so a restarted shard rejoins the ring at the same URL.
+type clusterProcs struct {
+	dir    string
+	server string
+
+	mu     sync.Mutex
+	shards []*shardProc
+	router *exec.Cmd
+	base   string // router base URL
+}
+
+type shardProc struct {
+	idx  int
+	addr string // host:port, fixed across restarts
+	cmd  *exec.Cmd
+}
+
+func (s *shardProc) url() string { return "http://" + s.addr }
+
+func (cl *clusterProcs) startShard(i int) error {
+	portFile := filepath.Join(cl.dir, fmt.Sprintf("shard-port-%d", i))
+	_ = os.Remove(portFile)
+	cmd := exec.Command(cl.server, "-addr", "127.0.0.1:0", "-port-file", portFile)
+	cmd.Stderr = os.Stderr
+	if err := cmd.Start(); err != nil {
+		return err
+	}
+	addr, err := waitForPort(portFile, 15*time.Second)
+	if err != nil {
+		cmd.Process.Kill()
+		return err
+	}
+	cl.mu.Lock()
+	cl.shards = append(cl.shards, &shardProc{idx: i, addr: addr, cmd: cmd})
+	cl.mu.Unlock()
+	return nil
+}
+
+// restartShard relaunches a killed shard on its original address, empty.
+func (cl *clusterProcs) restartShard(s *shardProc) error {
+	cmd := exec.Command(cl.server, "-addr", s.addr)
+	cmd.Stderr = os.Stderr
+	if err := cmd.Start(); err != nil {
+		return err
+	}
+	s.cmd = cmd
+	deadline := time.Now().Add(15 * time.Second)
+	for time.Now().Before(deadline) {
+		if resp, err := http.Get(s.url() + "/healthz"); err == nil {
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusOK {
+				return nil
+			}
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	return fmt.Errorf("shard %d did not come back on %s", s.idx, s.addr)
+}
+
+func (cl *clusterProcs) startRouter(router, cfgPath string, replicas int) error {
+	portFile := filepath.Join(cl.dir, "router-port")
+	var urls []string
+	for _, s := range cl.shards {
+		urls = append(urls, s.url())
+	}
+	cmd := exec.Command(router,
+		"-addr", "127.0.0.1:0", "-port-file", portFile,
+		"-config", cfgPath,
+		"-shards", strings.Join(urls, ","),
+		"-replicas", fmt.Sprint(replicas))
+	cmd.Stderr = os.Stderr
+	if err := cmd.Start(); err != nil {
+		return err
+	}
+	addr, err := waitForPort(portFile, 15*time.Second)
+	if err != nil {
+		cmd.Process.Kill()
+		return err
+	}
+	cl.router = cmd
+	cl.base = "http://" + addr
+	return nil
+}
+
+func (cl *clusterProcs) shardByURL(url string) *shardProc {
+	for _, s := range cl.shards {
+		if s.url() == url {
+			return s
+		}
+	}
+	return nil
+}
+
+func (cl *clusterProcs) killAll() {
+	for _, s := range cl.shards {
+		if s.cmd != nil && s.cmd.Process != nil {
+			_ = s.cmd.Process.Kill()
+			_, _ = s.cmd.Process.Wait()
+		}
+	}
+	if cl.router != nil && cl.router.Process != nil {
+		_ = cl.router.Process.Kill()
+		_, _ = cl.router.Process.Wait()
+	}
+}
+
+type systemInfo struct {
+	ID     string `json:"id"`
+	N      int    `json:"n"`
+	Solver string `json:"solver"`
+}
+
+type solveResult struct {
+	Converged bool      `json:"converged"`
+	RelRes    float64   `json:"relRes"`
+	X         []float64 `json:"x"`
+	Error     string    `json:"error"`
+}
+
+type topology struct {
+	Replicas int                       `json:"replicas"`
+	Shards   map[string]map[string]any `json:"shards"`
+	Systems  map[string][]string       `json:"systems"`
+}
+
+type routerStats struct {
+	Systems         int    `json:"systems"`
+	Routed          uint64 `json:"routed"`
+	Failovers       uint64 `json:"failovers"`
+	Retries         uint64 `json:"retries"`
+	Reregistrations uint64 `json:"reregistrations"`
+	Unroutable      uint64 `json:"unroutable"`
+}
+
+// placementPhase registers through the router and checks the system landed on
+// a full replica set.
+func placementPhase(cl *clusterProcs) (systemInfo, error) {
+	var info systemInfo
+	if err := postJSON(cl.base+"/v1/systems", map[string]any{"gen": gen}, &info); err != nil {
+		return info, fmt.Errorf("register: %w", err)
+	}
+	if info.N != 512 {
+		return info, fmt.Errorf("registered %d rows, want 512", info.N)
+	}
+	var topo topology
+	if err := getJSON(cl.base+"/v1/cluster", &topo); err != nil {
+		return info, err
+	}
+	holders := topo.Systems[info.ID]
+	if len(holders) != 2 {
+		return info, fmt.Errorf("replica set %v, want 2 shards", holders)
+	}
+	var r solveResult
+	if err := postJSON(cl.base+"/v1/systems/"+info.ID+"/solve", map[string]any{"rhs": "ones"}, &r); err != nil {
+		return info, fmt.Errorf("first solve: %w", err)
+	}
+	if err := checkOnes(r); err != nil {
+		return info, fmt.Errorf("first solve: %w", err)
+	}
+	fmt.Printf("clustersmoke: %s placed on %v, first solve verified\n", info.ID, holders)
+	return info, nil
+}
+
+// chaosPhase runs sustained load while a seeded shard-kill campaign murders
+// replica-holding shards; each victim restarts empty and the reconciler must
+// repair placement. Availability >=99%, zero wrong answers.
+func chaosPhase(cl *clusterProcs, info systemInfo, kills int, seed int64) error {
+	chaos := fault.NewChaos(fault.ChaosPlan{
+		Seed:      seed,
+		Rate:      0.7,
+		Kinds:     []fault.ChaosKind{fault.ChaosShardKill},
+		MaxEvents: kills,
+	})
+
+	const clients = 4
+	stop := make(chan struct{})
+	var mu sync.Mutex
+	var total, failed, wrong int
+	var wg sync.WaitGroup
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				var r solveResult
+				err := postJSON(cl.base+"/v1/systems/"+info.ID+"/solve", map[string]any{"rhs": "ones"}, &r)
+				mu.Lock()
+				total++
+				if err != nil {
+					failed++
+					fmt.Fprintf(os.Stderr, "clustersmoke: solve failed: %v\n", err)
+				} else if cerr := checkOnes(r); cerr != nil {
+					wrong++
+					fmt.Fprintf(os.Stderr, "clustersmoke: WRONG ANSWER: %v\n", cerr)
+				}
+				mu.Unlock()
+				time.Sleep(time.Millisecond)
+			}
+		}()
+	}
+
+	// Pacing is count-driven, not wall-clock: a race-built shard solve takes
+	// whatever it takes, so each campaign step waits for a quota of completed
+	// requests rather than sleeping a fixed interval.
+	waitMore := func(n int) error {
+		mu.Lock()
+		target := total + n
+		mu.Unlock()
+		deadline := time.Now().Add(2 * time.Minute)
+		for time.Now().Before(deadline) {
+			mu.Lock()
+			done := total >= target
+			mu.Unlock()
+			if done {
+				return nil
+			}
+			time.Sleep(20 * time.Millisecond)
+		}
+		return fmt.Errorf("load stalled: fewer than %d requests completed in 2m", n)
+	}
+
+	for k := 0; k < kills; k++ {
+		if err := waitMore(8); err != nil { // load before the kill
+			close(stop)
+			wg.Wait()
+			return err
+		}
+
+		// The campaign draws the victim among the system's current replica
+		// holders, so every kill is one the router must route around.
+		var topo topology
+		if err := getJSON(cl.base+"/v1/cluster", &topo); err != nil {
+			close(stop)
+			wg.Wait()
+			return err
+		}
+		var victim *shardProc
+		for victim == nil {
+			for _, url := range topo.Systems[info.ID] {
+				if d := chaos.Decide(url); d.Kind == fault.ChaosShardKill {
+					victim = cl.shardByURL(url)
+					break
+				}
+			}
+		}
+		fmt.Printf("clustersmoke: kill -9 shard %d (%s) [cycle %d/%d]\n", victim.idx, victim.url(), k+1, kills)
+		_ = victim.cmd.Process.Kill()
+		_, _ = victim.cmd.Process.Wait()
+
+		if err := waitMore(8); err != nil { // load against the degraded fleet
+			close(stop)
+			wg.Wait()
+			return err
+		}
+
+		if err := cl.restartShard(victim); err != nil {
+			close(stop)
+			wg.Wait()
+			return err
+		}
+		fmt.Printf("clustersmoke: shard %d restarted empty on %s\n", victim.idx, victim.addr)
+
+		// The reconciler must re-import the registration onto the restarted
+		// shard: wait until the replica set is full again.
+		deadline := time.Now().Add(15 * time.Second)
+		repaired := false
+		for time.Now().Before(deadline) {
+			var st routerStats
+			var topo topology
+			if getJSON(cl.base+"/v1/stats", &st) == nil &&
+				getJSON(cl.base+"/v1/cluster", &topo) == nil &&
+				st.Reregistrations > 0 && len(topo.Systems[info.ID]) == 2 {
+				repaired = true
+				break
+			}
+			time.Sleep(100 * time.Millisecond)
+		}
+		if !repaired {
+			close(stop)
+			wg.Wait()
+			return fmt.Errorf("reconciler did not repair placement within 15s of restart")
+		}
+	}
+	if err := waitMore(8); err != nil { // load after recovery
+		close(stop)
+		wg.Wait()
+		return err
+	}
+	close(stop)
+	wg.Wait()
+
+	if wrong != 0 {
+		return fmt.Errorf("%d wrong answers served under shard-kill chaos", wrong)
+	}
+	if total < 20 {
+		return fmt.Errorf("only %d requests completed — load too thin to mean anything", total)
+	}
+	avail := float64(total-failed) / float64(total)
+	if avail < 0.99 {
+		return fmt.Errorf("availability %.2f%% under shard kill (%d/%d failed), want >=99%%",
+			100*avail, failed, total)
+	}
+
+	var st routerStats
+	if err := getJSON(cl.base+"/v1/stats", &st); err != nil {
+		return err
+	}
+	if st.Failovers == 0 && failed == 0 {
+		fmt.Fprintln(os.Stderr, "clustersmoke: note: no failovers recorded (kill window missed the load)")
+	}
+	fmt.Printf("clustersmoke: chaos: %d/%d served (%.2f%%), %d failovers, %d re-registrations, %d kill events\n",
+		total-failed, total, 100*avail, st.Failovers, st.Reregistrations, chaos.Count(fault.ChaosShardKill))
+	return nil
+}
+
+// drainPhase gracefully removes a replica-holding shard while solves are in
+// flight: nothing may fail, and the placement must migrate off the shard.
+func drainPhase(cl *clusterProcs, info systemInfo) error {
+	var topo topology
+	if err := getJSON(cl.base+"/v1/cluster", &topo); err != nil {
+		return err
+	}
+	holders := topo.Systems[info.ID]
+	if len(holders) == 0 {
+		return fmt.Errorf("no replica set to drain")
+	}
+	victim := holders[0]
+
+	// In-flight load across the drain.
+	const inflight = 6
+	var wg sync.WaitGroup
+	errs := make(chan error, inflight)
+	for i := 0; i < inflight; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			var r solveResult
+			if err := postJSON(cl.base+"/v1/systems/"+info.ID+"/solve", map[string]any{"rhs": "ones"}, &r); err != nil {
+				errs <- fmt.Errorf("in-flight solve %d: %w", i, err)
+				return
+			}
+			if err := checkOnes(r); err != nil {
+				errs <- fmt.Errorf("in-flight solve %d: %w", i, err)
+			}
+		}(i)
+	}
+	time.Sleep(20 * time.Millisecond)
+
+	var rep struct {
+		Shard    string `json:"shard"`
+		Migrated int    `json:"migrated"`
+		Inflight int64  `json:"inflight"`
+	}
+	if err := postJSON(cl.base+"/v1/cluster/drain", map[string]any{"shard": victim}, &rep); err != nil {
+		return fmt.Errorf("drain %s: %w", victim, err)
+	}
+	if rep.Inflight != 0 {
+		return fmt.Errorf("drain returned with %d requests still in flight", rep.Inflight)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		return err
+	}
+
+	if err := getJSON(cl.base+"/v1/cluster", &topo); err != nil {
+		return err
+	}
+	for _, url := range topo.Systems[info.ID] {
+		if url == victim {
+			return fmt.Errorf("drained shard %s still in replica set %v", victim, topo.Systems[info.ID])
+		}
+	}
+	var r solveResult
+	if err := postJSON(cl.base+"/v1/systems/"+info.ID+"/solve", map[string]any{"rhs": "ones"}, &r); err != nil {
+		return fmt.Errorf("solve after drain: %w", err)
+	}
+	if err := checkOnes(r); err != nil {
+		return fmt.Errorf("solve after drain: %w", err)
+	}
+	if err := postJSON(cl.base+"/v1/cluster/undrain", map[string]any{"shard": victim}, nil); err != nil {
+		return fmt.Errorf("undrain %s: %w", victim, err)
+	}
+	fmt.Printf("clustersmoke: drained %s (migrated %d), zero failed in-flight, cluster still serving\n",
+		victim, rep.Migrated)
+	return nil
+}
+
+// metricsPhase scrapes the router exposition for the cluster series.
+func metricsPhase(cl *clusterProcs) error {
+	resp, err := http.Get(cl.base + "/metrics")
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("/metrics: %d", resp.StatusCode)
+	}
+	var buf bytes.Buffer
+	if _, err := buf.ReadFrom(resp.Body); err != nil {
+		return err
+	}
+	body := buf.String()
+	for _, frag := range []string{
+		"cluster_routed_total{shard=",
+		"cluster_failovers_total",
+		"cluster_reregistrations_total",
+		"cluster_shard_latency_seconds_bucket",
+		"cluster_breaker_state{shard=",
+		"cluster_shard_health{shard=",
+	} {
+		if !strings.Contains(body, frag) {
+			return fmt.Errorf("/metrics missing %q", frag)
+		}
+	}
+	fmt.Printf("clustersmoke: metrics: %d bytes of exposition, all cluster series present\n", buf.Len())
+	return nil
+}
+
+// checkOnes verifies a solve result converged to the all-ones solution — the
+// exact answer for b = A*1 with A the registered Poisson generator.
+func checkOnes(r solveResult) error {
+	if r.Error != "" || !r.Converged {
+		return fmt.Errorf("converged=%v err=%q", r.Converged, r.Error)
+	}
+	if len(r.X) == 0 {
+		return fmt.Errorf("empty solution vector")
+	}
+	for j, v := range r.X {
+		if d := v - 1; d > 1e-6 || d < -1e-6 {
+			return fmt.Errorf("x[%d]=%g, want 1", j, v)
+		}
+	}
+	return nil
+}
+
+func waitForPort(portFile string, timeout time.Duration) (string, error) {
+	deadline := time.Now().Add(timeout)
+	for time.Now().Before(deadline) {
+		if b, err := os.ReadFile(portFile); err == nil && len(b) > 0 {
+			return string(bytes.TrimSpace(b)), nil
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	return "", fmt.Errorf("process did not report a port within %s", timeout)
+}
+
+func postJSON(url string, body any, out any) error {
+	buf, err := json.Marshal(body)
+	if err != nil {
+		return err
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(buf))
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode/100 != 2 {
+		var msg bytes.Buffer
+		_, _ = msg.ReadFrom(resp.Body)
+		return fmt.Errorf("%s: %d %s", url, resp.StatusCode, strings.TrimSpace(msg.String()))
+	}
+	if out == nil {
+		return nil
+	}
+	return json.NewDecoder(resp.Body).Decode(out)
+}
+
+func getJSON(url string, out any) error {
+	resp, err := http.Get(url)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("%s: %d", url, resp.StatusCode)
+	}
+	return json.NewDecoder(resp.Body).Decode(out)
+}

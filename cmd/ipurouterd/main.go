@@ -1,0 +1,130 @@
+// Command ipurouterd runs the cluster router: a stateless tier in front of a
+// fleet of ipuserved shards. Every registered system is placed on an R-way
+// replica set chosen by consistent hashing, requests route to the first
+// healthy replica and fail over on transport errors, and a background
+// reconciler re-registers systems whose shards were lost — so the cluster
+// keeps answering through shard crashes, restarts and drains.
+//
+//	ipurouterd -config configs/cluster-default.json
+//	ipurouterd -shards http://127.0.0.1:8723,http://127.0.0.1:8724 -replicas 2
+//	curl -s localhost:8780/v1/systems -d '{"gen":"poisson3d:16"}'
+//	curl -s localhost:8780/v1/systems/<id>/solve -d '{"rhs":"ones"}'
+//	curl -s localhost:8780/v1/cluster
+//	curl -s localhost:8780/v1/cluster/drain -d '{"shard":"http://127.0.0.1:8723"}'
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"ipusparse/internal/cluster"
+	"ipusparse/internal/config"
+)
+
+func main() {
+	addr := flag.String("addr", "", "listen address (overrides the config; default :8780)")
+	cfgPath := flag.String("config", "", "JSON configuration with a cluster block")
+	shards := flag.String("shards", "", "comma-separated shard base URLs (overrides the config)")
+	replicas := flag.Int("replicas", 0, "replica factor (overrides the config; default 2)")
+	portFile := flag.String("port-file", "", "write the bound address to this file once listening (for :0 discovery)")
+	flag.Parse()
+
+	if err := run(*addr, *cfgPath, *shards, *replicas, *portFile); err != nil {
+		fmt.Fprintln(os.Stderr, "ipurouterd:", err)
+		os.Exit(1)
+	}
+}
+
+func run(addr, cfgPath, shards string, replicas int, portFile string) error {
+	cfg := config.Default()
+	if cfgPath != "" {
+		f, err := os.Open(cfgPath)
+		if err != nil {
+			return err
+		}
+		var perr error
+		cfg, perr = config.Parse(f)
+		f.Close()
+		if perr != nil {
+			return perr
+		}
+	}
+	if addr == "" {
+		if cfg.Cluster != nil && cfg.Cluster.Addr != "" {
+			addr = cfg.Cluster.Addr
+		} else {
+			addr = ":8780"
+		}
+	}
+
+	opts := cluster.OptionsFromConfig(cfg)
+	if shards != "" {
+		opts.Shards = opts.Shards[:0]
+		for _, s := range strings.Split(shards, ",") {
+			if s = strings.TrimSpace(s); s != "" {
+				opts.Shards = append(opts.Shards, s)
+			}
+		}
+	}
+	if replicas > 0 {
+		opts.Replicas = replicas
+	}
+	opts.Logf = log.Printf
+
+	rt, err := cluster.New(opts)
+	if err != nil {
+		return err
+	}
+	srv := &http.Server{Handler: rt.Handler()}
+
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		rt.Close()
+		return err
+	}
+	log.Printf("ipurouterd listening on %s, fleet %v", ln.Addr(), opts.Shards)
+	if portFile != "" {
+		if err := os.WriteFile(portFile, []byte(ln.Addr().String()), 0o644); err != nil {
+			ln.Close()
+			rt.Close()
+			return err
+		}
+	}
+
+	errc := make(chan error, 1)
+	go func() { errc <- srv.Serve(ln) }()
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
+	select {
+	case err := <-errc:
+		rt.Close()
+		return err
+	case s := <-sig:
+		log.Printf("ipurouterd: %s, shutting down", s)
+	}
+
+	// The router holds no durable state — every registration lives in the
+	// shards' WALs — so shutdown only needs to finish writing in-flight
+	// responses before the process exits.
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil && !errors.Is(err, http.ErrServerClosed) &&
+		!errors.Is(err, context.DeadlineExceeded) {
+		rt.Close()
+		return err
+	}
+	rt.Close()
+	log.Printf("ipurouterd: bye")
+	return nil
+}

@@ -16,7 +16,9 @@
 // resilience testing.
 //
 // Shutdown on SIGINT/SIGTERM is graceful: admission stops, queued jobs
-// drain, then the listener closes.
+// drain, then the listener closes. -drain-timeout bounds the drain: when a
+// wedged solve holds it past the deadline the process exits anyway (the WAL
+// already carries every acknowledged registration).
 package main
 
 import (
@@ -53,6 +55,7 @@ func main() {
 	cfgPath := flag.String("config", "", "JSON configuration with solver and serve blocks")
 	portFile := flag.String("port-file", "", "write the bound address to this file once listening (for :0 discovery)")
 	stateDir := flag.String("state-dir", "", "crash-safe registry directory (overrides the config; empty disables persistence)")
+	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "hard deadline for the graceful drain on SIGINT/SIGTERM")
 	var cf chaosFlags
 	flag.Float64Var(&cf.rate, "chaos-rate", 0, "per-solve-attempt fault probability (0 disables chaos)")
 	flag.Int64Var(&cf.seed, "chaos-seed", 1, "chaos campaign seed")
@@ -61,7 +64,7 @@ func main() {
 	flag.IntVar(&cf.stallMs, "chaos-stall-ms", 0, "injected slow-replica delay in ms (0 = 50ms default)")
 	flag.Parse()
 
-	if err := run(*addr, *cfgPath, *portFile, *stateDir, cf); err != nil {
+	if err := run(*addr, *cfgPath, *portFile, *stateDir, *drainTimeout, cf); err != nil {
 		fmt.Fprintln(os.Stderr, "ipuserved:", err)
 		os.Exit(1)
 	}
@@ -90,7 +93,7 @@ func (cf chaosFlags) chaos() (*fault.Chaos, error) {
 	return fault.NewChaos(plan), nil
 }
 
-func run(addr, cfgPath, portFile, stateDir string, cf chaosFlags) error {
+func run(addr, cfgPath, portFile, stateDir string, drainTimeout time.Duration, cf chaosFlags) error {
 	cfg := config.Default()
 	if cfgPath != "" {
 		f, err := os.Open(cfgPath)
@@ -159,17 +162,24 @@ func run(addr, cfgPath, portFile, stateDir string, cf chaosFlags) error {
 		log.Printf("ipuserved: %s, draining", s)
 	}
 
-	// Graceful drain: stop admission and finish queued jobs, then close the
-	// HTTP side so in-flight responses are written before the listener dies.
-	if err := svc.Close(); err != nil {
-		return err
+	// Graceful drain with a hard deadline: stop admission and finish queued
+	// jobs, then close the HTTP side so in-flight responses are written before
+	// the listener dies. A solve wedged past -drain-timeout is abandoned — the
+	// WAL already carries every acknowledged registration, so exiting loses
+	// nothing durable.
+	ctx, cancel := context.WithTimeout(context.Background(), drainTimeout)
+	defer cancel()
+	if err := svc.Shutdown(ctx); err != nil {
+		if !errors.Is(err, context.DeadlineExceeded) {
+			return err
+		}
+		log.Printf("ipuserved: drain exceeded %s, exiting with work in flight", drainTimeout)
 	}
 	if ch := opts.Chaos; ch != nil {
 		log.Printf("ipuserved: chaos campaign injected %d faults", len(ch.Events()))
 	}
-	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
-	defer cancel()
-	if err := srv.Shutdown(ctx); err != nil && !errors.Is(err, http.ErrServerClosed) {
+	if err := srv.Shutdown(ctx); err != nil && !errors.Is(err, http.ErrServerClosed) &&
+		!errors.Is(err, context.DeadlineExceeded) {
 		return err
 	}
 	log.Printf("ipuserved: drained, bye")

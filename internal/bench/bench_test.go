@@ -310,6 +310,51 @@ func TestTable7ChaosStudy(t *testing.T) {
 	}
 }
 
+// TestTable9ClusterStudy checks the shard-loss study's claim: a replica
+// factor of 2 or more rides out a cold shard kill at 100% availability via
+// failover and reconciler repair, replica factor 1 goes partially dark until
+// repair, and no scenario ever serves a wrong answer.
+func TestTable9ClusterStudy(t *testing.T) {
+	rows, err := Table9(fastOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 {
+		t.Fatalf("Table IX has %d scenarios, want 4", len(rows))
+	}
+	for _, r := range rows {
+		if r.WrongAnswers != 0 {
+			t.Errorf("%s: %d wrong answers served", r.Scenario, r.WrongAnswers)
+		}
+		switch r.Scenario {
+		case "baseline-r2":
+			if r.Availability != 1 || r.Failovers != 0 {
+				t.Errorf("baseline: availability %.2f, %d failovers", r.Availability, r.Failovers)
+			}
+		case "shard-kill-r1":
+			if r.Availability >= 1 {
+				t.Errorf("r1 kill: availability %.2f, want a visible outage window", r.Availability)
+			}
+			if r.Unroutable == 0 {
+				t.Error("r1 kill: no unroutable requests recorded")
+			}
+			if r.Reregistrations == 0 {
+				t.Error("r1 kill: reconciler repaired nothing")
+			}
+		default: // shard-kill-r2, shard-kill-r3
+			if r.Availability < 0.99 {
+				t.Errorf("%s: availability %.1f%%, want >=99%%", r.Scenario, 100*r.Availability)
+			}
+			if r.Failovers == 0 {
+				t.Errorf("%s: kill produced no failovers", r.Scenario)
+			}
+			if r.Reregistrations == 0 {
+				t.Errorf("%s: reconciler repaired nothing", r.Scenario)
+			}
+		}
+	}
+}
+
 func TestRunAllExperimentsPrint(t *testing.T) {
 	if testing.Short() {
 		t.Skip("full experiment sweep in -short mode")

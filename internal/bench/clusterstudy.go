@@ -1,0 +1,247 @@
+package bench
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"ipusparse/internal/cluster"
+	"ipusparse/internal/serve"
+)
+
+// Table9Row is one scenario of the availability-under-shard-loss study
+// (Table IX): a fixed request schedule runs against an in-process cluster
+// (router + shards) while one replica-holding shard is killed and later
+// restarted empty. The row reports what the client observed (availability,
+// wrong answers) against what the router tier did to deliver it (failovers,
+// re-registrations, unroutable requests).
+type Table9Row struct {
+	Scenario string
+	Replicas int // replica factor
+	Shards   int // fleet size
+	Requests int
+	Served   int
+
+	// Availability is Served/Requests. The study's claim: with replica
+	// factor >= 2 a shard kill costs nothing (failover covers the gap until
+	// the reconciler repairs placement); with replica factor 1 the key's only
+	// holder dying takes its systems offline until repair.
+	Availability float64
+	// WrongAnswers counts served solutions that failed the client-side check
+	// against the known exact all-ones solution; always zero.
+	WrongAnswers int
+
+	Failovers       uint64 // attempts moved to the next replica
+	Reregistrations uint64 // placements repaired by the reconciler
+	Unroutable      uint64 // requests that exhausted every replica
+}
+
+// table9Scenario is one schedule: fleet shape plus whether the campaign
+// kills and restarts a replica holder.
+type table9Scenario struct {
+	name     string
+	replicas int
+	kill     bool
+}
+
+func table9Scenarios() []table9Scenario {
+	return []table9Scenario{
+		{name: "baseline-r2", replicas: 2},
+		{name: "shard-kill-r1", replicas: 1, kill: true},
+		{name: "shard-kill-r2", replicas: 2, kill: true},
+		{name: "shard-kill-r3", replicas: 3, kill: true},
+	}
+}
+
+// benchShard is one in-process backend with a kill switch: while down, every
+// connection aborts mid-response — the transport footprint of kill -9.
+// Restart swaps in a fresh empty service, the worst-case recovery the
+// router's reconciler must repair.
+type benchShard struct {
+	srv  *httptest.Server
+	down atomic.Bool
+
+	mu  sync.Mutex
+	svc *serve.Service
+}
+
+func newBenchShard(opts serve.Options) *benchShard {
+	bs := &benchShard{svc: serve.New(opts)}
+	bs.srv = httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if bs.down.Load() {
+			panic(http.ErrAbortHandler)
+		}
+		bs.mu.Lock()
+		svc := bs.svc
+		bs.mu.Unlock()
+		svc.Handler().ServeHTTP(w, r)
+	}))
+	return bs
+}
+
+func (bs *benchShard) kill() { bs.down.Store(true) }
+
+func (bs *benchShard) restart(opts serve.Options) {
+	bs.mu.Lock()
+	old := bs.svc
+	bs.svc = serve.New(opts)
+	bs.mu.Unlock()
+	old.Close()
+	bs.down.Store(false)
+}
+
+func (bs *benchShard) close() {
+	bs.srv.Close()
+	bs.mu.Lock()
+	svc := bs.svc
+	bs.mu.Unlock()
+	svc.Close()
+}
+
+// Table9 runs the availability-under-shard-loss study on an in-process
+// cluster: three shards behind a router, a deterministic request schedule
+// split in quarters around a kill, a health probe + placement repair, and an
+// empty restart.
+func Table9(o Options) ([]Table9Row, error) {
+	spec, requests := "poisson2d:16", 40
+	if o.Scale > 64 {
+		spec, requests = "poisson2d:12", 20
+	}
+	rows := make([]Table9Row, 0, len(table9Scenarios()))
+	for _, sc := range table9Scenarios() {
+		row, err := table9Row(o, sc, spec, requests)
+		if err != nil {
+			return nil, fmt.Errorf("table9 %s: %w", sc.name, err)
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+func table9Row(o Options, sc table9Scenario, spec string, requests int) (Table9Row, error) {
+	shardOpts := serve.Options{
+		Machine: o.machineConfig(1),
+		Solver:  table7Config(),
+	}
+	const fleet = 3
+	shards := make([]*benchShard, fleet)
+	urls := make([]string, fleet)
+	for i := range shards {
+		shards[i] = newBenchShard(shardOpts)
+		urls[i] = shards[i].srv.URL
+	}
+	defer func() {
+		for _, bs := range shards {
+			bs.close()
+		}
+	}()
+
+	// Background loops are slowed to a crawl; the schedule drives ProbeNow
+	// and Reconcile explicitly so every run is the same run.
+	rt, err := cluster.New(cluster.Options{
+		Shards:            urls,
+		Replicas:          sc.replicas,
+		ProbeInterval:     time.Hour,
+		ReconcileInterval: time.Hour,
+		BreakerThreshold:  2,
+		BreakerCooldown:   50 * time.Millisecond,
+	})
+	if err != nil {
+		return Table9Row{}, err
+	}
+	defer rt.Close()
+	rt.ProbeNow()
+
+	info, err := rt.Register(context.Background(), serve.RegisterRequest{Gen: spec})
+	if err != nil {
+		return Table9Row{}, err
+	}
+	h := rt.Handler()
+
+	row := Table9Row{
+		Scenario: sc.name, Replicas: sc.replicas, Shards: fleet, Requests: requests,
+	}
+	solve := func(n int) {
+		for i := 0; i < n; i++ {
+			req := httptest.NewRequest(http.MethodPost, "/v1/systems/"+info.ID+"/solve",
+				bytes.NewReader([]byte(`{"rhs":"ones"}`)))
+			w := httptest.NewRecorder()
+			h.ServeHTTP(w, req)
+			if w.Code != http.StatusOK {
+				continue
+			}
+			var res serve.SolveResponse
+			if err := json.Unmarshal(w.Body.Bytes(), &res); err != nil || !res.Converged {
+				continue
+			}
+			row.Served++
+			for _, v := range res.X {
+				if d := v - 1; d > 1e-5 || d < -1e-5 {
+					row.WrongAnswers++
+					break
+				}
+			}
+		}
+	}
+
+	q := requests / 4
+	if !sc.kill {
+		solve(requests)
+	} else {
+		// Quarter 1: healthy fleet. Then the system's first replica holder is
+		// killed cold — quarter 2 measures the raw failover window before any
+		// probe has run. A probe + reconcile pass repairs placement for
+		// quarter 3, and quarter 4 runs after the victim restarts empty and
+		// is repaired back into its replica sets.
+		solve(q)
+		var victim *benchShard
+		if set := rt.ReplicaSet(info.ID); len(set) > 0 {
+			for _, bs := range shards {
+				if bs.srv.URL == set[0] {
+					victim = bs
+				}
+			}
+		}
+		if victim == nil {
+			return Table9Row{}, fmt.Errorf("no replica holder to kill")
+		}
+		victim.kill()
+		solve(q)
+		rt.ProbeNow()
+		rt.Reconcile(context.Background())
+		solve(q)
+		victim.restart(shardOpts)
+		rt.ProbeNow()
+		rt.Reconcile(context.Background())
+		solve(requests - 3*q)
+	}
+
+	st := rt.Stats()
+	row.Availability = float64(row.Served) / float64(row.Requests)
+	row.Failovers = st.Failovers
+	row.Reregistrations = st.Reregistrations
+	row.Unroutable = st.Unroutable
+	return row, nil
+}
+
+// PrintTable9 renders the shard-loss study.
+func PrintTable9(o Options, rows []Table9Row) {
+	o.printf("\nTable IX: availability under shard loss (router + %d-shard cluster)\n", 3)
+	o.printf("one replica holder is killed cold mid-schedule, probed down, repaired by\n")
+	o.printf("the reconciler, then restarted empty and repaired back in\n")
+	o.printf("%-16s %4s %6s %5s %6s %6s %6s | %9s %7s %11s\n",
+		"scenario", "R", "shards", "req", "served", "avail", "wrong",
+		"failovers", "unroute", "re-register")
+	for _, r := range rows {
+		o.printf("%-16s %4d %6d %5d %6d %5.1f%% %6d | %9d %7d %11d\n",
+			r.Scenario, r.Replicas, r.Shards, r.Requests, r.Served,
+			100*r.Availability, r.WrongAnswers,
+			r.Failovers, r.Unroutable, r.Reregistrations)
+	}
+}

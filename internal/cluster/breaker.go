@@ -1,0 +1,139 @@
+package cluster
+
+import (
+	"sync"
+	"time"
+)
+
+// breakerState is the classic three-state circuit breaker, tracked per shard.
+type breakerState int
+
+const (
+	breakerClosed   breakerState = iota // normal operation
+	breakerOpen                         // shedding load, cooling down
+	breakerHalfOpen                     // admitting a single probe
+)
+
+// String implements fmt.Stringer.
+func (s breakerState) String() string {
+	switch s {
+	case breakerClosed:
+		return "closed"
+	case breakerOpen:
+		return "open"
+	case breakerHalfOpen:
+		return "half-open"
+	}
+	return "unknown"
+}
+
+// breaker shields a shard: threshold consecutive transport-level failures
+// open it, an open breaker removes the shard from every replica set until the
+// cooldown elapses, then one probe request is admitted (half-open) — its
+// success closes the circuit, its failure re-opens it. Application-level
+// errors (a solve that converged to a 400) never trip it; only failures that
+// say the shard itself is unreachable or shedding.
+type breaker struct {
+	threshold int
+	cooldown  time.Duration
+	opens     func()             // router-level open counter hook
+	onState   func(breakerState) // state-gauge hook, called on every transition
+
+	mu       sync.Mutex
+	state    breakerState
+	fails    int
+	openedAt time.Time
+	probing  bool // a half-open probe is in flight
+}
+
+// setState transitions the state and notifies the gauge hook (callers hold
+// b.mu).
+func (b *breaker) setState(st breakerState) {
+	b.state = st
+	if b.onState != nil {
+		b.onState(st)
+	}
+}
+
+// allow reports whether a request may be routed to the shard, transitioning
+// open → half-open after the cooldown and admitting exactly one probe.
+func (b *breaker) allow() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case breakerClosed:
+		return true
+	case breakerOpen:
+		if time.Since(b.openedAt) < b.cooldown {
+			return false
+		}
+		b.setState(breakerHalfOpen)
+		b.probing = true
+		return true
+	default: // half-open
+		if b.probing {
+			return false
+		}
+		b.probing = true
+		return true
+	}
+}
+
+// success records a served request and closes the circuit.
+func (b *breaker) success() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.setState(breakerClosed)
+	b.fails = 0
+	b.probing = false
+}
+
+// failure records a transport-level failure: it re-opens a half-open circuit
+// immediately and opens a closed one at the threshold.
+func (b *breaker) failure() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case breakerHalfOpen:
+		b.open()
+	case breakerClosed:
+		b.fails++
+		if b.fails >= b.threshold {
+			b.open()
+		}
+	}
+}
+
+// open transitions to the open state (callers hold b.mu).
+func (b *breaker) open() {
+	b.setState(breakerOpen)
+	b.openedAt = time.Now()
+	b.fails = 0
+	b.probing = false
+	if b.opens != nil {
+		b.opens()
+	}
+}
+
+// currentState snapshots the state, folding an elapsed cooldown into
+// half-open for reporting.
+func (b *breaker) currentState() breakerState {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.state == breakerOpen && time.Since(b.openedAt) >= b.cooldown {
+		return breakerHalfOpen
+	}
+	return b.state
+}
+
+// breakerStateValue maps a breaker state onto the cluster_breaker_state gauge
+// scale: 0 closed, 1 half-open, 2 open.
+func breakerStateValue(st breakerState) float64 {
+	switch st {
+	case breakerHalfOpen:
+		return 1
+	case breakerOpen:
+		return 2
+	}
+	return 0
+}

@@ -1,0 +1,180 @@
+package cluster
+
+import (
+	"encoding/json"
+	"errors"
+	"io"
+	"net/http"
+
+	"ipusparse/internal/serve"
+)
+
+// Handler serves the router's JSON API — the same client-facing surface as a
+// single shard, plus the cluster-control endpoints:
+//
+//	POST /v1/systems            register a system on its replica set
+//	GET  /v1/systems            list systems the router places
+//	POST /v1/systems/{id}/solve route a solve with health-aware failover
+//	GET  /v1/cluster            topology: shard health, placement
+//	POST /v1/cluster/drain      gracefully remove a shard ({"shard": url})
+//	POST /v1/cluster/undrain    return a shard to service
+//	GET  /v1/stats              router counters
+//	GET  /metrics               Prometheus text exposition
+//	GET  /healthz               liveness
+//	GET  /readyz                readiness (503 when no shard is eligible)
+func (rt *Router) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/systems", rt.handleRegister)
+	mux.HandleFunc("GET /v1/systems", rt.handleSystems)
+	mux.HandleFunc("POST /v1/systems/{id}/solve", rt.handleSolve)
+	mux.HandleFunc("GET /v1/cluster", rt.handleTopology)
+	mux.HandleFunc("POST /v1/cluster/drain", rt.handleDrain)
+	mux.HandleFunc("POST /v1/cluster/undrain", rt.handleUndrain)
+	mux.HandleFunc("GET /v1/stats", rt.handleStats)
+	mux.HandleFunc("GET /metrics", rt.handleMetrics)
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	})
+	mux.HandleFunc("GET /readyz", rt.handleReady)
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, map[string]string{"error": err.Error()})
+}
+
+func (rt *Router) handleRegister(w http.ResponseWriter, r *http.Request) {
+	var req serve.RegisterRequest
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, rt.opts.MaxBodyBytes)).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	info, err := rt.Register(r.Context(), req)
+	if err != nil {
+		status := http.StatusBadRequest
+		if errors.Is(err, ErrNoShards) {
+			status = http.StatusServiceUnavailable
+		}
+		writeError(w, status, err)
+		return
+	}
+	writeJSON(w, http.StatusCreated, info)
+}
+
+func (rt *Router) handleSystems(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{"systems": rt.Systems()})
+}
+
+// handleSolve proxies one solve with failover: the body is buffered once so
+// a failed attempt can replay it against the next replica, and the winning
+// shard's answer streams back verbatim.
+func (rt *Router) handleSolve(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, rt.opts.MaxBodyBytes))
+	if err != nil {
+		writeError(w, http.StatusRequestEntityTooLarge, err)
+		return
+	}
+	resp, err := rt.routeSolve(r.Context(), id, "/v1/systems/"+id+"/solve", body)
+	if err != nil {
+		status := http.StatusServiceUnavailable
+		if r.Context().Err() != nil {
+			status = http.StatusBadRequest
+		}
+		writeError(w, status, err)
+		return
+	}
+	defer resp.Body.Close()
+	w.Header().Set("Content-Type", resp.Header.Get("Content-Type"))
+	w.WriteHeader(resp.StatusCode)
+	_, _ = io.Copy(w, resp.Body)
+}
+
+// Topology is the GET /v1/cluster response: where everything is and how
+// healthy it looks.
+type Topology struct {
+	Replicas int                    `json:"replicas"`
+	Shards   map[string]ShardStatus `json:"shards"`
+	Systems  map[string][]string    `json:"systems"` // system ID -> current replica set
+}
+
+func (rt *Router) handleTopology(w http.ResponseWriter, r *http.Request) {
+	topo := Topology{
+		Replicas: rt.opts.Replicas,
+		Shards:   rt.Stats().Shards,
+		Systems:  map[string][]string{},
+	}
+	for _, info := range rt.Systems() {
+		var names []string
+		for _, sh := range rt.replicaSet(info.ID) {
+			names = append(names, sh.name)
+		}
+		topo.Systems[info.ID] = names
+	}
+	writeJSON(w, http.StatusOK, topo)
+}
+
+func (rt *Router) handleDrain(w http.ResponseWriter, r *http.Request) {
+	var req struct {
+		Shard string `json:"shard"`
+	}
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	rep, err := rt.DrainShard(r.Context(), req.Shard)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, rep)
+}
+
+func (rt *Router) handleUndrain(w http.ResponseWriter, r *http.Request) {
+	var req struct {
+		Shard string `json:"shard"`
+	}
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	if err := rt.UndrainShard(req.Shard); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+func (rt *Router) handleStats(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, rt.Stats())
+}
+
+func (rt *Router) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	_ = rt.tel.WritePrometheus(w)
+}
+
+// handleReady reports 503 only when no shard is eligible to serve — a single
+// live replica keeps the cluster ready.
+func (rt *Router) handleReady(w http.ResponseWriter, r *http.Request) {
+	st := rt.Stats()
+	eligible := 0
+	for _, s := range st.Shards {
+		if !s.Draining && s.Health != "down" && s.Health != "draining" {
+			eligible++
+		}
+	}
+	body := map[string]any{"status": "ok", "shards": len(st.Shards), "eligible": eligible}
+	if eligible == 0 {
+		body["status"] = "unavailable"
+		writeJSON(w, http.StatusServiceUnavailable, body)
+		return
+	}
+	writeJSON(w, http.StatusOK, body)
+}

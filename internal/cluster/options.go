@@ -1,0 +1,29 @@
+package cluster
+
+import (
+	"time"
+
+	"ipusparse/internal/config"
+)
+
+// OptionsFromConfig maps the config file's cluster block onto router Options.
+// A nil block yields the zero Options (the caller still has to supply Shards,
+// either from the block or from flags).
+func OptionsFromConfig(c config.Config) Options {
+	var o Options
+	cl := c.Cluster
+	if cl == nil {
+		return o
+	}
+	o.Shards = append([]string(nil), cl.Shards...)
+	o.Replicas = cl.Replicas
+	o.VNodes = cl.VNodes
+	o.ProbeInterval = time.Duration(cl.ProbeIntervalMs) * time.Millisecond
+	o.ProbeTimeout = time.Duration(cl.ProbeTimeoutMs) * time.Millisecond
+	o.ReconcileInterval = time.Duration(cl.ReconcileIntervalMs) * time.Millisecond
+	o.BreakerThreshold = cl.BreakerThreshold
+	o.BreakerCooldown = time.Duration(cl.BreakerCooldownMs) * time.Millisecond
+	o.RegisterTimeout = time.Duration(cl.RegisterTimeoutMs) * time.Millisecond
+	o.MaxBodyBytes = cl.MaxBodyBytes
+	return o
+}

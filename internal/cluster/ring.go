@@ -1,0 +1,113 @@
+// Package cluster is the router tier over a fleet of ipuserved shards: a
+// consistent-hash ring places every registered system on an R-way replica
+// set, health probes and per-shard circuit breakers steer requests to shards
+// that can answer, failed attempts fail over to the next replica, and a
+// reconciler re-registers systems on replacement shards when their owners are
+// lost — so the cluster keeps serving through shard crashes and drains.
+package cluster
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sort"
+)
+
+// Ring is an immutable consistent-hash ring: each shard is hashed onto the
+// ring at VNodes points, and a key is served by the first distinct shards
+// found walking clockwise from the key's own hash. Adding or removing one
+// shard relocates only the keys in its arcs — every other placement is
+// stable, which is what keeps failover traffic (and re-registration work)
+// proportional to the lost shard's share.
+type Ring struct {
+	shards []string
+	points []ringPoint // sorted by hash
+}
+
+type ringPoint struct {
+	hash  uint64
+	shard string
+}
+
+// NewRing builds a ring over the named shards with vnodes virtual nodes per
+// shard (more vnodes → smoother key distribution; 64 is a good default).
+// Duplicate names collapse; order does not matter.
+func NewRing(shards []string, vnodes int) *Ring {
+	if vnodes <= 0 {
+		vnodes = 64
+	}
+	seen := map[string]bool{}
+	var distinct []string
+	for _, s := range shards {
+		if s != "" && !seen[s] {
+			seen[s] = true
+			distinct = append(distinct, s)
+		}
+	}
+	sort.Strings(distinct)
+	r := &Ring{shards: distinct}
+	for _, s := range distinct {
+		for v := 0; v < vnodes; v++ {
+			r.points = append(r.points, ringPoint{hash: hash64(fmt.Sprintf("%s#%d", s, v)), shard: s})
+		}
+	}
+	sort.Slice(r.points, func(i, j int) bool {
+		if r.points[i].hash != r.points[j].hash {
+			return r.points[i].hash < r.points[j].hash
+		}
+		return r.points[i].shard < r.points[j].shard
+	})
+	return r
+}
+
+// Shards returns the distinct shard names, sorted.
+func (r *Ring) Shards() []string {
+	return append([]string(nil), r.shards...)
+}
+
+// Order returns every shard in the key's clockwise preference order: the
+// owner first, then each successive distinct shard around the ring. The
+// caller takes the first R healthy entries as the key's replica set, so a
+// down or draining shard is skipped without disturbing any other placement.
+func (r *Ring) Order(key string) []string {
+	if len(r.points) == 0 {
+		return nil
+	}
+	h := hash64(key)
+	i := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	seen := map[string]bool{}
+	out := make([]string, 0, len(r.shards))
+	for n := 0; n < len(r.points) && len(out) < len(r.shards); n++ {
+		p := r.points[(i+n)%len(r.points)]
+		if !seen[p.shard] {
+			seen[p.shard] = true
+			out = append(out, p.shard)
+		}
+	}
+	return out
+}
+
+// Replicas returns the first n shards of the key's preference order (fewer
+// when the ring is smaller than n).
+func (r *Ring) Replicas(key string, n int) []string {
+	order := r.Order(key)
+	if len(order) > n {
+		order = order[:n]
+	}
+	return order
+}
+
+// hash64 is fnv-1a with a murmur3-style avalanche finalizer. Raw FNV of
+// near-identical strings ("shard#0", "shard#1", …) differs only in the low
+// bits, so a shard's virtual nodes would land in one tight arc and the ring
+// would degenerate to one owner; the finalizer spreads them uniformly.
+func hash64(s string) uint64 {
+	f := fnv.New64a()
+	_, _ = f.Write([]byte(s))
+	h := f.Sum64()
+	h ^= h >> 33
+	h *= 0xff51afd7ed558ccd
+	h ^= h >> 33
+	h *= 0xc4ceb9fe1a85ec53
+	h ^= h >> 33
+	return h
+}

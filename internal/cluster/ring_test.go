@@ -1,0 +1,99 @@
+package cluster
+
+import (
+	"fmt"
+	"testing"
+)
+
+// TestRingReplicasDistinct checks every key gets distinct shards in
+// preference order, capped by the fleet size.
+func TestRingReplicasDistinct(t *testing.T) {
+	shards := []string{"a", "b", "c", "d", "e"}
+	r := NewRing(shards, 64)
+	for i := 0; i < 200; i++ {
+		key := fmt.Sprintf("key-%d", i)
+		reps := r.Replicas(key, 3)
+		if len(reps) != 3 {
+			t.Fatalf("key %s: %d replicas, want 3", key, len(reps))
+		}
+		seen := map[string]bool{}
+		for _, s := range reps {
+			if seen[s] {
+				t.Fatalf("key %s: duplicate shard %s in %v", key, s, reps)
+			}
+			seen[s] = true
+		}
+	}
+	if got := r.Replicas("k", 10); len(got) != len(shards) {
+		t.Fatalf("replica request beyond fleet size returned %d, want %d", len(got), len(shards))
+	}
+}
+
+// TestRingStabilityUnderShardLoss is the consistent-hashing property the
+// failover design rests on: removing one shard must not move any key whose
+// replica set did not include it.
+func TestRingStabilityUnderShardLoss(t *testing.T) {
+	all := []string{"a", "b", "c", "d", "e"}
+	before := NewRing(all, 64)
+	after := NewRing([]string{"a", "b", "d", "e"}, 64) // "c" lost
+
+	moved, unaffected := 0, 0
+	for i := 0; i < 500; i++ {
+		key := fmt.Sprintf("key-%d", i)
+		b := before.Replicas(key, 2)
+		a := after.Replicas(key, 2)
+		hadC := b[0] == "c" || b[1] == "c"
+		if !hadC {
+			if b[0] != a[0] || b[1] != a[1] {
+				t.Fatalf("key %s moved from %v to %v without losing a replica", key, b, a)
+			}
+			unaffected++
+		} else {
+			moved++
+		}
+	}
+	if moved == 0 || unaffected == 0 {
+		t.Fatalf("degenerate ring: %d moved, %d unaffected", moved, unaffected)
+	}
+	// ~2/5 of keys had "c" in their 2-way set; far more than that moving
+	// would mean placement is not consistent.
+	if moved > 350 {
+		t.Fatalf("%d/500 keys moved when one of five shards left", moved)
+	}
+}
+
+// TestRingBalance checks virtual nodes spread primary ownership across the
+// fleet — no shard starved, none hot by an order of magnitude.
+func TestRingBalance(t *testing.T) {
+	r := NewRing([]string{"a", "b", "c", "d"}, 64)
+	counts := map[string]int{}
+	const keys = 2000
+	for i := 0; i < keys; i++ {
+		counts[r.Replicas(fmt.Sprintf("key-%d", i), 1)[0]]++
+	}
+	for shard, n := range counts {
+		if n < keys/4/4 || n > keys {
+			t.Fatalf("shard %s owns %d/%d keys", shard, n, keys)
+		}
+	}
+	if len(counts) != 4 {
+		t.Fatalf("only %d shards own keys: %v", len(counts), counts)
+	}
+}
+
+// TestRingSkipsDrainingViaOrder checks Order yields every shard so the
+// caller can filter: the next distinct shard replaces a skipped one.
+func TestRingSkipsDrainingViaOrder(t *testing.T) {
+	r := NewRing([]string{"a", "b", "c"}, 64)
+	order := r.Order("some-key")
+	if len(order) != 3 {
+		t.Fatalf("order %v, want all 3 shards", order)
+	}
+	seen := map[string]bool{}
+	for _, s := range order {
+		seen[s] = true
+	}
+	if !seen["a"] || !seen["b"] || !seen["c"] {
+		t.Fatalf("order %v misses a shard", order)
+	}
+}

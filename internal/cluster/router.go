@@ -1,0 +1,573 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"sync"
+	"time"
+
+	"ipusparse/internal/serve"
+	"ipusparse/internal/telemetry"
+)
+
+// Options configures a Router. The zero value of every field has a sensible
+// default; Shards is the only required one.
+type Options struct {
+	// Shards are the backend base URLs, e.g. "http://127.0.0.1:8723".
+	Shards []string
+	// Replicas is the replica factor: every system is registered on this many
+	// shards (capped by the fleet size). Default 2.
+	Replicas int
+	// VNodes is the virtual-node count per shard on the hash ring. Default 64.
+	VNodes int
+	// ProbeInterval is the /readyz health-probe period. Default 250ms.
+	ProbeInterval time.Duration
+	// ProbeTimeout bounds one health probe. Default 2s.
+	ProbeTimeout time.Duration
+	// ReconcileInterval is the placement-repair period: each pass re-registers
+	// systems missing from their replica set (a shard that restarted empty, a
+	// replica set that moved off a draining shard). Default 1s.
+	ReconcileInterval time.Duration
+	// BreakerThreshold consecutive transport failures open a shard's breaker.
+	// Default 3.
+	BreakerThreshold int
+	// BreakerCooldown is how long an open shard breaker sheds before probing.
+	// Default 3s.
+	BreakerCooldown time.Duration
+	// RegisterTimeout bounds one registration import against one shard.
+	// Default 60s (a registration pays partitioning and compilation).
+	RegisterTimeout time.Duration
+	// MaxBodyBytes bounds proxied request bodies. Default 1<<28.
+	MaxBodyBytes int64
+	// Client is the HTTP client for every shard call. Default: a dedicated
+	// client with keep-alives.
+	Client *http.Client
+	// Telemetry receives the router series. Default: a private registry.
+	Telemetry *telemetry.Registry
+	// Logf, when set, receives router event logs (failovers, repairs, drains).
+	Logf func(format string, args ...any)
+}
+
+// Router places registered systems on R-way replica sets over a consistent-
+// hash ring of shards and keeps them reachable: requests route to the first
+// healthy replica, fail over on transport errors, and a reconciler
+// re-registers systems whose shards were lost. All shard registration —
+// initial placement, crash repair, drain migration — flows through the same
+// idempotent POST /v1/registry import.
+type Router struct {
+	opts   Options
+	ring   *Ring
+	client *http.Client
+	tel    *telemetry.Registry
+	stats  rstats
+
+	mu      sync.Mutex
+	shards  map[string]*shard
+	systems map[string]*clusterSystem
+	closed  bool
+
+	stop chan struct{}
+	wg   sync.WaitGroup
+}
+
+// clusterSystem is one system the router places: the self-contained
+// registration record is everything a replacement shard needs.
+type clusterSystem struct {
+	info serve.SystemInfo
+	rec  serve.RegistrationRecord
+}
+
+// ErrNoShards reports a request for which no eligible replica remains.
+var ErrNoShards = errors.New("cluster: no eligible shard")
+
+// New builds the router and starts its health-probe and reconcile loops.
+// Callers own Close.
+func New(opts Options) (*Router, error) {
+	if len(opts.Shards) == 0 {
+		return nil, errors.New("cluster: need at least one shard")
+	}
+	if opts.Replicas <= 0 {
+		opts.Replicas = 2
+	}
+	if opts.VNodes <= 0 {
+		opts.VNodes = 64
+	}
+	if opts.ProbeInterval <= 0 {
+		opts.ProbeInterval = 250 * time.Millisecond
+	}
+	if opts.ProbeTimeout <= 0 {
+		opts.ProbeTimeout = 2 * time.Second
+	}
+	if opts.ReconcileInterval <= 0 {
+		opts.ReconcileInterval = time.Second
+	}
+	if opts.BreakerThreshold <= 0 {
+		opts.BreakerThreshold = 3
+	}
+	if opts.BreakerCooldown <= 0 {
+		opts.BreakerCooldown = 3 * time.Second
+	}
+	if opts.RegisterTimeout <= 0 {
+		opts.RegisterTimeout = 60 * time.Second
+	}
+	if opts.MaxBodyBytes <= 0 {
+		opts.MaxBodyBytes = 1 << 28
+	}
+	if opts.Client == nil {
+		opts.Client = &http.Client{}
+	}
+	if opts.Telemetry == nil {
+		opts.Telemetry = telemetry.NewRegistry()
+	}
+	rt := &Router{
+		opts:    opts,
+		ring:    NewRing(opts.Shards, opts.VNodes),
+		client:  opts.Client,
+		tel:     opts.Telemetry,
+		stats:   newRStats(opts.Telemetry),
+		shards:  map[string]*shard{},
+		systems: map[string]*clusterSystem{},
+		stop:    make(chan struct{}),
+	}
+	for _, name := range rt.ring.Shards() {
+		bgauge := rt.stats.breakerState.With(name)
+		hgauge := rt.stats.health.With(name)
+		sh := &shard{
+			name: name,
+			br: &breaker{
+				threshold: opts.BreakerThreshold,
+				cooldown:  opts.BreakerCooldown,
+				opens:     func() { rt.stats.opens.Add(1) },
+				onState:   func(st breakerState) { bgauge.Set(breakerStateValue(st)) },
+			},
+			onHealth: func(h shardHealth) { hgauge.Set(healthGaugeValue(h)) },
+		}
+		bgauge.Set(breakerStateValue(breakerClosed))
+		hgauge.Set(healthGaugeValue(healthUnknown))
+		rt.shards[name] = sh
+	}
+	rt.wg.Add(2)
+	go rt.probeLoop()
+	go rt.reconcileLoop()
+	return rt, nil
+}
+
+// Close stops the probe and reconcile loops.
+func (rt *Router) Close() {
+	rt.mu.Lock()
+	if rt.closed {
+		rt.mu.Unlock()
+		return
+	}
+	rt.closed = true
+	rt.mu.Unlock()
+	close(rt.stop)
+	rt.wg.Wait()
+}
+
+func (rt *Router) logf(format string, args ...any) {
+	if rt.opts.Logf != nil {
+		rt.opts.Logf(format, args...)
+	}
+}
+
+// shardFor returns the live state of a named shard.
+func (rt *Router) shardFor(name string) *shard {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	return rt.shards[name]
+}
+
+// replicaSet returns the system's current replica set: the first R eligible
+// shards of its ring preference order. With every shard ineligible it falls
+// back to the raw order — a best-effort attempt beats an instant 503.
+func (rt *Router) replicaSet(id string) []*shard {
+	order := rt.ring.Order(id)
+	set := make([]*shard, 0, rt.opts.Replicas)
+	for _, name := range order {
+		if sh := rt.shardFor(name); sh != nil && sh.eligible() {
+			set = append(set, sh)
+			if len(set) == rt.opts.Replicas {
+				return set
+			}
+		}
+	}
+	if len(set) > 0 {
+		return set
+	}
+	for _, name := range order {
+		if sh := rt.shardFor(name); sh != nil {
+			set = append(set, sh)
+			if len(set) == rt.opts.Replicas {
+				break
+			}
+		}
+	}
+	return set
+}
+
+// ReplicaSet returns the shard URLs currently serving the system, owner
+// first — the same preference order routing uses.
+func (rt *Router) ReplicaSet(id string) []string {
+	set := rt.replicaSet(id)
+	urls := make([]string, len(set))
+	for i, sh := range set {
+		urls[i] = sh.name
+	}
+	return urls
+}
+
+// forward sends one request to one shard, counting it and observing latency.
+// A transport error or a shard-level shed (502/503/504) is retryable: the
+// caller fails over; everything else is the system of record's answer.
+func (rt *Router) forward(ctx context.Context, sh *shard, method, path string, body []byte) (*http.Response, error) {
+	req, err := http.NewRequestWithContext(ctx, method, sh.name+path, bytes.NewReader(body))
+	if err != nil {
+		return nil, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	sh.inflight.Add(1)
+	defer sh.inflight.Add(-1)
+	rt.stats.routed.With(sh.name).Inc()
+	rt.stats.routedTotal.Inc()
+	start := time.Now()
+	resp, err := rt.client.Do(req)
+	rt.stats.latency.With(sh.name).Observe(time.Since(start).Seconds())
+	return resp, err
+}
+
+// retryableStatus reports shard-level shed codes worth failing over: the
+// shard is draining, overloaded or behind a dead proxy — another replica may
+// hold the answer.
+func retryableStatus(code int) bool {
+	return code == http.StatusBadGateway ||
+		code == http.StatusServiceUnavailable ||
+		code == http.StatusGatewayTimeout
+}
+
+// Register places a system: the matrix is built and fingerprinted locally,
+// recorded in the router table, then imported on every shard of its replica
+// set. Registration succeeds when at least one shard holds the system (the
+// reconciler completes the set); it is idempotent end to end.
+func (rt *Router) Register(ctx context.Context, req serve.RegisterRequest) (serve.SystemInfo, error) {
+	m, err := serve.BuildMatrix(req)
+	if err != nil {
+		return serve.SystemInfo{}, err
+	}
+	rec := serve.NewRegistrationRecord(m, req.Config)
+
+	rt.mu.Lock()
+	if cs, ok := rt.systems[rec.ID]; ok {
+		info := cs.info
+		rt.mu.Unlock()
+		return info, nil // idempotent re-registration
+	}
+	rt.mu.Unlock()
+
+	replicas := rt.replicaSet(rec.ID)
+	if len(replicas) == 0 {
+		return serve.SystemInfo{}, ErrNoShards
+	}
+	var info serve.SystemInfo
+	placed := 0
+	var lastErr error
+	for _, sh := range replicas {
+		rep, err := rt.registerOn(ctx, sh, rec)
+		if err != nil {
+			lastErr = err
+			rt.logf("cluster: registering %s on %s: %v", rec.ID, sh.name, err)
+			continue
+		}
+		placed++
+		if len(rep.Systems) > 0 {
+			info = rep.Systems[0]
+		}
+	}
+	if placed == 0 {
+		return serve.SystemInfo{}, fmt.Errorf("cluster: no shard accepted %s: %w", rec.ID, lastErr)
+	}
+	rt.mu.Lock()
+	rt.systems[rec.ID] = &clusterSystem{info: info, rec: rec}
+	rt.mu.Unlock()
+	return info, nil
+}
+
+// registerOn imports one record on one shard through the idempotent registry
+// endpoint — the single mechanism behind initial placement, crash repair and
+// drain migration.
+func (rt *Router) registerOn(ctx context.Context, sh *shard, rec serve.RegistrationRecord) (serve.ImportReport, error) {
+	body, err := json.Marshal(map[string]any{"records": []serve.RegistrationRecord{rec}})
+	if err != nil {
+		return serve.ImportReport{}, err
+	}
+	rctx, cancel := context.WithTimeout(ctx, rt.opts.RegisterTimeout)
+	defer cancel()
+	resp, err := rt.forward(rctx, sh, http.MethodPost, "/v1/registry", body)
+	if err != nil {
+		sh.br.failure()
+		return serve.ImportReport{}, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		if retryableStatus(resp.StatusCode) {
+			sh.br.failure()
+		}
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 1024))
+		return serve.ImportReport{}, fmt.Errorf("cluster: %s import: %s: %s", sh.name, resp.Status, msg)
+	}
+	sh.br.success()
+	var rep serve.ImportReport
+	if err := json.NewDecoder(resp.Body).Decode(&rep); err != nil {
+		return serve.ImportReport{}, err
+	}
+	return rep, nil
+}
+
+// Systems lists the systems the router places, sorted by ID.
+func (rt *Router) Systems() []serve.SystemInfo {
+	rt.mu.Lock()
+	out := make([]serve.SystemInfo, 0, len(rt.systems))
+	for _, cs := range rt.systems {
+		out = append(out, cs.info)
+	}
+	rt.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// record returns the registration record for a placed system.
+func (rt *Router) record(id string) (serve.RegistrationRecord, bool) {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	cs, ok := rt.systems[id]
+	if !ok {
+		return serve.RegistrationRecord{}, false
+	}
+	return cs.rec, true
+}
+
+// solveOn tries one solve on one shard, repairing a lost registration: a 404
+// for a system the router places means the shard restarted without it, so the
+// record is re-imported and the solve retried once on the same shard.
+func (rt *Router) solveOn(ctx context.Context, sh *shard, id, path string, body []byte) (*http.Response, error) {
+	resp, err := rt.forward(ctx, sh, http.MethodPost, path, body)
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode != http.StatusNotFound {
+		return resp, nil
+	}
+	rec, known := rt.record(id)
+	if !known {
+		return resp, nil // genuinely unknown system: the 404 stands
+	}
+	resp.Body.Close()
+	rt.stats.rereg.Inc()
+	rt.logf("cluster: %s lost %s, re-registering", sh.name, id)
+	if _, err := rt.registerOn(ctx, sh, rec); err != nil {
+		return nil, err
+	}
+	rt.stats.retries.Inc()
+	return rt.forward(ctx, sh, http.MethodPost, path, body)
+}
+
+// routeSolve walks the system's replica set in preference order: breaker-
+// rejected shards are skipped, transport errors and shed statuses fail over
+// to the next replica, the first real answer (success or application error)
+// is returned. A nil response with nil error means every replica was
+// exhausted.
+func (rt *Router) routeSolve(ctx context.Context, id, path string, body []byte) (*http.Response, error) {
+	var lastErr error
+	first := true
+	for _, sh := range rt.replicaSet(id) {
+		if !sh.br.allow() {
+			continue
+		}
+		if !first {
+			rt.stats.failovers.Inc()
+		}
+		first = false
+		resp, err := rt.solveOn(ctx, sh, id, path, body)
+		if err != nil {
+			if ctx.Err() != nil {
+				return nil, ctx.Err() // the client gave up, not the shard
+			}
+			sh.br.failure()
+			rt.logf("cluster: %s failed %s: %v", sh.name, path, err)
+			lastErr = err
+			continue
+		}
+		if retryableStatus(resp.StatusCode) {
+			sh.br.failure()
+			lastErr = fmt.Errorf("cluster: %s: %s", sh.name, resp.Status)
+			resp.Body.Close()
+			continue
+		}
+		sh.br.success()
+		return resp, nil
+	}
+	rt.stats.unroute.Inc()
+	if lastErr != nil {
+		return nil, fmt.Errorf("%w: %w", ErrNoShards, lastErr)
+	}
+	return nil, ErrNoShards
+}
+
+// reconcileLoop repairs placement at the configured interval until the router
+// closes.
+func (rt *Router) reconcileLoop() {
+	defer rt.wg.Done()
+	t := time.NewTicker(rt.opts.ReconcileInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-rt.stop:
+			return
+		case <-t.C:
+			rt.Reconcile(context.Background())
+		}
+	}
+}
+
+// Reconcile makes placement match intent once: every placed system must be
+// registered on every shard of its current replica set. Shards are asked
+// what they hold (GET /v1/systems), so a shard that crashed and restarted
+// empty — or a replica set that moved off a draining shard — is repaired by
+// re-importing the missing records. Exposed so the drain path and tests can
+// force a pass. Returns the number of repairs performed.
+func (rt *Router) Reconcile(ctx context.Context) int {
+	held := map[string]map[string]bool{}
+	rt.mu.Lock()
+	shards := make([]*shard, 0, len(rt.shards))
+	for _, sh := range rt.shards {
+		shards = append(shards, sh)
+	}
+	systems := make(map[string]*clusterSystem, len(rt.systems))
+	for id, cs := range rt.systems {
+		systems[id] = cs
+	}
+	rt.mu.Unlock()
+
+	for _, sh := range shards {
+		if !sh.eligible() {
+			continue
+		}
+		ids, err := rt.fetchSystems(ctx, sh)
+		if err != nil {
+			continue // unreachable this pass: repaired next time
+		}
+		held[sh.name] = ids
+	}
+	repaired := 0
+	for id, cs := range systems {
+		for _, sh := range rt.replicaSet(id) {
+			ids, probed := held[sh.name]
+			if !probed || ids[id] {
+				continue // unreachable, or already holds it
+			}
+			if _, err := rt.registerOn(ctx, sh, cs.rec); err != nil {
+				rt.logf("cluster: repairing %s on %s: %v", id, sh.name, err)
+				continue
+			}
+			held[sh.name][id] = true
+			rt.stats.rereg.Inc()
+			repaired++
+			rt.logf("cluster: repaired %s on %s", id, sh.name)
+		}
+	}
+	return repaired
+}
+
+// fetchSystems asks one shard what it holds.
+func (rt *Router) fetchSystems(ctx context.Context, sh *shard) (map[string]bool, error) {
+	rctx, cancel := context.WithTimeout(ctx, rt.opts.ProbeTimeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(rctx, http.MethodGet, sh.name+"/v1/systems", nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := rt.client.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("cluster: %s systems: %s", sh.name, resp.Status)
+	}
+	var body struct {
+		Systems []serve.SystemInfo `json:"systems"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+		return nil, err
+	}
+	ids := make(map[string]bool, len(body.Systems))
+	for _, s := range body.Systems {
+		ids[s.ID] = true
+	}
+	return ids, nil
+}
+
+// DrainReport summarizes a completed shard drain.
+type DrainReport struct {
+	Shard    string `json:"shard"`
+	Migrated int    `json:"migrated"` // registrations repaired onto other shards
+	Inflight int64  `json:"inflight"` // requests still on the shard at return (0 on clean drain)
+}
+
+// DrainShard removes a shard from service gracefully: it leaves every replica
+// set, a synchronous reconcile re-registers its systems on their new sets,
+// the shard itself is told to drain (in-flight work completes, new work is
+// refused), and the router waits for its own in-flight requests to the shard
+// to finish. After DrainShard returns the shard can be stopped without
+// failing a request.
+func (rt *Router) DrainShard(ctx context.Context, name string) (DrainReport, error) {
+	sh := rt.shardFor(name)
+	if sh == nil {
+		return DrainReport{}, fmt.Errorf("cluster: unknown shard %q", name)
+	}
+	sh.mu.Lock()
+	sh.draining = true
+	sh.mu.Unlock()
+	rt.logf("cluster: draining %s", name)
+
+	// Re-place everything while the shard still serves: new replica sets skip
+	// it, so every system it held is imported elsewhere before it stops.
+	migrated := rt.Reconcile(ctx)
+
+	// Tell the shard: it finishes in-flight work and flips /readyz to
+	// draining. Best-effort — a dead shard is already drained.
+	if resp, err := rt.forward(ctx, sh, http.MethodPost, "/v1/drain", []byte(`{}`)); err == nil {
+		resp.Body.Close()
+	}
+
+	// Wait out the router's own in-flight requests to the shard.
+	for sh.inflight.Load() > 0 {
+		select {
+		case <-ctx.Done():
+			return DrainReport{Shard: name, Migrated: migrated, Inflight: sh.inflight.Load()}, ctx.Err()
+		case <-time.After(5 * time.Millisecond):
+		}
+	}
+	rt.logf("cluster: drained %s (%d registrations migrated)", name, migrated)
+	return DrainReport{Shard: name, Migrated: migrated}, nil
+}
+
+// UndrainShard returns a drained (or replaced) shard to service; the
+// reconciler re-registers whatever its replica sets now require.
+func (rt *Router) UndrainShard(name string) error {
+	sh := rt.shardFor(name)
+	if sh == nil {
+		return fmt.Errorf("cluster: unknown shard %q", name)
+	}
+	sh.mu.Lock()
+	sh.draining = false
+	sh.mu.Unlock()
+	rt.logf("cluster: undrained %s", name)
+	return nil
+}

@@ -1,0 +1,452 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"ipusparse/internal/config"
+	"ipusparse/internal/ipu"
+	"ipusparse/internal/serve"
+)
+
+// shardOptions keeps the simulated machine tiny so prepares are cheap.
+func shardOptions() serve.Options {
+	mc := ipu.Mk2M2000()
+	mc.TilesPerChip = 8
+	mc.Chips = 1
+	return serve.Options{
+		Machine: mc,
+		Solver: config.Config{Solver: config.SolverConfig{
+			Type:           "pbicgstab",
+			MaxIterations:  400,
+			Tolerance:      1e-10,
+			Preconditioner: &config.SolverConfig{Type: "ilu0"},
+		}},
+	}
+}
+
+// testShard is one in-process backend with a kill switch: while down, every
+// connection is aborted mid-response — the transport-level footprint of
+// kill -9. Restart swaps in a fresh, empty service (no state dir), the
+// worst-case recovery the reconciler must repair.
+type testShard struct {
+	srv  *httptest.Server
+	down atomic.Bool
+
+	mu  sync.Mutex
+	svc *serve.Service
+}
+
+func newTestShard(t *testing.T) *testShard {
+	t.Helper()
+	ts := &testShard{svc: serve.New(shardOptions())}
+	ts.srv = httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if ts.down.Load() {
+			panic(http.ErrAbortHandler)
+		}
+		ts.mu.Lock()
+		svc := ts.svc
+		ts.mu.Unlock()
+		svc.Handler().ServeHTTP(w, r)
+	}))
+	t.Cleanup(func() {
+		ts.srv.Close()
+		ts.service().Close()
+	})
+	return ts
+}
+
+func (ts *testShard) service() *serve.Service {
+	ts.mu.Lock()
+	defer ts.mu.Unlock()
+	return ts.svc
+}
+
+// kill drops the shard: every request aborts until restart.
+func (ts *testShard) kill() { ts.down.Store(true) }
+
+// restart brings the shard back EMPTY — registrations are gone, the
+// reconciler must re-import them.
+func (ts *testShard) restart() {
+	ts.mu.Lock()
+	old := ts.svc
+	ts.svc = serve.New(shardOptions())
+	ts.mu.Unlock()
+	old.Close()
+	ts.down.Store(false)
+}
+
+// testCluster wires n shards behind a router with background loops slowed to
+// a crawl — tests drive ProbeNow/Reconcile explicitly for determinism.
+func testCluster(t *testing.T, n, replicas int) (*Router, []*testShard) {
+	t.Helper()
+	shards := make([]*testShard, n)
+	urls := make([]string, n)
+	for i := range shards {
+		shards[i] = newTestShard(t)
+		urls[i] = shards[i].srv.URL
+	}
+	rt, err := New(Options{
+		Shards:            urls,
+		Replicas:          replicas,
+		ProbeInterval:     time.Hour,
+		ReconcileInterval: time.Hour,
+		ProbeTimeout:      2 * time.Second,
+		BreakerThreshold:  2,
+		BreakerCooldown:   100 * time.Millisecond,
+		Logf:              t.Logf,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(rt.Close)
+	rt.ProbeNow()
+	return rt, shards
+}
+
+// shardByURL maps a replica-set entry back to its test shard.
+func shardByURL(shards []*testShard, url string) *testShard {
+	for _, ts := range shards {
+		if ts.srv.URL == url {
+			return ts
+		}
+	}
+	return nil
+}
+
+// registerGen registers a generator-spec system through the router API.
+func registerGen(t *testing.T, rt *Router, gen string) serve.SystemInfo {
+	t.Helper()
+	info, err := rt.Register(context.Background(), serve.RegisterRequest{Gen: gen})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return info
+}
+
+// solveOnes posts a ones-RHS solve through the router handler and checks the
+// answer is the all-ones vector.
+func solveOnes(t *testing.T, h http.Handler, id string) serve.SolveResponse {
+	t.Helper()
+	req := httptest.NewRequest(http.MethodPost, "/v1/systems/"+id+"/solve",
+		bytes.NewReader([]byte(`{"rhs":"ones"}`)))
+	w := httptest.NewRecorder()
+	h.ServeHTTP(w, req)
+	if w.Code != http.StatusOK {
+		t.Fatalf("solve = %d %s", w.Code, w.Body.String())
+	}
+	var res serve.SolveResponse
+	if err := json.Unmarshal(w.Body.Bytes(), &res); err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged {
+		t.Fatalf("solve did not converge: %+v", res)
+	}
+	for i, v := range res.X {
+		if d := v - 1; d > 1e-6 || d < -1e-6 {
+			t.Fatalf("x[%d] = %g, want 1", i, v)
+		}
+	}
+	return res
+}
+
+// TestRouterRegisterPlacesReplicaSet registers through the router HTTP API
+// and requires the system on exactly R shards, solvable through the router.
+func TestRouterRegisterPlacesReplicaSet(t *testing.T) {
+	rt, shards := testCluster(t, 3, 2)
+	h := rt.Handler()
+
+	body := bytes.NewReader([]byte(`{"gen":"poisson2d:7"}`))
+	req := httptest.NewRequest(http.MethodPost, "/v1/systems", body)
+	w := httptest.NewRecorder()
+	h.ServeHTTP(w, req)
+	if w.Code != http.StatusCreated {
+		t.Fatalf("register = %d %s", w.Code, w.Body.String())
+	}
+	var info serve.SystemInfo
+	if err := json.Unmarshal(w.Body.Bytes(), &info); err != nil {
+		t.Fatal(err)
+	}
+
+	holders := 0
+	for _, ts := range shards {
+		for _, s := range ts.service().Systems() {
+			if s.ID == info.ID {
+				holders++
+			}
+		}
+	}
+	if holders != 2 {
+		t.Fatalf("system on %d shards, want replica factor 2", holders)
+	}
+	solveOnes(t, h, info.ID)
+
+	// The topology endpoint reports the placement.
+	req = httptest.NewRequest(http.MethodGet, "/v1/cluster", nil)
+	w = httptest.NewRecorder()
+	h.ServeHTTP(w, req)
+	var topo Topology
+	if err := json.Unmarshal(w.Body.Bytes(), &topo); err != nil {
+		t.Fatal(err)
+	}
+	if len(topo.Systems[info.ID]) != 2 {
+		t.Fatalf("topology reports %v for %s, want 2 replicas", topo.Systems[info.ID], info.ID)
+	}
+}
+
+// TestRouterFailsOverOnShardDeath kills the preferred replica and requires
+// the next one to answer — same request, no client-visible failure.
+func TestRouterFailsOverOnShardDeath(t *testing.T) {
+	rt, shards := testCluster(t, 3, 2)
+	h := rt.Handler()
+	info := registerGen(t, rt, "poisson2d:7")
+
+	solveOnes(t, h, info.ID) // warm: routes to the preferred replica
+
+	preferred := rt.replicaSet(info.ID)[0]
+	shardByURL(shards, preferred.name).kill()
+
+	res := solveOnes(t, h, info.ID) // must fail over, not 500
+	if !res.Converged {
+		t.Fatal("failover answer did not converge")
+	}
+	if got := rt.Stats().Failovers; got == 0 {
+		t.Fatal("failover not counted")
+	}
+}
+
+// TestRouterBreakerShedsDeadShard keeps hitting a cluster with one dead
+// shard: after threshold failures its breaker opens and later requests skip
+// it without paying the connection attempt.
+func TestRouterBreakerShedsDeadShard(t *testing.T) {
+	rt, shards := testCluster(t, 3, 2)
+	h := rt.Handler()
+	info := registerGen(t, rt, "poisson2d:7")
+
+	preferred := rt.replicaSet(info.ID)[0]
+	shardByURL(shards, preferred.name).kill()
+
+	for i := 0; i < 4; i++ {
+		solveOnes(t, h, info.ID)
+	}
+	if st := preferred.br.currentState(); st != breakerOpen {
+		t.Fatalf("dead shard's breaker = %v after repeated failures, want open", st)
+	}
+	// With the breaker open the dead shard is skipped silently — no failover
+	// increment for it anymore.
+	before := rt.Stats().Failovers
+	solveOnes(t, h, info.ID)
+	if after := rt.Stats().Failovers; after != before {
+		t.Fatalf("open breaker still pays failovers: %d -> %d", before, after)
+	}
+}
+
+// TestRouterReconcileRepairsEmptyRestart crash-restarts a replica (losing
+// its registrations) and requires one reconcile pass to re-import the lost
+// system idempotently.
+func TestRouterReconcileRepairsEmptyRestart(t *testing.T) {
+	rt, shards := testCluster(t, 3, 2)
+	info := registerGen(t, rt, "poisson2d:7")
+
+	victimURL := rt.replicaSet(info.ID)[0].name
+	victim := shardByURL(shards, victimURL)
+	victim.kill()
+	victim.restart() // back up, but empty
+	rt.ProbeNow()
+
+	if n := len(victim.service().Systems()); n != 0 {
+		t.Fatalf("restarted shard holds %d systems before reconcile", n)
+	}
+	if repaired := rt.Reconcile(context.Background()); repaired == 0 {
+		t.Fatal("reconcile repaired nothing")
+	}
+	found := false
+	for _, s := range victim.service().Systems() {
+		if s.ID == info.ID {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("restarted shard still missing the system after reconcile")
+	}
+	// A second pass is a no-op: repair is idempotent.
+	if repaired := rt.Reconcile(context.Background()); repaired != 0 {
+		t.Fatalf("idempotent reconcile repaired %d", repaired)
+	}
+}
+
+// TestRouterRepairsOn404 exercises the inline repair: a shard that restarted
+// empty answers 404, the router re-registers the system on it and retries the
+// same request — the client sees one successful answer.
+func TestRouterRepairsOn404(t *testing.T) {
+	rt, shards := testCluster(t, 2, 1) // replica factor 1: no failover escape
+	h := rt.Handler()
+	info := registerGen(t, rt, "poisson2d:7")
+
+	owner := shardByURL(shards, rt.replicaSet(info.ID)[0].name)
+	owner.kill()
+	owner.restart()
+	rt.ProbeNow()
+
+	solveOnes(t, h, info.ID)
+	st := rt.Stats()
+	if st.Reregistrations == 0 || st.Retries == 0 {
+		t.Fatalf("404 repair not counted: %+v", st)
+	}
+}
+
+// TestRouterDrainMigratesAndCompletes drains a replica: its registrations
+// move to the remaining shards, in-flight work completes, and after the drain
+// the shard serves nothing while the cluster still answers.
+func TestRouterDrainMigratesAndCompletes(t *testing.T) {
+	rt, shards := testCluster(t, 3, 2)
+	h := rt.Handler()
+	info := registerGen(t, rt, "poisson2d:7")
+	info2 := registerGen(t, rt, "poisson3d:4")
+
+	victimURL := rt.replicaSet(info.ID)[0].name
+	rep, err := rt.DrainShard(context.Background(), victimURL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Inflight != 0 {
+		t.Fatalf("drain finished with %d in-flight requests", rep.Inflight)
+	}
+	if rep.Migrated == 0 {
+		t.Fatal("drain migrated nothing although the shard held a replica")
+	}
+	// The drained shard is out of every replica set…
+	for _, sys := range []string{info.ID, info2.ID} {
+		for _, sh := range rt.replicaSet(sys) {
+			if sh.name == victimURL {
+				t.Fatalf("drained shard still in %s's replica set", sys)
+			}
+		}
+	}
+	// …its service refuses new work…
+	if !shardByURL(shards, victimURL).service().Draining() {
+		t.Fatal("drained shard's service does not report draining")
+	}
+	// …and the cluster keeps answering both systems.
+	solveOnes(t, h, info.ID)
+	solveOnes(t, h, info2.ID)
+
+	// Undrain restores it to placement eligibility.
+	if err := rt.UndrainShard(victimURL); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestRouterReadyz requires 503 only when every shard is gone.
+func TestRouterReadyz(t *testing.T) {
+	rt, shards := testCluster(t, 2, 2)
+	h := rt.Handler()
+
+	get := func() int {
+		req := httptest.NewRequest(http.MethodGet, "/readyz", nil)
+		w := httptest.NewRecorder()
+		h.ServeHTTP(w, req)
+		return w.Code
+	}
+	if code := get(); code != http.StatusOK {
+		t.Fatalf("healthy cluster /readyz = %d", code)
+	}
+	shards[0].kill()
+	rt.ProbeNow()
+	if code := get(); code != http.StatusOK {
+		t.Fatalf("one live shard /readyz = %d, want 200", code)
+	}
+	shards[1].kill()
+	rt.ProbeNow()
+	if code := get(); code != http.StatusServiceUnavailable {
+		t.Fatalf("dead cluster /readyz = %d, want 503", code)
+	}
+}
+
+// TestRouterMetricsExposition checks the router series appear on /metrics.
+func TestRouterMetricsExposition(t *testing.T) {
+	rt, _ := testCluster(t, 2, 2)
+	h := rt.Handler()
+	info := registerGen(t, rt, "poisson2d:6")
+	solveOnes(t, h, info.ID)
+
+	req := httptest.NewRequest(http.MethodGet, "/metrics", nil)
+	w := httptest.NewRecorder()
+	h.ServeHTTP(w, req)
+	body := w.Body.String()
+	for _, frag := range []string{
+		"cluster_routed_total{shard=",
+		"cluster_shard_latency_seconds_bucket",
+		"cluster_breaker_state{shard=",
+		"cluster_shard_health{shard=",
+		"cluster_failovers_total",
+		"cluster_reregistrations_total",
+	} {
+		if !contains(body, frag) {
+			t.Errorf("/metrics missing %q", frag)
+		}
+	}
+}
+
+func contains(s, sub string) bool { return bytes.Contains([]byte(s), []byte(sub)) }
+
+
+// TestRouterConcurrentLoadWithKill hammers the router from several goroutines
+// while a shard dies and comes back empty — every request must succeed (the
+// availability property the chaos harness asserts at process level).
+func TestRouterConcurrentLoadWithKill(t *testing.T) {
+	rt, shards := testCluster(t, 3, 2)
+	h := rt.Handler()
+	info := registerGen(t, rt, "poisson2d:7")
+	solveOnes(t, h, info.ID)
+
+	victim := shardByURL(shards, rt.replicaSet(info.ID)[0].name)
+
+	var fails atomic.Int64
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				req := httptest.NewRequest(http.MethodPost, "/v1/systems/"+info.ID+"/solve",
+					bytes.NewReader([]byte(`{"rhs":"ones","omitX":true}`)))
+				rec := httptest.NewRecorder()
+				h.ServeHTTP(rec, req)
+				if rec.Code != http.StatusOK {
+					fails.Add(1)
+					t.Logf("solve failed: %d %s", rec.Code, rec.Body.String())
+				}
+			}
+		}()
+	}
+	time.Sleep(100 * time.Millisecond)
+	victim.kill()
+	time.Sleep(200 * time.Millisecond)
+	victim.restart()
+	rt.ProbeNow()
+	rt.Reconcile(context.Background())
+	time.Sleep(100 * time.Millisecond)
+	close(stop)
+	wg.Wait()
+
+	if n := fails.Load(); n > 0 {
+		t.Fatalf("%d requests failed across the kill/restart cycle", n)
+	}
+	if rt.Stats().Failovers == 0 {
+		t.Fatal("kill cycle produced no failovers — the scenario missed the victim")
+	}
+}

@@ -1,0 +1,91 @@
+package cluster
+
+import (
+	"ipusparse/internal/telemetry"
+)
+
+// Stats is a point-in-time snapshot of the router counters; the JSON field
+// names are the router's /v1/stats wire contract.
+type Stats struct {
+	Systems         int    `json:"systems"`         // systems the router places
+	Routed          uint64 `json:"routed"`          // requests forwarded to shards
+	Failovers       uint64 `json:"failovers"`       // attempts moved to the next replica
+	Retries         uint64 `json:"retries"`         // same-shard retries after a repair
+	Reregistrations uint64 `json:"reregistrations"` // systems re-registered on a shard
+	BreakerOpens    uint64 `json:"breakerOpens"`    // shard breaker open transitions
+	Unroutable      uint64 `json:"unroutable"`      // requests with no eligible replica left
+
+	Shards map[string]ShardStatus `json:"shards"`
+}
+
+// ShardStatus is one shard's view in the stats snapshot and the topology
+// endpoint.
+type ShardStatus struct {
+	Health   string `json:"health"`   // ok | degraded | draining | down | unknown
+	Breaker  string `json:"breaker"`  // closed | half-open | open
+	Draining bool   `json:"draining"` // router-side drain in progress
+	Inflight int64  `json:"inflight"` // requests currently forwarded to it
+}
+
+// rstats is the router's pre-resolved instrument set on its telemetry
+// registry: the per-shard routing counters ride the shared /metrics
+// exposition next to the serve-layer series.
+type rstats struct {
+	routed    *telemetry.CounterVec // cluster_routed_total{shard}
+	failovers *telemetry.Counter
+	retries   *telemetry.Counter
+	rereg     *telemetry.Counter
+	opens     *telemetry.Counter
+	unroute   *telemetry.Counter
+
+	latency      *telemetry.HistogramVec // cluster_shard_latency_seconds{shard}
+	breakerState *telemetry.GaugeVec     // cluster_breaker_state{shard}
+	health       *telemetry.GaugeVec     // cluster_shard_health{shard}
+
+	routedTotal *telemetry.Counter // sum across shards, for the snapshot
+}
+
+func newRStats(reg *telemetry.Registry) rstats {
+	return rstats{
+		routed:    reg.CounterVec("cluster_routed_total", "Requests forwarded, by shard.", "shard"),
+		failovers: reg.Counter("cluster_failovers_total", "Attempts moved to the next replica after a shard failure."),
+		retries:   reg.Counter("cluster_retries_total", "Same-shard retries after re-registering a lost system."),
+		rereg:     reg.Counter("cluster_reregistrations_total", "Systems re-registered on a shard (repair or migration)."),
+		opens:     reg.Counter("cluster_breaker_opens_total", "Shard circuit-breaker open transitions."),
+		unroute:   reg.Counter("cluster_unroutable_total", "Requests that exhausted every eligible replica."),
+
+		latency: reg.HistogramVec("cluster_shard_latency_seconds",
+			"Forwarded-request latency, by shard.",
+			telemetry.ExponentialBuckets(0.0005, 2, 16), "shard"),
+		breakerState: reg.GaugeVec("cluster_breaker_state",
+			"Per-shard circuit-breaker state (0 closed, 1 half-open, 2 open).", "shard"),
+		health: reg.GaugeVec("cluster_shard_health",
+			"Per-shard probed health (0 ok, 1 degraded, 2 draining, 3 down, -1 unknown).", "shard"),
+
+		routedTotal: reg.Counter("cluster_routed_sum_total", "Requests forwarded to any shard."),
+	}
+}
+
+// Stats snapshots the router counters and per-shard state.
+func (rt *Router) Stats() Stats {
+	st := Stats{
+		Routed:          rt.stats.routedTotal.Value(),
+		Failovers:       rt.stats.failovers.Value(),
+		Retries:         rt.stats.retries.Value(),
+		Reregistrations: rt.stats.rereg.Value(),
+		BreakerOpens:    rt.stats.opens.Value(),
+		Unroutable:      rt.stats.unroute.Value(),
+		Shards:          map[string]ShardStatus{},
+	}
+	rt.mu.Lock()
+	st.Systems = len(rt.systems)
+	shards := make([]*shard, 0, len(rt.shards))
+	for _, sh := range rt.shards {
+		shards = append(shards, sh)
+	}
+	rt.mu.Unlock()
+	for _, sh := range shards {
+		st.Shards[sh.name] = sh.status()
+	}
+	return st
+}

@@ -193,6 +193,37 @@ type ServeConfig struct {
 	Chaos *ChaosConfig `json:"chaos,omitempty"`
 }
 
+// ClusterConfig is the router-tier block of ipurouterd: the shard fleet, the
+// replica factor, and the health-probe / placement-repair cadence. Zero
+// values select the cluster package defaults.
+type ClusterConfig struct {
+	// Addr is the router's HTTP listen address (default ":8780").
+	Addr string `json:"addr,omitempty"`
+	// Shards are the backend base URLs, e.g. "http://127.0.0.1:8723".
+	Shards []string `json:"shards,omitempty"`
+	// Replicas is the replica factor: each system is registered on this many
+	// shards (default 2, capped by the fleet size).
+	Replicas int `json:"replicas,omitempty"`
+	// VNodes is the virtual-node count per shard on the hash ring (default 64).
+	VNodes int `json:"vnodes,omitempty"`
+	// ProbeIntervalMs is the /readyz health-probe period (default 250ms).
+	ProbeIntervalMs int `json:"probeIntervalMs,omitempty"`
+	// ProbeTimeoutMs bounds one health probe (default 2000ms).
+	ProbeTimeoutMs int `json:"probeTimeoutMs,omitempty"`
+	// ReconcileIntervalMs is the placement-repair period (default 1000ms).
+	ReconcileIntervalMs int `json:"reconcileIntervalMs,omitempty"`
+	// BreakerThreshold consecutive transport failures open a shard's circuit
+	// breaker (default 3).
+	BreakerThreshold int `json:"breakerThreshold,omitempty"`
+	// BreakerCooldownMs is the open-breaker cooldown (default 3000ms).
+	BreakerCooldownMs int `json:"breakerCooldownMs,omitempty"`
+	// RegisterTimeoutMs bounds one registration import against one shard
+	// (default 60000ms — a registration pays partitioning and compilation).
+	RegisterTimeoutMs int `json:"registerTimeoutMs,omitempty"`
+	// MaxBodyBytes bounds proxied request bodies (default 1<<28).
+	MaxBodyBytes int64 `json:"maxBodyBytes,omitempty"`
+}
+
 // EngineConfig tunes the host-side BSP engine. Parallelism never changes
 // results — compute supersteps and exchange accounting are bit-identical and
 // cycle-identical at every setting — only host wall time.
@@ -210,6 +241,7 @@ type Config struct {
 	Fault    *FaultConfig    `json:"fault,omitempty"`
 	Recovery *RecoveryConfig `json:"recovery,omitempty"`
 	Serve    *ServeConfig    `json:"serve,omitempty"`
+	Cluster  *ClusterConfig  `json:"cluster,omitempty"`
 	Engine   *EngineConfig   `json:"engine,omitempty"`
 }
 
@@ -354,6 +386,19 @@ func (c Config) Validate() error {
 			}
 			if ch.MaxEvents < 0 || ch.StallMs < 0 {
 				return fmt.Errorf("config: negative serve.chaos budget")
+			}
+		}
+	}
+	if cl := c.Cluster; cl != nil {
+		if cl.Replicas < 0 || cl.VNodes < 0 || cl.ProbeIntervalMs < 0 ||
+			cl.ProbeTimeoutMs < 0 || cl.ReconcileIntervalMs < 0 ||
+			cl.BreakerThreshold < 0 || cl.BreakerCooldownMs < 0 ||
+			cl.RegisterTimeoutMs < 0 || cl.MaxBodyBytes < 0 {
+			return fmt.Errorf("config: negative cluster parameter")
+		}
+		for _, s := range cl.Shards {
+			if s == "" {
+				return fmt.Errorf("config: empty cluster shard URL")
 			}
 		}
 	}

@@ -39,8 +39,20 @@ const (
 	ChaosBreakdown
 	// ChaosHostError makes the solve fail with a transient host error.
 	ChaosHostError
+	// ChaosShardKill is a cluster-level fault: the chaos harness SIGKILLs a
+	// whole shard process (and later restarts it), exercising the router's
+	// failover and re-registration paths rather than one replica's recovery.
+	ChaosShardKill
 	numChaosKinds int = iota
 )
+
+// numServiceChaosKinds bounds the kinds an empty ChaosPlan.Kinds list
+// enables: the service-level classes only. Cluster-level kinds
+// (ChaosShardKill) must be listed explicitly — both because a lone ipuserved
+// cannot realize them, and so every seeded campaign recorded before they
+// existed replays identically (the default kind set, and therefore the rng
+// stream, is unchanged).
+const numServiceChaosKinds = int(ChaosShardKill)
 
 // String implements fmt.Stringer.
 func (k ChaosKind) String() string {
@@ -55,6 +67,8 @@ func (k ChaosKind) String() string {
 		return "breakdown"
 	case ChaosHostError:
 		return "host-error"
+	case ChaosShardKill:
+		return "shard-kill"
 	}
 	return fmt.Sprintf("ChaosKind(%d)", int(k))
 }
@@ -66,6 +80,7 @@ var chaosKindNames = map[string]ChaosKind{
 	"replica-stall": ChaosStall,
 	"breakdown":     ChaosBreakdown,
 	"host-error":    ChaosHostError,
+	"shard-kill":    ChaosShardKill,
 }
 
 // ParseChaosKind resolves a configuration name to its kind.
@@ -93,10 +108,12 @@ type ChaosPlan struct {
 	StallDuration time.Duration
 }
 
-// Enabled reports whether the plan injects kind k.
+// Enabled reports whether the plan injects kind k. An empty Kinds list
+// enables every service-level kind but never ChaosShardKill — killing whole
+// processes has to be asked for by name.
 func (p ChaosPlan) Enabled(k ChaosKind) bool {
 	if len(p.Kinds) == 0 {
-		return true
+		return k > ChaosNone && int(k) < numServiceChaosKinds
 	}
 	for _, e := range p.Kinds {
 		if e == k {

@@ -79,6 +79,7 @@ func TestParseChaosKind(t *testing.T) {
 	for name, want := range map[string]ChaosKind{
 		"replica-crash": ChaosCrash, "replica-stall": ChaosStall,
 		"breakdown": ChaosBreakdown, "host-error": ChaosHostError,
+		"shard-kill": ChaosShardKill,
 	} {
 		k, err := ParseChaosKind(name)
 		if err != nil || k != want {
@@ -87,6 +88,29 @@ func TestParseChaosKind(t *testing.T) {
 	}
 	if _, err := ParseChaosKind("meteor-strike"); err == nil {
 		t.Fatal("unknown kind accepted")
+	}
+}
+
+// TestShardKillNeedsExplicitOptIn pins two compatibility properties of the
+// cluster-level kind: an empty Kinds list never draws shard-kill (a lone
+// service cannot realize it, and default campaigns recorded before the kind
+// existed must replay identically), while listing it explicitly works.
+func TestShardKillNeedsExplicitOptIn(t *testing.T) {
+	def := NewChaos(ChaosPlan{Seed: 11, Rate: 1})
+	for i := 0; i < 200; i++ {
+		if d := def.Decide("s"); d.Kind == ChaosShardKill {
+			t.Fatalf("decision %d: default kind set drew shard-kill", i)
+		}
+	}
+	if def.Count(ChaosShardKill) != 0 {
+		t.Fatal("default campaign logged shard-kill events")
+	}
+
+	explicit := NewChaos(ChaosPlan{Seed: 11, Rate: 1, Kinds: []ChaosKind{ChaosShardKill}})
+	for i := 0; i < 5; i++ {
+		if d := explicit.Decide("shard-0"); d.Kind != ChaosShardKill {
+			t.Fatalf("explicit shard-kill campaign drew %v", d.Kind)
+		}
 	}
 }
 

@@ -1,0 +1,318 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"ipusparse/internal/fault"
+)
+
+// readyState fetches /readyz and returns the HTTP status code and the
+// reported status string.
+func readyState(t *testing.T, base string) (int, string) {
+	t.Helper()
+	resp, err := http.Get(base + "/readyz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var body struct {
+		Status string `json:"status"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, body.Status
+}
+
+// TestReadyzStates is the regression test for the three readiness states the
+// router keys off: ok (200), degraded (503, every breaker open) and draining
+// (503, admission closed).
+func TestReadyzStates(t *testing.T) {
+	opts := testOptions()
+	opts.RetryMax = -1
+	opts.BreakerThreshold = 1
+	opts.BreakerCooldown = time.Minute
+	opts.Chaos = fault.NewChaos(fault.ChaosPlan{
+		Seed: 1, Rate: 1, Kinds: []fault.ChaosKind{fault.ChaosHostError},
+	})
+	s := New(opts)
+	defer s.Close()
+	srv := httptest.NewServer(s.Handler())
+	defer srv.Close()
+
+	// Fresh service: ok/200 (no systems, nothing degraded).
+	if code, status := readyState(t, srv.URL); code != http.StatusOK || status != "ok" {
+		t.Fatalf("fresh /readyz = %d %q, want 200 ok", code, status)
+	}
+
+	m := sparse2dForTest()
+	info, err := s.Register(context.Background(), m, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if code, status := readyState(t, srv.URL); code != http.StatusOK || status != "ok" {
+		t.Fatalf("registered /readyz = %d %q, want 200 ok", code, status)
+	}
+
+	// Every solve fails with an injected host error; threshold 1 opens the
+	// system's breaker, and with one registered system the service reports
+	// degraded/503 — up, but unable to produce an answer.
+	b := onesRHS(m)
+	if _, err := s.Solve(context.Background(), info.ID, b); err == nil {
+		t.Fatal("chaos host-error solve unexpectedly succeeded")
+	}
+	if code, status := readyState(t, srv.URL); code != http.StatusServiceUnavailable || status != "degraded" {
+		t.Fatalf("degraded /readyz = %d %q, want 503 degraded", code, status)
+	}
+
+	// Draining trumps degraded and closes admission.
+	s.Drain()
+	if code, status := readyState(t, srv.URL); code != http.StatusServiceUnavailable || status != "draining" {
+		t.Fatalf("draining /readyz = %d %q, want 503 draining", code, status)
+	}
+	if _, err := s.Solve(context.Background(), info.ID, b); !errors.Is(err, ErrDraining) {
+		t.Fatalf("solve while draining: err = %v, want ErrDraining", err)
+	}
+	if _, err := s.Register(context.Background(), sparse2dForTest(), nil); !errors.Is(err, ErrDraining) {
+		t.Fatalf("register while draining: err = %v, want ErrDraining", err)
+	}
+	if !s.Stats().Draining {
+		t.Fatal("stats do not report draining")
+	}
+}
+
+// TestDrainEndpoint drives POST /v1/drain over HTTP and requires subsequent
+// solves to be rejected with 503 while /readyz reports draining.
+func TestDrainEndpoint(t *testing.T) {
+	s := New(testOptions())
+	defer s.Close()
+	srv := httptest.NewServer(s.Handler())
+	defer srv.Close()
+
+	info, err := s.Register(context.Background(), sparse2dForTest(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, body := postRaw(t, srv.URL, "/v1/drain", `{}`)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("POST /v1/drain = %d %s, want 202", resp.StatusCode, body)
+	}
+	resp, body = postRaw(t, srv.URL, "/v1/systems/"+info.ID+"/solve", `{"rhs":"ones"}`)
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("solve on draining shard = %d %s, want 503", resp.StatusCode, body)
+	}
+	if !strings.Contains(body, "draining") {
+		t.Fatalf("draining rejection body %q does not name the condition", body)
+	}
+}
+
+// TestDrainLetsInFlightComplete verifies the drain contract the router
+// relies on: jobs admitted before the drain run to completion and return
+// real answers, only post-drain admissions fail.
+func TestDrainLetsInFlightComplete(t *testing.T) {
+	opts := testOptions()
+	opts.Workers = 1 // single worker so a queued job is genuinely in flight
+	opts.Chaos = fault.NewChaos(fault.ChaosPlan{
+		Seed: 1, Rate: 1, MaxEvents: 1, StallDuration: 300 * time.Millisecond,
+		Kinds: []fault.ChaosKind{fault.ChaosStall},
+	})
+	s := New(opts)
+	defer s.Close()
+
+	m := sparse2dForTest()
+	info, err := s.Register(context.Background(), m, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := onesRHS(m)
+
+	// The first solve stalls 300ms inside the worker; drain lands mid-solve.
+	type outcome struct {
+		err  error
+		x    []float64
+		conv bool
+	}
+	done := make(chan outcome, 1)
+	go func() {
+		res, err := s.Solve(context.Background(), info.ID, b)
+		if err != nil {
+			done <- outcome{err: err}
+			return
+		}
+		done <- outcome{x: res.X, conv: res.Stats.Converged}
+	}()
+	time.Sleep(50 * time.Millisecond) // let the worker pick the job up
+	s.Drain()
+
+	o := <-done
+	if o.err != nil {
+		t.Fatalf("in-flight solve failed across drain: %v", o.err)
+	}
+	if !o.conv {
+		t.Fatal("in-flight solve did not converge")
+	}
+	for i, v := range o.x {
+		if d := v - 1; d > 1e-6 || d < -1e-6 {
+			t.Fatalf("x[%d] = %g, want 1", i, v)
+		}
+	}
+}
+
+// TestShutdownDeadlineOnStalledSolve pins the -drain-timeout contract: a
+// solve stalled by chaos cannot hang Shutdown past its context deadline.
+func TestShutdownDeadlineOnStalledSolve(t *testing.T) {
+	opts := testOptions()
+	opts.Workers = 1
+	opts.Chaos = fault.NewChaos(fault.ChaosPlan{
+		Seed: 1, Rate: 1, MaxEvents: 1, StallDuration: 3 * time.Second,
+		Kinds: []fault.ChaosKind{fault.ChaosStall},
+	})
+	s := New(opts)
+
+	m := sparse2dForTest()
+	info, err := s.Register(context.Background(), m, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := onesRHS(m)
+	solved := make(chan error, 1)
+	go func() {
+		_, err := s.Solve(context.Background(), info.ID, b)
+		solved <- err
+	}()
+	time.Sleep(100 * time.Millisecond) // the worker is now inside the stall
+
+	ctx, cancel := context.WithTimeout(context.Background(), 200*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	err = s.Shutdown(ctx)
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("Shutdown on a stalled solve = %v, want DeadlineExceeded", err)
+	}
+	if waited := time.Since(start); waited > 2*time.Second {
+		t.Fatalf("Shutdown waited %v past its 200ms deadline", waited)
+	}
+	// The stalled solve still completes on its own — the deadline abandons
+	// the wait, not the work.
+	if err := <-solved; err != nil {
+		t.Fatalf("stalled solve after abandoned shutdown: %v", err)
+	}
+}
+
+// TestHedgeCancelsStraggler requires the hedged-solve child context to
+// release the losing attempt the moment a winner is decided: the primary is
+// stalled for 2s by chaos, the hedge answers quickly, and the straggler must
+// be canceled (and its replica returned) well before the stall elapses —
+// otherwise s.aux would drain only after the full stall.
+func TestHedgeCancelsStraggler(t *testing.T) {
+	opts := testOptions()
+	opts.HedgeAfter = 5 * time.Millisecond
+	opts.RetryMax = -1
+	// MaxEvents 1: the first attempt (primary) draws the stall, the hedge
+	// draws nothing and wins.
+	opts.Chaos = fault.NewChaos(fault.ChaosPlan{
+		Seed: 1, Rate: 1, MaxEvents: 1, StallDuration: 2 * time.Second,
+		Kinds: []fault.ChaosKind{fault.ChaosStall},
+	})
+	s := New(opts)
+	defer s.Close()
+
+	m := sparse2dForTest()
+	info, err := s.Register(context.Background(), m, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := onesRHS(m)
+	s.mu.Lock()
+	sys := s.systems[info.ID]
+	s.mu.Unlock()
+
+	start := time.Now()
+	res, err := s.hedged(context.Background(), sys, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Stats.Converged {
+		t.Fatal("hedge winner did not converge")
+	}
+	// The straggler's attempt goroutine must exit promptly: its stall select
+	// watches the canceled hedge context, not just the request context.
+	drained := make(chan struct{})
+	go func() {
+		s.aux.Wait()
+		close(drained)
+	}()
+	select {
+	case <-drained:
+		if elapsed := time.Since(start); elapsed > time.Second {
+			t.Fatalf("straggler drained only after %v, want well under the 2s stall", elapsed)
+		}
+	case <-time.After(1500 * time.Millisecond):
+		t.Fatal("straggler still running: hedge context did not cancel it")
+	}
+	if s.Stats().Hedges == 0 {
+		t.Fatal("no hedge fired; the scenario did not exercise the straggler path")
+	}
+}
+
+// TestRegistryExportImportHTTP round-trips registrations over the wire the
+// way the router migrates them: export from one shard, import into a fresh
+// one, and solve on the importer. A replayed import must be a no-op.
+func TestRegistryExportImportHTTP(t *testing.T) {
+	a := New(testOptions())
+	defer a.Close()
+	srvA := httptest.NewServer(a.Handler())
+	defer srvA.Close()
+	m := sparse2dForTest()
+	info, err := a.Register(context.Background(), m, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	resp, err := http.Get(srvA.URL + "/v1/registry")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var export struct {
+		Records []RegistrationRecord `json:"records"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&export); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if len(export.Records) != 1 || export.Records[0].ID != info.ID {
+		t.Fatalf("export = %+v, want one record for %s", export.Records, info.ID)
+	}
+
+	b := New(testOptions())
+	defer b.Close()
+	srvB := httptest.NewServer(b.Handler())
+	defer srvB.Close()
+	payload, err := json.Marshal(export)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for round := 0; round < 2; round++ { // second round: idempotent replay
+		resp, body := postRaw(t, srvB.URL, "/v1/registry", string(payload))
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("import round %d = %d %s", round, resp.StatusCode, body)
+		}
+	}
+	if got := b.Systems(); len(got) != 1 || got[0].ID != info.ID {
+		t.Fatalf("importer holds %v, want exactly %s", got, info.ID)
+	}
+	res, err := b.Solve(context.Background(), info.ID, onesRHS(m))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Stats.Converged {
+		t.Fatal("solve on imported system did not converge")
+	}
+}

@@ -64,6 +64,9 @@ type BatchResponse struct {
 //	POST /v1/systems            register a system (generator spec or entries)
 //	POST /v1/systems/{id}/solve solve one RHS or a batch
 //	GET  /v1/systems            list registered systems
+//	GET  /v1/registry           export registrations (full matrices + configs)
+//	POST /v1/registry           import registrations idempotently
+//	POST /v1/drain              close admission, let in-flight work finish
 //	GET  /v1/stats              service counters
 //	GET  /metrics               Prometheus text exposition
 //	GET  /healthz               liveness
@@ -76,6 +79,9 @@ func (s *Service) Handler() http.Handler {
 	mux.HandleFunc("POST /v1/systems", s.handleRegister)
 	mux.HandleFunc("GET /v1/systems", s.handleSystems)
 	mux.HandleFunc("POST /v1/systems/{id}/solve", s.handleSolve)
+	mux.HandleFunc("GET /v1/registry", s.handleRegistryExport)
+	mux.HandleFunc("POST /v1/registry", s.handleRegistryImport)
+	mux.HandleFunc("POST /v1/drain", s.handleDrain)
 	mux.HandleFunc("GET /v1/stats", s.handleStats)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
@@ -86,11 +92,13 @@ func (s *Service) Handler() http.Handler {
 }
 
 // handleReady reports whether the service is accepting and completing work:
-// 503 once Close started draining or when every registered system's circuit
-// breaker is open (the service is up but cannot currently serve an answer).
+// 503 once a drain (or Close) shut admission, or when every registered
+// system's circuit breaker is open (the service is up but cannot currently
+// serve an answer). The router tier keys its routing decisions off the
+// status string and code.
 func (s *Service) handleReady(w http.ResponseWriter, r *http.Request) {
 	s.mu.Lock()
-	closed := s.closed
+	draining := s.closed || s.draining
 	systems := len(s.systems)
 	s.mu.Unlock()
 	open := s.openBreakers()
@@ -101,7 +109,7 @@ func (s *Service) handleReady(w http.ResponseWriter, r *http.Request) {
 		"queueDepth":   len(s.jobs),
 	}
 	switch {
-	case closed:
+	case draining:
 		body["status"] = "draining"
 		writeJSON(w, http.StatusServiceUnavailable, body)
 	case systems > 0 && open >= systems:
@@ -110,6 +118,49 @@ func (s *Service) handleReady(w http.ResponseWriter, r *http.Request) {
 	default:
 		writeJSON(w, http.StatusOK, body)
 	}
+}
+
+// handleDrain closes admission: in-flight and queued jobs complete, new work
+// is rejected with 503 and /readyz flips to "draining" so a health-probing
+// router routes around this shard. The response reports what is left to
+// drain.
+func (s *Service) handleDrain(w http.ResponseWriter, r *http.Request) {
+	s.Drain()
+	writeJSON(w, http.StatusAccepted, map[string]any{
+		"status":     "draining",
+		"queueDepth": len(s.jobs),
+	})
+}
+
+// handleRegistryExport serves every registered system as a self-contained
+// RegistrationRecord — the unit a router migrates to a replacement shard.
+func (s *Service) handleRegistryExport(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{"records": s.ExportRegistrations()})
+}
+
+// ImportReport is the response of POST /v1/registry.
+type ImportReport struct {
+	Imported int          `json:"imported"`
+	Systems  []SystemInfo `json:"systems"`
+}
+
+// handleRegistryImport registers every record of the posted export
+// idempotently; a record that fails validation fails the whole import with
+// the first error (idempotent retries are safe).
+func (s *Service) handleRegistryImport(w http.ResponseWriter, r *http.Request) {
+	var req struct {
+		Records []RegistrationRecord `json:"records"`
+	}
+	if err := s.decodeBody(w, r, &req); err != nil {
+		writeError(w, err)
+		return
+	}
+	rep, err := s.ImportRegistrations(r.Context(), req.Records)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, rep)
 }
 
 // decodeBody decodes a JSON request body bounded by MaxBodyBytes, converting
@@ -133,7 +184,8 @@ func httpStatus(err error) int {
 		return http.StatusNotFound
 	case errors.Is(err, ErrOverloaded):
 		return http.StatusTooManyRequests
-	case errors.Is(err, ErrClosed), errors.Is(err, ErrCircuitOpen):
+	case errors.Is(err, ErrClosed), errors.Is(err, ErrCircuitOpen),
+		errors.Is(err, ErrDraining):
 		return http.StatusServiceUnavailable
 	case errors.Is(err, ErrBodyTooLarge):
 		return http.StatusRequestEntityTooLarge
@@ -162,7 +214,7 @@ func (s *Service) handleRegister(w http.ResponseWriter, r *http.Request) {
 		writeError(w, err)
 		return
 	}
-	m, err := buildMatrix(req)
+	m, err := BuildMatrix(req)
 	if err != nil {
 		writeError(w, err)
 		return
@@ -175,7 +227,10 @@ func (s *Service) handleRegister(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusCreated, info)
 }
 
-func buildMatrix(req RegisterRequest) (*sparse.Matrix, error) {
+// BuildMatrix materializes the matrix a RegisterRequest describes — exported
+// so the cluster router can fingerprint a registration before choosing the
+// shards it lands on.
+func BuildMatrix(req RegisterRequest) (*sparse.Matrix, error) {
 	switch {
 	case req.Gen != "" && req.Entries != nil:
 		return nil, errors.New("give either gen or entries, not both")

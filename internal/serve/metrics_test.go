@@ -38,7 +38,7 @@ func TestStatsJSONShape(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer resp.Body.Close()
-	var got map[string]json.Number
+	var got map[string]any
 	if err := json.NewDecoder(resp.Body).Decode(&got); err != nil {
 		t.Fatal(err)
 	}
@@ -50,6 +50,7 @@ func TestStatsJSONShape(t *testing.T) {
 		"retries", "hedges", "hedgeWins", "panics",
 		"quarantined", "rebuilt", "verified", "verifyFailed",
 		"breakerRejected", "breakerOpens", "breakersOpen",
+		"registryWalErrors", "draining",
 	}
 	keys := make([]string, 0, len(got))
 	for k := range got {
@@ -62,7 +63,8 @@ func TestStatsJSONShape(t *testing.T) {
 		t.Errorf("/stats keys drifted:\n got %v\nwant %v", keys, sorted)
 	}
 	for _, k := range []string{"solved", "verified", "p50Ms", "cyclesPerSolve"} {
-		if v, _ := got[k].Float64(); v <= 0 {
+		v, ok := got[k].(float64)
+		if !ok || v <= 0 {
 			t.Errorf("/stats %s = %v, want > 0 after a solve", k, got[k])
 		}
 	}

@@ -34,6 +34,10 @@ var (
 	ErrNotFound = errors.New("serve: unknown system")
 	// ErrClosed rejects work submitted after Close started draining.
 	ErrClosed = errors.New("serve: service closed")
+	// ErrDraining rejects new work while the service drains: queued jobs
+	// still complete, but admission is closed so a router can fail the
+	// request over to a replica shard instead of queueing behind a drain.
+	ErrDraining = errors.New("serve: service draining")
 	// ErrCircuitOpen sheds a solve because the system's circuit breaker is
 	// open: it has failed repeatedly and is cooling down before a probe.
 	ErrCircuitOpen = errors.New("serve: circuit open")
@@ -243,6 +247,7 @@ type Service struct {
 
 	mu       sync.Mutex
 	closed   bool
+	draining bool
 	systems  map[string]*system
 	cache    map[Key]*entry
 	lru      *list.List // front = most recently used
@@ -318,15 +323,15 @@ func Open(opts Options) (*Service, error) {
 		s.Close()
 		return nil, err
 	}
+	reg.errs = s.stats.walErrors
 	for _, rec := range recs {
-		m, err := rec.matrix()
+		m, err := rec.Matrix()
 		if err != nil {
 			s.Close()
 			reg.close()
 			return nil, fmt.Errorf("serve: replaying %s: %w", rec.ID, err)
 		}
-		cfg := rec.Config
-		if _, err := s.register(s.baseCtx, m, &cfg); err != nil {
+		if _, err := s.register(s.baseCtx, m, rec.configPtr()); err != nil {
 			s.Close()
 			reg.close()
 			return nil, fmt.Errorf("serve: replaying %s: %w", rec.ID, err)
@@ -394,6 +399,10 @@ func (s *Service) register(ctx context.Context, m *sparse.Matrix, cfg *config.Co
 		s.mu.Unlock()
 		return SystemInfo{}, ErrClosed
 	}
+	if s.draining {
+		s.mu.Unlock()
+		return SystemInfo{}, ErrDraining
+	}
 	if old, ok := s.systems[sys.id]; ok && old.key == sys.key {
 		info := SystemInfo{ID: old.id, N: old.m.N, NNZ: old.m.NNZ(), Solver: old.solver}
 		s.mu.Unlock()
@@ -416,7 +425,7 @@ func (s *Service) register(ctx context.Context, m *sparse.Matrix, cfg *config.Co
 	// before the system becomes visible, so an acknowledged registration
 	// survives a crash.
 	if reg != nil {
-		if err := reg.append(newRegistryRecord(sys)); err != nil {
+		if err := reg.append(newRegistrationRecord(sys)); err != nil {
 			return SystemInfo{}, fmt.Errorf("serve: persisting registration: %w", err)
 		}
 	}
@@ -537,6 +546,10 @@ func (s *Service) enqueue(ctx context.Context, sys *system, b []float64) (*job, 
 	if s.closed {
 		s.mu.Unlock()
 		return nil, ErrClosed
+	}
+	if s.draining {
+		s.mu.Unlock()
+		return nil, ErrDraining
 	}
 	select {
 	case s.jobs <- j:
@@ -662,12 +675,40 @@ func (s *Service) release(ent *entry, p *core.Prepared) {
 // QueueDepth reports the number of queued jobs not yet picked up.
 func (s *Service) QueueDepth() int { return len(s.jobs) }
 
+// Drain closes admission without stopping the workers: new registrations and
+// solves are rejected with ErrDraining while queued and in-flight jobs run to
+// completion. /readyz reports "draining" (503) from this point, so a
+// health-probing router stops sending work and fails new requests over to
+// replica shards. Drain is idempotent and does not block; follow with Close
+// (or Shutdown) to stop the service.
+func (s *Service) Drain() {
+	s.mu.Lock()
+	s.draining = true
+	s.mu.Unlock()
+}
+
+// Draining reports whether admission is closed while in-flight work drains.
+func (s *Service) Draining() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.draining || s.closed
+}
+
 // Close stops admission and drains the queue: queued jobs still execute,
 // then the workers exit. In-flight registration warm-ups and replica
 // rebuilds are canceled through the service-lifetime context; with a
 // crash-safe registry attached, the final state is snapshotted before the
 // WAL closes. Close blocks until the drain completes.
 func (s *Service) Close() error {
+	return s.Shutdown(context.Background())
+}
+
+// Shutdown is Close with a hard deadline: it stops admission and waits for
+// the queue to drain until the context expires. On expiry it returns the
+// context's error with workers abandoned mid-job — the caller is expected to
+// be exiting the process, so a solve that never returns cannot hang the
+// drain forever. A nil error means the drain completed cleanly.
+func (s *Service) Shutdown(ctx context.Context) error {
 	s.mu.Lock()
 	if s.closed {
 		s.mu.Unlock()
@@ -678,8 +719,22 @@ func (s *Service) Close() error {
 	s.mu.Unlock()
 	s.cancel()
 	close(s.jobs)
-	s.wg.Wait()
-	s.aux.Wait()
+
+	done := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		s.aux.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-ctx.Done():
+		// The drain deadline landed first: leave the stragglers behind. The
+		// WAL already carries every acknowledged registration, so skipping
+		// compaction (and the registry close racing a straggler append) is
+		// safe — replay merges snapshot and WAL idempotently.
+		return ctx.Err()
+	}
 	if reg != nil {
 		// Best-effort compaction: the WAL alone already carries the state.
 		_ = s.compact()

@@ -41,6 +41,10 @@ type Stats struct {
 	BreakerRejected uint64 `json:"breakerRejected"` // solves shed by an open circuit breaker
 	BreakerOpens    uint64 `json:"breakerOpens"`    // circuit-breaker open transitions
 	BreakersOpen    int    `json:"breakersOpen"`    // systems currently shedding load
+
+	// Crash-safe registry health.
+	RegistryWALErrors uint64 `json:"registryWalErrors"` // WAL write/fsync failures
+	Draining          bool   `json:"draining"`          // admission closed, in-flight work finishing
 }
 
 // statsCollector is the service's pre-resolved instrument set on its
@@ -65,6 +69,8 @@ type statsCollector struct {
 	breakerRejected *telemetry.Counter
 	breakerOpens    *telemetry.Counter
 
+	walErrors *telemetry.Counter // registry_wal_errors_total
+
 	latency      *telemetry.Histogram // serve_solve_latency_seconds
 	breakerState *telemetry.GaugeVec  // serve_breaker_state{system}
 }
@@ -88,6 +94,9 @@ func newStatsCollector(reg *telemetry.Registry) statsCollector {
 		verifyFailed:    reg.Counter("serve_verify_failed_total", "Answers rejected by residual verification."),
 		breakerRejected: reg.Counter("serve_breaker_rejected_total", "Solves shed by an open circuit breaker."),
 		breakerOpens:    reg.Counter("serve_breaker_opens_total", "Circuit-breaker open transitions."),
+
+		walErrors: reg.Counter("registry_wal_errors_total",
+			"Registration WAL write/fsync failures (persistence trouble)."),
 
 		latency: reg.Histogram("serve_solve_latency_seconds",
 			"Solve wall latency (queue pickup to answer).",
@@ -127,11 +136,13 @@ func (s *Service) Stats() Stats {
 		BreakerOpens:    s.stats.breakerOpens.Value(),
 		BreakersOpen:    s.openBreakers(),
 	}
+	st.RegistryWALErrors = s.stats.walErrors.Value()
 	if st.Solved > 0 {
 		st.CyclesPerSolve = s.stats.cycles.Value() / st.Solved
 	}
 	s.mu.Lock()
 	st.CacheSize = s.lru.Len()
+	st.Draining = s.draining || s.closed
 	s.mu.Unlock()
 	return st
 }

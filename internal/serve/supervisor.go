@@ -72,6 +72,7 @@ func classify(err error) failClass {
 	case errors.Is(err, context.DeadlineExceeded),
 		errors.Is(err, context.Canceled),
 		errors.Is(err, ErrClosed),
+		errors.Is(err, ErrDraining),
 		errors.Is(err, ErrOverloaded):
 		return failFatal
 	case errors.Is(err, fault.ErrChaosHost):
@@ -144,8 +145,11 @@ func (s *Service) backoff(ctx context.Context, attempt int) error {
 
 // hedged runs one attempt, firing a second replica when the first has not
 // answered within the hedge delay (the observed p99 solve latency, floored
-// by HedgeAfter). The first success wins; the straggler finishes on its own
-// and returns its replica to the pool.
+// by HedgeAfter). The first success wins. Both attempts run under a child
+// context canceled when hedged returns, so the straggler is released the
+// moment a winner is decided (not when the whole request finishes) and a
+// client disconnect cancels the primary and the hedge together — stalled
+// replicas stop holding pool slots the instant they can no longer win.
 func (s *Service) hedged(ctx context.Context, sys *system, b []float64) (*core.Result, error) {
 	type outcome struct {
 		res   *core.Result
@@ -155,11 +159,13 @@ func (s *Service) hedged(ctx context.Context, sys *system, b []float64) (*core.R
 	if s.opts.HedgeAfter <= 0 {
 		return s.attempt(ctx, sys, b)
 	}
+	actx, cancel := context.WithCancel(ctx)
+	defer cancel()
 	ch := make(chan outcome, 2)
 	s.aux.Add(1)
 	go func() {
 		defer s.aux.Done()
-		res, err := s.attempt(ctx, sys, b)
+		res, err := s.attempt(actx, sys, b)
 		ch <- outcome{res: res, err: err}
 	}()
 	t := time.NewTimer(s.hedgeDelay())
@@ -177,7 +183,7 @@ func (s *Service) hedged(ctx context.Context, sys *system, b []float64) (*core.R
 	s.aux.Add(1)
 	go func() {
 		defer s.aux.Done()
-		res, err := s.attempt(ctx, sys, b)
+		res, err := s.attempt(actx, sys, b)
 		ch <- outcome{res: res, err: err, hedge: true}
 	}()
 	first := <-ch

@@ -3,12 +3,14 @@
 // and periodically folded into an atomic snapshot. On startup both are
 // replayed — snapshot first, then the WAL, last record per system winning —
 // so a service killed at any instant recovers exactly the registrations it
-// acknowledged, tolerating a torn final WAL record.
+// acknowledged, tolerating a torn final WAL record and a torn snapshot (the
+// footprints of a crash mid-append and mid-compaction).
 
 package serve
 
 import (
 	"bufio"
+	"context"
 	"encoding/json"
 	"fmt"
 	"os"
@@ -17,6 +19,7 @@ import (
 
 	"ipusparse/internal/config"
 	"ipusparse/internal/sparse"
+	"ipusparse/internal/telemetry"
 )
 
 const (
@@ -24,11 +27,13 @@ const (
 	snapshotName = "registry.snapshot.json"
 )
 
-// registryRecord is one persisted registration: the full matrix (JSON
+// RegistrationRecord is one persisted registration: the full matrix (JSON
 // round-trips float64 exactly, so the recovered matrix fingerprints to the
 // same system ID) and its solver configuration. Machine and partition
-// strategy are service-level options supplied again at restart.
-type registryRecord struct {
+// strategy are service-level options supplied again at restart. The record is
+// also the migration unit of the cluster tier: GET /v1/registry exports them,
+// POST /v1/registry imports them idempotently on a replacement shard.
+type RegistrationRecord struct {
 	ID     string        `json:"id"`
 	N      int           `json:"n"`
 	Diag   []float64     `json:"diag"`
@@ -38,8 +43,8 @@ type registryRecord struct {
 	Config config.Config `json:"config"`
 }
 
-func newRegistryRecord(sys *system) registryRecord {
-	return registryRecord{
+func newRegistrationRecord(sys *system) RegistrationRecord {
+	return RegistrationRecord{
 		ID:     sys.id,
 		N:      sys.m.N,
 		Diag:   sys.m.Diag,
@@ -50,10 +55,30 @@ func newRegistryRecord(sys *system) registryRecord {
 	}
 }
 
-// matrix reconstructs and validates the record's matrix, requiring its
+// NewRegistrationRecord builds the migration record for a matrix + config
+// pair without a running service — the router uses it to register a system
+// on every shard of its replica set from one locally built matrix. A nil cfg
+// leaves the record's config zero; importing shards then apply their own
+// default solver configuration.
+func NewRegistrationRecord(m *sparse.Matrix, cfg *config.Config) RegistrationRecord {
+	rec := RegistrationRecord{
+		ID:     m.FingerprintString(),
+		N:      m.N,
+		Diag:   m.Diag,
+		RowPtr: m.RowPtr,
+		Cols:   m.Cols,
+		Vals:   m.Vals,
+	}
+	if cfg != nil {
+		rec.Config = *cfg
+	}
+	return rec
+}
+
+// Matrix reconstructs and validates the record's matrix, requiring its
 // fingerprint to reproduce the recorded system ID — a corrupted record is
 // rejected rather than silently served.
-func (r *registryRecord) matrix() (*sparse.Matrix, error) {
+func (r *RegistrationRecord) Matrix() (*sparse.Matrix, error) {
 	m := &sparse.Matrix{N: r.N, Diag: r.Diag, RowPtr: r.RowPtr, Cols: r.Cols, Vals: r.Vals}
 	if m.Vals == nil {
 		m.Vals = []float64{}
@@ -70,20 +95,63 @@ func (r *registryRecord) matrix() (*sparse.Matrix, error) {
 	return m, nil
 }
 
+// configPtr returns the record's config for registration: nil when the
+// record carries none (zero value), selecting the service default.
+func (r *RegistrationRecord) configPtr() *config.Config {
+	if r.Config.Solver.Type == "" {
+		return nil
+	}
+	cfg := r.Config
+	return &cfg
+}
+
+// ExportRegistrations snapshots every registered system as a self-contained
+// migration record, in no particular order.
+func (s *Service) ExportRegistrations() []RegistrationRecord {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]RegistrationRecord, 0, len(s.systems))
+	for _, sys := range s.systems {
+		out = append(out, newRegistrationRecord(sys))
+	}
+	return out
+}
+
+// ImportRegistrations registers every record idempotently (a system already
+// registered under the same key is a no-op). The first failing record aborts
+// the import; retrying the whole batch is safe.
+func (s *Service) ImportRegistrations(ctx context.Context, recs []RegistrationRecord) (ImportReport, error) {
+	rep := ImportReport{Systems: make([]SystemInfo, 0, len(recs))}
+	for _, rec := range recs {
+		m, err := rec.Matrix()
+		if err != nil {
+			return rep, fmt.Errorf("serve: importing %s: %w", rec.ID, err)
+		}
+		info, err := s.register(ctx, m, rec.configPtr())
+		if err != nil {
+			return rep, fmt.Errorf("serve: importing %s: %w", rec.ID, err)
+		}
+		rep.Imported++
+		rep.Systems = append(rep.Systems, info)
+	}
+	return rep, nil
+}
+
 // registry owns the state directory: the open WAL file and the current merged
 // record set (registration order preserved).
 type registry struct {
-	dir string
+	dir  string
+	errs *telemetry.Counter // registry_wal_errors_total (nil = uncounted)
 
 	mu   sync.Mutex
 	wal  *os.File
-	recs []registryRecord
+	recs []RegistrationRecord
 }
 
 // openRegistry loads the state directory (creating it if needed), merges
 // snapshot + WAL, and returns the registry with the recovered records in
 // registration order. The WAL is opened for appending.
-func openRegistry(dir string) (*registry, []registryRecord, error) {
+func openRegistry(dir string) (*registry, []RegistrationRecord, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, nil, fmt.Errorf("serve: state dir: %w", err)
 	}
@@ -99,20 +167,38 @@ func openRegistry(dir string) (*registry, []registryRecord, error) {
 }
 
 // loadState merges the snapshot (if any) with the WAL (if any); the last
-// record per system ID wins. A torn trailing WAL record — the footprint of a
-// crash mid-append — is dropped; corruption anywhere else is an error.
-func loadState(dir string) ([]registryRecord, error) {
-	var recs []registryRecord
-	if data, err := os.ReadFile(filepath.Join(dir, snapshotName)); err == nil {
-		if err := json.Unmarshal(data, &recs); err != nil {
-			return nil, fmt.Errorf("serve: corrupt snapshot %s: %w", snapshotName, err)
+// record per system ID wins. Torn tails are tolerated wherever a crash can
+// leave one: a half-appended trailing WAL record is dropped, and a torn
+// snapshot falls back to the compaction temp file (a crash between writing
+// the new snapshot and renaming it) or, failing that, to WAL-only replay —
+// every surviving record still self-validates through its fingerprint.
+// Corruption anywhere else is an error.
+func loadState(dir string) ([]RegistrationRecord, error) {
+	walOnly := false
+	recs, snapErr := loadSnapshot(filepath.Join(dir, snapshotName))
+	if snapErr != nil {
+		// The snapshot is torn. The compaction temp file, when it parses, is
+		// a complete newer copy of the same state (compact writes it fully
+		// and fsyncs before renaming over the snapshot).
+		if tmp, err := loadSnapshot(filepath.Join(dir, snapshotName+".tmp")); err == nil && tmp != nil {
+			recs = tmp
+			snapErr = nil
+		} else if _, err := os.Stat(filepath.Join(dir, walName)); err == nil {
+			// No usable snapshot at all: replay the WAL alone. The WAL is
+			// only truncated after a snapshot rename is durable, so in the
+			// crash model it still carries the live records. If it turns out
+			// to hold none, refuse to start empty over known-lost state.
+			recs, walOnly = nil, true
+		} else {
+			return nil, snapErr
 		}
-	} else if !os.IsNotExist(err) {
-		return nil, fmt.Errorf("serve: reading snapshot: %w", err)
 	}
 	f, err := os.Open(filepath.Join(dir, walName))
 	if err != nil {
 		if os.IsNotExist(err) {
+			if snapErr != nil {
+				return nil, snapErr
+			}
 			return recs, nil
 		}
 		return nil, fmt.Errorf("serve: reading WAL: %w", err)
@@ -130,7 +216,7 @@ func loadState(dir string) ([]registryRecord, error) {
 		if len(line) == 0 {
 			continue
 		}
-		var rec registryRecord
+		var rec RegistrationRecord
 		if err := json.Unmarshal(line, &rec); err != nil {
 			pendingErr = fmt.Errorf("serve: corrupt WAL record: %w", err)
 			continue
@@ -140,11 +226,34 @@ func loadState(dir string) ([]registryRecord, error) {
 	if err := sc.Err(); err != nil {
 		return nil, fmt.Errorf("serve: scanning WAL: %w", err)
 	}
+	if walOnly && len(recs) == 0 {
+		return nil, snapErr
+	}
+	return recs, nil
+}
+
+// loadSnapshot reads one snapshot file: (nil, nil) when it does not exist,
+// an error when it exists but does not parse.
+func loadSnapshot(path string) ([]RegistrationRecord, error) {
+	data, err := os.ReadFile(path)
+	if os.IsNotExist(err) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("serve: reading snapshot: %w", err)
+	}
+	var recs []RegistrationRecord
+	if err := json.Unmarshal(data, &recs); err != nil {
+		return nil, fmt.Errorf("serve: corrupt snapshot %s: %w", filepath.Base(path), err)
+	}
+	if recs == nil {
+		recs = []RegistrationRecord{}
+	}
 	return recs, nil
 }
 
 // mergeRecord replaces an existing record with the same ID or appends.
-func mergeRecord(recs []registryRecord, rec registryRecord) []registryRecord {
+func mergeRecord(recs []RegistrationRecord, rec RegistrationRecord) []RegistrationRecord {
 	for i := range recs {
 		if recs[i].ID == rec.ID {
 			recs[i] = rec
@@ -154,9 +263,19 @@ func mergeRecord(recs []registryRecord, rec registryRecord) []registryRecord {
 	return append(recs, rec)
 }
 
+// countErr bumps the WAL-error counter on the way out of a failing write or
+// fsync, so persistence trouble is visible on /metrics before the next
+// registration fails loudly.
+func (r *registry) countErr(err error) error {
+	if err != nil && r.errs != nil {
+		r.errs.Inc()
+	}
+	return err
+}
+
 // append durably logs one registration: the record is written and fsynced
 // before append returns, so an acknowledged registration survives kill -9.
-func (r *registry) append(rec registryRecord) error {
+func (r *registry) append(rec RegistrationRecord) error {
 	data, err := json.Marshal(rec)
 	if err != nil {
 		return err
@@ -165,10 +284,10 @@ func (r *registry) append(rec registryRecord) error {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	if _, err := r.wal.Write(data); err != nil {
-		return err
+		return r.countErr(err)
 	}
 	if err := r.wal.Sync(); err != nil {
-		return err
+		return r.countErr(err)
 	}
 	r.recs = mergeRecord(r.recs, rec)
 	return nil
@@ -186,29 +305,29 @@ func (r *registry) compactLocked() error {
 	tmp := filepath.Join(r.dir, snapshotName+".tmp")
 	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
 	if err != nil {
-		return err
+		return r.countErr(err)
 	}
 	if _, err := f.Write(data); err != nil {
 		f.Close()
-		return err
+		return r.countErr(err)
 	}
 	if err := f.Sync(); err != nil {
 		f.Close()
-		return err
+		return r.countErr(err)
 	}
 	if err := f.Close(); err != nil {
-		return err
+		return r.countErr(err)
 	}
 	if err := os.Rename(tmp, filepath.Join(r.dir, snapshotName)); err != nil {
-		return err
+		return r.countErr(err)
 	}
 	if err := r.wal.Truncate(0); err != nil {
-		return err
+		return r.countErr(err)
 	}
 	if _, err := r.wal.Seek(0, 0); err != nil {
-		return err
+		return r.countErr(err)
 	}
-	return r.wal.Sync()
+	return r.countErr(r.wal.Sync())
 }
 
 func (r *registry) close() {

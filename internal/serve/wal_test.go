@@ -2,6 +2,7 @@ package serve
 
 import (
 	"context"
+	"encoding/json"
 	"os"
 	"path/filepath"
 	"strings"
@@ -216,5 +217,185 @@ func TestOpenWithoutStateDirIsEphemeral(t *testing.T) {
 	}
 	if _, err := s.Register(context.Background(), sparse.Poisson2D(5, 5), nil); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// TestOpenToleratesTornSnapshotWithTmp tears the main snapshot but leaves a
+// complete compaction temp file — the footprint of a crash between writing
+// the new snapshot and renaming it over the old — and requires recovery from
+// the temp copy.
+func TestOpenToleratesTornSnapshotWithTmp(t *testing.T) {
+	dir := t.TempDir()
+	opts := testOptions()
+	opts.StateDir = dir
+
+	s, err := Open(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	i1, err := s.Register(context.Background(), sparse.Poisson2D(7, 7), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	i2, err := s.Register(context.Background(), sparse.Poisson3D(4, 4, 4), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Stage the crash: the temp file holds the full state, the snapshot is
+	// torn mid-write.
+	snap := filepath.Join(dir, snapshotName)
+	data, err := os.ReadFile(snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(snap+".tmp", data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(snap, data[:len(data)/2], 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	s2, err := Open(opts)
+	if err != nil {
+		t.Fatalf("torn snapshot with intact temp file must recover: %v", err)
+	}
+	defer s2.Close()
+	ids := map[string]bool{}
+	for _, sys := range s2.Systems() {
+		ids[sys.ID] = true
+	}
+	if len(ids) != 2 || !ids[i1.ID] || !ids[i2.ID] {
+		t.Fatalf("recovered %v, want %s and %s", ids, i1.ID, i2.ID)
+	}
+}
+
+// TestOpenRecoversFromWALWhenSnapshotTorn tears the snapshot with no temp
+// file and a full WAL — recovery must replay the WAL alone.
+func TestOpenRecoversFromWALWhenSnapshotTorn(t *testing.T) {
+	dir := t.TempDir()
+	opts := testOptions()
+	opts.StateDir = dir
+
+	s, err := Open(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	i1, err := s.Register(context.Background(), sparse.Poisson2D(7, 7), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	i2, err := s.Register(context.Background(), sparse.Poisson3D(4, 4, 4), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Rebuild the WAL from the snapshot's records, then tear the snapshot.
+	snap := filepath.Join(dir, snapshotName)
+	data, err := os.ReadFile(snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var recs []RegistrationRecord
+	if err := json.Unmarshal(data, &recs); err != nil {
+		t.Fatal(err)
+	}
+	wal, err := os.OpenFile(filepath.Join(dir, walName), os.O_WRONLY|os.O_TRUNC, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, rec := range recs {
+		line, err := json.Marshal(rec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := wal.Write(append(line, '\n')); err != nil {
+			t.Fatal(err)
+		}
+	}
+	wal.Close()
+	if err := os.WriteFile(snap, []byte(`[{"id":"torn`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	s2, err := Open(opts)
+	if err != nil {
+		t.Fatalf("torn snapshot with full WAL must recover: %v", err)
+	}
+	defer s2.Close()
+	ids := map[string]bool{}
+	for _, sys := range s2.Systems() {
+		ids[sys.ID] = true
+	}
+	if len(ids) != 2 || !ids[i1.ID] || !ids[i2.ID] {
+		t.Fatalf("recovered %v, want %s and %s", ids, i1.ID, i2.ID)
+	}
+}
+
+// TestOpenRefusesTornSnapshotWithEmptyWAL requires a clean failure — not a
+// silent empty start over known-lost state — when the snapshot is torn and
+// the WAL holds nothing to replay.
+func TestOpenRefusesTornSnapshotWithEmptyWAL(t *testing.T) {
+	dir := t.TempDir()
+	opts := testOptions()
+	opts.StateDir = dir
+
+	s, err := Open(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Register(context.Background(), sparse.Poisson2D(6, 6), nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Close compacted: the WAL is empty, the snapshot is the only copy. Tear it.
+	if err := os.WriteFile(filepath.Join(dir, snapshotName), []byte(`[{"id":"torn`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(opts); err == nil {
+		t.Fatal("torn snapshot with empty WAL recovered as an empty registry")
+	} else if !strings.Contains(err.Error(), "snapshot") {
+		t.Fatalf("error %v does not name the torn snapshot", err)
+	}
+}
+
+// TestWALErrorCounter requires a failed WAL append to fail the registration
+// AND surface on the registry_wal_errors_total counter.
+func TestWALErrorCounter(t *testing.T) {
+	dir := t.TempDir()
+	opts := testOptions()
+	opts.StateDir = dir
+
+	s, err := Open(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if _, err := s.Register(context.Background(), sparse.Poisson2D(6, 6), nil); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.Stats().RegistryWALErrors; got != 0 {
+		t.Fatalf("healthy service reports %d WAL errors", got)
+	}
+
+	// Pull the WAL file out from under the registry: the next append's write
+	// fails the way a dying disk would.
+	s.registry.mu.Lock()
+	s.registry.wal.Close()
+	s.registry.mu.Unlock()
+
+	if _, err := s.Register(context.Background(), sparse.Poisson3D(4, 4, 4), nil); err == nil {
+		t.Fatal("registration acknowledged without a durable WAL append")
+	}
+	if got := s.Stats().RegistryWALErrors; got == 0 {
+		t.Fatal("failed WAL append did not increment registry_wal_errors_total")
 	}
 }
