@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check build test vet race bench bench-engine bench-smoke serve-smoke chaos-smoke metrics-smoke cluster-smoke bench-cluster clean
+.PHONY: check build test vet race bench bench-engine bench-smoke bench-backend bench-backend-smoke serve-smoke chaos-smoke metrics-smoke cluster-smoke bench-cluster clean
 
 ## check: vet + build + race-enabled tests (the pre-merge gate)
 check: vet build race
@@ -31,6 +31,17 @@ bench-engine:
 ## guard that the superstep hot path stays allocation-free and race-clean)
 bench-smoke:
 	$(GO) test -short -run '^$$' -bench 'BenchmarkEngine' -benchtime 1x -benchmem .
+
+## bench-backend: measure sim vs native execution backends (Table X) and emit
+## the BENCH_backend.json artifact (warm CG latency, speedup, allocs/op,
+## batched-RHS scaling, residual agreement)
+bench-backend:
+	$(GO) run ./cmd/benchsuite -experiment backend -backend-json BENCH_backend.json
+
+## bench-backend-smoke: one quick iteration of the backend microbenchmarks
+## (the CI guard that warm SolveInto stays allocation-free on both backends)
+bench-backend-smoke:
+	$(GO) test -short -run '^$$' -bench 'BenchmarkBackend' -benchtime 1x -benchmem .
 
 ## serve-smoke: boot a race-enabled ipuserved on a random port, register a
 ## Poisson system, fire concurrent batched solves, verify solutions and

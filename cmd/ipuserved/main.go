@@ -55,6 +55,7 @@ func main() {
 	cfgPath := flag.String("config", "", "JSON configuration with solver and serve blocks")
 	portFile := flag.String("port-file", "", "write the bound address to this file once listening (for :0 discovery)")
 	stateDir := flag.String("state-dir", "", "crash-safe registry directory (overrides the config; empty disables persistence)")
+	backendName := flag.String("backend", "", "execution backend for served solves (overrides the config; native default, sim for cycle accounting)")
 	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "hard deadline for the graceful drain on SIGINT/SIGTERM")
 	var cf chaosFlags
 	flag.Float64Var(&cf.rate, "chaos-rate", 0, "per-solve-attempt fault probability (0 disables chaos)")
@@ -64,7 +65,7 @@ func main() {
 	flag.IntVar(&cf.stallMs, "chaos-stall-ms", 0, "injected slow-replica delay in ms (0 = 50ms default)")
 	flag.Parse()
 
-	if err := run(*addr, *cfgPath, *portFile, *stateDir, *drainTimeout, cf); err != nil {
+	if err := run(*addr, *cfgPath, *portFile, *stateDir, *backendName, *drainTimeout, cf); err != nil {
 		fmt.Fprintln(os.Stderr, "ipuserved:", err)
 		os.Exit(1)
 	}
@@ -93,7 +94,7 @@ func (cf chaosFlags) chaos() (*fault.Chaos, error) {
 	return fault.NewChaos(plan), nil
 }
 
-func run(addr, cfgPath, portFile, stateDir string, drainTimeout time.Duration, cf chaosFlags) error {
+func run(addr, cfgPath, portFile, stateDir, backendName string, drainTimeout time.Duration, cf chaosFlags) error {
 	cfg := config.Default()
 	if cfgPath != "" {
 		f, err := os.Open(cfgPath)
@@ -118,6 +119,9 @@ func run(addr, cfgPath, portFile, stateDir string, drainTimeout time.Duration, c
 	opts := serve.OptionsFromConfig(cfg)
 	if stateDir != "" {
 		opts.StateDir = stateDir
+	}
+	if backendName != "" {
+		opts.Backend = backendName
 	}
 	chaos, err := cf.chaos()
 	if err != nil {

@@ -61,6 +61,7 @@ func main() {
 	faultSeed := flag.Int64("fault-seed", 42, "seed of the fault-injection campaign")
 	fingerprint := flag.Bool("fingerprint", false, "print the matrix fingerprint (the service cache key) and exit")
 	enginePar := flag.Int("engine-par", -1, "host shards per BSP superstep (-1: from config, 0: all cores, 1: serial; never changes results)")
+	backendName := flag.String("backend", "", "execution backend: sim (default; cycle-accurate) or native (host-speed, no cycle model)")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memProfile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	flag.Parse()
@@ -80,7 +81,7 @@ func main() {
 	if *traceOut == "" {
 		*traceOut = *tracePath
 	}
-	err = run(*matrixPath, *gen, *cfgPath, *rhs, *tiles, *chips, *tol, *strategy, *verbose, *traceOut, *metricsOut, *faultRate, *faultSeed, *enginePar)
+	err = run(*matrixPath, *gen, *cfgPath, *rhs, *tiles, *chips, *tol, *strategy, *verbose, *traceOut, *metricsOut, *faultRate, *faultSeed, *enginePar, *backendName)
 	if perr := stopProfiles(); err == nil {
 		err = perr
 	}
@@ -151,7 +152,7 @@ func loadMatrix(matrixPath, gen string) (*sparse.Matrix, error) {
 	return sparse.GenByName(gen)
 }
 
-func run(matrixPath, gen, cfgPath, rhs string, tiles, chips int, tol float64, strategy string, verbose bool, tracePath, metricsPath string, faultRate float64, faultSeed int64, enginePar int) error {
+func run(matrixPath, gen, cfgPath, rhs string, tiles, chips int, tol float64, strategy string, verbose bool, tracePath, metricsPath string, faultRate float64, faultSeed int64, enginePar int, backendName string) error {
 	m, err := loadMatrix(matrixPath, gen)
 	if err != nil {
 		return err
@@ -188,6 +189,12 @@ func run(matrixPath, gen, cfgPath, rhs string, tiles, chips int, tol float64, st
 	}
 	if enginePar >= 0 {
 		cfg.Engine = &config.EngineConfig{Parallelism: enginePar}
+	}
+	if backendName != "" {
+		if cfg.Engine == nil {
+			cfg.Engine = &config.EngineConfig{}
+		}
+		cfg.Engine.Backend = backendName
 	}
 
 	b := make([]float64, m.N)

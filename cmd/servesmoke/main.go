@@ -464,6 +464,7 @@ func metricsPhase(dir, server string) error {
 		"serve_queue_depth",
 		"core_solves_total",
 		"core_phase_seconds_bucket",
+		"core_backend{backend=",
 		"engine_supersteps_total",
 		"ipu_compute_cycles_total",
 		"solver_runs_total{solver=",

@@ -1,0 +1,113 @@
+// Package backend abstracts how a frozen graph program executes. Two
+// implementations exist:
+//
+//   - Sim wraps the cycle-accurate BSP engine (package graph) bit-identically
+//     — every superstep billed through the machine's cost model, fault
+//     injection and device tracing available. This is the research and
+//     validation backend and stays the CLI/bench default.
+//   - Native lowers the compiled superstep schedule once, at prepare time,
+//     into a preallocated flat instruction stream: fused host-speed kernels
+//     where the compute sets provide them (SpMV, the axpy family, dot/norm
+//     partials), serial codelet execution elsewhere, halo exchanges as the
+//     direct slice copies they already carry, and no cycle or exchange
+//     accounting at all. Zero per-iteration allocation; this is the serving
+//     default.
+//
+// Both backends run the *same* compiled program against the same device
+// buffers, so every host callback, While condition and solver statistic works
+// unchanged. The cross-backend contract is residual identity — a native
+// answer converges to the same tolerance on the same system — not bit
+// identity: fused kernels may associate float roundings differently.
+package backend
+
+import (
+	"errors"
+	"fmt"
+
+	"ipusparse/internal/graph"
+	"ipusparse/internal/ipu"
+)
+
+// Backend compiles frozen programs into reusable executables.
+type Backend interface {
+	// Name is the stable identifier ("sim", "native") used by config keys,
+	// Info() and telemetry.
+	Name() string
+	// Compile lowers a frozen program for machine m into an executable
+	// artifact. rep is the program's analysis report (pre-sizing hints).
+	Compile(prog *graph.Sequence, m *ipu.Machine, rep graph.Report) (Executable, error)
+	// SupportsFaults reports whether Run accepts a fault injector. Seeded
+	// campaigns must replay exactly, so only the simulator qualifies.
+	SupportsFaults() bool
+	// SupportsTrace reports whether Run can record a device timeline.
+	SupportsTrace() bool
+}
+
+// RunConfig carries the per-run knobs of an Executable.
+type RunConfig struct {
+	// Parallelism is the host-shard count (simulator only; 0 = all cores).
+	Parallelism int
+	// Injector, when non-nil, drives a fault campaign. Backends that do not
+	// support faults reject it with an UnsupportedError.
+	Injector graph.Injector
+	// Metrics, when non-nil, receives engine telemetry (simulator only).
+	Metrics *graph.EngineMetrics
+	// Trace requests a device timeline; the result carries the Tracer.
+	Trace bool
+	// CollectProfile requests the per-label cycle profile (simulator only;
+	// the lean re-solve path leaves it off to stay allocation-free).
+	CollectProfile bool
+}
+
+// RunResult is the executable's accounting of one run.
+type RunResult struct {
+	Profile      []graph.ProfileEntry // nil unless CollectProfile on a backend with a cost model
+	Supersteps   uint64
+	FaultRetries uint64
+	Tracer       *graph.Tracer // non-nil when Trace was requested and supported
+}
+
+// Executable is a compiled program bound to one machine's buffers. Run is not
+// safe for concurrent use — callers serialize (core.Prepared holds a mutex).
+type Executable interface {
+	Run(cfg RunConfig) (RunResult, error)
+}
+
+// Sim is the cycle-accurate simulator backend.
+var Sim Backend = simBackend{}
+
+// Native is the host-native flat-kernel backend.
+var Native Backend = nativeBackend{}
+
+// DefaultName is the backend used when nothing is configured: the simulator,
+// keeping research workflows (ipusolve, bench) cycle-accurate by default.
+const DefaultName = "sim"
+
+// ByName resolves a backend identifier from config/flags. The empty string
+// selects the default (simulator).
+func ByName(name string) (Backend, error) {
+	switch name {
+	case "", "sim", "simulator":
+		return Sim, nil
+	case "native":
+		return Native, nil
+	}
+	return nil, fmt.Errorf("backend: unknown backend %q (want sim or native)", name)
+}
+
+// UnsupportedError is the typed rejection of a feature a backend cannot
+// honor exactly (fault campaigns or device tracing on the native path).
+type UnsupportedError struct {
+	Backend string
+	Feature string
+}
+
+func (e *UnsupportedError) Error() string {
+	return fmt.Sprintf("backend %s: %s is not supported (use the simulator backend)", e.Backend, e.Feature)
+}
+
+// IsUnsupported reports whether err carries an UnsupportedError.
+func IsUnsupported(err error) bool {
+	var ue *UnsupportedError
+	return errors.As(err, &ue)
+}

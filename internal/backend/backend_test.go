@@ -1,0 +1,317 @@
+package backend
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"ipusparse/internal/graph"
+	"ipusparse/internal/ipu"
+)
+
+func testMachine(t *testing.T) *ipu.Machine {
+	t.Helper()
+	m, err := ipu.New(ipu.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestByName(t *testing.T) {
+	for _, name := range []string{"", "sim", "simulator"} {
+		be, err := ByName(name)
+		if err != nil || be.Name() != "sim" {
+			t.Fatalf("ByName(%q) = %v, %v", name, be, err)
+		}
+	}
+	be, err := ByName("native")
+	if err != nil || be.Name() != "native" {
+		t.Fatalf("ByName(native) = %v, %v", be, err)
+	}
+	if _, err := ByName("fpga"); err == nil {
+		t.Fatal("ByName accepted an unknown backend")
+	}
+	if !Sim.SupportsFaults() || !Sim.SupportsTrace() {
+		t.Fatal("sim must support faults and tracing")
+	}
+	if Native.SupportsFaults() || Native.SupportsTrace() {
+		t.Fatal("native must not claim fault or trace support")
+	}
+}
+
+// countingStep returns a compute step whose execution appends tag to *trace.
+func countingStep(name, tag string, trace *[]string) graph.Compute {
+	cs := graph.NewComputeSet(name, "Test")
+	cs.Add(0, graph.CodeletFunc(func() uint64 {
+		*trace = append(*trace, tag)
+		return 1
+	}))
+	return graph.Compute{Set: cs}
+}
+
+// TestNativeControlFlowMatchesEngine runs the same program — nested Repeat,
+// While, If with both arms, host calls, a data-carrying exchange — on the
+// cycle-accurate engine and the native backend, and requires the exact same
+// side-effect trace.
+func TestNativeControlFlowMatchesEngine(t *testing.T) {
+	build := func(trace *[]string, iters *int) *graph.Sequence {
+		prog := &graph.Sequence{Name: "root"}
+		prog.Append(countingStep("pre", "pre", trace))
+
+		// Repeat with a body of two steps.
+		body := &graph.Sequence{}
+		body.Append(countingStep("rep", "rep", trace))
+		prog.Append(graph.Repeat{N: 3, Body: body})
+
+		// While driven by a host-visible counter, with an If inside whose
+		// branch flips each iteration.
+		wbody := &graph.Sequence{}
+		wbody.Append(graph.HostCall{Name: "tick", Fn: func() error {
+			*iters++
+			*trace = append(*trace, "tick")
+			return nil
+		}})
+		then := &graph.Sequence{}
+		then.Append(countingStep("then", "then", trace))
+		els := &graph.Sequence{}
+		els.Append(countingStep("else", "else", trace))
+		wbody.Append(graph.If{
+			Cond: func() bool { return *iters%2 == 0 },
+			Then: then,
+			Else: els,
+		})
+		prog.Append(graph.While{
+			Name:    "loop",
+			Cond:    func() bool { return *iters < 5 },
+			Body:    wbody,
+			MaxIter: 100,
+		})
+
+		// Exchange whose Do actually runs, plus an accounting-only move the
+		// native backend must skip without effect.
+		prog.Append(graph.Exchange{Name: "xchg", Moves: []graph.Move{
+			{SrcTile: 0, DstTiles: []int{1}, Bytes: 4, Do: func() error {
+				*trace = append(*trace, "move")
+				return nil
+			}},
+			{SrcTile: 1, DstTiles: []int{0}, Bytes: 4}, // accounting only
+		}})
+		prog.Append(countingStep("post", "post", trace))
+		return prog
+	}
+
+	var simTrace []string
+	simIters := 0
+	simProg := build(&simTrace, &simIters)
+	graph.Freeze(simProg)
+	eng := graph.NewEngine(testMachine(t))
+	if err := eng.Run(simProg); err != nil {
+		t.Fatalf("engine: %v", err)
+	}
+
+	var natTrace []string
+	natIters := 0
+	natProg := build(&natTrace, &natIters)
+	graph.Freeze(natProg)
+	exec, err := Native.Compile(natProg, testMachine(t), graph.Report{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := exec.Run(RunConfig{}); err != nil {
+		t.Fatalf("native: %v", err)
+	}
+
+	if len(simTrace) == 0 {
+		t.Fatal("empty trace")
+	}
+	if fmt.Sprint(simTrace) != fmt.Sprint(natTrace) {
+		t.Fatalf("traces diverge:\n  sim:    %v\n  native: %v", simTrace, natTrace)
+	}
+	if simIters != natIters {
+		t.Fatalf("while iterations: sim %d, native %d", simIters, natIters)
+	}
+
+	// Warm rerun: counters must reset so the program replays identically.
+	natIters = 0
+	rerun := natTrace
+	natTrace = nil
+	_ = rerun
+	if _, err := exec.Run(RunConfig{}); err != nil {
+		t.Fatalf("native warm: %v", err)
+	}
+	if fmt.Sprint(natTrace) != fmt.Sprint(simTrace) {
+		t.Fatalf("warm native trace diverges:\n  cold: %v\n  warm: %v", simTrace, natTrace)
+	}
+}
+
+// TestNativeKernelPreferred checks a compute set carrying a NativeKernel runs
+// the kernel, not the codelets.
+func TestNativeKernelPreferred(t *testing.T) {
+	var ran string
+	cs := graph.NewComputeSet("fused", "Test")
+	cs.Add(0, graph.CodeletFunc(func() uint64 { ran = "codelet"; return 1 }))
+	cs.NativeKernel = func() { ran = "kernel" }
+	prog := &graph.Sequence{}
+	prog.Append(graph.Compute{Set: cs})
+	graph.Freeze(prog)
+
+	exec, err := Native.Compile(prog, testMachine(t), graph.Report{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rr, err := exec.Run(RunConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ran != "kernel" {
+		t.Fatalf("native ran %q, want the fused kernel", ran)
+	}
+	if rr.Supersteps != 1 {
+		t.Fatalf("Supersteps = %d, want 1", rr.Supersteps)
+	}
+
+	// The engine must ignore the kernel and run the codelet.
+	ran = ""
+	eng := graph.NewEngine(testMachine(t))
+	if err := eng.Run(prog); err != nil {
+		t.Fatal(err)
+	}
+	if ran != "codelet" {
+		t.Fatalf("engine ran %q, want the codelet", ran)
+	}
+}
+
+// TestNativeMaxIterMatchesEngine requires the native While cap error to be
+// indistinguishable from the engine's: same sentinel, same message.
+func TestNativeMaxIterMatchesEngine(t *testing.T) {
+	build := func() *graph.Sequence {
+		prog := &graph.Sequence{}
+		body := &graph.Sequence{}
+		body.Append(graph.HostCall{Name: "noop", Fn: func() error { return nil }})
+		prog.Append(graph.While{Name: "diverge", Cond: func() bool { return true }, Body: body, MaxIter: 7})
+		return prog
+	}
+	eng := graph.NewEngine(testMachine(t))
+	simErr := eng.Run(build())
+	if !errors.Is(simErr, graph.ErrMaxIter) {
+		t.Fatalf("engine error %v", simErr)
+	}
+
+	exec, err := Native.Compile(build(), testMachine(t), graph.Report{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, natErr := exec.Run(RunConfig{})
+	if !errors.Is(natErr, graph.ErrMaxIter) {
+		t.Fatalf("native error %v", natErr)
+	}
+	if simErr.Error() != natErr.Error() {
+		t.Fatalf("error text diverges:\n  sim:    %s\n  native: %s", simErr, natErr)
+	}
+}
+
+// TestNativeErrorWrapping checks host and move failures surface as StepError
+// with the step's name, like the engine reports them.
+func TestNativeErrorWrapping(t *testing.T) {
+	boom := errors.New("link down")
+	prog := &graph.Sequence{}
+	prog.Append(graph.Exchange{Name: "halo", Moves: []graph.Move{
+		{SrcTile: 0, DstTiles: []int{1}, Bytes: 4, Do: func() error { return boom }},
+	}})
+	exec, err := Native.Compile(prog, testMachine(t), graph.Report{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, runErr := exec.Run(RunConfig{})
+	var se *graph.StepError
+	if !errors.As(runErr, &se) || se.Step != "halo" || !errors.Is(runErr, boom) {
+		t.Fatalf("move error %v (%T)", runErr, runErr)
+	}
+
+	prog2 := &graph.Sequence{}
+	prog2.Append(graph.HostCall{Name: "cb", Fn: func() error { return boom }})
+	exec2, err := Native.Compile(prog2, testMachine(t), graph.Report{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, runErr2 := exec2.Run(RunConfig{})
+	if !errors.As(runErr2, &se) || se.Step != "cb" || !errors.Is(runErr2, boom) {
+		t.Fatalf("host error %v (%T)", runErr2, runErr2)
+	}
+}
+
+type stubInjector struct{}
+
+func (stubInjector) ComputeFault(string, uint64, int) (int, uint64) { return -1, 0 }
+func (stubInjector) MoveFault(string, uint64, int, []graph.MoveTarget) (graph.MoveAction, error) {
+	return graph.MoveDeliver, nil
+}
+func (stubInjector) CorruptPayload(string, uint64, []graph.MoveTarget) {}
+func (stubInjector) HostFault(string, uint64) error                   { return nil }
+
+// TestNativeRejectsSimOnlyFeatures: fault injection and device tracing get
+// typed UnsupportedError rejections, not silent no-ops.
+func TestNativeRejectsSimOnlyFeatures(t *testing.T) {
+	prog := &graph.Sequence{}
+	prog.Append(graph.HostCall{Name: "noop", Fn: func() error { return nil }})
+	exec, err := Native.Compile(prog, testMachine(t), graph.Report{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = exec.Run(RunConfig{Injector: stubInjector{}})
+	if !IsUnsupported(err) {
+		t.Fatalf("injector: %v", err)
+	}
+	_, err = exec.Run(RunConfig{Trace: true})
+	if !IsUnsupported(err) {
+		t.Fatalf("trace: %v", err)
+	}
+	var ue *UnsupportedError
+	if !errors.As(err, &ue) || ue.Backend != "native" {
+		t.Fatalf("unsupported error shape: %#v", err)
+	}
+	if IsUnsupported(errors.New("other")) {
+		t.Fatal("IsUnsupported matched an unrelated error")
+	}
+}
+
+// TestSimExecRoundTrip: the sim backend wraps the engine and reports profile
+// and superstep counts when asked.
+func TestSimExecRoundTrip(t *testing.T) {
+	var trace []string
+	prog := &graph.Sequence{}
+	prog.Append(countingStep("a", "a", &trace))
+	prog.Append(countingStep("b", "b", &trace))
+	graph.Freeze(prog)
+
+	exec, err := Sim.Compile(prog, testMachine(t), graph.Report{MaxExchangeMoves: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rr, err := exec.Run(RunConfig{CollectProfile: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rr.Supersteps != 2 {
+		t.Fatalf("Supersteps = %d, want 2", rr.Supersteps)
+	}
+	if len(rr.Profile) == 0 {
+		t.Fatal("CollectProfile returned no entries")
+	}
+	if fmt.Sprint(trace) != "[a b]" {
+		t.Fatalf("trace %v", trace)
+	}
+	// Warm run without profile collection.
+	trace = nil
+	rr, err = exec.Run(RunConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rr.Profile != nil {
+		t.Fatal("profile collected without CollectProfile")
+	}
+	if fmt.Sprint(trace) != "[a b]" {
+		t.Fatalf("warm trace %v", trace)
+	}
+}

@@ -1,0 +1,227 @@
+package backend
+
+import (
+	"fmt"
+
+	"ipusparse/internal/graph"
+	"ipusparse/internal/ipu"
+)
+
+// nativeBackend lowers a frozen program into a flat instruction stream
+// executed by a tight program-counter loop: no cycle model, no exchange
+// accounting, no per-superstep sharding, zero allocation per run. Compute
+// sets execute their fused NativeKernel when they carry one and fall back to
+// running their codelets serially (discarding the returned cycle counts);
+// exchange phases keep only the moves that actually copy data (accounting-
+// only moves, like reduction gathers whose partials already live in host
+// arrays, vanish); control flow becomes counter-guarded jumps.
+type nativeBackend struct{}
+
+func (nativeBackend) Name() string         { return "native" }
+func (nativeBackend) SupportsFaults() bool { return false }
+func (nativeBackend) SupportsTrace() bool  { return false }
+
+func (nativeBackend) Compile(prog *graph.Sequence, m *ipu.Machine, rep graph.Report) (Executable, error) {
+	x := &nativeExec{}
+	if err := x.lower(prog); err != nil {
+		return nil, err
+	}
+	x.counters = make([]int, x.nloops)
+	return x, nil
+}
+
+type opcode uint8
+
+const (
+	opKernel   opcode = iota // fused native kernel
+	opCodelets               // serial codelet fallback
+	opMoves                  // exchange data movement
+	opHost                   // host callback
+	opRepeat                 // counted-loop head
+	opWhile                  // condition-loop head
+	opBranch                 // if-head: fall through on true, jump on false
+	opJump                   // unconditional jump
+)
+
+// instr is one lowered instruction. Exactly the fields its opcode needs are
+// set; the rest stay zero.
+type instr struct {
+	op     opcode
+	name   string // step name for error context
+	fn     func()
+	verts  []graph.Codelet
+	moves  []func() error
+	host   func() error
+	cond   func() bool
+	target int // jump destination
+	loop   int // counter slot (opRepeat/opWhile)
+	n      int // repeat count / while iteration cap
+}
+
+type nativeExec struct {
+	ins      []instr
+	counters []int
+	nloops   int
+}
+
+// lower flattens the step tree into x.ins.
+func (x *nativeExec) lower(s graph.Step) error {
+	switch st := s.(type) {
+	case *graph.Sequence:
+		for _, sub := range st.Steps {
+			if err := x.lower(sub); err != nil {
+				return err
+			}
+		}
+	case graph.Compute:
+		if st.Set.Empty() {
+			return nil
+		}
+		if st.Set.NativeKernel != nil {
+			x.ins = append(x.ins, instr{op: opKernel, name: st.Set.Name, fn: st.Set.NativeKernel})
+			return nil
+		}
+		x.ins = append(x.ins, instr{op: opCodelets, name: st.Set.Name, verts: st.Set.Vertices()})
+	case graph.Exchange:
+		var moves []func() error
+		for i := range st.Moves {
+			if do := st.Moves[i].Do; do != nil {
+				moves = append(moves, do)
+			}
+		}
+		if len(moves) == 0 {
+			return nil
+		}
+		x.ins = append(x.ins, instr{op: opMoves, name: st.Name, moves: moves})
+	case graph.HostCall:
+		if st.Fn == nil {
+			return nil
+		}
+		x.ins = append(x.ins, instr{op: opHost, name: st.Name, host: st.Fn})
+	case graph.Repeat:
+		if st.N <= 0 {
+			return nil
+		}
+		loop := x.nloops
+		x.nloops++
+		head := len(x.ins)
+		x.ins = append(x.ins, instr{op: opRepeat, loop: loop, n: st.N})
+		if err := x.lower(st.Body); err != nil {
+			return err
+		}
+		x.ins = append(x.ins, instr{op: opJump, target: head})
+		x.ins[head].target = len(x.ins)
+	case graph.While:
+		max := st.MaxIter
+		if max <= 0 {
+			max = 1 << 30 // the engine's default cap
+		}
+		loop := x.nloops
+		x.nloops++
+		head := len(x.ins)
+		x.ins = append(x.ins, instr{op: opWhile, name: st.Name, cond: st.Cond, loop: loop, n: max})
+		if err := x.lower(st.Body); err != nil {
+			return err
+		}
+		x.ins = append(x.ins, instr{op: opJump, target: head})
+		x.ins[head].target = len(x.ins)
+	case graph.If:
+		head := len(x.ins)
+		x.ins = append(x.ins, instr{op: opBranch, cond: st.Cond})
+		if st.Then != nil {
+			if err := x.lower(st.Then); err != nil {
+				return err
+			}
+		}
+		if st.Else == nil {
+			x.ins[head].target = len(x.ins)
+			return nil
+		}
+		skip := len(x.ins)
+		x.ins = append(x.ins, instr{op: opJump})
+		x.ins[head].target = len(x.ins)
+		if err := x.lower(st.Else); err != nil {
+			return err
+		}
+		x.ins[skip].target = len(x.ins)
+	default:
+		return fmt.Errorf("backend: native lowering: unknown step type %T", s)
+	}
+	return nil
+}
+
+func (x *nativeExec) Run(cfg RunConfig) (RunResult, error) {
+	if cfg.Injector != nil {
+		return RunResult{}, &UnsupportedError{Backend: "native", Feature: "fault injection"}
+	}
+	if cfg.Trace {
+		return RunResult{}, &UnsupportedError{Backend: "native", Feature: "device tracing"}
+	}
+	for i := range x.counters {
+		x.counters[i] = 0
+	}
+	var supersteps uint64
+	ins := x.ins
+	pc := 0
+	for pc < len(ins) {
+		in := &ins[pc]
+		switch in.op {
+		case opKernel:
+			in.fn()
+			supersteps++
+			pc++
+		case opCodelets:
+			for _, c := range in.verts {
+				c.Run()
+			}
+			supersteps++
+			pc++
+		case opMoves:
+			for _, do := range in.moves {
+				if err := do(); err != nil {
+					return RunResult{Supersteps: supersteps},
+						&graph.StepError{Step: in.name, Superstep: supersteps, Err: err}
+				}
+			}
+			pc++
+		case opHost:
+			if err := in.host(); err != nil {
+				return RunResult{Supersteps: supersteps},
+					&graph.StepError{Step: in.name, Superstep: supersteps, Err: err}
+			}
+			pc++
+		case opRepeat:
+			if x.counters[in.loop] >= in.n {
+				x.counters[in.loop] = 0
+				pc = in.target
+			} else {
+				x.counters[in.loop]++
+				pc++
+			}
+		case opWhile:
+			// Cap first, like the engine: the error fires after n body
+			// executions even if the condition would now be false.
+			if x.counters[in.loop] >= in.n {
+				x.counters[in.loop] = 0
+				return RunResult{Supersteps: supersteps},
+					fmt.Errorf("%w (%q, %d iterations)", graph.ErrMaxIter, in.name, in.n)
+			}
+			if !in.cond() {
+				x.counters[in.loop] = 0
+				pc = in.target
+			} else {
+				x.counters[in.loop]++
+				pc++
+			}
+		case opBranch:
+			if in.cond() {
+				pc++
+			} else {
+				pc = in.target
+			}
+		case opJump:
+			pc = in.target
+		}
+	}
+	return RunResult{Supersteps: supersteps}, nil
+}

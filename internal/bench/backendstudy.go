@@ -1,0 +1,201 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"runtime"
+	"time"
+
+	"ipusparse/internal/config"
+	"ipusparse/internal/core"
+	"ipusparse/internal/ipu"
+	"ipusparse/internal/sparse"
+)
+
+// BackendRow is one row of Table X: warm-solve cost of the same prepared CG
+// pipeline on the cycle-accurate simulator versus the native backend. The
+// backends agree at residual level (ResidualMatch re-verifies it per row);
+// the native arm additionally must be allocation-free in steady state.
+type BackendRow struct {
+	Workload     string  `json:"workload"` // "CG-warm" or "CG-batch8"
+	Machine      string  `json:"machine"`
+	Tiles        int     `json:"tiles"`
+	Rows         int     `json:"rows"`
+	NNZ          int     `json:"nnz"`
+	SimSec       float64 `json:"simSeconds"`    // warm wall per solve (or per RHS)
+	NativeSec    float64 `json:"nativeSeconds"` // warm wall per solve (or per RHS)
+	Speedup      float64 `json:"speedup"`       // sim / native
+	SimAPO       float64 `json:"simAllocsPerOp"`
+	NativeAPO    float64 `json:"nativeAllocsPerOp"`
+	SimRelRes    float64 `json:"simRelRes"`
+	NativeRelRes float64 `json:"nativeRelRes"`
+	ResidualOK   bool    `json:"residualOk"` // relative residuals agree to 0.1%
+}
+
+// BackendStudy measures Table X: warm CG latency, steady-state allocations
+// and batched-RHS throughput of the simulator versus the native backend, at
+// the small single-chip scale and at M2000 scale.
+func BackendStudy(o Options) ([]BackendRow, error) {
+	o = o.withDefaults()
+	type scale struct {
+		name string
+		cfg  ipu.Config
+		n    int // Poisson grid edge (n^3 rows)
+	}
+	scales := []scale{
+		{"64-tile", o.machineConfig(1), 24},
+		{"M2000", ipu.Mk2M2000(), 48},
+	}
+	if o.Scale > 64 {
+		// Quick mode (tests): tiny grids — shapes only.
+		scales[0].n = 12
+		scales[1].n = 16
+	}
+	var rows []BackendRow
+	for _, sc := range scales {
+		m := sparse.Poisson3D(sc.n, sc.n, sc.n)
+		warm, batch, err := backendRows(sc.name, sc.cfg, m)
+		if err != nil {
+			return nil, fmt.Errorf("backend %s: %w", sc.name, err)
+		}
+		rows = append(rows, warm, batch)
+	}
+	return rows, nil
+}
+
+// backendCG is the study's workload: the engine study's fixed-budget
+// Jacobi-preconditioned CG, so Table VIII and Table X rows are comparable.
+func backendCG() config.Config {
+	return config.Config{Solver: config.SolverConfig{
+		Type: "cg", MaxIterations: 40, Tolerance: 1e-10,
+		Preconditioner: &config.SolverConfig{Type: "jacobi"},
+	}}
+}
+
+// backendRows prepares the same system once per backend and measures a warm
+// single-RHS row and a batched (k=8) row.
+func backendRows(name string, cfg ipu.Config, m *sparse.Matrix) (warm, batch BackendRow, err error) {
+	sc := backendCG()
+	b := rhsForSolution(m)
+	const batchK = 8
+	bs := make([][]float64, batchK)
+	for i := range bs {
+		bs[i] = b
+	}
+
+	type arm struct {
+		sec, apo float64 // warm per-solve wall, steady-state allocs/solve
+		bsec     float64 // batched per-RHS wall
+		bapo     float64 // batched allocs per RHS
+		relres   float64
+	}
+	measure := func(be string) (arm, error) {
+		var a arm
+		p, err := core.Prepare(cfg, m, sc, core.PartitionContiguous, core.WithBackend(be))
+		if err != nil {
+			return a, err
+		}
+		x := make([]float64, m.N)
+		st, err := p.SolveInto(x, b) // warm-up: grows every buffer once
+		if err != nil {
+			return a, err
+		}
+		a.relres = st.RelRes
+
+		const reps = 3 // best-of against scheduler noise
+		var ms0, ms1 runtime.MemStats
+		runtime.ReadMemStats(&ms0)
+		a.sec = math.Inf(1)
+		for r := 0; r < reps; r++ {
+			t0 := time.Now()
+			if _, err := p.SolveInto(x, b); err != nil {
+				return a, err
+			}
+			if d := time.Since(t0).Seconds(); d < a.sec {
+				a.sec = d
+			}
+		}
+		runtime.ReadMemStats(&ms1)
+		a.apo = float64(ms1.Mallocs-ms0.Mallocs) / reps
+
+		if _, err := p.SolveBatch(bs); err != nil { // warm-up of batch buffers
+			return a, err
+		}
+		runtime.ReadMemStats(&ms0)
+		a.bsec = math.Inf(1)
+		for r := 0; r < reps; r++ {
+			t0 := time.Now()
+			if _, err := p.SolveBatch(bs); err != nil {
+				return a, err
+			}
+			if d := time.Since(t0).Seconds() / batchK; d < a.bsec {
+				a.bsec = d
+			}
+		}
+		runtime.ReadMemStats(&ms1)
+		a.bapo = float64(ms1.Mallocs-ms0.Mallocs) / (reps * batchK)
+		return a, nil
+	}
+
+	sim, err := measure("sim")
+	if err != nil {
+		return warm, batch, err
+	}
+	nat, err := measure("native")
+	if err != nil {
+		return warm, batch, err
+	}
+
+	residualOK := relClose(sim.relres, nat.relres, 1e-3)
+	base := BackendRow{
+		Machine: name, Tiles: cfg.NumTiles(), Rows: m.N, NNZ: m.NNZ(),
+		SimRelRes: sim.relres, NativeRelRes: nat.relres, ResidualOK: residualOK,
+	}
+	warm = base
+	warm.Workload = "CG-warm"
+	warm.SimSec, warm.NativeSec, warm.Speedup = sim.sec, nat.sec, sim.sec/nat.sec
+	warm.SimAPO, warm.NativeAPO = sim.apo, nat.apo
+	batch = base
+	batch.Workload = fmt.Sprintf("CG-batch%d", batchK)
+	batch.SimSec, batch.NativeSec, batch.Speedup = sim.bsec, nat.bsec, sim.bsec/nat.bsec
+	batch.SimAPO, batch.NativeAPO = sim.bapo, nat.bapo
+	return warm, batch, nil
+}
+
+// relClose reports |a-b| <= tol * max(|a|, |b|), with equal zeros close.
+func relClose(a, b, tol float64) bool {
+	if a == b {
+		return true
+	}
+	scale := math.Max(math.Abs(a), math.Abs(b))
+	return math.Abs(a-b) <= tol*scale
+}
+
+// PrintBackendStudy renders Table X.
+func PrintBackendStudy(o Options, rows []BackendRow) {
+	o.printf("Table X: execution backends (warm prepared-pipeline solves, residual-identical)\n")
+	o.printf("%-10s %-10s %7s %9s %12s %12s %9s %11s %11s %s\n",
+		"work", "machine", "tiles", "rows", "sim s", "native s", "speedup",
+		"sim a/op", "nat a/op", "residual")
+	for _, r := range rows {
+		o.printf("%-10s %-10s %7d %9d %12.4e %12.4e %8.2fx %11.1f %11.1f %v\n",
+			r.Workload, r.Machine, r.Tiles, r.Rows, r.SimSec, r.NativeSec,
+			r.Speedup, r.SimAPO, r.NativeAPO, r.ResidualOK)
+	}
+}
+
+// WriteBackendJSON writes the study as the BENCH_backend.json artifact.
+func WriteBackendJSON(w io.Writer, rows []BackendRow) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(struct {
+		Bench      string       `json:"bench"`
+		Cores      int          `json:"hostCores"`
+		GOMAXPROCS int          `json:"gomaxprocs"`
+		Warning    string       `json:"warning,omitempty"`
+		Rows       []BackendRow `json:"rows"`
+	}{Bench: "backend", Cores: runtime.NumCPU(), GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Warning: singleCoreWarning(), Rows: rows})
+}

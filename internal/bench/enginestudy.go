@@ -213,10 +213,24 @@ func vecBitsEqual(a, b []float64) bool {
 	return true
 }
 
+// singleCoreWarning flags a measurement host that cannot show parallel
+// speedup: with one schedulable core the parallel arm measures goroutine
+// scheduling overhead, not sharded execution.
+func singleCoreWarning() string {
+	if runtime.NumCPU() > 1 && runtime.GOMAXPROCS(0) > 1 {
+		return ""
+	}
+	return fmt.Sprintf("single-core host (NumCPU=%d, GOMAXPROCS=%d): parallel arms measure scheduling overhead, not speedup",
+		runtime.NumCPU(), runtime.GOMAXPROCS(0))
+}
+
 // PrintEngineStudy renders Table VIII.
 func PrintEngineStudy(o Options, rows []EngineRow) {
 	o.printf("Table VIII: host-parallel engine (serial vs %d shards, bit-identical results)\n",
 		rowsPar(rows))
+	if w := singleCoreWarning(); w != "" {
+		o.printf("WARNING: %s\n", w)
+	}
 	o.printf("%-8s %-10s %7s %9s %12s %12s %9s %10s %s\n",
 		"work", "machine", "tiles", "rows", "serial s", "parallel s", "speedup", "allocs/op", "identical")
 	for _, r := range rows {
@@ -233,13 +247,19 @@ func rowsPar(rows []EngineRow) int {
 	return rows[0].Parallelism
 }
 
-// WriteEngineJSON writes the study as the BENCH_engine.json artifact.
+// WriteEngineJSON writes the study as the BENCH_engine.json artifact. The
+// GOMAXPROCS annotation (and the warning on single-core hosts, where the
+// parallel arm cannot beat serial) lets downstream dashboards discount runs
+// whose host could not actually shard.
 func WriteEngineJSON(w io.Writer, rows []EngineRow) error {
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
 	return enc.Encode(struct {
-		Bench string      `json:"bench"`
-		Cores int         `json:"hostCores"`
-		Rows  []EngineRow `json:"rows"`
-	}{Bench: "engine", Cores: runtime.NumCPU(), Rows: rows})
+		Bench      string      `json:"bench"`
+		Cores      int         `json:"hostCores"`
+		GOMAXPROCS int         `json:"gomaxprocs"`
+		Warning    string      `json:"warning,omitempty"`
+		Rows       []EngineRow `json:"rows"`
+	}{Bench: "engine", Cores: runtime.NumCPU(), GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Warning: singleCoreWarning(), Rows: rows})
 }

@@ -3,7 +3,7 @@ package bench
 import "fmt"
 
 // Run executes one named experiment and prints its result to o.Out. Known
-// names: table1..table7, fig5..fig10, halo, engine, cluster, all.
+// names: table1..table7, fig5..fig10, halo, engine, backend, cluster, all.
 func Run(o Options, name string) error {
 	o = o.withDefaults()
 	switch name {
@@ -57,6 +57,12 @@ func Run(o Options, name string) error {
 			return err
 		}
 		PrintEngineStudy(o, rows)
+	case "backend":
+		rows, err := BackendStudy(o)
+		if err != nil {
+			return err
+		}
+		PrintBackendStudy(o, rows)
 	case "cluster":
 		rows, err := Table9(o)
 		if err != nil {
@@ -115,5 +121,5 @@ func Run(o Options, name string) error {
 var AllExperiments = []string{
 	"table1", "table2", "table3", "table4", "table5", "table6", "table7",
 	"fig5", "fig6", "fig7", "fig8", "fig9", "fig10",
-	"halo", "engine", "cluster",
+	"halo", "engine", "backend", "cluster",
 }

@@ -232,6 +232,12 @@ type EngineConfig struct {
 	// default) uses the shared host pool's worker count (GOMAXPROCS), 1 runs
 	// serially on the coordinator goroutine.
 	Parallelism int `json:"parallelism,omitempty"`
+
+	// Backend selects the execution backend: "sim"/"simulator" (the default;
+	// cycle-accurate, supports fault campaigns and device tracing) or
+	// "native" (flat host-speed kernels, no cycle accounting — the serving
+	// default). Backends agree at residual level, not bit level.
+	Backend string `json:"backend,omitempty"`
 }
 
 // Config is the root of a solver configuration file.
@@ -251,6 +257,15 @@ func (c Config) EngineParallelism() int {
 		return 0
 	}
 	return c.Engine.Parallelism
+}
+
+// EngineBackend returns the configured execution backend name ("" = default,
+// the cycle-accurate simulator).
+func (c Config) EngineBackend() string {
+	if c.Engine == nil {
+		return ""
+	}
+	return c.Engine.Backend
 }
 
 // Default returns the paper's reference configuration:
@@ -354,6 +369,13 @@ func (c Config) Validate() error {
 	}
 	if c.Engine != nil && c.Engine.Parallelism < 0 {
 		return fmt.Errorf("config: engine.parallelism must be >= 0, got %d", c.Engine.Parallelism)
+	}
+	if c.Engine != nil {
+		switch c.Engine.Backend {
+		case "", "sim", "simulator", "native":
+		default:
+			return fmt.Errorf("config: engine.backend must be sim, simulator or native, got %q", c.Engine.Backend)
+		}
 	}
 	if s := c.Serve; s != nil {
 		if s.CacheCapacity < 0 || s.ReplicasPerKey < 0 || s.QueueDepth < 0 ||

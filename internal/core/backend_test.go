@@ -1,0 +1,274 @@
+package core
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"ipusparse/internal/backend"
+	"ipusparse/internal/config"
+)
+
+// backendProfiles is the cross-backend identity table: every solver shape the
+// service exposes, solved on both backends. The contract is residual
+// identity, not bit identity — each backend's answer must converge to the
+// configured tolerance on the same system.
+func backendProfiles() map[string]config.Config {
+	return map[string]config.Config{
+		"cg-jacobi": {
+			Solver: config.SolverConfig{
+				Type: "cg", MaxIterations: 600, Tolerance: 1e-8,
+				Preconditioner: &config.SolverConfig{Type: "jacobi"},
+			},
+		},
+		"cg-plain": {
+			Solver: config.SolverConfig{Type: "cg", MaxIterations: 800, Tolerance: 1e-8},
+		},
+		"pbicgstab-ilu0": {
+			Solver: config.SolverConfig{
+				Type: "pbicgstab", MaxIterations: 400, Tolerance: 1e-8,
+				Preconditioner: &config.SolverConfig{Type: "ilu0"},
+			},
+		},
+		"gaussseidel": {
+			Solver: config.SolverConfig{Type: "gaussseidel", MaxIterations: 4000, Tolerance: 1e-6},
+		},
+		"mpir-dw-pbicgstab": {
+			Solver: config.SolverConfig{
+				Type: "pbicgstab", MaxIterations: 10000, Tolerance: 1e-9,
+				Preconditioner: &config.SolverConfig{Type: "ilu0"},
+			},
+			MPIR: &config.MPIRConfig{Extended: "dw", InnerIterations: 50, MaxOuter: 50, Tolerance: 1e-10},
+		},
+		"mpir-dp-cg": {
+			Solver: config.SolverConfig{
+				Type: "cg", MaxIterations: 10000, Tolerance: 1e-9,
+				Preconditioner: &config.SolverConfig{Type: "jacobi"},
+			},
+			MPIR: &config.MPIRConfig{Extended: "dp", InnerIterations: 50, MaxOuter: 50, Tolerance: 1e-10},
+		},
+	}
+}
+
+// residual computes ||b - A*x||_2 / ||b||_2 in float64.
+func relResidual(t *testing.T, n int, mul func([]float64, []float64), x, b []float64) float64 {
+	t.Helper()
+	ax := make([]float64, n)
+	mul(x, ax)
+	var rn, bn float64
+	for i := range b {
+		d := b[i] - ax[i]
+		rn += d * d
+		bn += b[i] * b[i]
+	}
+	return math.Sqrt(rn) / math.Sqrt(bn)
+}
+
+// TestBackendsResidualIdentity solves every profile on both backends and
+// checks each converges to the profile's tolerance, with matching iteration
+// behavior (both converged) and Info() reporting the right backend.
+func TestBackendsResidualIdentity(t *testing.T) {
+	m, b, _ := poissonProblem(14, 14)
+	mc := smallMachine(8)
+	for name, cfg := range backendProfiles() {
+		tol := cfg.Solver.Tolerance
+		if cfg.MPIR != nil {
+			tol = cfg.MPIR.Tolerance
+		}
+		for _, be := range []string{"sim", "native"} {
+			prep, err := Prepare(mc, m, cfg, PartitionContiguous, WithBackend(be))
+			if err != nil {
+				t.Fatalf("%s/%s: prepare: %v", name, be, err)
+			}
+			if got := prep.Info().Backend; got != be {
+				t.Fatalf("%s/%s: Info().Backend = %q", name, be, got)
+			}
+			res, err := prep.Solve(b)
+			if err != nil {
+				t.Fatalf("%s/%s: solve: %v", name, be, err)
+			}
+			if !res.Stats.Converged {
+				t.Fatalf("%s/%s: did not converge: %+v", name, be, res.Stats)
+			}
+			// Residual identity: verify in float64 against the true matrix,
+			// with slack for the solver's own float32 residual estimate.
+			if rr := relResidual(t, m.N, func(x, y []float64) { m.MulVec(x, y) }, res.X, b); rr > tol*100 {
+				t.Fatalf("%s/%s: residual %g exceeds %g", name, be, rr, tol*100)
+			}
+		}
+	}
+}
+
+// TestBackendWarmIdentity checks that warm native solves match cold native
+// solves exactly (the warm-reset contract holds off the simulator too).
+func TestBackendWarmIdentity(t *testing.T) {
+	m, _, _ := poissonProblem(14, 14)
+	b1, b2, _, _ := twoRHS(m)
+	mc := smallMachine(8)
+	cfg := backendProfiles()["cg-jacobi"]
+
+	prep, err := Prepare(mc, m, cfg, PartitionContiguous, WithBackend("native"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	warm1, err := prep.Solve(b1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	warm2, err := prep.Solve(b2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	again1, err := prep.Solve(b1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = warm2
+	for i := range warm1.X {
+		if warm1.X[i] != again1.X[i] {
+			t.Fatalf("warm native solve not reproducible: x[%d] = %v then %v", i, warm1.X[i], again1.X[i])
+		}
+	}
+	if warm1.Stats.Iterations != again1.Stats.Iterations {
+		t.Fatalf("iterations differ warm-to-warm: %d vs %d", warm1.Stats.Iterations, again1.Stats.Iterations)
+	}
+}
+
+// TestNativeRejectsFaultCampaign asserts the typed rejection: fault campaigns
+// are simulator-only so seeded replays stay exact.
+func TestNativeRejectsFaultCampaign(t *testing.T) {
+	m, _, _ := poissonProblem(10, 10)
+	cfg := backendProfiles()["cg-jacobi"]
+	cfg.Fault = &config.FaultConfig{Rate: 0.01, Seed: 7, Kinds: []string{"bit-flip"}}
+	if err := cfg.Validate(); err != nil {
+		t.Fatalf("fault config invalid: %v", err)
+	}
+	_, err := Prepare(smallMachine(4), m, cfg, PartitionContiguous, WithBackend("native"))
+	if err == nil {
+		t.Fatal("native backend accepted a fault campaign")
+	}
+	var ue *backend.UnsupportedError
+	if !errors.As(err, &ue) {
+		t.Fatalf("error %v (%T) is not an UnsupportedError", err, err)
+	}
+	if !backend.IsUnsupported(err) {
+		t.Fatal("IsUnsupported did not match")
+	}
+	// The same campaign must still prepare on the simulator.
+	if _, err := Prepare(smallMachine(4), m, cfg, PartitionContiguous, WithBackend("sim")); err != nil {
+		t.Fatalf("simulator rejected the campaign: %v", err)
+	}
+}
+
+// TestNativeRejectsTraceAndPerCallBackend covers the other typed rejections:
+// device tracing needs the simulator, and the backend cannot change per call.
+func TestNativeRejectsTraceAndPerCallBackend(t *testing.T) {
+	m, b, _ := poissonProblem(10, 10)
+	cfg := backendProfiles()["cg-jacobi"]
+	prep, err := Prepare(smallMachine(4), m, cfg, PartitionContiguous, WithBackend("native"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := prep.Solve(b, WithTrace(discardWriter{})); !backend.IsUnsupported(err) {
+		t.Fatalf("trace on native: got %v, want UnsupportedError", err)
+	}
+	if _, err := prep.Solve(b, WithBackend("sim")); err == nil {
+		t.Fatal("per-call WithBackend accepted")
+	}
+	if _, err := prep.Solve(b); err != nil {
+		t.Fatalf("pipeline unusable after rejected options: %v", err)
+	}
+}
+
+type discardWriter struct{}
+
+func (discardWriter) Write(p []byte) (int, error) { return len(p), nil }
+
+// TestUnknownBackendName rejects a bad engine.backend value at both layers.
+func TestUnknownBackendName(t *testing.T) {
+	m, _, _ := poissonProblem(8, 8)
+	cfg := backendProfiles()["cg-plain"]
+	if _, err := Prepare(smallMachine(4), m, cfg, PartitionContiguous, WithBackend("gpu")); err == nil {
+		t.Fatal("unknown backend name accepted")
+	}
+	cfg.Engine = &config.EngineConfig{Backend: "gpu"}
+	if err := cfg.Validate(); err == nil {
+		t.Fatal("config validation accepted engine.backend=gpu")
+	}
+}
+
+// TestSolveBatchMatchesSolve runs k right-hand sides through SolveBatch on
+// both backends and checks each answer is bit-identical to a standalone
+// Solve of the same right-hand side.
+func TestSolveBatchMatchesSolve(t *testing.T) {
+	m, _, _ := poissonProblem(12, 12)
+	b1, b2, _, _ := twoRHS(m)
+	mc := smallMachine(8)
+	cfg := backendProfiles()["cg-jacobi"]
+	for _, be := range []string{"sim", "native"} {
+		prep, err := Prepare(mc, m, cfg, PartitionContiguous, WithBackend(be))
+		if err != nil {
+			t.Fatalf("%s: %v", be, err)
+		}
+		batch, err := prep.SolveBatch([][]float64{b1, b2, b1})
+		if err != nil {
+			t.Fatalf("%s: batch: %v", be, err)
+		}
+		if len(batch.X) != 3 || len(batch.Stats) != 3 {
+			t.Fatalf("%s: batch shape %d/%d", be, len(batch.X), len(batch.Stats))
+		}
+		single1, err := prep.Solve(b1)
+		if err != nil {
+			t.Fatalf("%s: %v", be, err)
+		}
+		single2, err := prep.Solve(b2)
+		if err != nil {
+			t.Fatalf("%s: %v", be, err)
+		}
+		for i := range single1.X {
+			if batch.X[0][i] != single1.X[i] || batch.X[2][i] != single1.X[i] {
+				t.Fatalf("%s: batch rhs0/rhs2 diverge from standalone at %d", be, i)
+			}
+			if batch.X[1][i] != single2.X[i] {
+				t.Fatalf("%s: batch rhs1 diverges from standalone at %d", be, i)
+			}
+		}
+		if !batch.Stats[0].Converged || batch.Stats[0].Iterations != single1.Stats.Iterations {
+			t.Fatalf("%s: batch stats %+v vs %+v", be, batch.Stats[0], single1.Stats)
+		}
+	}
+}
+
+// TestSolveIntoMatchesSolve checks the lean path returns the same solution
+// and stats as the full path.
+func TestSolveIntoMatchesSolve(t *testing.T) {
+	m, b, _ := poissonProblem(12, 12)
+	mc := smallMachine(8)
+	cfg := backendProfiles()["cg-jacobi"]
+	for _, be := range []string{"sim", "native"} {
+		prep, err := Prepare(mc, m, cfg, PartitionContiguous, WithBackend(be))
+		if err != nil {
+			t.Fatalf("%s: %v", be, err)
+		}
+		full, err := prep.Solve(b)
+		if err != nil {
+			t.Fatalf("%s: %v", be, err)
+		}
+		x := make([]float64, m.N)
+		st, err := prep.SolveInto(x, b)
+		if err != nil {
+			t.Fatalf("%s: %v", be, err)
+		}
+		for i := range x {
+			if x[i] != full.X[i] {
+				t.Fatalf("%s: SolveInto diverges at %d: %v vs %v", be, i, x[i], full.X[i])
+			}
+		}
+		if !st.Converged || st.Iterations != full.Stats.Iterations || st.RelRes != full.Stats.RelRes {
+			t.Fatalf("%s: lean stats %+v vs %+v", be, st, full.Stats)
+		}
+		if st.Solver == "" {
+			t.Fatalf("%s: lean stats missing solver name", be)
+		}
+	}
+}

@@ -15,10 +15,12 @@ import (
 type Option func(*runOptions)
 
 type runOptions struct {
-	trace  io.Writer
-	par    int
-	parSet bool
-	reg    *telemetry.Registry
+	trace      io.Writer
+	par        int
+	parSet     bool
+	reg        *telemetry.Registry
+	backend    string
+	backendSet bool
 }
 
 // WithTrace exports the combined execution timeline — host pipeline phases
@@ -41,6 +43,16 @@ func WithParallelism(par int) Option {
 	}
 }
 
+// WithBackend selects the execution backend by name: "sim"/"simulator" (the
+// default; cycle-accurate, supports fault campaigns and device tracing) or
+// "native" (flat host-speed kernels, zero cycle accounting). The backend is a
+// Prepare-time decision — the program is compiled for it — so WithBackend is
+// only accepted by Prepare; passing it to a Solve call returns an error.
+// It takes precedence over the engine.backend config key.
+func WithBackend(name string) Option {
+	return func(o *runOptions) { o.backend, o.backendSet = name, true }
+}
+
 // WithTelemetry records pipeline, machine, engine and solver metrics into the
 // registry: phase wall times, per-tile cycle and exchange-byte distributions,
 // superstep and exchange counters, convergence outcomes. Recording is
@@ -53,12 +65,13 @@ func WithTelemetry(reg *telemetry.Registry) Option {
 // pipeline's own phase metrics plus the machine, engine and solver sets.
 // Resolved once (at Prepare, or on first per-call override), reused every run.
 type coreInstruments struct {
-	reg     *telemetry.Registry
-	machine *ipu.MachineMetrics
-	engine  *graph.EngineMetrics
-	solver  *solver.Metrics
-	phases  *telemetry.HistogramVec
-	solves  *telemetry.Counter
+	reg      *telemetry.Registry
+	machine  *ipu.MachineMetrics
+	engine   *graph.EngineMetrics
+	solver   *solver.Metrics
+	phases   *telemetry.HistogramVec
+	solves   *telemetry.Counter
+	backends *telemetry.GaugeVec
 }
 
 func newCoreInstruments(reg *telemetry.Registry) *coreInstruments {
@@ -74,7 +87,18 @@ func newCoreInstruments(reg *telemetry.Registry) *coreInstruments {
 			"Pipeline phase wall time by phase (partition, schedule, compile, execute).",
 			telemetry.ExponentialBuckets(1e-5, 10, 8), "phase"),
 		solves: reg.Counter("core_solves_total", "Completed solves through the core pipeline."),
+		backends: reg.GaugeVec("core_backend",
+			"Prepared pipelines per execution backend (sim, native).", "backend"),
 	}
+}
+
+// observeBackend counts one prepared pipeline on the named backend so
+// operators can see what each replica runs.
+func (ci *coreInstruments) observeBackend(name string) {
+	if ci == nil {
+		return
+	}
+	ci.backends.With(name).Add(1)
 }
 
 func (ci *coreInstruments) observePhase(phase string, seconds float64) {

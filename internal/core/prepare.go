@@ -6,6 +6,7 @@ import (
 	"sync"
 	"time"
 
+	"ipusparse/internal/backend"
 	"ipusparse/internal/config"
 	"ipusparse/internal/fault"
 	"ipusparse/internal/graph"
@@ -45,6 +46,10 @@ type Prepared struct {
 	n          int
 	par        int // engine host parallelism (0 = automatic)
 
+	// Execution backend, fixed at Prepare: the program is compiled for it.
+	be   backend.Backend
+	exec backend.Executable
+
 	// Prepare-time option defaults, overridable per Solve call.
 	traceOut io.Writer
 	inst     *coreInstruments
@@ -70,13 +75,26 @@ func Prepare(machineCfg ipu.Config, m *sparse.Matrix, cfg config.Config, strateg
 	for _, o := range opts {
 		o(&ro)
 	}
+	beName := cfg.EngineBackend()
+	if ro.backendSet {
+		beName = ro.backend
+	}
+	be, err := backend.ByName(beName)
+	if err != nil {
+		return nil, err
+	}
 	// The injector must be registered before any tensors exist so bit flips
 	// can target every device buffer the program allocates.
 	var inj *fault.Injector
 	if cfg.Fault != nil && cfg.Fault.Rate > 0 {
+		if !be.SupportsFaults() {
+			// Typed rejection: seeded campaigns must replay exactly, which
+			// only the cycle-accurate simulator guarantees.
+			return nil, &backend.UnsupportedError{Backend: be.Name(), Feature: "fault injection"}
+		}
 		inj = fault.New(cfg.Fault.Plan())
 	}
-	p, err := prepare(machineCfg, m, cfg, strategy, inj, newCoreInstruments(ro.reg))
+	p, err := prepare(machineCfg, m, cfg, strategy, inj, be, newCoreInstruments(ro.reg))
 	if err != nil {
 		return nil, err
 	}
@@ -90,7 +108,7 @@ func Prepare(machineCfg ipu.Config, m *sparse.Matrix, cfg config.Config, strateg
 // prepare builds the full pipeline up to (but not including) execution. The
 // caller has validated cfg; inj, when non-nil, is registered before any
 // tensors exist so bit flips can target every device buffer.
-func prepare(machineCfg ipu.Config, m *sparse.Matrix, cfg config.Config, strategy PartitionStrategy, inj *fault.Injector, inst *coreInstruments) (*Prepared, error) {
+func prepare(machineCfg ipu.Config, m *sparse.Matrix, cfg config.Config, strategy PartitionStrategy, inj *fault.Injector, be backend.Backend, inst *coreInstruments) (*Prepared, error) {
 	ctx, err := NewContext(machineCfg)
 	if err != nil {
 		return nil, err
@@ -115,6 +133,7 @@ func prepare(machineCfg ipu.Config, m *sparse.Matrix, cfg config.Config, strateg
 		inj:        inj,
 		n:          m.N,
 		par:        cfg.EngineParallelism(),
+		be:         be,
 		inst:       inst,
 	}
 	phaseStart = time.Now()
@@ -178,26 +197,38 @@ func prepare(machineCfg ipu.Config, m *sparse.Matrix, cfg config.Config, strateg
 	// Freeze every compute set now so the first Solve pays no finalization
 	// cost and supersteps can shard over the dense tile-sorted form.
 	graph.Freeze(ctx.Session.Program())
+	// Lower the frozen program for the selected backend: the simulator binds
+	// a persistent pre-sized engine, the native backend flattens the schedule
+	// into its instruction stream. Either way every later Solve just runs the
+	// compiled artifact.
+	exec, err := be.Compile(ctx.Session.Program(), ctx.Machine, p.report)
+	if err != nil {
+		return nil, err
+	}
+	p.exec = exec
 	compileSecs := time.Since(phaseStart).Seconds()
 
 	p.prepPartition, p.prepSchedule, p.prepCompile = partitionSecs, scheduleSecs, compileSecs
 	inst.observePhase("partition", partitionSecs)
 	inst.observePhase("schedule", scheduleSecs)
 	inst.observePhase("compile", compileSecs)
+	inst.observeBackend(be.Name())
 	return p, nil
 }
 
 // PipelineInfo describes a prepared pipeline: the system size, the scheduled
-// solver hierarchy and the program analysis gathered at prepare time.
+// solver hierarchy, the execution backend and the program analysis gathered
+// at prepare time.
 type PipelineInfo struct {
-	N      int    // rows of the prepared system
-	Solver string // name of the scheduled solver hierarchy
-	Report graph.Report
+	N       int    // rows of the prepared system
+	Solver  string // name of the scheduled solver hierarchy
+	Backend string // execution backend ("sim" or "native")
+	Report  graph.Report
 }
 
 // Info returns the prepared pipeline's description.
 func (p *Prepared) Info() PipelineInfo {
-	return PipelineInfo{N: p.n, Solver: p.st.Solver, Report: p.report}
+	return PipelineInfo{N: p.n, Solver: p.st.Solver, Backend: p.be.Name(), Report: p.report}
 }
 
 // SetParallelism overrides the engine host parallelism for subsequent Solve
@@ -238,11 +269,26 @@ func (p *Prepared) Report() graph.Report { return p.report }
 // Solve calls on a fresh pipeline. Options override the Prepare-time defaults
 // for this call only.
 func (p *Prepared) Solve(b []float64, opts ...Option) (*Result, error) {
+	return p.run(b, applyOptions(opts))
+}
+
+// applyOptions folds per-call options into a runOptions value. The fold runs
+// in a separate function so the zero-option hot path (warm serving solves)
+// never heap-allocates the struct: &ro escapes only in the slow path, which
+// zero-option callers never enter.
+func applyOptions(opts []Option) runOptions {
+	if len(opts) == 0 {
+		return runOptions{}
+	}
+	return applyOptionsSlow(opts)
+}
+
+func applyOptionsSlow(opts []Option) runOptions {
 	var ro runOptions
 	for _, o := range opts {
 		o(&ro)
 	}
-	return p.run(b, ro)
+	return ro
 }
 
 // run executes the prepared program once with the per-call options resolved
@@ -250,9 +296,48 @@ func (p *Prepared) Solve(b []float64, opts ...Option) (*Result, error) {
 func (p *Prepared) run(b []float64, ro runOptions) (*Result, error) {
 	p.mu.Lock()
 	defer p.mu.Unlock()
+	rr, execWall, err := p.runLocked(b, ro, true)
+	if err != nil {
+		return nil, err
+	}
 	traceOut := ro.trace
 	if traceOut == nil {
 		traceOut = p.traceOut
+	}
+	if rr.Tracer != nil {
+		if err := p.writeTrace(traceOut, rr.Tracer, execWall.Seconds()); err != nil {
+			return nil, err
+		}
+	}
+	stats := p.st
+	stats.History = append([]solver.HistPoint(nil), p.st.History...)
+	res := &Result{
+		X:               p.sys.GetGlobal(p.xT),
+		Stats:           stats,
+		Profile:         rr.Profile,
+		Machine:         p.ctx.Machine.Stats(),
+		Report:          p.report,
+		ExecWallSeconds: execWall.Seconds(),
+	}
+	if p.inj != nil {
+		res.Faults = p.inj.Events
+		res.FaultRetries = rr.FaultRetries
+	}
+	return res, nil
+}
+
+// runLocked resets all per-run state, executes the compiled program once and
+// flushes post-run telemetry. The caller holds p.mu.
+func (p *Prepared) runLocked(b []float64, ro runOptions, collectProfile bool) (backend.RunResult, time.Duration, error) {
+	if ro.backendSet {
+		return backend.RunResult{}, 0, fmt.Errorf("core: the backend is fixed at Prepare; pass WithBackend to Prepare, not Solve")
+	}
+	traceOut := ro.trace
+	if traceOut == nil {
+		traceOut = p.traceOut
+	}
+	if traceOut != nil && !p.be.SupportsTrace() {
+		return backend.RunResult{}, 0, &backend.UnsupportedError{Backend: p.be.Name(), Feature: "device tracing"}
 	}
 	par := p.par
 	if ro.parSet {
@@ -265,7 +350,7 @@ func (p *Prepared) run(b []float64, ro runOptions) (*Result, error) {
 		inst = newCoreInstruments(ro.reg)
 	}
 	if len(b) != p.n {
-		return nil, fmt.Errorf("core: %d right-hand-side values for %d rows", len(b), p.n)
+		return backend.RunResult{}, 0, fmt.Errorf("core: %d right-hand-side values for %d rows", len(b), p.n)
 	}
 	// Reset everything a previous run left behind: the solution (the next
 	// run's initial guess must be zero), the per-run stats the scheduled
@@ -274,11 +359,9 @@ func (p *Prepared) run(b []float64, ro runOptions) (*Result, error) {
 	// (iteration counters, breakdown guards, checkpoint buffers) is reset by
 	// the solvers' own init callbacks when the program starts.
 	p.st.ResetForRun()
-	if err := p.xT.SetHost(make([]float64, p.n)); err != nil {
-		return nil, err
-	}
+	p.xT.FillHost(0)
 	if err := p.sys.SetGlobal(p.bT, b); err != nil {
-		return nil, err
+		return backend.RunResult{}, 0, err
 	}
 	p.ctx.Machine.ResetStats()
 	if p.inj != nil {
@@ -287,22 +370,21 @@ func (p *Prepared) run(b []float64, ro runOptions) (*Result, error) {
 		p.inj.ResetForRun()
 	}
 
-	eng := graph.NewEngine(p.ctx.Machine)
-	eng.SetParallelism(par)
-	eng.Reserve(p.report.MaxExchangeMoves)
+	rc := backend.RunConfig{
+		Parallelism:    par,
+		Trace:          traceOut != nil,
+		CollectProfile: collectProfile,
+	}
 	if p.inj != nil {
-		eng.Injector = p.inj
+		rc.Injector = p.inj
 	}
 	if inst != nil {
-		eng.SetMetrics(inst.engine)
-	}
-	var tracer *graph.Tracer
-	if traceOut != nil {
-		tracer = eng.Trace()
+		rc.Metrics = inst.engine
 	}
 	execStart := time.Now()
-	if err := eng.Run(p.ctx.Session.Program()); err != nil {
-		return nil, err
+	rr, err := p.exec.Run(rc)
+	if err != nil {
+		return backend.RunResult{}, 0, err
 	}
 	execWall := time.Since(execStart)
 	if inst != nil {
@@ -313,26 +395,94 @@ func (p *Prepared) run(b []float64, ro runOptions) (*Result, error) {
 		inst.observePhase("execute", execWall.Seconds())
 		inst.solves.Inc()
 	}
-	if tracer != nil {
-		if err := p.writeTrace(traceOut, tracer, execWall.Seconds()); err != nil {
-			return nil, err
-		}
-	}
-	stats := p.st
-	stats.History = append([]solver.HistPoint(nil), p.st.History...)
-	res := &Result{
-		X:               p.sys.GetGlobal(p.xT),
-		Stats:           stats,
-		Profile:         eng.ProfileShares(),
-		Machine:         p.ctx.Machine.Stats(),
-		Report:          p.report,
+	return rr, execWall, nil
+}
+
+// SolveStats is the lean per-solve summary of the allocation-free paths
+// (SolveInto, SolveBatch): the solver's run counters without the convergence
+// history or profile.
+type SolveStats struct {
+	Solver          string
+	Iterations      int
+	Converged       bool
+	RelRes          float64
+	Restarts        int
+	Recovered       bool
+	ExecWallSeconds float64
+}
+
+func (p *Prepared) leanStats(execWall time.Duration) SolveStats {
+	return SolveStats{
+		Solver:          p.st.Solver,
+		Iterations:      p.st.Iterations,
+		Converged:       p.st.Converged,
+		RelRes:          p.st.RelRes,
+		Restarts:        p.st.Restarts,
+		Recovered:       p.st.Recovered,
 		ExecWallSeconds: execWall.Seconds(),
 	}
-	if p.inj != nil {
-		res.Faults = p.inj.Events
-		res.FaultRetries = eng.FaultRetries
+}
+
+// SolveInto is the steady-state serving path: it solves for b and writes the
+// solution into x (len == Info().N) without allocating — no result vector, no
+// history copy, no cycle profile. On the native backend the whole call is
+// allocation-free after the first run; on the simulator only the engine's
+// profile map entries persist. Options override the Prepare-time defaults for
+// this call only.
+func (p *Prepared) SolveInto(x, b []float64, opts ...Option) (SolveStats, error) {
+	ro := applyOptions(opts)
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if len(x) != p.n {
+		return SolveStats{}, fmt.Errorf("core: %d solution slots for %d rows", len(x), p.n)
 	}
-	return res, nil
+	_, execWall, err := p.runLocked(b, ro, false)
+	if err != nil {
+		return SolveStats{}, err
+	}
+	if err := p.sys.GetGlobalInto(x, p.xT); err != nil {
+		return SolveStats{}, err
+	}
+	return p.leanStats(execWall), nil
+}
+
+// BatchResult is the outcome of a multi-RHS SolveBatch.
+type BatchResult struct {
+	X               [][]float64 // one solution per right-hand side
+	Stats           []SolveStats
+	ExecWallSeconds float64 // total execution wall time across the batch
+}
+
+// SolveBatch executes k right-hand sides back-to-back through the one
+// compiled instruction stream, holding the pipeline lock once for the whole
+// batch — the amortization path for multi-RHS workloads on either backend.
+// Each solve starts from a zero guess and is bit-identical to a standalone
+// Solve of the same right-hand side.
+func (p *Prepared) SolveBatch(bs [][]float64, opts ...Option) (*BatchResult, error) {
+	ro := applyOptions(opts)
+	if len(bs) == 0 {
+		return nil, fmt.Errorf("core: SolveBatch needs at least one right-hand side")
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	out := &BatchResult{
+		X:     make([][]float64, len(bs)),
+		Stats: make([]SolveStats, len(bs)),
+	}
+	for i, b := range bs {
+		_, execWall, err := p.runLocked(b, ro, false)
+		if err != nil {
+			return nil, fmt.Errorf("core: batch rhs %d: %w", i, err)
+		}
+		x := make([]float64, p.n)
+		if err := p.sys.GetGlobalInto(x, p.xT); err != nil {
+			return nil, err
+		}
+		out.X[i] = x
+		out.Stats[i] = p.leanStats(execWall)
+		out.ExecWallSeconds += execWall.Seconds()
+	}
+	return out, nil
 }
 
 // writeTrace exports the combined run timeline: the prepare-phase wall times

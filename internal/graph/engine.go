@@ -103,6 +103,10 @@ func (e *Engine) Reserve(maxMoves int) {
 // Run executes the program step.
 func (e *Engine) Run(program Step) error { return program.exec(e) }
 
+// SetTracer attaches (or, with nil, detaches) a device-timeline tracer.
+// Persistent engines reuse this between runs: Trace only ever attaches.
+func (e *Engine) SetTracer(t *Tracer) { e.tracer = t }
+
 // ResetProfile clears the per-label profile (machine stats are reset
 // separately via the machine). The map is reused, not reallocated, so
 // alternating Run/ResetProfile cycles allocate nothing.

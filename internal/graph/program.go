@@ -26,6 +26,13 @@ type ComputeSet struct {
 	Name  string
 	Label string // profiling class, e.g. "SpMV", "Reduce", "Elementwise Ops"
 
+	// NativeKernel, when non-nil, is a flat host-speed implementation of the
+	// whole compute set: one call produces the same memory effects as running
+	// every vertex, without per-tile dispatch or cycle accounting. The
+	// cycle-accurate engine ignores it; the native backend executes it instead
+	// of the vertices when lowering the schedule.
+	NativeKernel func()
+
 	vertices map[int][]Codelet // tile -> worker codelets
 	frozen   *frozenSet        // dense execution form, built by Finalize
 }
@@ -81,6 +88,22 @@ func (cs *ComputeSet) Finalize() {
 func (cs *ComputeSet) finalized() *frozenSet {
 	cs.Finalize()
 	return cs.frozen
+}
+
+// Vertices returns every codelet of the set flattened in frozen execution
+// order (ascending tile, then worker slot). Backends that run codelets
+// serially — without the engine's sharding or cost model — iterate this.
+func (cs *ComputeSet) Vertices() []Codelet {
+	fs := cs.finalized()
+	n := 0
+	for _, ws := range fs.verts {
+		n += len(ws)
+	}
+	out := make([]Codelet, 0, n)
+	for _, ws := range fs.verts {
+		out = append(out, ws...)
+	}
+	return out
 }
 
 // Freeze finalizes every compute set reachable from s. The prepare phase

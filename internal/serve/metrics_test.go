@@ -15,7 +15,11 @@ import (
 // JSON snapshot has always exposed must survive the move to telemetry-backed
 // counters, and counters populated by a solve must be non-zero.
 func TestStatsJSONShape(t *testing.T) {
-	s := New(testOptions())
+	opts := testOptions()
+	// Pinned to the simulator so cyclesPerSolve stays meaningful (native runs
+	// no cycle model and always reports zero).
+	opts.Backend = "sim"
+	s := New(opts)
 	defer s.Close()
 	srv := httptest.NewServer(s.Handler())
 	defer srv.Close()
@@ -46,7 +50,7 @@ func TestStatsJSONShape(t *testing.T) {
 	want := []string{
 		"cacheHits", "cacheMisses", "evictions", "cacheSize",
 		"queueDepth", "rejected", "solved",
-		"p50Ms", "p99Ms", "cyclesPerSolve",
+		"p50Ms", "p99Ms", "cyclesPerSolve", "backend",
 		"retries", "hedges", "hedgeWins", "panics",
 		"quarantined", "rebuilt", "verified", "verifyFailed",
 		"breakerRejected", "breakerOpens", "breakersOpen",
@@ -122,6 +126,7 @@ func TestMetricsEndpoint(t *testing.T) {
 		"serve_cache_size",
 		"core_solves_total",
 		"core_phase_seconds_bucket{phase=\"partition\"",
+		"core_backend{backend=",
 		"engine_supersteps_total",
 		"ipu_compute_cycles_total",
 		"ipu_tile_cycles_bucket",

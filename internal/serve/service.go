@@ -17,6 +17,7 @@ import (
 	"sync"
 	"time"
 
+	"ipusparse/internal/backend"
 	"ipusparse/internal/config"
 	"ipusparse/internal/core"
 	"ipusparse/internal/fault"
@@ -58,6 +59,13 @@ type Options struct {
 	Strategy       core.PartitionStrategy // partition strategy (default contiguous)
 	Solver         config.Config          // solver configuration for registered systems
 
+	// Backend selects the execution backend for prepared replicas: "native"
+	// (the serving default — flat host-speed kernels, no cycle accounting) or
+	// "sim"/"simulator" (cycle-accurate; required for fault campaigns and
+	// device tracing). Per-system configs override it through their
+	// engine.backend key. On the native backend CyclesPerSolve reads zero.
+	Backend string
+
 	// Resilience layer.
 	MaxBodyBytes    int64         // HTTP request-body bound (default 8 MiB)
 	VerifyTolerance float64       // residual-verification threshold (default 1e-4)
@@ -87,6 +95,7 @@ func OptionsFromConfig(c config.Config) Options {
 		Recovery: c.Recovery,
 		Engine:   c.Engine,
 	}}
+	o.Backend = c.EngineBackend()
 	if s := c.Serve; s != nil {
 		o.CacheCapacity = s.CacheCapacity
 		o.ReplicasPerKey = s.ReplicasPerKey
@@ -144,6 +153,9 @@ func (o *Options) fill() {
 	if o.Strategy == "" {
 		o.Strategy = core.PartitionContiguous
 	}
+	if o.Backend == "" {
+		o.Backend = "native"
+	}
 	if o.Solver.Solver.Type == "" {
 		o.Solver = config.Default()
 	}
@@ -182,6 +194,7 @@ type Key struct {
 	Config   uint64
 	Machine  ipu.Config
 	Strategy core.PartitionStrategy
+	Backend  string // canonical backend name; sim and native replicas never mix
 }
 
 // configHash digests the solver-relevant blocks of a configuration via their
@@ -205,6 +218,7 @@ type system struct {
 	m         *sparse.Matrix
 	cfg       config.Config
 	key       Key
+	backend   string  // canonical execution-backend name for this system
 	solver    string  // solver name, filled at registration
 	verifyTol float64 // effective residual-verification threshold
 }
@@ -381,6 +395,16 @@ func (s *Service) register(ctx context.Context, m *sparse.Matrix, cfg *config.Co
 	if err := c.Validate(); err != nil {
 		return SystemInfo{}, err
 	}
+	// Per-system engine.backend overrides the service backend; names are
+	// canonicalized (simulator → sim) so equivalent spellings share replicas.
+	beName := s.opts.Backend
+	if c.Engine != nil && c.Engine.Backend != "" {
+		beName = c.Engine.Backend
+	}
+	be, err := backend.ByName(beName)
+	if err != nil {
+		return SystemInfo{}, err
+	}
 	sys := &system{
 		id:  m.FingerprintString(),
 		m:   m,
@@ -390,7 +414,9 @@ func (s *Service) register(ctx context.Context, m *sparse.Matrix, cfg *config.Co
 			Config:   configHash(c),
 			Machine:  s.opts.Machine,
 			Strategy: s.opts.Strategy,
+			Backend:  be.Name(),
 		},
+		backend:   be.Name(),
 		verifyTol: verifyTolFor(s.opts.VerifyTolerance, c),
 	}
 
@@ -644,7 +670,7 @@ func (s *Service) acquire(ctx context.Context, sys *system) (*core.Prepared, *en
 		s.mu.Unlock()
 		s.stats.misses.Add(1)
 		p, err := core.Prepare(s.opts.Machine, sys.m, sys.cfg, s.opts.Strategy,
-			core.WithTelemetry(s.opts.Telemetry))
+			core.WithTelemetry(s.opts.Telemetry), core.WithBackend(sys.backend))
 		if err != nil {
 			s.mu.Lock()
 			ent.created--

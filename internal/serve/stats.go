@@ -26,8 +26,13 @@ type Stats struct {
 	P50Ms float64 `json:"p50Ms"`
 	P99Ms float64 `json:"p99Ms"`
 
-	// Simulated-device cost: average IPU cycles per completed solve.
+	// Simulated-device cost: average IPU cycles per completed solve. Zero on
+	// the native backend, which runs no cycle model.
 	CyclesPerSolve uint64 `json:"cyclesPerSolve"`
+
+	// Backend is the service's default execution backend ("native" unless
+	// configured otherwise); per-system engine.backend keys may override it.
+	Backend string `json:"backend"`
 
 	// Supervision layer.
 	Retries         uint64 `json:"retries"`         // retry attempts after retryable failures
@@ -121,6 +126,7 @@ func (s *Service) Stats() Stats {
 		QueueDepth:  len(s.jobs),
 		Rejected:    s.stats.rejected.Value(),
 		Solved:      s.stats.solved.Value(),
+		Backend:     s.opts.Backend,
 		P50Ms:       1e3 * s.stats.latency.Quantile(0.50),
 		P99Ms:       1e3 * s.stats.latency.Quantile(0.99),
 

@@ -297,7 +297,7 @@ func (s *Service) quarantine(sys *system, ent *entry) {
 			return
 		}
 		p, err := core.Prepare(s.opts.Machine, sys.m, sys.cfg, s.opts.Strategy,
-			core.WithTelemetry(s.opts.Telemetry))
+			core.WithTelemetry(s.opts.Telemetry), core.WithBackend(sys.backend))
 		if err != nil {
 			s.surrenderSlot(ent)
 			return

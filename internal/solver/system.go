@@ -77,6 +77,10 @@ type System struct {
 	haloF32 []*graph.Buffer
 	haloDW  []*graph.Buffer
 	haloF64 []*graph.Buffer
+
+	// permScratch carries the reordered view of one host vector between the
+	// permutation and the device write, reused across solves.
+	permScratch []float64
 }
 
 // NewSystem reorders matrix m under the partition, localizes it per tile,
@@ -145,7 +149,7 @@ func (sys *System) SetGlobal(t *tensordsl.Tensor, x []float64) error {
 	if len(x) != sys.n {
 		return fmt.Errorf("solver: SetGlobal: %d values for %d rows", len(x), sys.n)
 	}
-	local := make([]float64, sys.n)
+	local := sys.scratch()
 	off := 0
 	for tile := range sys.Locals {
 		for li, g := range sys.Layout.Tiles[tile].Owned {
@@ -158,8 +162,23 @@ func (sys *System) SetGlobal(t *tensordsl.Tensor, x []float64) error {
 
 // GetGlobal reads a distributed tensor back into original row numbering.
 func (sys *System) GetGlobal(t *tensordsl.Tensor) []float64 {
-	local := t.Host()
 	out := make([]float64, sys.n)
+	if err := sys.GetGlobalInto(out, t); err != nil {
+		panic(err) // length is correct by construction
+	}
+	return out
+}
+
+// GetGlobalInto reads a distributed tensor back into original row numbering
+// without allocating: out must have exactly N() elements.
+func (sys *System) GetGlobalInto(out []float64, t *tensordsl.Tensor) error {
+	if len(out) != sys.n {
+		return fmt.Errorf("solver: GetGlobalInto: %d slots for %d rows", len(out), sys.n)
+	}
+	local := sys.scratch()
+	if err := t.HostInto(local); err != nil {
+		return err
+	}
 	off := 0
 	for tile := range sys.Locals {
 		for li, g := range sys.Layout.Tiles[tile].Owned {
@@ -167,7 +186,14 @@ func (sys *System) GetGlobal(t *tensordsl.Tensor) []float64 {
 		}
 		off += sys.sizes[tile]
 	}
-	return out
+	return nil
+}
+
+func (sys *System) scratch() []float64 {
+	if sys.permScratch == nil {
+		sys.permScratch = make([]float64, sys.n)
+	}
+	return sys.permScratch
 }
 
 // haloBuffers returns (allocating on first use) the scratch halo buffer set
@@ -332,7 +358,48 @@ func (sys *System) SpMV(dst, src *tensordsl.Tensor) {
 			}))
 		}
 	}
+	cs.NativeKernel = sys.nativeSpMV(dst, src, halos)
 	sys.Sess.Append(graph.Compute{Set: cs})
+}
+
+// nativeSpMV is the flat host-speed SpMV the native backend executes: one
+// CSR sweep per tile block, identical row arithmetic to the worker codelets
+// (rows are independent, so dropping the worker split is exact).
+func (sys *System) nativeSpMV(dst, src *tensordsl.Tensor, halos []*graph.Buffer) func() {
+	type block struct {
+		lm         *halo.LocalMatrix
+		x, y, h    []float32
+		diag, vals []float32
+	}
+	var blocks []block
+	for t, lm := range sys.Locals {
+		if lm.NumOwned == 0 {
+			continue
+		}
+		blocks = append(blocks, block{
+			lm: lm, x: src.Buf(t).F32, y: dst.Buf(t).F32, h: halos[t].F32,
+			diag: sys.diag[t], vals: sys.vals[t],
+		})
+	}
+	return func() {
+		for _, b := range blocks {
+			lm := b.lm
+			for i := 0; i < lm.NumOwned; i++ {
+				s := b.diag[i] * b.x[i]
+				for k := lm.RowPtr[i]; k < lm.RowPtr[i+1]; k++ {
+					j := lm.Cols[k]
+					var xj float32
+					if j < lm.NumOwned {
+						xj = b.x[j]
+					} else {
+						xj = b.h[j-lm.NumOwned]
+					}
+					s += b.vals[k] * xj
+				}
+				b.y[i] = s
+			}
+		}
+	}
 }
 
 // ResidualExt schedules r = b - A*x computed entirely in extended precision
@@ -407,7 +474,69 @@ func (sys *System) ResidualExt(r, b, x *tensordsl.Tensor) {
 			}
 		}
 	}
+	cs.NativeKernel = sys.nativeResidualExt(r, b, x, halos, dt)
 	sys.Sess.Append(graph.Compute{Set: cs})
+}
+
+// nativeResidualExt is the flat extended-precision residual kernel: the same
+// row arithmetic as the worker codelets in one sweep per tile block.
+func (sys *System) nativeResidualExt(r, b, x *tensordsl.Tensor, halos []*graph.Buffer, dt ipu.Scalar) func() {
+	type block struct {
+		lm             *halo.LocalMatrix
+		xb, bb, rb, hb *graph.Buffer
+		diag, vals     []float32
+	}
+	var blocks []block
+	for t, lm := range sys.Locals {
+		if lm.NumOwned == 0 {
+			continue
+		}
+		blocks = append(blocks, block{
+			lm: lm, xb: x.Buf(t), bb: b.Buf(t), rb: r.Buf(t), hb: halos[t],
+			diag: sys.diag[t], vals: sys.vals[t],
+		})
+	}
+	if dt == ipu.DW {
+		return func() {
+			for _, bl := range blocks {
+				lm := bl.lm
+				for i := 0; i < lm.NumOwned; i++ {
+					acc := twofloat.MulFloat(bl.xb.GetDW(i), bl.diag[i])
+					for k := lm.RowPtr[i]; k < lm.RowPtr[i+1]; k++ {
+						j := lm.Cols[k]
+						var xj twofloat.DW
+						if j < lm.NumOwned {
+							xj = bl.xb.GetDW(j)
+						} else {
+							xj = bl.hb.GetDW(j - lm.NumOwned)
+						}
+						acc = twofloat.Add(acc, twofloat.MulFloat(xj, bl.vals[k]))
+					}
+					bl.rb.SetDW(i, twofloat.Sub(bl.bb.GetDW(i), acc))
+				}
+			}
+		}
+	}
+	return func() {
+		for _, bl := range blocks {
+			lm := bl.lm
+			xf, bf, rf, hf := bl.xb.F64, bl.bb.F64, bl.rb.F64, bl.hb.F64
+			for i := 0; i < lm.NumOwned; i++ {
+				acc := float64(bl.diag[i]) * xf[i]
+				for k := lm.RowPtr[i]; k < lm.RowPtr[i+1]; k++ {
+					j := lm.Cols[k]
+					var xj float64
+					if j < lm.NumOwned {
+						xj = xf[j]
+					} else {
+						xj = hf[j-lm.NumOwned]
+					}
+					acc += float64(bl.vals[k]) * xj
+				}
+				rf[i] = bf[i] - acc
+			}
+		}
+	}
 }
 
 // DiagTensor returns a distributed tensor holding the matrix diagonal

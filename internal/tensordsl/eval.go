@@ -47,32 +47,94 @@ func (v vec) len() int {
 	}
 }
 
+func (v vec) capacity() int {
+	switch v.k {
+	case ipu.F32:
+		return cap(v.f)
+	case ipu.DW:
+		return cap(v.hi)
+	default:
+		return cap(v.p)
+	}
+}
+
+func (v vec) slice(n int) vec {
+	switch v.k {
+	case ipu.F32:
+		v.f = v.f[:n]
+	case ipu.DW:
+		v.hi, v.lo = v.hi[:n], v.lo[:n]
+	default:
+		v.p = v.p[:n]
+	}
+	return v
+}
+
+// evalScratch is a per-codelet arena of intermediate vectors. An expression
+// tree requests the same sequence of (type, length) slots on every run, so
+// after the first execution every get is a reslice and the steady-state solve
+// loop allocates nothing. Each generated codelet owns its scratch: codelets
+// run concurrently across host shards but a single codelet never races with
+// itself within a superstep.
+type evalScratch struct {
+	vecs []vec
+	next int
+}
+
+func (sc *evalScratch) reset() { sc.next = 0 }
+
+// get returns a vector of eval type k and length n, reusing the slot from the
+// previous run when type and capacity still fit.
+func (sc *evalScratch) get(k ipu.Scalar, n int) vec {
+	if sc == nil {
+		return newVec(k, n)
+	}
+	if sc.next < len(sc.vecs) {
+		if v := sc.vecs[sc.next]; v.k == k && v.capacity() >= n {
+			sc.next++
+			return v.slice(n)
+		}
+	}
+	v := newVec(k, n)
+	if sc.next < len(sc.vecs) {
+		sc.vecs[sc.next] = v
+	} else {
+		sc.vecs = append(sc.vecs, v)
+	}
+	sc.next++
+	return v
+}
+
 // evalInto evaluates e at evalType and stores the result into dst
 // (converting to dst's scalar type). tile selects the local interval of
-// distributed leaves; -1 evaluates in replicated context.
-func evalInto(e *Expr, tile int, evalType ipu.Scalar, dst *graph.Buffer) {
+// distributed leaves; -1 evaluates in replicated context. sc (optional)
+// supplies reusable intermediates.
+func evalInto(e *Expr, tile int, evalType ipu.Scalar, dst *graph.Buffer, sc *evalScratch) {
+	if sc != nil {
+		sc.reset()
+	}
 	n := dst.Len()
-	res := evalVec(e, tile, evalType, n)
+	res := evalVec(e, tile, evalType, n, sc)
 	storeVec(dst, res)
 }
 
-func evalVec(e *Expr, tile int, k ipu.Scalar, n int) vec {
+func evalVec(e *Expr, tile int, k ipu.Scalar, n int, sc *evalScratch) vec {
 	switch e.kind {
 	case leafConst:
-		out := newVec(k, n)
+		out := sc.get(k, n)
 		out.fill(e.c)
 		return out
 	case leafTensor:
-		return loadLeaf(e.t, tile, k, n)
+		return loadLeaf(e.t, tile, k, n, sc)
 	case unaryExpr:
-		a := evalVec(e.a, tile, k, n)
-		out := newVec(k, n)
+		a := evalVec(e.a, tile, k, n, sc)
+		out := sc.get(k, n)
 		applyUnary(e.op, out, a)
 		return out
 	case binaryExpr:
-		a := evalVec(e.a, tile, k, n)
-		b := evalVec(e.b, tile, k, n)
-		out := newVec(k, n)
+		a := evalVec(e.a, tile, k, n, sc)
+		b := evalVec(e.b, tile, k, n, sc)
+		out := sc.get(k, n)
 		applyBinary(e.op, out, a, b)
 		return out
 	}
@@ -81,8 +143,8 @@ func evalVec(e *Expr, tile int, k ipu.Scalar, n int) vec {
 
 // loadLeaf reads a tensor leaf's local data (broadcasting replicated scalars)
 // converted to eval type k.
-func loadLeaf(t *Tensor, tile int, k ipu.Scalar, n int) vec {
-	out := newVec(k, n)
+func loadLeaf(t *Tensor, tile int, k ipu.Scalar, n int, sc *evalScratch) vec {
+	out := sc.get(k, n)
 	var src *graph.Buffer
 	broadcast := false
 	if t.repl {

@@ -209,11 +209,12 @@ func (t *Tensor) AssignLabeled(v interface{}, label string) {
 		// functionally the shared buffer is written once.
 		perElem := e.perElementCost(evalType) + storeCost(t.dt)
 		cost := (uint64(t.n)*perElem + workers - 1) / workers
+		sc := &evalScratch{} // only the tile-0 vertex evaluates
 		for tile := 0; tile < t.s.M.NumTiles(); tile++ {
 			write := tile == 0
 			cs.Add(tile, graph.CodeletFunc(func() uint64 {
 				if write {
-					evalInto(e, -1, evalType, t.rbuf)
+					evalInto(e, -1, evalType, t.rbuf, sc)
 				}
 				return cost + workerStart
 			}))
@@ -226,12 +227,14 @@ func (t *Tensor) AssignLabeled(v interface{}, label string) {
 			perElem := e.perElementCost(evalType) + storeCost(t.dt)
 			cost := (uint64(t.sizes[tile])*perElem + workers - 1) / workers
 			buf := t.bufs[tile]
+			sc := &evalScratch{}
 			cs.Add(tile, graph.CodeletFunc(func() uint64 {
-				evalInto(e, tile, evalType, buf)
+				evalInto(e, tile, evalType, buf, sc)
 				return cost + workerStart
 			}))
 		}
 	}
+	cs.NativeKernel = t.nativeAssign(e, evalType)
 	t.s.Append(graph.Compute{Set: cs})
 }
 

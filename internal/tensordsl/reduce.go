@@ -74,8 +74,10 @@ func (s *Session) reduce(v interface{}, maxAbs bool, label string) *Tensor {
 		}
 		cost := partialCost(n)
 		active[0] = true
+		sc := &evalScratch{}
 		cs.Add(0, graph.CodeletFunc(func() uint64 {
-			partials[0], partsF64[0] = reduceVec(evalVec(e, -1, evalType, n), maxAbs)
+			sc.reset()
+			partials[0], partsF64[0] = reduceVec(evalVec(e, -1, evalType, n, sc), maxAbs)
 			return cost
 		}))
 	} else {
@@ -86,12 +88,15 @@ func (s *Session) reduce(v interface{}, maxAbs bool, label string) *Tensor {
 			}
 			active[tile] = true
 			cost := partialCost(n)
+			sc := &evalScratch{}
 			cs.Add(tile, graph.CodeletFunc(func() uint64 {
-				partials[tile], partsF64[tile] = reduceVec(evalVec(e, tile, evalType, n), maxAbs)
+				sc.reset()
+				partials[tile], partsF64[tile] = reduceVec(evalVec(e, tile, evalType, n, sc), maxAbs)
 				return cost
 			}))
 		}
 	}
+	cs.NativeKernel = s.nativeReducePartial(e, sh, evalType, maxAbs, partials, partsF64, active)
 	s.Append(graph.Compute{Set: cs})
 
 	// Phase 2: gather partials to tile 0.
@@ -114,6 +119,9 @@ func (s *Session) reduce(v interface{}, maxAbs bool, label string) *Tensor {
 		writeCombined(out, partials, partsF64, active, evalType, maxAbs)
 		return combineCost
 	}))
+	final.NativeKernel = func() {
+		writeCombined(out, partials, partsF64, active, evalType, maxAbs)
+	}
 	s.Append(graph.Compute{Set: final})
 
 	// Phase 4: broadcast the scalar to all tiles (replicated tensors live on

@@ -169,6 +169,39 @@ func (t *Tensor) SetHost(vals []float64) error {
 	return nil
 }
 
+// FillHost sets every element to v immediately (host write), without
+// allocating — the re-solve path's way to zero the initial guess.
+func (t *Tensor) FillHost(v float64) {
+	if t.repl {
+		t.rbuf.Fill(v)
+		return
+	}
+	for _, buf := range t.bufs {
+		if buf != nil {
+			buf.Fill(v)
+		}
+	}
+}
+
+// HostInto reads the tensor's current contents into dst without allocating.
+func (t *Tensor) HostInto(dst []float64) error {
+	if len(dst) != t.n {
+		return fmt.Errorf("tensordsl: HostInto %q: %d slots for %d elements", t.Name, len(dst), t.n)
+	}
+	if t.repl {
+		for i := range dst {
+			dst[i] = t.rbuf.Get(i)
+		}
+		return nil
+	}
+	for tile, buf := range t.bufs {
+		for i := 0; i < t.sizes[tile]; i++ {
+			dst[t.offs[tile]+i] = buf.Get(i)
+		}
+	}
+	return nil
+}
+
 // Host reads the tensor's current contents into a fresh float64 slice.
 func (t *Tensor) Host() []float64 {
 	out := make([]float64, t.n)
