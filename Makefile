@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check build test vet race bench bench-engine bench-smoke bench-backend bench-backend-smoke serve-smoke chaos-smoke metrics-smoke cluster-smoke bench-cluster clean
+.PHONY: check build test vet race bench bench-engine bench-smoke bench-backend bench-backend-smoke serve-smoke chaos-smoke metrics-smoke sdc-smoke cluster-smoke bench-cluster bench-sdc clean
 
 ## check: vet + build + race-enabled tests (the pre-merge gate)
 check: vet build race
@@ -62,6 +62,14 @@ chaos-smoke:
 metrics-smoke:
 	$(GO) run ./cmd/servesmoke -metrics
 
+## sdc-smoke: the silent-data-corruption gate -- sweep seeded bit-flip and
+## exchange-corruption campaigns over ABFT-armed solves on both backends and
+## verify every claimed-converged answer against an independent float64 host
+## oracle; one silently wrong answer fails the build
+sdc-smoke:
+	$(GO) run ./cmd/sdcsmoke
+	$(GO) run ./cmd/sdcsmoke -backend sim
+
 ## cluster-smoke: boot three race-enabled ipuserved shards behind a
 ## race-enabled ipurouterd (replica factor 2), register through the router,
 ## kill -9 a replica-holding shard under sustained load and restart it
@@ -74,6 +82,12 @@ cluster-smoke:
 ## in-process cluster: replica factor 1 vs 2 vs 3 around a cold shard kill
 bench-cluster:
 	$(GO) run ./cmd/benchsuite -experiment cluster
+
+## bench-sdc: the silent-data-corruption study (Table XI) and its
+## BENCH_sdc.json artifact: ABFT-on vs ABFT-off warm CG latency on both
+## backends plus seeded corruption campaigns classified by outcome
+bench-sdc:
+	$(GO) run ./cmd/benchsuite -experiment sdc -sdc-json BENCH_sdc.json
 
 clean:
 	$(GO) clean ./...

@@ -13,7 +13,10 @@
 // replayed on startup, so a killed server comes back serving the same
 // systems. The -chaos-* flags arm a deterministic service-level fault
 // campaign (also configurable via the serve.chaos config block) for
-// resilience testing.
+// resilience testing; the -fault-* flags arm a device-level campaign (bit
+// flips, exchange corruption — the fault config block) inside every
+// default-config solve, on the native serving backend as well as the
+// simulator, and -abft arms the in-loop corruption guards.
 //
 // Shutdown on SIGINT/SIGTERM is graceful: admission stops, queued jobs
 // drain, then the listener closes. -drain-timeout bounds the drain: when a
@@ -63,12 +66,44 @@ func main() {
 	flag.StringVar(&cf.kinds, "chaos-kinds", "", "comma-separated fault kinds (replica-crash,replica-stall,breakdown,host-error); empty = all")
 	flag.IntVar(&cf.maxEv, "chaos-max-events", 0, "cap on injected faults (0 = unlimited)")
 	flag.IntVar(&cf.stallMs, "chaos-stall-ms", 0, "injected slow-replica delay in ms (0 = 50ms default)")
+	var ff faultFlags
+	flag.Float64Var(&ff.rate, "fault-rate", 0, "device-level fault probability per injector consultation, applied to every default-config system on any backend, native included (0 disables)")
+	flag.Int64Var(&ff.seed, "fault-seed", 1, "device fault campaign seed (same seed ⇒ same fault sequence)")
+	flag.StringVar(&ff.kinds, "fault-kinds", "bit-flip,exchange-corrupt", "comma-separated device fault kinds (bit-flip,exchange-corrupt,exchange-drop,tile-stall,host-transient)")
+	flag.IntVar(&ff.max, "fault-max", 0, "cap on injected device faults per solve (0 = unlimited)")
+	abft := flag.Bool("abft", false, "arm algorithm-based fault tolerance (checksum SpMV, divergence guards, final residual verify) on default-config systems")
 	flag.Parse()
 
-	if err := run(*addr, *cfgPath, *portFile, *stateDir, *backendName, *drainTimeout, cf); err != nil {
+	if err := run(*addr, *cfgPath, *portFile, *stateDir, *backendName, *drainTimeout, cf, ff, *abft); err != nil {
 		fmt.Fprintln(os.Stderr, "ipuserved:", err)
 		os.Exit(1)
 	}
+}
+
+// faultFlags collects the command-line device-level fault campaign — the
+// graph.Injector kind that corrupts tile memory and exchange payloads inside
+// the solve, as opposed to the service-level -chaos-* campaign. It overrides
+// the config file's fault block when armed. Both backends honor it; the
+// native serving path replays a seeded campaign identically to the simulator.
+type faultFlags struct {
+	rate  float64
+	seed  int64
+	kinds string
+	max   int
+}
+
+// fault converts the flags into a config fault block, or nil when disarmed.
+func (ff faultFlags) fault() *config.FaultConfig {
+	if ff.rate <= 0 {
+		return nil
+	}
+	fc := &config.FaultConfig{Seed: ff.seed, Rate: ff.rate, MaxFaults: ff.max}
+	if ff.kinds != "" {
+		for _, name := range strings.Split(ff.kinds, ",") {
+			fc.Kinds = append(fc.Kinds, strings.TrimSpace(name))
+		}
+	}
+	return fc
 }
 
 // chaos builds the campaign from the flags, or nil when disarmed.
@@ -94,7 +129,7 @@ func (cf chaosFlags) chaos() (*fault.Chaos, error) {
 	return fault.NewChaos(plan), nil
 }
 
-func run(addr, cfgPath, portFile, stateDir, backendName string, drainTimeout time.Duration, cf chaosFlags) error {
+func run(addr, cfgPath, portFile, stateDir, backendName string, drainTimeout time.Duration, cf chaosFlags, ff faultFlags, abft bool) error {
 	cfg := config.Default()
 	if cfgPath != "" {
 		f, err := os.Open(cfgPath)
@@ -107,6 +142,24 @@ func run(addr, cfgPath, portFile, stateDir, backendName string, drainTimeout tim
 		if perr != nil {
 			return perr
 		}
+	}
+	if fc := ff.fault(); fc != nil {
+		cfg.Fault = fc
+		if cfg.Recovery == nil {
+			// A campaign without a restart policy turns every detected
+			// corruption into a failed solve; default to the standard
+			// checkpoint/restart so the service recovers instead.
+			cfg.Recovery = &config.RecoveryConfig{}
+		}
+		log.Printf("ipuserved: device fault campaign armed: rate=%g seed=%d kinds=%v max=%d",
+			fc.Rate, fc.Seed, fc.Kinds, fc.MaxFaults)
+	}
+	if abft {
+		cfg.Solver.ABFT = true
+		log.Printf("ipuserved: ABFT armed (checksum SpMV + divergence guards + final verify)")
+	}
+	if err := cfg.Validate(); err != nil {
+		return err
 	}
 	if addr == "" {
 		if cfg.Serve != nil && cfg.Serve.Addr != "" {

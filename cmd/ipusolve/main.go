@@ -59,6 +59,7 @@ func main() {
 	metricsOut := flag.String("metrics-out", "", "write Prometheus-text metrics of the run to this file (\"-\" for stdout)")
 	faultRate := flag.Float64("fault-rate", 0, "per-consultation fault-injection probability (0 disables the campaign)")
 	faultSeed := flag.Int64("fault-seed", 42, "seed of the fault-injection campaign")
+	abft := flag.Bool("abft", false, "arm algorithm-based fault tolerance: checksum-carrying SpMV, divergence guards and a final residual verification")
 	fingerprint := flag.Bool("fingerprint", false, "print the matrix fingerprint (the service cache key) and exit")
 	enginePar := flag.Int("engine-par", -1, "host shards per BSP superstep (-1: from config, 0: all cores, 1: serial; never changes results)")
 	backendName := flag.String("backend", "", "execution backend: sim (default; cycle-accurate) or native (host-speed, no cycle model)")
@@ -81,7 +82,7 @@ func main() {
 	if *traceOut == "" {
 		*traceOut = *tracePath
 	}
-	err = run(*matrixPath, *gen, *cfgPath, *rhs, *tiles, *chips, *tol, *strategy, *verbose, *traceOut, *metricsOut, *faultRate, *faultSeed, *enginePar, *backendName)
+	err = run(*matrixPath, *gen, *cfgPath, *rhs, *tiles, *chips, *tol, *strategy, *verbose, *traceOut, *metricsOut, *faultRate, *faultSeed, *abft, *enginePar, *backendName)
 	if perr := stopProfiles(); err == nil {
 		err = perr
 	}
@@ -152,7 +153,7 @@ func loadMatrix(matrixPath, gen string) (*sparse.Matrix, error) {
 	return sparse.GenByName(gen)
 }
 
-func run(matrixPath, gen, cfgPath, rhs string, tiles, chips int, tol float64, strategy string, verbose bool, tracePath, metricsPath string, faultRate float64, faultSeed int64, enginePar int, backendName string) error {
+func run(matrixPath, gen, cfgPath, rhs string, tiles, chips int, tol float64, strategy string, verbose bool, tracePath, metricsPath string, faultRate float64, faultSeed int64, abft bool, enginePar int, backendName string) error {
 	m, err := loadMatrix(matrixPath, gen)
 	if err != nil {
 		return err
@@ -186,6 +187,9 @@ func run(matrixPath, gen, cfgPath, rhs string, tiles, chips int, tol float64, st
 		if cfg.Recovery == nil {
 			cfg.Recovery = &config.RecoveryConfig{}
 		}
+	}
+	if abft {
+		cfg.Solver.ABFT = true
 	}
 	if enginePar >= 0 {
 		cfg.Engine = &config.EngineConfig{Parallelism: enginePar}
@@ -250,6 +254,10 @@ func run(matrixPath, gen, cfgPath, rhs string, tiles, chips int, tol float64, st
 	if res.Stats.Breakdown || res.Stats.Restarts > 0 {
 		fmt.Printf("resilience: breakdown=%q restarts=%d recovered=%v\n",
 			res.Stats.BreakdownReason, res.Stats.Restarts, res.Stats.Recovered)
+	}
+	if cfg.Solver.ABFT {
+		fmt.Printf("abft: %d checks, %d detections %v\n",
+			res.Stats.ABFTChecks, len(res.Stats.ABFTDetected), res.Stats.ABFTDetected)
 	}
 	fmt.Printf("simulated time: %.3e s (%d cycles, %d supersteps, %.1f µJ/row)\n",
 		res.Machine.Seconds, res.Machine.TotalCycles, res.Machine.Supersteps,

@@ -4,22 +4,29 @@
 //  1. Serve: register a small Poisson system, fire concurrent batched
 //     solves, verify every solution against the known exact answer, check
 //     the cache stats, drain gracefully.
+//
 //  2. Kill-and-restart: register against a crash-safe (-state-dir) server,
 //     solve, kill the process with SIGKILL, restart it on the same state
 //     directory, and require the system recovered from the WAL with a
 //     bit-identical warm solve.
+//
 //  3. Chaos (with -chaos): rerun serving under a seeded fault campaign
 //     (replica crashes, stalls, breakdown storms, host errors) and require
 //     zero wrong answers and >=99% availability, then kill -9 and recover.
+//     Then rerun with a device-level campaign (-fault-*) on the native AND
+//     simulator backends — bit flips and exchange corruption inside the
+//     solves, ABFT armed — and require every answer right, in-loop checksum
+//     detections firing, and sdc_escapes_total staying 0.
+//
 //  4. Metrics (with -metrics): scrape GET /metrics after a solve and require
 //     the Prometheus exposition to carry the key series of every layer —
 //     serve latency histogram, cache counters, breaker-state gauge, and the
 //     core/engine/machine/solver series flowing through the shared registry.
 //
-//	servesmoke -server bin/ipuserved      # use a prebuilt (race-enabled) binary
-//	servesmoke                            # builds ipuserved -race itself
-//	servesmoke -chaos                     # adds the chaos campaign phase
-//	servesmoke -metrics                   # adds the /metrics scrape phase
+//     servesmoke -server bin/ipuserved      # use a prebuilt (race-enabled) binary
+//     servesmoke                            # builds ipuserved -race itself
+//     servesmoke -chaos                     # adds the chaos campaign phase
+//     servesmoke -metrics                   # adds the /metrics scrape phase
 package main
 
 import (
@@ -78,6 +85,14 @@ func run(server string, chaos, metrics bool) error {
 	if chaos {
 		if err := chaosPhase(dir, server); err != nil {
 			return fmt.Errorf("chaos phase: %w", err)
+		}
+		// Device-level campaign on both backends: the serving default (native)
+		// and the simulator — bit flips and exchange corruption inside the
+		// solve, guarded by ABFT; zero silent escapes allowed on either.
+		for _, be := range []string{"native", "sim"} {
+			if err := faultPhase(dir, server, be); err != nil {
+				return fmt.Errorf("fault phase (%s): %w", be, err)
+			}
 		}
 	}
 	if metrics {
@@ -413,6 +428,99 @@ func chaosPhase(dir, server string) error {
 	}
 	fmt.Printf("servesmoke: chaos restart recovered %s, solve bit-identical\n", info.ID)
 	return srv2.drain()
+}
+
+// faultPhase boots the server with a device-level fault campaign (-fault-*)
+// and ABFT armed on the given backend, fires solves, and requires: no wrong
+// answer ever served, the ABFT checks actually running, and zero SDC escapes
+// — the sdc_escapes_total series must stay 0 even while faults corrupt tile
+// memory and exchange payloads inside the solves.
+func faultPhase(dir, server, backendName string) error {
+	// CG+Jacobi with the checkpoint/restart policy: under this campaign seed
+	// the checksum SpMV detects the corruption in-loop and the solve recovers
+	// through restarts — deterministically, on both backends (replay
+	// identity), so every request must be served and served right.
+	cfgPath := filepath.Join(dir, "fault-"+backendName+".json")
+	cfg := map[string]any{
+		"solver": map[string]any{
+			"type": "cg", "maxIterations": 600, "tolerance": 1e-8,
+			"preconditioner": map[string]any{"type": "jacobi"},
+		},
+		"recovery": map[string]any{"interval": 5, "maxRestarts": 25},
+	}
+	buf0, err := json.Marshal(cfg)
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(cfgPath, buf0, 0o644); err != nil {
+		return err
+	}
+	srv, err := startServer(dir, server, "fault-"+backendName,
+		"-config", cfgPath, "-backend", backendName, "-abft",
+		"-fault-rate", "0.0008", "-fault-seed", "6",
+		"-fault-kinds", "bit-flip,exchange-corrupt")
+	if err != nil {
+		return err
+	}
+	defer srv.kill()
+	info, err := srv.register()
+	if err != nil {
+		return fmt.Errorf("register: %w", err)
+	}
+
+	const total = 6
+	served, wrong := 0, 0
+	for k := 0; k < total; k++ {
+		var r solveResult
+		err := postJSON(srv.base+"/v1/systems/"+info.ID+"/solve", map[string]any{"rhs": "ones"}, &r)
+		if err != nil {
+			// A typed rejection (breakdown past the restart budget) is an
+			// honest failure, not a wrong answer.
+			continue
+		}
+		served++
+		if cerr := checkOnes(r); cerr != nil {
+			wrong++
+			fmt.Fprintf(os.Stderr, "servesmoke: WRONG ANSWER under faults (%s): %v\n", backendName, cerr)
+		}
+	}
+	if wrong != 0 {
+		return fmt.Errorf("%d wrong answers served under the device fault campaign", wrong)
+	}
+	if served != total {
+		return fmt.Errorf("%d/%d solves served; this seed recovers deterministically, so all must", served, total)
+	}
+
+	var st struct {
+		SDCEscapes uint64 `json:"sdcEscapes"`
+		Verified   uint64 `json:"verified"`
+	}
+	if err := getJSON(srv.base+"/v1/stats", &st); err != nil {
+		return err
+	}
+	if st.SDCEscapes != 0 {
+		return fmt.Errorf("sdcEscapes = %d, want 0: corruption escaped the in-loop ABFT guards", st.SDCEscapes)
+	}
+	resp, err := http.Get(srv.base + "/metrics")
+	if err != nil {
+		return err
+	}
+	var buf bytes.Buffer
+	_, _ = buf.ReadFrom(resp.Body)
+	resp.Body.Close()
+	body := buf.String()
+	if !strings.Contains(body, "abft_checks_total") {
+		return fmt.Errorf("/metrics missing abft_checks_total: ABFT not armed")
+	}
+	if !strings.Contains(body, `abft_detections_total{kernel="spmv"}`) {
+		return fmt.Errorf("/metrics missing spmv detections: campaign seed no longer trips the checksum")
+	}
+	if !strings.Contains(body, "sdc_escapes_total 0") {
+		return fmt.Errorf("/metrics sdc_escapes_total is not 0")
+	}
+	fmt.Printf("servesmoke: fault campaign (%s): %d/%d served, 0 wrong, 0 SDC escapes\n",
+		backendName, served, total)
+	return srv.drain()
 }
 
 // metricsPhase boots a plain server, drives one solve, scrapes GET /metrics

@@ -11,7 +11,11 @@
 //     partials), serial codelet execution elsewhere, halo exchanges as the
 //     direct slice copies they already carry, and no cycle or exchange
 //     accounting at all. Zero per-iteration allocation; this is the serving
-//     default.
+//     default. Fault campaigns run on a second, lazily-lowered instruction
+//     stream that keeps every injector consultation point the engine has
+//     (accounting-only moves and nil host callbacks included), so seeded
+//     campaigns replay identically to the simulator; only device tracing
+//     stays sim-only.
 //
 // Both backends run the *same* compiled program against the same device
 // buffers, so every host callback, While condition and solver statistic works
@@ -24,6 +28,7 @@ import (
 	"errors"
 	"fmt"
 
+	"ipusparse/internal/config"
 	"ipusparse/internal/graph"
 	"ipusparse/internal/ipu"
 )
@@ -36,8 +41,9 @@ type Backend interface {
 	// Compile lowers a frozen program for machine m into an executable
 	// artifact. rep is the program's analysis report (pre-sizing hints).
 	Compile(prog *graph.Sequence, m *ipu.Machine, rep graph.Report) (Executable, error)
-	// SupportsFaults reports whether Run accepts a fault injector. Seeded
-	// campaigns must replay exactly, so only the simulator qualifies.
+	// SupportsFaults reports whether Run accepts a fault injector. Both
+	// backends consult the injector at the same program points in the same
+	// order, so a seeded campaign replays identically on either.
 	SupportsFaults() bool
 	// SupportsTrace reports whether Run can record a device timeline.
 	SupportsTrace() bool
@@ -47,8 +53,9 @@ type Backend interface {
 type RunConfig struct {
 	// Parallelism is the host-shard count (simulator only; 0 = all cores).
 	Parallelism int
-	// Injector, when non-nil, drives a fault campaign. Backends that do not
-	// support faults reject it with an UnsupportedError.
+	// Injector, when non-nil, drives a fault campaign. Both backends consult
+	// it at identical program points in identical order, so seeded campaigns
+	// replay exactly across backends.
 	Injector graph.Injector
 	// Metrics, when non-nil, receives engine telemetry (simulator only).
 	Metrics *graph.EngineMetrics
@@ -96,7 +103,7 @@ func ByName(name string) (Backend, error) {
 }
 
 // UnsupportedError is the typed rejection of a feature a backend cannot
-// honor exactly (fault campaigns or device tracing on the native path).
+// honor exactly (device tracing on the native path).
 type UnsupportedError struct {
 	Backend string
 	Feature string
@@ -110,4 +117,23 @@ func (e *UnsupportedError) Error() string {
 func IsUnsupported(err error) bool {
 	var ue *UnsupportedError
 	return errors.As(err, &ue)
+}
+
+// CheckConfig verifies that be can honor every simulator-only feature cfg
+// requests, returning a typed *UnsupportedError for the first one it cannot.
+// The serving layers call it at registration time — before the expensive
+// warm-up prepare — so a capability mismatch is an HTTP 400 at registration,
+// never a surprise on the first solve; core.Prepare applies the same check so
+// direct users fail equally early.
+func CheckConfig(be Backend, cfg *config.Config) error {
+	if cfg == nil {
+		return nil
+	}
+	if cfg.Fault != nil && cfg.Fault.Rate > 0 && !be.SupportsFaults() {
+		return &UnsupportedError{Backend: be.Name(), Feature: "fault injection"}
+	}
+	if cfg.EngineTrace() != "" && !be.SupportsTrace() {
+		return &UnsupportedError{Backend: be.Name(), Feature: "device tracing"}
+	}
+	return nil
 }

@@ -35,8 +35,11 @@ func TestByName(t *testing.T) {
 	if !Sim.SupportsFaults() || !Sim.SupportsTrace() {
 		t.Fatal("sim must support faults and tracing")
 	}
-	if Native.SupportsFaults() || Native.SupportsTrace() {
-		t.Fatal("native must not claim fault or trace support")
+	if !Native.SupportsFaults() {
+		t.Fatal("native must support fault campaigns")
+	}
+	if Native.SupportsTrace() {
+		t.Fatal("native must not claim trace support")
 	}
 }
 
@@ -241,17 +244,35 @@ func TestNativeErrorWrapping(t *testing.T) {
 	}
 }
 
-type stubInjector struct{}
+// recordingInjector logs every consultation the executing backend makes, so
+// tests can require the native fault stream to visit exactly the same points
+// in exactly the same order as the engine.
+type recordingInjector struct {
+	log []string
+}
 
-func (stubInjector) ComputeFault(string, uint64, int) (int, uint64) { return -1, 0 }
-func (stubInjector) MoveFault(string, uint64, int, []graph.MoveTarget) (graph.MoveAction, error) {
+func (ri *recordingInjector) ComputeFault(name string, ss uint64, numTiles int) (int, uint64) {
+	ri.log = append(ri.log, fmt.Sprintf("compute:%s@%d/%d", name, ss, numTiles))
+	return -1, 0
+}
+
+func (ri *recordingInjector) MoveFault(name string, ss uint64, move int, targets []graph.MoveTarget) (graph.MoveAction, error) {
+	ri.log = append(ri.log, fmt.Sprintf("move:%s@%d#%d/%d", name, ss, move, len(targets)))
 	return graph.MoveDeliver, nil
 }
-func (stubInjector) CorruptPayload(string, uint64, []graph.MoveTarget) {}
-func (stubInjector) HostFault(string, uint64) error                   { return nil }
 
-// TestNativeRejectsSimOnlyFeatures: fault injection and device tracing get
-// typed UnsupportedError rejections, not silent no-ops.
+func (ri *recordingInjector) CorruptPayload(name string, ss uint64, _ []graph.MoveTarget) {
+	ri.log = append(ri.log, fmt.Sprintf("corrupt:%s@%d", name, ss))
+}
+
+func (ri *recordingInjector) HostFault(name string, ss uint64) error {
+	ri.log = append(ri.log, fmt.Sprintf("host:%s@%d", name, ss))
+	return nil
+}
+
+// TestNativeRejectsSimOnlyFeatures: device tracing gets a typed
+// UnsupportedError rejection, not a silent no-op. Fault injection — sim-only
+// before the native fault stream existed — must now be accepted.
 func TestNativeRejectsSimOnlyFeatures(t *testing.T) {
 	prog := &graph.Sequence{}
 	prog.Append(graph.HostCall{Name: "noop", Fn: func() error { return nil }})
@@ -259,9 +280,8 @@ func TestNativeRejectsSimOnlyFeatures(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	_, err = exec.Run(RunConfig{Injector: stubInjector{}})
-	if !IsUnsupported(err) {
-		t.Fatalf("injector: %v", err)
+	if _, err = exec.Run(RunConfig{Injector: &recordingInjector{}}); err != nil {
+		t.Fatalf("injector must be accepted on native: %v", err)
 	}
 	_, err = exec.Run(RunConfig{Trace: true})
 	if !IsUnsupported(err) {
@@ -275,6 +295,176 @@ func TestNativeRejectsSimOnlyFeatures(t *testing.T) {
 		t.Fatal("IsUnsupported matched an unrelated error")
 	}
 }
+
+// TestNativeInjectorConsultationOrder runs a program exercising every step
+// kind the fast native lowering elides — empty compute sets, accounting-only
+// moves, whole exchanges without data movement, nil host callbacks — under a
+// recording injector on both backends, and requires bit-identical
+// consultation sequences. This is the replay-identity contract: with the same
+// consultation order, a seeded fault campaign draws the same decision stream
+// on either backend.
+func TestNativeInjectorConsultationOrder(t *testing.T) {
+	build := func(iters *int) *graph.Sequence {
+		prog := &graph.Sequence{}
+		prog.Append(countingStep("pre", "pre", &[]string{}))
+
+		empty := graph.NewComputeSet("empty", "Test") // skipped by both paths
+		prog.Append(graph.Compute{Set: empty})
+
+		// Exchange of only accounting moves: the fast stream elides it, the
+		// engine consults MoveFault for each move.
+		prog.Append(graph.Exchange{Name: "gather", Moves: []graph.Move{
+			{SrcTile: 1, DstTiles: []int{0}, Bytes: 4},
+			{SrcTile: 2, DstTiles: []int{0}, Bytes: 4},
+		}})
+
+		// Nil host callback: elided fast, consulted under faults.
+		prog.Append(graph.HostCall{Name: "nilcb"})
+
+		// A loop so superstep counters advance through control flow.
+		body := &graph.Sequence{}
+		body.Append(countingStep("iter", "iter", &[]string{}))
+		body.Append(graph.Exchange{Name: "halo", Moves: []graph.Move{
+			{SrcTile: 0, DstTiles: []int{1}, Bytes: 8, Do: func() error { return nil }},
+			{SrcTile: 1, DstTiles: []int{0}, Bytes: 8}, // accounting only
+		}})
+		body.Append(graph.HostCall{Name: "tick", Fn: func() error {
+			*iters++
+			return nil
+		}})
+		prog.Append(graph.While{
+			Name:    "loop",
+			Cond:    func() bool { return *iters < 3 },
+			Body:    body,
+			MaxIter: 10,
+		})
+		prog.Append(graph.Exchange{Name: "empty-xchg"}) // skipped by both
+		return prog
+	}
+
+	simIters := 0
+	simProg := build(&simIters)
+	graph.Freeze(simProg)
+	eng := graph.NewEngine(testMachine(t))
+	simInj := &recordingInjector{}
+	eng.Injector = simInj
+	if err := eng.Run(simProg); err != nil {
+		t.Fatalf("engine: %v", err)
+	}
+
+	natIters := 0
+	natProg := build(&natIters)
+	graph.Freeze(natProg)
+	exec, err := Native.Compile(natProg, testMachine(t), graph.Report{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	natInj := &recordingInjector{}
+	if _, err := exec.Run(RunConfig{Injector: natInj}); err != nil {
+		t.Fatalf("native: %v", err)
+	}
+
+	if len(simInj.log) == 0 {
+		t.Fatal("engine consulted the injector zero times")
+	}
+	if fmt.Sprint(simInj.log) != fmt.Sprint(natInj.log) {
+		t.Fatalf("consultation order diverges:\n  sim:    %v\n  native: %v", simInj.log, natInj.log)
+	}
+
+	// A fault-free run after an injected one must still use the fast stream
+	// (no consultations, same results).
+	natIters = 0
+	if _, err := exec.Run(RunConfig{}); err != nil {
+		t.Fatalf("native fault-free after injected: %v", err)
+	}
+	// And a second injected run replays the same sequence.
+	natIters = 0
+	natInj2 := &recordingInjector{}
+	if _, err := exec.Run(RunConfig{Injector: natInj2}); err != nil {
+		t.Fatalf("native warm injected: %v", err)
+	}
+	if fmt.Sprint(natInj2.log) != fmt.Sprint(natInj.log) {
+		t.Fatalf("warm injected run diverges:\n  cold: %v\n  warm: %v", natInj.log, natInj2.log)
+	}
+}
+
+// TestNativeMoveActions covers the native handling of every MoveAction:
+// corrupt delivers then corrupts, drop delivers once and counts a retry, fail
+// surfaces a StepError carrying the injector's error.
+func TestNativeMoveActions(t *testing.T) {
+	boom := errors.New("dropped beyond budget")
+	type scripted struct {
+		recordingInjector
+		acts []graph.MoveAction
+		i    int
+	}
+	inj := &scripted{acts: []graph.MoveAction{graph.MoveCorrupt, graph.MoveDrop, graph.MoveDeliver}}
+	var delivered int
+	prog := &graph.Sequence{}
+	prog.Append(graph.Exchange{Name: "x", Moves: []graph.Move{
+		{SrcTile: 0, DstTiles: []int{1}, Bytes: 4, Do: func() error { delivered++; return nil }},
+		{SrcTile: 1, DstTiles: []int{2}, Bytes: 4, Do: func() error { delivered++; return nil }},
+		{SrcTile: 2, DstTiles: []int{0}, Bytes: 4, Do: func() error { delivered++; return nil }},
+	}})
+	exec, err := Native.Compile(prog, testMachine(t), graph.Report{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	moveFault := func(string, uint64, int, []graph.MoveTarget) (graph.MoveAction, error) {
+		act := inj.acts[inj.i]
+		inj.i++
+		if act == graph.MoveFail {
+			return act, boom
+		}
+		return act, nil
+	}
+	rr, runErr := exec.Run(RunConfig{Injector: &scriptedInjector{inner: inj, moveFault: moveFault}})
+	if runErr != nil {
+		t.Fatalf("run: %v", runErr)
+	}
+	if delivered != 3 {
+		t.Fatalf("delivered %d moves, want 3 (drop re-bills, it does not re-run)", delivered)
+	}
+	if rr.FaultRetries != 1 {
+		t.Fatalf("FaultRetries = %d, want 1", rr.FaultRetries)
+	}
+	if len(inj.log) != 1 || inj.log[0][:7] != "corrupt" {
+		t.Fatalf("corrupt consultation log %v", inj.log)
+	}
+
+	// MoveFail: Do must not run, the error surfaces as a StepError.
+	inj.i = 0
+	inj.acts = []graph.MoveAction{graph.MoveFail}
+	delivered = 0
+	_, runErr = exec.Run(RunConfig{Injector: &scriptedInjector{inner: inj, moveFault: moveFault}})
+	var se *graph.StepError
+	if !errors.As(runErr, &se) || se.Step != "x" || !errors.Is(runErr, boom) {
+		t.Fatalf("fail error %v (%T)", runErr, runErr)
+	}
+	if delivered != 0 {
+		t.Fatalf("a failed move must not deliver, got %d deliveries", delivered)
+	}
+}
+
+// scriptedInjector overrides MoveFault while delegating the rest.
+type scriptedInjector struct {
+	inner     graph.Injector
+	moveFault func(string, uint64, int, []graph.MoveTarget) (graph.MoveAction, error)
+}
+
+func (s *scriptedInjector) ComputeFault(n string, ss uint64, nt int) (int, uint64) {
+	return s.inner.ComputeFault(n, ss, nt)
+}
+
+func (s *scriptedInjector) MoveFault(n string, ss uint64, mv int, tg []graph.MoveTarget) (graph.MoveAction, error) {
+	return s.moveFault(n, ss, mv, tg)
+}
+
+func (s *scriptedInjector) CorruptPayload(n string, ss uint64, tg []graph.MoveTarget) {
+	s.inner.CorruptPayload(n, ss, tg)
+}
+
+func (s *scriptedInjector) HostFault(n string, ss uint64) error { return s.inner.HostFault(n, ss) }
 
 // TestSimExecRoundTrip: the sim backend wraps the engine and reports profile
 // and superstep counts when asked.

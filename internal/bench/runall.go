@@ -3,7 +3,8 @@ package bench
 import "fmt"
 
 // Run executes one named experiment and prints its result to o.Out. Known
-// names: table1..table7, fig5..fig10, halo, engine, backend, cluster, all.
+// names: table1..table7, fig5..fig10, halo, engine, backend, cluster, sdc,
+// all.
 func Run(o Options, name string) error {
 	o = o.withDefaults()
 	switch name {
@@ -69,6 +70,12 @@ func Run(o Options, name string) error {
 			return err
 		}
 		PrintTable9(o, rows)
+	case "sdc":
+		overhead, campaigns, err := SDCStudy(o)
+		if err != nil {
+			return err
+		}
+		PrintSDCStudy(o, overhead, campaigns)
 	case "fig5":
 		pts, err := Fig5(o)
 		if err != nil {
@@ -121,5 +128,5 @@ func Run(o Options, name string) error {
 var AllExperiments = []string{
 	"table1", "table2", "table3", "table4", "table5", "table6", "table7",
 	"fig5", "fig6", "fig7", "fig8", "fig9", "fig10",
-	"halo", "engine", "backend", "cluster",
+	"halo", "engine", "backend", "cluster", "sdc",
 }

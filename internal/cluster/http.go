@@ -6,6 +6,7 @@ import (
 	"io"
 	"net/http"
 
+	"ipusparse/internal/backend"
 	"ipusparse/internal/serve"
 )
 
@@ -57,6 +58,18 @@ func (rt *Router) handleRegister(w http.ResponseWriter, r *http.Request) {
 	}
 	info, err := rt.Register(r.Context(), req)
 	if err != nil {
+		var ue *backend.UnsupportedError
+		if errors.As(err, &ue) {
+			// Same typed capability-mismatch body a shard would produce, so
+			// clients see one contract whether they talk to a replica or the
+			// router.
+			writeJSON(w, http.StatusBadRequest, map[string]string{
+				"error":       ue.Error(),
+				"backend":     ue.Backend,
+				"unsupported": ue.Feature,
+			})
+			return
+		}
 		status := http.StatusBadRequest
 		if errors.Is(err, ErrNoShards) {
 			status = http.StatusServiceUnavailable

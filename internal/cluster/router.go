@@ -12,6 +12,7 @@ import (
 	"sync"
 	"time"
 
+	"ipusparse/internal/backend"
 	"ipusparse/internal/serve"
 	"ipusparse/internal/telemetry"
 )
@@ -256,6 +257,20 @@ func retryableStatus(code int) bool {
 // set. Registration succeeds when at least one shard holds the system (the
 // reconciler completes the set); it is idempotent end to end.
 func (rt *Router) Register(ctx context.Context, req serve.RegisterRequest) (serve.SystemInfo, error) {
+	// Capability pre-check: when the config itself pins an execution backend,
+	// a simulator-only feature request is rejected here — typed, before any
+	// shard traffic — instead of failing registration on every replica. A
+	// config that leaves the backend to each shard is checked by the shard's
+	// own registration gate.
+	if req.Config != nil && req.Config.EngineBackend() != "" {
+		be, err := backend.ByName(req.Config.EngineBackend())
+		if err != nil {
+			return serve.SystemInfo{}, err
+		}
+		if err := backend.CheckConfig(be, req.Config); err != nil {
+			return serve.SystemInfo{}, err
+		}
+	}
 	m, err := serve.BuildMatrix(req)
 	if err != nil {
 		return serve.SystemInfo{}, err

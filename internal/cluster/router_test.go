@@ -6,6 +6,7 @@ import (
 	"encoding/json"
 	"net/http"
 	"net/http/httptest"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"testing"
@@ -397,7 +398,6 @@ func TestRouterMetricsExposition(t *testing.T) {
 
 func contains(s, sub string) bool { return bytes.Contains([]byte(s), []byte(sub)) }
 
-
 // TestRouterConcurrentLoadWithKill hammers the router from several goroutines
 // while a shard dies and comes back empty — every request must succeed (the
 // availability property the chaos harness asserts at process level).
@@ -448,5 +448,37 @@ func TestRouterConcurrentLoadWithKill(t *testing.T) {
 	}
 	if rt.Stats().Failovers == 0 {
 		t.Fatal("kill cycle produced no failovers — the scenario missed the victim")
+	}
+}
+
+// TestRouterCapabilityGate: a registration whose config pins the native
+// backend and requests a simulator-only feature is rejected by the router
+// itself — typed, before any shard traffic — with the same HTTP 400 body a
+// shard would produce.
+func TestRouterCapabilityGate(t *testing.T) {
+	rt, shards := testCluster(t, 2, 2)
+	srv := httptest.NewServer(rt.Handler())
+	defer srv.Close()
+
+	resp, err := http.Post(srv.URL+"/v1/systems", "application/json", strings.NewReader(
+		`{"gen":"poisson2d:6","config":{"solver":{"type":"cg","maxIterations":300,"tolerance":1e-8},"engine":{"backend":"native","trace":"/tmp/t.json"}}}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("router capability mismatch: status %d, want 400", resp.StatusCode)
+	}
+	var body map[string]string
+	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+		t.Fatal(err)
+	}
+	if body["unsupported"] != "device tracing" || body["backend"] != "native" {
+		t.Fatalf("typed 400 body missing capability fields: %v", body)
+	}
+	for _, sh := range shards {
+		if n := len(sh.service().Systems()); n != 0 {
+			t.Fatalf("rejected registration still placed %d system(s) on a shard", n)
+		}
 	}
 }

@@ -35,6 +35,12 @@ type SolverConfig struct {
 	MaxIterations int     `json:"maxIterations,omitempty"`
 	Tolerance     float64 `json:"tolerance,omitempty"`
 
+	// ABFT arms algorithm-based fault tolerance on the solve (top-level node
+	// only): checksum-carrying SpMV, dot/norm divergence guards and a final
+	// residual verification of converged answers. Detections recover through
+	// the recovery policy or surface as typed breakdowns.
+	ABFT bool `json:"abft,omitempty"`
+
 	// Gauss-Seidel options.
 	Sweeps    int  `json:"sweeps,omitempty"`
 	Symmetric bool `json:"symmetric,omitempty"`
@@ -238,6 +244,13 @@ type EngineConfig struct {
 	// "native" (flat host-speed kernels, no cycle accounting — the serving
 	// default). Backends agree at residual level, not bit level.
 	Backend string `json:"backend,omitempty"`
+
+	// Trace, when set, writes each run's combined host/device timeline to
+	// this file in Chrome trace-event JSON — the config spelling of the
+	// core WithTrace option. Device tracing is simulator-only: resolving
+	// this key against the native backend is a typed capability mismatch
+	// (backend.UnsupportedError), rejected at Prepare / registration time.
+	Trace string `json:"trace,omitempty"`
 }
 
 // Config is the root of a solver configuration file.
@@ -266,6 +279,14 @@ func (c Config) EngineBackend() string {
 		return ""
 	}
 	return c.Engine.Backend
+}
+
+// EngineTrace returns the configured device-trace output path ("" = off).
+func (c Config) EngineTrace() string {
+	if c.Engine == nil {
+		return ""
+	}
+	return c.Engine.Trace
 }
 
 // Default returns the paper's reference configuration:
@@ -313,7 +334,7 @@ var faultKinds = map[string]fault.Kind{
 
 // buildableSolvers are the solver types buildSolver can construct — the valid
 // targets for the top-level solver and the recovery fallback (preconditioner
-//-only types like chebyshev are excluded).
+// -only types like chebyshev are excluded).
 var buildableSolvers = map[string]bool{
 	"pbicgstab": true, "bicgstab": true, "cg": true, "richardson": true,
 	"gaussseidel": true, "jacobi": true, "ilu0": true, "dilu": true,
@@ -476,6 +497,9 @@ func (sc *SolverConfig) validate(top bool) error {
 	}
 	if sc.Tolerance < 0 {
 		return fmt.Errorf("config: negative tolerance")
+	}
+	if sc.ABFT && !top {
+		return fmt.Errorf("config: solver.abft applies to the top-level solver only")
 	}
 	if sc.Preconditioner != nil {
 		switch sc.Type {

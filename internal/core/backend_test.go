@@ -1,12 +1,14 @@
 package core
 
 import (
-	"errors"
 	"math"
+	"reflect"
 	"testing"
 
 	"ipusparse/internal/backend"
 	"ipusparse/internal/config"
+	"ipusparse/internal/graph"
+	"ipusparse/internal/solver"
 )
 
 // backendProfiles is the cross-backend identity table: every solver shape the
@@ -134,30 +136,187 @@ func TestBackendWarmIdentity(t *testing.T) {
 	}
 }
 
-// TestNativeRejectsFaultCampaign asserts the typed rejection: fault campaigns
-// are simulator-only so seeded replays stay exact.
-func TestNativeRejectsFaultCampaign(t *testing.T) {
-	m, _, _ := poissonProblem(10, 10)
+// TestNativeAcceptsFaultCampaign: fault campaigns now prepare and run on the
+// serving backend — the typed rejection is history.
+func TestNativeAcceptsFaultCampaign(t *testing.T) {
+	m, b, _ := poissonProblem(10, 10)
 	cfg := backendProfiles()["cg-jacobi"]
-	cfg.Fault = &config.FaultConfig{Rate: 0.01, Seed: 7, Kinds: []string{"bit-flip"}}
+	cfg.Fault = &config.FaultConfig{Rate: 0.001, Seed: 7, Kinds: []string{"bit-flip"}, MaxFaults: 2}
+	cfg.Recovery = &config.RecoveryConfig{Interval: 5, MaxRestarts: 20}
 	if err := cfg.Validate(); err != nil {
 		t.Fatalf("fault config invalid: %v", err)
 	}
-	_, err := Prepare(smallMachine(4), m, cfg, PartitionContiguous, WithBackend("native"))
-	if err == nil {
-		t.Fatal("native backend accepted a fault campaign")
+	prep, err := Prepare(smallMachine(4), m, cfg, PartitionContiguous, WithBackend("native"))
+	if err != nil {
+		t.Fatalf("native backend rejected a fault campaign: %v", err)
 	}
-	var ue *backend.UnsupportedError
-	if !errors.As(err, &ue) {
-		t.Fatalf("error %v (%T) is not an UnsupportedError", err, err)
+	if _, err := prep.Solve(b); err != nil {
+		if _, ok := solver.IsBreakdown(err); !ok {
+			if _, ok := graph.AsStepError(err); !ok {
+				t.Fatalf("faulted native solve failed untypedly: %v", err)
+			}
+		}
 	}
-	if !backend.IsUnsupported(err) {
-		t.Fatal("IsUnsupported did not match")
+}
+
+// faultRunSig is one solve's campaign signature: the injected-event sequence
+// plus the detection/recovery accounting that the replay-identity contract
+// pins across backends and across warm re-solves.
+type faultRunSig struct {
+	events   []string
+	detected []string
+	iters    int
+	restarts int
+	reason   string
+}
+
+func campaignSig(t *testing.T, prep *Prepared, b []float64) faultRunSig {
+	t.Helper()
+	res, err := prep.Solve(b)
+	if err != nil {
+		t.Fatalf("faulted solve: %v", err)
 	}
-	// The same campaign must still prepare on the simulator.
-	if _, err := Prepare(smallMachine(4), m, cfg, PartitionContiguous, WithBackend("sim")); err != nil {
-		t.Fatalf("simulator rejected the campaign: %v", err)
+	sig := faultRunSig{
+		detected: res.Stats.ABFTDetected,
+		iters:    res.Stats.Iterations,
+		restarts: res.Stats.Restarts,
+		reason:   res.Stats.BreakdownReason,
 	}
+	for _, ev := range res.Faults {
+		sig.events = append(sig.events, ev.String())
+	}
+	return sig
+}
+
+// TestFaultCampaignReplayIdentity is the cross-backend table test: the same
+// seeded bit-flip/exchange-corrupt campaign against the same prepared program
+// must produce the identical event sequence, ABFT detection sequence and
+// recovery accounting on the simulator and the native backend — and a warm
+// re-solve must replay it bit-identically on both.
+func TestFaultCampaignReplayIdentity(t *testing.T) {
+	m, b, _ := poissonProblem(12, 12)
+	mc := smallMachine(8)
+	cfg := backendProfiles()["cg-jacobi"]
+	cfg.Solver.ABFT = true
+	cfg.Recovery = &config.RecoveryConfig{Interval: 5, MaxRestarts: 25}
+	cfg.Fault = &config.FaultConfig{
+		Rate: 0.002, Seed: 11, MaxFaults: 4,
+		Kinds: []string{"bit-flip", "exchange-corrupt"},
+	}
+	sigs := make(map[string]faultRunSig)
+	for _, be := range []string{"sim", "native"} {
+		prep, err := Prepare(mc, m, cfg, PartitionContiguous, WithBackend(be))
+		if err != nil {
+			t.Fatalf("%s: %v", be, err)
+		}
+		cold := campaignSig(t, prep, b)
+		warm := campaignSig(t, prep, b)
+		if !reflect.DeepEqual(cold, warm) {
+			t.Fatalf("%s: warm replay diverged:\ncold %+v\nwarm %+v", be, cold, warm)
+		}
+		sigs[be] = cold
+	}
+	if len(sigs["sim"].events) == 0 {
+		t.Fatal("campaign injected nothing; the table test is vacuous")
+	}
+	if !reflect.DeepEqual(sigs["sim"], sigs["native"]) {
+		t.Fatalf("campaign diverged across backends:\nsim    %+v\nnative %+v", sigs["sim"], sigs["native"])
+	}
+}
+
+// TestSolveBatchFaultAccounting pins the per-RHS (not per-batch) campaign
+// accounting of (*Prepared).SolveBatch: the injector re-arms before every
+// right-hand side, so each batch item replays the campaign exactly as a
+// standalone solve of the same right-hand side would — bit-identically.
+func TestSolveBatchFaultAccounting(t *testing.T) {
+	m, _, _ := poissonProblem(12, 12)
+	b1, b2, _, _ := twoRHS(m)
+	mc := smallMachine(8)
+	cfg := backendProfiles()["cg-jacobi"]
+	cfg.Recovery = &config.RecoveryConfig{Interval: 5, MaxRestarts: 25}
+	cfg.Fault = &config.FaultConfig{
+		Rate: 0.002, Seed: 11, MaxFaults: 4,
+		Kinds: []string{"bit-flip", "exchange-corrupt"},
+	}
+	for _, be := range []string{"sim", "native"} {
+		prep, err := Prepare(mc, m, cfg, PartitionContiguous, WithBackend(be))
+		if err != nil {
+			t.Fatalf("%s: %v", be, err)
+		}
+		batch, err := prep.SolveBatch([][]float64{b1, b2, b1})
+		if err != nil {
+			t.Fatalf("%s: batch: %v", be, err)
+		}
+		single1, err := prep.Solve(b1)
+		if err != nil {
+			t.Fatalf("%s: %v", be, err)
+		}
+		if len(single1.Faults) == 0 {
+			t.Fatalf("%s: campaign injected nothing; the accounting test is vacuous", be)
+		}
+		for i := range single1.X {
+			// rhs0 and rhs2 see the same re-armed campaign as the standalone
+			// solve; if the campaign ran on across the batch they would
+			// diverge from it (and from each other).
+			if batch.X[0][i] != single1.X[i] || batch.X[2][i] != single1.X[i] {
+				t.Fatalf("%s: batch campaign accounting is not per-RHS (diverges at %d)", be, i)
+			}
+		}
+		if batch.Stats[0].Iterations != single1.Stats.Iterations ||
+			batch.Stats[2].Iterations != single1.Stats.Iterations {
+			t.Fatalf("%s: batch iteration counts %d/%d vs standalone %d",
+				be, batch.Stats[0].Iterations, batch.Stats[2].Iterations, single1.Stats.Iterations)
+		}
+	}
+}
+
+// TestABFTNoSilentEscapes is the in-process SDC campaign: across seeds, every
+// corrupted native solve must end recovered-and-verified, reported
+// non-converged, or rejected with a typed error — never converged with a bad
+// answer (checked against a float64 host oracle, independent of every device
+// buffer a fault could poison).
+func TestABFTNoSilentEscapes(t *testing.T) {
+	m, b, _ := poissonProblem(12, 12)
+	mc := smallMachine(8)
+	base := backendProfiles()["cg-jacobi"]
+	base.Solver.ABFT = true
+	base.Recovery = &config.RecoveryConfig{Interval: 5, MaxRestarts: 25}
+	tol := base.Solver.Tolerance
+	injected, detections := 0, 0
+	for seed := int64(1); seed <= 8; seed++ {
+		cfg := base
+		cfg.Fault = &config.FaultConfig{
+			Rate: 0.004, Seed: seed, MaxFaults: 3,
+			Kinds: []string{"bit-flip", "exchange-corrupt"},
+		}
+		prep, err := Prepare(mc, m, cfg, PartitionContiguous, WithBackend("native"))
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		res, err := prep.Solve(b)
+		if err != nil {
+			if _, ok := solver.IsBreakdown(err); ok {
+				continue // typed rejection: never served
+			}
+			if _, ok := graph.AsStepError(err); ok {
+				continue // engine-surfaced fault: never served
+			}
+			t.Fatalf("seed %d: untyped failure: %v", seed, err)
+		}
+		injected += len(res.Faults)
+		detections += len(res.Stats.ABFTDetected)
+		if !res.Stats.Converged {
+			continue // honestly reported non-convergence
+		}
+		if rr := relResidual(t, m.N, func(x, y []float64) { m.MulVec(x, y) }, res.X, b); rr > tol*100 {
+			t.Fatalf("seed %d: SILENT ESCAPE: converged with residual %g (tol %g), faults %v",
+				seed, rr, tol, res.Faults)
+		}
+	}
+	if injected == 0 {
+		t.Fatal("no faults injected across any seed; the campaign is vacuous")
+	}
+	t.Logf("campaign: %d faults injected, %d ABFT detections", injected, detections)
 }
 
 // TestNativeRejectsTraceAndPerCallBackend covers the other typed rejections:

@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 	"io"
+	"os"
 	"sync"
 	"time"
 
@@ -52,7 +53,10 @@ type Prepared struct {
 
 	// Prepare-time option defaults, overridable per Solve call.
 	traceOut io.Writer
-	inst     *coreInstruments
+	// tracePath is the engine.trace config key: each Solve writes its device
+	// timeline to this file when no writer-valued trace option overrides it.
+	tracePath string
+	inst      *coreInstruments
 
 	// Prepare-phase wall times, replayed on the host track of every exported
 	// trace so a run's timeline shows the amortized work it skipped.
@@ -83,22 +87,30 @@ func Prepare(machineCfg ipu.Config, m *sparse.Matrix, cfg config.Config, strateg
 	if err != nil {
 		return nil, err
 	}
+	// Capability gate: a config that requests simulator-only features on a
+	// backend that cannot honor them fails here, with the same typed error
+	// the serving layers surface at registration time.
+	if err := backend.CheckConfig(be, &cfg); err != nil {
+		return nil, err
+	}
 	// The injector must be registered before any tensors exist so bit flips
-	// can target every device buffer the program allocates.
+	// can target every device buffer the program allocates. Both backends
+	// consult it at identical program points, so campaigns replay across them.
 	var inj *fault.Injector
 	if cfg.Fault != nil && cfg.Fault.Rate > 0 {
-		if !be.SupportsFaults() {
-			// Typed rejection: seeded campaigns must replay exactly, which
-			// only the cycle-accurate simulator guarantees.
-			return nil, &backend.UnsupportedError{Backend: be.Name(), Feature: "fault injection"}
-		}
 		inj = fault.New(cfg.Fault.Plan())
+	}
+	if ro.abftSet {
+		// The option wins over the solver.abft config key; ABFT reshapes the
+		// scheduled program, so it is fixed here like the backend itself.
+		cfg.Solver.ABFT = ro.abft
 	}
 	p, err := prepare(machineCfg, m, cfg, strategy, inj, be, newCoreInstruments(ro.reg))
 	if err != nil {
 		return nil, err
 	}
 	p.traceOut = ro.trace
+	p.tracePath = cfg.EngineTrace()
 	if ro.parSet {
 		p.par = ro.par
 	}
@@ -120,6 +132,11 @@ func prepare(machineCfg ipu.Config, m *sparse.Matrix, cfg config.Config, strateg
 	sys, err := ctx.LoadSystem(m, strategy)
 	if err != nil {
 		return nil, err
+	}
+	if cfg.Solver.ABFT {
+		// Arm checksum-carrying SpMV before any solver schedules work so
+		// every SpMV in the hierarchy carries its check.
+		sys.EnableABFT(0)
 	}
 	partitionSecs := time.Since(phaseStart).Seconds()
 	rec, err := config.BuildRecovery(sys, cfg.Recovery)
@@ -223,12 +240,13 @@ type PipelineInfo struct {
 	N       int    // rows of the prepared system
 	Solver  string // name of the scheduled solver hierarchy
 	Backend string // execution backend ("sim" or "native")
+	ABFT    bool   // checksum-carrying SpMV armed on the scheduled program
 	Report  graph.Report
 }
 
 // Info returns the prepared pipeline's description.
 func (p *Prepared) Info() PipelineInfo {
-	return PipelineInfo{N: p.n, Solver: p.st.Solver, Backend: p.be.Name(), Report: p.report}
+	return PipelineInfo{N: p.n, Solver: p.st.Solver, Backend: p.be.Name(), ABFT: p.sys.ABFTEnabled(), Report: p.report}
 }
 
 // SetParallelism overrides the engine host parallelism for subsequent Solve
@@ -305,12 +323,29 @@ func (p *Prepared) run(b []float64, ro runOptions) (*Result, error) {
 		traceOut = p.traceOut
 	}
 	if rr.Tracer != nil {
-		if err := p.writeTrace(traceOut, rr.Tracer, execWall.Seconds()); err != nil {
+		if traceOut == nil && p.tracePath != "" {
+			f, err := os.Create(p.tracePath)
+			if err != nil {
+				return nil, fmt.Errorf("core: engine.trace: %w", err)
+			}
+			werr := p.writeTrace(f, rr.Tracer, execWall.Seconds())
+			if cerr := f.Close(); werr == nil {
+				werr = cerr
+			}
+			if werr != nil {
+				return nil, werr
+			}
+		} else if err := p.writeTrace(traceOut, rr.Tracer, execWall.Seconds()); err != nil {
 			return nil, err
 		}
 	}
 	stats := p.st
 	stats.History = append([]solver.HistPoint(nil), p.st.History...)
+	if len(p.st.ABFTDetected) > 0 {
+		// Detach the detection list from the system's per-run scratch so the
+		// result stays valid across later solves.
+		stats.ABFTDetected = append([]string(nil), p.st.ABFTDetected...)
+	}
 	res := &Result{
 		X:               p.sys.GetGlobal(p.xT),
 		Stats:           stats,
@@ -369,10 +404,11 @@ func (p *Prepared) runLocked(b []float64, ro runOptions, collectProfile bool) (b
 		// cold run of the same program would.
 		p.inj.ResetForRun()
 	}
+	p.sys.ABFTResetRun()
 
 	rc := backend.RunConfig{
 		Parallelism:    par,
-		Trace:          traceOut != nil,
+		Trace:          traceOut != nil || p.tracePath != "",
 		CollectProfile: collectProfile,
 	}
 	if p.inj != nil {
@@ -387,6 +423,11 @@ func (p *Prepared) runLocked(b []float64, ro runOptions, collectProfile bool) (b
 		return backend.RunResult{}, 0, err
 	}
 	execWall := time.Since(execStart)
+	if p.sys.ABFTEnabled() {
+		// The detection slice aliases per-run state inside the system; it is
+		// only read between here and the next run, which holds the same lock.
+		p.st.ABFTChecks, p.st.ABFTDetected = p.sys.ABFTRunReport()
+	}
 	if inst != nil {
 		// Post-run flush: per-tile distributions, aggregate cycle counters and
 		// the solver outcome — all off the superstep hot path.
@@ -408,6 +449,7 @@ type SolveStats struct {
 	RelRes          float64
 	Restarts        int
 	Recovered       bool
+	ABFTChecks      uint64
 	ExecWallSeconds float64
 }
 
@@ -419,6 +461,7 @@ func (p *Prepared) leanStats(execWall time.Duration) SolveStats {
 		RelRes:          p.st.RelRes,
 		Restarts:        p.st.Restarts,
 		Recovered:       p.st.Recovered,
+		ABFTChecks:      p.st.ABFTChecks,
 		ExecWallSeconds: execWall.Seconds(),
 	}
 }

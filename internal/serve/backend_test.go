@@ -1,10 +1,18 @@
 package serve
 
 import (
+	"bytes"
 	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
 	"sync"
 	"testing"
 
+	"ipusparse/internal/backend"
 	"ipusparse/internal/config"
 	"ipusparse/internal/sparse"
 )
@@ -141,5 +149,61 @@ func TestNativeReplicasConcurrent(t *testing.T) {
 	}
 	if st := s.Stats(); st.Solved != goroutines*per {
 		t.Fatalf("solved = %d, want %d", st.Solved, goroutines*per)
+	}
+}
+
+// TestRegisterCapabilityGate: a config that requests a simulator-only
+// feature (device tracing) on the native default replica is rejected at
+// registration time — API-level with the typed backend.UnsupportedError,
+// HTTP-level with a 400 and the typed capability body — never on the first
+// solve. The same config pinned to the simulator registers and solves, with
+// the engine.trace key writing the device timeline.
+func TestRegisterCapabilityGate(t *testing.T) {
+	opts := testOptions()
+	s := New(opts)
+	defer s.Close()
+	m := sparse.Poisson2D(8, 8)
+
+	traced := opts.Solver
+	traced.Engine = &config.EngineConfig{Trace: filepath.Join(t.TempDir(), "run.json")}
+	if _, err := s.Register(context.Background(), m, &traced); !backend.IsUnsupported(err) {
+		t.Fatalf("native registration with engine.trace: err=%v, want typed UnsupportedError", err)
+	}
+
+	srv := httptest.NewServer(s.Handler())
+	defer srv.Close()
+	resp, err := http.Post(srv.URL+"/v1/systems", "application/json", strings.NewReader(
+		`{"gen":"poisson2d:6","config":{"solver":{"type":"cg","maxIterations":300,"tolerance":1e-8},"engine":{"trace":"/tmp/ipusparse-trace.json"}}}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("capability mismatch over HTTP: status %d, want 400", resp.StatusCode)
+	}
+	var body map[string]string
+	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+		t.Fatal(err)
+	}
+	if body["unsupported"] != "device tracing" || body["backend"] != "native" {
+		t.Fatalf("typed 400 body missing capability fields: %v", body)
+	}
+
+	// Pinned to the simulator the same request is fine, and a solve writes
+	// the configured trace file.
+	traced.Engine.Backend = "sim"
+	info, err := s.Register(context.Background(), m, &traced)
+	if err != nil {
+		t.Fatalf("sim registration with engine.trace: %v", err)
+	}
+	if _, err := s.Solve(context.Background(), info.ID, onesRHS(m)); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(traced.Engine.Trace)
+	if err != nil {
+		t.Fatalf("engine.trace wrote nothing: %v", err)
+	}
+	if !bytes.Contains(data, []byte("traceEvents")) {
+		t.Fatalf("engine.trace output is not a trace-event file: %.80s", data)
 	}
 }

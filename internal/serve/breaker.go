@@ -9,9 +9,9 @@ import (
 type breakerState int
 
 const (
-	breakerClosed breakerState = iota // normal operation
-	breakerOpen                       // shedding load, cooling down
-	breakerHalfOpen                   // admitting a single probe
+	breakerClosed   breakerState = iota // normal operation
+	breakerOpen                         // shedding load, cooling down
+	breakerHalfOpen                     // admitting a single probe
 )
 
 // String implements fmt.Stringer.

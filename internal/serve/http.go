@@ -8,6 +8,7 @@ import (
 	"net/http"
 	"time"
 
+	"ipusparse/internal/backend"
 	"ipusparse/internal/config"
 	"ipusparse/internal/core"
 	"ipusparse/internal/sparse"
@@ -205,6 +206,18 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 }
 
 func writeError(w http.ResponseWriter, err error) {
+	var ue *backend.UnsupportedError
+	if errors.As(err, &ue) {
+		// Typed capability-mismatch body: clients (and the cluster router)
+		// can tell "this replica's backend cannot do that" apart from a
+		// malformed request without parsing the message text.
+		writeJSON(w, http.StatusBadRequest, map[string]string{
+			"error":       ue.Error(),
+			"backend":     ue.Backend,
+			"unsupported": ue.Feature,
+		})
+		return
+	}
 	writeJSON(w, httpStatus(err), map[string]string{"error": err.Error()})
 }
 

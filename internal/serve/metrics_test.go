@@ -52,7 +52,7 @@ func TestStatsJSONShape(t *testing.T) {
 		"queueDepth", "rejected", "solved",
 		"p50Ms", "p99Ms", "cyclesPerSolve", "backend",
 		"retries", "hedges", "hedgeWins", "panics",
-		"quarantined", "rebuilt", "verified", "verifyFailed",
+		"quarantined", "rebuilt", "verified", "verifyFailed", "sdcEscapes",
 		"breakerRejected", "breakerOpens", "breakersOpen",
 		"registryWalErrors", "draining",
 	}

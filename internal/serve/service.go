@@ -7,8 +7,8 @@
 package serve
 
 import (
-	"context"
 	"container/list"
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -67,15 +67,15 @@ type Options struct {
 	Backend string
 
 	// Resilience layer.
-	MaxBodyBytes    int64         // HTTP request-body bound (default 8 MiB)
-	VerifyTolerance float64       // residual-verification threshold (default 1e-4)
-	RetryMax        int           // extra attempts after a retryable failure (default 2, -1 disables)
-	RetryBase       time.Duration // first retry backoff, doubled with jitter (default 5ms)
-	HedgeAfter      time.Duration // hedged-solve floor delay (0 disables hedging)
-	BreakerThreshold int          // consecutive failures that open a breaker (default 5, -1 disables)
-	BreakerCooldown time.Duration // open-breaker cooldown before a half-open probe (default 1s)
-	StateDir        string        // crash-safe registry directory ("" disables persistence)
-	Chaos           *fault.Chaos  // service-level chaos campaign (nil disables)
+	MaxBodyBytes     int64         // HTTP request-body bound (default 8 MiB)
+	VerifyTolerance  float64       // residual-verification threshold (default 1e-4)
+	RetryMax         int           // extra attempts after a retryable failure (default 2, -1 disables)
+	RetryBase        time.Duration // first retry backoff, doubled with jitter (default 5ms)
+	HedgeAfter       time.Duration // hedged-solve floor delay (0 disables hedging)
+	BreakerThreshold int           // consecutive failures that open a breaker (default 5, -1 disables)
+	BreakerCooldown  time.Duration // open-breaker cooldown before a half-open probe (default 1s)
+	StateDir         string        // crash-safe registry directory ("" disables persistence)
+	Chaos            *fault.Chaos  // service-level chaos campaign (nil disables)
 
 	// Telemetry receives every service, pipeline, engine and machine metric
 	// (default: a private registry, exposed on /metrics and /stats). Live
@@ -93,6 +93,7 @@ func OptionsFromConfig(c config.Config) Options {
 		Solver:   c.Solver,
 		MPIR:     c.MPIR,
 		Recovery: c.Recovery,
+		Fault:    c.Fault,
 		Engine:   c.Engine,
 	}}
 	o.Backend = c.EngineBackend()
@@ -403,6 +404,13 @@ func (s *Service) register(ctx context.Context, m *sparse.Matrix, cfg *config.Co
 	}
 	be, err := backend.ByName(beName)
 	if err != nil {
+		return SystemInfo{}, err
+	}
+	// Capability gate before the expensive warm-up prepare: a config that
+	// requests simulator-only features on this replica's backend is rejected
+	// here, at registration time, with the typed error the HTTP layer maps to
+	// a 400 — never on the first solve.
+	if err := backend.CheckConfig(be, &c); err != nil {
 		return SystemInfo{}, err
 	}
 	sys := &system{

@@ -43,6 +43,7 @@ type Stats struct {
 	Rebuilt         uint64 `json:"rebuilt"`         // replicas rebuilt after quarantine
 	Verified        uint64 `json:"verified"`        // answers that passed residual verification
 	VerifyFailed    uint64 `json:"verifyFailed"`    // answers rejected by residual verification
+	SDCEscapes      uint64 `json:"sdcEscapes"`      // claimed-converged answers only the host oracle caught
 	BreakerRejected uint64 `json:"breakerRejected"` // solves shed by an open circuit breaker
 	BreakerOpens    uint64 `json:"breakerOpens"`    // circuit-breaker open transitions
 	BreakersOpen    int    `json:"breakersOpen"`    // systems currently shedding load
@@ -71,6 +72,7 @@ type statsCollector struct {
 	rebuilt         *telemetry.Counter
 	verified        *telemetry.Counter
 	verifyFailed    *telemetry.Counter
+	sdcEscapes      *telemetry.Counter
 	breakerRejected *telemetry.Counter
 	breakerOpens    *telemetry.Counter
 
@@ -89,14 +91,20 @@ func newStatsCollector(reg *telemetry.Registry) statsCollector {
 		solved:    reg.Counter("serve_solves_total", "Completed solves."),
 		cycles:    reg.Counter("serve_solve_cycles_total", "Simulated IPU cycles over all completed solves."),
 
-		retries:         reg.Counter("serve_retries_total", "Retry attempts after retryable failures."),
-		hedges:          reg.Counter("serve_hedges_total", "Hedged (second-replica) attempts fired."),
-		hedgeWins:       reg.Counter("serve_hedge_wins_total", "Hedged attempts that returned the answer."),
-		panics:          reg.Counter("serve_panics_total", "Replica panics caught by the supervisor."),
-		quarantined:     reg.Counter("serve_quarantined_total", "Replicas dropped as corrupt."),
-		rebuilt:         reg.Counter("serve_rebuilt_total", "Replicas rebuilt after quarantine."),
-		verified:        reg.Counter("serve_verified_total", "Answers that passed residual verification."),
-		verifyFailed:    reg.Counter("serve_verify_failed_total", "Answers rejected by residual verification."),
+		retries:      reg.Counter("serve_retries_total", "Retry attempts after retryable failures."),
+		hedges:       reg.Counter("serve_hedges_total", "Hedged (second-replica) attempts fired."),
+		hedgeWins:    reg.Counter("serve_hedge_wins_total", "Hedged attempts that returned the answer."),
+		panics:       reg.Counter("serve_panics_total", "Replica panics caught by the supervisor."),
+		quarantined:  reg.Counter("serve_quarantined_total", "Replicas dropped as corrupt."),
+		rebuilt:      reg.Counter("serve_rebuilt_total", "Replicas rebuilt after quarantine."),
+		verified:     reg.Counter("serve_verified_total", "Answers that passed residual verification."),
+		verifyFailed: reg.Counter("serve_verify_failed_total", "Answers rejected by residual verification."),
+		// Shared with solver.Metrics (instrument registration is idempotent
+		// per name): a claimed-converged answer that only the independent
+		// host oracle rejected means the corruption escaped every in-loop
+		// ABFT guard — the number sdc-smoke asserts stays zero.
+		sdcEscapes: reg.Counter("sdc_escapes_total",
+			"Corrupted claimed-converged answers that escaped in-loop ABFT detection."),
 		breakerRejected: reg.Counter("serve_breaker_rejected_total", "Solves shed by an open circuit breaker."),
 		breakerOpens:    reg.Counter("serve_breaker_opens_total", "Circuit-breaker open transitions."),
 
@@ -138,6 +146,7 @@ func (s *Service) Stats() Stats {
 		Rebuilt:         s.stats.rebuilt.Value(),
 		Verified:        s.stats.verified.Value(),
 		VerifyFailed:    s.stats.verifyFailed.Value(),
+		SDCEscapes:      s.stats.sdcEscapes.Value(),
 		BreakerRejected: s.stats.breakerRejected.Value(),
 		BreakerOpens:    s.stats.breakerOpens.Value(),
 		BreakersOpen:    s.openBreakers(),

@@ -322,10 +322,17 @@ func (s *Service) verifyResult(sys *system, res *core.Result, b []float64) error
 	relres, finite := trueResidual(sys.m, res.X, b)
 	if !finite {
 		s.stats.verifyFailed.Add(1)
+		if res.Stats.Converged {
+			s.stats.sdcEscapes.Add(1)
+		}
 		return &VerifyError{Computed: math.Inf(1), Reported: res.Stats.RelRes, Tol: sys.verifyTol}
 	}
 	if res.Stats.Converged && relres > sys.verifyTol {
+		// A wrong answer the solver claimed converged: the corruption passed
+		// every in-loop ABFT guard and only this independent oracle caught
+		// it. sdc-smoke (and the resilience gates) assert this stays zero.
 		s.stats.verifyFailed.Add(1)
+		s.stats.sdcEscapes.Add(1)
 		return &VerifyError{Computed: relres, Reported: res.Stats.RelRes, Tol: sys.verifyTol}
 	}
 	s.stats.verified.Add(1)

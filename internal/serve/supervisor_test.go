@@ -337,3 +337,53 @@ func TestShutdownRaces(t *testing.T) {
 		t.Fatal("Close did not return")
 	}
 }
+
+// TestChaosBatchPerRHSAccounting pins the chaos accounting contract of
+// SolveBatch: the campaign is consulted once per right-hand side per attempt
+// — each batch item is its own supervised job — not once per batch. With
+// rate 1 and a budget of exactly len(batch) events, every item's first
+// attempt draws one injected host error and its retry succeeds, so the event
+// count equals the batch size and every item still gets a verified answer.
+func TestChaosBatchPerRHSAccounting(t *testing.T) {
+	const batchSize = 5
+	opts := testOptions()
+	opts.RetryMax = 3
+	opts.RetryBase = time.Millisecond
+	opts.BreakerThreshold = -1
+	opts.Chaos = fault.NewChaos(fault.ChaosPlan{
+		Seed:      7,
+		Rate:      1,
+		Kinds:     []fault.ChaosKind{fault.ChaosHostError},
+		MaxEvents: batchSize,
+	})
+	s := New(opts)
+	defer s.Close()
+
+	m := sparse.Poisson2D(9, 9)
+	info, err := s.Register(context.Background(), m, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rhs := make([][]float64, batchSize)
+	for i := range rhs {
+		rhs[i] = onesRHS(m)
+	}
+	items, err := s.SolveBatch(context.Background(), info.ID, rhs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, it := range items {
+		if it.Err != nil {
+			t.Fatalf("batch item %d failed: %v", i, it.Err)
+		}
+		if !it.Result.Stats.Converged {
+			t.Fatalf("batch item %d did not converge", i)
+		}
+	}
+	if got := opts.Chaos.Count(fault.ChaosHostError); got != batchSize {
+		t.Fatalf("chaos consulted %d times, want one per RHS (%d): accounting is not per-RHS", got, batchSize)
+	}
+	if st := s.Stats(); st.Retries < batchSize {
+		t.Fatalf("retries = %d, want ≥ %d (each RHS retried past its injected fault)", st.Retries, batchSize)
+	}
+}

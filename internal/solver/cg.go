@@ -75,7 +75,11 @@ func (s *CG) ScheduleSolve(x, b Tensor, st *RunStats) {
 		g         *guard
 		fbSt      RunStats
 		fellback  bool
+
+		abftBest   float64
+		abftReason string
 	)
+	abftOn := sys.ABFTEnabled()
 	if s.Recover != nil {
 		g = newGuard(s.Recover, x, s.Tol, st)
 	}
@@ -91,6 +95,7 @@ func (s *CG) ScheduleSolve(x, b Tensor, st *RunStats) {
 	ts.HostCallback("cg:init", func() error {
 		iter, stop = 0, false
 		fellback = false
+		abftBest, abftReason = math.Inf(1), ""
 		fbSt.ResetForRun()
 		bnormHost = sqrtPos(bnorm2.Value())
 		relres = math.Inf(1)
@@ -168,6 +173,22 @@ func (s *CG) ScheduleSolve(x, b Tensor, st *RunStats) {
 			} else {
 				relres = math.Sqrt(res2.Value()) / bnormHost
 			}
+			if abftOn {
+				// Consume a checksum detection from this iteration's SpMV, or
+				// trip the dot-kernel divergence guard; either routes through
+				// fail so Recovery can checkpoint-restart.
+				if reason := sys.abftConsume(); reason != "" {
+					abftReason = reason
+					fail(reason)
+				} else if reason := abftMonotonicity(relres, abftBest); reason != "" {
+					sys.abftNote("dot")
+					abftReason = reason
+					fail(reason)
+				}
+				if relres < abftBest {
+					abftBest = relres
+				}
+			}
 			if st != nil {
 				st.Iterations = iter
 				st.RelRes = relres
@@ -212,6 +233,21 @@ func (s *CG) ScheduleSolve(x, b Tensor, st *RunStats) {
 			fb.ScheduleSolve(x, b, &fbSt)
 		}, nil)
 	}
+	if abftOn {
+		// Final verification: a converged ABFT solve must prove its answer
+		// with a freshly scheduled residual before it is believed.
+		sys.scheduleABFTVerify("cg", x, b, s.Tol,
+			func() bool { return !fellback && s.Tol > 0 && relres <= s.Tol },
+			func() float64 { return bnormHost },
+			func(trueRel float64) {
+				abftReason = "abft-final-verify"
+				relres = trueRel
+				if st != nil {
+					st.Breakdown = true
+					st.BreakdownReason = abftReason
+				}
+			})
+	}
 	ts.HostCallback("cg:done", func() error {
 		converged := s.Tol > 0 && relres <= s.Tol
 		if fellback {
@@ -231,6 +267,11 @@ func (s *CG) ScheduleSolve(x, b Tensor, st *RunStats) {
 		}
 		if g != nil && g.failed && !converged {
 			return g.breakdownError(s.Name())
+		}
+		// An ABFT detection that was neither recovered nor out-converged is a
+		// typed breakdown — never a silently wrong (or silently absent) answer.
+		if abftOn && s.Tol > 0 && abftReason != "" && !converged && (g == nil || !g.failed) {
+			return abftBreakdownError(s.Name(), abftReason, iter)
 		}
 		return nil
 	})

@@ -87,7 +87,11 @@ func (s *PBiCGStab) ScheduleSolve(x, b Tensor, st *RunStats) {
 		g         *guard
 		fbSt      RunStats
 		fellback  bool
+
+		abftBest   float64
+		abftReason string
 	)
+	abftOn := sys.ABFTEnabled()
 	if s.Recover != nil {
 		g = newGuard(s.Recover, x, s.Tol, st)
 	}
@@ -106,6 +110,7 @@ func (s *PBiCGStab) ScheduleSolve(x, b Tensor, st *RunStats) {
 	ts.HostCallback("bicg:init", func() error {
 		iter, stop = 0, false
 		fellback = false
+		abftBest, abftReason = math.Inf(1), ""
 		fbSt.ResetForRun()
 		bnormHost = math.Sqrt(bnorm2.Value())
 		if bnormHost == 0 {
@@ -226,6 +231,22 @@ func (s *PBiCGStab) ScheduleSolve(x, b Tensor, st *RunStats) {
 			} else {
 				relres = math.Sqrt(res2b.Value()) / bnormHost
 			}
+			if abftOn {
+				// Consume checksum detections from this iteration's SpMVs, or
+				// trip the dot-kernel divergence guard; either routes through
+				// fail so Recovery can checkpoint-restart.
+				if reason := sys.abftConsume(); reason != "" {
+					abftReason = reason
+					fail(reason)
+				} else if reason := abftMonotonicity(relres, abftBest); reason != "" {
+					sys.abftNote("dot")
+					abftReason = reason
+					fail(reason)
+				}
+				if relres < abftBest {
+					abftBest = relres
+				}
+			}
 			if st != nil {
 				st.Iterations = iter
 				st.RelRes = relres
@@ -275,6 +296,21 @@ func (s *PBiCGStab) ScheduleSolve(x, b Tensor, st *RunStats) {
 			fb.ScheduleSolve(x, b, &fbSt)
 		}, nil)
 	}
+	if abftOn {
+		// Final verification: a converged ABFT solve must prove its answer
+		// with a freshly scheduled residual before it is believed.
+		sys.scheduleABFTVerify("bicg", x, b, s.Tol,
+			func() bool { return !fellback && s.Tol > 0 && relres <= s.Tol },
+			func() float64 { return bnormHost },
+			func(trueRel float64) {
+				abftReason = "abft-final-verify"
+				relres = trueRel
+				if st != nil {
+					st.Breakdown = true
+					st.BreakdownReason = abftReason
+				}
+			})
+	}
 	ts.HostCallback("bicg:done", func() error {
 		converged := s.Tol > 0 && relres <= s.Tol
 		if fellback {
@@ -294,6 +330,11 @@ func (s *PBiCGStab) ScheduleSolve(x, b Tensor, st *RunStats) {
 		}
 		if g != nil && g.failed && !converged {
 			return g.breakdownError(s.Name())
+		}
+		// An ABFT detection that was neither recovered nor out-converged is a
+		// typed breakdown — never a silently wrong (or silently absent) answer.
+		if abftOn && s.Tol > 0 && abftReason != "" && !converged && (g == nil || !g.failed) {
+			return abftBreakdownError(s.Name(), abftReason, iter)
 		}
 		return nil
 	})
@@ -343,7 +384,11 @@ func (s *Richardson) ScheduleSolve(x, b Tensor, st *RunStats) {
 		bnormHost float64
 		stop      bool
 		g         *guard
+
+		abftBest   float64
+		abftReason string
 	)
+	abftOn := sys.ABFTEnabled()
 	if s.Recover != nil {
 		g = newGuard(s.Recover, x, s.Tol, st)
 	}
@@ -358,6 +403,7 @@ func (s *Richardson) ScheduleSolve(x, b Tensor, st *RunStats) {
 	}
 	ts.HostCallback("rich:init", func() error {
 		iter, stop = 0, false
+		abftBest, abftReason = math.Inf(1), ""
 		bnormHost = math.Sqrt(bnorm2.Value())
 		if bnormHost == 0 {
 			bnormHost = 1
@@ -410,6 +456,19 @@ func (s *Richardson) ScheduleSolve(x, b Tensor, st *RunStats) {
 					g.save(iter)
 				}
 			}
+			if abftOn {
+				if reason := sys.abftConsume(); reason != "" {
+					abftReason = reason
+					fail(reason)
+				} else if reason := abftMonotonicity(relres, abftBest); reason != "" {
+					sys.abftNote("dot")
+					abftReason = reason
+					fail(reason)
+				}
+				if relres < abftBest {
+					abftBest = relres
+				}
+			}
 			if st != nil {
 				st.Iterations = iter
 				st.RelRes = relres
@@ -421,6 +480,19 @@ func (s *Richardson) ScheduleSolve(x, b Tensor, st *RunStats) {
 			return nil
 		})
 	})
+	if abftOn {
+		sys.scheduleABFTVerify("rich", x, b, s.Tol,
+			func() bool { return s.Tol > 0 && relres <= s.Tol },
+			func() float64 { return bnormHost },
+			func(trueRel float64) {
+				abftReason = "abft-final-verify"
+				relres = trueRel
+				if st != nil {
+					st.Breakdown = true
+					st.BreakdownReason = abftReason
+				}
+			})
+	}
 	ts.HostCallback("rich:done", func() error {
 		converged := s.Tol > 0 && relres <= s.Tol
 		if st != nil {
@@ -432,6 +504,9 @@ func (s *Richardson) ScheduleSolve(x, b Tensor, st *RunStats) {
 		}
 		if g != nil && g.failed && !converged {
 			return g.breakdownError(s.Name())
+		}
+		if abftOn && s.Tol > 0 && abftReason != "" && !converged && (g == nil || !g.failed) {
+			return abftBreakdownError(s.Name(), abftReason, iter)
 		}
 		return nil
 	})

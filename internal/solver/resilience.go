@@ -58,10 +58,10 @@ type guard struct {
 	ckptIter   int
 	lastShadow float64 // shadow residual at the last verified checkpoint
 	restarts   int
-	pending  bool // a restore branch should fire at the next loop entry
-	failed   bool // restart budget spent
-	reason   string
-	failIter int
+	pending    bool // a restore branch should fire at the next loop entry
+	failed     bool // restart budget spent
+	reason     string
+	failIter   int
 }
 
 func newGuard(rec *Recovery, x Tensor, tol float64, st *RunStats) *guard {

@@ -30,6 +30,13 @@ type RunStats struct {
 	// checkpoint (or escalated to the fallback solver) and still converged.
 	Recovered bool
 	History   []HistPoint
+
+	// ABFTChecks counts the checksum verifications this run executed;
+	// ABFTDetected carries the kernel tag ("spmv", "dot", "final-verify") of
+	// each detection in program order. Filled after execution from
+	// System.ABFTRunReport — zero/nil when ABFT is off.
+	ABFTChecks   uint64
+	ABFTDetected []string
 }
 
 // record appends a history sample.

@@ -81,6 +81,9 @@ type System struct {
 	// permScratch carries the reordered view of one host vector between the
 	// permutation and the device write, reused across solves.
 	permScratch []float64
+
+	// abft, when non-nil, arms checksum-carrying SpMV (see abft.go).
+	abft *abftState
 }
 
 // NewSystem reorders matrix m under the partition, localizes it per tile,
@@ -360,6 +363,9 @@ func (sys *System) SpMV(dst, src *tensordsl.Tensor) {
 	}
 	cs.NativeKernel = sys.nativeSpMV(dst, src, halos)
 	sys.Sess.Append(graph.Compute{Set: cs})
+	if sys.abft != nil {
+		sys.scheduleABFTCheck(dst, src)
+	}
 }
 
 // nativeSpMV is the flat host-speed SpMV the native backend executes: one

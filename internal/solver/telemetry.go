@@ -17,6 +17,14 @@ type Metrics struct {
 	// tracks the last observed relative residual (the convergence endpoint).
 	RunIterations *telemetry.Histogram
 	FinalRelRes   *telemetry.Gauge
+
+	// ABFT accounting: checksum verifications executed, detections by the
+	// kernel that caught them, and silent-data-corruption escapes (converged
+	// answers that later failed an external residual oracle — the serve layer
+	// and the SDC smoke harness increment this one).
+	ABFTChecks     *telemetry.Counter
+	ABFTDetections *telemetry.CounterVec // by kernel
+	SDCEscapes     *telemetry.Counter
 }
 
 // NewMetrics resolves the solver instrument set on the registry.
@@ -34,7 +42,10 @@ func NewMetrics(reg *telemetry.Registry) *Metrics {
 		RunIterations: reg.Histogram("solver_run_iterations",
 			"Iterations per solver run.",
 			telemetry.ExponentialBuckets(4, 2, 12)),
-		FinalRelRes: reg.Gauge("solver_last_relres", "Relative residual at the end of the last observed run."),
+		FinalRelRes:    reg.Gauge("solver_last_relres", "Relative residual at the end of the last observed run."),
+		ABFTChecks:     reg.Counter("abft_checks_total", "Checksum verifications executed by ABFT-armed solves."),
+		ABFTDetections: reg.CounterVec("abft_detections_total", "ABFT corruption detections by detecting kernel.", "kernel"),
+		SDCEscapes:     reg.Counter("sdc_escapes_total", "Converged answers that failed external residual verification (silent-data-corruption escapes)."),
 	}
 }
 
@@ -64,5 +75,11 @@ func (m *Metrics) ObserveRun(st *RunStats) {
 			reason = "unknown"
 		}
 		m.Breakdowns.With(reason).Inc()
+	}
+	if st.ABFTChecks > 0 {
+		m.ABFTChecks.Add(st.ABFTChecks)
+	}
+	for _, kernel := range st.ABFTDetected {
+		m.ABFTDetections.With(kernel).Inc()
 	}
 }
