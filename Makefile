@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check build test vet race bench bench-engine bench-smoke bench-backend bench-backend-smoke serve-smoke chaos-smoke metrics-smoke sdc-smoke cluster-smoke bench-cluster bench-sdc clean
+.PHONY: check build test vet race bench bench-engine bench-smoke bench-backend bench-backend-smoke serve-smoke chaos-smoke metrics-smoke refresh-smoke sdc-smoke cluster-smoke bench-cluster bench-sdc bench-refresh clean
 
 ## check: vet + build + race-enabled tests (the pre-merge gate)
 check: vet build race
@@ -62,6 +62,14 @@ chaos-smoke:
 metrics-smoke:
 	$(GO) run ./cmd/servesmoke -metrics
 
+## refresh-smoke: drive the values-only streaming path against a
+## race-enabled ipuserved -- register once, step POST /v1/update value
+## drifts that supersede the system ID while refreshing the warm prepared
+## pipelines in place, verify every step's solve exactly and require
+## prepared_refresh_total on /metrics to advance with only one cold prepare
+refresh-smoke:
+	$(GO) run ./cmd/servesmoke -refresh
+
 ## sdc-smoke: the silent-data-corruption gate -- sweep seeded bit-flip and
 ## exchange-corruption campaigns over ABFT-armed solves on both backends and
 ## verify every claimed-converged answer against an independent float64 host
@@ -88,6 +96,12 @@ bench-cluster:
 ## backends plus seeded corruption campaigns classified by outcome
 bench-sdc:
 	$(GO) run ./cmd/benchsuite -experiment sdc -sdc-json BENCH_sdc.json
+
+## bench-refresh: the values-only refresh amortization study (Table XII) and
+## its BENCH_refresh.json artifact: cold Prepare+Solve vs warm
+## UpdateValues+Solve per streaming step on both backends
+bench-refresh:
+	$(GO) run ./cmd/benchsuite -experiment refresh -refresh-json BENCH_refresh.json
 
 clean:
 	$(GO) clean ./...

@@ -1,0 +1,106 @@
+// Values-only refresh microbenchmarks (Table XII): rewriting the numeric
+// payloads of a warm prepared pipeline in place, versus the cold Prepare it
+// replaces in a streaming sequence.
+//
+//	go test -bench=BenchmarkBackendRefresh -benchmem
+//
+// In -short mode (the CI smoke step) the workload shrinks to a 64-tile
+// machine so one iteration completes in milliseconds. The native arm's
+// allocs/op is the number to watch — TestNativeRefreshZeroAlloc turns it
+// into a hard gate.
+package ipusparse
+
+import (
+	"testing"
+
+	"ipusparse/internal/config"
+	"ipusparse/internal/core"
+	"ipusparse/internal/sparse"
+)
+
+// refreshBenchPrep builds the Table XII workload — a warm prepared CG
+// pipeline plus two same-pattern value generations to alternate between, so
+// every refresh rewrites real deltas.
+func refreshBenchPrep(b *testing.B, backend string) (*core.Prepared, [2]*sparse.Matrix) {
+	cfg, n := engineBenchScale(b)
+	m := sparse.Poisson3D(n, n, n)
+	sc := config.Config{Solver: config.SolverConfig{
+		Type: "cg", MaxIterations: 10, Tolerance: 1e-10,
+		Preconditioner: &config.SolverConfig{Type: "jacobi"},
+	}}
+	prep, err := core.Prepare(cfg, m, sc, core.PartitionContiguous, core.WithBackend(backend))
+	if err != nil {
+		b.Fatal(err)
+	}
+	var gens [2]*sparse.Matrix
+	for g := range gens {
+		gm := m.Clone()
+		for i := range gm.Diag {
+			gm.Diag[i] *= 1 + 0.002*float64(1+(i+g)%7)
+		}
+		gens[g] = gm
+	}
+	if err := prep.UpdateValues(gens[0]); err != nil { // warm-up: builds the reused rewrite closure
+		b.Fatal(err)
+	}
+	return prep, gens
+}
+
+func benchmarkBackendRefresh(b *testing.B, backend string) {
+	prep, gens := refreshBenchPrep(b, backend)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := prep.UpdateValues(gens[i%2]); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkBackendRefresh measures one values-only UpdateValues per op on a
+// warm prepared pipeline — the per-step overhead a streaming caller pays
+// instead of a cold Prepare.
+func BenchmarkBackendRefresh(b *testing.B) {
+	b.Run("sim", func(b *testing.B) { benchmarkBackendRefresh(b, "sim") })
+	b.Run("native", func(b *testing.B) { benchmarkBackendRefresh(b, "native") })
+}
+
+// TestNativeRefreshZeroAlloc is the hard gate behind Table XII's allocs/op
+// column: after the first refresh builds its reused rewrite closure, the
+// native values-only refresh hot path must not allocate at all.
+func TestNativeRefreshZeroAlloc(t *testing.T) {
+	cfg, n := engineBenchScale(t)
+	if !testing.Short() {
+		n = 16 // the gate is about allocations, not scale
+	}
+	m := sparse.Poisson3D(n, n, n)
+	sc := config.Config{Solver: config.SolverConfig{
+		Type: "cg", MaxIterations: 10, Tolerance: 1e-10,
+		Preconditioner: &config.SolverConfig{Type: "jacobi"},
+	}}
+	prep, err := core.Prepare(cfg, m, sc, core.PartitionContiguous, core.WithBackend("native"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var gens [2]*sparse.Matrix
+	for g := range gens {
+		gm := m.Clone()
+		for i := range gm.Diag {
+			gm.Diag[i] *= 1 + 0.002*float64(1+(i+g)%7)
+		}
+		gens[g] = gm
+	}
+	if err := prep.UpdateValues(gens[0]); err != nil {
+		t.Fatal(err)
+	}
+	i := 0
+	allocs := testing.AllocsPerRun(20, func() {
+		i++
+		if err := prep.UpdateValues(gens[i%2]); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("native UpdateValues allocates %.1f objects per refresh, want 0", allocs)
+	}
+}

@@ -22,7 +22,7 @@ import (
 )
 
 func main() {
-	experiment := flag.String("experiment", "all", "experiment to run: all, table1..table7, fig5..fig10, halo, engine, backend, cluster, sdc")
+	experiment := flag.String("experiment", "all", "experiment to run: all, table1..table7, fig5..fig10, halo, engine, backend, cluster, sdc, refresh")
 	scale := flag.Int("scale", 64, "divide paper-scale workloads by this factor")
 	tiles := flag.Int("tiles", 64, "simulated tiles per chip for single-chip experiments")
 	full := flag.Bool("full", false, "use the full Mk2 M2000 tile counts")
@@ -32,6 +32,7 @@ func main() {
 	engineJSON := flag.String("engine-json", "", "write the engine study (Table VIII) as JSON to this file")
 	backendJSON := flag.String("backend-json", "", "write the backend study (Table X) as JSON to this file")
 	sdcJSON := flag.String("sdc-json", "", "write the SDC study (Table XI) as JSON to this file")
+	refreshJSON := flag.String("refresh-json", "", "write the refresh study (Table XII) as JSON to this file")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memProfile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	flag.Parse()
@@ -60,7 +61,7 @@ func main() {
 		}()
 	}
 	t0 := time.Now()
-	if err := runSuite(o, *experiment, *csvOut, *engineJSON, *backendJSON, *sdcJSON); err != nil {
+	if err := runSuite(o, *experiment, *csvOut, *engineJSON, *backendJSON, *sdcJSON, *refreshJSON); err != nil {
 		fmt.Fprintln(os.Stderr, "benchsuite:", err)
 		os.Exit(1)
 	}
@@ -82,7 +83,7 @@ func main() {
 	}
 }
 
-func runSuite(o bench.Options, experiment string, csvOut bool, engineJSON, backendJSON, sdcJSON string) error {
+func runSuite(o bench.Options, experiment string, csvOut bool, engineJSON, backendJSON, sdcJSON, refreshJSON string) error {
 	if csvOut {
 		return bench.RunCSV(o, experiment, os.Stdout)
 	}
@@ -111,6 +112,19 @@ func runSuite(o bench.Options, experiment string, csvOut bool, engineJSON, backe
 		}
 		defer f.Close()
 		return bench.WriteSDCJSON(f, overhead, campaigns)
+	}
+	if experiment == "refresh" && refreshJSON != "" {
+		rows, err := bench.RefreshStudy(o)
+		if err != nil {
+			return err
+		}
+		bench.PrintRefreshStudy(o, rows)
+		f, err := os.Create(refreshJSON)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		return bench.WriteRefreshJSON(f, rows)
 	}
 	if experiment == "backend" && backendJSON != "" {
 		rows, err := bench.BackendStudy(o)

@@ -129,14 +129,16 @@ func startProfiles(cpuPath, memPath string) (func() error, error) {
 	}, nil
 }
 
-// printFingerprint loads the matrix and prints its deterministic fingerprint
-// — the identifier under which ipuserved caches the prepared pipeline.
+// printFingerprint loads the matrix and prints its deterministic fingerprints
+// — the full digest ipuserved caches the prepared pipeline under, and the
+// values-free pattern digest the values-only refresh path (POST /v1/update)
+// matches on.
 func printFingerprint(matrixPath, gen string) error {
 	m, err := loadMatrix(matrixPath, gen)
 	if err != nil {
 		return err
 	}
-	fmt.Println(m.FingerprintString())
+	fmt.Printf("%s pattern %s\n", m.FingerprintString(), m.PatternFingerprintString())
 	return nil
 }
 

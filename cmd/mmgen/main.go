@@ -57,7 +57,10 @@ func run(list bool, name, gen string, scale int, out string, fingerprint bool) e
 		return fmt.Errorf("need -list, -name or -gen")
 	}
 	if fingerprint {
-		fmt.Println(m.FingerprintString())
+		// Full digest (the service system ID / cache key) and the values-free
+		// pattern digest (the key under which POST /v1/update reuses prepared
+		// pipelines when only the numbers change).
+		fmt.Printf("%s pattern %s\n", m.FingerprintString(), m.PatternFingerprintString())
 		return nil
 	}
 	w := os.Stdout
@@ -73,7 +76,7 @@ func run(list bool, name, gen string, scale int, out string, fingerprint bool) e
 		return err
 	}
 	st := m.ComputeStats()
-	fmt.Fprintf(os.Stderr, "wrote %d rows, %d entries (%.1f per row), fingerprint %s\n",
-		st.Rows, st.NNZ, st.AvgPerRow, m.FingerprintString())
+	fmt.Fprintf(os.Stderr, "wrote %d rows, %d entries (%.1f per row), fingerprint %s pattern %s\n",
+		st.Rows, st.NNZ, st.AvgPerRow, m.FingerprintString(), m.PatternFingerprintString())
 	return nil
 }

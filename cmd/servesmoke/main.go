@@ -23,10 +23,17 @@
 //     serve latency histogram, cache counters, breaker-state gauge, and the
 //     core/engine/machine/solver series flowing through the shared registry.
 //
+//  5. Refresh (with -refresh): drive the values-only streaming path —
+//     register once, then step a sequence of POST /v1/update value drifts,
+//     each superseding the previous system ID while reusing its prepared
+//     pipelines in place; every step's solve is verified against the exact
+//     all-ones answer and prepared_refresh_total on /metrics must advance.
+//
 //     servesmoke -server bin/ipuserved      # use a prebuilt (race-enabled) binary
 //     servesmoke                            # builds ipuserved -race itself
 //     servesmoke -chaos                     # adds the chaos campaign phase
 //     servesmoke -metrics                   # adds the /metrics scrape phase
+//     servesmoke -refresh                   # adds the values-only refresh phase
 package main
 
 import (
@@ -52,15 +59,16 @@ func main() {
 	server := flag.String("server", "", "prebuilt ipuserved binary (default: build -race)")
 	chaos := flag.Bool("chaos", false, "run the chaos campaign phase")
 	metrics := flag.Bool("metrics", false, "run the /metrics scrape phase")
+	refresh := flag.Bool("refresh", false, "run the values-only refresh phase")
 	flag.Parse()
-	if err := run(*server, *chaos, *metrics); err != nil {
+	if err := run(*server, *chaos, *metrics, *refresh); err != nil {
 		fmt.Fprintln(os.Stderr, "servesmoke: FAIL:", err)
 		os.Exit(1)
 	}
 	fmt.Println("servesmoke: PASS")
 }
 
-func run(server string, chaos, metrics bool) error {
+func run(server string, chaos, metrics, refresh bool) error {
 	dir, err := os.MkdirTemp("", "servesmoke")
 	if err != nil {
 		return err
@@ -98,6 +106,11 @@ func run(server string, chaos, metrics bool) error {
 	if metrics {
 		if err := metricsPhase(dir, server); err != nil {
 			return fmt.Errorf("metrics phase: %w", err)
+		}
+	}
+	if refresh {
+		if err := refreshPhase(dir, server); err != nil {
+			return fmt.Errorf("refresh phase: %w", err)
 		}
 	}
 	return nil
@@ -583,6 +596,126 @@ func metricsPhase(dir, server string) error {
 	}
 	fmt.Printf("servesmoke: metrics: %d bytes of exposition, all key series present\n", buf.Len())
 	return srv.drain()
+}
+
+// refreshPhase drives the values-only streaming path end to end: register
+// once, then step a sequence of diagonal drifts through POST /v1/update.
+// Each update supersedes the previous system ID while refreshing its warm
+// prepared pipelines in place, so after the registration's single cold
+// prepare the cache-miss counter must never move again. Every step's solve
+// is verified against the exact all-ones answer (the server rebuilds
+// b = A*1 from the refreshed values), the superseded generation must stop
+// serving, and the /metrics exposition must show prepared_refresh_total
+// advancing.
+func refreshPhase(dir, server string) error {
+	srv, err := startServer(dir, server, "refresh")
+	if err != nil {
+		return err
+	}
+	defer srv.kill()
+
+	info, err := srv.register()
+	if err != nil {
+		return fmt.Errorf("register: %w", err)
+	}
+	var cold solveResult
+	if err := postJSON(srv.base+"/v1/systems/"+info.ID+"/solve", map[string]any{"rhs": "ones"}, &cold); err != nil {
+		return fmt.Errorf("cold solve: %w", err)
+	}
+	if err := checkOnes(cold); err != nil {
+		return fmt.Errorf("cold solve: %w", err)
+	}
+
+	// Mirror the registered matrix locally so the drifted diagonals are
+	// deterministic; scaling the diagonal up keeps the system diagonally
+	// dominant, so every generation still converges.
+	m, err := sparse.GenByName(gen)
+	if err != nil {
+		return err
+	}
+	id := info.ID
+	const steps = 3
+	refreshed := 0
+	for step := 1; step <= steps; step++ {
+		for i := range m.Diag {
+			m.Diag[i] *= 1 + 0.003*float64(step)*float64(1+i%5)
+		}
+		var up struct {
+			ID        string `json:"id"`
+			Previous  string `json:"previous"`
+			Refreshed int    `json:"refreshed"`
+		}
+		if err := postJSON(srv.base+"/v1/update", map[string]any{"id": id, "diag": m.Diag}, &up); err != nil {
+			return fmt.Errorf("update step %d: %w", step, err)
+		}
+		if up.Previous != id || up.ID == id {
+			return fmt.Errorf("update step %d superseded %q -> %q, want previous %q and a fresh ID",
+				step, up.Previous, up.ID, id)
+		}
+		refreshed += up.Refreshed
+		var r solveResult
+		if err := postJSON(srv.base+"/v1/systems/"+up.ID+"/solve", map[string]any{"rhs": "ones"}, &r); err != nil {
+			return fmt.Errorf("solve step %d: %w", step, err)
+		}
+		if err := checkOnes(r); err != nil {
+			return fmt.Errorf("solve step %d: %w", step, err)
+		}
+		var stale solveResult
+		if err := postJSON(srv.base+"/v1/systems/"+id+"/solve", map[string]any{"rhs": "ones"}, &stale); err == nil {
+			return fmt.Errorf("step %d: superseded system %s still serves", step, id)
+		}
+		id = up.ID
+	}
+	if refreshed == 0 {
+		return fmt.Errorf("%d update steps refreshed no warm replicas", steps)
+	}
+
+	var st struct {
+		Refreshed   uint64 `json:"refreshed"`
+		CacheMisses uint64 `json:"cacheMisses"`
+	}
+	if err := getJSON(srv.base+"/v1/stats", &st); err != nil {
+		return err
+	}
+	if st.Refreshed == 0 {
+		return fmt.Errorf("stats report no refreshed replicas after %d updates", steps)
+	}
+	if st.CacheMisses != 1 {
+		return fmt.Errorf("stats report %d cache misses, want only the registration's: updates must reuse the prepared pipelines", st.CacheMisses)
+	}
+
+	resp, err := http.Get(srv.base + "/metrics")
+	if err != nil {
+		return err
+	}
+	var buf bytes.Buffer
+	_, _ = buf.ReadFrom(resp.Body)
+	resp.Body.Close()
+	total, err := counterValue(buf.String(), "prepared_refresh_total")
+	if err != nil {
+		return err
+	}
+	if total <= 0 {
+		return fmt.Errorf("/metrics prepared_refresh_total = %g after %d updates, want > 0", total, steps)
+	}
+	fmt.Printf("servesmoke: refresh: %d value updates over %s, %d replicas refreshed in place, 1 cold prepare\n",
+		steps, gen, refreshed)
+	return srv.drain()
+}
+
+// counterValue extracts an unlabeled counter's value from a Prometheus text
+// exposition.
+func counterValue(body, name string) (float64, error) {
+	for _, line := range strings.Split(body, "\n") {
+		if rest, ok := strings.CutPrefix(line, name+" "); ok {
+			var v float64
+			if _, err := fmt.Sscanf(rest, "%g", &v); err != nil {
+				return 0, fmt.Errorf("/metrics %s: unparseable value %q", name, rest)
+			}
+			return v, nil
+		}
+	}
+	return 0, fmt.Errorf("/metrics missing %s", name)
 }
 
 // checkOnes verifies a solve result converged to the all-ones solution.

@@ -78,6 +78,20 @@ type RunResult struct {
 // safe for concurrent use — callers serialize (core.Prepared holds a mutex).
 type Executable interface {
 	Run(cfg RunConfig) (RunResult, error)
+
+	// Refresh adopts a values-only update of the numeric payloads the
+	// executable was lowered from, without recompiling the program. rewrite
+	// performs the in-place overwrite of the host-side source arrays (tile
+	// value blocks, snapshot tensors, checksums); the executable brackets it
+	// with whatever re-lowering its own storage needs. Both current backends
+	// execute against those arrays by reference — the simulator's codelets
+	// and the native backend's preallocated flat kernels capture the same
+	// slice headers at compile time — so adopting the rewrite is exactly the
+	// pass-through that keeps the two bit-identical by construction, and the
+	// native path allocation-free. A backend holding device-private copies
+	// (a real accelerator would) re-uploads here instead. Not safe for
+	// concurrent use with Run.
+	Refresh(rewrite func() error) error
 }
 
 // Sim is the cycle-accurate simulator backend.

@@ -85,6 +85,15 @@ type nativeExec struct {
 	flowered  bool
 }
 
+// Refresh implements Executable. Lowering captures the solver's tile value
+// blocks and tensor buffers by slice header inside the fused kernels and
+// codelet closures, never copying the numbers, so an in-place rewrite of
+// those arrays is already visible to both the flat stream and the lazily
+// lowered fault stream on their next Run — no re-lowering, no allocation.
+func (x *nativeExec) Refresh(rewrite func() error) error {
+	return rewrite()
+}
+
 // lower flattens the step tree into x.ins.
 func (x *nativeExec) lower(s graph.Step) error {
 	switch st := s.(type) {

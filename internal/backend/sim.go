@@ -27,6 +27,14 @@ type simExec struct {
 	eng  *graph.Engine
 }
 
+// Refresh implements Executable. The engine interprets the program's compute
+// sets and exchanges directly against the session's tensor buffers and the
+// solver's tile value blocks, so rewriting those in place is the whole
+// refresh: the next Run reads the new values through the same references.
+func (x *simExec) Refresh(rewrite func() error) error {
+	return rewrite()
+}
+
 func (x *simExec) Run(cfg RunConfig) (RunResult, error) {
 	e := x.eng
 	e.ResetProfile()

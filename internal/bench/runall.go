@@ -4,7 +4,7 @@ import "fmt"
 
 // Run executes one named experiment and prints its result to o.Out. Known
 // names: table1..table7, fig5..fig10, halo, engine, backend, cluster, sdc,
-// all.
+// refresh, all.
 func Run(o Options, name string) error {
 	o = o.withDefaults()
 	switch name {
@@ -76,6 +76,12 @@ func Run(o Options, name string) error {
 			return err
 		}
 		PrintSDCStudy(o, overhead, campaigns)
+	case "refresh":
+		rows, err := RefreshStudy(o)
+		if err != nil {
+			return err
+		}
+		PrintRefreshStudy(o, rows)
 	case "fig5":
 		pts, err := Fig5(o)
 		if err != nil {
@@ -128,5 +134,5 @@ func Run(o Options, name string) error {
 var AllExperiments = []string{
 	"table1", "table2", "table3", "table4", "table5", "table6", "table7",
 	"fig5", "fig6", "fig7", "fig8", "fig9", "fig10",
-	"halo", "engine", "backend", "cluster", "sdc",
+	"halo", "engine", "backend", "cluster", "sdc", "refresh",
 }

@@ -7,6 +7,7 @@ import (
 	"net/http"
 
 	"ipusparse/internal/backend"
+	"ipusparse/internal/core"
 	"ipusparse/internal/serve"
 )
 
@@ -16,6 +17,7 @@ import (
 //	POST /v1/systems            register a system on its replica set
 //	GET  /v1/systems            list systems the router places
 //	POST /v1/systems/{id}/solve route a solve with health-aware failover
+//	POST /v1/update             values-only refresh across the replica set
 //	GET  /v1/cluster            topology: shard health, placement
 //	POST /v1/cluster/drain      gracefully remove a shard ({"shard": url})
 //	POST /v1/cluster/undrain    return a shard to service
@@ -28,6 +30,7 @@ func (rt *Router) Handler() http.Handler {
 	mux.HandleFunc("POST /v1/systems", rt.handleRegister)
 	mux.HandleFunc("GET /v1/systems", rt.handleSystems)
 	mux.HandleFunc("POST /v1/systems/{id}/solve", rt.handleSolve)
+	mux.HandleFunc("POST /v1/update", rt.handleUpdate)
 	mux.HandleFunc("GET /v1/cluster", rt.handleTopology)
 	mux.HandleFunc("POST /v1/cluster/drain", rt.handleDrain)
 	mux.HandleFunc("POST /v1/cluster/undrain", rt.handleUndrain)
@@ -107,6 +110,32 @@ func (rt *Router) handleSolve(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", resp.Header.Get("Content-Type"))
 	w.WriteHeader(resp.StatusCode)
 	_, _ = io.Copy(w, resp.Body)
+}
+
+// handleUpdate proxies a values-only refresh to every shard of the target's
+// replica set. Pattern conflicts answer 409 before any shard traffic; an
+// unknown target answers 404.
+func (rt *Router) handleUpdate(w http.ResponseWriter, r *http.Request) {
+	var req serve.UpdateRequest
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, rt.opts.MaxBodyBytes)).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	info, err := rt.Update(r.Context(), req)
+	if err != nil {
+		status := http.StatusBadRequest
+		switch {
+		case errors.Is(err, ErrUnknownSystem):
+			status = http.StatusNotFound
+		case errors.Is(err, core.ErrPatternMismatch):
+			status = http.StatusConflict
+		case errors.Is(err, ErrNoShards):
+			status = http.StatusServiceUnavailable
+		}
+		writeError(w, status, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, info)
 }
 
 // Topology is the GET /v1/cluster response: where everything is and how

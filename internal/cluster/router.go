@@ -13,6 +13,8 @@ import (
 	"time"
 
 	"ipusparse/internal/backend"
+	"ipusparse/internal/config"
+	"ipusparse/internal/core"
 	"ipusparse/internal/serve"
 	"ipusparse/internal/telemetry"
 )
@@ -78,14 +80,23 @@ type Router struct {
 }
 
 // clusterSystem is one system the router places: the self-contained
-// registration record is everything a replacement shard needs.
+// registration record is everything a replacement shard needs. anchor is the
+// ring-placement ID — the original registration's fingerprint. A values-only
+// update re-keys the system (its ID is the matrix fingerprint) but keeps the
+// anchor, so the refreshed pipelines stay pinned to the shards already
+// holding them warm instead of migrating to cold ones on every update.
 type clusterSystem struct {
-	info serve.SystemInfo
-	rec  serve.RegistrationRecord
+	info   serve.SystemInfo
+	rec    serve.RegistrationRecord
+	anchor string
 }
 
 // ErrNoShards reports a request for which no eligible replica remains.
 var ErrNoShards = errors.New("cluster: no eligible shard")
+
+// ErrUnknownSystem reports a request against a system the router does not
+// place.
+var ErrUnknownSystem = errors.New("cluster: unknown system")
 
 // New builds the router and starts its health-probe and reconcile loops.
 // Callers own Close.
@@ -189,7 +200,7 @@ func (rt *Router) shardFor(name string) *shard {
 // shards of its ring preference order. With every shard ineligible it falls
 // back to the raw order — a best-effort attempt beats an instant 503.
 func (rt *Router) replicaSet(id string) []*shard {
-	order := rt.ring.Order(id)
+	order := rt.ring.Order(rt.anchorFor(id))
 	set := make([]*shard, 0, rt.opts.Replicas)
 	for _, name := range order {
 		if sh := rt.shardFor(name); sh != nil && sh.eligible() {
@@ -211,6 +222,18 @@ func (rt *Router) replicaSet(id string) []*shard {
 		}
 	}
 	return set
+}
+
+// anchorFor resolves a system ID to its ring-placement anchor: the original
+// registration's ID for a system re-keyed by values-only updates, the ID
+// itself otherwise.
+func (rt *Router) anchorFor(id string) string {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	if cs, ok := rt.systems[id]; ok && cs.anchor != "" {
+		return cs.anchor
+	}
+	return id
 }
 
 // ReplicaSet returns the shard URLs currently serving the system, owner
@@ -308,9 +331,131 @@ func (rt *Router) Register(ctx context.Context, req serve.RegisterRequest) (serv
 		return serve.SystemInfo{}, fmt.Errorf("cluster: no shard accepted %s: %w", rec.ID, lastErr)
 	}
 	rt.mu.Lock()
-	rt.systems[rec.ID] = &clusterSystem{info: info, rec: rec}
+	rt.systems[rec.ID] = &clusterSystem{info: info, rec: rec, anchor: rec.ID}
 	rt.mu.Unlock()
 	return info, nil
+}
+
+// Update applies a values-only refresh cluster-wide: the new matrix is built
+// and pattern-checked locally (a structural change is a typed conflict before
+// any shard traffic), the update forwards to every shard of the system's
+// replica set — repairing shards that lost the registration, exactly as
+// routing does — and the placement table re-keys the system under its new
+// fingerprint while anchoring ring placement to the original registration, so
+// the refreshed pipelines stay on the shards already holding them warm. The
+// update succeeds when at least one shard applied it; the reconciler imports
+// the superseding record on stragglers.
+func (rt *Router) Update(ctx context.Context, req serve.UpdateRequest) (serve.UpdateInfo, error) {
+	rt.mu.Lock()
+	cs, ok := rt.systems[req.ID]
+	rt.mu.Unlock()
+	if !ok {
+		return serve.UpdateInfo{}, fmt.Errorf("%w: %s", ErrUnknownSystem, req.ID)
+	}
+	cur, err := cs.rec.Matrix()
+	if err != nil {
+		return serve.UpdateInfo{}, err
+	}
+	m, err := serve.BuildUpdateMatrix(req, cur)
+	if err != nil {
+		return serve.UpdateInfo{}, err
+	}
+	if err := m.Validate(); err != nil {
+		return serve.UpdateInfo{}, err
+	}
+	if m.PatternFingerprint() != cur.PatternFingerprint() {
+		return serve.UpdateInfo{}, fmt.Errorf("%w: system %s is placed for pattern %s, update carries %s",
+			core.ErrPatternMismatch, req.ID, cur.PatternFingerprintString(), m.PatternFingerprintString())
+	}
+	var cfgp *config.Config
+	if cs.rec.Config.Solver.Type != "" {
+		c := cs.rec.Config
+		cfgp = &c
+	}
+	rec := serve.NewRegistrationRecord(m, cfgp)
+	rec.Supersedes = req.ID
+
+	body, err := json.Marshal(req)
+	if err != nil {
+		return serve.UpdateInfo{}, err
+	}
+	replicas := rt.replicaSet(req.ID)
+	if len(replicas) == 0 {
+		return serve.UpdateInfo{}, ErrNoShards
+	}
+	var info serve.UpdateInfo
+	applied := 0
+	var lastErr error
+	for _, sh := range replicas {
+		if !sh.br.allow() {
+			continue
+		}
+		ui, err := rt.updateOn(ctx, sh, body, cs.rec)
+		if err != nil {
+			lastErr = err
+			rt.logf("cluster: updating %s on %s: %v", req.ID, sh.name, err)
+			continue
+		}
+		applied++
+		info = ui
+	}
+	if applied == 0 {
+		if lastErr != nil {
+			return serve.UpdateInfo{}, fmt.Errorf("cluster: no shard applied the update to %s: %w", req.ID, lastErr)
+		}
+		return serve.UpdateInfo{}, ErrNoShards
+	}
+
+	rt.mu.Lock()
+	anchor := cs.anchor
+	if anchor == "" {
+		anchor = req.ID
+	}
+	delete(rt.systems, req.ID)
+	rt.systems[info.ID] = &clusterSystem{info: info.SystemInfo, rec: rec, anchor: anchor}
+	rt.mu.Unlock()
+	rt.logf("cluster: updated %s -> %s on %d shard(s)", req.ID, info.ID, applied)
+	return info, nil
+}
+
+// updateOn forwards one values-only update to one shard, repairing a lost
+// registration first: a 404 means the shard restarted without the system, so
+// the pre-update record is re-imported (warming a pool the update can then
+// refresh) and the update retried once.
+func (rt *Router) updateOn(ctx context.Context, sh *shard, body []byte, rec serve.RegistrationRecord) (serve.UpdateInfo, error) {
+	resp, err := rt.forward(ctx, sh, http.MethodPost, "/v1/update", body)
+	if err != nil {
+		sh.br.failure()
+		return serve.UpdateInfo{}, err
+	}
+	if resp.StatusCode == http.StatusNotFound {
+		resp.Body.Close()
+		rt.stats.rereg.Inc()
+		rt.logf("cluster: %s lost %s, re-registering before update", sh.name, rec.ID)
+		if _, err := rt.registerOn(ctx, sh, rec); err != nil {
+			return serve.UpdateInfo{}, err
+		}
+		rt.stats.retries.Inc()
+		resp, err = rt.forward(ctx, sh, http.MethodPost, "/v1/update", body)
+		if err != nil {
+			sh.br.failure()
+			return serve.UpdateInfo{}, err
+		}
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		if retryableStatus(resp.StatusCode) {
+			sh.br.failure()
+		}
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 1024))
+		return serve.UpdateInfo{}, fmt.Errorf("cluster: %s update: %s: %s", sh.name, resp.Status, msg)
+	}
+	sh.br.success()
+	var ui serve.UpdateInfo
+	if err := json.NewDecoder(resp.Body).Decode(&ui); err != nil {
+		return serve.UpdateInfo{}, err
+	}
+	return ui, nil
 }
 
 // registerOn imports one record on one shard through the idempotent registry

@@ -482,3 +482,122 @@ func TestRouterCapabilityGate(t *testing.T) {
 		}
 	}
 }
+
+// TestRouterUpdateRefreshesReplicaSet drives POST /v1/update through the
+// router: every replica-set shard applies the values-only refresh, the
+// router's table re-keys the system, ring placement stays anchored to the
+// original registration, and a structural change answers 409 with no shard
+// re-placed.
+func TestRouterUpdateRefreshesReplicaSet(t *testing.T) {
+	rt, shards := testCluster(t, 3, 2)
+	h := rt.Handler()
+	info := registerGen(t, rt, "poisson2d:8")
+	before := rt.ReplicaSet(info.ID)
+
+	// Scale the diagonal up (SPD preserved) through the router.
+	m, err := serve.BuildMatrix(serve.RegisterRequest{Gen: "poisson2d:8"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	diag := append([]float64(nil), m.Diag...)
+	for i := range diag {
+		diag[i] += 0.5 * float64(1+i%4)
+	}
+	body, _ := json.Marshal(serve.UpdateRequest{ID: info.ID, Diag: diag})
+	req := httptest.NewRequest(http.MethodPost, "/v1/update", bytes.NewReader(body))
+	w := httptest.NewRecorder()
+	h.ServeHTTP(w, req)
+	if w.Code != http.StatusOK {
+		t.Fatalf("update = %d %s", w.Code, w.Body.String())
+	}
+	var up serve.UpdateInfo
+	if err := json.Unmarshal(w.Body.Bytes(), &up); err != nil {
+		t.Fatal(err)
+	}
+	if up.Previous != info.ID || up.ID == info.ID {
+		t.Fatalf("bad update info %+v", up)
+	}
+
+	// Placement is anchored: the re-keyed system keeps its warm shards.
+	after := rt.ReplicaSet(up.ID)
+	if len(after) != len(before) {
+		t.Fatalf("replica set resized: %v vs %v", before, after)
+	}
+	for i := range before {
+		if after[i] != before[i] {
+			t.Fatalf("replica set moved after update: %v vs %v", before, after)
+		}
+	}
+
+	// Every replica shard superseded the registration: old ID gone, new
+	// present, refresh counters ticking.
+	for _, url := range after {
+		ts := shardByURL(shards, url)
+		ids := map[string]bool{}
+		for _, s := range ts.service().Systems() {
+			ids[s.ID] = true
+		}
+		if ids[info.ID] || !ids[up.ID] {
+			t.Fatalf("shard %s holds %v, want only %s", url, ids, up.ID)
+		}
+		if st := ts.service().Stats(); st.Refreshed == 0 {
+			t.Fatalf("shard %s applied the update without refreshing in place: %+v", url, st)
+		}
+	}
+
+	// The updated system solves through the router (answer = all-ones via
+	// the ones RHS, independent of the new values).
+	solveOnes(t, h, up.ID)
+
+	// A structural change is a 409 before any shard traffic.
+	body, _ = json.Marshal(serve.UpdateRequest{ID: up.ID, Gen: "poisson2d:9"})
+	req = httptest.NewRequest(http.MethodPost, "/v1/update", bytes.NewReader(body))
+	w = httptest.NewRecorder()
+	h.ServeHTTP(w, req)
+	if w.Code != http.StatusConflict {
+		t.Fatalf("structural update = %d %s, want 409", w.Code, w.Body.String())
+	}
+
+	// An unknown target is a 404.
+	req = httptest.NewRequest(http.MethodPost, "/v1/update",
+		bytes.NewReader([]byte(`{"id":"m0000000000000000","gen":"poisson2d:8"}`)))
+	w = httptest.NewRecorder()
+	h.ServeHTTP(w, req)
+	if w.Code != http.StatusNotFound {
+		t.Fatalf("unknown update = %d %s, want 404", w.Code, w.Body.String())
+	}
+}
+
+// TestRouterUpdateRepairsLostShard: a replica that restarted empty is
+// re-imported and refreshed by the update itself — the same 404-repair path
+// solves use.
+func TestRouterUpdateRepairsLostShard(t *testing.T) {
+	rt, shards := testCluster(t, 3, 2)
+	info := registerGen(t, rt, "poisson2d:7")
+	set := rt.ReplicaSet(info.ID)
+	// Drop the second replica's state (restart empty, still serving).
+	shardByURL(shards, set[1]).restart()
+
+	m, err := serve.BuildMatrix(serve.RegisterRequest{Gen: "poisson2d:7"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	diag := append([]float64(nil), m.Diag...)
+	for i := range diag {
+		diag[i] += 1.25
+	}
+	up, err := rt.Update(context.Background(), serve.UpdateRequest{ID: info.ID, Diag: diag})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, url := range rt.ReplicaSet(up.ID) {
+		ids := map[string]bool{}
+		for _, s := range shardByURL(shards, url).service().Systems() {
+			ids[s.ID] = true
+		}
+		if !ids[up.ID] {
+			t.Fatalf("shard %s missing %s after repairing update", url, up.ID)
+		}
+	}
+	solveOnes(t, rt.Handler(), up.ID)
+}

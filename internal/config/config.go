@@ -197,6 +197,25 @@ type ServeConfig struct {
 	StateDir string `json:"stateDir,omitempty"`
 	// Chaos enables a deterministic service-level chaos campaign.
 	Chaos *ChaosConfig `json:"chaos,omitempty"`
+	// Refresh tunes the values-only refresh path (POST /v1/update and
+	// pattern-matching registrations adopting cached pipelines).
+	Refresh *RefreshConfig `json:"refresh,omitempty"`
+}
+
+// RefreshConfig is the values-only refresh block of the serve tier: when a
+// registered system's matrix changes numerically but keeps its sparsity
+// pattern, prepared pipelines are refreshed in place (per-tile values,
+// preconditioner refactorization, ABFT checksums) instead of cold-prepared.
+type RefreshConfig struct {
+	// Enabled turns the refresh path on (the default when the block is
+	// present without it, and when the block is absent). When explicitly
+	// false, pattern-matching registrations cold-prepare and POST /v1/update
+	// is rejected.
+	Enabled *bool `json:"enabled,omitempty"`
+	// WarmReplicas bounds how many idle cached replicas one adoption
+	// refreshes in place; any remainder is dropped and re-prepared on
+	// demand. 0 refreshes every idle replica.
+	WarmReplicas int `json:"warmReplicas,omitempty"`
 }
 
 // ClusterConfig is the router-tier block of ipurouterd: the shard fleet, the
@@ -417,6 +436,9 @@ func (c Config) Validate() error {
 		case "", "contiguous", "greedy":
 		default:
 			return fmt.Errorf("config: serve.partition must be contiguous or greedy, got %q", s.Partition)
+		}
+		if r := s.Refresh; r != nil && r.WarmReplicas < 0 {
+			return fmt.Errorf("config: serve.refresh.warmReplicas must not be negative, got %d", r.WarmReplicas)
 		}
 		if ch := s.Chaos; ch != nil {
 			if ch.Rate < 0 || ch.Rate > 1 {

@@ -86,6 +86,9 @@ type coreInstruments struct {
 	phases   *telemetry.HistogramVec
 	solves   *telemetry.Counter
 	backends *telemetry.GaugeVec
+
+	refreshes       *telemetry.Counter
+	refreshMismatch *telemetry.Counter
 }
 
 func newCoreInstruments(reg *telemetry.Registry) *coreInstruments {
@@ -98,11 +101,15 @@ func newCoreInstruments(reg *telemetry.Registry) *coreInstruments {
 		engine:  graph.NewEngineMetrics(reg),
 		solver:  solver.NewMetrics(reg),
 		phases: reg.HistogramVec("core_phase_seconds",
-			"Pipeline phase wall time by phase (partition, schedule, compile, execute).",
+			"Pipeline phase wall time by phase (partition, schedule, compile, execute, refresh).",
 			telemetry.ExponentialBuckets(1e-5, 10, 8), "phase"),
 		solves: reg.Counter("core_solves_total", "Completed solves through the core pipeline."),
 		backends: reg.GaugeVec("core_backend",
 			"Prepared pipelines per execution backend (sim, native).", "backend"),
+		refreshes: reg.Counter("prepared_refresh_total",
+			"Values-only refreshes adopted by prepared pipelines (UpdateValues)."),
+		refreshMismatch: reg.Counter("refresh_pattern_mismatch_total",
+			"Values-only refreshes rejected because the sparsity pattern differed."),
 	}
 }
 
@@ -120,4 +127,21 @@ func (ci *coreInstruments) observePhase(phase string, seconds float64) {
 		return
 	}
 	ci.phases.With(phase).Observe(seconds)
+}
+
+// observeRefresh counts one adopted values-only refresh and its wall time.
+func (ci *coreInstruments) observeRefresh(seconds float64) {
+	if ci == nil {
+		return
+	}
+	ci.refreshes.Inc()
+	ci.phases.With("refresh").Observe(seconds)
+}
+
+// observeRefreshMismatch counts one refresh rejected on pattern mismatch.
+func (ci *coreInstruments) observeRefreshMismatch() {
+	if ci == nil {
+		return
+	}
+	ci.refreshMismatch.Inc()
 }

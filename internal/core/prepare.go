@@ -45,7 +45,14 @@ type Prepared struct {
 	report     graph.Report
 	inj        *fault.Injector
 	n          int
-	par        int // engine host parallelism (0 = automatic)
+	patternFP  uint64 // sparsity-pattern digest the pipeline was compiled for
+	par        int    // engine host parallelism (0 = automatic)
+
+	// Reused values-only refresh closure: UpdateValues stages the incoming
+	// matrix in refreshM and hands the backend the same rewrite function
+	// every time, keeping the steady-state refresh hot path allocation-free.
+	refreshM  *sparse.Matrix
+	refreshFn func() error
 
 	// Execution backend, fixed at Prepare: the program is compiled for it.
 	be   backend.Backend
@@ -149,6 +156,7 @@ func prepare(machineCfg ipu.Config, m *sparse.Matrix, cfg config.Config, strateg
 		sys:        sys,
 		inj:        inj,
 		n:          m.N,
+		patternFP:  m.PatternFingerprint(),
 		par:        cfg.EngineParallelism(),
 		be:         be,
 		inst:       inst,
@@ -241,12 +249,64 @@ type PipelineInfo struct {
 	Solver  string // name of the scheduled solver hierarchy
 	Backend string // execution backend ("sim" or "native")
 	ABFT    bool   // checksum-carrying SpMV armed on the scheduled program
-	Report  graph.Report
+	// PatternFingerprint is the sparsity-pattern digest the pipeline was
+	// compiled for: any matrix with this pattern fingerprint can be adopted by
+	// UpdateValues without recompiling.
+	PatternFingerprint uint64
+	Report             graph.Report
 }
 
 // Info returns the prepared pipeline's description.
 func (p *Prepared) Info() PipelineInfo {
-	return PipelineInfo{N: p.n, Solver: p.st.Solver, Backend: p.be.Name(), ABFT: p.sys.ABFTEnabled(), Report: p.report}
+	return PipelineInfo{
+		N: p.n, Solver: p.st.Solver, Backend: p.be.Name(),
+		ABFT:               p.sys.ABFTEnabled(),
+		PatternFingerprint: p.patternFP,
+		Report:             p.report,
+	}
+}
+
+// ErrPatternMismatch is returned by UpdateValues when the new matrix's
+// sparsity pattern differs from the one the pipeline was prepared for. The
+// serving layer maps it to HTTP 409: the caller must register the matrix as a
+// new system (a cold Prepare) instead of refreshing.
+var ErrPatternMismatch = fmt.Errorf("core: sparsity pattern differs from the prepared pipeline")
+
+// UpdateValues adopts a values-only update of the prepared matrix: same
+// dimension, same RowPtr/Cols structure, new Diag/Vals coefficients. It
+// re-lowers only the numeric payloads — per-tile CSR value blocks, snapshot
+// tensors (Jacobi/Chebyshev diagonal), the coarse operator, ABFT column
+// checksums — into the already-compiled program; partition, halo schedule and
+// instruction streams are untouched. Preconditioner refactorization (ILU(0),
+// DILU) happens on the next Solve: the factor codelets copy the value blocks
+// at run time, on the existing symbolic structure. The next Solve after
+// UpdateValues is bit-identical, on either backend, to a Solve on a pipeline
+// freshly Prepared with the new values.
+//
+// A matrix whose pattern fingerprint differs is rejected with a wrapped
+// ErrPatternMismatch and the pipeline keeps its current values.
+func (p *Prepared) UpdateValues(m *sparse.Matrix) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if m == nil {
+		return fmt.Errorf("core: UpdateValues: nil matrix")
+	}
+	if got := m.PatternFingerprint(); got != p.patternFP {
+		p.inst.observeRefreshMismatch()
+		return fmt.Errorf("%w: prepared p%016x, got p%016x", ErrPatternMismatch, p.patternFP, got)
+	}
+	start := time.Now()
+	if p.refreshFn == nil {
+		p.refreshFn = func() error { return p.sys.RefreshValues(p.refreshM) }
+	}
+	p.refreshM = m
+	err := p.exec.Refresh(p.refreshFn)
+	p.refreshM = nil
+	if err != nil {
+		return fmt.Errorf("core: UpdateValues: %w", err)
+	}
+	p.inst.observeRefresh(time.Since(start).Seconds())
+	return nil
 }
 
 // SetParallelism overrides the engine host parallelism for subsequent Solve

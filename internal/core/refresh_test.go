@@ -1,0 +1,224 @@
+package core
+
+import (
+	"errors"
+	"math"
+	"strings"
+	"testing"
+
+	"ipusparse/internal/config"
+	"ipusparse/internal/sparse"
+	"ipusparse/internal/telemetry"
+)
+
+// perturbed returns a values-only variant of m: identical N/RowPtr/Cols (deep
+// copies, so fingerprint equality is structural, not pointer identity), with
+// the diagonal shifted and every off-diagonal scaled. The shift keeps the
+// matrix symmetric positive definite (Poisson plus a nonnegative diagonal),
+// so every solver profile still converges on it.
+func perturbed(m *sparse.Matrix, phase float64) *sparse.Matrix {
+	out := &sparse.Matrix{
+		N:      m.N,
+		Diag:   append([]float64(nil), m.Diag...),
+		RowPtr: append([]int(nil), m.RowPtr...),
+		Cols:   append([]int(nil), m.Cols...),
+		Vals:   append([]float64(nil), m.Vals...),
+	}
+	for i := range out.Diag {
+		out.Diag[i] += 0.5 * (1 + math.Sin(float64(i)/3+phase))
+	}
+	for k := range out.Vals {
+		out.Vals[k] *= 0.9
+	}
+	return out
+}
+
+// refreshProfiles is the warm/cold identity table: every solver shape the
+// refresh path must reproduce bit-identically, including the snapshot-heavy
+// ones (Jacobi's diagonal tensor, the coarse operator, ABFT checksums).
+func refreshProfiles() map[string]config.Config {
+	p := map[string]config.Config{
+		"cg-jacobi":         backendProfiles()["cg-jacobi"],
+		"pbicgstab-ilu0":    backendProfiles()["pbicgstab-ilu0"],
+		"gaussseidel":       backendProfiles()["gaussseidel"],
+		"mpir-dw-pbicgstab": backendProfiles()["mpir-dw-pbicgstab"],
+	}
+	abft := backendProfiles()["cg-jacobi"]
+	abft.Solver.ABFT = true
+	p["cg-jacobi-abft"] = abft
+	coarse := backendProfiles()["pbicgstab-ilu0"]
+	coarse.Solver.Preconditioner = &config.SolverConfig{Type: "ilu0", Coarse: true}
+	p["pbicgstab-ilu0-coarse"] = coarse
+	return p
+}
+
+// TestUpdateValuesBitIdentity is the refresh contract: UpdateValues followed
+// by Solve must be bit-identical — solution, iteration count, residual — to a
+// Solve on a pipeline freshly Prepared with the new values, on both backends,
+// across every solver/preconditioner shape. The warm pipeline solves the old
+// values first, so the test also proves a refresh fully displaces them.
+func TestUpdateValuesBitIdentity(t *testing.T) {
+	m1, b, _ := poissonProblem(12, 12)
+	m2 := perturbed(m1, 0.7)
+	if m1.Fingerprint() == m2.Fingerprint() {
+		t.Fatal("perturbation did not change the full fingerprint; test is vacuous")
+	}
+	if m1.PatternFingerprint() != m2.PatternFingerprint() {
+		t.Fatal("perturbation changed the pattern fingerprint")
+	}
+	mc := smallMachine(8)
+	for name, cfg := range refreshProfiles() {
+		for _, be := range []string{"sim", "native"} {
+			fresh, err := Prepare(mc, m2, cfg, PartitionContiguous, WithBackend(be))
+			if err != nil {
+				t.Fatalf("%s/%s: fresh prepare: %v", name, be, err)
+			}
+			want, err := fresh.Solve(b)
+			if err != nil {
+				t.Fatalf("%s/%s: fresh solve: %v", name, be, err)
+			}
+
+			warm, err := Prepare(mc, m1, cfg, PartitionContiguous, WithBackend(be))
+			if err != nil {
+				t.Fatalf("%s/%s: warm prepare: %v", name, be, err)
+			}
+			if fp := warm.Info().PatternFingerprint; fp != m1.PatternFingerprint() {
+				t.Fatalf("%s/%s: Info().PatternFingerprint = %x, want %x", name, be, fp, m1.PatternFingerprint())
+			}
+			if _, err := warm.Solve(b); err != nil {
+				t.Fatalf("%s/%s: pre-refresh solve: %v", name, be, err)
+			}
+			if err := warm.UpdateValues(m2); err != nil {
+				t.Fatalf("%s/%s: UpdateValues: %v", name, be, err)
+			}
+			got, err := warm.Solve(b)
+			if err != nil {
+				t.Fatalf("%s/%s: post-refresh solve: %v", name, be, err)
+			}
+
+			for i := range want.X {
+				if got.X[i] != want.X[i] {
+					t.Fatalf("%s/%s: refreshed solve diverges from fresh at %d: %v vs %v",
+						name, be, i, got.X[i], want.X[i])
+				}
+			}
+			if got.Stats.Iterations != want.Stats.Iterations || got.Stats.RelRes != want.Stats.RelRes {
+				t.Fatalf("%s/%s: refreshed stats (%d it, %g) vs fresh (%d it, %g)",
+					name, be, got.Stats.Iterations, got.Stats.RelRes,
+					want.Stats.Iterations, want.Stats.RelRes)
+			}
+		}
+	}
+}
+
+// TestUpdateValuesRepeatedDrift walks one pipeline through several value
+// updates (the time-stepping shape Table XII measures) and checks each step
+// against a cold oracle — no state from step k may leak into step k+1.
+func TestUpdateValuesRepeatedDrift(t *testing.T) {
+	m0, b, _ := poissonProblem(10, 10)
+	mc := smallMachine(4)
+	cfg := refreshProfiles()["pbicgstab-ilu0"]
+	warm, err := Prepare(mc, m0, cfg, PartitionContiguous, WithBackend("native"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for step := 1; step <= 4; step++ {
+		mk := perturbed(m0, float64(step))
+		if err := warm.UpdateValues(mk); err != nil {
+			t.Fatalf("step %d: %v", step, err)
+		}
+		got, err := warm.Solve(b)
+		if err != nil {
+			t.Fatalf("step %d: %v", step, err)
+		}
+		cold, err := Prepare(mc, mk, cfg, PartitionContiguous, WithBackend("native"))
+		if err != nil {
+			t.Fatalf("step %d: %v", step, err)
+		}
+		want, err := cold.Solve(b)
+		if err != nil {
+			t.Fatalf("step %d: %v", step, err)
+		}
+		for i := range want.X {
+			if got.X[i] != want.X[i] {
+				t.Fatalf("step %d: drifted pipeline diverges from cold oracle at %d", step, i)
+			}
+		}
+	}
+}
+
+// TestUpdateValuesPatternMismatch: a structurally different matrix is
+// rejected with the typed error and the pipeline keeps its current values.
+func TestUpdateValuesPatternMismatch(t *testing.T) {
+	m1, b, _ := poissonProblem(12, 12)
+	other := sparse.Poisson2D(11, 12) // different structure
+	cfg := refreshProfiles()["cg-jacobi"]
+	prep, err := Prepare(smallMachine(4), m1, cfg, PartitionContiguous, WithBackend("native"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	before, err := prep.Solve(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = prep.UpdateValues(other)
+	if !errors.Is(err, ErrPatternMismatch) {
+		t.Fatalf("pattern mismatch: got %v, want ErrPatternMismatch", err)
+	}
+	if !strings.Contains(err.Error(), "p"+"") || !strings.Contains(err.Error(), "prepared p") {
+		t.Fatalf("mismatch error does not name both fingerprints: %v", err)
+	}
+	if err := prep.UpdateValues(nil); err == nil {
+		t.Fatal("nil matrix accepted")
+	}
+	after, err := prep.Solve(b)
+	if err != nil {
+		t.Fatalf("pipeline unusable after rejected refresh: %v", err)
+	}
+	for i := range before.X {
+		if after.X[i] != before.X[i] {
+			t.Fatalf("rejected refresh changed the pipeline's values (diverges at %d)", i)
+		}
+	}
+}
+
+// TestRefreshTelemetry pins the refresh counters: adopted refreshes and
+// pattern rejections are counted on the Prepare-time registry.
+func TestRefreshTelemetry(t *testing.T) {
+	m1, _, _ := poissonProblem(10, 10)
+	m2 := perturbed(m1, 1.3)
+	reg := telemetry.NewRegistry()
+	cfg := refreshProfiles()["cg-jacobi"]
+	prep, err := Prepare(smallMachine(4), m1, cfg, PartitionContiguous,
+		WithBackend("native"), WithTelemetry(reg))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := prep.UpdateValues(m2); err != nil {
+		t.Fatal(err)
+	}
+	if err := prep.UpdateValues(sparse.Poisson2D(9, 10)); !errors.Is(err, ErrPatternMismatch) {
+		t.Fatalf("got %v", err)
+	}
+	dump := telemetryText(t, reg)
+	for _, want := range []string{
+		"prepared_refresh_total 1",
+		"refresh_pattern_mismatch_total 1",
+	} {
+		if !strings.Contains(dump, want) {
+			t.Fatalf("registry missing %q:\n%s", want, dump)
+		}
+	}
+	if !strings.Contains(dump, `core_phase_seconds_count{phase="refresh"} 1`) {
+		t.Fatalf("registry missing refresh phase histogram:\n%s", dump)
+	}
+}
+
+func telemetryText(t *testing.T, reg *telemetry.Registry) string {
+	t.Helper()
+	var sb strings.Builder
+	if err := reg.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	return sb.String()
+}

@@ -89,6 +89,35 @@ func Localize(m *sparse.Matrix, l *Layout) ([]*LocalMatrix, error) {
 	return out, nil
 }
 
+// RefreshValues overwrites the numeric payload of previously localized
+// matrices — Diag and Vals, in the exact order Localize appended them — with
+// the values of m, leaving every structural field (RowPtr, Cols, halo maps)
+// untouched. m must share the sparsity pattern the locals were built from;
+// the per-row entry counts are re-verified so a mismatched matrix fails
+// instead of silently mislowering. No allocation happens on this path.
+func RefreshValues(m *sparse.Matrix, l *Layout, locals []*LocalMatrix) error {
+	if m.N != l.N {
+		return fmt.Errorf("halo: matrix has %d rows, layout %d", m.N, l.N)
+	}
+	if len(locals) != l.NumTiles {
+		return fmt.Errorf("halo: %d local matrices for %d tiles", len(locals), l.NumTiles)
+	}
+	for t, lm := range locals {
+		tl := &l.Tiles[t]
+		for li, g := range tl.Owned {
+			lo, hi := m.RowRange(g)
+			k0 := lm.RowPtr[li]
+			if hi-lo != lm.RowPtr[li+1]-k0 {
+				return fmt.Errorf("halo: tile %d row %d has %d entries, local structure %d",
+					t, g, hi-lo, lm.RowPtr[li+1]-k0)
+			}
+			lm.Diag[li] = m.Diag[g]
+			copy(lm.Vals[k0:lm.RowPtr[li+1]], m.Vals[lo:hi])
+		}
+	}
+	return nil
+}
+
 // DistributeVector scatters a global vector into per-tile local vectors of
 // length Total(); halo slots are zero until an exchange runs.
 func (l *Layout) DistributeVector(x []float64) [][]float64 {

@@ -1,0 +1,79 @@
+package halo
+
+import (
+	"testing"
+
+	"ipusparse/internal/sparse"
+)
+
+// TestRefreshValuesMatchesRelocalize: refreshing previously localized blocks
+// with a values-only variant must reproduce, entry for entry, what a fresh
+// Localize of that variant would build — across matrix shapes and tile counts.
+func TestRefreshValuesMatchesRelocalize(t *testing.T) {
+	for _, tc := range []struct {
+		name  string
+		m     *sparse.Matrix
+		parts int
+	}{
+		{"poisson2d", sparse.Poisson2D(9, 7), 5},
+		{"poisson3d", sparse.Poisson3D(4, 5, 3), 7},
+		{"stencil27", sparse.Stencil27(5, 4, 3), 6},
+		{"random", sparse.RandomSPD(80, 6, 3), 9},
+		{"single", sparse.Poisson2D(4, 4), 1},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			l := build(t, tc.m, tc.parts)
+			locals, err := Localize(tc.m, l)
+			if err != nil {
+				t.Fatal(err)
+			}
+			m2 := tc.m.Clone()
+			for i := range m2.Diag {
+				m2.Diag[i] += 0.25 * float64(i%7)
+			}
+			for k := range m2.Vals {
+				m2.Vals[k] *= 1.125
+			}
+			if err := RefreshValues(m2, l, locals); err != nil {
+				t.Fatal(err)
+			}
+			want, err := Localize(m2, l)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for tile := range locals {
+				got, w := locals[tile], want[tile]
+				for i := range w.Diag {
+					if got.Diag[i] != w.Diag[i] {
+						t.Fatalf("tile %d diag[%d]: %v vs %v", tile, i, got.Diag[i], w.Diag[i])
+					}
+				}
+				for k := range w.Vals {
+					if got.Vals[k] != w.Vals[k] {
+						t.Fatalf("tile %d vals[%d]: %v vs %v", tile, k, got.Vals[k], w.Vals[k])
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestRefreshValuesRejectsStructureChange: dimension and per-row entry-count
+// mismatches fail typed instead of silently mislowering.
+func TestRefreshValuesRejectsStructureChange(t *testing.T) {
+	m := sparse.Poisson2D(6, 6)
+	l := build(t, m, 3)
+	locals, err := Localize(m, l)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := RefreshValues(sparse.Poisson2D(5, 6), l, locals); err == nil {
+		t.Error("dimension mismatch accepted")
+	}
+	if err := RefreshValues(sparse.Poisson2D(4, 9), l, locals); err == nil {
+		t.Error("same-N structure change accepted")
+	}
+	if err := RefreshValues(m, l, locals[:1]); err == nil {
+		t.Error("truncated locals accepted")
+	}
+}

@@ -28,6 +28,32 @@ type RegisterRequest struct {
 	Config *config.Config `json:"config,omitempty"`
 }
 
+// UpdateRequest is the body of POST /v1/update: a values-only refresh of a
+// registered system (PATCH semantics). The target keeps its sparsity pattern
+// — structural changes are rejected with 409 — and its solver configuration.
+// Either give the new numbers against the registered structure (diag and/or
+// vals, CSR order) or a full matrix spec (gen or n+entries) whose pattern
+// must reproduce the registered one.
+type UpdateRequest struct {
+	// ID names the registered system being refreshed.
+	ID string `json:"id"`
+	// Diag is the new diagonal; omitted keeps the registered diagonal.
+	Diag []float64 `json:"diag,omitempty"`
+	// Vals are the new off-diagonal values in the registered CSR order;
+	// omitted keeps the registered values.
+	Vals []float64 `json:"vals,omitempty"`
+	// Gen/N/Entries give a complete replacement matrix instead (same schema
+	// as registration); its sparsity pattern must match the registered one.
+	Gen     string       `json:"gen,omitempty"`
+	N       int          `json:"n,omitempty"`
+	Entries [][3]float64 `json:"entries,omitempty"`
+	// Config, when present, must not change anything: an update is values
+	// only. It is re-validated against the system's backend, so a config
+	// requesting simulator-only features on a native system fails with the
+	// same typed 400 a registration would produce.
+	Config *config.Config `json:"config,omitempty"`
+}
+
 // SolveRequest is the body of POST /v1/systems/{id}/solve. Exactly one of B,
 // Batch or RHS selects the right-hand side(s).
 type SolveRequest struct {
@@ -64,6 +90,7 @@ type BatchResponse struct {
 //
 //	POST /v1/systems            register a system (generator spec or entries)
 //	POST /v1/systems/{id}/solve solve one RHS or a batch
+//	POST /v1/update             values-only refresh of a registered system
 //	GET  /v1/systems            list registered systems
 //	GET  /v1/registry           export registrations (full matrices + configs)
 //	POST /v1/registry           import registrations idempotently
@@ -80,6 +107,7 @@ func (s *Service) Handler() http.Handler {
 	mux.HandleFunc("POST /v1/systems", s.handleRegister)
 	mux.HandleFunc("GET /v1/systems", s.handleSystems)
 	mux.HandleFunc("POST /v1/systems/{id}/solve", s.handleSolve)
+	mux.HandleFunc("POST /v1/update", s.handleUpdate)
 	mux.HandleFunc("GET /v1/registry", s.handleRegistryExport)
 	mux.HandleFunc("POST /v1/registry", s.handleRegistryImport)
 	mux.HandleFunc("POST /v1/drain", s.handleDrain)
@@ -183,6 +211,11 @@ func httpStatus(err error) int {
 	switch {
 	case errors.Is(err, ErrNotFound):
 		return http.StatusNotFound
+	case errors.Is(err, core.ErrPatternMismatch):
+		// A values-only update whose matrix changed structure conflicts with
+		// the prepared pipeline's compiled sparsity pattern: the caller must
+		// re-register, not retry.
+		return http.StatusConflict
 	case errors.Is(err, ErrOverloaded):
 		return http.StatusTooManyRequests
 	case errors.Is(err, ErrClosed), errors.Is(err, ErrCircuitOpen),
@@ -238,6 +271,98 @@ func (s *Service) handleRegister(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeJSON(w, http.StatusCreated, info)
+}
+
+// handleUpdate applies a values-only refresh (PATCH semantics): the new
+// numbers are lowered into the cached prepared pipelines in place and the
+// registration is superseded under the new matrix fingerprint. A structural
+// change answers 409 Conflict; a config override requesting features the
+// system's backend cannot honor answers the same typed 400 as registration.
+func (s *Service) handleUpdate(w http.ResponseWriter, r *http.Request) {
+	var req UpdateRequest
+	if err := s.decodeBody(w, r, &req); err != nil {
+		writeError(w, err)
+		return
+	}
+	if req.ID == "" {
+		writeError(w, errors.New("update needs the target system id"))
+		return
+	}
+	sys, err := s.lookup(req.ID)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	if req.Config != nil {
+		// An update never changes the solver hierarchy. The override is
+		// accepted only when it restates the registered configuration; it is
+		// still capability-checked first so a simulator-only request fails
+		// with the typed 400 body, not the generic message.
+		if err := req.Config.Validate(); err != nil {
+			writeError(w, err)
+			return
+		}
+		be, err := backend.ByName(sys.backend)
+		if err != nil {
+			writeError(w, err)
+			return
+		}
+		if err := backend.CheckConfig(be, req.Config); err != nil {
+			writeError(w, err)
+			return
+		}
+		if configHash(*req.Config) != configHash(sys.cfg) {
+			writeError(w, errors.New("update is values-only: config changes require re-registration"))
+			return
+		}
+	}
+	m, err := BuildUpdateMatrix(req, sys.m)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	info, err := s.UpdateSystem(r.Context(), req.ID, m)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, info)
+}
+
+// BuildUpdateMatrix materializes the matrix an UpdateRequest describes: a
+// full replacement spec when given, otherwise the registered structure (cur)
+// with the posted diagonal and/or values substituted. Exported so the cluster
+// router can fingerprint an update before proxying it to the replica set.
+func BuildUpdateMatrix(req UpdateRequest, cur *sparse.Matrix) (*sparse.Matrix, error) {
+	if req.Gen != "" || req.Entries != nil {
+		if req.Diag != nil || req.Vals != nil {
+			return nil, errors.New("give diag/vals or a matrix spec, not both")
+		}
+		return BuildMatrix(RegisterRequest{Gen: req.Gen, N: req.N, Entries: req.Entries})
+	}
+	if req.Diag == nil && req.Vals == nil {
+		return nil, errors.New("update needs diag, vals or a matrix spec")
+	}
+	if req.Diag != nil && len(req.Diag) != len(cur.Diag) {
+		return nil, fmt.Errorf("diag has %d entries, system has %d rows", len(req.Diag), len(cur.Diag))
+	}
+	if req.Vals != nil && len(req.Vals) != len(cur.Vals) {
+		return nil, fmt.Errorf("vals has %d entries, system stores %d off-diagonals", len(req.Vals), len(cur.Vals))
+	}
+	m := &sparse.Matrix{
+		N:      cur.N,
+		Diag:   req.Diag,
+		RowPtr: cur.RowPtr,
+		Cols:   cur.Cols,
+		Vals:   req.Vals,
+	}
+	if m.Diag == nil {
+		m.Diag = append([]float64(nil), cur.Diag...)
+	}
+	if m.Vals == nil {
+		m.Vals = append([]float64(nil), cur.Vals...)
+	}
+	return m, nil
 }
 
 // BuildMatrix materializes the matrix a RegisterRequest describes — exported

@@ -45,6 +45,9 @@ var (
 	// ErrBodyTooLarge rejects an HTTP request whose body exceeds the
 	// configured limit.
 	ErrBodyTooLarge = errors.New("serve: request body too large")
+	// ErrRefreshDisabled rejects a values-only update while the refresh path
+	// is configured off (serve.refresh.enabled = false).
+	ErrRefreshDisabled = errors.New("serve: values-only refresh disabled")
 )
 
 // Options configures a Service. The zero value of each field selects the
@@ -76,6 +79,13 @@ type Options struct {
 	BreakerCooldown  time.Duration // open-breaker cooldown before a half-open probe (default 1s)
 	StateDir         string        // crash-safe registry directory ("" disables persistence)
 	Chaos            *fault.Chaos  // service-level chaos campaign (nil disables)
+
+	// DisableRefresh turns the values-only refresh path off: pattern-matching
+	// registrations cold-prepare and UpdateSystem is rejected.
+	DisableRefresh bool
+	// RefreshWarmReplicas bounds how many idle replicas one adoption
+	// refreshes in place (0 = all; the remainder re-prepares on demand).
+	RefreshWarmReplicas int
 
 	// Telemetry receives every service, pipeline, engine and machine metric
 	// (default: a private registry, exposed on /metrics and /stats). Live
@@ -114,6 +124,12 @@ func OptionsFromConfig(c config.Config) Options {
 		o.StateDir = s.StateDir
 		if ch := s.Chaos; ch != nil && ch.Rate > 0 {
 			o.Chaos = fault.NewChaos(ch.Plan())
+		}
+		if r := s.Refresh; r != nil {
+			if r.Enabled != nil && !*r.Enabled {
+				o.DisableRefresh = true
+			}
+			o.RefreshWarmReplicas = r.WarmReplicas
 		}
 		if s.Tiles > 0 || s.Chips > 0 {
 			mc := ipu.Mk2M2000()
@@ -219,9 +235,20 @@ type system struct {
 	m         *sparse.Matrix
 	cfg       config.Config
 	key       Key
+	pattern   uint64  // sparsity-pattern fingerprint (values excluded)
 	backend   string  // canonical execution-backend name for this system
 	solver    string  // solver name, filled at registration
 	verifyTol float64 // effective residual-verification threshold
+}
+
+// pkey is the system's pattern key: its cache key with the full matrix
+// fingerprint replaced by the values-free pattern digest. Two systems sharing
+// a pkey run the same compiled program modulo numeric payloads, so a pipeline
+// prepared for one can be refreshed in place for the other.
+func (sys *system) pkey() Key {
+	k := sys.key
+	k.Matrix = sys.pattern
+	return k
 }
 
 // entry is one cache slot: a pool of idle Prepared replicas for a key. idle
@@ -230,6 +257,7 @@ type system struct {
 // in-flight jobs drain against evicted entries without coordination.
 type entry struct {
 	key     Key
+	pkey    Key // pattern key, indexing the entry for values-only adoption
 	idle    chan *core.Prepared
 	created int // replicas built (guarded by Service.mu)
 	elem    *list.Element
@@ -265,7 +293,8 @@ type Service struct {
 	draining bool
 	systems  map[string]*system
 	cache    map[Key]*entry
-	lru      *list.List // front = most recently used
+	patterns map[Key]*entry // pattern key → most recent entry, for adoption
+	lru      *list.List     // front = most recently used
 	breakers map[string]*breaker
 
 	registry *registry // crash-safe registration log (nil without a StateDir)
@@ -293,6 +322,7 @@ func New(opts Options) *Service {
 		opts:     opts,
 		systems:  make(map[string]*system),
 		cache:    make(map[Key]*entry),
+		patterns: make(map[Key]*entry),
 		lru:      list.New(),
 		breakers: make(map[string]*breaker),
 		jobs:     make(chan *job, opts.QueueDepth),
@@ -424,6 +454,7 @@ func (s *Service) register(ctx context.Context, m *sparse.Matrix, cfg *config.Co
 			Strategy: s.opts.Strategy,
 			Backend:  be.Name(),
 		},
+		pattern:   m.PatternFingerprint(),
 		backend:   be.Name(),
 		verifyTol: verifyTolFor(s.opts.VerifyTolerance, c),
 	}
@@ -444,6 +475,13 @@ func (s *Service) register(ctx context.Context, m *sparse.Matrix, cfg *config.Co
 	}
 	reg := s.registry
 	s.mu.Unlock()
+
+	// Values-only refresh path: a cached pool prepared for a different matrix
+	// with this system's exact sparsity pattern (and solver hierarchy,
+	// machine, backend) is adopted by refreshing its numeric payloads in
+	// place, so the warm-up below finds hot replicas instead of paying a cold
+	// Prepare.
+	s.maybeAdopt(sys)
 
 	// Warm the cache outside the lock: preparing is the expensive phase. The
 	// caller's context bounds the warm-up wait; Close additionally cancels
@@ -655,14 +693,18 @@ func (s *Service) acquire(ctx context.Context, sys *system) (*core.Prepared, *en
 	if ok {
 		s.lru.MoveToFront(ent.elem)
 	} else {
-		ent = &entry{key: sys.key, idle: make(chan *core.Prepared, s.opts.ReplicasPerKey)}
+		ent = &entry{key: sys.key, pkey: sys.pkey(), idle: make(chan *core.Prepared, s.opts.ReplicasPerKey)}
 		ent.elem = s.lru.PushFront(ent)
 		s.cache[sys.key] = ent
+		s.patterns[ent.pkey] = ent
 		for s.lru.Len() > s.opts.CacheCapacity {
 			tail := s.lru.Back()
 			old := tail.Value.(*entry)
 			s.lru.Remove(tail)
 			delete(s.cache, old.key)
+			if s.patterns[old.pkey] == old {
+				delete(s.patterns, old.pkey)
+			}
 			s.stats.evictions.Add(1)
 		}
 	}
@@ -704,6 +746,203 @@ func (s *Service) acquire(ctx context.Context, sys *system) (*core.Prepared, *en
 // job references an evicted entry it is garbage collected wholesale.
 func (s *Service) release(ent *entry, p *core.Prepared) {
 	ent.idle <- p
+}
+
+// maybeAdopt re-keys a cached pipeline pool onto sys when one exists for its
+// pattern key but not its exact key, refreshing the idle replicas' numeric
+// payloads in place. It reports how many replicas were refreshed (0 when the
+// path is disabled, the exact key is already cached, or no donor exists).
+func (s *Service) maybeAdopt(sys *system) int {
+	if s.opts.DisableRefresh {
+		return 0
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return 0
+	}
+	if _, ok := s.cache[sys.key]; ok {
+		return 0 // the exact pool is already resident
+	}
+	donor, ok := s.patterns[sys.pkey()]
+	if !ok {
+		return 0
+	}
+	_, refreshed := s.adoptLocked(donor, sys)
+	return refreshed
+}
+
+// adoptLocked retires the donor pool and moves its idle replicas onto the
+// system's key by refreshing their numeric payloads in place — per-tile
+// values, preconditioner refactorization inputs, ABFT checksums — while the
+// partition, halo schedule and compiled instruction streams are reused
+// verbatim. Replicas checked out by in-flight jobs stay with the retired
+// donor: they release into its buffered channel and are garbage collected
+// with it, and their pool slots are not transferred, so later acquires
+// prepare fresh replicas on demand. Callers hold s.mu.
+func (s *Service) adoptLocked(donor *entry, sys *system) (*entry, int) {
+	s.lru.Remove(donor.elem)
+	delete(s.cache, donor.key)
+	if s.patterns[donor.pkey] == donor {
+		delete(s.patterns, donor.pkey)
+	}
+	ent := &entry{key: sys.key, pkey: sys.pkey(), idle: make(chan *core.Prepared, s.opts.ReplicasPerKey)}
+	ent.elem = s.lru.PushFront(ent)
+	s.cache[sys.key] = ent
+	s.patterns[ent.pkey] = ent
+	limit := s.opts.RefreshWarmReplicas
+	refreshed := 0
+	for limit <= 0 || refreshed < limit {
+		select {
+		case p := <-donor.idle:
+			if err := p.UpdateValues(sys.m); err != nil {
+				// The pattern key guarantees structural equality, so a
+				// mismatch here is a defect; drop the replica and let a cold
+				// prepare fill the slot rather than serve stale values.
+				continue
+			}
+			ent.created++
+			ent.idle <- p
+			refreshed++
+			s.stats.refreshed.Inc()
+		default:
+			return ent, refreshed
+		}
+	}
+	return ent, refreshed
+}
+
+// UpdateInfo reports a values-only refresh: the superseding registration and
+// how many prepared replicas were refreshed in place rather than re-prepared.
+type UpdateInfo struct {
+	SystemInfo
+	// Previous is the superseded system ID (the one the update targeted).
+	Previous string `json:"previous"`
+	// Refreshed counts cached replicas whose numeric payloads were rewritten
+	// in place; 0 means the pool had been evicted (or its replicas were all
+	// busy) and the update warm-prepared instead.
+	Refreshed int `json:"refreshed"`
+}
+
+// UpdateSystem applies a values-only matrix update to a registered system
+// (PATCH semantics): the new matrix must keep the registered sparsity pattern
+// exactly — a structural change is rejected with core.ErrPatternMismatch
+// (HTTP 409) — and the solver configuration is untouched. The update
+// supersedes the old registration: the system's ID becomes the new matrix's
+// fingerprint, idle cached replicas are refreshed in place instead of
+// re-prepared, and with a crash-safe registry attached a superseding record
+// hits the WAL (fsynced) before acknowledgement, so a restarted service
+// recovers exactly the updated values. Updating with the currently
+// registered values is an idempotent no-op. In-flight solves against the old
+// ID finish against the old values; a solve racing the update may observe
+// either registration.
+func (s *Service) UpdateSystem(ctx context.Context, id string, m *sparse.Matrix) (UpdateInfo, error) {
+	if s.opts.DisableRefresh {
+		return UpdateInfo{}, ErrRefreshDisabled
+	}
+	sys, err := s.lookup(id)
+	if err != nil {
+		return UpdateInfo{}, err
+	}
+	if m == nil {
+		return UpdateInfo{}, errors.New("serve: update needs a matrix")
+	}
+	if err := m.Validate(); err != nil {
+		return UpdateInfo{}, err
+	}
+	if got := m.PatternFingerprint(); got != sys.pattern {
+		s.stats.refreshMismatch.Inc()
+		return UpdateInfo{}, fmt.Errorf("%w: system %s is prepared for pattern %s, update carries %s",
+			core.ErrPatternMismatch, sys.id, sys.m.PatternFingerprintString(), m.PatternFingerprintString())
+	}
+	// Re-run the capability gate: the config was admitted at registration,
+	// but the check is cheap and keeps the refresh path honest if the gate
+	// ever tightens between releases.
+	be, err := backend.ByName(sys.backend)
+	if err != nil {
+		return UpdateInfo{}, err
+	}
+	if err := backend.CheckConfig(be, &sys.cfg); err != nil {
+		return UpdateInfo{}, err
+	}
+
+	next := &system{
+		id:        m.FingerprintString(),
+		m:         m,
+		cfg:       sys.cfg,
+		key:       sys.key,
+		pattern:   sys.pattern,
+		backend:   sys.backend,
+		solver:    sys.solver,
+		verifyTol: sys.verifyTol,
+	}
+	next.key.Matrix = m.Fingerprint()
+	if next.id == sys.id {
+		return UpdateInfo{
+			SystemInfo: SystemInfo{ID: sys.id, N: sys.m.N, NNZ: sys.m.NNZ(), Solver: sys.solver},
+			Previous:   sys.id,
+		}, nil
+	}
+
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return UpdateInfo{}, ErrClosed
+	}
+	if s.draining {
+		s.mu.Unlock()
+		return UpdateInfo{}, ErrDraining
+	}
+	if cur, ok := s.systems[id]; !ok || cur != sys {
+		// A concurrent update superseded this registration first.
+		s.mu.Unlock()
+		return UpdateInfo{}, fmt.Errorf("%w: %s", ErrNotFound, id)
+	}
+	refreshed := 0
+	if _, ok := s.cache[next.key]; !ok {
+		if donor, ok := s.patterns[next.pkey()]; ok {
+			_, refreshed = s.adoptLocked(donor, next)
+		}
+	}
+	reg := s.registry
+	s.mu.Unlock()
+
+	if refreshed == 0 {
+		// The pool was evicted or fully checked out: warm-prepare so the
+		// first post-update solve is amortized, exactly as registration does.
+		p, ent, err := s.acquire(ctx, next)
+		if err != nil {
+			return UpdateInfo{}, err
+		}
+		s.release(ent, p)
+	}
+
+	// Durability before acknowledgement, as at registration: the superseding
+	// record (new values, pointer to the retired ID) is fsynced into the WAL
+	// before the update becomes visible.
+	if reg != nil {
+		rec := newRegistrationRecord(next)
+		rec.Supersedes = sys.id
+		if err := reg.append(rec); err != nil {
+			return UpdateInfo{}, fmt.Errorf("serve: persisting update: %w", err)
+		}
+	}
+
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return UpdateInfo{}, ErrClosed
+	}
+	if cur, ok := s.systems[id]; ok && cur == sys {
+		delete(s.systems, id)
+	}
+	s.systems[next.id] = next
+	s.mu.Unlock()
+	return UpdateInfo{
+		SystemInfo: SystemInfo{ID: next.id, N: next.m.N, NNZ: next.m.NNZ(), Solver: next.solver},
+		Previous:   sys.id,
+		Refreshed:  refreshed,
+	}, nil
 }
 
 // QueueDepth reports the number of queued jobs not yet picked up.

@@ -51,6 +51,11 @@ type Stats struct {
 	// Crash-safe registry health.
 	RegistryWALErrors uint64 `json:"registryWalErrors"` // WAL write/fsync failures
 	Draining          bool   `json:"draining"`          // admission closed, in-flight work finishing
+
+	// Values-only refresh path. Omitted from /stats until the first refresh
+	// (the base wire contract predates the refresh tier).
+	Refreshed       uint64 `json:"refreshed,omitempty"`       // cached replicas refreshed in place
+	RefreshMismatch uint64 `json:"refreshMismatch,omitempty"` // updates rejected for a pattern change
 }
 
 // statsCollector is the service's pre-resolved instrument set on its
@@ -75,6 +80,9 @@ type statsCollector struct {
 	sdcEscapes      *telemetry.Counter
 	breakerRejected *telemetry.Counter
 	breakerOpens    *telemetry.Counter
+
+	refreshed       *telemetry.Counter // serve_refreshed_total
+	refreshMismatch *telemetry.Counter // serve_refresh_mismatch_total
 
 	walErrors *telemetry.Counter // registry_wal_errors_total
 
@@ -107,6 +115,11 @@ func newStatsCollector(reg *telemetry.Registry) statsCollector {
 			"Corrupted claimed-converged answers that escaped in-loop ABFT detection."),
 		breakerRejected: reg.Counter("serve_breaker_rejected_total", "Solves shed by an open circuit breaker."),
 		breakerOpens:    reg.Counter("serve_breaker_opens_total", "Circuit-breaker open transitions."),
+
+		refreshed: reg.Counter("serve_refreshed_total",
+			"Cached prepared replicas refreshed in place by values-only updates."),
+		refreshMismatch: reg.Counter("serve_refresh_mismatch_total",
+			"Values-only updates rejected because the sparsity pattern changed."),
 
 		walErrors: reg.Counter("registry_wal_errors_total",
 			"Registration WAL write/fsync failures (persistence trouble)."),
@@ -152,6 +165,8 @@ func (s *Service) Stats() Stats {
 		BreakersOpen:    s.openBreakers(),
 	}
 	st.RegistryWALErrors = s.stats.walErrors.Value()
+	st.Refreshed = s.stats.refreshed.Value()
+	st.RefreshMismatch = s.stats.refreshMismatch.Value()
 	if st.Solved > 0 {
 		st.CyclesPerSolve = s.stats.cycles.Value() / st.Solved
 	}

@@ -41,6 +41,10 @@ type RegistrationRecord struct {
 	Cols   []int         `json:"cols"`
 	Vals   []float64     `json:"vals"`
 	Config config.Config `json:"config"`
+	// Supersedes marks a values-only refresh record: replay drops the named
+	// system (the pre-update registration) so a restarted service recovers
+	// only the updated values, never both generations.
+	Supersedes string `json:"supersedes,omitempty"`
 }
 
 func newRegistrationRecord(sys *system) RegistrationRecord {
@@ -252,8 +256,18 @@ func loadSnapshot(path string) ([]RegistrationRecord, error) {
 	return recs, nil
 }
 
-// mergeRecord replaces an existing record with the same ID or appends.
+// mergeRecord replaces an existing record with the same ID or appends; a
+// superseding record (values-only refresh) first retires the registration it
+// replaces, taking its position so registration order is preserved.
 func mergeRecord(recs []RegistrationRecord, rec RegistrationRecord) []RegistrationRecord {
+	if rec.Supersedes != "" && rec.Supersedes != rec.ID {
+		for i := range recs {
+			if recs[i].ID == rec.Supersedes {
+				recs[i] = rec
+				return dedupeRecord(recs, i)
+			}
+		}
+	}
 	for i := range recs {
 		if recs[i].ID == rec.ID {
 			recs[i] = rec
@@ -261,6 +275,19 @@ func mergeRecord(recs []RegistrationRecord, rec RegistrationRecord) []Registrati
 		}
 	}
 	return append(recs, rec)
+}
+
+// dedupeRecord drops any record after keep that shares its ID — the footprint
+// of an update that restored a previously registered value set.
+func dedupeRecord(recs []RegistrationRecord, keep int) []RegistrationRecord {
+	id := recs[keep].ID
+	out := recs[:keep+1]
+	for _, r := range recs[keep+1:] {
+		if r.ID != id {
+			out = append(out, r)
+		}
+	}
+	return out
 }
 
 // countErr bumps the WAL-error counter on the way out of a failing write or

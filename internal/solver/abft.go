@@ -65,6 +65,10 @@ type abftState struct {
 	checks   uint64
 	detected []string // kernel tag per detection, in program order
 	pending  string   // unconsumed detection reason ("" = none)
+
+	// Global column-sum scratch in original row numbering, kept so a
+	// values-only refresh recomputes the checksums without allocating.
+	cg, cga []float64
 }
 
 // EnableABFT arms checksum-carrying SpMV on the system. It must be called
@@ -89,11 +93,32 @@ func (sys *System) EnableABFT(tol float64) {
 		scale:  make([]float64, nt),
 		active: make([]bool, nt),
 	}
+	a.cg = make([]float64, sys.n)
+	a.cga = make([]float64, sys.n)
+	for t := range sys.Locals {
+		tl := &sys.Layout.Tiles[t]
+		a.c[t] = make([]float32, tl.NumOwned)
+		a.cabs[t] = make([]float32, tl.NumOwned)
+		a.active[t] = tl.NumOwned > 0
+	}
+	sys.abft = a
+	sys.abftComputeChecksums()
+}
+
+// abftComputeChecksums (re)derives the global column sums c = Aᵀ1 and
+// |A|ᵀ1 from the current tile-local value arrays and scatters them into the
+// owned-vector layout. Called at enable time and again by RefreshValues after
+// a values-only matrix update; all buffers are preallocated so the refresh
+// path does not allocate.
+func (sys *System) abftComputeChecksums() {
+	a := sys.abft
 	// Global column sums: every stored entry A[i][j] contributes to column j.
 	// Column indices inside a tile block are local (owned or halo); both map
 	// back to global rows through the layout.
-	cg := make([]float64, sys.n)
-	cga := make([]float64, sys.n)
+	cg, cga := a.cg, a.cga
+	for g := range cg {
+		cg[g], cga[g] = 0, 0
+	}
 	for t, lm := range sys.Locals {
 		tl := &sys.Layout.Tiles[t]
 		for i := 0; i < lm.NumOwned; i++ {
@@ -117,15 +142,20 @@ func (sys *System) EnableABFT(tol float64) {
 	// Scatter to the owned-vector layout.
 	for t := range sys.Locals {
 		tl := &sys.Layout.Tiles[t]
-		a.c[t] = make([]float32, tl.NumOwned)
-		a.cabs[t] = make([]float32, tl.NumOwned)
 		for i, g := range tl.Owned {
 			a.c[t][i] = float32(cg[g])
 			a.cabs[t][i] = float32(cga[g])
 		}
-		a.active[t] = tl.NumOwned > 0
 	}
-	sys.abft = a
+}
+
+// abftRefresh recomputes the column checksums after a values-only matrix
+// refresh (no-op when ABFT is not armed).
+func (sys *System) abftRefresh() {
+	if sys.abft == nil {
+		return
+	}
+	sys.abftComputeChecksums()
 }
 
 // ABFTEnabled reports whether checksum-carrying SpMV is armed.

@@ -88,7 +88,7 @@ func (s *CG) ScheduleSolve(x, b Tensor, st *RunStats) {
 			st.Breakdown = true
 			st.BreakdownReason = reason
 		}
-		if g == nil || !g.trip(reason, iter) {
+		if g == nil || !g.trip(reason, iter, relres) {
 			stop = true
 		}
 	}

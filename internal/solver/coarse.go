@@ -47,26 +47,41 @@ func (p *CoarseCorrection) SetupStep() {
 	p.nt = nt
 
 	// Assemble A_c[s][t] = sum over entries a_ij with owner(i)=s, owner(j)=t.
+	// The factor codelet below re-runs denseLU(ac) on every program execution,
+	// so re-filling ac in place is all a values-only refresh needs.
 	ac := make([][]float64, nt)
 	for s := range ac {
 		ac[s] = make([]float64, nt)
 	}
-	for t, lm := range sys.Locals {
-		tl := &l.Tiles[t]
-		for i := 0; i < lm.NumOwned; i++ {
-			ac[t][t] += float64(sys.diag[t][i])
-			for k := lm.RowPtr[i]; k < lm.RowPtr[i+1]; k++ {
-				j := lm.Cols[k]
-				v := float64(sys.vals[t][k])
-				if j < lm.NumOwned {
-					ac[t][t] += v
-				} else {
-					owner := l.Owner[tl.Halo[j-lm.NumOwned]]
-					ac[t][owner] += v
+	assemble := func() error {
+		for s := range ac {
+			row := ac[s]
+			for t := range row {
+				row[t] = 0
+			}
+		}
+		for t, lm := range sys.Locals {
+			tl := &l.Tiles[t]
+			for i := 0; i < lm.NumOwned; i++ {
+				ac[t][t] += float64(sys.diag[t][i])
+				for k := lm.RowPtr[i]; k < lm.RowPtr[i+1]; k++ {
+					j := lm.Cols[k]
+					v := float64(sys.vals[t][k])
+					if j < lm.NumOwned {
+						ac[t][t] += v
+					} else {
+						owner := l.Owner[tl.Halo[j-lm.NumOwned]]
+						ac[t][owner] += v
+					}
 				}
 			}
 		}
+		return nil
 	}
+	if err := assemble(); err != nil {
+		panic(err) // assemble cannot fail; the signature matches OnRefresh
+	}
+	sys.OnRefresh(assemble)
 	// SRAM for the dense factors on tile 0. An overflow is data-dependent
 	// (too many tiles for the dense coarse operator), so it surfaces as a
 	// failed program step instead of a panic.

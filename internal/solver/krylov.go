@@ -103,7 +103,7 @@ func (s *PBiCGStab) ScheduleSolve(x, b Tensor, st *RunStats) {
 			st.Breakdown = true
 			st.BreakdownReason = reason
 		}
-		if g == nil || !g.trip(reason, iter) {
+		if g == nil || !g.trip(reason, iter, relres) {
 			stop = true
 		}
 	}
@@ -397,7 +397,7 @@ func (s *Richardson) ScheduleSolve(x, b Tensor, st *RunStats) {
 			st.Breakdown = true
 			st.BreakdownReason = reason
 		}
-		if g == nil || !g.trip(reason, iter) {
+		if g == nil || !g.trip(reason, iter, relres) {
 			stop = true
 		}
 	}

@@ -138,8 +138,11 @@ func (s *MPIR) ScheduleSolve(x, b Tensor, st *RunStats) {
 					// when it actually restarted: scalar stagnation at the
 					// bottom of a low-tolerance correction solve is the
 					// expected end of an approximate inner solve (the outer
-					// refinement compensates), not a resilience event.
-					if innerStats.Breakdown && innerStats.Restarts > 0 {
+					// refinement compensates), not a resilience event. A
+					// restart sequence the guard itself classified as
+					// deterministic stagnation is the same benign event, even
+					// though probe restarts were burned confirming it.
+					if innerStats.Breakdown && innerStats.Restarts > 0 && !innerStats.Stagnated {
 						st.Breakdown = true
 						st.BreakdownReason = innerStats.BreakdownReason
 					}

@@ -60,8 +60,10 @@ type guard struct {
 	restarts   int
 	pending    bool // a restore branch should fire at the next loop entry
 	failed     bool // restart budget spent
+	stagnant   bool // a restart replayed into the same scalar wall (benign)
 	reason     string
 	failIter   int
+	failRel    float64 // recursion residual at the last trip
 }
 
 func newGuard(rec *Recovery, x Tensor, tol float64, st *RunStats) *guard {
@@ -71,8 +73,8 @@ func newGuard(rec *Recovery, x Tensor, tol float64, st *RunStats) *guard {
 // reset re-arms the guard and captures the initial guess as the first
 // checkpoint (called from the solver's init callback at run time).
 func (g *guard) reset() {
-	g.restarts, g.pending, g.failed = 0, false, false
-	g.reason, g.failIter = "", 0
+	g.restarts, g.pending, g.failed, g.stagnant = 0, false, false, false
+	g.reason, g.failIter, g.failRel = "", 0, 0
 	g.lastShadow = 0
 	g.save(0)
 }
@@ -88,10 +90,38 @@ func (g *guard) due(iter int) bool {
 	return iter > 0 && iter%g.rec.interval() == 0 && iter != g.ckptIter
 }
 
-// trip records a breakdown at iteration iter. It returns true when a restart
-// is pending (budget remained) and false when the budget is spent.
-func (g *guard) trip(reason string, iter int) bool {
-	g.reason, g.failIter = reason, iter
+// trip records a breakdown at iteration iter, with rel the recursion relative
+// residual at the detection. It returns true when a restart is pending
+// (budget remained) and false when no further restart will fire — either the
+// budget is spent, or the breakdown is deterministic scalar stagnation that a
+// restart provably cannot cure.
+func (g *guard) trip(reason string, iter int, rel float64) bool {
+	if scalarBreakdown(reason) && (rel <= scalarFloor ||
+		(g.restarts > 0 && scalarBreakdown(g.reason) && rel > g.failRel/2)) {
+		// Scalar stagnation, not a fault, on either of two signatures. A
+		// recursion residual already below scalarFloor is beyond anything the
+		// float32 recursion can genuinely resolve — the correction solve is
+		// as converged as the precision allows and the underflowing scalar is
+		// its natural end. Or: a previous restart already rewound x and
+		// rebuilt the Krylov basis from a fresh shadow residual, and a
+		// recursion scalar still underflowed with the residual flat since the
+		// last wall (no 2x improvement) — each further restart only creeps
+		// the wall forward a few iterations. Either way a restart provably
+		// buys nothing, so stop the iteration the way the unhardened solver
+		// does instead of burning the budget into a hard failure — unless a
+		// fallback is configured, in which case the escalation path is the
+		// productive next move.
+		g.reason, g.failIter, g.failRel = reason, iter, rel
+		g.stagnant = true
+		if g.st != nil {
+			g.st.Stagnated = true
+		}
+		if g.rec.Fallback != nil {
+			g.failed = true
+		}
+		return false
+	}
+	g.reason, g.failIter, g.failRel = reason, iter, rel
 	if g.restarts >= g.rec.maxRestarts() {
 		g.failed = true
 		return false
@@ -124,11 +154,11 @@ func (g *guard) restore() (int, error) {
 // the jump test detects. The first verification establishes the baseline.
 func (g *guard) verify(iter int, shadowRel, recursionRel float64) {
 	if math.IsNaN(shadowRel) || math.IsInf(shadowRel, 0) {
-		g.trip("shadow-residual", iter)
+		g.trip("shadow-residual", iter, recursionRel)
 		return
 	}
 	if g.lastShadow > 0 && shadowRel > 100*recursionRel && shadowRel > 10*g.lastShadow {
-		g.trip("residual-drift", iter)
+		g.trip("residual-drift", iter, recursionRel)
 		return
 	}
 	g.lastShadow = shadowRel
@@ -139,6 +169,26 @@ func (g *guard) verify(iter int, shadowRel, recursionRel float64) {
 // without convergence.
 func (g *guard) breakdownError(solver string) *ErrBreakdown {
 	return &ErrBreakdown{Solver: solver, Reason: g.reason, Iter: g.failIter, Restarts: g.restarts}
+}
+
+// scalarFloor is the relative residual below which a float32 Krylov recursion
+// cannot represent genuine convergence state (float32 machine epsilon is
+// ~1.2e-7; three orders of magnitude past it the residual vector has
+// underflowed into denormals). A recursion-scalar watchdog firing down there
+// is the method's natural stagnation end, never a recoverable fault.
+const scalarFloor = 1e-10
+
+// scalarBreakdown reports whether a breakdown reason names one of the Krylov
+// recursion scalars. These watchdogs fire on underflow of a float32 recursion
+// quantity, which near convergence is the natural stagnation floor of the
+// method rather than evidence of corruption — the distinction the guard's
+// futility test relies on.
+func scalarBreakdown(reason string) bool {
+	switch reason {
+	case "rho", "gamma", "omega", "indefinite":
+		return true
+	}
+	return false
 }
 
 // residualCheck classifies a squared-residual reading. It returns the tag of

@@ -26,6 +26,12 @@ type RunStats struct {
 	BreakdownReason string
 	// Restarts counts checkpoint restarts performed by the Recovery policy.
 	Restarts int
+	// Stagnated reports that the Recovery policy concluded the (last)
+	// breakdown was deterministic scalar stagnation — a restart replayed the
+	// rebuilt Krylov recursion into the same wall — and ended the iteration
+	// benignly instead of failing it. Outer drivers (MPIR) treat a stagnated
+	// inner solve like any other approximate correction, not a fault.
+	Stagnated bool
 	// Recovered reports a solve that hit a breakdown, restarted from a
 	// checkpoint (or escalated to the fallback solver) and still converged.
 	Recovered bool

@@ -82,6 +82,12 @@ type System struct {
 	// permutation and the device write, reused across solves.
 	permScratch []float64
 
+	// refreshHooks re-derive value snapshots taken at schedule time (diagonal
+	// tensors, the coarse operator) after a values-only matrix refresh. Every
+	// schedule-time consumer of sys.diag/sys.vals that copies rather than
+	// aliases registers one via OnRefresh.
+	refreshHooks []func() error
+
 	// abft, when non-nil, arms checksum-carrying SpMV (see abft.go).
 	abft *abftState
 }
@@ -546,17 +552,66 @@ func (sys *System) nativeResidualExt(r, b, x *tensordsl.Tensor, halos []*graph.B
 }
 
 // DiagTensor returns a distributed tensor holding the matrix diagonal
-// (used by the Jacobi preconditioner).
+// (used by the Jacobi preconditioner). The tensor is a value snapshot, so a
+// refresh hook re-uploads it when the matrix values change.
 func (sys *System) DiagTensor(name string) *tensordsl.Tensor {
 	t := sys.Vector(name)
-	vals := make([]float64, 0, sys.n)
-	for tile := range sys.Locals {
-		for _, d := range sys.diag[tile] {
-			vals = append(vals, float64(d))
+	fill := func() error {
+		vals := sys.scratch()
+		off := 0
+		for tile := range sys.Locals {
+			for _, d := range sys.diag[tile] {
+				vals[off] = float64(d)
+				off++
+			}
 		}
+		return t.SetHost(vals[:off])
 	}
-	if err := t.SetHost(vals); err != nil {
+	if err := fill(); err != nil {
 		panic(err)
 	}
+	sys.OnRefresh(fill)
 	return t
+}
+
+// OnRefresh registers a hook RefreshValues runs after the tile-local value
+// arrays have been overwritten. Schedule-time consumers that snapshot matrix
+// values (rather than holding slice references into sys.diag/sys.vals, which
+// refresh for free) register one to re-derive their copy.
+func (sys *System) OnRefresh(hook func() error) {
+	sys.refreshHooks = append(sys.refreshHooks, hook)
+}
+
+// RefreshValues adopts the numeric payload of m — same sparsity pattern, new
+// values — into the already-built system without touching partition, halo
+// schedule or any scheduled program. The float64 local blocks and the float32
+// device arrays are overwritten in place, so every codelet and native kernel
+// holding slice references sees the new values on its next run; factorizing
+// preconditioners (ILU(0), DILU, MPIR setup) re-factor from these arrays at
+// run time and need no further work. Snapshot consumers re-derive through
+// their registered refresh hooks, and armed ABFT recomputes its column
+// checksums. The caller is responsible for verifying the pattern fingerprint
+// beforehand; structural mismatches that slip through fail on the per-row
+// entry-count check.
+func (sys *System) RefreshValues(m *sparse.Matrix) error {
+	if err := halo.RefreshValues(m, sys.Layout, sys.Locals); err != nil {
+		return err
+	}
+	for t, lm := range sys.Locals {
+		d := sys.diag[t]
+		for i, v := range lm.Diag {
+			d[i] = float32(v)
+		}
+		vs := sys.vals[t]
+		for i, v := range lm.Vals {
+			vs[i] = float32(v)
+		}
+	}
+	for _, hook := range sys.refreshHooks {
+		if err := hook(); err != nil {
+			return fmt.Errorf("solver: refresh hook: %w", err)
+		}
+	}
+	sys.abftRefresh()
+	return nil
 }

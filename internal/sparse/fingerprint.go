@@ -46,3 +46,48 @@ func (m *Matrix) Fingerprint() uint64 {
 func (m *Matrix) FingerprintString() string {
 	return fmt.Sprintf("m%016x", m.Fingerprint())
 }
+
+// PatternFingerprint returns a deterministic 64-bit digest of the sparsity
+// pattern alone: dimension, RowPtr and Cols, with every value excluded (the
+// dense diagonal is structural — each row always stores one — so it
+// contributes nothing either). Two matrices pattern-fingerprint equal iff a
+// prepared pipeline built for one can adopt the other's values in place:
+// partition, halo schedule and compiled program depend only on what this
+// digest covers. The hash domain is seeded differently from Fingerprint so
+// the two digests of one matrix never collide by construction.
+func (m *Matrix) PatternFingerprint() uint64 {
+	// Manual FNV-1a, byte-identical to hash/fnv over the same little-endian
+	// words but with zero allocation: this digest guards every UpdateValues
+	// call, which must stay allocation-free on the native refresh hot path.
+	h := fnv1aWord(fnv1aOffset, 0x9a77e12) // domain tag: pattern, not full
+	h = fnv1aWord(h, uint64(m.N))
+	h = fnv1aWord(h, 0x509c) // structure
+	for _, v := range m.RowPtr {
+		h = fnv1aWord(h, uint64(v))
+	}
+	for _, v := range m.Cols {
+		h = fnv1aWord(h, uint64(v))
+	}
+	return h
+}
+
+const (
+	fnv1aOffset uint64 = 14695981039346656037
+	fnv1aPrime  uint64 = 1099511628211
+)
+
+// fnv1aWord folds one value into an FNV-1a state as 8 little-endian bytes,
+// matching hash/fnv's byte-wise definition exactly.
+func fnv1aWord(h, v uint64) uint64 {
+	for i := 0; i < 8; i++ {
+		h = (h ^ (v & 0xff)) * fnv1aPrime
+		v >>= 8
+	}
+	return h
+}
+
+// PatternFingerprintString formats the pattern fingerprint as the service's
+// external structure identifier.
+func (m *Matrix) PatternFingerprintString() string {
+	return fmt.Sprintf("p%016x", m.PatternFingerprint())
+}

@@ -69,6 +69,64 @@ func TestFingerprintString(t *testing.T) {
 	}
 }
 
+func TestPatternFingerprintValueInvariance(t *testing.T) {
+	m := Poisson2D(8, 8)
+	pfp := m.PatternFingerprint()
+
+	// Values-only changes leave the pattern digest fixed...
+	v := m.Clone()
+	for i := range v.Diag {
+		v.Diag[i] *= 1.5
+	}
+	for k := range v.Vals {
+		v.Vals[k] += 0.25
+	}
+	if v.PatternFingerprint() != pfp {
+		t.Error("value change altered the pattern fingerprint")
+	}
+	// ...while the full fingerprint moves.
+	if v.Fingerprint() == m.Fingerprint() {
+		t.Error("value change did not alter the full fingerprint")
+	}
+
+	// Structural changes move the pattern digest.
+	if Poisson2D(8, 9).PatternFingerprint() == pfp {
+		t.Error("different structure did not change the pattern fingerprint")
+	}
+	perm := make([]int, m.N)
+	for i := range perm {
+		perm[i] = (i + 1) % m.N
+	}
+	pm, err := m.Permute(perm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pm.PatternFingerprint() == pfp {
+		t.Error("permuted structure did not change the pattern fingerprint")
+	}
+
+	// The two digest domains of one matrix never collide by construction.
+	if m.PatternFingerprint() == m.Fingerprint() {
+		t.Error("pattern and full fingerprints collide")
+	}
+}
+
+func TestPatternFingerprintStringAndAllocs(t *testing.T) {
+	m := Poisson2D(4, 4)
+	s := m.PatternFingerprintString()
+	if !strings.HasPrefix(s, "p") || len(s) != 17 {
+		t.Fatalf("unexpected pattern id format: %q", s)
+	}
+	if s != m.PatternFingerprintString() {
+		t.Error("pattern fingerprint string not stable")
+	}
+	// The digest guards every UpdateValues call, which must stay
+	// allocation-free on the native refresh hot path.
+	if allocs := testing.AllocsPerRun(10, func() { m.PatternFingerprint() }); allocs != 0 {
+		t.Fatalf("PatternFingerprint allocates %v/op", allocs)
+	}
+}
+
 func TestFingerprintEmptyAndTagged(t *testing.T) {
 	a, err := NewBuilder(0).Build()
 	if err != nil {
