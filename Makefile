@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check build test vet race bench bench-engine bench-smoke bench-backend bench-backend-smoke serve-smoke chaos-smoke metrics-smoke refresh-smoke sdc-smoke cluster-smoke bench-cluster bench-sdc bench-refresh clean
+.PHONY: check build test vet race bench bench-engine bench-smoke bench-backend bench-backend-smoke serve-smoke chaos-smoke metrics-smoke refresh-smoke tune-smoke sdc-smoke cluster-smoke bench-cluster bench-sdc bench-refresh bench-tune clean
 
 ## check: vet + build + race-enabled tests (the pre-merge gate)
 check: vet build race
@@ -63,12 +63,21 @@ metrics-smoke:
 	$(GO) run ./cmd/servesmoke -metrics
 
 ## refresh-smoke: drive the values-only streaming path against a
-## race-enabled ipuserved -- register once, step POST /v1/update value
-## drifts that supersede the system ID while refreshing the warm prepared
-## pipelines in place, verify every step's solve exactly and require
-## prepared_refresh_total on /metrics to advance with only one cold prepare
+## race-enabled ipuserved -- register once, step PATCH /v1/systems/{id}
+## value drifts that keep the ID stable while incrementing the values
+## generation and refreshing the warm prepared pipelines in place, verify
+## every step's solve exactly and require prepared_refresh_total on /metrics
+## to advance with only one cold prepare
 refresh-smoke:
 	$(GO) run ./cmd/servesmoke -refresh
+
+## tune-smoke: the autotuner persistence gate -- register under -tune
+## against a crash-safe ipuserved, require the race decision at
+## GET /v1/systems/{id}/tune with tune_races_total >= 1, kill -9, and
+## require the restarted process to recover the decision from the WAL
+## without re-racing
+tune-smoke:
+	$(GO) run ./cmd/servesmoke -tune
 
 ## sdc-smoke: the silent-data-corruption gate -- sweep seeded bit-flip and
 ## exchange-corruption campaigns over ABFT-armed solves on both backends and
@@ -102,6 +111,12 @@ bench-sdc:
 ## UpdateValues+Solve per streaming step on both backends
 bench-refresh:
 	$(GO) run ./cmd/benchsuite -experiment refresh -refresh-json BENCH_refresh.json
+
+## bench-tune: the autotuning study (Table XIII) and its BENCH_tune.json
+## artifact: static default vs raced winner per serving profile, including
+## the misconfigured sim-pinned profile the tuner repairs
+bench-tune:
+	$(GO) run ./cmd/benchsuite -experiment tune -tune-json BENCH_tune.json
 
 clean:
 	$(GO) clean ./...

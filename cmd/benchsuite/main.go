@@ -22,7 +22,7 @@ import (
 )
 
 func main() {
-	experiment := flag.String("experiment", "all", "experiment to run: all, table1..table7, fig5..fig10, halo, engine, backend, cluster, sdc, refresh")
+	experiment := flag.String("experiment", "all", "experiment to run: all, table1..table7, fig5..fig10, halo, engine, backend, cluster, sdc, refresh, tune")
 	scale := flag.Int("scale", 64, "divide paper-scale workloads by this factor")
 	tiles := flag.Int("tiles", 64, "simulated tiles per chip for single-chip experiments")
 	full := flag.Bool("full", false, "use the full Mk2 M2000 tile counts")
@@ -33,6 +33,7 @@ func main() {
 	backendJSON := flag.String("backend-json", "", "write the backend study (Table X) as JSON to this file")
 	sdcJSON := flag.String("sdc-json", "", "write the SDC study (Table XI) as JSON to this file")
 	refreshJSON := flag.String("refresh-json", "", "write the refresh study (Table XII) as JSON to this file")
+	tuneJSON := flag.String("tune-json", "", "write the autotune study (Table XIII) as JSON to this file")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memProfile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	flag.Parse()
@@ -61,7 +62,7 @@ func main() {
 		}()
 	}
 	t0 := time.Now()
-	if err := runSuite(o, *experiment, *csvOut, *engineJSON, *backendJSON, *sdcJSON, *refreshJSON); err != nil {
+	if err := runSuite(o, *experiment, *csvOut, *engineJSON, *backendJSON, *sdcJSON, *refreshJSON, *tuneJSON); err != nil {
 		fmt.Fprintln(os.Stderr, "benchsuite:", err)
 		os.Exit(1)
 	}
@@ -83,9 +84,22 @@ func main() {
 	}
 }
 
-func runSuite(o bench.Options, experiment string, csvOut bool, engineJSON, backendJSON, sdcJSON, refreshJSON string) error {
+func runSuite(o bench.Options, experiment string, csvOut bool, engineJSON, backendJSON, sdcJSON, refreshJSON, tuneJSON string) error {
 	if csvOut {
 		return bench.RunCSV(o, experiment, os.Stdout)
+	}
+	if experiment == "tune" && tuneJSON != "" {
+		rows, err := bench.TuneStudy(o)
+		if err != nil {
+			return err
+		}
+		bench.PrintTuneStudy(o, rows)
+		f, err := os.Create(tuneJSON)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		return bench.WriteTuneJSON(f, rows)
 	}
 	if experiment == "engine" && engineJSON != "" {
 		rows, err := bench.EngineStudy(o)

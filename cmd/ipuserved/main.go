@@ -18,6 +18,11 @@
 // default-config solve, on the native serving backend as well as the
 // simulator, and -abft arms the in-loop corruption guards.
 //
+// -tune arms the autotuner (the serve.tune config block): each registration
+// races candidate configurations within a bounded budget and the system is
+// served with the winner, which is persisted in the registry WAL and exposed
+// at GET /v1/systems/<id>/tune.
+//
 // Shutdown on SIGINT/SIGTERM is graceful: admission stops, queued jobs
 // drain, then the listener closes. -drain-timeout bounds the drain: when a
 // wedged solve holds it past the deadline the process exits anyway (the WAL
@@ -72,9 +77,11 @@ func main() {
 	flag.StringVar(&ff.kinds, "fault-kinds", "bit-flip,exchange-corrupt", "comma-separated device fault kinds (bit-flip,exchange-corrupt,exchange-drop,tile-stall,host-transient)")
 	flag.IntVar(&ff.max, "fault-max", 0, "cap on injected device faults per solve (0 = unlimited)")
 	abft := flag.Bool("abft", false, "arm algorithm-based fault tolerance (checksum SpMV, divergence guards, final residual verify) on default-config systems")
+	tuneOn := flag.Bool("tune", false, "race candidate configurations at registration and serve each system with its winner (overrides the serve.tune config block)")
+	tuneBudget := flag.Duration("tune-budget", 0, "per-registration tuning race budget (0 = serve.tune default)")
 	flag.Parse()
 
-	if err := run(*addr, *cfgPath, *portFile, *stateDir, *backendName, *drainTimeout, cf, ff, *abft); err != nil {
+	if err := run(*addr, *cfgPath, *portFile, *stateDir, *backendName, *drainTimeout, cf, ff, *abft, *tuneOn, *tuneBudget); err != nil {
 		fmt.Fprintln(os.Stderr, "ipuserved:", err)
 		os.Exit(1)
 	}
@@ -129,7 +136,7 @@ func (cf chaosFlags) chaos() (*fault.Chaos, error) {
 	return fault.NewChaos(plan), nil
 }
 
-func run(addr, cfgPath, portFile, stateDir, backendName string, drainTimeout time.Duration, cf chaosFlags, ff faultFlags, abft bool) error {
+func run(addr, cfgPath, portFile, stateDir, backendName string, drainTimeout time.Duration, cf chaosFlags, ff faultFlags, abft, tuneOn bool, tuneBudget time.Duration) error {
 	cfg := config.Default()
 	if cfgPath != "" {
 		f, err := os.Open(cfgPath)
@@ -175,6 +182,19 @@ func run(addr, cfgPath, portFile, stateDir, backendName string, drainTimeout tim
 	}
 	if backendName != "" {
 		opts.Backend = backendName
+	}
+	if tuneOn {
+		opts.Tune = true
+	}
+	if tuneBudget > 0 {
+		opts.TuneBudget = tuneBudget
+	}
+	if opts.Tune {
+		budget := "default budget"
+		if opts.TuneBudget > 0 {
+			budget = "budget " + opts.TuneBudget.String()
+		}
+		log.Printf("ipuserved: autotuner armed: registrations race candidate configurations (%s)", budget)
 	}
 	chaos, err := cf.chaos()
 	if err != nil {

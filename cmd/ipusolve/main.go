@@ -7,6 +7,10 @@
 // format of paper §V; without one the paper's reference configuration
 // MPIR(double-word) + PBiCGStab + ILU(0) is used.
 //
+// -tune races candidate configurations (partition strategy × backend × engine
+// parallelism, ordered by a quick microbenchmark calibration) within
+// -tune-budget and solves with the winner.
+//
 // Example:
 //
 //	ipusolve -gen poisson3d:24 -tiles 64 -tol 1e-9 -v
@@ -19,12 +23,15 @@ import (
 	"os"
 	"runtime"
 	"runtime/pprof"
+	"time"
 
 	"ipusparse/internal/config"
 	"ipusparse/internal/core"
 	"ipusparse/internal/ipu"
+	"ipusparse/internal/microbench"
 	"ipusparse/internal/sparse"
 	"ipusparse/internal/telemetry"
+	"ipusparse/internal/tune"
 )
 
 // writeMetrics exports the run's telemetry in Prometheus text format to the
@@ -63,6 +70,8 @@ func main() {
 	fingerprint := flag.Bool("fingerprint", false, "print the matrix fingerprint (the service cache key) and exit")
 	enginePar := flag.Int("engine-par", -1, "host shards per BSP superstep (-1: from config, 0: all cores, 1: serial; never changes results)")
 	backendName := flag.String("backend", "", "execution backend: sim (default; cycle-accurate) or native (host-speed, no cycle model)")
+	tuneOn := flag.Bool("tune", false, "race candidate configurations first (calibrated by a quick microbenchmark pass) and solve with the winner")
+	tuneBudget := flag.Duration("tune-budget", 2*time.Second, "tuning race budget with -tune")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memProfile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	flag.Parse()
@@ -82,7 +91,7 @@ func main() {
 	if *traceOut == "" {
 		*traceOut = *tracePath
 	}
-	err = run(*matrixPath, *gen, *cfgPath, *rhs, *tiles, *chips, *tol, *strategy, *verbose, *traceOut, *metricsOut, *faultRate, *faultSeed, *abft, *enginePar, *backendName)
+	err = run(*matrixPath, *gen, *cfgPath, *rhs, *tiles, *chips, *tol, *strategy, *verbose, *traceOut, *metricsOut, *faultRate, *faultSeed, *abft, *enginePar, *backendName, *tuneOn, *tuneBudget)
 	if perr := stopProfiles(); err == nil {
 		err = perr
 	}
@@ -131,8 +140,8 @@ func startProfiles(cpuPath, memPath string) (func() error, error) {
 
 // printFingerprint loads the matrix and prints its deterministic fingerprints
 // — the full digest ipuserved caches the prepared pipeline under, and the
-// values-free pattern digest the values-only refresh path (POST /v1/update)
-// matches on.
+// values-free pattern digest the values-only refresh path
+// (PATCH /v1/systems/{id}) matches on.
 func printFingerprint(matrixPath, gen string) error {
 	m, err := loadMatrix(matrixPath, gen)
 	if err != nil {
@@ -140,6 +149,48 @@ func printFingerprint(matrixPath, gen string) error {
 	}
 	fmt.Printf("%s pattern %s\n", m.FingerprintString(), m.PatternFingerprintString())
 	return nil
+}
+
+// raceCandidates runs the one-shot autotune pass: a quick microbenchmark
+// calibration orders the candidates by predicted cost, then the race measures
+// them within the budget. The positional -partition and -backend choices form
+// the default candidate, so the winner is never slower than what the flags
+// alone would have run.
+func raceCandidates(mc ipu.Config, m *sparse.Matrix, cfg config.Config, strategy string, budget time.Duration) (*tune.Decision, error) {
+	cal, err := microbench.Run(microbench.Options{Quick: true, Budget: budget / 4, Machine: mc})
+	if err != nil {
+		// Calibration is an ordering hint only; the race itself still measures.
+		cal = nil
+	}
+	// The default candidate is exactly what the flags alone would run: the
+	// -backend/config choice, or the CLI's simulator default.
+	def := cfg.EngineBackend()
+	if def == "" {
+		def = "sim"
+	}
+	return tune.Race(mc, m, cfg, tune.Options{
+		Budget:      budget,
+		Default:     tune.Candidate{Strategy: strategy, Backend: def},
+		Calibration: cal,
+	})
+}
+
+// printDecision summarizes a finished race.
+func printDecision(d *tune.Decision) {
+	fmt.Printf("tune: raced %d candidate(s) in %.2fs (budget %.2fs)\n",
+		len(d.Races), d.ElapsedSec, d.BudgetSec)
+	for _, r := range d.Races {
+		mark := " "
+		if r.Candidate == d.Winner {
+			mark = "*"
+		}
+		if r.Error != "" {
+			fmt.Printf("  %s %-40s error: %s\n", mark, r.Candidate, r.Error)
+			continue
+		}
+		fmt.Printf("  %s %-40s %.3e s/solve (%d iterations)\n", mark, r.Candidate, r.Seconds, r.Iterations)
+	}
+	fmt.Printf("tune: winner %s, %.2fx vs default %s\n", d.Winner, d.Speedup, d.Default)
 }
 
 // loadMatrix reads the Matrix Market file or runs the generator spec.
@@ -155,7 +206,7 @@ func loadMatrix(matrixPath, gen string) (*sparse.Matrix, error) {
 	return sparse.GenByName(gen)
 }
 
-func run(matrixPath, gen, cfgPath, rhs string, tiles, chips int, tol float64, strategy string, verbose bool, tracePath, metricsPath string, faultRate float64, faultSeed int64, abft bool, enginePar int, backendName string) error {
+func run(matrixPath, gen, cfgPath, rhs string, tiles, chips int, tol float64, strategy string, verbose bool, tracePath, metricsPath string, faultRate float64, faultSeed int64, abft bool, enginePar int, backendName string, tuneOn bool, tuneBudget time.Duration) error {
 	m, err := loadMatrix(matrixPath, gen)
 	if err != nil {
 		return err
@@ -236,6 +287,17 @@ func run(matrixPath, gen, cfgPath, rhs string, tiles, chips int, tol float64, st
 	if metricsPath != "" {
 		reg = telemetry.NewRegistry()
 		opts = append(opts, core.WithTelemetry(reg))
+	}
+	if tuneOn {
+		d, err := raceCandidates(mc, m, cfg, strategy, tuneBudget)
+		if err != nil {
+			return err
+		}
+		printDecision(d)
+		// The winner's strategy/backend/parallelism ride WithTuned (overriding
+		// the positional strategy); a preconditioner swap rewrites the config.
+		opts = append(opts, core.WithTuned(d.Winner.Tuned()))
+		cfg = tune.ApplyPrecond(cfg, d.Winner.Precond)
 	}
 	res, err := core.Solve(mc, m, b, cfg, core.PartitionStrategy(strategy), opts...)
 	if err != nil {

@@ -58,8 +58,8 @@ func run(list bool, name, gen string, scale int, out string, fingerprint bool) e
 	}
 	if fingerprint {
 		// Full digest (the service system ID / cache key) and the values-free
-		// pattern digest (the key under which POST /v1/update reuses prepared
-		// pipelines when only the numbers change).
+		// pattern digest (the key under which PATCH /v1/systems/{id} reuses
+		// prepared pipelines when only the numbers change).
 		fmt.Printf("%s pattern %s\n", m.FingerprintString(), m.PatternFingerprintString())
 		return nil
 	}

@@ -24,16 +24,24 @@
 //     core/engine/machine/solver series flowing through the shared registry.
 //
 //  5. Refresh (with -refresh): drive the values-only streaming path —
-//     register once, then step a sequence of POST /v1/update value drifts,
-//     each superseding the previous system ID while reusing its prepared
-//     pipelines in place; every step's solve is verified against the exact
-//     all-ones answer and prepared_refresh_total on /metrics must advance.
+//     register once, then step a sequence of PATCH /v1/systems/{id} value
+//     drifts; the ID stays stable while the values generation increments and
+//     the warm prepared pipelines refresh in place; every step's solve is
+//     verified against the exact all-ones answer and prepared_refresh_total
+//     on /metrics must advance.
+//
+//  6. Tune (with -tune): boot with the autotuner armed and a crash-safe
+//     state directory, register, require GET /v1/systems/{id}/tune to carry
+//     a race decision with tune_races_total >= 1, kill -9, restart on the
+//     same state directory and require the decision recovered from the WAL
+//     without re-racing (the new process's tune_races_total stays 0).
 //
 //     servesmoke -server bin/ipuserved      # use a prebuilt (race-enabled) binary
 //     servesmoke                            # builds ipuserved -race itself
 //     servesmoke -chaos                     # adds the chaos campaign phase
 //     servesmoke -metrics                   # adds the /metrics scrape phase
 //     servesmoke -refresh                   # adds the values-only refresh phase
+//     servesmoke -tune                      # adds the autotuner WAL phase
 package main
 
 import (
@@ -60,15 +68,16 @@ func main() {
 	chaos := flag.Bool("chaos", false, "run the chaos campaign phase")
 	metrics := flag.Bool("metrics", false, "run the /metrics scrape phase")
 	refresh := flag.Bool("refresh", false, "run the values-only refresh phase")
+	tune := flag.Bool("tune", false, "run the autotuner WAL-persistence phase")
 	flag.Parse()
-	if err := run(*server, *chaos, *metrics, *refresh); err != nil {
+	if err := run(*server, *chaos, *metrics, *refresh, *tune); err != nil {
 		fmt.Fprintln(os.Stderr, "servesmoke: FAIL:", err)
 		os.Exit(1)
 	}
 	fmt.Println("servesmoke: PASS")
 }
 
-func run(server string, chaos, metrics, refresh bool) error {
+func run(server string, chaos, metrics, refresh, tune bool) error {
 	dir, err := os.MkdirTemp("", "servesmoke")
 	if err != nil {
 		return err
@@ -111,6 +120,11 @@ func run(server string, chaos, metrics, refresh bool) error {
 	if refresh {
 		if err := refreshPhase(dir, server); err != nil {
 			return fmt.Errorf("refresh phase: %w", err)
+		}
+	}
+	if tune {
+		if err := tunePhase(dir, server); err != nil {
+			return fmt.Errorf("tune phase: %w", err)
 		}
 	}
 	return nil
@@ -173,9 +187,11 @@ func (p *proc) register() (systemInfo, error) {
 }
 
 type systemInfo struct {
-	ID     string `json:"id"`
-	N      int    `json:"n"`
-	Solver string `json:"solver"`
+	ID         string `json:"id"`
+	N          int    `json:"n"`
+	Solver     string `json:"solver"`
+	Generation int    `json:"generation"`
+	Tuned      bool   `json:"tuned"`
 }
 
 type solveResult struct {
@@ -599,14 +615,14 @@ func metricsPhase(dir, server string) error {
 }
 
 // refreshPhase drives the values-only streaming path end to end: register
-// once, then step a sequence of diagonal drifts through POST /v1/update.
-// Each update supersedes the previous system ID while refreshing its warm
-// prepared pipelines in place, so after the registration's single cold
-// prepare the cache-miss counter must never move again. Every step's solve
-// is verified against the exact all-ones answer (the server rebuilds
-// b = A*1 from the refreshed values), the superseded generation must stop
-// serving, and the /metrics exposition must show prepared_refresh_total
-// advancing.
+// once, then step a sequence of diagonal drifts through
+// PATCH /v1/systems/{id}. The ID stays stable across every update — clients
+// keep solving against the handle they registered — while the values
+// generation increments and the warm prepared pipelines refresh in place, so
+// after the registration's single cold prepare the cache-miss counter must
+// never move again. Every step's solve is verified against the exact
+// all-ones answer (the server rebuilds b = A*1 from the refreshed values)
+// and the /metrics exposition must show prepared_refresh_total advancing.
 func refreshPhase(dir, server string) error {
 	srv, err := startServer(dir, server, "refresh")
 	if err != nil {
@@ -641,30 +657,28 @@ func refreshPhase(dir, server string) error {
 			m.Diag[i] *= 1 + 0.003*float64(step)*float64(1+i%5)
 		}
 		var up struct {
-			ID        string `json:"id"`
-			Previous  string `json:"previous"`
-			Refreshed int    `json:"refreshed"`
+			ID         string `json:"id"`
+			Generation int    `json:"generation"`
+			Refreshed  int    `json:"refreshed"`
 		}
-		if err := postJSON(srv.base+"/v1/update", map[string]any{"id": id, "diag": m.Diag}, &up); err != nil {
+		if err := patchJSON(srv.base+"/v1/systems/"+id, map[string]any{"diag": m.Diag}, &up); err != nil {
 			return fmt.Errorf("update step %d: %w", step, err)
 		}
-		if up.Previous != id || up.ID == id {
-			return fmt.Errorf("update step %d superseded %q -> %q, want previous %q and a fresh ID",
-				step, up.Previous, up.ID, id)
+		if up.ID != id {
+			return fmt.Errorf("update step %d moved the ID %q -> %q, want it stable", step, id, up.ID)
+		}
+		if up.Generation != info.Generation+step {
+			return fmt.Errorf("update step %d reports generation %d, want %d",
+				step, up.Generation, info.Generation+step)
 		}
 		refreshed += up.Refreshed
 		var r solveResult
-		if err := postJSON(srv.base+"/v1/systems/"+up.ID+"/solve", map[string]any{"rhs": "ones"}, &r); err != nil {
+		if err := postJSON(srv.base+"/v1/systems/"+id+"/solve", map[string]any{"rhs": "ones"}, &r); err != nil {
 			return fmt.Errorf("solve step %d: %w", step, err)
 		}
 		if err := checkOnes(r); err != nil {
 			return fmt.Errorf("solve step %d: %w", step, err)
 		}
-		var stale solveResult
-		if err := postJSON(srv.base+"/v1/systems/"+id+"/solve", map[string]any{"rhs": "ones"}, &stale); err == nil {
-			return fmt.Errorf("step %d: superseded system %s still serves", step, id)
-		}
-		id = up.ID
 	}
 	if refreshed == 0 {
 		return fmt.Errorf("%d update steps refreshed no warm replicas", steps)
@@ -701,6 +715,113 @@ func refreshPhase(dir, server string) error {
 	fmt.Printf("servesmoke: refresh: %d value updates over %s, %d replicas refreshed in place, 1 cold prepare\n",
 		steps, gen, refreshed)
 	return srv.drain()
+}
+
+// tunePhase exercises the autotuner end to end against a crash-safe server:
+// a registration under -tune must race candidates and serve the winner, the
+// decision must be readable at GET /v1/systems/{id}/tune, and — the part
+// that matters — it must survive kill -9: the restarted process recovers the
+// decision from the WAL and serves the tuned configuration without racing
+// again (its tune_races_total stays 0).
+func tunePhase(dir, server string) error {
+	stateDir := filepath.Join(dir, "tune-state")
+	srv, err := startServer(dir, server, "tune1",
+		"-state-dir", stateDir, "-tune", "-tune-budget", "2s")
+	if err != nil {
+		return err
+	}
+	defer srv.kill()
+
+	info, err := srv.register()
+	if err != nil {
+		return fmt.Errorf("register: %w", err)
+	}
+	if !info.Tuned {
+		return fmt.Errorf("registration under -tune reports tuned=false")
+	}
+	type tuneReply struct {
+		ID   string `json:"id"`
+		Tune *struct {
+			Winner struct {
+				Backend string `json:"backend,omitempty"`
+			} `json:"winner"`
+			Speedup float64           `json:"speedup"`
+			Races   []json.RawMessage `json:"races"`
+		} `json:"tune"`
+	}
+	var td tuneReply
+	if err := getJSON(srv.base+"/v1/systems/"+info.ID+"/tune", &td); err != nil {
+		return err
+	}
+	if td.Tune == nil || len(td.Tune.Races) == 0 {
+		return fmt.Errorf("GET tune returned no decision after a tuned registration")
+	}
+	if td.Tune.Speedup < 1 {
+		return fmt.Errorf("tuned speedup %.3f < 1: the default must always be raced in full", td.Tune.Speedup)
+	}
+	var r solveResult
+	if err := postJSON(srv.base+"/v1/systems/"+info.ID+"/solve", map[string]any{"rhs": "ones"}, &r); err != nil {
+		return fmt.Errorf("tuned solve: %w", err)
+	}
+	if err := checkOnes(r); err != nil {
+		return fmt.Errorf("tuned solve: %w", err)
+	}
+	races, err := scrapeCounter(srv.base, "tune_races_total")
+	if err != nil {
+		return err
+	}
+	if races < 1 {
+		return fmt.Errorf("tune_races_total = %g after a tuned registration, want >= 1", races)
+	}
+	srv.kill()
+	fmt.Printf("servesmoke: tune: raced %d candidates (%.2fx), killed -9\n",
+		len(td.Tune.Races), td.Tune.Speedup)
+
+	srv2, err := startServer(dir, server, "tune2",
+		"-state-dir", stateDir, "-tune", "-tune-budget", "2s")
+	if err != nil {
+		return fmt.Errorf("restart: %w", err)
+	}
+	defer srv2.kill()
+	var td2 tuneReply
+	if err := getJSON(srv2.base+"/v1/systems/"+info.ID+"/tune", &td2); err != nil {
+		return fmt.Errorf("tune decision after restart: %w", err)
+	}
+	if td2.Tune == nil || len(td2.Tune.Races) != len(td.Tune.Races) {
+		return fmt.Errorf("restart lost the tune decision (got %+v)", td2.Tune)
+	}
+	if td2.Tune.Winner.Backend != td.Tune.Winner.Backend {
+		return fmt.Errorf("restart changed the winner backend %q -> %q",
+			td.Tune.Winner.Backend, td2.Tune.Winner.Backend)
+	}
+	races2, err := scrapeCounter(srv2.base, "tune_races_total")
+	if err != nil {
+		return err
+	}
+	if races2 != 0 {
+		return fmt.Errorf("restart re-raced (%g races): the WAL decision must be reused", races2)
+	}
+	var r2 solveResult
+	if err := postJSON(srv2.base+"/v1/systems/"+info.ID+"/solve", map[string]any{"rhs": "ones"}, &r2); err != nil {
+		return fmt.Errorf("tuned solve after restart: %w", err)
+	}
+	if err := checkOnes(r2); err != nil {
+		return fmt.Errorf("tuned solve after restart: %w", err)
+	}
+	fmt.Printf("servesmoke: tune: restart recovered the decision from WAL, 0 re-races\n")
+	return srv2.drain()
+}
+
+// scrapeCounter fetches /metrics and extracts one unlabeled counter.
+func scrapeCounter(base, name string) (float64, error) {
+	resp, err := http.Get(base + "/metrics")
+	if err != nil {
+		return 0, err
+	}
+	var buf bytes.Buffer
+	_, _ = buf.ReadFrom(resp.Body)
+	resp.Body.Close()
+	return counterValue(buf.String(), name)
 }
 
 // counterValue extracts an unlabeled counter's value from a Prometheus text
@@ -769,6 +890,34 @@ func postJSON(url string, body any, out any) error {
 		return err
 	}
 	resp, err := http.Post(url, "application/json", bytes.NewReader(buf))
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode/100 != 2 {
+		var msg bytes.Buffer
+		_, _ = msg.ReadFrom(resp.Body)
+		return fmt.Errorf("%s: %d %s", url, resp.StatusCode, msg.String())
+	}
+	if out == nil {
+		return nil
+	}
+	return json.NewDecoder(resp.Body).Decode(out)
+}
+
+// patchJSON issues a PATCH with a JSON body — the values-refresh verb of the
+// resource API.
+func patchJSON(url string, body any, out any) error {
+	buf, err := json.Marshal(body)
+	if err != nil {
+		return err
+	}
+	req, err := http.NewRequest(http.MethodPatch, url, bytes.NewReader(buf))
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := http.DefaultClient.Do(req)
 	if err != nil {
 		return err
 	}

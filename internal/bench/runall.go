@@ -4,7 +4,7 @@ import "fmt"
 
 // Run executes one named experiment and prints its result to o.Out. Known
 // names: table1..table7, fig5..fig10, halo, engine, backend, cluster, sdc,
-// refresh, all.
+// refresh, tune, all.
 func Run(o Options, name string) error {
 	o = o.withDefaults()
 	switch name {
@@ -82,6 +82,12 @@ func Run(o Options, name string) error {
 			return err
 		}
 		PrintRefreshStudy(o, rows)
+	case "tune":
+		rows, err := TuneStudy(o)
+		if err != nil {
+			return err
+		}
+		PrintTuneStudy(o, rows)
 	case "fig5":
 		pts, err := Fig5(o)
 		if err != nil {
@@ -134,5 +140,5 @@ func Run(o Options, name string) error {
 var AllExperiments = []string{
 	"table1", "table2", "table3", "table4", "table5", "table6", "table7",
 	"fig5", "fig6", "fig7", "fig8", "fig9", "fig10",
-	"halo", "engine", "backend", "cluster", "sdc", "refresh",
+	"halo", "engine", "backend", "cluster", "sdc", "refresh", "tune",
 }

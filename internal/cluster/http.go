@@ -3,6 +3,7 @@ package cluster
 import (
 	"encoding/json"
 	"errors"
+	"fmt"
 	"io"
 	"net/http"
 
@@ -14,23 +15,42 @@ import (
 // Handler serves the router's JSON API — the same client-facing surface as a
 // single shard, plus the cluster-control endpoints:
 //
-//	POST /v1/systems            register a system on its replica set
-//	GET  /v1/systems            list systems the router places
-//	POST /v1/systems/{id}/solve route a solve with health-aware failover
-//	POST /v1/update             values-only refresh across the replica set
-//	GET  /v1/cluster            topology: shard health, placement
-//	POST /v1/cluster/drain      gracefully remove a shard ({"shard": url})
-//	POST /v1/cluster/undrain    return a shard to service
-//	GET  /v1/stats              router counters
-//	GET  /metrics               Prometheus text exposition
-//	GET  /healthz               liveness
-//	GET  /readyz                readiness (503 when no shard is eligible)
+//	POST   /v1/systems            register a system on its replica set
+//	GET    /v1/systems            list systems the router places
+//	GET    /v1/systems/{id}       system detail, proxied with failover
+//	POST   /v1/systems/{id}/solve route a solve with health-aware failover
+//	PATCH  /v1/systems/{id}       values-only refresh across the replica set
+//	                              (stable ID, values generation increments)
+//	DELETE /v1/systems/{id}       deregister cluster-wide
+//	GET    /v1/systems/{id}/tune  cached tune decision, proxied with failover
+//	POST   /v1/systems/{id}/tune  force a re-race on every replica
+//	GET    /v1/cluster            topology: shard health, placement
+//	POST   /v1/cluster/drain      gracefully remove a shard ({"shard": url})
+//	POST   /v1/cluster/undrain    return a shard to service
+//	GET    /v1/stats              router counters
+//	GET    /metrics               Prometheus text exposition
+//	GET    /healthz               liveness
+//	GET    /readyz                readiness (503 when no shard is eligible)
+//
+// Deprecated RPC-style aliases, mirroring the shard surface; each answers
+// with a Deprecation header and a Link to its successor route:
+//
+//	POST /v1/register             = POST  /v1/systems
+//	POST /v1/solve                = POST  /v1/systems/{id}/solve (ID in body)
+//	POST /v1/update               = PATCH /v1/systems/{id}       (ID in body)
 func (rt *Router) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/systems", rt.handleRegister)
 	mux.HandleFunc("GET /v1/systems", rt.handleSystems)
+	mux.HandleFunc("GET /v1/systems/{id}", rt.handleSystemDetail)
 	mux.HandleFunc("POST /v1/systems/{id}/solve", rt.handleSolve)
-	mux.HandleFunc("POST /v1/update", rt.handleUpdate)
+	mux.HandleFunc("PATCH /v1/systems/{id}", rt.handlePatchSystem)
+	mux.HandleFunc("DELETE /v1/systems/{id}", rt.handleDeleteSystem)
+	mux.HandleFunc("GET /v1/systems/{id}/tune", rt.handleTuneGet)
+	mux.HandleFunc("POST /v1/systems/{id}/tune", rt.handleTuneForce)
+	mux.HandleFunc("POST /v1/register", rt.handleRegisterAlias)
+	mux.HandleFunc("POST /v1/solve", rt.handleSolveAlias)
+	mux.HandleFunc("POST /v1/update", rt.handleUpdateAlias)
 	mux.HandleFunc("GET /v1/cluster", rt.handleTopology)
 	mux.HandleFunc("POST /v1/cluster/drain", rt.handleDrain)
 	mux.HandleFunc("POST /v1/cluster/undrain", rt.handleUndrain)
@@ -87,17 +107,18 @@ func (rt *Router) handleSystems(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]any{"systems": rt.Systems()})
 }
 
-// handleSolve proxies one solve with failover: the body is buffered once so
-// a failed attempt can replay it against the next replica, and the winning
-// shard's answer streams back verbatim.
-func (rt *Router) handleSolve(w http.ResponseWriter, r *http.Request) {
-	id := r.PathValue("id")
-	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, rt.opts.MaxBodyBytes))
-	if err != nil {
-		writeError(w, http.StatusRequestEntityTooLarge, err)
-		return
-	}
-	resp, err := rt.routeSolve(r.Context(), id, "/v1/systems/"+id+"/solve", body)
+// deprecate marks an alias response exactly as a shard does: RFC 8594
+// Deprecation plus a Link to the successor resource route. The body stays
+// byte-identical to the successor's.
+func deprecate(w http.ResponseWriter, successor string) {
+	w.Header().Set("Deprecation", "true")
+	w.Header().Set("Link", fmt.Sprintf("<%s>; rel=%q", successor, "successor-version"))
+}
+
+// proxyRouted routes one request through the replica set with failover and
+// streams the winning shard's answer back verbatim.
+func (rt *Router) proxyRouted(w http.ResponseWriter, r *http.Request, id, method, path string, body []byte) {
+	resp, err := rt.routeRequest(r.Context(), id, method, path, body)
 	if err != nil {
 		status := http.StatusServiceUnavailable
 		if r.Context().Err() != nil {
@@ -112,15 +133,127 @@ func (rt *Router) handleSolve(w http.ResponseWriter, r *http.Request) {
 	_, _ = io.Copy(w, resp.Body)
 }
 
-// handleUpdate proxies a values-only refresh to every shard of the target's
-// replica set. Pattern conflicts answer 409 before any shard traffic; an
-// unknown target answers 404.
-func (rt *Router) handleUpdate(w http.ResponseWriter, r *http.Request) {
+// handleSolve proxies one solve with failover: the body is buffered once so
+// a failed attempt can replay it against the next replica.
+func (rt *Router) handleSolve(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, rt.opts.MaxBodyBytes))
+	if err != nil {
+		writeError(w, http.StatusRequestEntityTooLarge, err)
+		return
+	}
+	rt.proxyRouted(w, r, id, http.MethodPost, "/v1/systems/"+id+"/solve", body)
+}
+
+// handleSolveAlias is the deprecated POST /v1/solve spelling of
+// POST /v1/systems/{id}/solve: the target ID rides in the body, which is
+// forwarded verbatim (the resource route ignores the body's id field).
+func (rt *Router) handleSolveAlias(w http.ResponseWriter, r *http.Request) {
+	deprecate(w, "/v1/systems/{id}/solve")
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, rt.opts.MaxBodyBytes))
+	if err != nil {
+		writeError(w, http.StatusRequestEntityTooLarge, err)
+		return
+	}
+	var req struct {
+		ID string `json:"id"`
+	}
+	if err := json.Unmarshal(body, &req); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	if req.ID == "" {
+		writeError(w, http.StatusBadRequest, errors.New("solve needs the target system id"))
+		return
+	}
+	rt.proxyRouted(w, r, req.ID, http.MethodPost, "/v1/systems/"+req.ID+"/solve", body)
+}
+
+// handleSystemDetail proxies the full resource view of one system — including
+// its cached tune decision — from the first healthy replica.
+func (rt *Router) handleSystemDetail(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	rt.proxyRouted(w, r, id, http.MethodGet, "/v1/systems/"+id, nil)
+}
+
+// handleTuneGet proxies the cached tune decision from the first healthy
+// replica.
+func (rt *Router) handleTuneGet(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	rt.proxyRouted(w, r, id, http.MethodGet, "/v1/systems/"+id+"/tune", nil)
+}
+
+// handleTuneForce re-races the system on every replica and answers with the
+// freshest decision, which the router's record now carries.
+func (rt *Router) handleTuneForce(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	d, err := rt.TuneForce(r.Context(), id)
+	if err != nil {
+		status := http.StatusBadRequest
+		switch {
+		case errors.Is(err, ErrUnknownSystem):
+			status = http.StatusNotFound
+		case errors.Is(err, ErrNoShards):
+			status = http.StatusServiceUnavailable
+		}
+		writeError(w, status, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"id": id, "tune": d})
+}
+
+// handleDeleteSystem deregisters a system cluster-wide.
+func (rt *Router) handleDeleteSystem(w http.ResponseWriter, r *http.Request) {
+	if err := rt.Delete(r.Context(), r.PathValue("id")); err != nil {
+		status := http.StatusBadRequest
+		switch {
+		case errors.Is(err, ErrUnknownSystem):
+			status = http.StatusNotFound
+		case errors.Is(err, ErrNoShards):
+			status = http.StatusServiceUnavailable
+		}
+		writeError(w, status, err)
+		return
+	}
+	w.WriteHeader(http.StatusNoContent)
+}
+
+// handlePatchSystem applies a values-only refresh (PATCH /v1/systems/{id}) to
+// every shard of the target's replica set. Pattern conflicts answer 409
+// before any shard traffic; an unknown target answers 404.
+func (rt *Router) handlePatchSystem(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
 	var req serve.UpdateRequest
 	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, rt.opts.MaxBodyBytes)).Decode(&req); err != nil {
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}
+	if req.ID != "" && req.ID != id {
+		writeError(w, http.StatusBadRequest,
+			fmt.Errorf("body id %s does not match path id %s", req.ID, id))
+		return
+	}
+	req.ID = id
+	rt.doUpdate(w, r, req)
+}
+
+// handleUpdateAlias is the deprecated POST /v1/update spelling of
+// PATCH /v1/systems/{id}: the target ID rides in the body.
+func (rt *Router) handleUpdateAlias(w http.ResponseWriter, r *http.Request) {
+	deprecate(w, "/v1/systems/{id}")
+	var req serve.UpdateRequest
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, rt.opts.MaxBodyBytes)).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	if req.ID == "" {
+		writeError(w, http.StatusBadRequest, errors.New("update needs the target system id"))
+		return
+	}
+	rt.doUpdate(w, r, req)
+}
+
+func (rt *Router) doUpdate(w http.ResponseWriter, r *http.Request, req serve.UpdateRequest) {
 	info, err := rt.Update(r.Context(), req)
 	if err != nil {
 		status := http.StatusBadRequest
@@ -136,6 +269,13 @@ func (rt *Router) handleUpdate(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeJSON(w, http.StatusOK, info)
+}
+
+// handleRegisterAlias is the deprecated POST /v1/register spelling of
+// POST /v1/systems.
+func (rt *Router) handleRegisterAlias(w http.ResponseWriter, r *http.Request) {
+	deprecate(w, "/v1/systems")
+	rt.handleRegister(w, r)
 }
 
 // Topology is the GET /v1/cluster response: where everything is and how

@@ -17,6 +17,7 @@ import (
 	"ipusparse/internal/core"
 	"ipusparse/internal/serve"
 	"ipusparse/internal/telemetry"
+	"ipusparse/internal/tune"
 )
 
 // Options configures a Router. The zero value of every field has a sensible
@@ -80,11 +81,12 @@ type Router struct {
 }
 
 // clusterSystem is one system the router places: the self-contained
-// registration record is everything a replacement shard needs. anchor is the
-// ring-placement ID — the original registration's fingerprint. A values-only
-// update re-keys the system (its ID is the matrix fingerprint) but keeps the
-// anchor, so the refreshed pipelines stay pinned to the shards already
-// holding them warm instead of migrating to cold ones on every update.
+// registration record is everything a replacement shard needs. IDs are
+// stable — a values-only update bumps the record's generation in place and
+// never re-keys — so anchor (the ring-placement ID) normally equals the
+// system ID; it is kept distinct for placement tables imported from the old
+// re-keying contract, whose refreshed systems stay pinned to the shards
+// already holding them warm.
 type clusterSystem struct {
 	info   serve.SystemInfo
 	rec    serve.RegistrationRecord
@@ -313,6 +315,7 @@ func (rt *Router) Register(ctx context.Context, req serve.RegisterRequest) (serv
 		return serve.SystemInfo{}, ErrNoShards
 	}
 	var info serve.SystemInfo
+	var donor *shard
 	placed := 0
 	var lastErr error
 	for _, sh := range replicas {
@@ -325,10 +328,22 @@ func (rt *Router) Register(ctx context.Context, req serve.RegisterRequest) (serv
 		placed++
 		if len(rep.Systems) > 0 {
 			info = rep.Systems[0]
+			donor = sh
 		}
 	}
 	if placed == 0 {
 		return serve.SystemInfo{}, fmt.Errorf("cluster: no shard accepted %s: %w", rec.ID, lastErr)
+	}
+	rec.Generation = info.Generation
+	if info.Tuned && donor != nil {
+		// A shard raced the system's candidates at registration. Capture its
+		// decision into the router's record so every future repair import
+		// lands the tuned configuration without re-racing.
+		if d, err := rt.fetchTune(ctx, donor, rec.ID); err == nil {
+			rec.Tune = d
+		} else {
+			rt.logf("cluster: fetching tune decision for %s from %s: %v", rec.ID, donor.name, err)
+		}
 	}
 	rt.mu.Lock()
 	rt.systems[rec.ID] = &clusterSystem{info: info, rec: rec, anchor: rec.ID}
@@ -338,13 +353,12 @@ func (rt *Router) Register(ctx context.Context, req serve.RegisterRequest) (serv
 
 // Update applies a values-only refresh cluster-wide: the new matrix is built
 // and pattern-checked locally (a structural change is a typed conflict before
-// any shard traffic), the update forwards to every shard of the system's
+// any shard traffic), the PATCH forwards to every shard of the system's
 // replica set — repairing shards that lost the registration, exactly as
-// routing does — and the placement table re-keys the system under its new
-// fingerprint while anchoring ring placement to the original registration, so
-// the refreshed pipelines stay on the shards already holding them warm. The
-// update succeeds when at least one shard applied it; the reconciler imports
-// the superseding record on stragglers.
+// routing does — and the placement table's record is rewritten in place under
+// the same stable ID with its values generation bumped, carrying any cached
+// tune decision forward. The update succeeds when at least one shard applied
+// it; the reconciler imports the refreshed record on stragglers.
 func (rt *Router) Update(ctx context.Context, req serve.UpdateRequest) (serve.UpdateInfo, error) {
 	rt.mu.Lock()
 	cs, ok := rt.systems[req.ID]
@@ -373,7 +387,11 @@ func (rt *Router) Update(ctx context.Context, req serve.UpdateRequest) (serve.Up
 		cfgp = &c
 	}
 	rec := serve.NewRegistrationRecord(m, cfgp)
-	rec.Supersedes = req.ID
+	rec.ID = req.ID
+	if fp := m.FingerprintString(); fp != req.ID {
+		rec.FP = fp
+	}
+	rec.Tune = cs.rec.Tune
 
 	body, err := json.Marshal(req)
 	if err != nil {
@@ -390,7 +408,7 @@ func (rt *Router) Update(ctx context.Context, req serve.UpdateRequest) (serve.Up
 		if !sh.br.allow() {
 			continue
 		}
-		ui, err := rt.updateOn(ctx, sh, body, cs.rec)
+		ui, err := rt.updateOn(ctx, sh, req.ID, body, cs.rec)
 		if err != nil {
 			lastErr = err
 			rt.logf("cluster: updating %s on %s: %v", req.ID, sh.name, err)
@@ -406,24 +424,24 @@ func (rt *Router) Update(ctx context.Context, req serve.UpdateRequest) (serve.Up
 		return serve.UpdateInfo{}, ErrNoShards
 	}
 
+	rec.Generation = info.Generation
 	rt.mu.Lock()
-	anchor := cs.anchor
-	if anchor == "" {
-		anchor = req.ID
+	if cur, ok := rt.systems[req.ID]; ok {
+		cur.info = info.SystemInfo
+		cur.rec = rec
 	}
-	delete(rt.systems, req.ID)
-	rt.systems[info.ID] = &clusterSystem{info: info.SystemInfo, rec: rec, anchor: anchor}
 	rt.mu.Unlock()
-	rt.logf("cluster: updated %s -> %s on %d shard(s)", req.ID, info.ID, applied)
+	rt.logf("cluster: refreshed %s to generation %d on %d shard(s)", req.ID, info.Generation, applied)
 	return info, nil
 }
 
-// updateOn forwards one values-only update to one shard, repairing a lost
+// updateOn forwards one values-only PATCH to one shard, repairing a lost
 // registration first: a 404 means the shard restarted without the system, so
 // the pre-update record is re-imported (warming a pool the update can then
-// refresh) and the update retried once.
-func (rt *Router) updateOn(ctx context.Context, sh *shard, body []byte, rec serve.RegistrationRecord) (serve.UpdateInfo, error) {
-	resp, err := rt.forward(ctx, sh, http.MethodPost, "/v1/update", body)
+// refresh) and the PATCH retried once.
+func (rt *Router) updateOn(ctx context.Context, sh *shard, id string, body []byte, rec serve.RegistrationRecord) (serve.UpdateInfo, error) {
+	path := "/v1/systems/" + id
+	resp, err := rt.forward(ctx, sh, http.MethodPatch, path, body)
 	if err != nil {
 		sh.br.failure()
 		return serve.UpdateInfo{}, err
@@ -436,7 +454,7 @@ func (rt *Router) updateOn(ctx context.Context, sh *shard, body []byte, rec serv
 			return serve.UpdateInfo{}, err
 		}
 		rt.stats.retries.Inc()
-		resp, err = rt.forward(ctx, sh, http.MethodPost, "/v1/update", body)
+		resp, err = rt.forward(ctx, sh, http.MethodPatch, path, body)
 		if err != nil {
 			sh.br.failure()
 			return serve.UpdateInfo{}, err
@@ -456,6 +474,140 @@ func (rt *Router) updateOn(ctx context.Context, sh *shard, body []byte, rec serv
 		return serve.UpdateInfo{}, err
 	}
 	return ui, nil
+}
+
+// Delete deregisters a system cluster-wide: the placement table forgets it
+// first — so a racing reconcile pass cannot re-import the record onto a shard
+// that just deleted it — then DELETE fans out to every shard of the replica
+// set. A shard that already lost the system answers 404, which is equally
+// deleted.
+func (rt *Router) Delete(ctx context.Context, id string) error {
+	rt.mu.Lock()
+	_, ok := rt.systems[id]
+	if ok {
+		delete(rt.systems, id)
+	}
+	rt.mu.Unlock()
+	if !ok {
+		return fmt.Errorf("%w: %s", ErrUnknownSystem, id)
+	}
+	deleted := 0
+	var lastErr error
+	for _, sh := range rt.replicaSet(id) {
+		if !sh.br.allow() {
+			continue
+		}
+		resp, err := rt.forward(ctx, sh, http.MethodDelete, "/v1/systems/"+id, nil)
+		if err != nil {
+			sh.br.failure()
+			lastErr = err
+			rt.logf("cluster: deleting %s on %s: %v", id, sh.name, err)
+			continue
+		}
+		resp.Body.Close()
+		switch {
+		case resp.StatusCode == http.StatusNoContent || resp.StatusCode == http.StatusNotFound:
+			sh.br.success()
+			deleted++
+		case retryableStatus(resp.StatusCode):
+			sh.br.failure()
+			lastErr = fmt.Errorf("cluster: %s delete: %s", sh.name, resp.Status)
+		default:
+			lastErr = fmt.Errorf("cluster: %s delete: %s", sh.name, resp.Status)
+		}
+	}
+	if deleted == 0 {
+		if lastErr != nil {
+			return fmt.Errorf("cluster: no shard deleted %s: %w", id, lastErr)
+		}
+		return ErrNoShards
+	}
+	rt.logf("cluster: deleted %s from %d shard(s)", id, deleted)
+	return nil
+}
+
+// TuneForce re-races a system's candidates on every replica currently serving
+// it and returns the last decision won. The router's registration record
+// carries the fresh decision, so future repair imports land the tuned
+// configuration without re-racing.
+func (rt *Router) TuneForce(ctx context.Context, id string) (*tune.Decision, error) {
+	rt.mu.Lock()
+	cs, ok := rt.systems[id]
+	rt.mu.Unlock()
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrUnknownSystem, id)
+	}
+	var d *tune.Decision
+	raced := 0
+	var lastErr error
+	for _, sh := range rt.replicaSet(id) {
+		if !sh.br.allow() {
+			continue
+		}
+		resp, err := rt.proxyOn(ctx, sh, id, http.MethodPost, "/v1/systems/"+id+"/tune", []byte(`{}`))
+		if err != nil {
+			sh.br.failure()
+			lastErr = err
+			rt.logf("cluster: tuning %s on %s: %v", id, sh.name, err)
+			continue
+		}
+		if resp.StatusCode != http.StatusOK {
+			if retryableStatus(resp.StatusCode) {
+				sh.br.failure()
+			}
+			msg, _ := io.ReadAll(io.LimitReader(resp.Body, 1024))
+			resp.Body.Close()
+			lastErr = fmt.Errorf("cluster: %s tune: %s: %s", sh.name, resp.Status, msg)
+			continue
+		}
+		var body struct {
+			Tune *tune.Decision `json:"tune"`
+		}
+		err = json.NewDecoder(resp.Body).Decode(&body)
+		resp.Body.Close()
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		sh.br.success()
+		raced++
+		if body.Tune != nil {
+			d = body.Tune
+		}
+	}
+	if raced == 0 {
+		if lastErr != nil {
+			return nil, fmt.Errorf("cluster: no shard tuned %s: %w", id, lastErr)
+		}
+		return nil, ErrNoShards
+	}
+	rt.mu.Lock()
+	cs.rec.Tune = d
+	cs.info.Tuned = d != nil
+	rt.mu.Unlock()
+	rt.logf("cluster: re-tuned %s on %d shard(s)", id, raced)
+	return d, nil
+}
+
+// fetchTune asks one shard for a system's cached tune decision.
+func (rt *Router) fetchTune(ctx context.Context, sh *shard, id string) (*tune.Decision, error) {
+	rctx, cancel := context.WithTimeout(ctx, rt.opts.ProbeTimeout)
+	defer cancel()
+	resp, err := rt.forward(rctx, sh, http.MethodGet, "/v1/systems/"+id+"/tune", nil)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("cluster: %s tune: %s", sh.name, resp.Status)
+	}
+	var body struct {
+		Tune *tune.Decision `json:"tune"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+		return nil, err
+	}
+	return body.Tune, nil
 }
 
 // registerOn imports one record on one shard through the idempotent registry
@@ -512,11 +664,13 @@ func (rt *Router) record(id string) (serve.RegistrationRecord, bool) {
 	return cs.rec, true
 }
 
-// solveOn tries one solve on one shard, repairing a lost registration: a 404
-// for a system the router places means the shard restarted without it, so the
-// record is re-imported and the solve retried once on the same shard.
-func (rt *Router) solveOn(ctx context.Context, sh *shard, id, path string, body []byte) (*http.Response, error) {
-	resp, err := rt.forward(ctx, sh, http.MethodPost, path, body)
+// proxyOn tries one request on one shard, repairing a lost registration: a
+// 404 for a system the router places means the shard restarted without it, so
+// the record is re-imported — carrying any cached tune decision, so the
+// repaired shard serves the tuned configuration without re-racing — and the
+// request retried once on the same shard.
+func (rt *Router) proxyOn(ctx context.Context, sh *shard, id, method, path string, body []byte) (*http.Response, error) {
+	resp, err := rt.forward(ctx, sh, method, path, body)
 	if err != nil {
 		return nil, err
 	}
@@ -534,15 +688,15 @@ func (rt *Router) solveOn(ctx context.Context, sh *shard, id, path string, body 
 		return nil, err
 	}
 	rt.stats.retries.Inc()
-	return rt.forward(ctx, sh, http.MethodPost, path, body)
+	return rt.forward(ctx, sh, method, path, body)
 }
 
-// routeSolve walks the system's replica set in preference order: breaker-
+// routeRequest walks the system's replica set in preference order: breaker-
 // rejected shards are skipped, transport errors and shed statuses fail over
 // to the next replica, the first real answer (success or application error)
 // is returned. A nil response with nil error means every replica was
 // exhausted.
-func (rt *Router) routeSolve(ctx context.Context, id, path string, body []byte) (*http.Response, error) {
+func (rt *Router) routeRequest(ctx context.Context, id, method, path string, body []byte) (*http.Response, error) {
 	var lastErr error
 	first := true
 	for _, sh := range rt.replicaSet(id) {
@@ -553,7 +707,7 @@ func (rt *Router) routeSolve(ctx context.Context, id, path string, body []byte) 
 			rt.stats.failovers.Inc()
 		}
 		first = false
-		resp, err := rt.solveOn(ctx, sh, id, path, body)
+		resp, err := rt.proxyOn(ctx, sh, id, method, path, body)
 		if err != nil {
 			if ctx.Err() != nil {
 				return nil, ctx.Err() // the client gave up, not the shard

@@ -40,14 +40,21 @@ func shardOptions() serve.Options {
 type testShard struct {
 	srv  *httptest.Server
 	down atomic.Bool
+	opts serve.Options
 
 	mu  sync.Mutex
 	svc *serve.Service
 }
 
 func newTestShard(t *testing.T) *testShard {
+	return newTestShardOpts(t, shardOptions())
+}
+
+// newTestShardOpts boots a shard whose service uses the given options — the
+// tune tests arm the autotuner this way.
+func newTestShardOpts(t *testing.T, opts serve.Options) *testShard {
 	t.Helper()
-	ts := &testShard{svc: serve.New(shardOptions())}
+	ts := &testShard{svc: serve.New(opts), opts: opts}
 	ts.srv = httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		if ts.down.Load() {
 			panic(http.ErrAbortHandler)
@@ -78,7 +85,7 @@ func (ts *testShard) kill() { ts.down.Store(true) }
 func (ts *testShard) restart() {
 	ts.mu.Lock()
 	old := ts.svc
-	ts.svc = serve.New(shardOptions())
+	ts.svc = serve.New(ts.opts)
 	ts.mu.Unlock()
 	old.Close()
 	ts.down.Store(false)
@@ -87,11 +94,16 @@ func (ts *testShard) restart() {
 // testCluster wires n shards behind a router with background loops slowed to
 // a crawl — tests drive ProbeNow/Reconcile explicitly for determinism.
 func testCluster(t *testing.T, n, replicas int) (*Router, []*testShard) {
+	return testClusterOpts(t, n, replicas, shardOptions())
+}
+
+// testClusterOpts wires n shards built from the given serve options.
+func testClusterOpts(t *testing.T, n, replicas int, opts serve.Options) (*Router, []*testShard) {
 	t.Helper()
 	shards := make([]*testShard, n)
 	urls := make([]string, n)
 	for i := range shards {
-		shards[i] = newTestShard(t)
+		shards[i] = newTestShardOpts(t, opts)
 		urls[i] = shards[i].srv.URL
 	}
 	rt, err := New(Options{
@@ -483,11 +495,11 @@ func TestRouterCapabilityGate(t *testing.T) {
 	}
 }
 
-// TestRouterUpdateRefreshesReplicaSet drives POST /v1/update through the
-// router: every replica-set shard applies the values-only refresh, the
-// router's table re-keys the system, ring placement stays anchored to the
-// original registration, and a structural change answers 409 with no shard
-// re-placed.
+// TestRouterUpdateRefreshesReplicaSet drives a values-only refresh through
+// the router (via the deprecated POST /v1/update alias): every replica-set
+// shard applies it, the system keeps its stable ID with the values generation
+// bumped, ring placement stays put, and a structural change answers 409 with
+// no shard re-placed.
 func TestRouterUpdateRefreshesReplicaSet(t *testing.T) {
 	rt, shards := testCluster(t, 3, 2)
 	h := rt.Handler()
@@ -514,11 +526,14 @@ func TestRouterUpdateRefreshesReplicaSet(t *testing.T) {
 	if err := json.Unmarshal(w.Body.Bytes(), &up); err != nil {
 		t.Fatal(err)
 	}
-	if up.Previous != info.ID || up.ID == info.ID {
-		t.Fatalf("bad update info %+v", up)
+	if up.Previous != info.ID || up.ID != info.ID || up.Generation != info.Generation+1 {
+		t.Fatalf("bad update info %+v (registered %+v)", up, info)
+	}
+	if w.Header().Get("Deprecation") == "" {
+		t.Fatal("POST /v1/update alias answered without a Deprecation header")
 	}
 
-	// Placement is anchored: the re-keyed system keeps its warm shards.
+	// Placement stays put: the refreshed system keeps its warm shards.
 	after := rt.ReplicaSet(up.ID)
 	if len(after) != len(before) {
 		t.Fatalf("replica set resized: %v vs %v", before, after)
@@ -529,16 +544,16 @@ func TestRouterUpdateRefreshesReplicaSet(t *testing.T) {
 		}
 	}
 
-	// Every replica shard superseded the registration: old ID gone, new
-	// present, refresh counters ticking.
+	// Every replica shard applied the refresh under the stable ID, with
+	// refresh counters ticking.
 	for _, url := range after {
 		ts := shardByURL(shards, url)
-		ids := map[string]bool{}
+		gens := map[string]int{}
 		for _, s := range ts.service().Systems() {
-			ids[s.ID] = true
+			gens[s.ID] = s.Generation
 		}
-		if ids[info.ID] || !ids[up.ID] {
-			t.Fatalf("shard %s holds %v, want only %s", url, ids, up.ID)
+		if gens[up.ID] != up.Generation {
+			t.Fatalf("shard %s holds %v, want %s at generation %d", url, gens, up.ID, up.Generation)
 		}
 		if st := ts.service().Stats(); st.Refreshed == 0 {
 			t.Fatalf("shard %s applied the update without refreshing in place: %+v", url, st)

@@ -1,0 +1,149 @@
+package cluster
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"ipusparse/internal/serve"
+	"ipusparse/internal/tune"
+)
+
+// tunedShardOptions arms the autotuner on the standard shard options with a
+// race budget small enough for tests.
+func tunedShardOptions() serve.Options {
+	opts := shardOptions()
+	opts.Tune = true
+	opts.TuneBudget = 300 * time.Millisecond
+	opts.TuneSolves = 1
+	return opts
+}
+
+// tuneReply is the body of GET/POST /v1/systems/{id}/tune.
+type tuneReply struct {
+	ID   string         `json:"id"`
+	Tune *tune.Decision `json:"tune"`
+}
+
+// TestRouterDeleteRemovesEverywhere: DELETE through the router answers 204,
+// forgets the placement, and deregisters the system on every replica shard.
+func TestRouterDeleteRemovesEverywhere(t *testing.T) {
+	rt, shards := testCluster(t, 3, 2)
+	info := registerGen(t, rt, "poisson2d:8")
+
+	req := httptest.NewRequest(http.MethodDelete, "/v1/systems/"+info.ID, nil)
+	w := httptest.NewRecorder()
+	rt.Handler().ServeHTTP(w, req)
+	if w.Code != http.StatusNoContent {
+		t.Fatalf("delete = %d %s", w.Code, w.Body.String())
+	}
+
+	req = httptest.NewRequest(http.MethodPost, "/v1/systems/"+info.ID+"/solve",
+		strings.NewReader(`{"rhs":"ones"}`))
+	w = httptest.NewRecorder()
+	rt.Handler().ServeHTTP(w, req)
+	if w.Code != http.StatusNotFound {
+		t.Fatalf("solve after delete = %d, want 404", w.Code)
+	}
+	for i, ts := range shards {
+		if got := ts.service().Systems(); len(got) != 0 {
+			t.Fatalf("shard %d still holds %+v after cluster delete", i, got)
+		}
+	}
+	if w := func() *httptest.ResponseRecorder {
+		req := httptest.NewRequest(http.MethodDelete, "/v1/systems/"+info.ID, nil)
+		w := httptest.NewRecorder()
+		rt.Handler().ServeHTTP(w, req)
+		return w
+	}(); w.Code != http.StatusNotFound {
+		t.Fatalf("second delete = %d, want 404", w.Code)
+	}
+}
+
+// TestRouterTuneEndpointsMirrored: the tune resource is reachable through the
+// router — GET proxies a replica's cached decision, POST forces a re-race on
+// the replica set and reports the fresh decision.
+func TestRouterTuneEndpointsMirrored(t *testing.T) {
+	rt, _ := testClusterOpts(t, 3, 2, tunedShardOptions())
+	info := registerGen(t, rt, "poisson2d:8")
+	if !info.Tuned {
+		t.Fatalf("registration on tuned shards reports tuned=false: %+v", info)
+	}
+
+	req := httptest.NewRequest(http.MethodGet, "/v1/systems/"+info.ID+"/tune", nil)
+	w := httptest.NewRecorder()
+	rt.Handler().ServeHTTP(w, req)
+	if w.Code != http.StatusOK {
+		t.Fatalf("GET tune = %d %s", w.Code, w.Body.String())
+	}
+	var got tuneReply
+	if err := json.Unmarshal(w.Body.Bytes(), &got); err != nil {
+		t.Fatal(err)
+	}
+	if got.Tune == nil || len(got.Tune.Races) == 0 {
+		t.Fatalf("GET tune carried no decision: %s", w.Body.String())
+	}
+	if got.Tune.Speedup < 1 {
+		t.Fatalf("proxied decision speedup %.3f < 1", got.Tune.Speedup)
+	}
+
+	req = httptest.NewRequest(http.MethodPost, "/v1/systems/"+info.ID+"/tune",
+		strings.NewReader(`{}`))
+	w = httptest.NewRecorder()
+	rt.Handler().ServeHTTP(w, req)
+	if w.Code != http.StatusOK {
+		t.Fatalf("POST tune = %d %s", w.Code, w.Body.String())
+	}
+	var forced tuneReply
+	if err := json.Unmarshal(w.Body.Bytes(), &forced); err != nil {
+		t.Fatal(err)
+	}
+	if forced.Tune == nil || forced.Tune.Retunes == 0 {
+		t.Fatalf("forced re-race reported no retune: %s", w.Body.String())
+	}
+	solveOnes(t, rt.Handler(), info.ID)
+}
+
+// TestRouterRepairImportsTuneDecision: the migration contract — a record the
+// reconciler re-imports into an empty restarted shard carries the donor's
+// race decision, so the repaired replica serves tuned WITHOUT racing again.
+func TestRouterRepairImportsTuneDecision(t *testing.T) {
+	rt, shards := testClusterOpts(t, 3, 2, tunedShardOptions())
+	info := registerGen(t, rt, "poisson2d:8")
+
+	holders := rt.ReplicaSet(info.ID)
+	if len(holders) != 2 {
+		t.Fatalf("placement %v, want 2 replicas", holders)
+	}
+	victim := shardByURL(shards, holders[0])
+	victim.kill()
+	victim.restart() // back EMPTY: no systems, no decisions
+	rt.ProbeNow()
+	if n := rt.Reconcile(context.Background()); n == 0 {
+		t.Fatal("reconcile repaired nothing")
+	}
+
+	svc := victim.service()
+	systems := svc.Systems()
+	if len(systems) != 1 || systems[0].ID != info.ID {
+		t.Fatalf("repair restored %+v, want %s", systems, info.ID)
+	}
+	if !systems[0].Tuned {
+		t.Fatalf("repaired replica lost the tune decision: %+v", systems[0])
+	}
+	d, err := svc.TuneDecision(info.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d == nil || len(d.Races) == 0 {
+		t.Fatalf("repaired replica has no decision payload")
+	}
+	if st := svc.Stats(); st.Tuned != 0 {
+		t.Fatalf("repaired replica raced %d times: imported decisions must not re-race", st.Tuned)
+	}
+	solveOnes(t, rt.Handler(), info.ID)
+}

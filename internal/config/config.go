@@ -200,6 +200,8 @@ type ServeConfig struct {
 	// Refresh tunes the values-only refresh path (POST /v1/update and
 	// pattern-matching registrations adopting cached pipelines).
 	Refresh *RefreshConfig `json:"refresh,omitempty"`
+	// Tune enables and bounds the registration-time autotuner.
+	Tune *TuneConfig `json:"tune,omitempty"`
 }
 
 // RefreshConfig is the values-only refresh block of the serve tier: when a
@@ -216,6 +218,26 @@ type RefreshConfig struct {
 	// refreshes in place; any remainder is dropped and re-prepared on
 	// demand. 0 refreshes every idle replica.
 	WarmReplicas int `json:"warmReplicas,omitempty"`
+}
+
+// TuneConfig is the autotuner block of the serve tier: newly registered
+// patterns race candidate execution configurations (partition strategy ×
+// preconditioner knob × engine parallelism × backend) under a bounded budget
+// and serve with the measured winner; decisions persist in the registry WAL
+// and ride cluster migration records.
+type TuneConfig struct {
+	// Enabled turns registration-time races on.
+	Enabled bool `json:"enabled,omitempty"`
+	// BudgetMs bounds one race (default 2000ms).
+	BudgetMs int `json:"budgetMs,omitempty"`
+	// Solves is the warm solve count per raced candidate (default 3).
+	Solves int `json:"solves,omitempty"`
+	// RetuneThreshold re-races a system in the background when its recent p99
+	// latency exceeds threshold × the decision's winner latency (default 3.0;
+	// negative disables background re-tuning).
+	RetuneThreshold float64 `json:"retuneThreshold,omitempty"`
+	// RetuneIntervalMs is the regression-scan period (default 5000ms).
+	RetuneIntervalMs int `json:"retuneIntervalMs,omitempty"`
 }
 
 // ClusterConfig is the router-tier block of ipurouterd: the shard fleet, the
@@ -439,6 +461,11 @@ func (c Config) Validate() error {
 		}
 		if r := s.Refresh; r != nil && r.WarmReplicas < 0 {
 			return fmt.Errorf("config: serve.refresh.warmReplicas must not be negative, got %d", r.WarmReplicas)
+		}
+		if t := s.Tune; t != nil {
+			if t.BudgetMs < 0 || t.Solves < 0 || t.RetuneIntervalMs < 0 {
+				return fmt.Errorf("config: negative serve.tune parameter")
+			}
 		}
 		if ch := s.Chaos; ch != nil {
 			if ch.Rate < 0 || ch.Rate > 1 {

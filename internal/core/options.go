@@ -23,6 +23,32 @@ type runOptions struct {
 	backendSet bool
 	abft       bool
 	abftSet    bool
+	tuned      Tuned
+	tunedSet   bool
+}
+
+// Tuned is an autotuned execution configuration: the knobs a measured race
+// (internal/tune) decides per sparsity pattern. Zero-valued fields keep the
+// caller's positional/config choice, so a partial decision composes with the
+// registered configuration.
+type Tuned struct {
+	// Strategy overrides the positional partition strategy when non-empty.
+	Strategy PartitionStrategy
+	// Backend overrides the execution backend when non-empty. An explicit
+	// WithBackend option still wins over it.
+	Backend string
+	// Parallelism overrides the engine host parallelism when > 0. An explicit
+	// WithParallelism option still wins over it.
+	Parallelism int
+}
+
+// WithTuned applies an autotuned execution configuration at Prepare: the
+// decision's partition strategy, backend and engine parallelism replace the
+// positional/config defaults, while explicit WithBackend/WithParallelism
+// options keep precedence. Like the backend itself, WithTuned is a
+// Prepare-time decision — the program is compiled for it.
+func WithTuned(t Tuned) Option {
+	return func(o *runOptions) { o.tuned, o.tunedSet = t, true }
 }
 
 // WithTrace exports the combined execution timeline — host pipeline phases

@@ -86,7 +86,13 @@ func Prepare(machineCfg ipu.Config, m *sparse.Matrix, cfg config.Config, strateg
 	for _, o := range opts {
 		o(&ro)
 	}
+	if ro.tunedSet && ro.tuned.Strategy != "" {
+		strategy = ro.tuned.Strategy
+	}
 	beName := cfg.EngineBackend()
+	if ro.tunedSet && ro.tuned.Backend != "" {
+		beName = ro.tuned.Backend
+	}
 	if ro.backendSet {
 		beName = ro.backend
 	}
@@ -118,6 +124,9 @@ func Prepare(machineCfg ipu.Config, m *sparse.Matrix, cfg config.Config, strateg
 	}
 	p.traceOut = ro.trace
 	p.tracePath = cfg.EngineTrace()
+	if ro.tunedSet && ro.tuned.Parallelism > 0 {
+		p.par = ro.tuned.Parallelism
+	}
 	if ro.parSet {
 		p.par = ro.par
 	}
@@ -426,6 +435,9 @@ func (p *Prepared) run(b []float64, ro runOptions) (*Result, error) {
 func (p *Prepared) runLocked(b []float64, ro runOptions, collectProfile bool) (backend.RunResult, time.Duration, error) {
 	if ro.backendSet {
 		return backend.RunResult{}, 0, fmt.Errorf("core: the backend is fixed at Prepare; pass WithBackend to Prepare, not Solve")
+	}
+	if ro.tunedSet {
+		return backend.RunResult{}, 0, fmt.Errorf("core: a tuned configuration is fixed at Prepare; pass WithTuned to Prepare, not Solve")
 	}
 	traceOut := ro.trace
 	if traceOut == nil {

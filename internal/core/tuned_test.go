@@ -1,0 +1,110 @@
+package core
+
+import (
+	"testing"
+
+	"ipusparse/internal/config"
+	"ipusparse/internal/sparse"
+)
+
+// tunedTestConfig is a small CG hierarchy every backend can run.
+func tunedTestConfig() config.Config {
+	return config.Config{Solver: config.SolverConfig{
+		Type: "cg", MaxIterations: 200, Tolerance: 1e-10,
+		Preconditioner: &config.SolverConfig{Type: "jacobi"},
+	}}
+}
+
+// TestWithTunedOverridesBackend: a tuned decision's backend replaces the
+// config/positional default at Prepare.
+func TestWithTunedOverridesBackend(t *testing.T) {
+	m := sparse.Poisson2D(6, 6)
+	p, err := Prepare(smallMachine(8), m, tunedTestConfig(), PartitionContiguous,
+		WithTuned(Tuned{Backend: "native"}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := p.Info().Backend; got != "native" {
+		t.Fatalf("tuned backend = %q, want native", got)
+	}
+}
+
+// TestWithBackendWinsOverTuned: an explicit WithBackend keeps precedence over
+// the tuned decision — the operator's pin beats the autotuner.
+func TestWithBackendWinsOverTuned(t *testing.T) {
+	m := sparse.Poisson2D(6, 6)
+	p, err := Prepare(smallMachine(8), m, tunedTestConfig(), PartitionContiguous,
+		WithTuned(Tuned{Backend: "native"}), WithBackend("sim"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := p.Info().Backend; got != "sim" {
+		t.Fatalf("backend = %q, want the explicit sim pin", got)
+	}
+}
+
+// TestWithTunedZeroKeepsConfig: a zero-valued decision changes nothing — each
+// field composes independently with the registered configuration.
+func TestWithTunedZeroKeepsConfig(t *testing.T) {
+	m := sparse.Poisson2D(6, 6)
+	cfg := tunedTestConfig()
+	cfg.Engine = &config.EngineConfig{Backend: "sim"}
+	p, err := Prepare(smallMachine(8), m, cfg, PartitionContiguous, WithTuned(Tuned{}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := p.Info().Backend; got != "sim" {
+		t.Fatalf("zero Tuned moved the backend to %q, want the config's sim", got)
+	}
+}
+
+// TestWithTunedStrategySolvesIdentically: a tuned partition strategy must
+// produce the same converged answer as the positional spelling — tuning
+// changes wall time, never results.
+func TestWithTunedStrategySolvesIdentically(t *testing.T) {
+	m := sparse.Poisson2D(8, 8)
+	b := make([]float64, m.N)
+	ones := make([]float64, m.N)
+	for i := range ones {
+		ones[i] = 1
+	}
+	m.MulVec(ones, b)
+
+	pos, err := Prepare(smallMachine(8), m, tunedTestConfig(), PartitionGreedy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tun, err := Prepare(smallMachine(8), m, tunedTestConfig(), PartitionContiguous,
+		WithTuned(Tuned{Strategy: PartitionGreedy}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	xp := make([]float64, m.N)
+	xt := make([]float64, m.N)
+	if _, err := pos.SolveInto(xp, b); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tun.SolveInto(xt, b); err != nil {
+		t.Fatal(err)
+	}
+	for i := range xp {
+		if xp[i] != xt[i] {
+			t.Fatalf("x[%d] differs: positional %g vs tuned %g", i, xp[i], xt[i])
+		}
+	}
+}
+
+// TestWithTunedRejectedAtSolve: like WithBackend, WithTuned is a Prepare-time
+// decision — a Solve-time override must be rejected, not silently ignored.
+func TestWithTunedRejectedAtSolve(t *testing.T) {
+	m := sparse.Poisson2D(6, 6)
+	p, err := Prepare(smallMachine(8), m, tunedTestConfig(), PartitionContiguous)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := make([]float64, m.N)
+	b[0] = 1
+	if _, err := p.Solve(b, WithTuned(Tuned{Backend: "native"})); err == nil {
+		t.Fatal("Solve accepted a WithTuned override")
+	}
+}

@@ -1,0 +1,371 @@
+// Package microbench probes the running host the way the Citadel IPU report
+// (arXiv 1912.03413) probes the machine: a small battery of targeted
+// measurements — exchange latency/bandwidth versus message size, fused-codelet
+// issue rates versus vector length, SpMV throughput versus rows-per-tile, and
+// the native/simulator crossover ratio — whose results calibrate a cost model
+// the autotuner (internal/tune) uses to order and prune candidate execution
+// configurations before racing them. Every probe runs against the same
+// primitives the backends execute (slice-copy halo exchanges, fused
+// axpy/dot loops, CSR SpMV), so the curves track the machine the service is
+// actually serving from, not a spec sheet.
+package microbench
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"ipusparse/internal/config"
+	"ipusparse/internal/core"
+	"ipusparse/internal/ipu"
+	"ipusparse/internal/sparse"
+)
+
+// Options bounds a calibration run.
+type Options struct {
+	// Budget bounds the whole probe battery; a probe that would overrun is
+	// skipped and the model falls back to its neighbors. Default 2s.
+	Budget time.Duration
+	// Quick shrinks every probe to its smallest size — for tests and for
+	// registration-time calibration where the race budget dominates.
+	Quick bool
+	// Machine is the simulated machine used by the crossover probe. Default:
+	// 64-tile single-chip Mk2.
+	Machine ipu.Config
+}
+
+func (o Options) withDefaults() Options {
+	if o.Budget <= 0 {
+		o.Budget = 2 * time.Second
+	}
+	if o.Machine == (ipu.Config{}) {
+		mc := ipu.Mk2M2000()
+		mc.TilesPerChip = 64
+		mc.Chips = 1
+		o.Machine = mc
+	}
+	return o
+}
+
+// ExchangePoint is one point of the exchange curve: the measured cost of
+// moving one halo-sized message between tile regions (a slice copy, exactly
+// what the native backend lowers exchanges to).
+type ExchangePoint struct {
+	Bytes      int     `json:"bytes"`
+	LatencySec float64 `json:"latencySeconds"` // per message
+	GBps       float64 `json:"gbps"`
+}
+
+// CodeletPoint is one point of the codelet curve: fused axpy and dot issue
+// rates at one vector length, in elements per second.
+type CodeletPoint struct {
+	N          int     `json:"n"`
+	AxpyPerSec float64 `json:"axpyPerSec"`
+	DotPerSec  float64 `json:"dotPerSec"`
+}
+
+// SpMVPoint is one point of the SpMV curve: CSR nonzeros per second at one
+// rows-per-tile granularity (the partition knob the strategies trade on).
+type SpMVPoint struct {
+	RowsPerTile int     `json:"rowsPerTile"`
+	NNZPerSec   float64 `json:"nnzPerSec"`
+}
+
+// Calibration is a measured cost model of the running host. All curves are
+// monotone in their probe sizes by construction of the probes (best-of-reps
+// timing); the model interpolates piecewise-linearly between points.
+type Calibration struct {
+	Exchange []ExchangePoint `json:"exchange"`
+	Codelet  []CodeletPoint  `json:"codelet"`
+	SpMV     []SpMVPoint     `json:"spmv"`
+	// SimSlowdown is the measured sim/native wall-time ratio of one warm CG
+	// solve — the crossover factor deciding when the cycle-accurate backend is
+	// worth racing at all. Zero when the crossover probe was skipped.
+	SimSlowdown float64 `json:"simSlowdown"`
+	// ElapsedSec is the wall time the battery consumed.
+	ElapsedSec float64 `json:"elapsedSeconds"`
+}
+
+// Run executes the probe battery within the budget.
+func Run(o Options) (*Calibration, error) {
+	o = o.withDefaults()
+	start := time.Now()
+	deadline := start.Add(o.Budget)
+	cal := &Calibration{}
+
+	sizes := []int{1 << 10, 1 << 14, 1 << 18}
+	lens := []int{1 << 10, 1 << 14, 1 << 18}
+	rpt := []int{8, 32, 128}
+	if o.Quick {
+		sizes = sizes[:2]
+		lens = lens[:2]
+		rpt = rpt[:2]
+	}
+	for _, b := range sizes {
+		if time.Now().After(deadline) {
+			break
+		}
+		cal.Exchange = append(cal.Exchange, probeExchange(b))
+	}
+	for _, n := range lens {
+		if time.Now().After(deadline) {
+			break
+		}
+		cal.Codelet = append(cal.Codelet, probeCodelet(n))
+	}
+	for _, r := range rpt {
+		if time.Now().After(deadline) {
+			break
+		}
+		cal.SpMV = append(cal.SpMV, probeSpMV(r))
+	}
+	if !time.Now().After(deadline) {
+		if ratio, err := probeCrossover(o.Machine, o.Quick); err == nil {
+			cal.SimSlowdown = ratio
+		}
+	}
+	cal.ElapsedSec = time.Since(start).Seconds()
+	if len(cal.Exchange) == 0 && len(cal.Codelet) == 0 && len(cal.SpMV) == 0 {
+		return nil, fmt.Errorf("microbench: budget %v admitted no probe", o.Budget)
+	}
+	return cal, nil
+}
+
+// probeExchange measures one halo-message size: the native backend's exchange
+// is a slice copy between preallocated buffers, so that is what we time.
+func probeExchange(bytes int) ExchangePoint {
+	n := bytes / 8
+	src := make([]float64, n)
+	dst := make([]float64, n)
+	for i := range src {
+		src[i] = float64(i)
+	}
+	reps := repsFor(n)
+	best := math.Inf(1)
+	for r := 0; r < 3; r++ {
+		t0 := time.Now()
+		for i := 0; i < reps; i++ {
+			copy(dst, src)
+		}
+		if d := time.Since(t0).Seconds() / float64(reps); d < best {
+			best = d
+		}
+	}
+	return ExchangePoint{Bytes: bytes, LatencySec: best, GBps: float64(bytes) / best / 1e9}
+}
+
+// probeCodelet measures the fused axpy (y += a*x) and dot kernels at one
+// vector length — the two codelet families Krylov inner loops issue most.
+func probeCodelet(n int) CodeletPoint {
+	x := make([]float64, n)
+	y := make([]float64, n)
+	for i := range x {
+		x[i] = 1.0 / float64(i+1)
+		y[i] = float64(i % 7)
+	}
+	reps := repsFor(n)
+	bestA, bestD := math.Inf(1), math.Inf(1)
+	var sink float64
+	for r := 0; r < 3; r++ {
+		t0 := time.Now()
+		for i := 0; i < reps; i++ {
+			a := 1.0 + 1e-9*float64(i)
+			for k := range y {
+				y[k] += a * x[k]
+			}
+		}
+		if d := time.Since(t0).Seconds() / float64(reps); d < bestA {
+			bestA = d
+		}
+		t0 = time.Now()
+		for i := 0; i < reps; i++ {
+			s := 0.0
+			for k := range x {
+				s += x[k] * y[k]
+			}
+			sink += s
+		}
+		if d := time.Since(t0).Seconds() / float64(reps); d < bestD {
+			bestD = d
+		}
+	}
+	_ = sink
+	return CodeletPoint{N: n, AxpyPerSec: float64(n) / bestA, DotPerSec: float64(n) / bestD}
+}
+
+// probeSpMV measures CSR SpMV throughput on a synthetic Poisson block sized to
+// one rows-per-tile granularity, the quantity the partition strategies trade.
+func probeSpMV(rowsPerTile int) SpMVPoint {
+	// A 2-D Poisson patch with ~rowsPerTile^2 rows keeps the probe small while
+	// exercising the same 5-point row shapes the serving workloads carry.
+	edge := rowsPerTile
+	if edge < 4 {
+		edge = 4
+	}
+	m := sparse.Poisson2D(edge, edge)
+	x := make([]float64, m.N)
+	y := make([]float64, m.N)
+	for i := range x {
+		x[i] = 1.0 / float64(i+1)
+	}
+	reps := repsFor(m.NNZ())
+	best := math.Inf(1)
+	for r := 0; r < 3; r++ {
+		t0 := time.Now()
+		for i := 0; i < reps; i++ {
+			m.MulVec(x, y)
+		}
+		if d := time.Since(t0).Seconds() / float64(reps); d < best {
+			best = d
+		}
+	}
+	return SpMVPoint{RowsPerTile: rowsPerTile, NNZPerSec: float64(m.NNZ()) / best}
+}
+
+// probeCrossover times one warm Jacobi-CG solve on both backends and returns
+// the sim/native wall ratio.
+func probeCrossover(mc ipu.Config, quick bool) (float64, error) {
+	edge := 12
+	if quick {
+		edge = 8
+	}
+	m := sparse.Poisson2D(edge, edge)
+	cfg := config.Config{Solver: config.SolverConfig{
+		Type: "cg", MaxIterations: 10, Tolerance: 1e-10,
+		Preconditioner: &config.SolverConfig{Type: "jacobi"},
+	}}
+	b := make([]float64, m.N)
+	ones := make([]float64, m.N)
+	for i := range ones {
+		ones[i] = 1
+	}
+	m.MulVec(ones, b)
+	wall := func(be string) (float64, error) {
+		p, err := core.Prepare(mc, m, cfg, core.PartitionContiguous, core.WithBackend(be))
+		if err != nil {
+			return 0, err
+		}
+		x := make([]float64, m.N)
+		if _, err := p.SolveInto(x, b); err != nil { // warm-up
+			return 0, err
+		}
+		best := math.Inf(1)
+		for r := 0; r < 2; r++ {
+			t0 := time.Now()
+			if _, err := p.SolveInto(x, b); err != nil {
+				return 0, err
+			}
+			if d := time.Since(t0).Seconds(); d < best {
+				best = d
+			}
+		}
+		return best, nil
+	}
+	sim, err := wall("sim")
+	if err != nil {
+		return 0, err
+	}
+	native, err := wall("native")
+	if err != nil {
+		return 0, err
+	}
+	if native <= 0 {
+		return 0, fmt.Errorf("microbench: degenerate native timing")
+	}
+	return sim / native, nil
+}
+
+// repsFor sizes probe repetitions so each probe costs roughly the same wall
+// time regardless of its working-set size.
+func repsFor(n int) int {
+	r := (1 << 20) / (n + 1)
+	if r < 4 {
+		return 4
+	}
+	if r > 4096 {
+		return 4096
+	}
+	return r
+}
+
+// SpMVCost estimates one SpMV of nnz nonzeros spread over tiles, in seconds:
+// the compute term from the SpMV curve at the matching rows-per-tile
+// granularity plus the exchange term from the halo model.
+func (c *Calibration) SpMVCost(rows, nnz, tiles, haloBytes int) float64 {
+	if tiles <= 0 {
+		tiles = 1
+	}
+	rpt := rows / tiles
+	thr := c.spmvThroughput(rpt)
+	cost := 0.0
+	if thr > 0 {
+		cost = float64(nnz) / thr
+	}
+	cost += c.ExchangeCost(haloBytes)
+	return cost
+}
+
+// ExchangeCost estimates moving one message of the given size, interpolating
+// the measured latency curve (flat extrapolation beyond the probed range).
+func (c *Calibration) ExchangeCost(bytes int) float64 {
+	if len(c.Exchange) == 0 || bytes <= 0 {
+		return 0
+	}
+	pts := c.Exchange
+	if bytes <= pts[0].Bytes {
+		return pts[0].LatencySec * float64(bytes) / float64(pts[0].Bytes)
+	}
+	for i := 1; i < len(pts); i++ {
+		if bytes <= pts[i].Bytes {
+			f := float64(bytes-pts[i-1].Bytes) / float64(pts[i].Bytes-pts[i-1].Bytes)
+			return pts[i-1].LatencySec + f*(pts[i].LatencySec-pts[i-1].LatencySec)
+		}
+	}
+	last := pts[len(pts)-1]
+	return last.LatencySec * float64(bytes) / float64(last.Bytes)
+}
+
+// spmvThroughput interpolates the SpMV curve at one rows-per-tile value.
+func (c *Calibration) spmvThroughput(rpt int) float64 {
+	if len(c.SpMV) == 0 {
+		return 0
+	}
+	pts := c.SpMV
+	if rpt <= pts[0].RowsPerTile {
+		return pts[0].NNZPerSec
+	}
+	for i := 1; i < len(pts); i++ {
+		if rpt <= pts[i].RowsPerTile {
+			f := float64(rpt-pts[i-1].RowsPerTile) / float64(pts[i].RowsPerTile-pts[i-1].RowsPerTile)
+			return pts[i-1].NNZPerSec + f*(pts[i].NNZPerSec-pts[i-1].NNZPerSec)
+		}
+	}
+	return pts[len(pts)-1].NNZPerSec
+}
+
+// PredictSolve estimates one warm solve of the profiled pattern under a
+// candidate backend, in arbitrary but mutually comparable units: an SpMV +
+// codelet iteration cost, scaled by the measured sim slowdown when the
+// candidate runs the cycle-accurate backend. The tuner uses it only to order
+// candidates — the race measures the truth.
+func (c *Calibration) PredictSolve(p sparse.PatternProfile, backendName string, tiles int) float64 {
+	halo := 8 * p.Bandwidth // one bandwidth-wide halo, 8 bytes per value
+	cost := c.SpMVCost(p.Rows, p.NNZ, tiles, halo)
+	if len(c.Codelet) > 0 {
+		cp := c.Codelet[len(c.Codelet)-1]
+		if cp.AxpyPerSec > 0 {
+			cost += 4 * float64(p.Rows) / cp.AxpyPerSec // ~4 fused vector ops per Krylov iteration
+		}
+		if cp.DotPerSec > 0 {
+			cost += 2 * float64(p.Rows) / cp.DotPerSec
+		}
+	}
+	if backendName == "sim" || backendName == "simulator" {
+		slow := c.SimSlowdown
+		if slow <= 0 {
+			slow = 50 // conservative prior: the simulator is far off the serving path
+		}
+		cost *= slow
+	}
+	return cost
+}

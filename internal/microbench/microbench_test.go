@@ -1,0 +1,103 @@
+package microbench
+
+import (
+	"testing"
+	"time"
+
+	"ipusparse/internal/sparse"
+)
+
+// TestRunQuickProducesCurves: the quick battery within a generous budget must
+// populate every curve with physically sensible (positive, finite) figures.
+func TestRunQuickProducesCurves(t *testing.T) {
+	cal, err := Run(Options{Quick: true, Budget: 5 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cal.Exchange) == 0 || len(cal.Codelet) == 0 || len(cal.SpMV) == 0 {
+		t.Fatalf("incomplete calibration: %+v", cal)
+	}
+	for _, p := range cal.Exchange {
+		if p.LatencySec <= 0 || p.GBps <= 0 {
+			t.Fatalf("degenerate exchange point %+v", p)
+		}
+	}
+	for _, p := range cal.Codelet {
+		if p.AxpyPerSec <= 0 || p.DotPerSec <= 0 {
+			t.Fatalf("degenerate codelet point %+v", p)
+		}
+	}
+	for _, p := range cal.SpMV {
+		if p.NNZPerSec <= 0 {
+			t.Fatalf("degenerate SpMV point %+v", p)
+		}
+	}
+	if cal.SimSlowdown < 0 {
+		t.Fatalf("negative sim slowdown %g", cal.SimSlowdown)
+	}
+	if cal.ElapsedSec <= 0 {
+		t.Fatalf("elapsed %g", cal.ElapsedSec)
+	}
+}
+
+// TestRunTinyBudgetErrors: a budget that admits no probe is an error, not a
+// silent empty model.
+func TestRunTinyBudgetErrors(t *testing.T) {
+	if _, err := Run(Options{Budget: time.Nanosecond}); err == nil {
+		t.Fatal("nanosecond budget returned a calibration")
+	}
+}
+
+// TestPredictSolveOrdersSimAfterNative: whatever the absolute numbers, the
+// model must predict the cycle-accurate simulator costlier than the native
+// backend for the same pattern — that ordering is what prunes the race.
+func TestPredictSolveOrdersSimAfterNative(t *testing.T) {
+	cal, err := Run(Options{Quick: true, Budget: 5 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	prof := sparse.Poisson2D(16, 16).Profile()
+	native := cal.PredictSolve(prof, "native", 64)
+	sim := cal.PredictSolve(prof, "sim", 64)
+	if native <= 0 {
+		t.Fatalf("native prediction %g, want > 0", native)
+	}
+	if sim <= native {
+		t.Fatalf("sim predicted at %g <= native %g", sim, native)
+	}
+	// The slowdown prior must apply even when the crossover probe was skipped.
+	cal.SimSlowdown = 0
+	if sim = cal.PredictSolve(prof, "sim", 64); sim <= native {
+		t.Fatalf("prior-scaled sim %g <= native %g", sim, native)
+	}
+}
+
+// TestExchangeCostInterpolation: zero bytes are free, probed sizes are
+// positive, and a size between two probe points lands between their measured
+// latencies (piecewise-linear).
+func TestExchangeCostInterpolation(t *testing.T) {
+	cal := &Calibration{Exchange: []ExchangePoint{
+		{Bytes: 1024, LatencySec: 1e-6},
+		{Bytes: 4096, LatencySec: 4e-6},
+	}}
+	if c := cal.ExchangeCost(0); c != 0 {
+		t.Fatalf("cost(0) = %g", c)
+	}
+	if c := cal.ExchangeCost(2560); c <= 1e-6 || c >= 4e-6 {
+		t.Fatalf("midpoint cost %g outside (1e-6, 4e-6)", c)
+	}
+	if c := cal.ExchangeCost(8192); c <= 4e-6 {
+		t.Fatalf("extrapolated cost %g, want > last point", c)
+	}
+}
+
+// TestSpMVCostScalesWithNNZ: more nonzeros on the same machine must never be
+// predicted cheaper.
+func TestSpMVCostScalesWithNNZ(t *testing.T) {
+	cal := &Calibration{SpMV: []SpMVPoint{{RowsPerTile: 8, NNZPerSec: 1e9}, {RowsPerTile: 32, NNZPerSec: 2e9}}}
+	small := cal.SpMVCost(1024, 5000, 64, 0)
+	large := cal.SpMVCost(1024, 50000, 64, 0)
+	if small <= 0 || large <= small {
+		t.Fatalf("cost(5e3) = %g, cost(5e4) = %g", small, large)
+	}
+}

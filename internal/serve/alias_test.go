@@ -1,0 +1,171 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"ipusparse/internal/sparse"
+)
+
+// doReq drives one request through a service handler and returns the
+// recorder.
+func doReq(t *testing.T, s *Service, method, path, body string) *httptest.ResponseRecorder {
+	t.Helper()
+	req := httptest.NewRequest(method, path, strings.NewReader(body))
+	w := httptest.NewRecorder()
+	s.Handler().ServeHTTP(w, req)
+	return w
+}
+
+// wantDeprecation asserts the RFC 8594 alias markers: Deprecation: true plus
+// a Link to the successor route.
+func wantDeprecation(t *testing.T, w *httptest.ResponseRecorder, successor string) {
+	t.Helper()
+	if w.Header().Get("Deprecation") != "true" {
+		t.Fatalf("alias response missing Deprecation header (got %v)", w.Header())
+	}
+	link := w.Header().Get("Link")
+	if !strings.Contains(link, successor) || !strings.Contains(link, "successor-version") {
+		t.Fatalf("alias Link %q does not name successor %s", link, successor)
+	}
+}
+
+// TestRegisterAliasByteIdentical registers the same matrix through the
+// deprecated POST /v1/register and the resource POST /v1/systems on two
+// identically configured services: the response bodies must be byte-identical
+// — only the Deprecation/Link headers tell the routes apart.
+func TestRegisterAliasByteIdentical(t *testing.T) {
+	sAlias := New(testOptions())
+	defer sAlias.Close()
+	sRes := New(testOptions())
+	defer sRes.Close()
+
+	body := `{"gen":"poisson2d:8"}`
+	wa := doReq(t, sAlias, http.MethodPost, "/v1/register", body)
+	wr := doReq(t, sRes, http.MethodPost, "/v1/systems", body)
+	if wa.Code != http.StatusCreated || wr.Code != http.StatusCreated {
+		t.Fatalf("register = %d (alias) / %d (resource)", wa.Code, wr.Code)
+	}
+	wantDeprecation(t, wa, "/v1/systems")
+	if wr.Header().Get("Deprecation") != "" {
+		t.Fatalf("resource route carries a Deprecation header")
+	}
+	if !bytes.Equal(wa.Body.Bytes(), wr.Body.Bytes()) {
+		t.Fatalf("alias body differs from resource body:\n%s\nvs\n%s", wa.Body, wr.Body)
+	}
+}
+
+// TestSolveAliasByteIdentical solves the same system through the deprecated
+// POST /v1/solve (ID in the body) and the resource route. The simulator
+// backend makes the whole response deterministic (cycle-derived timings), so
+// equivalence is byte-for-byte.
+func TestSolveAliasByteIdentical(t *testing.T) {
+	opts := testOptions()
+	opts.Backend = "sim"
+	s := New(opts)
+	defer s.Close()
+
+	info, err := s.Register(context.Background(), sparse.Poisson2D(6, 6), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wa := doReq(t, s, http.MethodPost, "/v1/solve", `{"id":"`+info.ID+`","rhs":"ones"}`)
+	wr := doReq(t, s, http.MethodPost, "/v1/systems/"+info.ID+"/solve", `{"rhs":"ones"}`)
+	if wa.Code != http.StatusOK || wr.Code != http.StatusOK {
+		t.Fatalf("solve = %d (alias) / %d (resource): %s %s", wa.Code, wr.Code, wa.Body, wr.Body)
+	}
+	wantDeprecation(t, wa, "/v1/systems/{id}/solve")
+	if !bytes.Equal(wa.Body.Bytes(), wr.Body.Bytes()) {
+		t.Fatalf("alias body differs from resource body:\n%s\nvs\n%s", wa.Body, wr.Body)
+	}
+}
+
+// TestUpdateAliasByteIdentical applies the same values refresh through the
+// deprecated POST /v1/update (ID in the body) and PATCH /v1/systems/{id} on
+// two identically configured services holding the same system.
+func TestUpdateAliasByteIdentical(t *testing.T) {
+	m := sparse.Poisson2D(8, 8)
+	sAlias := New(testOptions())
+	defer sAlias.Close()
+	sRes := New(testOptions())
+	defer sRes.Close()
+	ia, err := sAlias.Register(context.Background(), m, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sRes.Register(context.Background(), m.Clone(), nil); err != nil {
+		t.Fatal(err)
+	}
+
+	body := `{"id":"` + ia.ID + `","gen":"poisson2d:8"}`
+	wa := doReq(t, sAlias, http.MethodPost, "/v1/update", body)
+	wr := doReq(t, sRes, http.MethodPatch, "/v1/systems/"+ia.ID, `{"gen":"poisson2d:8"}`)
+	if wa.Code != http.StatusOK || wr.Code != http.StatusOK {
+		t.Fatalf("update = %d (alias) / %d (resource): %s %s", wa.Code, wr.Code, wa.Body, wr.Body)
+	}
+	wantDeprecation(t, wa, "/v1/systems/{id}")
+	if wr.Header().Get("Deprecation") != "" {
+		t.Fatalf("PATCH route carries a Deprecation header")
+	}
+	if !bytes.Equal(wa.Body.Bytes(), wr.Body.Bytes()) {
+		t.Fatalf("alias body differs from resource body:\n%s\nvs\n%s", wa.Body, wr.Body)
+	}
+}
+
+// TestPatchRejectsMismatchedBodyID pins the path/body precedence rule: a
+// PATCH whose body names a different system than the path is a 400, never a
+// silent write to either.
+func TestPatchRejectsMismatchedBodyID(t *testing.T) {
+	s := New(testOptions())
+	defer s.Close()
+	info, err := s.Register(context.Background(), sparse.Poisson2D(8, 8), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := doReq(t, s, http.MethodPatch, "/v1/systems/"+info.ID,
+		`{"id":"someone-else","gen":"poisson2d:8"}`)
+	if w.Code != http.StatusBadRequest {
+		t.Fatalf("mismatched body id = %d, want 400: %s", w.Code, w.Body)
+	}
+}
+
+// TestDeleteSystem pins the DELETE resource verb: 204 on success, the system
+// gone from the listing, 404 on a second delete, and — with a state dir —
+// the tombstone surviving restart.
+func TestDeleteSystem(t *testing.T) {
+	opts := testOptions()
+	opts.StateDir = t.TempDir()
+	s, err := Open(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	info, err := s.Register(context.Background(), sparse.Poisson2D(8, 8), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w := doReq(t, s, http.MethodDelete, "/v1/systems/"+info.ID, ""); w.Code != http.StatusNoContent {
+		t.Fatalf("delete = %d, want 204: %s", w.Code, w.Body)
+	}
+	if got := s.Systems(); len(got) != 0 {
+		t.Fatalf("system still listed after delete: %+v", got)
+	}
+	if w := doReq(t, s, http.MethodDelete, "/v1/systems/"+info.ID, ""); w.Code != http.StatusNotFound {
+		t.Fatalf("second delete = %d, want 404", w.Code)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	s2, err := Open(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	if got := s2.Systems(); len(got) != 0 {
+		t.Fatalf("deleted system resurrected by restart: %+v", got)
+	}
+}

@@ -57,6 +57,9 @@ type UpdateRequest struct {
 // SolveRequest is the body of POST /v1/systems/{id}/solve. Exactly one of B,
 // Batch or RHS selects the right-hand side(s).
 type SolveRequest struct {
+	// ID names the target system on the deprecated POST /v1/solve alias; the
+	// resource route carries the ID in the path and ignores this field.
+	ID    string      `json:"id,omitempty"`
 	B     []float64   `json:"b,omitempty"`
 	Batch [][]float64 `json:"batch,omitempty"`
 	// RHS is a convenience generator: "ones" solves against b = A*1, so the
@@ -86,19 +89,31 @@ type BatchResponse struct {
 	Results []SolveResponse `json:"results"`
 }
 
-// Handler serves the JSON API:
+// Handler serves the JSON API. Systems are HTTP resources with stable IDs:
 //
-//	POST /v1/systems            register a system (generator spec or entries)
-//	POST /v1/systems/{id}/solve solve one RHS or a batch
-//	POST /v1/update             values-only refresh of a registered system
-//	GET  /v1/systems            list registered systems
-//	GET  /v1/registry           export registrations (full matrices + configs)
-//	POST /v1/registry           import registrations idempotently
-//	POST /v1/drain              close admission, let in-flight work finish
-//	GET  /v1/stats              service counters
-//	GET  /metrics               Prometheus text exposition
-//	GET  /healthz               liveness
-//	GET  /readyz                readiness (503 while draining or degraded)
+//	POST   /v1/systems            register a system (generator spec or entries)
+//	GET    /v1/systems            list registered systems
+//	GET    /v1/systems/{id}       system detail (backend, pattern, generation, tuning)
+//	POST   /v1/systems/{id}/solve solve one RHS or a batch
+//	PATCH  /v1/systems/{id}       values-only refresh; the ID stays stable, the
+//	                              values generation increments
+//	DELETE /v1/systems/{id}       deregister (204; persisted as a WAL tombstone)
+//	GET    /v1/systems/{id}/tune  cached autotuner decision
+//	POST   /v1/systems/{id}/tune  force a re-race now
+//	GET    /v1/registry           export registrations (full matrices + configs)
+//	POST   /v1/registry           import registrations idempotently
+//	POST   /v1/drain              close admission, let in-flight work finish
+//	GET    /v1/stats              service counters
+//	GET    /metrics               Prometheus text exposition
+//	GET    /healthz               liveness
+//	GET    /readyz                readiness (503 while draining or degraded)
+//
+// Deprecated RPC-style aliases, kept one release for live clients; each
+// answers with a Deprecation header and a Link to its successor route:
+//
+//	POST /v1/register             = POST  /v1/systems
+//	POST /v1/solve                = POST  /v1/systems/{id}/solve (ID in body)
+//	POST /v1/update               = PATCH /v1/systems/{id}       (ID in body)
 //
 // Request bodies are bounded by Options.MaxBodyBytes; oversized requests are
 // rejected with 413.
@@ -106,8 +121,15 @@ func (s *Service) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/systems", s.handleRegister)
 	mux.HandleFunc("GET /v1/systems", s.handleSystems)
+	mux.HandleFunc("GET /v1/systems/{id}", s.handleSystemDetail)
 	mux.HandleFunc("POST /v1/systems/{id}/solve", s.handleSolve)
-	mux.HandleFunc("POST /v1/update", s.handleUpdate)
+	mux.HandleFunc("PATCH /v1/systems/{id}", s.handlePatchSystem)
+	mux.HandleFunc("DELETE /v1/systems/{id}", s.handleDeleteSystem)
+	mux.HandleFunc("GET /v1/systems/{id}/tune", s.handleTuneGet)
+	mux.HandleFunc("POST /v1/systems/{id}/tune", s.handleTuneForce)
+	mux.HandleFunc("POST /v1/register", s.handleRegisterAlias)
+	mux.HandleFunc("POST /v1/solve", s.handleSolveAlias)
+	mux.HandleFunc("POST /v1/update", s.handleUpdateAlias)
 	mux.HandleFunc("GET /v1/registry", s.handleRegistryExport)
 	mux.HandleFunc("POST /v1/registry", s.handleRegistryImport)
 	mux.HandleFunc("POST /v1/drain", s.handleDrain)
@@ -118,6 +140,13 @@ func (s *Service) Handler() http.Handler {
 	})
 	mux.HandleFunc("GET /readyz", s.handleReady)
 	return mux
+}
+
+// deprecate marks an alias response: RFC 8594 Deprecation plus a Link to the
+// successor resource route. The body stays byte-identical to the successor's.
+func deprecate(w http.ResponseWriter, successor string) {
+	w.Header().Set("Deprecation", "true")
+	w.Header().Set("Link", fmt.Sprintf("<%s>; rel=%q", successor, "successor-version"))
 }
 
 // handleReady reports whether the service is accepting and completing work:
@@ -273,12 +302,30 @@ func (s *Service) handleRegister(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusCreated, info)
 }
 
-// handleUpdate applies a values-only refresh (PATCH semantics): the new
-// numbers are lowered into the cached prepared pipelines in place and the
-// registration is superseded under the new matrix fingerprint. A structural
-// change answers 409 Conflict; a config override requesting features the
-// system's backend cannot honor answers the same typed 400 as registration.
-func (s *Service) handleUpdate(w http.ResponseWriter, r *http.Request) {
+// handlePatchSystem applies a values-only refresh (PATCH /v1/systems/{id}):
+// the new numbers are lowered into the cached prepared pipelines in place and
+// the system's values generation increments — the ID stays stable. A
+// structural change answers 409 Conflict; a config override requesting
+// features the system's backend cannot honor answers the same typed 400 as
+// registration.
+func (s *Service) handlePatchSystem(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	var req UpdateRequest
+	if err := s.decodeBody(w, r, &req); err != nil {
+		writeError(w, err)
+		return
+	}
+	if req.ID != "" && req.ID != id {
+		writeError(w, fmt.Errorf("body id %s does not match path id %s", req.ID, id))
+		return
+	}
+	s.doUpdate(w, r, id, req)
+}
+
+// handleUpdateAlias is the deprecated POST /v1/update spelling of
+// PATCH /v1/systems/{id}: the target ID rides in the body.
+func (s *Service) handleUpdateAlias(w http.ResponseWriter, r *http.Request) {
+	deprecate(w, "/v1/systems/{id}")
 	var req UpdateRequest
 	if err := s.decodeBody(w, r, &req); err != nil {
 		writeError(w, err)
@@ -288,7 +335,11 @@ func (s *Service) handleUpdate(w http.ResponseWriter, r *http.Request) {
 		writeError(w, errors.New("update needs the target system id"))
 		return
 	}
-	sys, err := s.lookup(req.ID)
+	s.doUpdate(w, r, req.ID, req)
+}
+
+func (s *Service) doUpdate(w http.ResponseWriter, r *http.Request, id string, req UpdateRequest) {
+	sys, err := s.lookup(id)
 	if err != nil {
 		writeError(w, err)
 		return
@@ -321,12 +372,80 @@ func (s *Service) handleUpdate(w http.ResponseWriter, r *http.Request) {
 		writeError(w, err)
 		return
 	}
-	info, err := s.UpdateSystem(r.Context(), req.ID, m)
+	info, err := s.UpdateSystem(r.Context(), id, m)
 	if err != nil {
 		writeError(w, err)
 		return
 	}
 	writeJSON(w, http.StatusOK, info)
+}
+
+// handleRegisterAlias is the deprecated POST /v1/register spelling of
+// POST /v1/systems.
+func (s *Service) handleRegisterAlias(w http.ResponseWriter, r *http.Request) {
+	deprecate(w, "/v1/systems")
+	s.handleRegister(w, r)
+}
+
+// handleSolveAlias is the deprecated POST /v1/solve spelling of
+// POST /v1/systems/{id}/solve: the target ID rides in the body.
+func (s *Service) handleSolveAlias(w http.ResponseWriter, r *http.Request) {
+	deprecate(w, "/v1/systems/{id}/solve")
+	var req SolveRequest
+	if err := s.decodeBody(w, r, &req); err != nil {
+		writeError(w, err)
+		return
+	}
+	if req.ID == "" {
+		writeError(w, errors.New("solve needs the target system id"))
+		return
+	}
+	s.doSolve(w, r, req.ID, req)
+}
+
+// handleSystemDetail serves the full resource view of one system, including
+// its cached tuning decision.
+func (s *Service) handleSystemDetail(w http.ResponseWriter, r *http.Request) {
+	det, err := s.SystemDetail(r.PathValue("id"))
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, det)
+}
+
+// handleDeleteSystem deregisters a system; the deletion is persisted as a WAL
+// tombstone before the 204 is written.
+func (s *Service) handleDeleteSystem(w http.ResponseWriter, r *http.Request) {
+	if err := s.Deregister(r.Context(), r.PathValue("id")); err != nil {
+		writeError(w, err)
+		return
+	}
+	w.WriteHeader(http.StatusNoContent)
+}
+
+// handleTuneGet serves the system's cached autotuner decision (null when the
+// system has never been raced).
+func (s *Service) handleTuneGet(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	d, err := s.TuneDecision(id)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"id": id, "tune": d})
+}
+
+// handleTuneForce races the system's candidates again right now and serves
+// the fresh decision.
+func (s *Service) handleTuneForce(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	d, err := s.ForceTune(r.Context(), id)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"id": id, "tune": d})
 }
 
 // BuildUpdateMatrix materializes the matrix an UpdateRequest describes: a
@@ -414,6 +533,10 @@ func (s *Service) handleSolve(w http.ResponseWriter, r *http.Request) {
 		writeError(w, err)
 		return
 	}
+	s.doSolve(w, r, id, req)
+}
+
+func (s *Service) doSolve(w http.ResponseWriter, r *http.Request, id string, req SolveRequest) {
 	ctx := r.Context()
 	if req.TimeoutMs > 0 {
 		var cancel context.CancelFunc

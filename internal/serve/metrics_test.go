@@ -55,6 +55,7 @@ func TestStatsJSONShape(t *testing.T) {
 		"quarantined", "rebuilt", "verified", "verifyFailed", "sdcEscapes",
 		"breakerRejected", "breakerOpens", "breakersOpen",
 		"registryWalErrors", "draining",
+		"tuned", "retunes",
 	}
 	keys := make([]string, 0, len(got))
 	for k := range got {

@@ -27,10 +27,10 @@ func drift(m *sparse.Matrix, step float64) *sparse.Matrix {
 	return out
 }
 
-// TestUpdateSystemRefreshesInPlace: a values-only update supersedes the
-// registration under the new fingerprint, refreshes the cached replicas in
-// place (no new cold prepare), and subsequent solves match a cold solve of
-// the new matrix bit for bit.
+// TestUpdateSystemRefreshesInPlace: a values-only update keeps the system's
+// ID stable while bumping its values generation, refreshes the cached
+// replicas in place (no new cold prepare), and subsequent solves match a cold
+// solve of the new matrix bit for bit.
 func TestUpdateSystemRefreshesInPlace(t *testing.T) {
 	opts := testOptions()
 	s := New(opts)
@@ -51,8 +51,8 @@ func TestUpdateSystemRefreshesInPlace(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if up.Previous != info.ID || up.ID != m2.FingerprintString() {
-		t.Fatalf("bad update info %+v", up)
+	if up.ID != info.ID || up.Previous != info.ID || up.Generation != info.Generation+1 {
+		t.Fatalf("bad update info %+v (registered %+v)", up, info)
 	}
 	if up.Refreshed == 0 {
 		t.Fatalf("update did not refresh any cached replica: %+v", up)
@@ -63,11 +63,6 @@ func TestUpdateSystemRefreshesInPlace(t *testing.T) {
 	}
 	if st := s.Stats(); st.Refreshed != uint64(up.Refreshed) {
 		t.Fatalf("stats.Refreshed = %d, want %d", st.Refreshed, up.Refreshed)
-	}
-
-	// The old registration is superseded.
-	if _, err := s.Solve(context.Background(), info.ID, onesRHS(m1)); !errors.Is(err, ErrNotFound) {
-		t.Fatalf("superseded system still solvable: %v", err)
 	}
 
 	b := onesRHS(m2)
@@ -89,12 +84,13 @@ func TestUpdateSystemRefreshesInPlace(t *testing.T) {
 		}
 	}
 
-	// Updating with the already-registered values is an idempotent no-op.
+	// Updating with the already-registered values is an idempotent no-op: no
+	// refresh, and the generation does not advance.
 	again, err := s.UpdateSystem(context.Background(), up.ID, m2.Clone())
 	if err != nil {
 		t.Fatal(err)
 	}
-	if again.ID != up.ID || again.Refreshed != 0 {
+	if again.ID != up.ID || again.Refreshed != 0 || again.Generation != up.Generation {
 		t.Fatalf("idempotent update: %+v", again)
 	}
 }
@@ -222,7 +218,7 @@ func TestHTTPUpdate(t *testing.T) {
 	if err := json.Unmarshal([]byte(out), &up); err != nil {
 		t.Fatal(err)
 	}
-	if up.ID != m2.FingerprintString() || up.Previous != info.ID || up.Refreshed == 0 {
+	if up.ID != info.ID || up.Previous != info.ID || up.Generation != 2 || up.Refreshed == 0 {
 		t.Fatalf("bad update response %+v", up)
 	}
 

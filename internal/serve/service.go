@@ -22,8 +22,10 @@ import (
 	"ipusparse/internal/core"
 	"ipusparse/internal/fault"
 	"ipusparse/internal/ipu"
+	"ipusparse/internal/microbench"
 	"ipusparse/internal/sparse"
 	"ipusparse/internal/telemetry"
+	"ipusparse/internal/tune"
 )
 
 // Typed service errors; the HTTP layer maps them to status codes.
@@ -80,6 +82,23 @@ type Options struct {
 	StateDir         string        // crash-safe registry directory ("" disables persistence)
 	Chaos            *fault.Chaos  // service-level chaos campaign (nil disables)
 
+	// Tune enables the registration-time autotuner: every newly registered
+	// pattern races candidate execution configurations (partition strategy ×
+	// preconditioner knob × engine parallelism × backend) under TuneBudget and
+	// serves with the measured winner. Decisions persist in the registry WAL
+	// and ride cluster export/import, so a restart or migration never re-races.
+	Tune bool
+	// TuneBudget bounds one race (default 2s).
+	TuneBudget time.Duration
+	// TuneSolves is the warm solve count per raced candidate (default 3).
+	TuneSolves int
+	// RetuneThreshold re-races a tuned system in the background when its
+	// recent p99 latency exceeds threshold × the decision's measured winner
+	// latency (default 3.0; 0 keeps the default, negative disables).
+	RetuneThreshold float64
+	// RetuneInterval is the regression-scan period (default 5s).
+	RetuneInterval time.Duration
+
 	// DisableRefresh turns the values-only refresh path off: pattern-matching
 	// registrations cold-prepare and UpdateSystem is rejected.
 	DisableRefresh bool
@@ -130,6 +149,13 @@ func OptionsFromConfig(c config.Config) Options {
 				o.DisableRefresh = true
 			}
 			o.RefreshWarmReplicas = r.WarmReplicas
+		}
+		if t := s.Tune; t != nil {
+			o.Tune = t.Enabled
+			o.TuneBudget = time.Duration(t.BudgetMs) * time.Millisecond
+			o.TuneSolves = t.Solves
+			o.RetuneThreshold = t.RetuneThreshold
+			o.RetuneInterval = time.Duration(t.RetuneIntervalMs) * time.Millisecond
 		}
 		if s.Tiles > 0 || s.Chips > 0 {
 			mc := ipu.Mk2M2000()
@@ -197,6 +223,18 @@ func (o *Options) fill() {
 	if o.BreakerCooldown <= 0 {
 		o.BreakerCooldown = time.Second
 	}
+	if o.TuneBudget <= 0 {
+		o.TuneBudget = 2 * time.Second
+	}
+	if o.TuneSolves <= 0 {
+		o.TuneSolves = 3
+	}
+	if o.RetuneThreshold == 0 {
+		o.RetuneThreshold = 3.0
+	}
+	if o.RetuneInterval <= 0 {
+		o.RetuneInterval = 5 * time.Second
+	}
 	if o.Telemetry == nil {
 		o.Telemetry = telemetry.NewRegistry()
 	}
@@ -231,14 +269,26 @@ func configHash(c config.Config) uint64 {
 // pipelines can be re-prepared on demand and so every returned answer can be
 // residual-verified against the true operator.
 type system struct {
-	id        string
-	m         *sparse.Matrix
-	cfg       config.Config
-	key       Key
-	pattern   uint64  // sparsity-pattern fingerprint (values excluded)
-	backend   string  // canonical execution-backend name for this system
-	solver    string  // solver name, filled at registration
-	verifyTol float64 // effective residual-verification threshold
+	id         string
+	m          *sparse.Matrix
+	cfg        config.Config // effective config (tuned preconditioner applied)
+	base       config.Config // registered config before tuning overrides
+	key        Key
+	pattern    uint64  // sparsity-pattern fingerprint (values excluded)
+	backend    string  // canonical execution-backend name for this system
+	solver     string  // solver name, filled at registration
+	verifyTol  float64 // effective residual-verification threshold
+	generation int     // values generation, 1 at registration, +1 per PATCH
+
+	// Tuning state. strategy/par are the effective execution knobs (the
+	// service defaults until a race overrides them); tune is the cached race
+	// decision; lat is the per-system latency window the background retune
+	// scanner watches — shared across value generations so a PATCH does not
+	// reset regression detection.
+	strategy core.PartitionStrategy
+	par      int
+	tune     *tune.Decision
+	lat      *latWindow
 }
 
 // pkey is the system's pattern key: its cache key with the full matrix
@@ -310,6 +360,11 @@ type Service struct {
 	// before residual verification — simulating silent device corruption.
 	corruptHook func(x []float64)
 
+	// calOnce lazily runs the quick microbenchmark battery the first time a
+	// race needs the cost model; cal stays nil when the battery fails.
+	calOnce sync.Once
+	cal     *microbench.Calibration
+
 	stats statsCollector
 }
 
@@ -350,6 +405,10 @@ func New(opts Options) *Service {
 	for i := 0; i < opts.Workers; i++ {
 		go s.worker()
 	}
+	if opts.Tune && opts.RetuneThreshold > 0 {
+		s.aux.Add(1)
+		go s.retuneLoop()
+	}
 	return s
 }
 
@@ -376,7 +435,8 @@ func Open(opts Options) (*Service, error) {
 			reg.close()
 			return nil, fmt.Errorf("serve: replaying %s: %w", rec.ID, err)
 		}
-		if _, err := s.register(s.baseCtx, m, rec.configPtr()); err != nil {
+		if _, err := s.register(s.baseCtx, m, rec.configPtr(),
+			regMeta{id: rec.ID, generation: rec.Generation, tun: rec.Tune, noRace: true}); err != nil {
 			s.Close()
 			reg.close()
 			return nil, fmt.Errorf("serve: replaying %s: %w", rec.ID, err)
@@ -394,12 +454,48 @@ func Open(opts Options) (*Service, error) {
 	return s, nil
 }
 
-// SystemInfo describes a registered system.
+// SystemInfo describes a registered system. The ID is stable for the
+// system's lifetime: values-only updates bump Generation instead of re-keying.
 type SystemInfo struct {
-	ID     string `json:"id"`
-	N      int    `json:"n"`
-	NNZ    int    `json:"nnz"`
-	Solver string `json:"solver"`
+	ID         string `json:"id"`
+	N          int    `json:"n"`
+	NNZ        int    `json:"nnz"`
+	Solver     string `json:"solver"`
+	Backend    string `json:"backend,omitempty"`
+	Pattern    string `json:"pattern,omitempty"`    // sparsity-pattern fingerprint
+	Generation int    `json:"generation,omitempty"` // values generation (1 = as registered)
+	Tuned      bool   `json:"tuned,omitempty"`      // a race decision is active
+}
+
+// SystemDetail is the full resource view of one system (GET
+// /v1/systems/{id}): the summary plus the cached tuning decision.
+type SystemDetail struct {
+	SystemInfo
+	Tune *tune.Decision `json:"tune,omitempty"`
+}
+
+func infoFor(sys *system) SystemInfo {
+	return SystemInfo{
+		ID:         sys.id,
+		N:          sys.m.N,
+		NNZ:        sys.m.NNZ(),
+		Solver:     sys.solver,
+		Backend:    sys.backend,
+		Pattern:    sys.m.PatternFingerprintString(),
+		Generation: sys.generation,
+		Tuned:      sys.tune != nil,
+	}
+}
+
+// SystemDetail returns the full resource view of one registered system.
+func (s *Service) SystemDetail(id string) (SystemDetail, error) {
+	sys, err := s.lookup(id)
+	if err != nil {
+		return SystemDetail{}, err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return SystemDetail{SystemInfo: infoFor(sys), Tune: sys.tune}, nil
 }
 
 // Register adds a system to the service and warms the cache with one
@@ -410,10 +506,21 @@ type SystemInfo struct {
 // is idempotent. With a crash-safe registry attached, the registration is
 // appended to the WAL before it is acknowledged.
 func (s *Service) Register(ctx context.Context, m *sparse.Matrix, cfg *config.Config) (SystemInfo, error) {
-	return s.register(ctx, m, cfg)
+	return s.register(ctx, m, cfg, regMeta{})
 }
 
-func (s *Service) register(ctx context.Context, m *sparse.Matrix, cfg *config.Config) (SystemInfo, error) {
+// regMeta carries replay/import context into register: the stable system ID
+// and generation when they differ from a fresh registration's (the matrix
+// values have moved past generation 1), the tuning decision riding the record,
+// and whether a race is suppressed (WAL replay never re-races).
+type regMeta struct {
+	id         string
+	generation int
+	tun        *tune.Decision
+	noRace     bool
+}
+
+func (s *Service) register(ctx context.Context, m *sparse.Matrix, cfg *config.Config, meta regMeta) (SystemInfo, error) {
 	c := s.opts.Solver
 	if cfg != nil {
 		c = *cfg
@@ -443,10 +550,19 @@ func (s *Service) register(ctx context.Context, m *sparse.Matrix, cfg *config.Co
 	if err := backend.CheckConfig(be, &c); err != nil {
 		return SystemInfo{}, err
 	}
+	id := meta.id
+	if id == "" {
+		id = m.FingerprintString()
+	}
+	generation := meta.generation
+	if generation <= 0 {
+		generation = 1
+	}
 	sys := &system{
-		id:  m.FingerprintString(),
-		m:   m,
-		cfg: c,
+		id:   id,
+		m:    m,
+		cfg:  c,
+		base: c,
 		key: Key{
 			Matrix:   m.Fingerprint(),
 			Config:   configHash(c),
@@ -454,9 +570,15 @@ func (s *Service) register(ctx context.Context, m *sparse.Matrix, cfg *config.Co
 			Strategy: s.opts.Strategy,
 			Backend:  be.Name(),
 		},
-		pattern:   m.PatternFingerprint(),
-		backend:   be.Name(),
-		verifyTol: verifyTolFor(s.opts.VerifyTolerance, c),
+		pattern:    m.PatternFingerprint(),
+		backend:    be.Name(),
+		verifyTol:  verifyTolFor(s.opts.VerifyTolerance, c),
+		generation: generation,
+		strategy:   s.opts.Strategy,
+		lat:        newLatWindow(),
+	}
+	if meta.tun != nil {
+		s.applyDecision(sys, meta.tun)
 	}
 
 	s.mu.Lock()
@@ -468,13 +590,38 @@ func (s *Service) register(ctx context.Context, m *sparse.Matrix, cfg *config.Co
 		s.mu.Unlock()
 		return SystemInfo{}, ErrDraining
 	}
-	if old, ok := s.systems[sys.id]; ok && old.key == sys.key {
-		info := SystemInfo{ID: old.id, N: old.m.N, NNZ: old.m.NNZ(), Solver: old.solver}
-		s.mu.Unlock()
-		return info, nil
+	if old, ok := s.systems[sys.id]; ok {
+		if old.key == sys.key && old.generation >= sys.generation {
+			info := infoFor(old)
+			s.mu.Unlock()
+			return info, nil
+		}
+		// Re-registration under the stable ID (an import carrying newer
+		// values, or a same-pattern re-register): keep the ID, advance the
+		// generation and carry the latency window forward.
+		if sys.generation <= old.generation {
+			sys.generation = old.generation + 1
+		}
+		sys.lat = old.lat
+		if meta.tun == nil && old.tune != nil {
+			// No decision rides the new record: keep serving the old one.
+			s.mu.Unlock()
+			s.applyDecision(sys, old.tune)
+			s.mu.Lock()
+		}
 	}
 	reg := s.registry
 	s.mu.Unlock()
+
+	// Registration-time autotune: race candidate execution configurations for
+	// this pattern and serve with the measured winner. WAL replay and imports
+	// carrying a decision skip the race — decisions survive kill -9 and ride
+	// cluster migration.
+	if s.opts.Tune && sys.tune == nil && !meta.noRace {
+		if d, err := s.race(sys); err == nil {
+			s.applyDecision(sys, d)
+		}
+	}
 
 	// Values-only refresh path: a cached pool prepared for a different matrix
 	// with this system's exact sparsity pattern (and solver hierarchy,
@@ -509,7 +656,7 @@ func (s *Service) register(ctx context.Context, m *sparse.Matrix, cfg *config.Co
 	}
 	s.systems[sys.id] = sys
 	s.mu.Unlock()
-	return SystemInfo{ID: sys.id, N: sys.m.N, NNZ: sys.m.NNZ(), Solver: sys.solver}, nil
+	return infoFor(sys), nil
 }
 
 // verifyTolFor widens the service's verification threshold for systems whose
@@ -532,7 +679,7 @@ func (s *Service) Systems() []SystemInfo {
 	defer s.mu.Unlock()
 	out := make([]SystemInfo, 0, len(s.systems))
 	for _, sys := range s.systems {
-		out = append(out, SystemInfo{ID: sys.id, N: sys.m.N, NNZ: sys.m.NNZ(), Solver: sys.solver})
+		out = append(out, infoFor(sys))
 	}
 	return out
 }
@@ -676,7 +823,11 @@ func (s *Service) execute(j *job) jobResult {
 	if err != nil {
 		return jobResult{err: err}
 	}
-	s.stats.recordSolve(time.Since(start), res.Machine.TotalCycles)
+	wall := time.Since(start)
+	s.stats.recordSolve(wall, res.Machine.TotalCycles)
+	if j.sys.lat != nil {
+		j.sys.lat.add(wall.Seconds())
+	}
 	return jobResult{res: res}
 }
 
@@ -719,8 +870,7 @@ func (s *Service) acquire(ctx context.Context, sys *system) (*core.Prepared, *en
 		ent.created++
 		s.mu.Unlock()
 		s.stats.misses.Add(1)
-		p, err := core.Prepare(s.opts.Machine, sys.m, sys.cfg, s.opts.Strategy,
-			core.WithTelemetry(s.opts.Telemetry), core.WithBackend(sys.backend))
+		p, err := s.prepareSys(sys)
 		if err != nil {
 			s.mu.Lock()
 			ent.created--
@@ -746,6 +896,21 @@ func (s *Service) acquire(ctx context.Context, sys *system) (*core.Prepared, *en
 // job references an evicted entry it is garbage collected wholesale.
 func (s *Service) release(ent *entry, p *core.Prepared) {
 	ent.idle <- p
+}
+
+// prepareSys builds one replica with the system's effective execution knobs:
+// the tuned partition strategy, backend and engine parallelism when a race
+// decision is active, the service defaults otherwise.
+func (s *Service) prepareSys(sys *system) (*core.Prepared, error) {
+	strategy := sys.strategy
+	if strategy == "" {
+		strategy = s.opts.Strategy
+	}
+	opts := []core.Option{core.WithTelemetry(s.opts.Telemetry), core.WithBackend(sys.backend)}
+	if sys.par > 0 {
+		opts = append(opts, core.WithParallelism(sys.par))
+	}
+	return core.Prepare(s.opts.Machine, sys.m, sys.cfg, strategy, opts...)
 }
 
 // maybeAdopt re-keys a cached pipeline pool onto sys when one exists for its
@@ -812,11 +977,13 @@ func (s *Service) adoptLocked(donor *entry, sys *system) (*entry, int) {
 	return ent, refreshed
 }
 
-// UpdateInfo reports a values-only refresh: the superseding registration and
-// how many prepared replicas were refreshed in place rather than re-prepared.
+// UpdateInfo reports a values-only refresh: the updated registration and how
+// many prepared replicas were refreshed in place rather than re-prepared.
 type UpdateInfo struct {
 	SystemInfo
-	// Previous is the superseded system ID (the one the update targeted).
+	// Previous is the system ID the update targeted. The ID is stable across
+	// updates, so Previous always equals ID; it is retained for callers of
+	// the PR-9 re-keying contract.
 	Previous string `json:"previous"`
 	// Refreshed counts cached replicas whose numeric payloads were rewritten
 	// in place; 0 means the pool had been evicted (or its replicas were all
@@ -827,15 +994,15 @@ type UpdateInfo struct {
 // UpdateSystem applies a values-only matrix update to a registered system
 // (PATCH semantics): the new matrix must keep the registered sparsity pattern
 // exactly — a structural change is rejected with core.ErrPatternMismatch
-// (HTTP 409) — and the solver configuration is untouched. The update
-// supersedes the old registration: the system's ID becomes the new matrix's
-// fingerprint, idle cached replicas are refreshed in place instead of
-// re-prepared, and with a crash-safe registry attached a superseding record
-// hits the WAL (fsynced) before acknowledgement, so a restarted service
-// recovers exactly the updated values. Updating with the currently
-// registered values is an idempotent no-op. In-flight solves against the old
-// ID finish against the old values; a solve racing the update may observe
-// either registration.
+// (HTTP 409) — and the solver configuration is untouched. The system's ID is
+// stable: the update bumps its values generation instead of re-keying, so
+// clients keep solving against the handle they registered. Idle cached
+// replicas are refreshed in place instead of re-prepared, and with a
+// crash-safe registry attached the updated record (same ID, new values, next
+// generation) hits the WAL (fsynced) before acknowledgement, so a restarted
+// service recovers exactly the updated values at the updated generation.
+// Updating with the currently registered values is an idempotent no-op. A
+// solve racing the update may observe either values generation.
 func (s *Service) UpdateSystem(ctx context.Context, id string, m *sparse.Matrix) (UpdateInfo, error) {
 	if s.opts.DisableRefresh {
 		return UpdateInfo{}, ErrRefreshDisabled
@@ -866,23 +1033,26 @@ func (s *Service) UpdateSystem(ctx context.Context, id string, m *sparse.Matrix)
 		return UpdateInfo{}, err
 	}
 
+	if m.Fingerprint() == sys.key.Matrix {
+		return UpdateInfo{SystemInfo: infoFor(sys), Previous: sys.id}, nil
+	}
 	next := &system{
-		id:        m.FingerprintString(),
-		m:         m,
-		cfg:       sys.cfg,
-		key:       sys.key,
-		pattern:   sys.pattern,
-		backend:   sys.backend,
-		solver:    sys.solver,
-		verifyTol: sys.verifyTol,
+		id:         sys.id,
+		m:          m,
+		cfg:        sys.cfg,
+		base:       sys.base,
+		key:        sys.key,
+		pattern:    sys.pattern,
+		backend:    sys.backend,
+		solver:     sys.solver,
+		verifyTol:  sys.verifyTol,
+		generation: sys.generation + 1,
+		strategy:   sys.strategy,
+		par:        sys.par,
+		tune:       sys.tune,
+		lat:        sys.lat,
 	}
 	next.key.Matrix = m.Fingerprint()
-	if next.id == sys.id {
-		return UpdateInfo{
-			SystemInfo: SystemInfo{ID: sys.id, N: sys.m.N, NNZ: sys.m.NNZ(), Solver: sys.solver},
-			Previous:   sys.id,
-		}, nil
-	}
 
 	s.mu.Lock()
 	if s.closed {
@@ -894,7 +1064,7 @@ func (s *Service) UpdateSystem(ctx context.Context, id string, m *sparse.Matrix)
 		return UpdateInfo{}, ErrDraining
 	}
 	if cur, ok := s.systems[id]; !ok || cur != sys {
-		// A concurrent update superseded this registration first.
+		// A concurrent update replaced this generation first.
 		s.mu.Unlock()
 		return UpdateInfo{}, fmt.Errorf("%w: %s", ErrNotFound, id)
 	}
@@ -917,13 +1087,11 @@ func (s *Service) UpdateSystem(ctx context.Context, id string, m *sparse.Matrix)
 		s.release(ent, p)
 	}
 
-	// Durability before acknowledgement, as at registration: the superseding
-	// record (new values, pointer to the retired ID) is fsynced into the WAL
+	// Durability before acknowledgement, as at registration: the updated
+	// record (same ID, next generation, new values) is fsynced into the WAL
 	// before the update becomes visible.
 	if reg != nil {
-		rec := newRegistrationRecord(next)
-		rec.Supersedes = sys.id
-		if err := reg.append(rec); err != nil {
+		if err := reg.append(newRegistrationRecord(next)); err != nil {
 			return UpdateInfo{}, fmt.Errorf("serve: persisting update: %w", err)
 		}
 	}
@@ -933,16 +1101,63 @@ func (s *Service) UpdateSystem(ctx context.Context, id string, m *sparse.Matrix)
 		s.mu.Unlock()
 		return UpdateInfo{}, ErrClosed
 	}
-	if cur, ok := s.systems[id]; ok && cur == sys {
-		delete(s.systems, id)
+	if cur, ok := s.systems[id]; !ok || cur != sys {
+		s.mu.Unlock()
+		return UpdateInfo{}, fmt.Errorf("%w: %s", ErrNotFound, id)
 	}
-	s.systems[next.id] = next
+	s.systems[id] = next
 	s.mu.Unlock()
 	return UpdateInfo{
-		SystemInfo: SystemInfo{ID: next.id, N: next.m.N, NNZ: next.m.NNZ(), Solver: next.solver},
+		SystemInfo: infoFor(next),
 		Previous:   sys.id,
 		Refreshed:  refreshed,
 	}, nil
+}
+
+// Deregister removes a registered system: its cache pool is evicted (unless
+// another system shares the key) and, with a crash-safe registry attached, a
+// tombstone record hits the WAL before the removal is acknowledged, so the
+// deletion survives a restart. In-flight solves finish; subsequent solves
+// fail with ErrNotFound.
+func (s *Service) Deregister(ctx context.Context, id string) error {
+	sys, err := s.lookup(id)
+	if err != nil {
+		return err
+	}
+	s.mu.Lock()
+	reg := s.registry
+	s.mu.Unlock()
+	if reg != nil {
+		if err := reg.append(RegistrationRecord{ID: id, Deleted: true}); err != nil {
+			return fmt.Errorf("serve: persisting deregistration: %w", err)
+		}
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return ErrClosed
+	}
+	if cur, ok := s.systems[id]; !ok || cur != sys {
+		return fmt.Errorf("%w: %s", ErrNotFound, id)
+	}
+	delete(s.systems, id)
+	shared := false
+	for _, other := range s.systems {
+		if other.key == sys.key {
+			shared = true
+			break
+		}
+	}
+	if !shared {
+		if ent, ok := s.cache[sys.key]; ok {
+			s.lru.Remove(ent.elem)
+			delete(s.cache, ent.key)
+			if s.patterns[ent.pkey] == ent {
+				delete(s.patterns, ent.pkey)
+			}
+		}
+	}
+	return nil
 }
 
 // QueueDepth reports the number of queued jobs not yet picked up.

@@ -56,6 +56,10 @@ type Stats struct {
 	// (the base wire contract predates the refresh tier).
 	Refreshed       uint64 `json:"refreshed,omitempty"`       // cached replicas refreshed in place
 	RefreshMismatch uint64 `json:"refreshMismatch,omitempty"` // updates rejected for a pattern change
+
+	// Autotuner.
+	Tuned   uint64 `json:"tuned"`   // candidate races completed (registration + forced)
+	Retunes uint64 `json:"retunes"` // background/forced re-races of an already tuned system
 }
 
 // statsCollector is the service's pre-resolved instrument set on its
@@ -85,6 +89,11 @@ type statsCollector struct {
 	refreshMismatch *telemetry.Counter // serve_refresh_mismatch_total
 
 	walErrors *telemetry.Counter // registry_wal_errors_total
+
+	tuneRaces       *telemetry.Counter    // tune_races_total
+	tuneRetunes     *telemetry.Counter    // tune_retunes_total
+	tuneWins        *telemetry.CounterVec // tune_wins{strategy}
+	tuneRaceSeconds *telemetry.Histogram  // tune_race_seconds
 
 	latency      *telemetry.Histogram // serve_solve_latency_seconds
 	breakerState *telemetry.GaugeVec  // serve_breaker_state{system}
@@ -123,6 +132,16 @@ func newStatsCollector(reg *telemetry.Registry) statsCollector {
 
 		walErrors: reg.Counter("registry_wal_errors_total",
 			"Registration WAL write/fsync failures (persistence trouble)."),
+
+		tuneRaces: reg.Counter("tune_races_total",
+			"Autotuner candidate races completed (registration-time and forced)."),
+		tuneRetunes: reg.Counter("tune_retunes_total",
+			"Re-races of an already tuned system (latency regression or forced)."),
+		tuneWins: reg.CounterVec("tune_wins",
+			"Race wins by partition strategy of the winning candidate.", "strategy"),
+		tuneRaceSeconds: reg.Histogram("tune_race_seconds",
+			"Autotuner race wall time (candidate enumeration to decision).",
+			telemetry.ExponentialBuckets(0.01, 2, 12)),
 
 		latency: reg.Histogram("serve_solve_latency_seconds",
 			"Solve wall latency (queue pickup to answer).",
@@ -167,6 +186,8 @@ func (s *Service) Stats() Stats {
 	st.RegistryWALErrors = s.stats.walErrors.Value()
 	st.Refreshed = s.stats.refreshed.Value()
 	st.RefreshMismatch = s.stats.refreshMismatch.Value()
+	st.Tuned = s.stats.tuneRaces.Value()
+	st.Retunes = s.stats.tuneRetunes.Value()
 	if st.Solved > 0 {
 		st.CyclesPerSolve = s.stats.cycles.Value() / st.Solved
 	}

@@ -296,8 +296,7 @@ func (s *Service) quarantine(sys *system, ent *entry) {
 			s.surrenderSlot(ent)
 			return
 		}
-		p, err := core.Prepare(s.opts.Machine, sys.m, sys.cfg, s.opts.Strategy,
-			core.WithTelemetry(s.opts.Telemetry), core.WithBackend(sys.backend))
+		p, err := s.prepareSys(sys)
 		if err != nil {
 			s.surrenderSlot(ent)
 			return

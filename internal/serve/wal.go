@@ -20,6 +20,7 @@ import (
 	"ipusparse/internal/config"
 	"ipusparse/internal/sparse"
 	"ipusparse/internal/telemetry"
+	"ipusparse/internal/tune"
 )
 
 const (
@@ -41,22 +42,42 @@ type RegistrationRecord struct {
 	Cols   []int         `json:"cols"`
 	Vals   []float64     `json:"vals"`
 	Config config.Config `json:"config"`
-	// Supersedes marks a values-only refresh record: replay drops the named
-	// system (the pre-update registration) so a restarted service recovers
-	// only the updated values, never both generations.
+	// Generation is the values generation the record carries (1 = as
+	// registered; each values-only PATCH bumps it). Zero on legacy records,
+	// which replay as generation 1.
+	Generation int `json:"generation,omitempty"`
+	// FP is the fingerprint of the record's current values when it no longer
+	// matches the stable system ID (the footprint of a values-only update).
+	// Empty when the values are still the registration-time ones.
+	FP string `json:"fp,omitempty"`
+	// Tune is the cached autotuner decision riding the record, so a replayed
+	// or migrated system serves with its raced winner without re-racing.
+	Tune *tune.Decision `json:"tune,omitempty"`
+	// Deleted marks a tombstone: replay removes the named system. Tombstones
+	// carry no matrix payload.
+	Deleted bool `json:"deleted,omitempty"`
+	// Supersedes marks a legacy (PR-9) values-only refresh record: replay
+	// drops the named system so a restarted service recovers only the updated
+	// values. New updates keep the ID stable and bump Generation instead.
 	Supersedes string `json:"supersedes,omitempty"`
 }
 
 func newRegistrationRecord(sys *system) RegistrationRecord {
-	return RegistrationRecord{
-		ID:     sys.id,
-		N:      sys.m.N,
-		Diag:   sys.m.Diag,
-		RowPtr: sys.m.RowPtr,
-		Cols:   sys.m.Cols,
-		Vals:   sys.m.Vals,
-		Config: sys.cfg,
+	rec := RegistrationRecord{
+		ID:         sys.id,
+		N:          sys.m.N,
+		Diag:       sys.m.Diag,
+		RowPtr:     sys.m.RowPtr,
+		Cols:       sys.m.Cols,
+		Vals:       sys.m.Vals,
+		Config:     sys.base,
+		Generation: sys.generation,
+		Tune:       sys.tune,
 	}
+	if fp := sys.m.FingerprintString(); fp != sys.id {
+		rec.FP = fp
+	}
+	return rec
 }
 
 // NewRegistrationRecord builds the migration record for a matrix + config
@@ -80,8 +101,9 @@ func NewRegistrationRecord(m *sparse.Matrix, cfg *config.Config) RegistrationRec
 }
 
 // Matrix reconstructs and validates the record's matrix, requiring its
-// fingerprint to reproduce the recorded system ID — a corrupted record is
-// rejected rather than silently served.
+// fingerprint to reproduce the recorded values fingerprint (FP when the
+// record carries post-update values, the stable system ID otherwise) — a
+// corrupted record is rejected rather than silently served.
 func (r *RegistrationRecord) Matrix() (*sparse.Matrix, error) {
 	m := &sparse.Matrix{N: r.N, Diag: r.Diag, RowPtr: r.RowPtr, Cols: r.Cols, Vals: r.Vals}
 	if m.Vals == nil {
@@ -93,8 +115,12 @@ func (r *RegistrationRecord) Matrix() (*sparse.Matrix, error) {
 	if err := m.Validate(); err != nil {
 		return nil, fmt.Errorf("record %s: %w", r.ID, err)
 	}
-	if got := m.FingerprintString(); got != r.ID {
-		return nil, fmt.Errorf("record %s: recovered matrix fingerprints to %s", r.ID, got)
+	want := r.ID
+	if r.FP != "" {
+		want = r.FP
+	}
+	if got := m.FingerprintString(); got != want {
+		return nil, fmt.Errorf("record %s: recovered matrix fingerprints to %s, want %s", r.ID, got, want)
 	}
 	return m, nil
 }
@@ -131,7 +157,8 @@ func (s *Service) ImportRegistrations(ctx context.Context, recs []RegistrationRe
 		if err != nil {
 			return rep, fmt.Errorf("serve: importing %s: %w", rec.ID, err)
 		}
-		info, err := s.register(ctx, m, rec.configPtr())
+		info, err := s.register(ctx, m, rec.configPtr(),
+			regMeta{id: rec.ID, generation: rec.Generation, tun: rec.Tune, noRace: rec.Tune != nil})
 		if err != nil {
 			return rep, fmt.Errorf("serve: importing %s: %w", rec.ID, err)
 		}
@@ -257,9 +284,18 @@ func loadSnapshot(path string) ([]RegistrationRecord, error) {
 }
 
 // mergeRecord replaces an existing record with the same ID or appends; a
-// superseding record (values-only refresh) first retires the registration it
-// replaces, taking its position so registration order is preserved.
+// tombstone removes its system; a legacy superseding record (PR-9 values-only
+// refresh) retires the registration it replaces, taking its position so
+// registration order is preserved.
 func mergeRecord(recs []RegistrationRecord, rec RegistrationRecord) []RegistrationRecord {
+	if rec.Deleted {
+		for i := range recs {
+			if recs[i].ID == rec.ID {
+				return append(recs[:i], recs[i+1:]...)
+			}
+		}
+		return recs
+	}
 	if rec.Supersedes != "" && rec.Supersedes != rec.ID {
 		for i := range recs {
 			if recs[i].ID == rec.Supersedes {

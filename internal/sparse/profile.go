@@ -1,0 +1,42 @@
+package sparse
+
+// PatternProfile is the values-free shape summary of a matrix: everything the
+// autotuner's cost model needs to rank candidate execution configurations
+// without touching a single coefficient. Unlike ComputeStats it never reads
+// Diag/Vals, so two same-pattern value generations profile identically — the
+// profile is a function of the pattern fingerprint alone.
+type PatternProfile struct {
+	Rows      int     // matrix dimension
+	NNZ       int     // stored nonzeros, diagonal included
+	AvgRowNNZ float64 // mean nonzeros per row
+	MaxRowNNZ int     // densest row (load-imbalance proxy for greedy partitioning)
+	Bandwidth int     // max |i-j| over stored entries (halo-traffic proxy)
+	// Imbalance is MaxRowNNZ / AvgRowNNZ: near 1 for stencils (contiguous
+	// partitioning is already balanced), large for skewed patterns where the
+	// greedy strategy earns its scheduling cost.
+	Imbalance float64
+}
+
+// Profile computes the pattern profile in one pass over the structure.
+func (m *Matrix) Profile() PatternProfile {
+	p := PatternProfile{Rows: m.N, NNZ: m.NNZ()}
+	if m.N == 0 {
+		return p
+	}
+	p.AvgRowNNZ = float64(p.NNZ) / float64(m.N)
+	for i := 0; i < m.N; i++ {
+		lo, hi := m.RowRange(i)
+		if n := hi - lo + 1; n > p.MaxRowNNZ {
+			p.MaxRowNNZ = n
+		}
+		for k := lo; k < hi; k++ {
+			if d := abs(i - m.Cols[k]); d > p.Bandwidth {
+				p.Bandwidth = d
+			}
+		}
+	}
+	if p.AvgRowNNZ > 0 {
+		p.Imbalance = float64(p.MaxRowNNZ) / p.AvgRowNNZ
+	}
+	return p
+}
